@@ -1,0 +1,62 @@
+"""E12 — ablation of the Claim 3.5 update rule.
+
+Compares the dual-certificate update against Figure 3's printed sign and a
+naive loss-difference direction; the certificate must converge while both
+ablations fail. Times one full convergence loop iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.update import dual_certificate, mw_step
+from repro.data.builders import signed_cube
+from repro.data.histogram import Histogram
+from repro.experiments.diagnostics import run_update_rule_ablation
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_update_rule_ablation(rng=0)
+
+
+def test_e12_report(report, save_report):
+    text = save_report(report)
+    assert "dual certificate" in text
+
+
+def test_e12_certificate_beats_ablations(report):
+    table = report.sections[0]
+    rows = {line.split("|")[0].strip(): float(line.split("|")[1])
+            for line in table.splitlines()[3:]}
+    ours = rows["dual certificate (ours)"]
+    assert ours < rows["initial (uniform hypothesis)"]
+    assert ours < rows["Figure 3 printed sign (+)"]
+    assert ours < rows["naive loss-difference"]
+
+
+def test_e12_paper_sign_diverges(report):
+    table = report.sections[0]
+    rows = {line.split("|")[0].strip(): float(line.split("|")[1])
+            for line in table.splitlines()[3:]}
+    assert rows["Figure 3 printed sign (+)"] > rows["initial (uniform hypothesis)"]
+
+
+def test_bench_convergence_iteration(benchmark, report, save_report):
+    save_report(report)
+    universe = signed_cube(6)
+    loss = QuadraticLoss(L2Ball(6))
+    rng = np.random.default_rng(0)
+    data = Histogram(universe, rng.dirichlet(np.full(universe.size, 0.1)))
+    theta_star = minimize_loss(loss, data).theta
+    state = {"hypothesis": Histogram.uniform(universe)}
+    scale = loss.scale_bound()
+
+    def one_iteration():
+        certificate = dual_certificate(loss, state["hypothesis"], theta_star)
+        state["hypothesis"] = mw_step(state["hypothesis"], certificate,
+                                      eta=0.05, scale=scale)
+
+    benchmark(one_iteration)

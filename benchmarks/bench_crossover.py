@@ -1,0 +1,53 @@
+"""E5 — the composition-vs-PMW crossover (Section 1 / 4.1).
+
+Races the paper's mechanism against k independent oracle calls on the same
+workload and budget, locating the k where PMW starts winning. Also times
+one composition-baseline call at a heavily split budget.
+"""
+
+import pytest
+
+from repro.core.composition_baseline import CompositionBaseline
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.experiments.crossover import run_crossover
+from repro.experiments.workloads import classification_workload
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_crossover(trials=2, rng=0)
+
+
+def test_e5_report(report, save_report):
+    text = save_report(report)
+    assert "winner" in text
+
+
+def test_e5_pmw_wins_eventually(report):
+    table = report.sections[0]
+    last_row = table.splitlines()[-1]
+    assert last_row.rstrip().endswith("PMW"), \
+        "PMW must win at the largest k (the paper's core claim)"
+
+
+def test_e5_composition_wins_small_k(report):
+    table = report.sections[0]
+    first_row = table.splitlines()[3]
+    assert "composition" in first_row, \
+        "for few queries the direct approach should still win"
+
+
+def test_bench_composition_call(benchmark, report, save_report):
+    save_report(report)
+    workload = classification_workload(
+        n=30_000, d=4, k=4, family_builder=random_logistic_family,
+        universe_size=150, rng=0,
+    )
+    oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=40)
+    baseline = CompositionBaseline(workload.dataset, oracle,
+                                   planned_queries=10_000, epsilon=1.0,
+                                   delta=1e-6, rng=1)
+    stream = iter(workload.losses * 2_500)
+
+    benchmark(lambda: baseline.answer(next(stream)))

@@ -1,0 +1,45 @@
+"""E7 — Claim 3.5, the dual-certificate inequality.
+
+Verifies the paper's key lemma over hundreds of random instances (zero
+violations expected — it is a theorem; the benchmark guards the
+implementation) and times certificate construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.update import dual_certificate
+from repro.data.builders import signed_cube
+from repro.data.histogram import Histogram
+from repro.experiments.diagnostics import run_dual_certificate_check
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_dual_certificate_check(samples=300, rng=0)
+
+
+def test_e7_report(report, save_report):
+    text = save_report(report)
+    assert "zero violations" in text
+
+
+def test_e7_no_violations(report):
+    table = report.sections[0]
+    for line in table.splitlines()[3:]:
+        violations = int(line.split("|")[-1])
+        assert violations == 0
+
+
+def test_bench_certificate_construction(benchmark, report, save_report):
+    save_report(report)
+    universe = signed_cube(9)  # |X| = 512
+    loss = QuadraticLoss(L2Ball(9))
+    rng = np.random.default_rng(0)
+    hypothesis = Histogram(universe,
+                           rng.dirichlet(np.full(universe.size, 0.5)))
+    theta = loss.domain.random_point(rng)
+
+    benchmark(lambda: dual_certificate(loss, hypothesis, theta))

@@ -1,0 +1,51 @@
+"""E10 — adaptive generalization (Section 1.3 / [BSSU15]).
+
+Regenerates the population-vs-sample contrast under adaptive questioning
+and times the accuracy-game round.
+"""
+
+import pytest
+
+from repro.adaptive.analysts import CyclingAnalyst
+from repro.adaptive.game import play_accuracy_game
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.oracle import NonPrivateOracle
+from repro.experiments.generalization import run_generalization
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_generalization(trials=3, rng=0)
+
+
+def test_e10_report(report, save_report):
+    text = save_report(report)
+    assert "generalization gap" in text
+
+
+def test_e10_dp_population_error_bounded(report):
+    """The DP mechanism's population error must stay near its sample error
+    (the transfer theorem), not blow up."""
+    table = report.sections[0]
+    pmw_row = next(l for l in table.splitlines() if l.startswith("PMW"))
+    cells = [c.strip() for c in pmw_row.split("|")]
+    sample_err, population_err = float(cells[1]), float(cells[2])
+    assert population_err <= sample_err + 0.1
+
+
+def test_bench_accuracy_game_round(benchmark, report, save_report):
+    save_report(report)
+    task = make_classification_dataset(n=10_000, d=3, universe_size=100,
+                                       rng=0)
+    pool = random_logistic_family(task.universe, 5, rng=1)
+    mechanism = PrivateMWConvex(
+        task.dataset, NonPrivateOracle(150), scale=2.0, alpha=0.3,
+        epsilon=2.0, delta=1e-6, schedule="calibrated", max_updates=500,
+        solver_steps=150, rng=2,
+    )
+    analyst = CyclingAnalyst(pool)
+
+    benchmark(lambda: play_accuracy_game(mechanism, analyst, k=1,
+                                         solver_steps=150))

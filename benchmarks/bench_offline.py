@@ -1,0 +1,50 @@
+"""E13 — offline vs online PMW-CM (Section 1.2's offline variant).
+
+Compares the exponential-mechanism-selection offline variant with the
+sparse-vector online mechanism on the same workload and budget, and times
+one offline round (score-all + select + solve + update).
+"""
+
+import pytest
+
+from repro.core.offline import OfflineMWConvex
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.experiments.offline_online import run_offline_online
+from repro.experiments.workloads import classification_workload
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_offline_online(trials=2, rng=0)
+
+
+def test_e13_report(report, save_report):
+    text = save_report(report)
+    assert "offline" in text
+
+
+def test_e13_both_variants_accurate(report):
+    table = report.sections[0]
+    for line in table.splitlines()[3:]:
+        error = float(line.split("|")[1].split("±")[0])
+        assert error <= 0.35, line
+
+
+def test_bench_offline_round(benchmark, report, save_report):
+    save_report(report)
+    workload = classification_workload(
+        n=30_000, d=4, k=20, family_builder=random_logistic_family,
+        universe_size=150, rng=0,
+    )
+    oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=40)
+
+    def one_offline_round():
+        mechanism = OfflineMWConvex(
+            workload.dataset, workload.losses, oracle,
+            scale=workload.scale, rounds=1, epsilon=1.0, delta=1e-6,
+            solver_steps=150, rng=1,
+        )
+        return mechanism.run()
+
+    benchmark(one_offline_round)

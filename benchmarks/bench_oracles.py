@@ -1,0 +1,49 @@
+"""E9 — single-query oracle guarantees (Theorems 4.1, 4.3, 4.5).
+
+Regenerates the excess-risk-vs-n sweep for every DP-ERM oracle and times
+the noisy-GD workhorse.
+"""
+
+import pytest
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.experiments.oracles import run_oracle_sweep
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_oracle_sweep(trials=3, rng=0)
+
+
+def test_e9_report(report, save_report):
+    text = save_report(report)
+    assert "noisy-GD" in text
+
+
+def test_e9_all_oracles_improve_with_n(report):
+    table = report.sections[0]
+    for line in table.splitlines()[3:]:
+        cells = [c.strip() for c in line.split("|")]
+        first, last = float(cells[1]), float(cells[-2])
+        assert last <= first * 1.5, f"{cells[0]} did not improve with n"
+
+
+def test_e9_gradient_oracles_decay_fast(report):
+    table = report.sections[0]
+    for line in table.splitlines()[3:]:
+        cells = [c.strip() for c in line.split("|")]
+        slope = float(cells[-1])
+        if "noisy-GD" in cells[0] or "output-pert" in cells[0]:
+            assert slope < -0.6, f"{cells[0]} slope {slope} too shallow"
+
+
+def test_bench_noisy_gd_call(benchmark, report, save_report):
+    save_report(report)
+    task = make_classification_dataset(n=20_000, d=4, universe_size=150,
+                                       rng=0)
+    loss = random_logistic_family(task.universe, 1, rng=1)[0]
+    oracle = NoisyGradientDescentOracle(epsilon=0.3, delta=1e-6, steps=40)
+
+    benchmark(lambda: oracle.answer(loss, task.dataset, rng=2))

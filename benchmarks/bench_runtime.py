@@ -1,0 +1,65 @@
+"""E11 — running time vs |X| (Section 4.3).
+
+Regenerates the poly(|X|) runtime profile and times the three per-round
+components individually (sparse-vector query, oracle call, MW update).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import database_error
+from repro.core.update import dual_certificate, mw_step
+from repro.data.histogram import Histogram
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.experiments.runtime import run_runtime_profile
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_runtime_profile(rng=0)
+
+
+def test_e11_report(report, save_report):
+    text = save_report(report)
+    assert "per-query time" in text
+
+
+def test_e11_polynomial_growth(report):
+    summary = next(s for s in report.sections if "slope" in s)
+    slope = float(summary.split("slope:")[1].split("(")[0])
+    # Growth should be polynomial and sub-quadratic in |X|.
+    assert 0.0 < slope < 2.0
+
+
+@pytest.fixture(scope="module")
+def round_pieces():
+    task = make_classification_dataset(n=20_000, d=3, universe_size=300,
+                                       rng=0)
+    loss = random_logistic_family(task.universe, 1, rng=1)[0]
+    data = task.dataset.histogram()
+    hypothesis = Histogram.uniform(task.universe)
+    oracle = NoisyGradientDescentOracle(epsilon=0.3, delta=1e-6, steps=30)
+    return task, loss, data, hypothesis, oracle
+
+
+def test_bench_component_error_query(benchmark, round_pieces, report, save_report):
+    save_report(report)
+    task, loss, data, hypothesis, _ = round_pieces
+    benchmark(lambda: database_error(loss, data, hypothesis,
+                                     solver_steps=150))
+
+
+def test_bench_component_oracle(benchmark, round_pieces):
+    task, loss, _, _, oracle = round_pieces
+    benchmark(lambda: oracle.answer(loss, task.dataset, rng=2))
+
+
+def test_bench_component_update(benchmark, round_pieces):
+    task, loss, data, hypothesis, _ = round_pieces
+    rng = np.random.default_rng(3)
+    theta = loss.domain.random_point(rng)
+    certificate = dual_certificate(loss, hypothesis, theta,
+                                   solver_steps=150)
+    benchmark(lambda: mw_step(hypothesis, certificate, eta=0.1, scale=2.0))

@@ -1,0 +1,56 @@
+"""E1 — Table 1 row "Linear Queries".
+
+Regenerates the linear-queries comparison: PMW's max error grows only
+polylogarithmically in k while per-query Laplace under advanced composition
+degrades like sqrt(k). Also times one PMW-linear round.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.experiments.table1 import run_linear_row
+from repro.losses.families import random_halfspace_queries
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_linear_row(trials=3, rng=0)
+
+
+def test_e1_report(report, save_report):
+    text = save_report(report)
+    # The regenerated row must show the paper's two shapes.
+    assert "pmw error vs k" in text
+    assert text.count("OK") >= 1
+
+
+def test_e1_pmw_beats_composition_at_large_k(report):
+    rows = report.sections[0].splitlines()[3:]
+    last = rows[-1].split("|")
+    pmw = float(last[1].split("±")[0])
+    laplace = float(last[2].split("±")[0])
+    assert pmw < laplace, "PMW must win at the largest k"
+
+
+def test_bench_pmw_linear_round(benchmark, report, save_report):
+    save_report(report)
+    universe = signed_cube(6)
+    rng = np.random.default_rng(0)
+    skew = rng.dirichlet(np.full(universe.size, 0.4))
+    dataset = Dataset(universe, rng.choice(universe.size, size=20_000,
+                                           p=skew))
+    queries = random_halfspace_queries(universe, 200, rng=1)
+    mechanism = PrivateMWLinear(dataset, alpha=0.1, epsilon=1.0, delta=1e-6,
+                                schedule="calibrated", max_updates=24, rng=2)
+    stream = iter(queries * 500)
+
+    def one_round():
+        query = next(stream)
+        if mechanism.halted:  # past the budget: serve from the hypothesis
+            return mechanism.hypothesis.dot(query.table)
+        return mechanism.answer(query)
+
+    benchmark(one_round)

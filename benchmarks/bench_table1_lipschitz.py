@@ -1,0 +1,57 @@
+"""E2 — Table 1 row "Lipschitz, d-Bounded".
+
+Regenerates the sqrt(d) single-query oracle shape (BST14 stand-in) and the
+achievable-alpha-vs-n decay of the k-query mechanism (Theorem 4.2). Also
+times one full PMW-CM round on the logistic workload.
+"""
+
+import pytest
+
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.experiments.table1 import run_lipschitz_row
+from repro.experiments.workloads import classification_workload
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lipschitz_row(trials=2, rng=0)
+
+
+def test_e2_report(report, save_report):
+    text = save_report(report)
+    assert "oracle error vs d" in text
+
+
+def test_e2_alpha_improves_with_n(report):
+    """The last table column: achieved alpha at the largest n must be at
+    least as good as at the smallest n."""
+    table = next(s for s in report.sections if "smallest achieved" in s)
+    rows = [line.split("|") for line in table.splitlines()[3:]]
+    first_alpha = float(rows[0][1].split("±")[0])
+    last_alpha = float(rows[-1][1].split("±")[0])
+    assert last_alpha <= first_alpha
+
+
+def test_bench_pmw_cm_round(benchmark, report, save_report):
+    save_report(report)
+    workload = classification_workload(
+        n=30_000, d=4, k=200, family_builder=random_logistic_family,
+        universe_size=150, rng=0,
+    )
+    oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=40)
+    mechanism = PrivateMWConvex(
+        workload.dataset, oracle, scale=workload.scale, alpha=0.25,
+        epsilon=1.0, delta=1e-6, schedule="calibrated", max_updates=100,
+        solver_steps=200, rng=1,
+    )
+    stream = iter(workload.losses * 200)
+
+    def one_round():
+        loss = next(stream)
+        if mechanism.halted:
+            return mechanism.answer_from_hypothesis(loss)
+        return mechanism.answer(loss)
+
+    benchmark(one_round)

@@ -1,0 +1,46 @@
+"""E4 — Table 1 row "Strongly Convex" (Theorem 4.6).
+
+Regenerates the sigma- and n-scaling of the strongly convex oracle and the
+k-query mechanism on a ridge family. Also times one output-perturbation
+call (dominated by the exact trust-region solve).
+"""
+
+import pytest
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.experiments.table1 import run_strongly_convex_row
+from repro.losses.families import random_ridge_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_strongly_convex_row(trials=2, rng=0)
+
+
+def test_e4_report(report, save_report):
+    text = save_report(report)
+    assert "sigma" in text
+
+
+def test_e4_error_improves_with_sigma(report):
+    summary = next(s for s in report.sections if "error-vs-sigma" in s)
+    slope = float(summary.split("slope:")[1].split("(")[0])
+    assert slope < 0.0, "error must decrease as strong convexity grows"
+
+
+def test_e4_fast_n_decay(report):
+    summary = next(s for s in report.sections if "error-vs-n" in s)
+    slope = float(summary.split("slope:")[1].split("(")[0])
+    assert slope < -1.0, ("strongly convex oracle must decay faster than "
+                          "the Lipschitz row's ~n^-1")
+
+
+def test_bench_output_perturbation_call(benchmark, report, save_report):
+    save_report(report)
+    task = make_classification_dataset(n=20_000, d=4, universe_size=150,
+                                       rng=0)
+    loss = random_ridge_family(task.universe, 1, lam=1.0, rng=1)[0]
+    oracle = OutputPerturbationOracle(epsilon=0.3, delta=1e-6)
+
+    benchmark(lambda: oracle.answer(loss, task.dataset, rng=2))

@@ -1,0 +1,45 @@
+"""E3 — Table 1 row "UGLM" (Theorem 4.4).
+
+Regenerates the dimension-independence contrast: the generic Lipschitz
+oracle's error grows ~sqrt(d) while the JT14-style GLM-projection oracle
+stays flat. Also times one GLM-oracle call.
+"""
+
+import pytest
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.experiments.table1 import run_uglm_row
+from repro.losses.families import random_logistic_family
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_uglm_row(trials=2, rng=0)
+
+
+def test_e3_report(report, save_report):
+    text = save_report(report)
+    assert "dimension-independent" in text
+
+
+def test_e3_glm_flat_generic_grows(report):
+    summary = next(s for s in report.sections if "slopes" in s)
+    generic_slope = float(summary.split("generic")[1].split("(")[0])
+    glm_slope = float(summary.split("GLM")[1].split("(")[0])
+    assert generic_slope > 0.15, "generic oracle must degrade with d"
+    # The row's claim is relative: the UGLM oracle must not inherit the
+    # generic oracle's growth in d.
+    assert glm_slope < generic_slope - 0.2
+    assert glm_slope < 0.25, "GLM oracle must stay ~flat in d"
+
+
+def test_bench_glm_oracle_call(benchmark, report, save_report):
+    save_report(report)
+    task = make_classification_dataset(n=20_000, d=16, universe_size=150,
+                                       rng=0)
+    loss = random_logistic_family(task.universe, 1, rng=1)[0]
+    oracle = GLMProjectionOracle(epsilon=0.3, delta=1e-6, projection_dim=6,
+                                 steps=40)
+
+    benchmark(lambda: oracle.answer(loss, task.dataset, rng=2))

@@ -1,0 +1,48 @@
+"""E6 — update count vs Figure 3's budget T = 64 S^2 log|X| / alpha^2.
+
+Counts realized MW updates under a long adversarial stream and checks they
+stay within the paper's worst-case budget. Also times the MW update step
+itself (the O(|X|) component of the round).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.update import dual_certificate, mw_step
+from repro.data.builders import signed_cube
+from repro.data.histogram import Histogram
+from repro.experiments.diagnostics import run_update_count
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_update_count(rng=0)
+
+
+def test_e6_report(report, save_report):
+    text = save_report(report)
+    assert "within the paper budget: True" in text
+
+
+def test_e6_measured_below_paper_budget(report):
+    table = report.sections[0]
+    for line in table.splitlines()[3:]:
+        cells = [c.strip() for c in line.split("|")]
+        measured, paper = int(cells[1]), int(cells[3])
+        assert measured <= paper
+
+
+def test_bench_mw_update_step(benchmark, report, save_report):
+    save_report(report)
+    universe = signed_cube(10)  # |X| = 1024
+    loss = QuadraticLoss(L2Ball(10))
+    rng = np.random.default_rng(0)
+    hypothesis = Histogram(universe,
+                           rng.dirichlet(np.full(universe.size, 0.5)))
+    theta = loss.domain.random_point(rng)
+    certificate = dual_certificate(loss, hypothesis, theta)
+
+    benchmark(lambda: mw_step(hypothesis, certificate, eta=0.1,
+                              scale=loss.scale_bound()))

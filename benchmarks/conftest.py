@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench file regenerates one experiment from DESIGN.md's per-experiment
+index (the paper's Table 1 plus the theorem-level claims), prints its
+paper-vs-measured report, and archives it under ``benchmarks/results/``.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see reports inline;
+the archived text files are written either way.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist an ExperimentReport to benchmarks/results/ and print it.
+
+    Idempotent per report name, so both the report-assertion tests and the
+    timing tests can request a save without duplicating output.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    saved: dict[str, str] = {}
+
+    def _save(report) -> str:
+        safe_name = report.name.split()[0].lower().replace("/", "-")
+        if safe_name in saved:
+            return saved[safe_name]
+        text = report.render()
+        (RESULTS_DIR / f"{safe_name}.txt").write_text(text)
+        print("\n" + text)
+        saved[safe_name] = text
+        return text
+
+    return _save

@@ -1,0 +1,66 @@
+"""Scaling to hundreds of queries: the log(k) phenomenon, live.
+
+The paper's point is that the data requirement grows with log(k), not
+sqrt(k): a fixed dataset and budget can absorb an enormous query stream.
+This example streams 500 distinct logistic-regression queries (Theorem 4.4's
+UGLM family, answered with the JT14-style dimension-independent oracle)
+through one mechanism and tracks how the error and the update rate evolve —
+updates concentrate early, then the hypothesis answers nearly everything.
+
+Run:  python examples/many_logistic_queries.py
+"""
+
+import numpy as np
+
+from repro import (
+    GLMProjectionOracle,
+    PrivateMWConvex,
+    answer_error,
+    family_scale_bound,
+    make_classification_dataset,
+    random_logistic_family,
+)
+
+
+def main() -> None:
+    task = make_classification_dataset(n=80_000, d=4, universe_size=200,
+                                       rng=0)
+    k = 500
+    losses = random_logistic_family(task.universe, k, rng=1)
+    scale = family_scale_bound(losses)
+
+    oracle = GLMProjectionOracle(epsilon=1.0, delta=1e-6, projection_dim=4,
+                                 steps=40)
+    mechanism = PrivateMWConvex(
+        task.dataset, oracle, scale=scale, alpha=0.25, epsilon=1.0,
+        delta=1e-6, schedule="calibrated", max_updates=30, rng=2,
+    )
+
+    data = task.dataset.histogram()
+    block = 100
+    print(f"streaming {k} logistic queries "
+          f"(block-wise report every {block}):\n")
+    print(f"{'queries':>8s} {'updates':>8s} {'block max err':>14s} "
+          f"{'block mean err':>15s}")
+    block_errors = []
+    for j, loss in enumerate(losses):
+        if mechanism.halted:
+            answer = mechanism.answer_from_hypothesis(loss)
+        else:
+            answer = mechanism.answer(loss)
+        block_errors.append(answer_error(loss, data, answer.theta,
+                                         solver_steps=250))
+        if (j + 1) % block == 0:
+            errors = np.array(block_errors)
+            print(f"{j + 1:8d} {mechanism.updates_performed:8d} "
+                  f"{errors.max():14.4f} {errors.mean():15.4f}")
+            block_errors = []
+
+    print(f"\ntotal MW updates: {mechanism.updates_performed} / {k} "
+          f"queries — the budget is spent on a vanishing fraction of the "
+          f"stream, which is why error grows only ~log(k).")
+    print(f"privacy guarantee: {mechanism.privacy_guarantee()}")
+
+
+if __name__ == "__main__":
+    main()

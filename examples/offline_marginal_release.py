@@ -1,0 +1,88 @@
+"""Offline release: every 2-way marginal AND a CM workload, one budget.
+
+The offline variant (Section 1.2) knows the whole workload upfront and
+spends each round on the globally worst-answered query via the exponential
+mechanism. This example releases, from one dataset and one privacy budget:
+
+1. all 2-way marginal queries of a binary-cube dataset — via MWEM (the
+   [HLM12] linear-query baseline);
+2. a family of convex-minimization queries — via the offline PMW-CM
+   variant (this paper);
+3. a synthetic dataset sampled from the CM hypothesis, scored on held-out
+   queries.
+
+Run:  python examples/offline_marginal_release.py
+"""
+
+import numpy as np
+
+from repro import MWEM, OfflineMWConvex, NoisyGradientDescentOracle
+from repro.core.accuracy import answer_error
+from repro.data import Dataset
+from repro.data.builders import signed_cube
+from repro.losses import (
+    family_scale_bound,
+    marginal_queries,
+    random_quadratic_family,
+)
+from repro.optimize import minimize_loss
+
+
+def main() -> None:
+    universe = signed_cube(6)  # |X| = 64, unit-norm points
+    rng = np.random.default_rng(0)
+    skew = rng.dirichlet(np.full(universe.size, 0.15))
+    dataset = Dataset(universe, rng.choice(universe.size, size=80_000,
+                                           p=skew))
+    data = dataset.histogram()
+    print(f"dataset: n={dataset.n} over {universe.name}")
+
+    # --- 1. all 2-way marginals via MWEM ----------------------------------
+    marginals = marginal_queries(universe, width=2)
+    print(f"\nreleasing {len(marginals)} two-way marginals via MWEM ...")
+    mwem = MWEM(dataset, marginals, rounds=15, epsilon=0.5, rng=1)
+    result = mwem.run()
+    print(f"  max marginal error: {mwem.max_error(result):.4f} "
+          f"(pure eps = 0.5)")
+
+    # --- 2. a CM workload via offline PMW-CM -------------------------------
+    cm_losses = random_quadratic_family(universe, 20, rng=2)
+    scale = family_scale_bound(cm_losses)
+    oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=40)
+    print(f"\nreleasing {len(cm_losses)} quadratic CM queries via offline "
+          f"PMW-CM (S={scale:g}) ...")
+    offline = OfflineMWConvex(
+        dataset, cm_losses, oracle, scale=scale, rounds=10,
+        epsilon=0.5, delta=1e-6, rng=3,
+    )
+    cm_result = offline.run()
+    errors = [
+        answer_error(loss, data, theta)
+        for loss, theta in zip(cm_losses, cm_result.thetas)
+    ]
+    print(f"  max CM excess risk: {max(errors):.4f}")
+    print(f"  rounds selected queries: "
+          f"{[cm_losses[i].name for i in cm_result.selected[:5]]} ...")
+
+    # --- 3. synthetic data from the CM hypothesis --------------------------
+    synthetic = Dataset(universe,
+                        cm_result.hypothesis.sample_indices(20_000, rng=4))
+    holdout = random_quadratic_family(universe, 5, rng=99)
+    # Note: for rotation-family quadratics the excess risk is
+    # (1/2)||P_j (mean_synth - mean_data)||^2-shaped, and orthogonal P_j
+    # preserve norms — so held-out errors coincide whenever the ball
+    # constraint is slack. That equality is correct, not a bug.
+    print(f"\nscoring a 20k-row synthetic dataset on {len(holdout)} "
+          f"held-out CM queries:")
+    for loss in holdout:
+        theta = minimize_loss(loss, synthetic.histogram()).theta
+        print(f"  {loss.name:14s} excess risk "
+              f"{answer_error(loss, data, theta):.4f}")
+
+    total_epsilon = 0.5 + 0.5
+    print(f"\ntotal budget spent across both releases: eps = {total_epsilon}"
+          f" (basic composition of the two mechanisms), delta = 1e-6")
+
+
+if __name__ == "__main__":
+    main()

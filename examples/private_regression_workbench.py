@@ -1,0 +1,94 @@
+"""A private regression workbench: many analysts, one dataset, one budget.
+
+Scenario from the paper's introduction: a sensitive dataset is analyzed
+repeatedly — different analysts fit different regressions (squared loss,
+Huber, ridge) in different feature bases. The workbench answers all of them
+under one privacy budget and compares against the straightforward
+alternative (independent oracle calls with the budget split by advanced
+composition), reproducing the paper's headline comparison on a realistic
+mixed workload.
+
+Run:  python examples/private_regression_workbench.py
+"""
+
+import numpy as np
+
+from repro import (
+    CompositionBaseline,
+    NoisyGradientDescentOracle,
+    PrivateMWConvex,
+    answer_error,
+    family_scale_bound,
+    make_regression_dataset,
+    random_ridge_family,
+    random_squared_family,
+)
+from repro.losses.hinge import HuberLoss
+from repro.optimize.projections import L2Ball
+
+
+def build_workload(universe, rng):
+    """A mixed regression workload: squared + Huber + ridge queries."""
+    losses = []
+    losses += random_squared_family(universe, 15, rng=rng)
+    losses += [HuberLoss(L2Ball(universe.dim), delta=0.5,
+                         name=f"huber-{i}") for i in range(5)]
+    losses += random_ridge_family(universe, 10, lam=0.5, rng=rng)
+    return losses
+
+
+def main() -> None:
+    task = make_regression_dataset(n=60_000, d=4, universe_size=200,
+                                   label_levels=9, noise=0.1, rng=0)
+    print(task.universe.describe())
+    losses = build_workload(task.universe, rng=1)
+    scale = family_scale_bound(losses)
+    k = len(losses)
+    print(f"workload: {k} regression queries "
+          f"(squared / Huber / ridge), S = {scale:g}\n")
+
+    data = task.dataset.histogram()
+    oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=40)
+
+    # --- the paper's mechanism -------------------------------------------
+    mechanism = PrivateMWConvex(
+        task.dataset, oracle, scale=scale, alpha=0.25, epsilon=1.0,
+        delta=1e-6, schedule="calibrated", max_updates=25, rng=2,
+    )
+    pmw_answers = mechanism.answer_all(losses, on_halt="hypothesis")
+    pmw_errors = np.array([
+        answer_error(loss, data, a.theta)
+        for loss, a in zip(losses, pmw_answers)
+    ])
+
+    # --- the composition baseline -----------------------------------------
+    baseline = CompositionBaseline(task.dataset, oracle, planned_queries=k,
+                                   epsilon=1.0, delta=1e-6, rng=3)
+    comp_answers = baseline.answer_all(losses)
+    comp_errors = np.array([
+        answer_error(loss, data, a.theta)
+        for loss, a in zip(losses, comp_answers)
+    ])
+
+    print(f"{'mechanism':24s} {'max err':>9s} {'mean err':>9s} "
+          f"{'oracle calls':>13s}")
+    print(f"{'PMW (this paper)':24s} {pmw_errors.max():9.4f} "
+          f"{pmw_errors.mean():9.4f} {mechanism.updates_performed:13d}")
+    print(f"{'composition baseline':24s} {comp_errors.max():9.4f} "
+          f"{comp_errors.mean():9.4f} {k:13d}")
+    print("\nPMW pays oracle noise only on its updates; the rest of the "
+          "workload is served from the public hypothesis for free.")
+
+    # The hypothesis doubles as a releasable synthetic dataset (Sec 4.3).
+    synthetic = mechanism.synthetic_dataset(10_000, rng=4)
+    sample_loss = losses[0]
+    theta_synth = sample_loss.exact_minimizer(synthetic.histogram())
+    if theta_synth is None:
+        from repro import minimize_loss
+        theta_synth = minimize_loss(sample_loss, synthetic.histogram()).theta
+    print(f"\nsynthetic-data answer to query {sample_loss.name!r}: "
+          f"excess risk {answer_error(sample_loss, data, theta_synth):.4f}")
+
+
+if __name__ == "__main__":
+    main()

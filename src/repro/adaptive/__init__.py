@@ -1,0 +1,35 @@
+"""Adaptive data analysis: analysts, the accuracy game, generalization.
+
+The paper defines accuracy via a game against an adaptive adversary
+(Figure 1 / Definition 2.4) and connects DP to generalization error in
+adaptive data analysis (Section 1.3, the [DFH+15]/[BSSU15] line). This
+package provides analyst strategies (static, adaptive worst-case), a
+runner for the sample-accuracy game, and population-vs-sample error
+measurement for the generalization experiments.
+"""
+
+from repro.adaptive.analysts import (
+    Analyst,
+    AnswerDrivenAnalyst,
+    StaticAnalyst,
+    WorstCaseAnalyst,
+    CyclingAnalyst,
+)
+from repro.adaptive.game import GameRecord, GameResult, play_accuracy_game
+from repro.adaptive.generalization import (
+    generalization_gap,
+    population_error,
+)
+
+__all__ = [
+    "Analyst",
+    "AnswerDrivenAnalyst",
+    "StaticAnalyst",
+    "WorstCaseAnalyst",
+    "CyclingAnalyst",
+    "play_accuracy_game",
+    "GameResult",
+    "GameRecord",
+    "population_error",
+    "generalization_gap",
+]

@@ -1,0 +1,158 @@
+"""Analyst (adversary) strategies for the sample-accuracy game.
+
+Definition 2.4 quantifies over *every* adversary ``B`` that adaptively
+chooses the loss stream. Three concrete strategies:
+
+- :class:`StaticAnalyst` — a fixed, pre-committed query sequence (the
+  offline case of Section 1.2).
+- :class:`CyclingAnalyst` — cycles a pool forever (stress-tests repeated
+  queries, which must stay cheap: repeats of a well-answered query must
+  come back ``bottom``).
+- :class:`WorstCaseAnalyst` — adaptively submits, from a candidate pool,
+  the loss on which the *current public hypothesis* errs most against the
+  analyst's own (public-information) estimate of the data. This is the
+  update-maximizing adversary used by the E6 update-count experiment.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.accuracy import database_error
+from repro.data.histogram import Histogram
+from repro.exceptions import ValidationError
+from repro.losses.base import LossFunction
+
+
+class Analyst(ABC):
+    """A (possibly adaptive) loss-stream strategy."""
+
+    @abstractmethod
+    def next_loss(self, hypothesis: Histogram | None) -> LossFunction:
+        """Choose the next query, possibly from the public hypothesis."""
+
+    def observe(self, loss: LossFunction, theta: np.ndarray) -> None:
+        """Receive the mechanism's answer (default: ignore it)."""
+
+
+class StaticAnalyst(Analyst):
+    """Submits a fixed sequence of losses in order."""
+
+    def __init__(self, losses) -> None:
+        self._losses = list(losses)
+        if not self._losses:
+            raise ValidationError("losses must be non-empty")
+        self._cursor = 0
+
+    def next_loss(self, hypothesis: Histogram | None) -> LossFunction:
+        if self._cursor >= len(self._losses):
+            raise ValidationError("static analyst has no queries left")
+        loss = self._losses[self._cursor]
+        self._cursor += 1
+        return loss
+
+    @property
+    def remaining(self) -> int:
+        """Queries not yet submitted."""
+        return len(self._losses) - self._cursor
+
+
+class CyclingAnalyst(Analyst):
+    """Cycles a pool of losses indefinitely."""
+
+    def __init__(self, losses) -> None:
+        self._losses = list(losses)
+        if not self._losses:
+            raise ValidationError("losses must be non-empty")
+        self._cursor = 0
+
+    def next_loss(self, hypothesis: Histogram | None) -> LossFunction:
+        loss = self._losses[self._cursor % len(self._losses)]
+        self._cursor += 1
+        return loss
+
+
+class AnswerDrivenAnalyst(Analyst):
+    """Constructs brand-new queries from the mechanism's released answers.
+
+    The strongest form of Figure 1 adaptivity: rather than selecting from
+    a fixed pool, the analyst *builds* its next loss as a function of the
+    previous answer — here, a logistic query in a feature basis whose
+    first axis is rotated toward the last released ``theta`` (so each
+    query probes the direction the mechanism just revealed). Queries stay
+    inside the declared family (1-Lipschitz GLMs over the unit ball), so
+    the mechanism's ``S`` calibration remains valid.
+    """
+
+    def __init__(self, dim: int, rng=None) -> None:
+        from repro.losses.logistic import LogisticLoss
+        from repro.optimize.projections import L2Ball
+        from repro.utils.rng import as_generator
+
+        self._dim = dim
+        self._rng = as_generator(rng)
+        self._loss_cls = LogisticLoss
+        self._domain = L2Ball(dim)
+        self._last_theta: np.ndarray | None = None
+        self._count = 0
+        self._issued: list = []
+
+    def next_loss(self, hypothesis: Histogram | None) -> LossFunction:
+        rotation = self._build_rotation()
+        loss = self._loss_cls(self._domain, rotation=rotation,
+                              name=f"adaptive-{self._count}")
+        self._count += 1
+        self._issued.append(loss)
+        return loss
+
+    def observe(self, loss: LossFunction, theta: np.ndarray) -> None:
+        self._last_theta = np.asarray(theta, dtype=float)
+
+    @property
+    def issued(self) -> list:
+        """Losses constructed so far (kept alive for scoring)."""
+        return list(self._issued)
+
+    def _build_rotation(self) -> np.ndarray:
+        """An orthogonal matrix whose first row follows the last answer."""
+        gaussian = self._rng.standard_normal((self._dim, self._dim))
+        if self._last_theta is not None:
+            norm = float(np.linalg.norm(self._last_theta))
+            if norm > 1e-9:
+                gaussian[0] = self._last_theta / norm * self._dim
+        q_matrix, r_matrix = np.linalg.qr(gaussian.T)
+        signs = np.sign(np.diag(r_matrix))
+        signs[signs == 0.0] = 1.0
+        return (q_matrix * signs[None, :]).T
+
+
+class WorstCaseAnalyst(Analyst):
+    """Adaptively picks the pool loss the hypothesis currently answers worst.
+
+    The analyst holds a *reference histogram* standing for its side
+    information about the data (in experiments: the true data histogram,
+    making this the strongest inspection-based adversary — legitimate in
+    the accuracy game, since ``B`` chooses ``D`` itself in Figure 1). Each
+    round it scores every pool loss by ``err_l(reference, hypothesis)``
+    (Definition 2.3) and submits the argmax, maximizing update pressure.
+    """
+
+    def __init__(self, losses, reference: Histogram, *,
+                 solver_steps: int = 200) -> None:
+        self._losses = list(losses)
+        if not self._losses:
+            raise ValidationError("losses must be non-empty")
+        self._reference = reference
+        self._solver_steps = solver_steps
+
+    def next_loss(self, hypothesis: Histogram | None) -> LossFunction:
+        if hypothesis is None:
+            return self._losses[0]
+        errors = [
+            database_error(loss, self._reference, hypothesis,
+                           solver_steps=self._solver_steps).error
+            for loss in self._losses
+        ]
+        return self._losses[int(np.argmax(errors))]

@@ -1,0 +1,90 @@
+"""The sample-accuracy game (Figure 1 / Definition 2.4).
+
+``play_accuracy_game`` runs the interaction: the analyst adaptively submits
+losses, the mechanism answers, and the referee scores every answer's excess
+empirical risk ``err_{l_j}(D, theta_j)`` against the true data. The result
+is the realized ``max_j err`` that Definition 2.4 bounds by ``alpha`` with
+probability ``1 - beta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adaptive.analysts import Analyst
+from repro.core.accuracy import answer_error
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.data.histogram import Histogram
+from repro.exceptions import MechanismHalted, ValidationError
+
+
+@dataclass(frozen=True)
+class GameRecord:
+    """One round of the game."""
+
+    query_index: int
+    loss_name: str
+    error: float
+    from_update: bool
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """Outcome of a full game."""
+
+    records: list[GameRecord] = field(default_factory=list)
+    halted_early: bool = False
+    updates_performed: int = 0
+
+    @property
+    def max_error(self) -> float:
+        """The quantity Definition 2.4 bounds: ``max_j err_{l_j}(D, theta_j)``."""
+        if not self.records:
+            return 0.0
+        return max(record.error for record in self.records)
+
+    @property
+    def mean_error(self) -> float:
+        """Average per-query excess risk."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.error for record in self.records]))
+
+    @property
+    def queries_played(self) -> int:
+        """Rounds completed before any early halt."""
+        return len(self.records)
+
+
+def play_accuracy_game(mechanism: PrivateMWConvex, analyst: Analyst, k: int,
+                       *, solver_steps: int = 400) -> GameResult:
+    """Run ``k`` rounds of Figure 1 between ``mechanism`` and ``analyst``.
+
+    Scoring uses the mechanism's *private* data histogram — the referee is
+    omniscient; this is measurement, not release. If the mechanism
+    exhausts its update budget the game stops early and the result is
+    flagged (``halted_early``), matching Figure 3's halt semantics.
+    """
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    data: Histogram = mechanism._data_histogram
+    records: list[GameRecord] = []
+    halted = False
+    for j in range(k):
+        loss = analyst.next_loss(mechanism.hypothesis)
+        try:
+            answer = mechanism.answer(loss)
+        except MechanismHalted:
+            halted = True
+            break
+        error = answer_error(loss, data, answer.theta,
+                             solver_steps=solver_steps)
+        records.append(GameRecord(
+            query_index=j, loss_name=loss.name, error=error,
+            from_update=answer.from_update,
+        ))
+        analyst.observe(loss, answer.theta)
+    return GameResult(records=records, halted_early=halted,
+                      updates_performed=mechanism.updates_performed)

@@ -1,0 +1,55 @@
+"""The paper's primary contribution and its baselines.
+
+- :class:`PrivateMWConvex` — Figure 3: online private multiplicative
+  weights for convex-minimization queries.
+- :class:`PrivateMWLinear` — the [HR10] special case for linear queries.
+- :class:`MWEM` — the offline [HLM12] baseline.
+- :class:`CompositionBaseline` — k independent oracle calls (the foil).
+- :mod:`repro.core.update` — the Claim 3.5 dual-certificate update.
+- :mod:`repro.core.config` — the Figure 3 parameter schedule.
+- :mod:`repro.core.accuracy` — Definitions 2.2 / 2.3.
+- :mod:`repro.core.theory` — Table 1 and the theorem bounds as formulas.
+"""
+
+from repro.core.accuracy import (
+    DatabaseErrorBreakdown,
+    answer_error,
+    database_error,
+    empirical_error_query_sensitivity,
+)
+from repro.core.config import PMWConfig
+from repro.core.update import (
+    UpdateCertificate,
+    claim_3_5_slack,
+    dual_certificate,
+    mw_step,
+)
+from repro.core.pmw_cm import PMWAnswer, PrivateMWConvex
+from repro.core.offline import OfflineMWConvex, OfflineResult
+from repro.core.pmw_linear import LinearAnswer, PrivateMWLinear
+from repro.core.mwem import MWEM, MWEMResult
+from repro.core.composition_baseline import CompositionAnswer, CompositionBaseline
+from repro.core import theory
+
+__all__ = [
+    "PrivateMWConvex",
+    "PMWAnswer",
+    "OfflineMWConvex",
+    "OfflineResult",
+    "PrivateMWLinear",
+    "LinearAnswer",
+    "MWEM",
+    "MWEMResult",
+    "CompositionBaseline",
+    "CompositionAnswer",
+    "PMWConfig",
+    "UpdateCertificate",
+    "dual_certificate",
+    "mw_step",
+    "claim_3_5_slack",
+    "answer_error",
+    "database_error",
+    "DatabaseErrorBreakdown",
+    "empirical_error_query_sensitivity",
+    "theory",
+]

@@ -1,0 +1,188 @@
+"""The Figure 3 parameter schedule.
+
+Figure 3 fixes, from the target accuracy ``alpha``, failure probability
+``beta``, privacy budget ``(eps, delta)``, family scale ``S``, and universe
+size ``|X|``:
+
+    T      = 64 S^2 log|X| / alpha^2        (update budget)
+    eta    = sqrt(log|X| / T)               (MW step size)
+    eps0   = eps / sqrt(8 T log(4/delta))   (per-oracle-call epsilon)
+    delta0 = delta / (4 T)                  (per-oracle-call delta)
+    alpha0 = alpha / 4                      (oracle accuracy target)
+    beta0  = beta / (2 T)                   (oracle failure target)
+
+and gives the sparse vector half the budget: ``SV(T, k, alpha, eps/2,
+delta/2)``.
+
+:class:`PMWConfig` computes these exactly in ``schedule="paper"`` mode, and
+in ``schedule="calibrated"`` mode keeps the same functional forms with the
+leading constant of ``T`` reduced (the paper's 64 is a worst-case analysis
+constant; laptop-scale experiments converge with far fewer updates). Both
+schedules are fully differentially private — they differ only in how
+conservative the *accuracy* bookkeeping is.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dp.composition import sparse_vector_sample_bound
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_positive, check_unit_interval
+
+#: Figure 3's constant in ``T = 64 S^2 log|X| / alpha^2``.
+PAPER_UPDATE_CONSTANT = 64.0
+#: Calibrated-mode constant: same functional form, practical magnitude.
+CALIBRATED_UPDATE_CONSTANT = 1.0
+
+
+@dataclass(frozen=True)
+class PMWConfig:
+    """Derived parameters for one run of the Figure 3 mechanism.
+
+    Build with :meth:`from_targets`; all fields are then consistent with
+    the chosen schedule.
+    """
+
+    alpha: float
+    beta: float
+    epsilon: float
+    delta: float
+    scale: float
+    universe_size: int
+    schedule: str
+    max_updates: int          # T
+    eta: float                # MW step size
+    oracle_epsilon: float     # eps0
+    oracle_delta: float       # delta0
+    oracle_alpha: float       # alpha0
+    oracle_beta: float        # beta0
+    sv_epsilon: float         # eps/2
+    sv_delta: float           # delta/2
+    extras: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_targets(cls, *, alpha: float, beta: float, epsilon: float,
+                     delta: float, scale: float, universe_size: int,
+                     schedule: str = "paper",
+                     max_updates: int | None = None) -> "PMWConfig":
+        """Derive the full schedule from the user-level targets.
+
+        Parameters
+        ----------
+        alpha, beta:
+            Accuracy target ``(alpha, beta)`` of Definition 2.4.
+        epsilon, delta:
+            Total privacy budget of the mechanism.
+        scale:
+            Family scale ``S`` (see
+            :func:`repro.losses.scaling.family_scale_bound`).
+        universe_size:
+            ``|X|``.
+        schedule:
+            ``"paper"`` for Figure 3's exact constants, ``"calibrated"``
+            for the practical constant.
+        max_updates:
+            Optional explicit override for ``T`` (used by ablations); the
+            derived ``eta`` and per-round budgets always follow the chosen
+            ``T`` so privacy is preserved under any override.
+        """
+        alpha = check_unit_interval(alpha, "alpha")
+        beta = check_unit_interval(beta, "beta")
+        epsilon = check_positive(epsilon, "epsilon")
+        delta = check_unit_interval(delta, "delta")
+        scale = check_positive(scale, "scale")
+        if universe_size < 2:
+            raise ValidationError(
+                f"universe_size must be >= 2 (log|X| > 0), got {universe_size}"
+            )
+        if schedule not in ("paper", "calibrated"):
+            raise ValidationError(
+                f"schedule must be 'paper' or 'calibrated', got {schedule!r}"
+            )
+
+        log_size = math.log(universe_size)
+        constant = (PAPER_UPDATE_CONSTANT if schedule == "paper"
+                    else CALIBRATED_UPDATE_CONSTANT)
+        derived_updates = max(
+            1, math.ceil(constant * scale * scale * log_size / (alpha * alpha))
+        )
+        updates = derived_updates if max_updates is None else int(max_updates)
+        if updates < 1:
+            raise ValidationError(f"max_updates must be >= 1, got {max_updates}")
+
+        eta = math.sqrt(log_size / updates)
+        oracle_epsilon = epsilon / math.sqrt(8.0 * updates * math.log(4.0 / delta))
+        oracle_delta = delta / (4.0 * updates)
+        return cls(
+            alpha=alpha, beta=beta, epsilon=epsilon, delta=delta,
+            scale=scale, universe_size=universe_size, schedule=schedule,
+            max_updates=updates, eta=eta,
+            oracle_epsilon=oracle_epsilon, oracle_delta=oracle_delta,
+            oracle_alpha=alpha / 4.0,
+            oracle_beta=beta / (2.0 * updates),
+            sv_epsilon=epsilon / 2.0, sv_delta=delta / 2.0,
+            extras={"derived_max_updates": derived_updates},
+        )
+
+    # -- sample-size requirements -------------------------------------------
+
+    def sensitivity(self, n: int) -> float:
+        """The error-query sensitivity ``3S/n`` fed to sparse vector."""
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        return 3.0 * self.scale / n
+
+    def sparse_vector_sample_size(self, total_queries: int) -> float:
+        """Theorem 3.1's ``n`` requirement for the embedded sparse vector."""
+        return sparse_vector_sample_bound(
+            3.0 * self.scale, self.max_updates, total_queries,
+            self.alpha, self.sv_epsilon, self.sv_delta, self.beta / 2.0,
+        )
+
+    def claim_3_2_sample_size(self, total_queries: int,
+                              oracle_sample_size: float = 0.0) -> float:
+        """Claim 3.2: the ``n`` making events (1) and (2) hold w.h.p.
+
+        ``n >= max(n', 512 * sqrt(T log(4/delta)) * log(8k/beta) /
+        (eps alpha))`` — implemented by instantiating Theorem 3.1 at the
+        mechanism's halved budgets ``(eps/2, delta/2, beta/2)`` with the
+        error queries' ``3S`` sensitivity scale (the paper's printed
+        constant absorbs ``S``; we keep it explicit).
+        """
+        return max(float(oracle_sample_size),
+                   self.sparse_vector_sample_size(total_queries))
+
+    def theorem_3_8_sample_size(self, total_queries: int,
+                                oracle_sample_size: float = 0.0) -> float:
+        """Theorem 3.8's requirement: ``max(n', 4096 S^2 sqrt(log|X| ...))``.
+
+        ``oracle_sample_size`` is the ``n'`` the chosen oracle needs at the
+        per-round budget.
+        """
+        if total_queries < 1:
+            raise ValidationError(
+                f"total_queries must be >= 1, got {total_queries}"
+            )
+        log_size = math.log(self.universe_size)
+        mechanism_term = (
+            4096.0 * self.scale * self.scale
+            * math.sqrt(log_size * math.log(4.0 / self.delta))
+            * math.log(8.0 * total_queries / self.beta)
+            / (self.epsilon * self.alpha * self.alpha)
+        )
+        return max(float(oracle_sample_size), mechanism_term)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the derived schedule."""
+        return (
+            f"PMWConfig[{self.schedule}]\n"
+            f"  targets: alpha={self.alpha:g} beta={self.beta:g} "
+            f"eps={self.epsilon:g} delta={self.delta:g}\n"
+            f"  family:  S={self.scale:g} |X|={self.universe_size}\n"
+            f"  derived: T={self.max_updates} eta={self.eta:.4g} "
+            f"eps0={self.oracle_epsilon:.4g} delta0={self.oracle_delta:.3g} "
+            f"alpha0={self.oracle_alpha:g} beta0={self.oracle_beta:.3g}\n"
+            f"  sparse vector: eps={self.sv_epsilon:g} delta={self.sv_delta:g}"
+        )

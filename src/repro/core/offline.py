@@ -1,0 +1,193 @@
+"""Offline private multiplicative weights for CM queries (Section 1.2).
+
+The paper presents its algorithm in the online model but notes the offline
+variant — all ``k`` losses known in advance, in the style of
+[GHRU11, GRU12, HLM12] — "contains the main novel ideas": each round
+privately selects the loss on which the hypothesis errs most using the
+**exponential mechanism** [MT07] (instead of sparse vector), obtains a
+private minimizer from the oracle, and applies the same dual-certificate
+update. :class:`OfflineMWConvex` implements that variant:
+
+Round ``t = 1..T``:
+
+1. score every loss: ``s_j = err_{l_j}(D, Dhat_t)`` (Definition 2.3, each
+   ``3S/n``-sensitive);
+2. pick ``j* ~ ExpMech(s, 3S/n, eps_select)``;
+3. ``theta_t <- A'(D, l_{j*})`` at ``(eps_o, delta_o)``;
+4. MW-update ``Dhat`` with the Claim 3.5 certificate.
+
+After ``T`` rounds every query is answered as ``argmin_theta
+l_j(theta; Dhat_T)`` — pure post-processing. Budget: half to the ``T``
+selections (pure DP, advanced composition), half to the ``T`` oracle calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.update import dual_certificate, mw_step
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.composition import per_round_budget
+from repro.dp.mechanisms import exponential_mechanism
+from repro.erm.oracle import SingleQueryOracle
+from repro.exceptions import ValidationError
+from repro.optimize.minimize import minimize_loss
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_positive, check_unit_interval
+
+
+@dataclass(frozen=True)
+class OfflineResult:
+    """Outcome of one offline run."""
+
+    hypothesis: Histogram
+    thetas: list                   # per-loss answers from the hypothesis
+    selected: list[int] = field(default_factory=list)
+    history: list[dict] = field(default_factory=list)
+
+
+class OfflineMWConvex:
+    """Offline PMW for CM queries (exponential-mechanism selection).
+
+    Parameters
+    ----------
+    dataset:
+        The private dataset ``D``.
+    losses:
+        The full (public) query workload ``L``.
+    oracle:
+        Single-query DP-ERM oracle ``A'`` (re-budgeted per round).
+    scale:
+        The family scale ``S`` (used for selection sensitivity ``3S/n``
+        and the MW normalization). Must dominate every loss's
+        ``scale_bound()``.
+    rounds:
+        Number of select/solve/update rounds ``T``.
+    epsilon, delta:
+        Total privacy budget, split half/half between selections and
+        oracle calls, each side spread over ``T`` rounds by advanced
+        composition.
+    eta:
+        MW step size; defaults to ``sqrt(log|X| / T)`` (Figure 3's form).
+    """
+
+    def __init__(self, dataset: Dataset, losses, oracle: SingleQueryOracle, *,
+                 scale: float, rounds: int, epsilon: float = 1.0,
+                 delta: float = 1e-6, eta: float | None = None,
+                 solver_steps: int = 300, rng=None) -> None:
+        self._dataset = dataset
+        self._losses = list(losses)
+        if not self._losses:
+            raise ValidationError("losses must be non-empty")
+        if rounds < 1:
+            raise ValidationError(f"rounds must be >= 1, got {rounds}")
+        self.scale = check_positive(scale, "scale")
+        for loss in self._losses:
+            try:
+                bound = loss.scale_bound()
+            except Exception:
+                continue
+            if bound > self.scale * (1.0 + 1e-6):
+                raise ValidationError(
+                    f"{loss.name}: scale bound {bound:.6g} exceeds the "
+                    f"family scale S={self.scale:.6g}"
+                )
+        self.rounds = int(rounds)
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.delta = check_unit_interval(delta, "delta")
+        self.solver_steps = int(solver_steps)
+        log_size = np.log(dataset.universe.size)
+        self.eta = float(eta) if eta is not None else float(
+            np.sqrt(log_size / self.rounds)
+        )
+
+        select_budget = per_round_budget(self.epsilon / 2.0, self.delta / 2.0,
+                                         self.rounds)
+        oracle_budget = per_round_budget(self.epsilon / 2.0, self.delta / 2.0,
+                                         self.rounds)
+        self._select_epsilon = select_budget.epsilon
+        self._oracle = oracle.with_budget(oracle_budget.epsilon,
+                                          max(oracle_budget.delta, 1e-15))
+        self._oracle_epsilon = oracle_budget.epsilon
+        self._oracle_delta = oracle_budget.delta
+        self._select_rng, self._oracle_rng = spawn_generators(rng, 2)
+        self.accountant = PrivacyAccountant()
+
+    def run(self) -> OfflineResult:
+        """Execute the T rounds and answer every query from the hypothesis."""
+        data = self._dataset.histogram()
+        sensitivity = 3.0 * self.scale / self._dataset.n
+        hypothesis = Histogram.uniform(self._dataset.universe)
+
+        # min_theta l_j(theta; D) is round-independent: compute once.
+        data_optima = [
+            minimize_loss(loss, data, steps=self.solver_steps).value
+            for loss in self._losses
+        ]
+
+        selected: list[int] = []
+        history: list[dict] = []
+        for round_index in range(self.rounds):
+            # Score every loss on the current hypothesis (Definition 2.3).
+            hypothesis_thetas = [
+                minimize_loss(loss, hypothesis, steps=self.solver_steps).theta
+                for loss in self._losses
+            ]
+            scores = np.array([
+                max(0.0, float(loss.loss_on(theta, data)) - optimum)
+                for loss, theta, optimum in zip(self._losses,
+                                                hypothesis_thetas,
+                                                data_optima)
+            ])
+            choice = exponential_mechanism(scores, sensitivity,
+                                           self._select_epsilon,
+                                           rng=self._select_rng)
+            self.accountant.spend(self._select_epsilon, 0.0,
+                                  label=f"select:{round_index}")
+
+            loss = self._losses[choice]
+            theta_oracle = self._oracle.answer(loss, self._dataset,
+                                               rng=self._oracle_rng)
+            theta_oracle = loss.domain.project(
+                np.asarray(theta_oracle, dtype=float)
+            )
+            self.accountant.spend(self._oracle_epsilon,
+                                  max(self._oracle_delta, 1e-300),
+                                  label=f"oracle:{loss.name}")
+
+            certificate = dual_certificate(
+                loss, hypothesis, theta_oracle,
+                theta_hat=hypothesis_thetas[choice],
+                solver_steps=self.solver_steps,
+            )
+            hypothesis = mw_step(hypothesis, certificate, self.eta,
+                                 self.scale)
+            selected.append(choice)
+            history.append({
+                "round": round_index,
+                "selected": choice,
+                "loss": loss.name,
+                "selected_score": float(scores[choice]),
+                "max_score": float(scores.max()),
+            })
+
+        thetas = [
+            minimize_loss(loss, hypothesis, steps=self.solver_steps).theta
+            for loss in self._losses
+        ]
+        return OfflineResult(hypothesis=hypothesis, thetas=thetas,
+                             selected=selected, history=history)
+
+    def max_error(self, result: OfflineResult) -> float:
+        """Worst excess risk of a run's answers on the true data."""
+        data = self._dataset.histogram()
+        worst = 0.0
+        for loss, theta, in zip(self._losses, result.thetas):
+            optimum = minimize_loss(loss, data, steps=self.solver_steps).value
+            worst = max(worst, max(0.0, float(loss.loss_on(theta, data))
+                                   - optimum))
+        return worst

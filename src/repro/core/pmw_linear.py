@@ -1,0 +1,170 @@
+"""Private multiplicative weights for linear queries (Hardt–Rothblum [HR10]).
+
+The special case the paper extends, kept as a first-class baseline: it
+answers Table 1's first row and gives the reference implementation the
+CM mechanism's structure mirrors. Round structure (online variant):
+
+1. ``q_j(D) = |<q_j, D> - <q_j, Dhat>|`` goes to the sparse vector
+   (sensitivity ``1/n``).
+2. On ``bottom``: answer ``<q_j, Dhat>`` from the public hypothesis.
+3. On ``top``: release a Laplace-noised true answer, and update ``Dhat``
+   multiplicatively toward it (increase weight where ``q_j`` under- or
+   over-counts, by the sign of the discrepancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import PMWConfig
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.composition import per_round_budget
+from repro.dp.sparse_vector import SparseVector
+from repro.exceptions import MechanismHalted, ValidationError
+from repro.losses.linear import LinearQuery
+from repro.utils.rng import spawn_generators
+
+
+@dataclass(frozen=True)
+class LinearAnswer:
+    """One answered linear query."""
+
+    value: float
+    from_update: bool
+    query_index: int
+    update_index: int | None = None
+
+
+class PrivateMWLinear:
+    """Online PMW for linear queries, parameterized like the CM mechanism.
+
+    Parameters mirror :class:`repro.core.pmw_cm.PrivateMWConvex` with
+    ``scale = 1`` (query tables live in ``[0, 1]``, so the MW directions
+    are already normalized).
+    """
+
+    def __init__(self, dataset: Dataset, *, alpha: float, beta: float = 0.05,
+                 epsilon: float = 1.0, delta: float = 1e-6,
+                 schedule: str = "calibrated", max_updates: int | None = None,
+                 noise_multiplier: float = 1.0, rng=None) -> None:
+        self._dataset = dataset
+        self._data_histogram = dataset.histogram()
+        self.config = PMWConfig.from_targets(
+            alpha=alpha, beta=beta, epsilon=epsilon, delta=delta,
+            scale=1.0, universe_size=dataset.universe.size,
+            schedule=schedule, max_updates=max_updates,
+        )
+        sv_rng, laplace_rng = spawn_generators(rng, 2)
+        self._laplace_rng = laplace_rng
+        self.accountant = PrivacyAccountant()
+        self._sparse_vector = SparseVector(
+            alpha=self.config.alpha,
+            sensitivity=1.0 / dataset.n,
+            epsilon=self.config.sv_epsilon,
+            delta=self.config.sv_delta,
+            max_above=self.config.max_updates,
+            rng=sv_rng,
+            noise_multiplier=noise_multiplier,
+            accountant=self.accountant,
+        )
+        # Per-update Laplace measurement budget: eps/2 split across T
+        # measurements by advanced composition.
+        measurement = per_round_budget(self.config.sv_epsilon,
+                                       self.config.sv_delta,
+                                       self.config.max_updates)
+        self._measurement_epsilon = measurement.epsilon
+        self._hypothesis = Histogram.uniform(dataset.universe)
+        self._updates = 0
+        self._queries = 0
+
+    # -- public state ---------------------------------------------------------
+
+    @property
+    def hypothesis(self) -> Histogram:
+        """The current public hypothesis."""
+        return self._hypothesis
+
+    @property
+    def updates_performed(self) -> int:
+        """Number of update (``top``) rounds so far."""
+        return self._updates
+
+    @property
+    def queries_answered(self) -> int:
+        """Number of queries answered so far."""
+        return self._queries
+
+    @property
+    def halted(self) -> bool:
+        """Whether the update budget is exhausted."""
+        return self._sparse_vector.halted
+
+    # -- answering ---------------------------------------------------------------
+
+    def answer(self, query: LinearQuery) -> LinearAnswer:
+        """Answer one linear query."""
+        if self.halted:
+            raise MechanismHalted(
+                f"PMW-linear exhausted its update budget "
+                f"T={self.config.max_updates}"
+            )
+        if query.table.size != self._dataset.universe.size:
+            raise ValidationError(
+                f"query over {query.table.size} elements does not match the "
+                f"universe size {self._dataset.universe.size}"
+            )
+        index = self._queries
+        self._queries += 1
+
+        hypothesis_answer = self._hypothesis.dot(query.table)
+        true_answer = self._data_histogram.dot(query.table)
+        discrepancy = abs(true_answer - hypothesis_answer)
+        sv_answer = self._sparse_vector.process(discrepancy)
+
+        if not sv_answer.above:
+            return LinearAnswer(value=hypothesis_answer, from_update=False,
+                                query_index=index)
+
+        noisy_answer = true_answer + float(self._laplace_rng.laplace(
+            0.0, 1.0 / (self._dataset.n * self._measurement_epsilon)
+        ))
+        self.accountant.spend(self._measurement_epsilon, 0.0,
+                              label=f"measure:{query.name}")
+        noisy_answer = float(np.clip(noisy_answer, 0.0, 1.0))
+
+        # MW update: if the hypothesis under-counts (noisy > hypothesis),
+        # raise weight where q(x) is large; if it over-counts, lower it.
+        sign = 1.0 if noisy_answer > hypothesis_answer else -1.0
+        self._hypothesis = self._hypothesis.multiplicative_update(
+            sign * query.table, self.config.eta
+        )
+        update_index = self._updates
+        self._updates += 1
+        return LinearAnswer(value=noisy_answer, from_update=True,
+                            query_index=index, update_index=update_index)
+
+    def answer_all(self, queries, *, on_halt: str = "raise") -> list[LinearAnswer]:
+        """Answer a sequence of linear queries (see PMW-CM's ``answer_all``)."""
+        if on_halt not in ("raise", "hypothesis"):
+            raise ValidationError(
+                f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
+            )
+        answers = []
+        for query in queries:
+            if self.halted:
+                if on_halt == "raise":
+                    raise MechanismHalted(
+                        "update budget exhausted before the stream ended"
+                    )
+                self._queries += 1
+                answers.append(LinearAnswer(
+                    value=self._hypothesis.dot(query.table),
+                    from_update=False, query_index=self._queries - 1,
+                ))
+                continue
+            answers.append(self.answer(query))
+        return answers

@@ -1,0 +1,156 @@
+"""Builders for standard finite universes.
+
+The paper's running examples (Section 4.3) use ``X = {0,1}^d`` or
+equivalently ``X = {±1/sqrt(d)}^d``; its discretization remark (Section 1.1)
+rounds continuous domains like the unit ball onto finite nets of size
+``(d/alpha)^O(d)``. These builders construct those universes, plus labeled
+variants for supervised losses.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.universe import Universe
+from repro.exceptions import UniverseError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+_MAX_ENUMERATED = 2_000_000
+
+
+def binary_cube(d: int, name: str | None = None) -> Universe:
+    """The hypercube ``{0, 1}^d`` (size ``2^d``).
+
+    This is the canonical universe of the paper's complexity discussion
+    (Section 4.3). Raises if ``2^d`` would be unreasonably large to
+    enumerate in memory.
+    """
+    _check_cube_size(d)
+    points = np.array(list(itertools.product((0.0, 1.0), repeat=d)))
+    return Universe(points, name=name or f"binary_cube(d={d})")
+
+
+def signed_cube(d: int, name: str | None = None) -> Universe:
+    """The normalized signed cube ``{±1/sqrt(d)}^d`` (size ``2^d``).
+
+    Every point has unit L2 norm, so 1-Lipschitz GLM losses over the unit
+    parameter ball automatically satisfy the paper's scaling condition with
+    ``S <= 2``.
+    """
+    _check_cube_size(d)
+    scale = 1.0 / np.sqrt(d)
+    points = np.array(list(itertools.product((-scale, scale), repeat=d)))
+    return Universe(points, name=name or f"signed_cube(d={d})")
+
+
+def interval_grid(size: int, low: float = -1.0, high: float = 1.0,
+                  name: str | None = None) -> Universe:
+    """An evenly spaced 1-D grid of ``size`` points on ``[low, high]``."""
+    if size < 1:
+        raise UniverseError(f"size must be >= 1, got {size}")
+    if not high > low:
+        raise UniverseError(f"need high > low, got [{low}, {high}]")
+    points = np.linspace(low, high, size)[:, None]
+    return Universe(points, name=name or f"interval_grid({size})")
+
+
+def random_ball_net(d: int, size: int, radius: float = 1.0, rng=None,
+                    name: str | None = None) -> Universe:
+    """A random net of ``size`` points in the L2 ball of ``radius`` in R^d.
+
+    This is the practical stand-in for the paper's ``(d/alpha)^O(d)``
+    deterministic discretization of the unit ball (Section 1.1): points are
+    drawn uniformly from the ball so continuous data can be rounded onto the
+    net with small error while keeping ``|X|`` laptop-sized.
+    """
+    if size < 1:
+        raise UniverseError(f"size must be >= 1, got {size}")
+    if d < 1:
+        raise UniverseError(f"d must be >= 1, got {d}")
+    radius = check_positive(radius, "radius")
+    generator = as_generator(rng)
+    directions = generator.standard_normal((size, d))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    # Uniform in the ball: radius ~ U^{1/d} scaling of a uniform direction.
+    radii = radius * generator.random(size) ** (1.0 / d)
+    points = directions / norms * radii[:, None]
+    return Universe(points, name=name or f"ball_net(d={d}, size={size})")
+
+
+def ball_grid(d: int, resolution: int, radius: float = 1.0,
+              name: str | None = None) -> Universe:
+    """The deterministic grid discretization of the L2 ball (Section 1.1).
+
+    Enumerates the axis-aligned grid with ``resolution`` points per axis on
+    ``[-radius, radius]^d`` and keeps the points inside the ball. This is
+    the paper's ``(d/alpha)^O(d)``-size net made concrete: spacing
+    ``2*radius/(resolution-1)`` gives covering radius
+    ``sqrt(d)*radius/(resolution-1)``, so choosing ``resolution ~
+    sqrt(d)/alpha`` bounds the rounding error of 1-Lipschitz losses by
+    ``~alpha``. Exponential in ``d`` — use :func:`random_ball_net` beyond
+    small dimensions.
+    """
+    if d < 1:
+        raise UniverseError(f"d must be >= 1, got {d}")
+    if resolution < 2:
+        raise UniverseError(f"resolution must be >= 2, got {resolution}")
+    radius = check_positive(radius, "radius")
+    if resolution**d > _MAX_ENUMERATED * 4:
+        raise UniverseError(
+            f"{resolution}^{d} grid points exceed the enumeration cap; "
+            f"use random_ball_net for large d"
+        )
+    axis = np.linspace(-radius, radius, resolution)
+    mesh = np.meshgrid(*([axis] * d), indexing="ij")
+    points = np.stack([m.ravel() for m in mesh], axis=1)
+    inside = np.linalg.norm(points, axis=1) <= radius + 1e-12
+    points = points[inside]
+    if points.shape[0] == 0:  # tiny resolutions may miss the ball interior
+        points = np.zeros((1, d))
+    if points.shape[0] > _MAX_ENUMERATED:
+        raise UniverseError(
+            f"ball grid has {points.shape[0]} points "
+            f"(> {_MAX_ENUMERATED}); lower the resolution"
+        )
+    return Universe(points, name=name or f"ball_grid(d={d}, res={resolution})")
+
+
+def labeled_universe(base: Universe, label_values, name: str | None = None) -> Universe:
+    """Cross a feature universe with a finite set of label values.
+
+    Each element of the result is one ``(x, y)`` pair, so the universe size
+    is ``base.size * len(label_values)``. This is how supervised examples
+    ``(x_i, y_i) ∈ R^d × R`` (the paper's linear-regression example,
+    Section 1) fit the single-universe model.
+    """
+    label_values = np.asarray(list(label_values), dtype=float)
+    if label_values.ndim != 1 or label_values.size == 0:
+        raise UniverseError("label_values must be a non-empty 1-D collection")
+    total = base.size * label_values.size
+    if total > _MAX_ENUMERATED:
+        raise UniverseError(
+            f"labeled universe would have {total} elements "
+            f"(> {_MAX_ENUMERATED}); use a smaller base or label set"
+        )
+    points = np.repeat(base.points, label_values.size, axis=0)
+    labels = np.tile(label_values, base.size)
+    return Universe(
+        points, labels=labels,
+        name=name or f"{base.name}×labels({label_values.size})",
+    )
+
+
+def _check_cube_size(d: int) -> None:
+    if d < 1:
+        raise UniverseError(f"d must be >= 1, got {d}")
+    if 2**d > _MAX_ENUMERATED:
+        raise UniverseError(
+            f"2^{d} universe points exceed the enumeration cap "
+            f"({_MAX_ENUMERATED}); the paper's |X| dependence is inherent "
+            f"(Section 4.3) — use random_ball_net for large d"
+        )

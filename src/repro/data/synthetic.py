@@ -1,0 +1,129 @@
+"""Synthetic workload generators.
+
+The paper motivates CM queries with linear regression, logistic regression,
+and SVMs on a sensitive dataset (Section 1). These generators build such
+datasets *inside* a finite labeled universe: features are planted from a
+ground-truth parameter ``theta*`` with noise, then snapped to universe
+elements, so mechanisms see exactly the finite-universe model the paper
+analyzes while workloads retain realistic signal structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.builders import labeled_universe, random_ball_net
+from repro.data.dataset import Dataset
+from repro.data.discretize import discretize_points
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class SyntheticTask:
+    """A generated dataset plus its planted ground truth."""
+
+    dataset: Dataset
+    theta_star: np.ndarray
+    universe: Universe
+
+
+def sample_dataset(universe: Universe, n: int, weights: np.ndarray | None = None,
+                   rng=None) -> Dataset:
+    """Draw ``n`` rows iid from a distribution over the universe.
+
+    With ``weights=None`` the distribution is uniform. This is the basic
+    population model used by the adaptive-generalization experiments
+    (Section 1.3): the dataset is an iid sample from a known population
+    histogram.
+    """
+    generator = as_generator(rng)
+    if weights is None:
+        indices = generator.integers(0, universe.size, size=n)
+    else:
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (universe.size,):
+            raise ValidationError(
+                f"weights must have shape ({universe.size},), got {weights.shape}"
+            )
+        weights = weights / weights.sum()
+        indices = generator.choice(universe.size, size=n, p=weights)
+    return Dataset(universe, indices)
+
+
+def make_regression_dataset(n: int, d: int, universe_size: int = 512,
+                            label_levels: int = 9, noise: float = 0.1,
+                            rng=None) -> SyntheticTask:
+    """Linear-regression data ``y ≈ <theta*, x>`` on a labeled ball-net universe.
+
+    Features are drawn from the unit ball, labels are ``<theta*, x>`` plus
+    Gaussian noise clipped to ``[-1, 1]``, and both are snapped onto a
+    labeled universe of ``universe_size * label_levels`` elements. The
+    returned ``theta_star`` has unit norm.
+    """
+    generator = as_generator(rng)
+    feature_universe = random_ball_net(d, universe_size, rng=generator)
+    labels = np.linspace(-1.0, 1.0, label_levels)
+    universe = labeled_universe(feature_universe, labels)
+
+    theta_star = _unit_vector(d, generator)
+    raw_x = _ball_points(n, d, generator)
+    raw_y = raw_x @ theta_star + noise * generator.standard_normal(n)
+    raw_y = np.clip(raw_y, -1.0, 1.0)
+    dataset = discretize_points(universe, raw_x, raw_y)
+    return SyntheticTask(dataset=dataset, theta_star=theta_star, universe=universe)
+
+
+def make_classification_dataset(n: int, d: int, universe_size: int = 512,
+                                margin: float = 0.2, flip_probability: float = 0.05,
+                                rng=None) -> SyntheticTask:
+    """Binary classification data ``y = sign(<theta*, x>)`` with label noise.
+
+    Labels live in ``{-1, +1}``; points within ``margin`` of the separating
+    hyperplane are resampled, and each label flips independently with
+    ``flip_probability``. Suited to logistic/hinge loss workloads.
+    """
+    if not 0.0 <= flip_probability < 0.5:
+        raise ValidationError(
+            f"flip_probability must lie in [0, 0.5), got {flip_probability}"
+        )
+    generator = as_generator(rng)
+    feature_universe = random_ball_net(d, universe_size, rng=generator)
+    universe = labeled_universe(feature_universe, (-1.0, 1.0))
+
+    theta_star = _unit_vector(d, generator)
+    raw_x = _ball_points(n, d, generator)
+    scores = raw_x @ theta_star
+    # Resample points that fall inside the margin band (up to a few passes).
+    for _ in range(50):
+        inside = np.abs(scores) < margin
+        if not np.any(inside):
+            break
+        raw_x[inside] = _ball_points(int(inside.sum()), d, generator)
+        scores[inside] = raw_x[inside] @ theta_star
+    raw_y = np.sign(scores)
+    raw_y[raw_y == 0.0] = 1.0
+    flips = generator.random(n) < flip_probability
+    raw_y[flips] *= -1.0
+    dataset = discretize_points(universe, raw_x, raw_y)
+    return SyntheticTask(dataset=dataset, theta_star=theta_star, universe=universe)
+
+
+def _unit_vector(d: int, generator: np.random.Generator) -> np.ndarray:
+    vector = generator.standard_normal(d)
+    norm = np.linalg.norm(vector)
+    if norm == 0.0:  # pragma: no cover - probability zero
+        vector[0] = 1.0
+        norm = 1.0
+    return vector / norm
+
+
+def _ball_points(n: int, d: int, generator: np.random.Generator) -> np.ndarray:
+    directions = generator.standard_normal((n, d))
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    radii = generator.random(n) ** (1.0 / d)
+    return directions / norms * radii[:, None]

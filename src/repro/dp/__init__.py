@@ -1,0 +1,54 @@
+"""Differential-privacy substrate.
+
+Everything the paper's mechanism consumes as a privacy primitive lives here:
+
+- :mod:`repro.dp.mechanisms` — Laplace, Gaussian, exponential mechanism and
+  randomized response (Definition 2.1 building blocks).
+- :mod:`repro.dp.sparse_vector` — the online sparse-vector algorithm with
+  exactly the black-box contract of Theorem 3.1.
+- :mod:`repro.dp.composition` — basic and advanced (DRV10, Theorem 3.10)
+  composition calculators, including the paper's per-round budget split.
+- :mod:`repro.dp.accountant` — a privacy odometer that interactive
+  mechanisms use to enforce their declared ``(epsilon, delta)`` budget.
+"""
+
+from repro.dp.mechanisms import (
+    exponential_mechanism,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    randomized_response,
+)
+from repro.dp.sparse_vector import SparseVector, SparseVectorAnswer
+from repro.dp.composition import (
+    advanced_composition,
+    basic_composition,
+    per_round_budget,
+    sparse_vector_sample_bound,
+)
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.renyi import (
+    RenyiAccountant,
+    gaussian_rdp,
+    laplace_rdp,
+    rdp_to_dp,
+)
+
+__all__ = [
+    "laplace_mechanism",
+    "gaussian_mechanism",
+    "gaussian_sigma",
+    "exponential_mechanism",
+    "randomized_response",
+    "SparseVector",
+    "SparseVectorAnswer",
+    "basic_composition",
+    "advanced_composition",
+    "per_round_budget",
+    "sparse_vector_sample_bound",
+    "PrivacyAccountant",
+    "RenyiAccountant",
+    "gaussian_rdp",
+    "laplace_rdp",
+    "rdp_to_dp",
+]

@@ -1,0 +1,132 @@
+"""Privacy accountant (odometer).
+
+Interactive mechanisms in this library register every access to the private
+dataset with a :class:`PrivacyAccountant`. The accountant can report the
+running total under basic or advanced composition and — when constructed
+with a budget — refuses spends that would exceed it, raising
+:class:`repro.exceptions.PrivacyBudgetExhausted` instead of silently
+degrading the guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dp.composition import (
+    PrivacyParameters,
+    advanced_composition,
+    basic_composition,
+)
+from repro.exceptions import PrivacyBudgetExhausted
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """One recorded access to the private data."""
+
+    epsilon: float
+    delta: float
+    label: str = ""
+
+
+@dataclass
+class PrivacyAccountant:
+    """Tracks ``(epsilon, delta)`` spends against an optional budget.
+
+    Parameters
+    ----------
+    epsilon_budget, delta_budget:
+        Optional hard budget. When set, :meth:`spend` raises
+        :class:`PrivacyBudgetExhausted` if the *basic-composition* running
+        total would exceed it. (Basic composition is the conservative
+        enforcement rule; :meth:`total_advanced` reports the tighter bound.)
+    """
+
+    epsilon_budget: float | None = None
+    delta_budget: float | None = None
+    spends: list[PrivacySpend] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.epsilon_budget is not None:
+            check_positive(self.epsilon_budget, "epsilon_budget")
+        if self.delta_budget is not None:
+            check_probability(self.delta_budget, "delta_budget")
+
+    # -- recording ---------------------------------------------------------
+
+    def spend(self, epsilon: float, delta: float = 0.0, label: str = "") -> None:
+        """Record one ``(epsilon, delta)``-DP access, enforcing the budget."""
+        check_positive(epsilon, "epsilon")
+        check_probability(delta, "delta")
+        new_epsilon = self.total_basic().epsilon + epsilon if self.spends else epsilon
+        new_delta = (self.total_basic().delta if self.spends else 0.0) + delta
+        if self.epsilon_budget is not None and new_epsilon > self.epsilon_budget * (1 + 1e-9):
+            raise PrivacyBudgetExhausted(
+                f"spending ({epsilon:g}, {delta:g}) for {label!r} would bring "
+                f"epsilon to {new_epsilon:g} > budget {self.epsilon_budget:g}",
+                epsilon_spent=new_epsilon, epsilon_budget=self.epsilon_budget,
+            )
+        if self.delta_budget is not None and new_delta > self.delta_budget * (1 + 1e-9):
+            raise PrivacyBudgetExhausted(
+                f"spending ({epsilon:g}, {delta:g}) for {label!r} would bring "
+                f"delta to {new_delta:g} > budget {self.delta_budget:g}",
+            )
+        self.spends.append(PrivacySpend(float(epsilon), float(delta), label))
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def num_spends(self) -> int:
+        """How many accesses have been recorded."""
+        return len(self.spends)
+
+    def total_basic(self) -> PrivacyParameters:
+        """Running total under basic composition (sum of eps, sum of delta)."""
+        if not self.spends:
+            return PrivacyParameters(epsilon=1e-300, delta=0.0)
+        epsilon = sum(s.epsilon for s in self.spends)
+        delta = min(1.0, sum(s.delta for s in self.spends))
+        return PrivacyParameters(epsilon, delta)
+
+    def total_advanced(self, delta_prime: float) -> PrivacyParameters:
+        """Running total under Theorem 3.10 for homogeneous spends.
+
+        Requires all spends to share one ``(eps0, delta0)``; heterogeneous
+        histories fall back to basic composition (still a valid bound).
+        """
+        if not self.spends:
+            return PrivacyParameters(epsilon=1e-300, delta=0.0)
+        eps_values = {round(s.epsilon, 15) for s in self.spends}
+        delta_values = {round(s.delta, 15) for s in self.spends}
+        if len(eps_values) == 1 and len(delta_values) == 1:
+            first = self.spends[0]
+            return advanced_composition(
+                first.epsilon, first.delta, len(self.spends), delta_prime
+            )
+        return self.total_basic()
+
+    def remaining_epsilon(self) -> float:
+        """Epsilon left under the budget (``inf`` if unbudgeted)."""
+        if self.epsilon_budget is None:
+            return float("inf")
+        spent = self.total_basic().epsilon if self.spends else 0.0
+        return max(0.0, self.epsilon_budget - spent)
+
+    def summary(self) -> str:
+        """Human-readable accounting summary."""
+        total = self.total_basic()
+        lines = [
+            f"PrivacyAccountant: {self.num_spends} spends, "
+            f"basic total (eps={total.epsilon:g}, delta={total.delta:g})"
+        ]
+        if self.epsilon_budget is not None:
+            lines.append(
+                f"  budget eps={self.epsilon_budget:g}, "
+                f"remaining eps={self.remaining_epsilon():g}"
+            )
+        return "\n".join(lines)
+
+
+# Helper mirroring basic_composition for symmetric import ergonomics.
+__all__ = ["PrivacyAccountant", "PrivacySpend", "basic_composition"]

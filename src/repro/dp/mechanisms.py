@@ -1,0 +1,97 @@
+"""Basic differentially private mechanisms.
+
+These are the noise primitives (Definition 2.1) the rest of the library is
+assembled from: Laplace and Gaussian output perturbation, the exponential
+mechanism of McSherry–Talwar [MT07] (used by classic PMW to select a bad
+query, and by our grid-based ERM oracle), and randomized response.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+def laplace_mechanism(value, sensitivity: float, epsilon: float, rng=None):
+    """Add Laplace noise calibrated to ``sensitivity / epsilon``.
+
+    Releases ``value + Lap(sensitivity / epsilon)`` per coordinate, which is
+    ``(epsilon, 0)``-DP when ``value`` has L1 sensitivity ``sensitivity``.
+    Scalar in, scalar out; array in, array out.
+    """
+    sensitivity = check_positive(sensitivity, "sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    generator = as_generator(rng)
+    value = np.asarray(value, dtype=float)
+    noise = generator.laplace(0.0, sensitivity / epsilon, size=value.shape)
+    noisy = value + noise
+    return float(noisy) if noisy.shape == () else noisy
+
+
+def gaussian_sigma(sensitivity: float, epsilon: float, delta: float) -> float:
+    """Noise scale for the classic Gaussian mechanism.
+
+    ``sigma = sqrt(2 ln(1.25/delta)) * sensitivity / epsilon`` gives
+    ``(epsilon, delta)``-DP for an L2-``sensitivity`` statistic when
+    ``epsilon <= 1`` (Dwork–Roth, Theorem A.1).
+    """
+    sensitivity = check_positive(sensitivity, "sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    delta = check_positive(delta, "delta")
+    return float(np.sqrt(2.0 * np.log(1.25 / delta)) * sensitivity / epsilon)
+
+
+def gaussian_mechanism(value, sensitivity: float, epsilon: float, delta: float,
+                       rng=None):
+    """Add Gaussian noise calibrated for ``(epsilon, delta)``-DP.
+
+    ``sensitivity`` is the L2 sensitivity of ``value``.
+    """
+    sigma = gaussian_sigma(sensitivity, epsilon, delta)
+    generator = as_generator(rng)
+    value = np.asarray(value, dtype=float)
+    noisy = value + generator.normal(0.0, sigma, size=value.shape)
+    return float(noisy) if noisy.shape == () else noisy
+
+
+def exponential_mechanism(scores, sensitivity: float, epsilon: float,
+                          rng=None) -> int:
+    """Select an index with probability proportional to ``exp(eps*s/(2*Δ))``.
+
+    Implements McSherry–Talwar [MT07]: given per-candidate utility
+    ``scores`` with sensitivity ``sensitivity``, returns an
+    ``(epsilon, 0)``-DP choice of candidate index, exponentially biased
+    toward high scores. Computed with a max-shift for numerical stability.
+    """
+    sensitivity = check_positive(sensitivity, "sensitivity")
+    epsilon = check_positive(epsilon, "epsilon")
+    scores = np.asarray(scores, dtype=float)
+    if scores.ndim != 1 or scores.size == 0:
+        raise ValueError(f"scores must be a non-empty 1-D array, got {scores.shape}")
+    logits = (epsilon / (2.0 * sensitivity)) * scores
+    logits -= logits.max()
+    weights = np.exp(logits)
+    probabilities = weights / weights.sum()
+    generator = as_generator(rng)
+    return int(generator.choice(scores.size, p=probabilities))
+
+
+def randomized_response(bit: int, epsilon: float, rng=None) -> int:
+    """Classic randomized response on one bit.
+
+    Returns the true bit with probability ``e^eps / (1 + e^eps)``, the flip
+    otherwise — ``(epsilon, 0)``-DP. Included as the simplest possible
+    local mechanism for the privacy test-suite's sanity baselines.
+    """
+    epsilon = check_positive(epsilon, "epsilon")
+    if bit not in (0, 1):
+        raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+    keep_probability = check_probability(
+        float(np.exp(epsilon) / (1.0 + np.exp(epsilon))), "keep_probability"
+    )
+    generator = as_generator(rng)
+    if generator.random() < keep_probability:
+        return bit
+    return 1 - bit

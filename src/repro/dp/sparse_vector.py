@@ -1,0 +1,187 @@
+"""The online sparse-vector algorithm (Theorem 3.1's black box).
+
+The paper consumes sparse vector as a black box ``SV(T, k, alpha, eps,
+delta)`` playing the threshold game of Figure 2: it receives a stream of
+low-sensitivity queries and answers each with ``top`` / ``bottom`` such that
+
+- queries with ``q(D) >= alpha`` are answered ``top``,
+- queries with ``q(D) <= alpha/2`` are answered ``bottom``,
+- it halts after ``T`` answers of ``top``,
+- the whole interaction is ``(eps, delta)``-DP,
+
+provided ``n`` satisfies the Theorem 3.1 bound. This module implements the
+standard construction (see [DR14], Algorithm "Sparse"): ``T`` sequential
+runs of AboveThreshold, each pure ``eps0``-DP with
+
+    threshold noise  rho ~ Lap(2*Delta/eps0)   (redrawn after each ``top``)
+    per-query noise  nu  ~ Lap(4*Delta/eps0)
+
+where ``Delta`` is the query sensitivity, and ``eps0`` chosen so the
+``T``-fold advanced composition (Theorem 3.10) totals ``(eps, delta)``.
+The noisy comparison is against the midpoint threshold ``3*alpha/4`` so the
+``alpha`` / ``alpha/2`` margin is symmetric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.composition import per_round_budget
+from repro.exceptions import MechanismHalted, ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SparseVectorAnswer:
+    """Answer to one threshold-game query.
+
+    Attributes
+    ----------
+    above:
+        ``True`` for ``top`` (query judged above threshold).
+    query_index:
+        0-based position of the query in the stream.
+    above_index:
+        If ``above``, the 0-based count of ``top`` answers so far
+        (the paper's update index ``t``); else ``None``.
+    """
+
+    above: bool
+    query_index: int
+    above_index: int | None = None
+
+
+class SparseVector:
+    """Online sparse vector over a stream of sensitive scalar queries.
+
+    Parameters
+    ----------
+    alpha:
+        The threshold-game accuracy target: ``q(D) >= alpha`` should yield
+        ``top`` and ``q(D) <= alpha/2`` should yield ``bottom``. The noisy
+        comparison uses the midpoint ``3*alpha/4``.
+    sensitivity:
+        Sensitivity ``Delta`` of every query (the paper uses ``3S/n``).
+    epsilon, delta:
+        Total privacy budget for the whole interaction.
+    max_above:
+        ``T``: the algorithm halts after this many ``top`` answers.
+    rng:
+        Seed or generator for the noise stream.
+    noise_multiplier:
+        Scales both Laplace noise magnitudes. ``1.0`` (default) is the
+        exact DP calibration; values below 1 *void the formal privacy
+        guarantee* and exist only for non-private ablation runs (they are
+        reported as such by :attr:`is_formally_private`).
+    accountant:
+        Optional :class:`PrivacyAccountant`; the construction registers a
+        single ``(epsilon, delta)`` spend covering the whole lifetime.
+    """
+
+    def __init__(self, alpha: float, sensitivity: float, epsilon: float,
+                 delta: float, max_above: int, rng=None,
+                 noise_multiplier: float = 1.0,
+                 accountant: PrivacyAccountant | None = None) -> None:
+        self.alpha = check_positive(alpha, "alpha")
+        self.sensitivity = check_positive(sensitivity, "sensitivity")
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.delta = check_positive(delta, "delta")
+        if max_above < 1:
+            raise ValidationError(f"max_above must be >= 1, got {max_above}")
+        self.max_above = int(max_above)
+        self.noise_multiplier = float(noise_multiplier)
+        if self.noise_multiplier < 0.0:
+            raise ValidationError("noise_multiplier must be non-negative")
+        self._rng = as_generator(rng)
+
+        # Each AboveThreshold run is pure eps0-DP; T runs compose to
+        # (eps, delta) by Theorem 3.10 via the paper's per-round split
+        # (delta0 = 0 for pure mechanisms, so the delta/2T slot is unused).
+        self.epsilon_per_run = per_round_budget(epsilon, delta, self.max_above).epsilon
+        base = self.sensitivity / self.epsilon_per_run
+        self._threshold_noise_scale = 2.0 * base * self.noise_multiplier
+        self._query_noise_scale = 4.0 * base * self.noise_multiplier
+        self.threshold = 0.75 * self.alpha
+
+        self._noisy_threshold = self._draw_threshold()
+        self._queries_asked = 0
+        self._above_count = 0
+        self._halted = False
+        if accountant is not None:
+            accountant.spend(self.epsilon, self.delta, label="sparse-vector")
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def queries_asked(self) -> int:
+        """Number of queries processed so far."""
+        return self._queries_asked
+
+    @property
+    def above_count(self) -> int:
+        """Number of ``top`` answers issued so far."""
+        return self._above_count
+
+    @property
+    def halted(self) -> bool:
+        """Whether the ``T``-th ``top`` has been issued (Theorem 3.1, prop 2)."""
+        return self._halted
+
+    @property
+    def is_formally_private(self) -> bool:
+        """``False`` when ``noise_multiplier < 1`` voided the DP calibration."""
+        return self.noise_multiplier >= 1.0
+
+    # -- interaction ---------------------------------------------------------
+
+    def process(self, query_value: float) -> SparseVectorAnswer:
+        """Answer one query of the threshold game.
+
+        ``query_value`` is ``q_j(D)``, computed by the caller; only the
+        *comparison* is privatized here, which is exactly the standard
+        AboveThreshold structure (the caller must not release
+        ``query_value`` directly).
+        """
+        if self._halted:
+            raise MechanismHalted(
+                f"sparse vector already issued {self.max_above} top answers"
+            )
+        query_value = float(query_value)
+        if not np.isfinite(query_value):
+            raise ValidationError("query value must be finite")
+        index = self._queries_asked
+        self._queries_asked += 1
+
+        noisy_query = query_value + self._laplace(self._query_noise_scale)
+        if noisy_query >= self._noisy_threshold:
+            above_index = self._above_count
+            self._above_count += 1
+            if self._above_count >= self.max_above:
+                self._halted = True
+            else:
+                # Fresh AboveThreshold run: redraw the threshold noise.
+                self._noisy_threshold = self._draw_threshold()
+            return SparseVectorAnswer(True, index, above_index)
+        return SparseVectorAnswer(False, index)
+
+    # -- internals ------------------------------------------------------------
+
+    def _draw_threshold(self) -> float:
+        return self.threshold + self._laplace(self._threshold_noise_scale)
+
+    def _laplace(self, scale: float) -> float:
+        if scale == 0.0:
+            return 0.0
+        return float(self._rng.laplace(0.0, scale))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparseVector(alpha={self.alpha:g}, eps={self.epsilon:g}, "
+            f"delta={self.delta:g}, T={self.max_above}, "
+            f"asked={self._queries_asked}, above={self._above_count}, "
+            f"halted={self._halted})"
+        )

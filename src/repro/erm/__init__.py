@@ -1,0 +1,44 @@
+"""Single-query differentially private ERM oracles.
+
+The paper's mechanism is parameterized by a black-box oracle ``A'`` that
+answers *one* CM query with ``(eps0, delta0)``-DP and ``(alpha0, beta0)``
+accuracy (Section 3.2). This package implements the oracles its Section 4
+applications invoke, plus reference/diagnostic ones:
+
+- :class:`NonPrivateOracle` — exact minimizer (``eps = inf`` ablation).
+- :class:`OutputPerturbationOracle` — perturb the exact minimizer
+  (Chaudhuri–Monteleoni–Sarwate style; needs strong convexity).
+- :class:`ObjectivePerturbationOracle` — minimize a randomly tilted
+  objective (Kifer–Smith–Thakurta style).
+- :class:`NoisyGradientDescentOracle` — full-batch noisy projected gradient
+  descent, our stand-in for BST14's noisy SGD (Theorems 4.1 / 4.5): same
+  per-step sensitivity argument, same advanced-composition accounting,
+  same ``~sqrt(d)/(n eps)`` excess-risk shape.
+- :class:`GLMProjectionOracle` — Johnson–Lindenstrauss projection to a
+  dimension-independent subspace plus noisy GD there, our stand-in for
+  JT14 (Theorem 4.3).
+- :class:`ExponentialMechanismOracle` — BLR-style sampling over a candidate
+  net, valid for any bounded-range loss.
+
+All oracles consume the *private* :class:`repro.data.Dataset` and expose
+``epsilon`` / ``delta``; :func:`evaluate_oracle` measures realized excess
+risk for the oracle-accuracy experiments (E9).
+"""
+
+from repro.erm.oracle import SingleQueryOracle, NonPrivateOracle, evaluate_oracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.erm.objective_perturbation import ObjectivePerturbationOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.exponential import ExponentialMechanismOracle
+
+__all__ = [
+    "SingleQueryOracle",
+    "NonPrivateOracle",
+    "evaluate_oracle",
+    "OutputPerturbationOracle",
+    "ObjectivePerturbationOracle",
+    "NoisyGradientDescentOracle",
+    "GLMProjectionOracle",
+    "ExponentialMechanismOracle",
+]

@@ -1,0 +1,104 @@
+"""The single-query oracle contract and the non-private reference oracle."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.losses.base import LossFunction
+from repro.optimize.minimize import minimize_loss
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+class SingleQueryOracle(ABC):
+    """An algorithm ``A'`` answering one CM query under ``(eps, delta)``-DP.
+
+    The contract is Section 3.2's: given the private dataset ``D`` and a
+    loss ``l``, return ``theta`` in the loss's domain such that
+    ``err_l(D, theta) <= alpha0`` with probability ``1 - beta0``, while the
+    whole call is ``(epsilon, delta)``-DP in ``D``.
+    """
+
+    def __init__(self, epsilon: float, delta: float) -> None:
+        self.epsilon = check_positive(epsilon, "epsilon")
+        self.delta = check_probability(delta, "delta")
+
+    @abstractmethod
+    def answer(self, loss: LossFunction, dataset: Dataset, rng=None) -> np.ndarray:
+        """Return a private approximate minimizer of ``l`` on ``dataset``."""
+
+    def with_budget(self, epsilon: float, delta: float) -> "SingleQueryOracle":
+        """A copy of this oracle recalibrated to a different budget.
+
+        PMW (Figure 3) re-budgets the supplied oracle to its per-round
+        ``(eps0, delta0)``; oracles support that by rebuilding themselves.
+        """
+        clone = self._clone()
+        clone.epsilon = check_positive(epsilon, "epsilon")
+        clone.delta = check_probability(delta, "delta")
+        return clone
+
+    def _clone(self) -> "SingleQueryOracle":
+        import copy
+
+        return copy.copy(self)
+
+
+class NonPrivateOracle(SingleQueryOracle):
+    """Exact (non-private) minimization — the ``eps -> inf`` ablation.
+
+    Declares an arbitrarily large ``epsilon`` so that budget arithmetic
+    still works; :attr:`is_private` is ``False`` and experiment reports
+    must flag results produced with it.
+    """
+
+    is_private = False
+
+    def __init__(self, solver_steps: int = 400) -> None:
+        super().__init__(epsilon=1e9, delta=0.0)
+        self.solver_steps = solver_steps
+
+    def answer(self, loss: LossFunction, dataset: Dataset, rng=None) -> np.ndarray:
+        result = minimize_loss(loss, dataset.histogram(), steps=self.solver_steps)
+        return result.theta
+
+
+@dataclass(frozen=True)
+class OracleEvaluation:
+    """Excess-risk statistics of an oracle over repeated trials."""
+
+    mean_excess_risk: float
+    max_excess_risk: float
+    std_excess_risk: float
+    trials: int
+
+
+def evaluate_oracle(oracle: SingleQueryOracle, loss: LossFunction,
+                    dataset: Dataset, trials: int = 10, rng=None,
+                    solver_steps: int = 400) -> OracleEvaluation:
+    """Measure realized excess empirical risk of ``oracle`` on one query.
+
+    Computes ``err_l(D, theta_hat) = l_D(theta_hat) - min_theta l_D(theta)``
+    (Definition 2.2) over ``trials`` independent oracle runs. Used by the
+    Theorem 4.1/4.3/4.5 oracle-accuracy experiments.
+    """
+    generator = as_generator(rng)
+    histogram = dataset.histogram()
+    optimum = minimize_loss(loss, histogram, steps=solver_steps).value
+    excesses = []
+    for _ in range(max(1, trials)):
+        theta = oracle.answer(loss, dataset, rng=generator)
+        excesses.append(float(loss.loss_on(theta, histogram)) - optimum)
+    excess_array = np.asarray(excesses)
+    # Solver slack can make tiny negative excesses; clamp at zero.
+    excess_array = np.clip(excess_array, 0.0, None)
+    return OracleEvaluation(
+        mean_excess_risk=float(excess_array.mean()),
+        max_excess_risk=float(excess_array.max()),
+        std_excess_risk=float(excess_array.std()),
+        trials=len(excesses),
+    )

@@ -1,0 +1,58 @@
+"""Output perturbation for strongly convex losses.
+
+Chaudhuri–Monteleoni–Sarwate [CMS11] style: compute the exact empirical
+minimizer and release it with Gaussian noise calibrated to its sensitivity.
+For an ``L``-Lipschitz, ``sigma``-strongly-convex loss the argmin has L2
+sensitivity at most ``2L / (sigma n)`` (changing one of ``n`` rows moves
+the average loss's gradient by ``<= 2L/n``, and strong convexity converts
+gradient perturbation to argmin perturbation at rate ``1/sigma``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.dp.mechanisms import gaussian_sigma
+from repro.erm.oracle import SingleQueryOracle
+from repro.exceptions import LossSpecificationError
+from repro.losses.base import LossFunction
+from repro.optimize.minimize import minimize_loss
+from repro.utils.rng import as_generator
+
+
+class OutputPerturbationOracle(SingleQueryOracle):
+    """Release ``argmin + N(0, sigma^2 I)``, projected back onto the domain.
+
+    Requires ``loss.strong_convexity > 0`` and a declared Lipschitz bound;
+    raises :class:`LossSpecificationError` otherwise, because without
+    strong convexity the argmin has unbounded sensitivity and the release
+    would not be differentially private.
+    """
+
+    def __init__(self, epsilon: float, delta: float,
+                 solver_steps: int = 400) -> None:
+        super().__init__(epsilon, delta)
+        self.solver_steps = solver_steps
+
+    def argmin_sensitivity(self, loss: LossFunction, n: int) -> float:
+        """The L2 sensitivity bound ``2L / (sigma n)``."""
+        if loss.strong_convexity <= 0.0:
+            raise LossSpecificationError(
+                f"output perturbation requires strong convexity; "
+                f"{loss.name} declares sigma=0"
+            )
+        if loss.lipschitz_bound is None:
+            raise LossSpecificationError(
+                f"output perturbation requires a Lipschitz bound; "
+                f"{loss.name} declares none"
+            )
+        return 2.0 * loss.lipschitz_bound / (loss.strong_convexity * n)
+
+    def answer(self, loss: LossFunction, dataset: Dataset, rng=None) -> np.ndarray:
+        generator = as_generator(rng)
+        sensitivity = self.argmin_sensitivity(loss, dataset.n)
+        result = minimize_loss(loss, dataset.histogram(), steps=self.solver_steps)
+        sigma = gaussian_sigma(sensitivity, self.epsilon, max(self.delta, 1e-12))
+        noisy = result.theta + generator.normal(0.0, sigma, size=result.theta.shape)
+        return loss.domain.project(noisy)

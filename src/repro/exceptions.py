@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class. Sub-classes mark the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class UniverseError(ReproError):
+    """A data universe is malformed or incompatible with an operation."""
+
+
+class PrivacyBudgetExhausted(ReproError):
+    """A mechanism was asked to spend more privacy budget than it holds.
+
+    Interactive mechanisms raise this instead of silently degrading their
+    differential-privacy guarantee.
+    """
+
+    def __init__(self, message: str, *, epsilon_spent: float = float("nan"),
+                 epsilon_budget: float = float("nan")) -> None:
+        super().__init__(message)
+        self.epsilon_spent = epsilon_spent
+        self.epsilon_budget = epsilon_budget
+
+
+class MechanismHalted(ReproError):
+    """An online mechanism has halted and cannot answer further queries.
+
+    The sparse-vector algorithm halts after ``T`` above-threshold answers
+    (Theorem 3.1, property 2); the PMW mechanism halts with it.
+    """
+
+
+class OptimizationError(ReproError):
+    """A convex-minimization subroutine failed to produce a solution."""
+
+
+class LossSpecificationError(ReproError):
+    """A loss function violates the contract it declared.
+
+    For example, a loss registered as 1-Lipschitz whose gradients exceed
+    norm 1 on the supplied universe.
+    """

@@ -1,0 +1,27 @@
+"""Experiment harness: runners, sweeps, and report formatting.
+
+Every benchmark in ``benchmarks/`` is a thin wrapper over an experiment
+function defined here, so experiments are importable, testable library code
+and the paper-vs-measured tables can be regenerated from Python directly:
+
+    >>> from repro.experiments import table1
+    >>> print(table1.run_lipschitz_row().format())  # doctest: +SKIP
+"""
+
+from repro.experiments.runner import TrialStats, run_trials
+from repro.experiments.sweep import SweepResult, sweep
+from repro.experiments.report import (
+    ExperimentReport,
+    fit_power_law,
+    format_table,
+)
+
+__all__ = [
+    "run_trials",
+    "TrialStats",
+    "sweep",
+    "SweepResult",
+    "format_table",
+    "fit_power_law",
+    "ExperimentReport",
+]

@@ -1,0 +1,101 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.experiments                # run everything
+    python -m repro.experiments e1 e5 e12      # run selected experiments
+    python -m repro.experiments --list         # show what exists
+    python -m repro.experiments --out results/ # also save reports
+
+Each experiment prints the same paper-vs-measured report the benchmark
+suite archives under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.crossover import run_crossover
+from repro.experiments.diagnostics import (
+    run_dual_certificate_check,
+    run_sensitivity_check,
+    run_update_count,
+    run_update_rule_ablation,
+)
+from repro.experiments.generalization import run_generalization
+from repro.experiments.offline_online import run_offline_online
+from repro.experiments.oracles import run_oracle_sweep
+from repro.experiments.runtime import run_runtime_profile
+from repro.experiments.table1 import (
+    run_linear_row,
+    run_lipschitz_row,
+    run_strongly_convex_row,
+    run_uglm_row,
+)
+
+EXPERIMENTS = {
+    "e1": ("Table 1 row: linear queries", run_linear_row),
+    "e2": ("Table 1 row: Lipschitz d-bounded", run_lipschitz_row),
+    "e3": ("Table 1 row: UGLM", run_uglm_row),
+    "e4": ("Table 1 row: strongly convex", run_strongly_convex_row),
+    "e5": ("composition-vs-PMW crossover", run_crossover),
+    "e6": ("update count vs Figure 3 budget", run_update_count),
+    "e7": ("Claim 3.5 dual certificate", run_dual_certificate_check),
+    "e8": ("sensitivity lemma 3S/n", run_sensitivity_check),
+    "e9": ("single-query oracle sweep", run_oracle_sweep),
+    "e10": ("adaptive generalization", run_generalization),
+    "e11": ("runtime vs |X|", run_runtime_profile),
+    "e12": ("update-rule ablation", run_update_rule_ablation),
+    "e13": ("offline vs online variant", run_offline_online),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation (Table 1 + theorem "
+                    "claims) as measured experiments.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory to save report text files into")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0)")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, (description, _) in EXPERIMENTS.items():
+            print(f"  {key:5s} {description}")
+        return 0
+
+    selected = args.experiments or list(EXPERIMENTS)
+    unknown = [key for key in selected if key not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; "
+                     f"known: {list(EXPERIMENTS)}")
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for key in selected:
+        description, runner = EXPERIMENTS[key]
+        print(f"[{key}] {description} ...", flush=True)
+        started = time.perf_counter()
+        report = runner(rng=args.seed)
+        elapsed = time.perf_counter() - started
+        text = report.render()
+        print(text)
+        print(f"[{key}] done in {elapsed:.1f}s\n", flush=True)
+        if args.out is not None:
+            (args.out / f"{key}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

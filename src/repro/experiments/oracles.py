@@ -1,0 +1,81 @@
+"""E9: single-query oracle accuracy sweeps (Theorems 4.1, 4.3, 4.5).
+
+Measures the excess empirical risk of each DP-ERM oracle as ``n`` grows and
+prints the fitted decay exponents next to the theorems' predictions.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.exponential import ExponentialMechanismOracle
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.objective_perturbation import ObjectivePerturbationOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.experiments.report import ExperimentReport, fit_power_law
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import single_query_excess
+from repro.losses.families import random_logistic_family, random_ridge_family
+from repro.utils.rng import as_generator
+
+
+def run_oracle_sweep(*, ns=(1_000, 4_000, 16_000, 64_000), d: int = 3,
+                     epsilon: float = 0.3, delta: float = 1e-6,
+                     trials: int = 3, rng=0) -> ExperimentReport:
+    """Excess risk vs n for every oracle in the library.
+
+    Lipschitz oracles (noisy GD, objective perturbation, GLM projection,
+    exponential mechanism) run a logistic query; the strongly-convex oracle
+    (output perturbation) runs a ridge query. Expected decay: roughly
+    ``n^-1`` for the gradient-based oracles (BST14's ``sqrt(d)/(n eps)``),
+    faster for output perturbation on strongly convex losses.
+    """
+    report = ExperimentReport("E9 single-query oracle accuracy vs n")
+    master = as_generator(rng)
+
+    oracle_builders = {
+        "noisy-GD (BST14)": lambda: NoisyGradientDescentOracle(
+            epsilon, delta, steps=40),
+        "objective-pert (KST12)": lambda: ObjectivePerturbationOracle(
+            epsilon, delta, solver_steps=200),
+        "GLM-projection (JT14)": lambda: GLMProjectionOracle(
+            epsilon, delta, projection_dim=3, steps=40),
+        "exp-mech net (BLR)": lambda: ExponentialMechanismOracle(
+            epsilon, candidates=256),
+        "output-pert (CMS11, ridge)": lambda: OutputPerturbationOracle(
+            epsilon, delta),
+    }
+
+    headers = ["oracle"] + [f"n={n}" for n in ns] + ["fitted slope"]
+    rows = []
+    for name, builder in oracle_builders.items():
+        strongly_convex = "ridge" in name
+        means = []
+        for n in ns:
+            def trial(generator, n=n, strongly_convex=strongly_convex,
+                      builder=builder):
+                task = make_classification_dataset(
+                    n=n, d=d, universe_size=120, rng=generator)
+                if strongly_convex:
+                    loss = random_ridge_family(task.universe, 1, lam=1.0,
+                                               rng=generator)[0]
+                else:
+                    loss = random_logistic_family(task.universe, 1,
+                                                  rng=generator)[0]
+                return single_query_excess(loss, task.dataset, builder(),
+                                           rng=generator)
+
+            stats = run_trials(trial, trials=trials,
+                               rng=int(master.integers(2**31)))
+            means.append(stats.mean)
+        slope, _ = fit_power_law(ns, means)
+        rows.append([name] + [f"{m:.4g}" for m in means] + [f"{slope:.2f}"])
+    report.add_table(headers, rows,
+                     title=f"d={d}, eps={epsilon}, logistic/ridge queries")
+    report.add(
+        "paper shapes: gradient-based oracles decay ~n^-1 until the "
+        "non-private optimization floor; the exponential-mechanism net "
+        "flattens at its resolution; output perturbation on 1-strongly-"
+        "convex losses decays ~n^-2 (squared noise)."
+    )
+    return report

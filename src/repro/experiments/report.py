@@ -1,0 +1,99 @@
+"""Report formatting: ascii tables and scaling-shape fits.
+
+The paper's evaluation is a table of asymptotic bounds, so the reproduction
+prints tables too: measured series next to the paper's predicted shapes,
+plus fitted power-law slopes for quantitative shape comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render an ascii table with column alignment.
+
+    Cells are stringified with ``format(cell, '.4g')`` for floats.
+    """
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fit_power_law(xs, ys) -> tuple[float, float]:
+    """Fit ``y ~ c * x^slope`` by least squares in log-log space.
+
+    Returns ``(slope, r_squared)``. Non-positive values are dropped
+    (power laws are only meaningful on the positive orthant).
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    keep = (xs > 0) & (ys > 0)
+    xs, ys = xs[keep], ys[keep]
+    if xs.size < 2:
+        return float("nan"), float("nan")
+    log_x, log_y = np.log(xs), np.log(ys)
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - log_y.mean()) ** 2)
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return float(slope), float(r_squared)
+
+
+@dataclass
+class ExperimentReport:
+    """A named report accumulating sections; benches print its ``render()``."""
+
+    name: str
+    sections: list[str] = field(default_factory=list)
+
+    def add(self, text: str) -> None:
+        """Append one section (a table or paragraph)."""
+        self.sections.append(text)
+
+    def add_table(self, headers: list[str], rows: list[list],
+                  title: str = "") -> None:
+        """Append a formatted table section."""
+        self.sections.append(format_table(headers, rows, title=title))
+
+    def add_shape_check(self, label: str, xs, ys, expected_slope: float,
+                        tolerance: float = 0.6) -> bool:
+        """Fit a slope, record it against the paper's expectation.
+
+        Returns whether ``|fitted - expected| <= tolerance`` — the loose
+        criterion appropriate for noisy small-scale scaling fits.
+        """
+        slope, r_squared = fit_power_law(xs, ys)
+        ok = bool(abs(slope - expected_slope) <= tolerance) if np.isfinite(slope) else False
+        self.sections.append(
+            f"shape[{label}]: fitted slope {slope:.3f} "
+            f"(R^2={r_squared:.3f}), paper predicts ~{expected_slope:.3f} "
+            f"-> {'OK' if ok else 'MISMATCH'}"
+        )
+        return ok
+
+    def render(self) -> str:
+        """The full report as text."""
+        bar = "=" * max(30, len(self.name) + 10)
+        body = "\n\n".join(self.sections)
+        return f"{bar}\n== {self.name}\n{bar}\n{body}\n"

@@ -1,0 +1,54 @@
+"""Trial averaging for stochastic experiments.
+
+Mechanisms are randomized, so every reported number is a mean over seeded
+independent trials with its spread. :func:`run_trials` owns the seeding
+discipline: trial ``i`` receives a child generator derived from the master
+seed, so adding trials never perturbs earlier ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.utils.rng import spawn_generators
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary statistics of a repeated scalar measurement."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    trials: int
+    values: tuple
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".4g"
+        return f"{self.mean:{spec}} ± {self.std:{spec}}"
+
+
+def run_trials(experiment: Callable[[np.random.Generator], float],
+               trials: int = 5, rng=0) -> TrialStats:
+    """Run ``experiment(generator)`` over independent seeded trials.
+
+    ``experiment`` must return a scalar measurement; the master ``rng``
+    seeds one child generator per trial.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    generators = spawn_generators(rng, trials)
+    values = [float(experiment(generator)) for generator in generators]
+    array = np.asarray(values)
+    return TrialStats(
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        trials=trials,
+        values=tuple(values),
+    )

@@ -1,0 +1,55 @@
+"""Parameter sweeps.
+
+A sweep maps a parameter grid through an experiment function and collects
+labeled records; the report module turns records into tables and fitted
+scaling exponents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.runner import TrialStats, run_trials
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The records of one parameter sweep."""
+
+    parameter: str
+    records: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """Extract one column across records."""
+        return [record[key] for record in self.records]
+
+    def series(self, value_key: str = "stats") -> tuple[list, list]:
+        """``(parameter values, measurement means)`` for shape fitting."""
+        xs = self.column(self.parameter)
+        ys = []
+        for record in self.records:
+            value = record[value_key]
+            ys.append(value.mean if isinstance(value, TrialStats) else float(value))
+        return xs, ys
+
+
+def sweep(parameter: str, values, experiment: Callable[..., float], *,
+          trials: int = 3, rng=0, extra: dict | None = None) -> SweepResult:
+    """Sweep ``parameter`` over ``values``; each point averaged over trials.
+
+    ``experiment(value, generator)`` returns a scalar. ``extra`` is merged
+    into every record (fixed workload parameters, for the report header).
+    """
+    records = []
+    for offset, value in enumerate(values):
+        stats = run_trials(
+            lambda generator, v=value: experiment(v, generator),
+            trials=trials,
+            rng=(rng + 7919 * offset if isinstance(rng, int) else rng),
+        )
+        record = {parameter: value, "stats": stats}
+        if extra:
+            record.update(extra)
+        records.append(record)
+    return SweepResult(parameter=parameter, records=records)

@@ -1,0 +1,350 @@
+"""Table 1 experiments (E1-E4): one driver per row of the paper's table.
+
+The paper's evaluation is Table 1 — sample-complexity bounds for four loss
+families, single-query vs k-query. Each driver here measures the empirical
+counterparts at laptop scale and checks the *shapes* the bounds predict:
+
+- E1 linear row: PMW answers k linear queries with error growing only
+  polylogarithmically in k, while per-query Laplace under composition
+  degrades like ``sqrt(k)``.
+- E2 Lipschitz row: the BST14-style oracle's single-query error grows like
+  ``sqrt(d)``; PMW-CM turns it into k-query answers whose error is flat in
+  ``k``; error decreases with ``n``.
+- E3 UGLM row: the JT14-style GLM oracle's error is flat in ``d`` where
+  the generic oracle's grows ``~sqrt(d)``.
+- E4 strongly convex row: with ``sigma``-strong convexity the oracle error
+  improves with ``sigma`` and decays faster in ``n``.
+
+All runs use genuinely private parameters (noise_multiplier = 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.core import theory
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_classification_dataset
+from repro.dp.composition import per_round_budget
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.experiments.report import ExperimentReport, fit_power_law
+from repro.experiments.runner import run_trials
+from repro.experiments.workloads import (
+    classification_workload,
+    pmw_max_error,
+    single_query_excess,
+)
+from repro.losses.families import (
+    random_halfspace_queries,
+    random_logistic_family,
+    random_ridge_family,
+    random_squared_family,
+)
+from repro.utils.rng import as_generator
+
+
+# ---------------------------------------------------------------------------
+# E1 — Table 1 row "Linear Queries"
+# ---------------------------------------------------------------------------
+
+def run_linear_row(*, n: int = 20_000, cube_dim: int = 6,
+                   ks=(16, 64, 256, 1024, 4096), alpha: float = 0.1,
+                   epsilon: float = 1.0, delta: float = 1e-6,
+                   max_updates: int = 24, trials: int = 3,
+                   rng=0) -> ExperimentReport:
+    """E1: max error of PMW vs per-query Laplace as k grows.
+
+    Paper prediction (row 1): PMW needs ``n ~ sqrt(log|X|) log k / alpha^2``
+    — error at fixed ``n`` grows ~``log k`` (power-law slope ~0), while the
+    composition baseline's error grows like ``sqrt(k)`` (slope ~0.5).
+    """
+    report = ExperimentReport("E1 Table1[linear]: PMW vs composition in k")
+    universe = signed_cube(cube_dim)
+    master = as_generator(rng)
+    skew = master.dirichlet(np.full(universe.size, 0.4))
+
+    rows = []
+    pmw_errors, laplace_errors = [], []
+    for k in ks:
+        def one_trial(generator, k=k):
+            dataset = Dataset(universe, generator.choice(
+                universe.size, size=n, p=skew))
+            queries = random_halfspace_queries(universe, k, rng=generator)
+            mechanism = PrivateMWLinear(
+                dataset, alpha=alpha, epsilon=epsilon, delta=delta,
+                schedule="calibrated", max_updates=max_updates, rng=generator,
+            )
+            answers = mechanism.answer_all(queries, on_halt="hypothesis")
+            data = dataset.histogram()
+            return max(
+                abs(q.answer(data) - a.value)
+                for q, a in zip(queries, answers)
+            )
+
+        def laplace_trial(generator, k=k):
+            dataset = Dataset(universe, generator.choice(
+                universe.size, size=n, p=skew))
+            queries = random_halfspace_queries(universe, k, rng=generator)
+            per_call = per_round_budget(epsilon, delta, k)
+            data = dataset.histogram()
+            return max(
+                abs(float(generator.laplace(
+                    0.0, 1.0 / (n * per_call.epsilon)
+                )))
+                for _ in queries
+            )
+
+        pmw_stats = run_trials(one_trial, trials=trials, rng=int(master.integers(2**31)))
+        lap_stats = run_trials(laplace_trial, trials=trials,
+                               rng=int(master.integers(2**31)))
+        pmw_errors.append(pmw_stats.mean)
+        laplace_errors.append(lap_stats.mean)
+        rows.append([k, f"{pmw_stats:.3g}", f"{lap_stats:.3g}",
+                     theory.k_query_n("linear", alpha=alpha, k=k,
+                                      universe_size=universe.size)])
+    report.add_table(
+        ["k", "PMW max err", "Laplace-composition max err", "paper n-shape"],
+        rows, title=f"linear queries on {universe.name}, n={n}, eps={epsilon}",
+    )
+    report.add_shape_check("pmw error vs k", ks, pmw_errors,
+                           expected_slope=theory.pmw_error_exponent(),
+                           tolerance=0.35)
+    report.add_shape_check("laplace error vs k", ks, laplace_errors,
+                           expected_slope=theory.composition_error_exponent(),
+                           tolerance=0.35)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E2 — Table 1 row "Lipschitz, d-Bounded"
+# ---------------------------------------------------------------------------
+
+def run_lipschitz_row(*, dims=(4, 8, 16, 32), ns=(4_000, 32_000, 256_000),
+                      d_fixed: int = 4, k: int = 30,
+                      alpha_grid=(0.4, 0.3, 0.22, 0.16, 0.12, 0.09, 0.06),
+                      epsilon: float = 1.0, delta: float = 1e-6,
+                      trials: int = 2, rng=0) -> ExperimentReport:
+    """E2: Lipschitz d-bounded losses (GLM families, noisy-GD oracle).
+
+    Measures (a) single-query oracle excess risk vs ``d`` at a tight
+    budget, on squared losses whose reference optimum is exact (paper:
+    n ~ sqrt(d)/alpha, so error at fixed n grows ~sqrt(d)); (b) the
+    smallest accuracy target ``alpha`` the k-query mechanism achieves as
+    ``n`` grows (Table 1 semantics: n needed for a given alpha; expect
+    achievable alpha to shrink with n).
+    """
+    report = ExperimentReport("E2 Table1[lipschitz]: sqrt(d) oracle, n-decay PMW")
+    master = as_generator(rng)
+
+    # (a) single-query oracle error vs d. A small epsilon makes the DP
+    # noise dominate the optimization floor; the squared loss's exact
+    # minimizer removes reference-solver error from the measurement.
+    oracle_rows, oracle_errors = [], []
+    for d in dims:
+        def trial(generator, d=d):
+            task = make_classification_dataset(n=20_000, d=d,
+                                               universe_size=150,
+                                               rng=generator)
+            loss = random_squared_family(task.universe, 1, rng=generator)[0]
+            oracle = NoisyGradientDescentOracle(epsilon=0.3, delta=delta,
+                                                steps=60)
+            return single_query_excess(loss, task.dataset, oracle,
+                                       rng=generator)
+
+        stats = run_trials(trial, trials=trials, rng=int(master.integers(2**31)))
+        oracle_errors.append(stats.mean)
+        oracle_rows.append([d, f"{stats:.3g}",
+                            theory.single_query_n("lipschitz", alpha=0.25,
+                                                  d=d)])
+    report.add_table(["d", "oracle excess risk", "paper n-shape (sqrt(d)/a)"],
+                     oracle_rows,
+                     title="single-query noisy-GD oracle (BST14 stand-in), "
+                           "eps=0.3")
+    report.add_shape_check("oracle error vs d", dims, oracle_errors,
+                           expected_slope=0.5, tolerance=0.5)
+
+    # (b) smallest achievable alpha vs n for the k-query mechanism.
+    pmw_rows, achieved = [], []
+    for n in ns:
+        def trial(generator, n=n):
+            workload = classification_workload(
+                n=n, d=d_fixed, k=k, family_builder=random_logistic_family,
+                universe_size=150, rng=generator,
+            )
+            oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=delta,
+                                                steps=40)
+            best = float(alpha_grid[0])
+            for alpha in alpha_grid:
+                error, _ = pmw_max_error(workload, oracle, alpha=alpha,
+                                         epsilon=epsilon, delta=delta,
+                                         max_updates=25, rng=generator)
+                if error <= alpha:
+                    best = alpha
+                else:
+                    break
+            return best
+
+        stats = run_trials(trial, trials=trials, rng=int(master.integers(2**31)))
+        achieved.append(stats.mean)
+        pmw_rows.append([n, f"{stats:.3g}"])
+    report.add_table(["n", "smallest achieved alpha"], pmw_rows,
+                     title=f"PMW-CM, k={k} logistic queries, d={d_fixed}")
+    slope, r2 = fit_power_law(ns, achieved)
+    report.add(
+        f"achievable alpha-vs-n slope: {slope:.3f} (R^2={r2:.3f}); "
+        f"Theorem 3.8's n ~ 1/alpha^2 predicts alpha ~ n^(-1/2) until the "
+        f"oracle/solver floor."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E3 — Table 1 row "UGLM"
+# ---------------------------------------------------------------------------
+
+def run_uglm_row(*, dims=(4, 8, 16, 32), n: int = 20_000,
+                 epsilon: float = 0.3, delta: float = 1e-6,
+                 trials: int = 2, rng=0) -> ExperimentReport:
+    """E3: the GLM oracle's dimension-independence (JT14, Theorem 4.3).
+
+    Paper prediction: the generic Lipschitz oracle needs ``n ~ sqrt(d)``
+    while the UGLM oracle's requirement is dimension-free — so at fixed
+    ``n`` the generic oracle's error grows with ``d`` and the GLM oracle's
+    stays flat.
+    """
+    report = ExperimentReport("E3 Table1[uglm]: dimension-independent GLM oracle")
+    master = as_generator(rng)
+    generic_errors, glm_errors, rows = [], [], []
+    for d in dims:
+        def generic_trial(generator, d=d):
+            task = make_classification_dataset(n=n, d=d, universe_size=150,
+                                               rng=generator)
+            loss = random_logistic_family(task.universe, 1, rng=generator)[0]
+            oracle = NoisyGradientDescentOracle(epsilon=epsilon, delta=delta,
+                                                steps=50)
+            return single_query_excess(loss, task.dataset, oracle,
+                                       rng=generator)
+
+        def glm_trial(generator, d=d):
+            task = make_classification_dataset(n=n, d=d, universe_size=150,
+                                               rng=generator)
+            loss = random_logistic_family(task.universe, 1, rng=generator)[0]
+            oracle = GLMProjectionOracle(epsilon=epsilon, delta=delta,
+                                         projection_dim=6, steps=50)
+            return single_query_excess(loss, task.dataset, oracle,
+                                       rng=generator)
+
+        generic = run_trials(generic_trial, trials=trials,
+                             rng=int(master.integers(2**31)))
+        glm = run_trials(glm_trial, trials=trials,
+                         rng=int(master.integers(2**31)))
+        generic_errors.append(generic.mean)
+        glm_errors.append(glm.mean)
+        rows.append([d, f"{generic:.3g}", f"{glm:.3g}"])
+    report.add_table(
+        ["d", "generic oracle excess", "GLM-projection oracle excess"],
+        rows, title=f"logistic single query, n={n}, eps={epsilon}",
+    )
+    generic_slope, _ = fit_power_law(dims, generic_errors)
+    glm_slope, _ = fit_power_law(dims, glm_errors)
+    report.add(
+        f"error-vs-d slopes: generic {generic_slope:.3f} (paper ~0.5), "
+        f"GLM {glm_slope:.3f} (paper ~0, dimension-independent)."
+    )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# E4 — Table 1 row "Strongly Convex"
+# ---------------------------------------------------------------------------
+
+def run_strongly_convex_row(*, sigmas=(0.25, 0.5, 1.0, 2.0),
+                            ns=(2_000, 8_000, 32_000), n_fixed: int = 20_000,
+                            d: int = 4, k: int = 30, alpha: float = 0.25,
+                            epsilon: float = 1.0, delta: float = 1e-6,
+                            trials: int = 2, rng=0) -> ExperimentReport:
+    """E4: sigma-strongly-convex losses (ridge family, output perturbation).
+
+    Paper prediction (Theorem 4.5): single-query error improves with
+    ``sigma`` and decays faster in ``n`` than the merely-Lipschitz case;
+    the k-query mechanism (Theorem 4.6) inherits the oracle improvement.
+    """
+    report = ExperimentReport("E4 Table1[strongly convex]: sigma and n scaling")
+    master = as_generator(rng)
+
+    # (a) oracle error vs sigma at fixed n.
+    sigma_rows, sigma_errors = [], []
+    for sigma in sigmas:
+        def trial(generator, sigma=sigma):
+            task = make_classification_dataset(n=n_fixed, d=d,
+                                               universe_size=150,
+                                               rng=generator)
+            loss = random_ridge_family(task.universe, 1, lam=sigma,
+                                       rng=generator)[0]
+            oracle = OutputPerturbationOracle(epsilon=0.3, delta=delta)
+            return single_query_excess(loss, task.dataset, oracle,
+                                       rng=generator)
+
+        stats = run_trials(trial, trials=trials, rng=int(master.integers(2**31)))
+        sigma_errors.append(stats.mean)
+        sigma_rows.append([sigma, f"{stats:.3g}",
+                           theory.single_query_n("strongly_convex",
+                                                 alpha=alpha, d=d,
+                                                 sigma=sigma)])
+    report.add_table(["sigma", "oracle excess risk", "paper n-shape"],
+                     sigma_rows,
+                     title=f"output perturbation, n={n_fixed}, d={d}")
+    sigma_slope, _ = fit_power_law(sigmas, sigma_errors)
+    report.add(
+        f"error-vs-sigma slope: {sigma_slope:.3f} (negative = improves "
+        f"with strong convexity; output perturbation predicts ~ -1)."
+    )
+
+    # (b) oracle error vs n.
+    n_rows, n_errors = [], []
+    for n in ns:
+        def trial(generator, n=n):
+            task = make_classification_dataset(n=n, d=d, universe_size=150,
+                                               rng=generator)
+            loss = random_ridge_family(task.universe, 1, lam=1.0,
+                                       rng=generator)[0]
+            oracle = OutputPerturbationOracle(epsilon=0.3, delta=delta)
+            return single_query_excess(loss, task.dataset, oracle,
+                                       rng=generator)
+
+        stats = run_trials(trial, trials=trials, rng=int(master.integers(2**31)))
+        n_errors.append(stats.mean)
+        n_rows.append([n, f"{stats:.3g}"])
+    report.add_table(["n", "oracle excess risk"], n_rows,
+                     title="output perturbation vs n (sigma=1)")
+    n_slope, _ = fit_power_law(ns, n_errors)
+    report.add(
+        f"error-vs-n slope: {n_slope:.3f} (output perturbation's excess "
+        f"risk ~ n^-2 from the squared noise; merely-Lipschitz row decays "
+        f"only ~ n^-1)."
+    )
+
+    # (c) k-query PMW with the strongly convex family.
+    def pmw_trial(generator):
+        workload = classification_workload(
+            n=n_fixed, d=d, k=k,
+            family_builder=lambda u, kk, rng: random_ridge_family(
+                u, kk, lam=1.0, rng=rng),
+            universe_size=150, rng=generator,
+        )
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=delta)
+        error, updates = pmw_max_error(workload, oracle, alpha=alpha,
+                                       epsilon=epsilon, delta=delta,
+                                       max_updates=25, rng=generator)
+        return error
+
+    stats = run_trials(pmw_trial, trials=trials, rng=int(master.integers(2**31)))
+    report.add(
+        f"PMW-CM over k={k} ridge queries (sigma=1, n={n_fixed}): max "
+        f"excess risk {stats:.4g} (target alpha={alpha})."
+    )
+    return report

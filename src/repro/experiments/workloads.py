@@ -1,0 +1,107 @@
+"""Shared workload builders for the Table 1 experiments.
+
+Each builder returns a dataset + query family sized for laptop-scale runs
+with *genuinely private* parameters: the sample size ``n`` is chosen large
+enough that the sparse-vector and oracle noise are small relative to the
+accuracy targets (cheap here, because all mechanism-side computation is
+histogram-based and independent of ``n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.synthetic import (
+    make_classification_dataset,
+    make_regression_dataset,
+)
+from repro.data.universe import Universe
+from repro.erm.oracle import SingleQueryOracle
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.accuracy import answer_error
+from repro.losses.base import LossFunction
+from repro.optimize.minimize import minimize_loss
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A dataset plus a loss family and the family's scale bound."""
+
+    dataset: Dataset
+    universe: Universe
+    losses: list
+    scale: float
+    description: str
+
+
+def classification_workload(n: int, d: int, k: int, family_builder, *,
+                            universe_size: int = 200, rng=0,
+                            description: str = "") -> Workload:
+    """Classification data + a ``family_builder(universe, k, rng)`` family."""
+    task = make_classification_dataset(n=n, d=d, universe_size=universe_size,
+                                       rng=rng)
+    losses = family_builder(task.universe, k, rng=rng)
+    scale = max(loss.scale_bound() for loss in losses)
+    return Workload(dataset=task.dataset, universe=task.universe,
+                    losses=losses, scale=scale,
+                    description=description or f"classification(n={n}, d={d})")
+
+
+def regression_workload(n: int, d: int, k: int, family_builder, *,
+                        universe_size: int = 200, rng=0,
+                        description: str = "") -> Workload:
+    """Regression data + a loss family."""
+    task = make_regression_dataset(n=n, d=d, universe_size=universe_size,
+                                   rng=rng)
+    losses = family_builder(task.universe, k, rng=rng)
+    scale = max(loss.scale_bound() for loss in losses)
+    return Workload(dataset=task.dataset, universe=task.universe,
+                    losses=losses, scale=scale,
+                    description=description or f"regression(n={n}, d={d})")
+
+
+def pmw_max_error(workload: Workload, oracle: SingleQueryOracle, *,
+                  alpha: float, epsilon: float = 1.0, delta: float = 1e-6,
+                  max_updates: int | None = 30, solver_steps: int = 200,
+                  rng=None) -> tuple[float, int]:
+    """Run PMW-CM over the whole workload; return (max excess risk, #updates).
+
+    Uses ``on_halt="hypothesis"`` so an exhausted update budget degrades
+    gracefully instead of aborting the measurement (the halt is reflected
+    in higher measured error, which is the honest outcome).
+    """
+    mechanism = PrivateMWConvex(
+        workload.dataset, oracle, scale=workload.scale, alpha=alpha,
+        epsilon=epsilon, delta=delta, schedule="calibrated",
+        max_updates=max_updates, solver_steps=solver_steps, rng=rng,
+    )
+    answers = mechanism.answer_all(workload.losses, on_halt="hypothesis")
+    data = workload.dataset.histogram()
+    worst = 0.0
+    for loss, answer in zip(workload.losses, answers):
+        worst = max(worst, answer_error(loss, data, answer.theta,
+                                        solver_steps=solver_steps))
+    return worst, mechanism.updates_performed
+
+
+def family_max_error(losses, data, thetas, *, solver_steps: int = 200) -> float:
+    """Max excess risk of precomputed answers over a family."""
+    worst = 0.0
+    for loss, theta in zip(losses, thetas):
+        worst = max(worst, answer_error(loss, data, theta,
+                                        solver_steps=solver_steps))
+    return worst
+
+
+def single_query_excess(loss: LossFunction, dataset: Dataset,
+                        oracle: SingleQueryOracle, *, rng=None,
+                        solver_steps: int = 300) -> float:
+    """Excess empirical risk of one oracle call (for the E9 sweeps)."""
+    histogram = dataset.histogram()
+    optimum = minimize_loss(loss, histogram, steps=solver_steps).value
+    theta = oracle.answer(loss, dataset, rng=rng)
+    return max(0.0, float(loss.loss_on(np.asarray(theta, dtype=float),
+                                       histogram)) - optimum)

@@ -1,0 +1,66 @@
+"""Convex loss functions (CM queries) and query families.
+
+Implements every loss family the paper names: linear queries (native and as
+CM queries), Lipschitz bounded losses, generalized linear models (squared,
+logistic, hinge, Huber), and strongly convex losses (quadratics, ridge),
+plus reproducible random-family generators for the benchmarks.
+"""
+
+from repro.losses.base import LossFunction
+from repro.losses.linear import LinearQuery, LinearQueryAsCM
+from repro.losses.glm import GeneralizedLinearLoss
+from repro.losses.squared import SquaredLoss
+from repro.losses.logistic import LogisticLoss
+from repro.losses.hinge import HingeLoss, HuberLoss
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.robust import ExponentialLoss, PinballLoss, SmoothedHingeLoss
+from repro.losses.structured_queries import (
+    interval_queries,
+    marginal_queries,
+    threshold_queries,
+)
+from repro.losses.scaling import (
+    empirical_value_width,
+    family_scale_bound,
+    validate_family,
+)
+from repro.losses.families import (
+    linear_queries_as_cm,
+    random_halfspace_queries,
+    random_hinge_family,
+    random_linear_queries,
+    random_logistic_family,
+    random_quadratic_family,
+    random_ridge_family,
+    random_squared_family,
+)
+
+__all__ = [
+    "LossFunction",
+    "LinearQuery",
+    "LinearQueryAsCM",
+    "GeneralizedLinearLoss",
+    "SquaredLoss",
+    "LogisticLoss",
+    "HingeLoss",
+    "HuberLoss",
+    "QuadraticLoss",
+    "RidgeRegularized",
+    "PinballLoss",
+    "SmoothedHingeLoss",
+    "ExponentialLoss",
+    "family_scale_bound",
+    "empirical_value_width",
+    "validate_family",
+    "random_linear_queries",
+    "random_halfspace_queries",
+    "linear_queries_as_cm",
+    "random_logistic_family",
+    "random_squared_family",
+    "random_hinge_family",
+    "random_quadratic_family",
+    "random_ridge_family",
+    "marginal_queries",
+    "threshold_queries",
+    "interval_queries",
+]

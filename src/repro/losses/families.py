@@ -1,0 +1,162 @@
+"""Generators for large families of distinct queries.
+
+The paper's headline is answering *k* queries for huge *k*; experiments
+therefore need programmatic families of genuinely distinct queries. Each
+generator derives per-query structure (random predicates, random orthogonal
+feature rotations) from a seed, so families are reproducible and can be
+streamed at any size.
+
+Family types map onto Table 1's rows:
+
+- :func:`random_linear_queries`, :func:`random_halfspace_queries` — row 1;
+- :func:`random_logistic_family`, :func:`random_squared_family` — rows 2-3
+  (Lipschitz / UGLM; squared and logistic are both GLMs);
+- :func:`random_quadratic_family`, :func:`random_ridge_family` — row 4
+  (strongly convex).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+from repro.losses.hinge import HingeLoss
+from repro.losses.linear import LinearQuery, LinearQueryAsCM
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.squared import SquaredLoss
+from repro.optimize.projections import L2Ball
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+
+def random_linear_queries(universe: Universe, k: int, rng=None,
+                          density: float = 0.5) -> list[LinearQuery]:
+    """``k`` random 0/1 predicates, each including ~``density`` of the universe."""
+    _check_k(k)
+    generator = as_generator(rng)
+    queries = []
+    for j in range(k):
+        table = (generator.random(universe.size) < density).astype(float)
+        queries.append(LinearQuery(table, name=f"rand-linear-{j}"))
+    return queries
+
+
+def random_halfspace_queries(universe: Universe, k: int, rng=None) -> list[LinearQuery]:
+    """``k`` halfspace predicates ``1[<w, x> >= b]`` with random ``(w, b)``.
+
+    Halfspace counting queries are the structured family typically used in
+    PMW evaluations; unlike iid-random predicates they correlate across the
+    universe, which is what lets MW generalize from few updates.
+    """
+    _check_k(k)
+    generator = as_generator(rng)
+    queries = []
+    norms = np.linalg.norm(universe.points, axis=1)
+    scale = float(np.median(norms)) or 1.0
+    for j in range(k):
+        direction = generator.standard_normal(universe.dim)
+        direction /= np.linalg.norm(direction)
+        offset = generator.uniform(-0.5, 0.5) * scale
+        table = (universe.points @ direction >= offset).astype(float)
+        queries.append(LinearQuery(table, name=f"halfspace-{j}"))
+    return queries
+
+
+def linear_queries_as_cm(queries) -> list[LinearQueryAsCM]:
+    """Wrap native linear queries as 1-D CM queries (Table 1's inclusion)."""
+    return [LinearQueryAsCM(query) for query in queries]
+
+
+def random_logistic_family(universe: Universe, k: int, rng=None) -> list[LogisticLoss]:
+    """``k`` logistic losses, each in randomly rotated features ``R_j x``.
+
+    Requires a ``{-1, +1}``-labeled universe. Each member is 1-Lipschitz
+    over the unit ball (rotations are orthogonal, preserving feature norms)
+    and an unconstrained-GLM in the rotated features — the Theorem 4.4
+    workload.
+    """
+    _check_k(k)
+    generator = as_generator(rng)
+    domain = L2Ball(universe.dim)
+    return [
+        LogisticLoss(domain, rotation=_random_rotation(universe.dim, generator),
+                     name=f"logistic-{j}")
+        for j in range(k)
+    ]
+
+
+def random_squared_family(universe: Universe, k: int, rng=None,
+                          normalization: float = 0.25) -> list[SquaredLoss]:
+    """``k`` squared-loss regressions in randomly rotated features."""
+    _check_k(k)
+    generator = as_generator(rng)
+    domain = L2Ball(universe.dim)
+    return [
+        SquaredLoss(domain, rotation=_random_rotation(universe.dim, generator),
+                    normalization=normalization, name=f"squared-{j}")
+        for j in range(k)
+    ]
+
+
+def random_hinge_family(universe: Universe, k: int, rng=None) -> list[HingeLoss]:
+    """``k`` SVM hinge losses in randomly rotated features (non-smooth row 2)."""
+    _check_k(k)
+    generator = as_generator(rng)
+    domain = L2Ball(universe.dim)
+    return [
+        HingeLoss(domain, rotation=_random_rotation(universe.dim, generator),
+                  name=f"hinge-{j}")
+        for j in range(k)
+    ]
+
+
+def random_quadratic_family(universe: Universe, k: int, rng=None) -> list[QuadraticLoss]:
+    """``k`` quadratics ``(1/2)||theta - P_j x||^2`` with random orthogonal ``P_j``.
+
+    Each is 1-strongly convex with a closed-form minimizer (the projected
+    mean of ``P_j x``), so the family doubles as exact ground truth for
+    integration tests: the true answer is computable to machine precision.
+    """
+    _check_k(k)
+    generator = as_generator(rng)
+    domain = L2Ball(universe.dim)
+    return [
+        QuadraticLoss(domain, transform=_random_rotation(universe.dim, generator),
+                      name=f"quadratic-{j}")
+        for j in range(k)
+    ]
+
+
+def random_ridge_family(universe: Universe, k: int, lam: float = 0.5,
+                        rng=None) -> list[RidgeRegularized]:
+    """``k`` ridge-regularized squared losses — the Theorem 4.6 workload.
+
+    Each member is ``lam``-strongly convex with a closed-form minimizer
+    over the ball.
+    """
+    _check_k(k)
+    check_positive(lam, "lam")
+    generator = as_generator(rng)
+    bases = random_squared_family(universe, k, rng=generator)
+    return [
+        RidgeRegularized(base, lam=lam, name=f"ridge-{j}")
+        for j, base in enumerate(bases)
+    ]
+
+
+def _random_rotation(dim: int, generator: np.random.Generator) -> np.ndarray:
+    """A Haar-random orthogonal matrix via QR with sign correction."""
+    if dim == 1:
+        return np.array([[1.0 if generator.random() < 0.5 else -1.0]])
+    gaussian = generator.standard_normal((dim, dim))
+    q_matrix, r_matrix = np.linalg.qr(gaussian)
+    signs = np.sign(np.diag(r_matrix))
+    signs[signs == 0.0] = 1.0
+    return q_matrix * signs[None, :]
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")

@@ -1,0 +1,97 @@
+"""Linear queries, and linear queries expressed as CM queries.
+
+Linear queries ("what fraction of rows satisfy predicate p?") are the
+special case the original PMW mechanism [HR10] handles and the first row of
+Table 1. Two representations:
+
+- :class:`LinearQuery` — the native form ``q(D) = <q, D>`` consumed by the
+  HR10 baseline (:mod:`repro.core.pmw_linear`) and MWEM.
+- :class:`LinearQueryAsCM` — the same query as a 1-dimensional CM query
+  ``l(theta; x) = (theta - q(x))^2 / 4`` over ``Theta = [0, 1]``, whose
+  minimizer is exactly ``<q, D>``. This witnesses the paper's statement
+  that linear queries are Lipschitz, 1-bounded CM queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.histogram import Histogram
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+from repro.losses.base import LossFunction
+from repro.optimize.projections import Box
+from repro.utils.validation import check_finite_array
+
+
+class LinearQuery:
+    """A linear (statistical/counting) query over a finite universe.
+
+    Parameters
+    ----------
+    table:
+        Array of shape ``(|X|,)`` with entries in ``[0, 1]``:
+        ``table[i] = q(x_i)``. The answer on a dataset is the histogram dot
+        product ``<table, D>``; sensitivity is ``1/n``.
+    """
+
+    def __init__(self, table: np.ndarray, name: str = "linear-query") -> None:
+        table = check_finite_array(table, "table", ndim=1)
+        if table.size == 0:
+            raise ValidationError("query table must be non-empty")
+        if table.min() < -1e-12 or table.max() > 1.0 + 1e-12:
+            raise ValidationError("query table entries must lie in [0, 1]")
+        self.table = np.clip(table, 0.0, 1.0)
+        self.table.setflags(write=False)
+        self.name = name
+
+    def answer(self, histogram: Histogram) -> float:
+        """The true answer ``<q, D>``."""
+        return histogram.dot(self.table)
+
+    def error(self, histogram: Histogram, estimate: float) -> float:
+        """Absolute error of an estimate against this histogram."""
+        return abs(self.answer(histogram) - float(estimate))
+
+    def __len__(self) -> int:
+        return self.table.size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearQuery(name={self.name!r}, size={self.table.size})"
+
+
+class LinearQueryAsCM(LossFunction):
+    """A linear query embedded as a 1-D convex-minimization query.
+
+    ``l(theta; x) = (theta - q(x))^2 / 4`` over ``Theta = [0, 1]`` is
+    1/2-strongly convex in the scaled sense, 1-Lipschitz
+    (``|phi'| = |theta - q| / 2 <= 1/2``), and its dataset minimizer is the
+    mean ``<q, D>`` — the linear-query answer. Excess empirical risk ``err``
+    relates to answer error ``e`` by ``err = e^2 / 4``.
+    """
+
+    strong_convexity = 0.5
+    lipschitz_bound = 0.5
+
+    def __init__(self, query: LinearQuery, name: str | None = None) -> None:
+        super().__init__(Box.unit(1), name=name or f"cm({query.name})")
+        self.query = query
+
+    def values(self, theta: np.ndarray, universe: Universe) -> np.ndarray:
+        theta = self._check_theta(theta)
+        if universe.size != self.query.table.size:
+            raise ValidationError(
+                f"{self.name}: query table size {self.query.table.size} does "
+                f"not match universe size {universe.size}"
+            )
+        residuals = theta[0] - self.query.table
+        return 0.25 * residuals * residuals
+
+    def gradients(self, theta: np.ndarray, universe: Universe) -> np.ndarray:
+        theta = self._check_theta(theta)
+        residuals = theta[0] - self.query.table
+        return 0.5 * residuals[:, None]
+
+    def exact_minimizer(self, histogram: Histogram) -> np.ndarray | None:
+        answer = self.query.answer(histogram)
+        return np.array([float(np.clip(answer, 0.0, 1.0))])

@@ -1,0 +1,74 @@
+"""Scale parameter ``S`` and family validation.
+
+Figure 3 assumes every loss in the family satisfies the scaling condition
+``max |<theta - theta', grad l_x(theta)>| <= S``; the privacy proof
+(Section 3.4.2) additionally uses that ``l(theta, x)`` then lives in an
+interval of width ``S`` for each ``x``. These helpers compute/validate the
+family-level ``S`` and spot-check declared traits against the actual
+universe, so a mis-specified loss fails loudly before it can corrupt a
+privacy calibration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.data.universe import Universe
+from repro.exceptions import LossSpecificationError
+from repro.losses.base import LossFunction
+from repro.utils.rng import as_generator
+
+
+def family_scale_bound(losses: Sequence[LossFunction]) -> float:
+    """The family scale ``S``: max of per-loss :meth:`scale_bound`."""
+    if not losses:
+        raise LossSpecificationError("family must contain at least one loss")
+    return max(loss.scale_bound() for loss in losses)
+
+
+def empirical_value_width(loss: LossFunction, universe: Universe,
+                          samples: int = 128, rng=None) -> float:
+    """Largest observed per-``x`` spread ``max_theta l - min_theta l``.
+
+    The privacy analysis (Section 3.4.2) derives from the scaling condition
+    that every ``l(., x)`` has range width at most ``S``; this measures the
+    realized width so tests can confirm ``width <= scale_bound()``.
+    """
+    generator = as_generator(rng)
+    per_element_min = np.full(universe.size, np.inf)
+    per_element_max = np.full(universe.size, -np.inf)
+    for _ in range(samples):
+        theta = loss.domain.random_point(generator)
+        values = loss.values(theta, universe)
+        np.minimum(per_element_min, values, out=per_element_min)
+        np.maximum(per_element_max, values, out=per_element_max)
+    return float(np.max(per_element_max - per_element_min))
+
+
+def validate_family(losses: Sequence[LossFunction], universe: Universe,
+                    samples: int = 32, rng=None, tol: float = 1e-6) -> None:
+    """Raise if any loss's declared traits are violated on this universe.
+
+    Checks, per loss: gradient norms within the declared Lipschitz bound,
+    and the first-order (strong) convexity inequality on random pairs.
+    Cheap randomized spot-checks, not proofs — their role is catching
+    plumbing errors (wrong sign, missing normalization) early.
+    """
+    generator = as_generator(rng)
+    for loss in losses:
+        if loss.lipschitz_bound is not None:
+            observed = loss.max_gradient_norm(universe, samples=samples,
+                                              rng=generator)
+            if observed > loss.lipschitz_bound * (1.0 + tol) + tol:
+                raise LossSpecificationError(
+                    f"{loss.name}: observed gradient norm {observed:.6g} "
+                    f"exceeds declared Lipschitz bound "
+                    f"{loss.lipschitz_bound:.6g}"
+                )
+        if not loss.check_convexity(universe, samples=samples, rng=generator):
+            raise LossSpecificationError(
+                f"{loss.name}: first-order convexity check failed for "
+                f"declared strong convexity {loss.strong_convexity:g}"
+            )

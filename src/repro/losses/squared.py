@@ -1,0 +1,59 @@
+"""Squared loss (linear regression), the paper's opening example.
+
+``l(theta; (x, y)) = c * (<theta, x> - y)^2`` with ``c = 1/4`` by default so
+that on the unit ball with ``|y| <= 1`` the loss is 1-Lipschitz
+(``|phi'| = 2c|z - y| <= 4c``). The loss is a GLM, and over an L2-ball
+domain its dataset minimizer has a closed form via the trust-region
+subproblem, which :meth:`SquaredLoss.exact_minimizer` exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.histogram import Histogram
+from repro.losses.glm import GeneralizedLinearLoss
+from repro.optimize.exact import minimize_quadratic_over_ball
+from repro.optimize.projections import Domain, L2Ball
+from repro.utils.validation import check_positive
+
+
+class SquaredLoss(GeneralizedLinearLoss):
+    """Scaled squared loss ``c (<theta, R x> - y)^2`` over a labeled universe."""
+
+    def __init__(self, domain: Domain, rotation: np.ndarray | None = None,
+                 normalization: float = 0.25, name: str = "squared") -> None:
+        super().__init__(domain, rotation=rotation, name=name)
+        self.normalization = check_positive(normalization, "normalization")
+        # |phi'| = 2c|z - y| <= 2c * (max|z| + max|y|); with unit-ball theta,
+        # unit-norm rotated features and |y| <= 1 this is 4c.
+        self.link_derivative_bound = 4.0 * self.normalization
+        self.lipschitz_bound = self.link_derivative_bound
+
+    def link(self, margins: np.ndarray, labels: np.ndarray | None) -> np.ndarray:
+        residuals = margins - labels
+        return self.normalization * residuals * residuals
+
+    def link_derivative(self, margins: np.ndarray,
+                        labels: np.ndarray | None) -> np.ndarray:
+        return 2.0 * self.normalization * (margins - labels)
+
+    def exact_minimizer(self, histogram: Histogram) -> np.ndarray | None:
+        """Closed-form ridge-free least squares over an L2-ball domain.
+
+        The objective is ``c * (theta' M theta - 2 v' theta + const)`` with
+        ``M = E[x x']`` and ``v = E[y x]`` under the histogram, a PSD
+        quadratic solvable exactly over the ball.
+        """
+        if not isinstance(self.domain, L2Ball):
+            return None
+        features = self._features(histogram.universe)
+        labels = histogram.universe.labels
+        if labels is None:
+            return None
+        weights = histogram.weights
+        second_moment = (features * weights[:, None]).T @ features
+        cross_moment = features.T @ (weights * labels)
+        quadratic = 2.0 * self.normalization * second_moment
+        linear = -2.0 * self.normalization * cross_moment
+        return minimize_quadratic_over_ball(quadratic, linear, self.domain)

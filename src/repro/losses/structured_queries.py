@@ -1,0 +1,107 @@
+"""Structured linear-query families: marginals and intervals.
+
+Section 4.3 points to the linear-query special cases with dedicated
+efficient algorithms — interval queries [BNS13] and marginal queries
+[GHRU11, HRS12, TUV12, CTUW14, DNT13] — as candidates for more efficient
+CM analogues. These generators build those exact families over our
+universes, so the linear-row experiments can run on the structured
+workloads the literature actually benchmarks:
+
+- **k-way marginals** over the binary cube: "what fraction of rows have
+  x_i = b_i for all i in S?" for ``|S| = k``;
+- **threshold / interval queries** over a 1-D grid: "what fraction of
+  rows fall in [a, b]?".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+from repro.losses.linear import LinearQuery
+from repro.utils.rng import as_generator
+
+
+def marginal_queries(universe: Universe, width: int,
+                     limit: int | None = None, rng=None) -> list[LinearQuery]:
+    """All (or ``limit`` random) ``width``-way marginals of a binary cube.
+
+    The universe's points must take at most two distinct values per
+    coordinate (e.g. :func:`repro.data.builders.binary_cube` or
+    :func:`signed_cube`). Each query fixes a subset ``S`` of ``width``
+    coordinates and a sign pattern ``b`` and counts rows matching
+    ``x_S = b``. The full family has ``C(d, width) * 2^width`` members.
+    """
+    d = universe.dim
+    if not 1 <= width <= d:
+        raise ValidationError(f"width must lie in [1, {d}], got {width}")
+    per_axis = [np.unique(universe.points[:, i]) for i in range(d)]
+    if any(values.size > 2 for values in per_axis):
+        raise ValidationError(
+            "marginal queries require a binary universe (<= 2 values per "
+            "coordinate)"
+        )
+
+    combos = list(itertools.combinations(range(d), width))
+    patterns = list(itertools.product((0, 1), repeat=width))
+    all_specs = [(combo, pattern) for combo in combos for pattern in patterns]
+    if limit is not None and limit < len(all_specs):
+        generator = as_generator(rng)
+        chosen = generator.choice(len(all_specs), size=limit, replace=False)
+        all_specs = [all_specs[i] for i in chosen]
+
+    queries = []
+    for combo, pattern in all_specs:
+        table = np.ones(universe.size)
+        for axis, bit in zip(combo, pattern):
+            values = per_axis[axis]
+            target = values[min(bit, values.size - 1)]
+            table *= (universe.points[:, axis] == target).astype(float)
+        name = "marginal[" + ",".join(
+            f"x{axis}={bit}" for axis, bit in zip(combo, pattern)
+        ) + "]"
+        queries.append(LinearQuery(table, name=name))
+    return queries
+
+
+def threshold_queries(universe: Universe, count: int | None = None) -> list[LinearQuery]:
+    """All (or evenly spaced ``count``) threshold queries over a 1-D grid.
+
+    Query ``t`` counts the fraction of rows with ``x <= t`` — the [BNS13]
+    interval-query primitive (general intervals are differences of two
+    thresholds).
+    """
+    if universe.dim != 1:
+        raise ValidationError("threshold queries require a 1-D universe")
+    values = universe.points[:, 0]
+    thresholds = np.unique(values)
+    if count is not None:
+        if count < 1:
+            raise ValidationError(f"count must be >= 1, got {count}")
+        picks = np.linspace(0, thresholds.size - 1,
+                            min(count, thresholds.size)).astype(int)
+        thresholds = thresholds[np.unique(picks)]
+    return [
+        LinearQuery((values <= t).astype(float), name=f"thresh[x<={t:g}]")
+        for t in thresholds
+    ]
+
+
+def interval_queries(universe: Universe, count: int, rng=None) -> list[LinearQuery]:
+    """``count`` random interval queries ``1[a <= x <= b]`` on a 1-D grid."""
+    if universe.dim != 1:
+        raise ValidationError("interval queries require a 1-D universe")
+    if count < 1:
+        raise ValidationError(f"count must be >= 1, got {count}")
+    generator = as_generator(rng)
+    values = universe.points[:, 0]
+    low, high = float(values.min()), float(values.max())
+    queries = []
+    for j in range(count):
+        a, b = np.sort(generator.uniform(low, high, size=2))
+        table = ((values >= a) & (values <= b)).astype(float)
+        queries.append(LinearQuery(table, name=f"interval[{a:.3g},{b:.3g}]"))
+    return queries

@@ -1,0 +1,101 @@
+"""Closed-form convex minimizers.
+
+Exact solutions for the quadratic special cases. These serve two roles:
+ground truth for the iterative solvers in the test-suite, and fast exact
+inner minimization for the quadratic loss families used throughout the
+benchmarks (PMW calls the inner solver once per query, so exactness both
+speeds up and de-noises the experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize as sp_optimize
+
+from repro.exceptions import OptimizationError
+from repro.optimize.projections import L2Ball
+from repro.utils.validation import check_finite_array
+
+
+def minimize_quadratic_over_ball(quadratic: np.ndarray, linear: np.ndarray,
+                                 domain: L2Ball) -> np.ndarray:
+    """Minimize ``(1/2) theta' A theta + b' theta`` over an L2 ball.
+
+    ``A`` must be symmetric positive semi-definite. Solves the trust-region
+    subproblem exactly: if the unconstrained solution ``A theta = -b`` lies
+    inside the ball, return it; otherwise find the Lagrange multiplier
+    ``lam >= 0`` with ``||(A + lam I)^{-1} b|| = radius`` by safeguarded
+    scalar root-finding on the secular equation.
+    """
+    a_matrix = check_finite_array(quadratic, "quadratic", ndim=2)
+    b_vector = check_finite_array(linear, "linear", ndim=1)
+    dim = b_vector.shape[0]
+    if a_matrix.shape != (dim, dim):
+        raise OptimizationError(
+            f"quadratic has shape {a_matrix.shape}, expected ({dim}, {dim})"
+        )
+    if not np.allclose(a_matrix, a_matrix.T, atol=1e-8):
+        raise OptimizationError("quadratic matrix must be symmetric")
+    if domain.dim != dim:
+        raise OptimizationError("domain dimension mismatch")
+    if np.any(domain.center_point != 0.0):
+        # Shift coordinates so the ball is centered at the origin.
+        shift = domain.center_point
+        shifted_linear = b_vector + a_matrix @ shift
+        inner = minimize_quadratic_over_ball(
+            a_matrix, shifted_linear, L2Ball(dim, radius=domain.radius)
+        )
+        return inner + shift
+
+    eigenvalues, eigenvectors = np.linalg.eigh(a_matrix)
+    if eigenvalues[0] < -1e-8:
+        raise OptimizationError("quadratic matrix must be positive semi-definite")
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    b_rotated = eigenvectors.T @ b_vector
+
+    def solution_norm(lam: float) -> float:
+        denominators = eigenvalues + lam
+        safe = denominators > 1e-300
+        coords = np.zeros(dim)
+        coords[safe] = -b_rotated[safe] / denominators[safe]
+        return float(np.linalg.norm(coords))
+
+    # Interior solution when A is positive definite and the minimizer fits.
+    if eigenvalues[0] > 1e-12 and solution_norm(0.0) <= domain.radius:
+        coords = -b_rotated / eigenvalues
+        return eigenvectors @ coords
+
+    # Boundary solution: ||theta(lam)|| is decreasing in lam; bracket a root.
+    lower = max(1e-14, -float(eigenvalues[0]) + 1e-14)
+    upper = max(1.0, float(np.linalg.norm(b_vector)) / domain.radius + 1.0)
+    for _ in range(200):
+        if solution_norm(upper) <= domain.radius:
+            break
+        upper *= 2.0
+    else:  # pragma: no cover - unreachable for finite inputs
+        raise OptimizationError("failed to bracket the secular equation")
+
+    if solution_norm(lower) <= domain.radius:
+        lam = lower
+    else:
+        lam = float(sp_optimize.brentq(
+            lambda value: solution_norm(value) - domain.radius,
+            lower, upper, xtol=1e-14, rtol=1e-12,
+        ))
+    denominators = eigenvalues + lam
+    coords = -b_rotated / denominators
+    theta = eigenvectors @ coords
+    return domain.project(theta)
+
+
+def minimize_scalar_convex(function, low: float, high: float) -> float:
+    """Minimize a scalar convex function on ``[low, high]`` by bounded search."""
+    if not high > low:
+        raise OptimizationError(f"need high > low, got [{low}, {high}]")
+    result = sp_optimize.minimize_scalar(
+        function, bounds=(low, high), method="bounded",
+        options={"xatol": 1e-12},
+    )
+    if not result.success:  # pragma: no cover - bounded search always succeeds
+        raise OptimizationError(f"scalar minimization failed: {result.message}")
+    return float(np.clip(result.x, low, high))

@@ -1,0 +1,154 @@
+"""Convex parameter domains ``Theta`` and their Euclidean projections.
+
+The paper's restrictions (Section 1.1) are stated for ``Theta`` contained in
+the unit L2 ball; the ``d-Bounded`` condition is exactly
+``Theta ⊆ {theta : ||theta||_2 <= 1}``. :class:`L2Ball` is therefore the
+primary domain; :class:`Box` and :class:`Simplex` cover the other standard
+constraint sets so losses with different geometry can be expressed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_finite_array, check_positive
+
+
+class Domain(ABC):
+    """A closed convex subset of ``R^dim`` with an exact projection."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValidationError(f"dim must be >= 1, got {dim}")
+        self.dim = int(dim)
+
+    @abstractmethod
+    def project(self, theta: np.ndarray) -> np.ndarray:
+        """Euclidean projection of ``theta`` onto the domain."""
+
+    @abstractmethod
+    def diameter(self) -> float:
+        """L2 diameter ``max ||theta - theta'||_2`` (may be ``inf``)."""
+
+    def contains(self, theta: np.ndarray, tol: float = 1e-9) -> bool:
+        """Whether ``theta`` lies in the domain up to tolerance."""
+        theta = np.asarray(theta, dtype=float)
+        return bool(np.linalg.norm(self.project(theta) - theta) <= tol)
+
+    def center(self) -> np.ndarray:
+        """A canonical interior point (used as solver starting point)."""
+        return self.project(np.zeros(self.dim))
+
+    def random_point(self, rng=None) -> np.ndarray:
+        """A random point of the domain (projection of a Gaussian draw)."""
+        generator = as_generator(rng)
+        return self.project(generator.standard_normal(self.dim))
+
+    def _check_theta(self, theta) -> np.ndarray:
+        theta = check_finite_array(theta, "theta", ndim=1)
+        if theta.shape[0] != self.dim:
+            raise ValidationError(
+                f"theta has dim {theta.shape[0]}, domain has dim {self.dim}"
+            )
+        return theta
+
+
+class L2Ball(Domain):
+    """The ball ``{theta : ||theta - center||_2 <= radius}``.
+
+    With ``radius=1`` and ``center=0`` this is the paper's ``d-Bounded``
+    domain.
+    """
+
+    def __init__(self, dim: int, radius: float = 1.0,
+                 center: np.ndarray | None = None) -> None:
+        super().__init__(dim)
+        self.radius = check_positive(radius, "radius")
+        if center is None:
+            center = np.zeros(dim)
+        center = check_finite_array(center, "center", ndim=1)
+        if center.shape[0] != dim:
+            raise ValidationError(
+                f"center has dim {center.shape[0]}, expected {dim}"
+            )
+        self.center_point = center
+
+    def project(self, theta: np.ndarray) -> np.ndarray:
+        theta = self._check_theta(theta)
+        offset = theta - self.center_point
+        norm = float(np.linalg.norm(offset))
+        if norm <= self.radius:
+            return theta
+        return self.center_point + offset * (self.radius / norm)
+
+    def diameter(self) -> float:
+        return 2.0 * self.radius
+
+    def boundary_point(self, direction: np.ndarray) -> np.ndarray:
+        """The boundary point in ``direction`` (Frank–Wolfe linear oracle)."""
+        direction = self._check_theta(direction)
+        norm = float(np.linalg.norm(direction))
+        if norm == 0.0:
+            return np.array(self.center_point)
+        return self.center_point + direction * (self.radius / norm)
+
+
+class Box(Domain):
+    """The axis-aligned box ``{theta : lows <= theta <= highs}``."""
+
+    def __init__(self, lows: np.ndarray, highs: np.ndarray) -> None:
+        lows = check_finite_array(lows, "lows", ndim=1)
+        highs = check_finite_array(highs, "highs", ndim=1)
+        if lows.shape != highs.shape:
+            raise ValidationError("lows and highs must have matching shapes")
+        if np.any(highs < lows):
+            raise ValidationError("every high must be >= the matching low")
+        super().__init__(lows.shape[0])
+        self.lows = lows
+        self.highs = highs
+
+    @classmethod
+    def unit(cls, dim: int) -> "Box":
+        """The unit box ``[0, 1]^dim``."""
+        return cls(np.zeros(dim), np.ones(dim))
+
+    @classmethod
+    def symmetric(cls, dim: int, half_width: float = 1.0) -> "Box":
+        """The symmetric box ``[-w, w]^dim``."""
+        half_width = check_positive(half_width, "half_width")
+        return cls(-half_width * np.ones(dim), half_width * np.ones(dim))
+
+    def project(self, theta: np.ndarray) -> np.ndarray:
+        theta = self._check_theta(theta)
+        return np.clip(theta, self.lows, self.highs)
+
+    def diameter(self) -> float:
+        return float(np.linalg.norm(self.highs - self.lows))
+
+
+class Simplex(Domain):
+    """The probability simplex ``{theta >= 0 : sum(theta) = 1}``.
+
+    Projection uses the sorting algorithm of Held–Wolfe–Crowder (also
+    Duchi et al. 2008), exact in ``O(d log d)``.
+    """
+
+    def project(self, theta: np.ndarray) -> np.ndarray:
+        theta = self._check_theta(theta)
+        sorted_desc = np.sort(theta)[::-1]
+        cumulative = np.cumsum(sorted_desc) - 1.0
+        ranks = np.arange(1, self.dim + 1)
+        candidates = sorted_desc - cumulative / ranks
+        rho = int(np.nonzero(candidates > 0)[0][-1])
+        tau = cumulative[rho] / (rho + 1)
+        return np.clip(theta - tau, 0.0, None)
+
+    def diameter(self) -> float:
+        return float(np.sqrt(2.0))
+
+    def center(self) -> np.ndarray:
+        return np.full(self.dim, 1.0 / self.dim)

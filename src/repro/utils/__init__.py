@@ -1,0 +1,18 @@
+"""Shared utilities: RNG plumbing and argument validation."""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_finite_array,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "check_finite_array",
+    "check_positive",
+    "check_probability",
+    "check_unit_interval",
+]

@@ -1,0 +1,51 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``rng`` argument that can
+be ``None`` (fresh entropy), an integer seed, or an existing
+:class:`numpy.random.Generator`. :func:`as_generator` normalizes all three to
+a ``Generator`` so downstream code never touches the legacy global numpy
+RNG, and experiments are reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | np.random.SeedSequence | None"
+
+
+def as_generator(rng=None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for fresh OS entropy, an ``int`` seed, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer, np.random.SeedSequence)):
+        return np.random.default_rng(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, a SeedSequence, or a Generator; "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_generators(rng, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators.
+
+    Used when one seeded experiment drives several independent stochastic
+    components (e.g. the sparse-vector noise stream and the ERM oracle)
+    whose draws must not interleave, so that changing how often one
+    component samples does not perturb the other.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_generator(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

@@ -1,0 +1,68 @@
+"""Tests for analyst strategies."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.analysts import (
+    CyclingAnalyst,
+    StaticAnalyst,
+    WorstCaseAnalyst,
+)
+from repro.data.histogram import Histogram
+from repro.exceptions import ValidationError
+from repro.losses.families import random_quadratic_family
+
+
+class TestStaticAnalyst:
+    def test_plays_in_order(self, cube_universe):
+        losses = random_quadratic_family(cube_universe, 3, rng=0)
+        analyst = StaticAnalyst(losses)
+        played = [analyst.next_loss(None) for _ in range(3)]
+        assert played == losses
+        assert analyst.remaining == 0
+
+    def test_exhausted_raises(self, cube_universe):
+        analyst = StaticAnalyst(random_quadratic_family(cube_universe, 1,
+                                                        rng=0))
+        analyst.next_loss(None)
+        with pytest.raises(ValidationError, match="no queries left"):
+            analyst.next_loss(None)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            StaticAnalyst([])
+
+
+class TestCyclingAnalyst:
+    def test_cycles(self, cube_universe):
+        losses = random_quadratic_family(cube_universe, 2, rng=0)
+        analyst = CyclingAnalyst(losses)
+        played = [analyst.next_loss(None) for _ in range(5)]
+        assert played == [losses[0], losses[1], losses[0], losses[1],
+                          losses[0]]
+
+
+class TestWorstCaseAnalyst:
+    def test_picks_worst_answered_loss(self, cube_universe, cube_dataset):
+        losses = random_quadratic_family(cube_universe, 4, rng=1)
+        data = cube_dataset.histogram()
+        analyst = WorstCaseAnalyst(losses, data)
+        # Against a point-mass hypothesis the analyst must pick the loss
+        # with the largest Definition-2.3 error.
+        hypothesis = Histogram.point_mass(cube_universe, 0)
+        from repro.core.accuracy import database_error
+        errors = [database_error(loss, data, hypothesis).error
+                  for loss in losses]
+        choice = analyst.next_loss(hypothesis)
+        assert choice is losses[int(np.argmax(errors))]
+
+    def test_first_round_without_hypothesis(self, cube_universe,
+                                            cube_dataset):
+        losses = random_quadratic_family(cube_universe, 3, rng=2)
+        analyst = WorstCaseAnalyst(losses, cube_dataset.histogram())
+        assert analyst.next_loss(None) is losses[0]
+
+    def test_observe_is_noop(self, cube_universe, cube_dataset):
+        losses = random_quadratic_family(cube_universe, 2, rng=3)
+        analyst = WorstCaseAnalyst(losses, cube_dataset.histogram())
+        analyst.observe(losses[0], np.zeros(3))  # must not raise

@@ -1,0 +1,78 @@
+"""Tests for the answer-driven (query-constructing) adaptive analyst."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.analysts import AnswerDrivenAnalyst
+from repro.adaptive.game import play_accuracy_game
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.losses.logistic import LogisticLoss
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=20_000, d=3, universe_size=80,
+                                       rng=0)
+
+
+class TestConstruction:
+    def test_constructs_fresh_losses(self, task):
+        analyst = AnswerDrivenAnalyst(dim=3, rng=0)
+        a = analyst.next_loss(None)
+        b = analyst.next_loss(None)
+        assert isinstance(a, LogisticLoss)
+        assert a is not b
+        assert a.name != b.name
+
+    def test_rotations_orthogonal(self, task):
+        analyst = AnswerDrivenAnalyst(dim=3, rng=1)
+        analyst.observe(None, np.array([0.3, -0.2, 0.5]))
+        loss = analyst.next_loss(None)
+        rotation = loss.rotation
+        np.testing.assert_allclose(rotation @ rotation.T, np.eye(3),
+                                   atol=1e-10)
+
+    def test_first_axis_follows_last_answer(self, task):
+        analyst = AnswerDrivenAnalyst(dim=3, rng=2)
+        theta = np.array([0.0, 1.0, 0.0])
+        analyst.observe(None, theta)
+        loss = analyst.next_loss(None)
+        # Row 0 of the rotation should be highly aligned with theta.
+        cosine = abs(loss.rotation[0] @ theta)
+        assert cosine > 0.9
+
+    def test_queries_stay_in_family(self, task):
+        """Every constructed loss satisfies the 1-Lipschitz GLM contract."""
+        analyst = AnswerDrivenAnalyst(dim=3, rng=3)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            loss = analyst.next_loss(None)
+            observed = loss.max_gradient_norm(task.universe, samples=16,
+                                              rng=rng)
+            assert observed <= 1.0 + 1e-6
+            analyst.observe(loss, loss.domain.random_point(rng))
+
+
+class TestInsideGame:
+    def test_full_game_stays_accurate(self, task):
+        """Definition 2.4 against a query-constructing adversary."""
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6,
+                                            steps=30)
+        mechanism = PrivateMWConvex(
+            task.dataset, oracle, scale=2.0, alpha=0.3, epsilon=1.0,
+            delta=1e-6, schedule="calibrated", max_updates=15,
+            solver_steps=250, rng=4,
+        )
+        analyst = AnswerDrivenAnalyst(dim=3, rng=5)
+        result = play_accuracy_game(mechanism, analyst, k=15,
+                                    solver_steps=300)
+        assert result.queries_played == 15 or result.halted_early
+        assert result.max_error <= 0.4
+
+    def test_issued_losses_retained(self, task):
+        analyst = AnswerDrivenAnalyst(dim=3, rng=6)
+        for _ in range(4):
+            analyst.next_loss(None)
+        assert len(analyst.issued) == 4

@@ -1,0 +1,66 @@
+"""Tests for the Figure 1 sample-accuracy game runner."""
+
+import pytest
+
+from repro.adaptive.analysts import CyclingAnalyst, StaticAnalyst
+from repro.adaptive.game import play_accuracy_game
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.erm.oracle import NonPrivateOracle
+from repro.exceptions import ValidationError
+from repro.losses.families import random_quadratic_family
+
+
+def make_mechanism(dataset, **overrides):
+    params = dict(scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  schedule="calibrated", max_updates=10, solver_steps=200,
+                  rng=0)
+    params.update(overrides)
+    return PrivateMWConvex(dataset, NonPrivateOracle(200), **params)
+
+
+class TestGame:
+    def test_records_every_round(self, cube_dataset):
+        losses = random_quadratic_family(cube_dataset.universe, 6, rng=0)
+        mechanism = make_mechanism(cube_dataset)
+        result = play_accuracy_game(mechanism, StaticAnalyst(losses), k=6)
+        assert result.queries_played == 6
+        assert not result.halted_early
+
+    def test_max_error_definition(self, cube_dataset):
+        losses = random_quadratic_family(cube_dataset.universe, 5, rng=1)
+        mechanism = make_mechanism(cube_dataset)
+        result = play_accuracy_game(mechanism, StaticAnalyst(losses), k=5)
+        assert result.max_error == max(r.error for r in result.records)
+        assert result.mean_error <= result.max_error
+
+    def test_accuracy_definition_2_4(self, cube_dataset):
+        """The realized max error should be within the alpha target."""
+        losses = random_quadratic_family(cube_dataset.universe, 8, rng=2)
+        mechanism = make_mechanism(cube_dataset, alpha=0.3)
+        result = play_accuracy_game(mechanism, CyclingAnalyst(losses), k=16)
+        assert result.max_error <= 0.3 + 0.05
+
+    def test_early_halt_flagged(self, cube_dataset):
+        import numpy as np
+        from repro.data.dataset import Dataset
+        indices = np.concatenate([np.full(240, 5), np.arange(8).repeat(8)[:60]])
+        concentrated = Dataset(cube_dataset.universe, indices)
+        mechanism = make_mechanism(concentrated, max_updates=1,
+                                   noise_multiplier=0.0)
+        losses = random_quadratic_family(cube_dataset.universe, 10, rng=3)
+        result = play_accuracy_game(mechanism, StaticAnalyst(losses), k=10)
+        assert result.halted_early
+        assert result.queries_played < 10
+        assert result.updates_performed == 1
+
+    def test_empty_game_rejected(self, cube_dataset):
+        mechanism = make_mechanism(cube_dataset)
+        with pytest.raises(ValidationError):
+            play_accuracy_game(mechanism, StaticAnalyst([None]), k=0)
+
+    def test_update_flags_recorded(self, cube_dataset):
+        losses = random_quadratic_family(cube_dataset.universe, 6, rng=4)
+        mechanism = make_mechanism(cube_dataset)
+        result = play_accuracy_game(mechanism, StaticAnalyst(losses), k=6)
+        updates_in_game = sum(r.from_update for r in result.records)
+        assert updates_in_game == mechanism.updates_performed

@@ -1,0 +1,71 @@
+"""Tests for population generalization error (Section 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.generalization import generalization_gap, population_error
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture
+def population(cube_universe, rng):
+    weights = rng.dirichlet(np.full(cube_universe.size, 1.0))
+    return Histogram(cube_universe, weights)
+
+
+@pytest.fixture
+def sample(cube_universe, population, rng):
+    indices = rng.choice(cube_universe.size, size=5_000,
+                         p=population.weights)
+    return Dataset(cube_universe, indices).histogram()
+
+
+class TestPopulationError:
+    def test_zero_at_population_optimum(self, cube_universe, population):
+        loss = QuadraticLoss(L2Ball(3))
+        optimum = minimize_loss(loss, population).theta
+        assert population_error(loss, population, optimum) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_positive_off_optimum(self, cube_universe, population):
+        loss = QuadraticLoss(L2Ball(3))
+        assert population_error(loss, population,
+                                np.array([1.0, 0.0, 0.0])) > 0.0
+
+
+class TestGeneralizationGap:
+    def test_small_for_sample_optimum_with_large_n(self, cube_universe,
+                                                   population, sample):
+        """An iid sample of 5k rows keeps the gap of any fixed answer small."""
+        loss = QuadraticLoss(L2Ball(3))
+        theta = minimize_loss(loss, sample).theta
+        gap = generalization_gap(loss, population, sample, theta)
+        assert gap < 0.05
+
+    def test_zero_when_sample_is_population(self, cube_universe, population):
+        loss = QuadraticLoss(L2Ball(3))
+        theta = np.array([0.2, 0.0, -0.1])
+        assert generalization_gap(loss, population, population,
+                                  theta) == pytest.approx(0.0, abs=1e-12)
+
+    def test_adaptive_overfitting_shows_larger_gap(self, cube_universe, rng):
+        """A sample-tuned answer on a tiny sample generalizes worse than on
+        a big one — the phenomenon DP protects against."""
+        loss = QuadraticLoss(L2Ball(3))
+        weights = rng.dirichlet(np.full(cube_universe.size, 1.0))
+        population = Histogram(cube_universe, weights)
+
+        gaps = []
+        for n in (20, 20_000):
+            sample = Dataset(
+                cube_universe,
+                rng.choice(cube_universe.size, size=n, p=population.weights),
+            ).histogram()
+            theta = minimize_loss(loss, sample).theta  # overfit to sample
+            gaps.append(generalization_gap(loss, population, sample, theta))
+        assert gaps[0] > gaps[1]

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test-suite.
+
+Fixtures are intentionally tiny (universes of tens of elements, datasets of
+hundreds of rows) so the full suite runs in seconds; scaling behaviour is
+exercised by the benchmarks, not the unit tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.builders import labeled_universe, random_ball_net, signed_cube
+from repro.data.dataset import Dataset
+from repro.data.synthetic import make_classification_dataset
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cube_universe():
+    """The signed cube {±1/sqrt(3)}^3 — 8 unit-norm points."""
+    return signed_cube(3)
+
+
+@pytest.fixture
+def labeled_ball_universe(rng):
+    """A 2-D ball net crossed with labels {-1, +1} (60 elements)."""
+    base = random_ball_net(2, 30, rng=rng)
+    return labeled_universe(base, (-1.0, 1.0))
+
+
+@pytest.fixture
+def cube_dataset(cube_universe, rng):
+    """300 rows drawn from a skewed distribution over the cube."""
+    weights = rng.dirichlet(np.full(cube_universe.size, 0.7))
+    indices = rng.choice(cube_universe.size, size=300, p=weights)
+    return Dataset(cube_universe, indices)
+
+
+@pytest.fixture
+def labeled_dataset(labeled_ball_universe, rng):
+    """400 rows over the labeled ball universe."""
+    return Dataset.uniform_random(labeled_ball_universe, 400, rng=rng)
+
+
+@pytest.fixture
+def classification_task():
+    """A small planted classification task (dataset + universe + theta*)."""
+    return make_classification_dataset(n=2_000, d=3, universe_size=60, rng=7)
+
+
+@pytest.fixture
+def logistic_loss(labeled_ball_universe):
+    """A plain logistic loss over the labeled ball universe's dimension."""
+    return LogisticLoss(L2Ball(labeled_ball_universe.dim))
+
+
+@pytest.fixture
+def quadratic_loss(cube_universe):
+    """The 1-strongly-convex quadratic probe loss."""
+    return QuadraticLoss(L2Ball(cube_universe.dim))

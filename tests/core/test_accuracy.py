@@ -1,0 +1,131 @@
+"""Tests for the error definitions (Definitions 2.2 / 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import (
+    answer_error,
+    database_error,
+    empirical_error_query_sensitivity,
+)
+from repro.data.histogram import Histogram
+from repro.losses.quadratic import QuadraticLoss
+from repro.losses.logistic import LogisticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+class TestAnswerError:
+    def test_zero_at_optimum(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        optimum = minimize_loss(loss, hist).theta
+        assert answer_error(loss, hist, optimum) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_off_optimum(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        bad = np.array([1.0, 0.0, 0.0])
+        assert answer_error(loss, hist, bad) > 0.0
+
+    def test_quadratic_error_is_half_squared_distance(self, cube_universe,
+                                                      cube_dataset):
+        """For l = ||theta - x||^2/2, err(D, theta) = ||theta - mean||^2/2."""
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        mean = cube_universe.points.T @ hist.weights
+        theta = loss.domain.project(mean + np.array([0.1, 0.0, 0.0]))
+        expected = 0.5 * float((theta - mean) @ (theta - mean))
+        optimum_value = 0.5 * float((loss.domain.project(mean) - mean)
+                                    @ (loss.domain.project(mean) - mean))
+        assert answer_error(loss, hist, theta) == pytest.approx(
+            expected - optimum_value, abs=1e-10
+        )
+
+    def test_precomputed_optimum_used(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        optimum = minimize_loss(loss, hist).value
+        theta = np.zeros(3)
+        fast = answer_error(loss, hist, theta, data_optimum=optimum)
+        slow = answer_error(loss, hist, theta)
+        assert fast == pytest.approx(slow)
+
+    def test_clamped_nonnegative(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        optimum = minimize_loss(loss, hist)
+        # Feed an inflated "optimum" so the raw difference is negative.
+        assert answer_error(loss, hist, optimum.theta,
+                            data_optimum=optimum.value + 1.0) == 0.0
+
+
+class TestDatabaseError:
+    def test_zero_when_hypothesis_is_data(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        breakdown = database_error(loss, hist, hist)
+        assert breakdown.error == pytest.approx(0.0, abs=1e-10)
+
+    def test_positive_for_bad_hypothesis(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        # A point-mass hypothesis far from the data mean.
+        worst_index = int(np.argmin(data.weights))
+        hypothesis = Histogram.point_mass(cube_universe, worst_index)
+        breakdown = database_error(loss, data, hypothesis)
+        assert breakdown.error > 0.0
+
+    def test_breakdown_consistency(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        breakdown = database_error(loss, data, hypothesis)
+        assert breakdown.error == pytest.approx(
+            max(0.0, breakdown.hypothesis_loss_on_data
+                - breakdown.optimal_loss_on_data)
+        )
+        # The hypothesis minimizer must actually minimize on the hypothesis.
+        direct = minimize_loss(loss, hypothesis)
+        assert loss.loss_on(breakdown.hypothesis_minimizer, hypothesis) \
+            == pytest.approx(direct.value, abs=1e-9)
+
+    def test_matches_definition_2_3(self, labeled_ball_universe,
+                                    labeled_dataset):
+        loss = LogisticLoss(L2Ball(2))
+        data = labeled_dataset.histogram()
+        hypothesis = Histogram.uniform(labeled_ball_universe)
+        breakdown = database_error(loss, data, hypothesis, solver_steps=600)
+        theta_hyp = minimize_loss(loss, hypothesis, steps=600).theta
+        expected = (loss.loss_on(theta_hyp, data)
+                    - minimize_loss(loss, data, steps=600).value)
+        assert breakdown.error == pytest.approx(max(0.0, expected), abs=1e-4)
+
+
+class TestSensitivityLemma:
+    """Section 3.4.2: |err_l(D, Dhat) - err_l(D', Dhat)| <= 3S/n."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_holds_quadratic(self, cube_universe, cube_dataset, seed):
+        loss = QuadraticLoss(L2Ball(3))
+        bound = 3.0 * loss.scale_bound() / cube_dataset.n
+        neighbor = cube_dataset.random_neighbor(rng=seed)
+        hypothesis = Histogram.uniform(cube_universe)
+        realized = empirical_error_query_sensitivity(
+            loss, cube_dataset.histogram(), neighbor.histogram(), hypothesis
+        )
+        assert realized <= bound + 1e-9
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_holds_logistic(self, labeled_ball_universe,
+                                  labeled_dataset, seed):
+        loss = LogisticLoss(L2Ball(2))
+        bound = 3.0 * loss.scale_bound() / labeled_dataset.n
+        neighbor = labeled_dataset.random_neighbor(rng=seed)
+        hypothesis = Histogram.uniform(labeled_ball_universe)
+        realized = empirical_error_query_sensitivity(
+            loss, labeled_dataset.histogram(), neighbor.histogram(),
+            hypothesis, solver_steps=600,
+        )
+        # Solver tolerance adds a small slack on top of the exact bound.
+        assert realized <= bound + 1e-4

@@ -1,0 +1,84 @@
+"""Tests for the k-independent-calls composition baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.composition_baseline import CompositionBaseline
+from repro.dp.composition import advanced_composition
+from repro.erm.oracle import NonPrivateOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.exceptions import ValidationError
+from repro.losses.families import random_quadratic_family
+
+
+class TestBudgetSplit:
+    def test_per_call_shrinks_with_k(self, cube_dataset):
+        oracle = NonPrivateOracle()
+        few = CompositionBaseline(cube_dataset, oracle, planned_queries=4,
+                                  epsilon=1.0, delta=1e-6)
+        many = CompositionBaseline(cube_dataset, oracle, planned_queries=400,
+                                   epsilon=1.0, delta=1e-6)
+        assert many.per_call.epsilon < few.per_call.epsilon
+
+    def test_single_query_gets_whole_budget(self, cube_dataset):
+        baseline = CompositionBaseline(cube_dataset, NonPrivateOracle(),
+                                       planned_queries=1, epsilon=0.7,
+                                       delta=1e-6)
+        assert baseline.per_call.epsilon == pytest.approx(0.7)
+
+    def test_split_recomposes_within_budget(self, cube_dataset):
+        k = 64
+        baseline = CompositionBaseline(cube_dataset, NonPrivateOracle(),
+                                       planned_queries=k, epsilon=1.0,
+                                       delta=1e-6)
+        total = advanced_composition(baseline.per_call.epsilon,
+                                     baseline.per_call.delta, k, 1e-6 / 2)
+        assert total.epsilon <= 1.0 * 1.05  # first-order exact, 2Teps0^2 slack
+        assert total.delta <= 1e-6 * 1.001
+
+
+class TestAnswering:
+    def test_answers_count_enforced(self, cube_dataset):
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=0)
+        baseline = CompositionBaseline(cube_dataset, NonPrivateOracle(),
+                                       planned_queries=2, epsilon=1.0,
+                                       delta=1e-6)
+        baseline.answer(losses[0])
+        baseline.answer(losses[1])
+        with pytest.raises(ValidationError, match="split across"):
+            baseline.answer(losses[2])
+
+    def test_accountant_matches_calls(self, cube_dataset):
+        losses = random_quadratic_family(cube_dataset.universe, 4, rng=1)
+        baseline = CompositionBaseline(cube_dataset, NonPrivateOracle(),
+                                       planned_queries=4, epsilon=1.0,
+                                       delta=1e-6)
+        baseline.answer_all(losses)
+        assert baseline.accountant.num_spends == 4
+
+    def test_error_grows_with_k_private_oracle(self, cube_universe, rng):
+        """The motivating phenomenon: more queries -> less budget -> noise."""
+        from repro.data.dataset import Dataset
+        from repro.losses.quadratic import QuadraticLoss
+        from repro.optimize.projections import L2Ball
+        from repro.core.accuracy import answer_error
+
+        indices = rng.choice(cube_universe.size, size=5_000)
+        dataset = Dataset(cube_universe, indices)
+        data = dataset.histogram()
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+
+        def mean_error(k, seed):
+            baseline = CompositionBaseline(dataset, oracle,
+                                           planned_queries=k, epsilon=0.5,
+                                           delta=1e-6, rng=seed)
+            errors = [
+                answer_error(loss, data, baseline.answer(loss).theta)
+                for _ in range(min(k, 10))
+            ]
+            return float(np.mean(errors))
+
+        few = np.mean([mean_error(2, seed) for seed in range(5)])
+        many = np.mean([mean_error(512, seed) for seed in range(5)])
+        assert many > few

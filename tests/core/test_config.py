@@ -1,0 +1,129 @@
+"""Tests for the Figure 3 parameter schedule."""
+
+import math
+
+import pytest
+
+from repro.core.config import PMWConfig
+from repro.exceptions import ValidationError
+
+
+def paper_config(**overrides):
+    params = dict(alpha=0.1, beta=0.05, epsilon=1.0, delta=1e-6,
+                  scale=2.0, universe_size=1024, schedule="paper")
+    params.update(overrides)
+    return PMWConfig.from_targets(**params)
+
+
+class TestPaperSchedule:
+    def test_update_budget_formula(self):
+        config = paper_config()
+        expected = math.ceil(64 * 4.0 * math.log(1024) / 0.01)
+        assert config.max_updates == expected
+
+    def test_eta_formula(self):
+        config = paper_config()
+        assert config.eta == pytest.approx(
+            math.sqrt(math.log(1024) / config.max_updates)
+        )
+
+    def test_oracle_budget_formulas(self):
+        config = paper_config()
+        t = config.max_updates
+        assert config.oracle_epsilon == pytest.approx(
+            1.0 / math.sqrt(8 * t * math.log(4 / 1e-6))
+        )
+        assert config.oracle_delta == pytest.approx(1e-6 / (4 * t))
+
+    def test_oracle_accuracy_targets(self):
+        config = paper_config()
+        assert config.oracle_alpha == pytest.approx(0.025)   # alpha / 4
+        assert config.oracle_beta == pytest.approx(
+            0.05 / (2 * config.max_updates)
+        )
+
+    def test_sv_gets_half_budget(self):
+        config = paper_config()
+        assert config.sv_epsilon == 0.5
+        assert config.sv_delta == 5e-7
+
+
+class TestCalibratedSchedule:
+    def test_smaller_update_budget(self):
+        paper = paper_config()
+        calibrated = paper_config(schedule="calibrated")
+        assert calibrated.max_updates < paper.max_updates
+        assert calibrated.max_updates == math.ceil(
+            paper.max_updates / 64
+        ) or calibrated.max_updates == math.ceil(
+            1.0 * 4.0 * math.log(1024) / 0.01
+        )
+
+    def test_same_functional_form(self):
+        calibrated = paper_config(schedule="calibrated")
+        t = calibrated.max_updates
+        assert calibrated.eta == pytest.approx(
+            math.sqrt(math.log(1024) / t)
+        )
+
+    def test_override_changes_everything_consistently(self):
+        config = paper_config(schedule="calibrated", max_updates=10)
+        assert config.max_updates == 10
+        assert config.eta == pytest.approx(math.sqrt(math.log(1024) / 10))
+        assert config.oracle_epsilon == pytest.approx(
+            1.0 / math.sqrt(80 * math.log(4e6))
+        )
+        assert config.extras["derived_max_updates"] > 10
+
+
+class TestSampleSizes:
+    def test_sensitivity(self):
+        config = paper_config()
+        assert config.sensitivity(1000) == pytest.approx(6.0 / 1000)
+
+    def test_theorem_3_8_formula(self):
+        config = paper_config()
+        n = config.theorem_3_8_sample_size(total_queries=100)
+        expected = (4096 * 4.0
+                    * math.sqrt(math.log(1024) * math.log(4 / 1e-6))
+                    * math.log(8 * 100 / 0.05) / (1.0 * 0.01))
+        assert n == pytest.approx(expected)
+
+    def test_oracle_term_can_dominate(self):
+        config = paper_config()
+        huge = config.theorem_3_8_sample_size(100, oracle_sample_size=1e15)
+        assert huge == 1e15
+
+    def test_sv_sample_size_positive(self):
+        config = paper_config()
+        assert config.sparse_vector_sample_size(100) > 0
+
+    def test_claim_3_2_takes_max_with_oracle_n(self):
+        config = paper_config()
+        sv_term = config.sparse_vector_sample_size(100)
+        assert config.claim_3_2_sample_size(100) == pytest.approx(sv_term)
+        assert config.claim_3_2_sample_size(100, oracle_sample_size=1e18) \
+            == 1e18
+
+    def test_claim_3_2_grows_logarithmically_in_k(self):
+        config = paper_config()
+        n1 = config.claim_3_2_sample_size(100)
+        n2 = config.claim_3_2_sample_size(10_000)
+        assert n2 / n1 < 1.8
+
+
+class TestValidation:
+    def test_bad_schedule(self):
+        with pytest.raises(ValidationError, match="schedule"):
+            paper_config(schedule="magic")
+
+    def test_bad_universe(self):
+        with pytest.raises(ValidationError, match="universe_size"):
+            paper_config(universe_size=1)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            paper_config(alpha=1.5)
+
+    def test_describe_mentions_schedule(self):
+        assert "paper" in paper_config().describe()

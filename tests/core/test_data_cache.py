@@ -1,0 +1,67 @@
+"""Tests for the PMW round's data-side minimization cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.erm.oracle import NonPrivateOracle
+from repro.losses.families import random_quadratic_family
+
+
+def make_mechanism(dataset, **overrides):
+    params = dict(scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  schedule="calibrated", max_updates=10, solver_steps=150,
+                  rng=0)
+    params.update(overrides)
+    return PrivateMWConvex(dataset, NonPrivateOracle(150), **params)
+
+
+class TestDataMinimaCache:
+    def test_cache_populated_per_distinct_loss(self, cube_dataset):
+        mechanism = make_mechanism(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 4, rng=0)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        assert len(mechanism._data_minima) == 4
+
+    def test_repeat_query_reuses_cache(self, cube_dataset):
+        mechanism = make_mechanism(cube_dataset)
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=1)[0]
+        mechanism.answer(loss)
+        cached = mechanism._data_minima[loss]
+        for _ in range(3):
+            mechanism.answer(loss)
+        assert mechanism._data_minima[loss] is cached
+
+    def test_cached_value_is_data_optimum(self, cube_dataset):
+        from repro.optimize.minimize import minimize_loss
+        mechanism = make_mechanism(cube_dataset)
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=2)[0]
+        mechanism.answer(loss)
+        direct = minimize_loss(loss, cube_dataset.histogram(), steps=150)
+        assert mechanism._data_minima[loss].value == pytest.approx(
+            direct.value, abs=1e-9
+        )
+
+    def test_answers_identical_with_and_without_repeats(self, cube_dataset):
+        """Caching must not change behaviour: replaying a stream with
+        duplicates gives the same answers as the same seed without cache
+        hits (the cached quantity is deterministic)."""
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=3)
+        stream = [losses[0], losses[1], losses[0], losses[2], losses[0]]
+        a = make_mechanism(cube_dataset, rng=7)
+        answers_a = [a.answer(loss).theta for loss in stream]
+        b = make_mechanism(cube_dataset, rng=7)
+        answers_b = [b.answer(loss).theta for loss in stream]
+        np.testing.assert_array_equal(np.stack(answers_a),
+                                      np.stack(answers_b))
+
+    def test_cache_entries_released_with_losses(self, cube_dataset):
+        """WeakKeyDictionary: dropping the loss object frees the entry."""
+        import gc
+        mechanism = make_mechanism(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 2, rng=4)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        assert len(mechanism._data_minima) == 2
+        del losses
+        gc.collect()
+        assert len(mechanism._data_minima) == 0

@@ -1,0 +1,91 @@
+"""Tests for the offline MWEM baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.mwem import MWEM
+from repro.data.dataset import Dataset
+from repro.exceptions import ValidationError
+from repro.losses.families import random_halfspace_queries
+from repro.losses.linear import LinearQuery
+
+
+@pytest.fixture
+def skewed_dataset(cube_universe, rng):
+    weights = rng.dirichlet(np.full(cube_universe.size, 0.3))
+    indices = rng.choice(cube_universe.size, size=20_000, p=weights)
+    return Dataset(cube_universe, indices)
+
+
+class TestMWEM:
+    def test_run_produces_normalized_hypothesis(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 20, rng=0)
+        mwem = MWEM(skewed_dataset, queries, rounds=8, epsilon=1.0, rng=0)
+        result = mwem.run()
+        assert result.hypothesis.weights.sum() == pytest.approx(1.0)
+        assert len(result.selected) == 8
+        assert len(result.measurements) == 8
+
+    def test_answers_one_per_query(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 15, rng=1)
+        mwem = MWEM(skewed_dataset, queries, rounds=5, epsilon=1.0, rng=0)
+        result = mwem.run()
+        assert result.answers.shape == (15,)
+        assert (result.answers >= 0).all() and (result.answers <= 1).all()
+
+    def test_improves_over_uniform_guess(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 30, rng=2)
+        data = skewed_dataset.histogram()
+        uniform_answers = np.array([
+            query.table.mean() for query in queries
+        ])
+        true_answers = np.array([query.answer(data) for query in queries])
+        uniform_error = np.abs(true_answers - uniform_answers).max()
+
+        mwem = MWEM(skewed_dataset, queries, rounds=12, epsilon=2.0, rng=3)
+        result = mwem.run()
+        assert mwem.max_error(result) < uniform_error
+
+    def test_more_rounds_help_at_high_epsilon(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 30, rng=4)
+        errors = []
+        for rounds in (2, 16):
+            mwem = MWEM(skewed_dataset, queries, rounds=rounds, epsilon=20.0,
+                        rng=5)
+            errors.append(mwem.max_error(mwem.run()))
+        assert errors[1] <= errors[0] + 0.02
+
+    def test_budget_accounting(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 10, rng=6)
+        mwem = MWEM(skewed_dataset, queries, rounds=6, epsilon=1.5, rng=0)
+        mwem.run()
+        total = mwem.accountant.total_basic()
+        assert total.epsilon == pytest.approx(1.5)
+        assert total.delta == 0.0  # MWEM is pure-DP
+
+    def test_average_vs_last_hypothesis(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 20, rng=7)
+        averaged = MWEM(skewed_dataset, queries, rounds=10, epsilon=2.0,
+                        average_hypotheses=True, rng=8)
+        last = MWEM(skewed_dataset, queries, rounds=10, epsilon=2.0,
+                    average_hypotheses=False, rng=8)
+        # Both must produce valid, reasonably accurate runs.
+        assert averaged.max_error(averaged.run()) < 0.25
+        assert last.max_error(last.run()) < 0.30
+
+    def test_validation(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 5, rng=0)
+        with pytest.raises(ValidationError):
+            MWEM(skewed_dataset, queries, rounds=0, epsilon=1.0)
+        with pytest.raises(ValidationError):
+            MWEM(skewed_dataset, [], rounds=3, epsilon=1.0)
+        with pytest.raises(ValidationError, match="universe"):
+            MWEM(skewed_dataset, [LinearQuery(np.zeros(3))], rounds=3,
+                 epsilon=1.0)
+
+    def test_deterministic_given_seed(self, skewed_dataset):
+        queries = random_halfspace_queries(skewed_dataset.universe, 10, rng=9)
+        a = MWEM(skewed_dataset, queries, rounds=5, epsilon=1.0, rng=11).run()
+        b = MWEM(skewed_dataset, queries, rounds=5, epsilon=1.0, rng=11).run()
+        np.testing.assert_array_equal(a.answers, b.answers)
+        assert a.selected == b.selected

@@ -1,0 +1,120 @@
+"""Tests for the offline PMW-CM variant (Section 1.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.offline import OfflineMWConvex
+from repro.erm.oracle import NonPrivateOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.exceptions import ValidationError
+from repro.losses.families import random_quadratic_family
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture
+def skewed_dataset(cube_universe, rng):
+    weights = rng.dirichlet(np.full(cube_universe.size, 0.1))
+    indices = rng.choice(cube_universe.size, size=20_000, p=weights)
+    return Dataset(cube_universe, indices)
+
+
+def make_offline(dataset, losses, **overrides):
+    params = dict(scale=4.0, rounds=8, epsilon=2.0, delta=1e-6,
+                  solver_steps=150, rng=0)
+    params.update(overrides)
+    return OfflineMWConvex(dataset, losses, NonPrivateOracle(150), **params)
+
+
+class TestRun:
+    def test_answers_every_query(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 6, rng=0)
+        result = make_offline(skewed_dataset, losses).run()
+        assert len(result.thetas) == 6
+        assert len(result.selected) == 8
+        assert len(result.history) == 8
+
+    def test_improves_over_uniform_hypothesis(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 10, rng=1)
+        mechanism = make_offline(skewed_dataset, losses, rounds=12)
+        result = mechanism.run()
+        # Error of the untouched uniform hypothesis for comparison.
+        from repro.core.accuracy import database_error
+        from repro.data.histogram import Histogram
+        data = skewed_dataset.histogram()
+        uniform = Histogram.uniform(skewed_dataset.universe)
+        uniform_worst = max(
+            database_error(loss, data, uniform, solver_steps=150).error
+            for loss in losses
+        )
+        assert mechanism.max_error(result) < uniform_worst
+
+    def test_selection_targets_bad_queries(self, skewed_dataset):
+        """At generous budget, each round must select a high-error query."""
+        losses = random_quadratic_family(skewed_dataset.universe, 8, rng=2)
+        mechanism = make_offline(skewed_dataset, losses, epsilon=100.0)
+        result = mechanism.run()
+        for entry in result.history:
+            assert entry["selected_score"] >= 0.5 * entry["max_score"] - 1e-9
+
+    def test_history_scores_decrease_overall(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 8, rng=3)
+        mechanism = make_offline(skewed_dataset, losses, rounds=15,
+                                 epsilon=50.0)
+        result = mechanism.run()
+        first = result.history[0]["max_score"]
+        last = result.history[-1]["max_score"]
+        assert last < first
+
+    def test_deterministic_given_seed(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 5, rng=4)
+        a = make_offline(skewed_dataset, losses, rng=9).run()
+        b = make_offline(skewed_dataset, losses, rng=9).run()
+        assert a.selected == b.selected
+        np.testing.assert_array_equal(np.stack(a.thetas), np.stack(b.thetas))
+
+
+class TestBudget:
+    def test_accountant_totals(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 5, rng=5)
+        mechanism = make_offline(skewed_dataset, losses, rounds=6)
+        mechanism.run()
+        # 6 selections + 6 oracle calls recorded.
+        assert mechanism.accountant.num_spends == 12
+
+    def test_per_round_budgets_shrink_with_rounds(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 4, rng=6)
+        few = make_offline(skewed_dataset, losses, rounds=2)
+        many = make_offline(skewed_dataset, losses, rounds=50)
+        assert many._select_epsilon < few._select_epsilon
+
+    def test_oracle_rebudgeted(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 4, rng=7)
+        oracle = OutputPerturbationOracle(epsilon=55.0, delta=0.5)
+        mechanism = OfflineMWConvex(
+            skewed_dataset, losses, oracle, scale=4.0, rounds=4,
+            epsilon=1.0, delta=1e-6, rng=0,
+        )
+        assert mechanism._oracle.epsilon < 1.0
+        assert oracle.epsilon == 55.0
+
+
+class TestValidation:
+    def test_empty_losses_rejected(self, skewed_dataset):
+        with pytest.raises(ValidationError):
+            make_offline(skewed_dataset, [])
+
+    def test_zero_rounds_rejected(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 2, rng=8)
+        with pytest.raises(ValidationError):
+            make_offline(skewed_dataset, losses, rounds=0)
+
+    def test_scale_guard(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 2, rng=9)
+        with pytest.raises(ValidationError, match="scale"):
+            make_offline(skewed_dataset, losses, scale=0.01)
+
+    def test_eta_default_matches_figure_3_form(self, skewed_dataset):
+        losses = random_quadratic_family(skewed_dataset.universe, 2, rng=10)
+        mechanism = make_offline(skewed_dataset, losses, rounds=16)
+        expected = np.sqrt(np.log(skewed_dataset.universe.size) / 16)
+        assert mechanism.eta == pytest.approx(expected)

@@ -1,0 +1,86 @@
+"""End-to-end runs with schedule="paper" — Figure 3's exact constants.
+
+The paper schedule's T is huge for interesting alpha, so these tests pick
+parameters where T stays tractable (small universe, 1-D CM queries with
+S = 1, generous alpha), demonstrating the mechanism runs unmodified on the
+paper's own constants — not only the calibrated ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import answer_error
+from repro.core.config import PMWConfig
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.erm.oracle import NonPrivateOracle
+from repro.losses.families import linear_queries_as_cm, random_linear_queries
+
+
+@pytest.fixture
+def setup(rng):
+    universe = signed_cube(3)  # |X| = 8, log|X| ~ 2.08
+    weights = rng.dirichlet(np.full(universe.size, 0.2))
+    dataset = Dataset(universe, rng.choice(universe.size, size=100_000,
+                                           p=weights))
+    queries = random_linear_queries(universe, 12, rng=rng)
+    losses = linear_queries_as_cm(queries)
+    return universe, dataset, losses
+
+
+class TestPaperSchedule:
+    def test_paper_T_is_exact(self, setup):
+        universe, dataset, losses = setup
+        scale = max(loss.scale_bound() for loss in losses)  # = 1.0
+        config = PMWConfig.from_targets(
+            alpha=0.9, beta=0.1, epsilon=2.0, delta=1e-6, scale=scale,
+            universe_size=universe.size, schedule="paper",
+        )
+        expected = int(np.ceil(64 * scale**2 * np.log(8) / 0.81))
+        assert config.max_updates == expected
+        assert config.max_updates < 500  # tractable at these parameters
+
+    def test_mechanism_runs_on_paper_constants(self, setup):
+        universe, dataset, losses = setup
+        scale = max(loss.scale_bound() for loss in losses)
+        mechanism = PrivateMWConvex(
+            dataset, NonPrivateOracle(200), scale=scale, alpha=0.9,
+            beta=0.1, epsilon=2.0, delta=1e-6, schedule="paper",
+            solver_steps=100, rng=0,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = dataset.histogram()
+        for loss, answer in zip(losses, answers):
+            assert answer_error(loss, data, answer.theta) <= 0.9
+
+    def test_paper_schedule_never_halts_at_theorem_n(self, setup):
+        """Claim 3.7: with the paper T and ample data, the mechanism
+        cannot exhaust its update budget on this small workload."""
+        universe, dataset, losses = setup
+        scale = max(loss.scale_bound() for loss in losses)
+        mechanism = PrivateMWConvex(
+            dataset, NonPrivateOracle(200), scale=scale, alpha=0.9,
+            beta=0.1, epsilon=2.0, delta=1e-6, schedule="paper",
+            solver_steps=100, rng=1,
+        )
+        mechanism.answer_all(losses, on_halt="raise")  # must not raise
+        assert not mechanism.halted
+        assert mechanism.updates_performed < mechanism.config.max_updates
+
+    def test_linear_query_error_transfer(self, setup):
+        """For LinearQueryAsCM, excess risk alpha corresponds to answer
+        error 2*sqrt(alpha); verify the chain on real answers."""
+        universe, dataset, losses = setup
+        scale = max(loss.scale_bound() for loss in losses)
+        mechanism = PrivateMWConvex(
+            dataset, NonPrivateOracle(200), scale=scale, alpha=0.25,
+            beta=0.1, epsilon=2.0, delta=1e-6, schedule="calibrated",
+            max_updates=20, solver_steps=100, rng=2,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = dataset.histogram()
+        for loss, answer in zip(losses, answers):
+            excess = answer_error(loss, data, answer.theta)
+            answer_gap = abs(answer.theta[0] - loss.query.answer(data))
+            assert excess == pytest.approx(answer_gap**2 / 4, abs=1e-9)

@@ -1,0 +1,111 @@
+"""Tests for the HR10 linear-query baseline (PrivateMWLinear)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data.dataset import Dataset
+from repro.exceptions import MechanismHalted, ValidationError
+from repro.losses.families import random_halfspace_queries
+from repro.losses.linear import LinearQuery
+
+
+@pytest.fixture
+def skewed_dataset(cube_universe, rng):
+    weights = rng.dirichlet(np.full(cube_universe.size, 0.3))
+    indices = rng.choice(cube_universe.size, size=50_000, p=weights)
+    return Dataset(cube_universe, indices)
+
+
+def make_mechanism(dataset, **overrides):
+    params = dict(alpha=0.1, beta=0.1, epsilon=1.0, delta=1e-6,
+                  schedule="calibrated", max_updates=16, rng=0)
+    params.update(overrides)
+    return PrivateMWLinear(dataset, **params)
+
+
+class TestBasicOperation:
+    def test_answers_in_unit_interval(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset)
+        queries = random_halfspace_queries(skewed_dataset.universe, 20, rng=1)
+        for query in queries:
+            answer = mechanism.answer(query)
+            assert 0.0 <= answer.value <= 1.0
+
+    def test_accuracy_at_scale(self, skewed_dataset):
+        """With n = 50k, all answers should be within ~alpha."""
+        alpha = 0.1
+        mechanism = make_mechanism(skewed_dataset, alpha=alpha)
+        queries = random_halfspace_queries(skewed_dataset.universe, 50, rng=2)
+        data = skewed_dataset.histogram()
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        errors = [abs(q.answer(data) - a.value)
+                  for q, a in zip(queries, answers)]
+        assert max(errors) <= alpha + 0.05
+
+    def test_hypothesis_improves(self, skewed_dataset):
+        """After the stream, the hypothesis answers the queries well."""
+        mechanism = make_mechanism(skewed_dataset)
+        queries = random_halfspace_queries(skewed_dataset.universe, 40, rng=3)
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        data = skewed_dataset.histogram()
+        hypothesis = mechanism.hypothesis
+        errors = [abs(q.answer(data) - q.answer(hypothesis))
+                  for q in queries]
+        assert np.mean(errors) <= 0.1
+
+    def test_update_count_bounded(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset, max_updates=5)
+        queries = random_halfspace_queries(skewed_dataset.universe, 100, rng=4)
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        assert mechanism.updates_performed <= 5
+
+    def test_query_size_mismatch(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset)
+        with pytest.raises(ValidationError, match="universe"):
+            mechanism.answer(LinearQuery(np.zeros(3)))
+
+    def test_halt_raises(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset, max_updates=1,
+                                   noise_multiplier=0.0, alpha=0.01)
+        # A query the uniform hypothesis must answer wrongly: the most
+        # popular single element's frequency.
+        top_element = int(np.argmax(skewed_dataset.histogram().weights))
+        table = np.zeros(skewed_dataset.universe.size)
+        table[top_element] = 1.0
+        mechanism.answer(LinearQuery(table))
+        assert mechanism.halted
+        with pytest.raises(MechanismHalted):
+            mechanism.answer(LinearQuery(table))
+
+    def test_accountant_tracks_measurements(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset)
+        queries = random_halfspace_queries(skewed_dataset.universe, 30, rng=5)
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        measure_spends = [s for s in mechanism.accountant.spends
+                          if s.label.startswith("measure")]
+        assert len(measure_spends) == mechanism.updates_performed
+
+
+class TestAgainstExactAnswers:
+    def test_bottom_answers_come_from_hypothesis(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset)
+        queries = random_halfspace_queries(skewed_dataset.universe, 10, rng=6)
+        for query in queries:
+            hypothesis_before = mechanism.hypothesis
+            answer = mechanism.answer(query)
+            if not answer.from_update:
+                assert answer.value == pytest.approx(
+                    hypothesis_before.dot(query.table)
+                )
+
+    def test_update_moves_hypothesis_toward_truth(self, skewed_dataset):
+        mechanism = make_mechanism(skewed_dataset, alpha=0.05)
+        data = skewed_dataset.histogram()
+        queries = random_halfspace_queries(skewed_dataset.universe, 60, rng=7)
+        before = [abs(q.answer(data) - q.answer(mechanism.hypothesis))
+                  for q in queries]
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        after = [abs(q.answer(data) - q.answer(mechanism.hypothesis))
+                 for q in queries]
+        assert np.mean(after) < np.mean(before)

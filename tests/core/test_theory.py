@@ -1,0 +1,99 @@
+"""Tests for the theory formulas (Table 1, Theorem 3.8, Figure 3's T)."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestUpdateBudget:
+    def test_figure_3_formula(self):
+        t = theory.update_budget(scale=2.0, universe_size=1024, alpha=0.1)
+        assert t == math.ceil(64 * 4 * math.log(1024) / 0.01)
+
+    def test_grows_with_scale_squared(self):
+        t1 = theory.update_budget(1.0, 1024, 0.1)
+        t2 = theory.update_budget(2.0, 1024, 0.1)
+        assert t2 == pytest.approx(4 * t1, rel=0.01)
+
+    def test_shrinks_with_alpha_squared(self):
+        t1 = theory.update_budget(1.0, 1024, 0.1)
+        t2 = theory.update_budget(1.0, 1024, 0.2)
+        assert t1 == pytest.approx(4 * t2, rel=0.01)
+
+
+class TestTheorem38:
+    def test_log_k_dependence(self):
+        kwargs = dict(scale=1.0, universe_size=1024, alpha=0.1, epsilon=1.0,
+                      delta=1e-6, beta=0.05)
+        n1 = theory.theorem_3_8_sample_size(k=100, **kwargs)
+        n2 = theory.theorem_3_8_sample_size(k=100_000, **kwargs)
+        assert n2 / n1 < 2.0  # 1000x more queries, < 2x more data
+
+    def test_oracle_term_respected(self):
+        n = theory.theorem_3_8_sample_size(
+            scale=1.0, universe_size=4, alpha=0.5, epsilon=1.0, delta=1e-6,
+            k=2, beta=0.5, oracle_n=1e12,
+        )
+        assert n == 1e12
+
+
+class TestTable1:
+    def test_four_rows_in_paper_order(self):
+        rows = theory.table1_rows()
+        assert [row.key for row in rows] == [
+            "linear", "lipschitz", "uglm", "strongly_convex",
+        ]
+
+    def test_new_results_attributed_to_paper(self):
+        for row in theory.table1_rows():
+            if row.key != "linear":
+                assert row.k_source == "this paper"
+
+    def test_linear_single(self):
+        assert theory.single_query_n("linear", alpha=0.1) == pytest.approx(10)
+
+    def test_lipschitz_single_sqrt_d(self):
+        n4 = theory.single_query_n("lipschitz", alpha=0.1, d=4)
+        n16 = theory.single_query_n("lipschitz", alpha=0.1, d=16)
+        assert n16 / n4 == pytest.approx(2.0)
+
+    def test_uglm_single_dimension_free(self):
+        n4 = theory.single_query_n("uglm", alpha=0.1, d=4)
+        n64 = theory.single_query_n("uglm", alpha=0.1, d=64)
+        assert n4 == n64
+
+    def test_strongly_convex_improves_with_sigma(self):
+        weak = theory.single_query_n("strongly_convex", alpha=0.1, d=4,
+                                     sigma=0.5)
+        strong = theory.single_query_n("strongly_convex", alpha=0.1, d=4,
+                                       sigma=2.0)
+        assert strong < weak
+
+    def test_k_query_log_k_growth(self):
+        for key in ("linear", "lipschitz", "uglm", "strongly_convex"):
+            n1 = theory.k_query_n(key, alpha=0.1, k=100, universe_size=1024,
+                                  d=4, sigma=1.0)
+            n2 = theory.k_query_n(key, alpha=0.1, k=10_000,
+                                  universe_size=1024, d=4, sigma=1.0)
+            assert n2 / n1 < 2.5, key
+
+    def test_k_query_beats_naive_composition_for_large_k(self):
+        """The paper's selling point: k-query n << sqrt(k) * single n."""
+        k = 10**8
+        single = theory.single_query_n("lipschitz", alpha=0.1, d=4)
+        many = theory.k_query_n("lipschitz", alpha=0.1, k=k,
+                                universe_size=1024, d=4)
+        naive = math.sqrt(k) * single
+        assert many < naive / 10
+
+    def test_unknown_row_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            theory.single_query_n("nonexistent", alpha=0.1)
+
+
+class TestExponents:
+    def test_exponent_values(self):
+        assert theory.composition_error_exponent() == 0.5
+        assert theory.pmw_error_exponent() == 0.0

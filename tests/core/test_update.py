@@ -1,0 +1,179 @@
+"""Tests for the dual-certificate MW update (Claim 3.5 and Lemma 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.update import (
+    claim_3_5_slack,
+    dual_certificate,
+    mw_step,
+)
+from repro.data.histogram import Histogram
+from repro.exceptions import ValidationError
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+class TestDualCertificate:
+    def test_direction_formula(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = np.array([0.5, 0.0, 0.0])
+        certificate = dual_certificate(loss, hypothesis, theta_oracle)
+        gradients = loss.gradients(certificate.theta_hat, cube_universe)
+        expected = gradients @ (theta_oracle - certificate.theta_hat)
+        np.testing.assert_allclose(certificate.direction, expected)
+
+    def test_hypothesis_inner_nonnegative(self, cube_universe, cube_dataset):
+        """Equation (3): first-order optimality makes <u, Dhat> >= 0."""
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            theta_oracle = loss.domain.random_point(rng)
+            certificate = dual_certificate(loss, hypothesis, theta_oracle)
+            assert certificate.hypothesis_inner >= -1e-9
+
+    def test_hypothesis_inner_nonnegative_logistic(self, labeled_ball_universe,
+                                                   labeled_dataset):
+        loss = LogisticLoss(L2Ball(2))
+        hypothesis = Histogram.uniform(labeled_ball_universe)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            theta_oracle = loss.domain.random_point(rng)
+            certificate = dual_certificate(loss, hypothesis, theta_oracle,
+                                           solver_steps=800)
+            assert certificate.hypothesis_inner >= -1e-3  # solver tolerance
+
+    def test_claim_3_5_inequality(self, cube_universe, cube_dataset):
+        """<u, Dhat - D> >= l_D(theta_hat) - l_D(theta) — the key lemma."""
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = minimize_loss(loss, data).theta  # great oracle answer
+        certificate = dual_certificate(loss, hypothesis, theta_oracle)
+        slack = claim_3_5_slack(loss, certificate, data, hypothesis)
+        assert slack >= -1e-9
+
+    def test_claim_3_5_inequality_logistic(self, labeled_ball_universe,
+                                           labeled_dataset):
+        loss = LogisticLoss(L2Ball(2))
+        data = labeled_dataset.histogram()
+        hypothesis = Histogram.uniform(labeled_ball_universe)
+        theta_oracle = minimize_loss(loss, data, steps=800).theta
+        certificate = dual_certificate(loss, hypothesis, theta_oracle,
+                                       solver_steps=800)
+        slack = claim_3_5_slack(loss, certificate, data, hypothesis)
+        assert slack >= -1e-3
+
+    def test_claim_3_5_with_imperfect_oracle(self, cube_universe,
+                                             cube_dataset):
+        """The inequality holds for ANY theta_oracle, not just the optimum."""
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            theta_oracle = loss.domain.random_point(rng)
+            certificate = dual_certificate(loss, hypothesis, theta_oracle)
+            slack = claim_3_5_slack(loss, certificate, data, hypothesis)
+            assert slack >= -1e-9
+
+    def test_supplied_theta_hat_used(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_hat = np.array([0.1, 0.1, 0.1])
+        certificate = dual_certificate(loss, hypothesis, np.zeros(3),
+                                       theta_hat=theta_hat)
+        np.testing.assert_array_equal(certificate.theta_hat, theta_hat)
+
+
+class TestMWStep:
+    def make_certificate(self, cube_universe, magnitude=1.0):
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = np.array([magnitude, 0.0, 0.0])
+        return hypothesis, dual_certificate(loss, hypothesis, theta_oracle)
+
+    def test_moves_toward_low_u_elements(self, cube_universe):
+        hypothesis, certificate = self.make_certificate(cube_universe)
+        updated = mw_step(hypothesis, certificate, eta=0.5, scale=4.0)
+        low_u = int(np.argmin(certificate.direction))
+        high_u = int(np.argmax(certificate.direction))
+        assert updated[low_u] > hypothesis[low_u]
+        assert updated[high_u] < hypothesis[high_u]
+
+    def test_paper_sign_moves_opposite(self, cube_universe):
+        hypothesis, certificate = self.make_certificate(cube_universe)
+        standard = mw_step(hypothesis, certificate, eta=0.5, scale=4.0)
+        flipped = mw_step(hypothesis, certificate, eta=0.5, scale=4.0,
+                          paper_sign=True)
+        high_u = int(np.argmax(certificate.direction))
+        assert flipped[high_u] > hypothesis[high_u] > standard[high_u]
+
+    def test_scale_violation_raises(self, cube_universe):
+        hypothesis, certificate = self.make_certificate(cube_universe)
+        with pytest.raises(ValidationError, match="scale"):
+            mw_step(hypothesis, certificate, eta=0.5, scale=1e-6)
+
+    def test_update_reduces_kl_to_data(self, cube_universe, cube_dataset):
+        """The potential argument: a useful update shrinks KL(D || Dhat)."""
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = minimize_loss(loss, data).theta
+        certificate = dual_certificate(loss, hypothesis, theta_oracle)
+        # Only meaningful when the certificate separates Dhat from D.
+        separation = certificate.hypothesis_inner - data.dot(
+            certificate.direction
+        )
+        assert separation > 0.0
+        scale = loss.scale_bound()
+        eta = separation / (2 * scale * scale)  # the analysis' step choice
+        updated = mw_step(hypothesis, certificate, eta=eta, scale=scale)
+        assert data.kl_divergence(updated) < data.kl_divergence(hypothesis)
+
+    def test_repeated_updates_converge_toward_data(self, cube_universe,
+                                                   cube_dataset):
+        """Iterating certificate updates drives hypothesis error to ~0.
+
+        Starts from an adversarial point-mass hypothesis (maximal error)
+        and uses the analysis' step size eta = separation / (2 S^2).
+        """
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        mean = cube_universe.points.T @ data.weights
+        distances = np.linalg.norm(cube_universe.points - mean, axis=1)
+        hypothesis = Histogram.point_mass(cube_universe, int(np.argmax(distances)))
+        # Point masses have zero support elsewhere; mix with uniform so MW
+        # can move mass (standard smoothing).
+        hypothesis = Histogram(
+            cube_universe,
+            0.9 * hypothesis.weights + 0.1 / cube_universe.size,
+        )
+        theta_star = minimize_loss(loss, data).theta
+        scale = loss.scale_bound()
+        initial_error = None
+        for _ in range(400):
+            certificate = dual_certificate(loss, hypothesis, theta_star)
+            error = (loss.loss_on(certificate.theta_hat, data)
+                     - loss.loss_on(theta_star, data))
+            if initial_error is None:
+                initial_error = error
+            separation = certificate.hypothesis_inner - data.dot(
+                certificate.direction
+            )
+            if separation <= 1e-10:
+                break
+            # mw_step normalizes u by S, so the analysis' optimal step on
+            # the normalized direction is eta = separation / (2 S).
+            eta = separation / (2.0 * scale)
+            hypothesis = mw_step(hypothesis, certificate, eta=eta,
+                                 scale=scale)
+        final_theta = minimize_loss(loss, hypothesis).theta
+        final_error = (loss.loss_on(final_theta, data)
+                       - loss.loss_on(theta_star, data))
+        assert initial_error > 0.05  # the starting hypothesis was truly bad
+        assert final_error < max(0.1 * initial_error, 1e-4)

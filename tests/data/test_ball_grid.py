@@ -1,0 +1,61 @@
+"""Tests for the deterministic ball-grid discretization (Section 1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import ball_grid
+from repro.data.discretize import discretization_error
+from repro.exceptions import UniverseError
+
+
+class TestBallGrid:
+    def test_all_points_inside_ball(self):
+        universe = ball_grid(3, 9)
+        norms = np.linalg.norm(universe.points, axis=1)
+        assert norms.max() <= 1.0 + 1e-9
+
+    def test_origin_included_for_odd_resolution(self):
+        universe = ball_grid(2, 11)
+        distances = np.linalg.norm(universe.points, axis=1)
+        assert distances.min() == pytest.approx(0.0)
+
+    def test_size_smaller_than_full_grid(self):
+        universe = ball_grid(3, 9)
+        assert universe.size < 9**3  # corners of the cube get cut
+
+    def test_covering_radius_bound(self):
+        """Section 1.1's rounding argument: covering radius ~ sqrt(d)/res."""
+        d, resolution = 2, 21
+        universe = ball_grid(d, resolution)
+        rng = np.random.default_rng(0)
+        # Random points in the 0.9-ball (interior, so covering applies).
+        directions = rng.standard_normal((300, d))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        raw = directions * (0.9 * rng.random((300, 1)) ** (1 / d))
+        spacing = 2.0 / (resolution - 1)
+        bound = np.sqrt(d) * spacing / 2.0 + 1e-9
+        assert discretization_error(universe, raw) <= bound
+
+    def test_finer_grid_smaller_error(self):
+        rng = np.random.default_rng(1)
+        raw = rng.uniform(-0.5, 0.5, size=(200, 2))
+        coarse = ball_grid(2, 5)
+        fine = ball_grid(2, 41)
+        assert (discretization_error(fine, raw)
+                < discretization_error(coarse, raw))
+
+    def test_respects_radius(self):
+        universe = ball_grid(2, 9, radius=2.0)
+        assert np.linalg.norm(universe.points, axis=1).max() <= 2.0 + 1e-9
+
+    def test_rejects_huge_grid(self):
+        with pytest.raises(UniverseError, match="enumeration cap"):
+            ball_grid(12, 10)
+
+    def test_rejects_bad_resolution(self):
+        with pytest.raises(UniverseError):
+            ball_grid(2, 1)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(ball_grid(2, 7).points,
+                                      ball_grid(2, 7).points)

@@ -1,0 +1,98 @@
+"""Tests for universe builders."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import (
+    binary_cube,
+    interval_grid,
+    labeled_universe,
+    random_ball_net,
+    signed_cube,
+)
+from repro.exceptions import UniverseError
+
+
+class TestBinaryCube:
+    def test_size(self):
+        assert binary_cube(4).size == 16
+
+    def test_entries_binary(self):
+        points = binary_cube(3).points
+        assert set(np.unique(points)) == {0.0, 1.0}
+
+    def test_all_distinct(self):
+        points = binary_cube(3).points
+        assert len({tuple(p) for p in points}) == 8
+
+    def test_rejects_huge_d(self):
+        with pytest.raises(UniverseError, match="enumeration cap"):
+            binary_cube(40)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(UniverseError):
+            binary_cube(0)
+
+
+class TestSignedCube:
+    def test_unit_norms(self):
+        norms = np.linalg.norm(signed_cube(5).points, axis=1)
+        np.testing.assert_allclose(norms, 1.0)
+
+    def test_size(self):
+        assert signed_cube(3).size == 8
+
+
+class TestIntervalGrid:
+    def test_endpoints(self):
+        grid = interval_grid(11, -2.0, 2.0)
+        assert grid.points[0, 0] == -2.0
+        assert grid.points[-1, 0] == 2.0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(UniverseError):
+            interval_grid(5, 1.0, 0.0)
+
+    def test_singleton(self):
+        assert interval_grid(1).size == 1
+
+
+class TestRandomBallNet:
+    def test_inside_ball(self):
+        net = random_ball_net(4, 200, radius=1.0, rng=0)
+        norms = np.linalg.norm(net.points, axis=1)
+        assert norms.max() <= 1.0 + 1e-12
+
+    def test_respects_radius(self):
+        net = random_ball_net(3, 100, radius=2.5, rng=0)
+        assert np.linalg.norm(net.points, axis=1).max() <= 2.5 + 1e-12
+
+    def test_deterministic_from_seed(self):
+        a = random_ball_net(2, 10, rng=3).points
+        b = random_ball_net(2, 10, rng=3).points
+        np.testing.assert_array_equal(a, b)
+
+    def test_fills_ball_not_just_surface(self):
+        # Uniform-in-ball sampling must put points at small radii too.
+        net = random_ball_net(2, 500, rng=0)
+        norms = np.linalg.norm(net.points, axis=1)
+        assert norms.min() < 0.3
+
+
+class TestLabeledUniverse:
+    def test_cross_product_size(self):
+        base = signed_cube(3)
+        labeled = labeled_universe(base, (-1.0, 1.0))
+        assert labeled.size == 16
+        assert labeled.is_labeled
+
+    def test_every_pair_present(self):
+        base = interval_grid(3)
+        labeled = labeled_universe(base, (0.0, 1.0, 2.0))
+        pairs = {(float(p[0]), float(y))
+                 for p, y in zip(labeled.points, labeled.labels)}
+        assert len(pairs) == 9
+
+    def test_rejects_empty_labels(self):
+        with pytest.raises(UniverseError):
+            labeled_universe(signed_cube(2), ())

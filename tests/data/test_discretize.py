@@ -1,0 +1,89 @@
+"""Tests for discretization onto a finite universe."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import interval_grid, labeled_universe, random_ball_net
+from repro.data.discretize import discretization_error, discretize_points
+from repro.exceptions import UniverseError
+
+
+class TestDiscretizePoints:
+    def test_exact_points_map_to_themselves(self):
+        universe = interval_grid(5, 0.0, 4.0)
+        dataset = discretize_points(universe, universe.points.copy())
+        np.testing.assert_array_equal(dataset.indices, np.arange(5))
+
+    def test_nearest_assignment(self):
+        universe = interval_grid(5, 0.0, 4.0)  # points 0,1,2,3,4
+        dataset = discretize_points(universe, np.array([[0.4], [2.6], [3.9]]))
+        np.testing.assert_array_equal(dataset.indices, [0, 3, 4])
+
+    def test_labeled_requires_labels(self):
+        universe = labeled_universe(interval_grid(3), (0.0, 1.0))
+        with pytest.raises(UniverseError, match="raw_labels"):
+            discretize_points(universe, np.zeros((2, 1)))
+
+    def test_labeled_matches_joint(self):
+        universe = labeled_universe(interval_grid(3, 0.0, 2.0), (-1.0, 1.0))
+        dataset = discretize_points(universe, np.array([[1.1]]),
+                                    np.array([0.8]))
+        point, label = universe.element(int(dataset.indices[0]))
+        assert point[0] == pytest.approx(1.0)
+        assert label == 1.0
+
+    def test_dim_mismatch(self):
+        with pytest.raises(UniverseError, match="dim"):
+            discretize_points(interval_grid(3), np.zeros((2, 2)))
+
+    def test_label_length_mismatch(self):
+        universe = labeled_universe(interval_grid(3), (0.0, 1.0))
+        with pytest.raises(UniverseError, match="length"):
+            discretize_points(universe, np.zeros((2, 1)), np.zeros(3))
+
+
+class TestDiscretizationError:
+    def test_zero_on_universe_points(self):
+        universe = random_ball_net(3, 50, rng=0)
+        assert discretization_error(universe, universe.points.copy()) == 0.0
+
+    def test_bounded_by_covering_radius(self):
+        # With a dense 1-D grid, error is at most half the grid spacing.
+        universe = interval_grid(101, -1.0, 1.0)
+        raw = np.random.default_rng(0).uniform(-1, 1, size=(200, 1))
+        spacing = 2.0 / 100
+        assert discretization_error(universe, raw) <= spacing / 2 + 1e-12
+
+    def test_decreases_with_net_size(self):
+        rng = np.random.default_rng(1)
+        raw = rng.uniform(-0.5, 0.5, size=(100, 2))
+        small = random_ball_net(2, 20, rng=0)
+        large = random_ball_net(2, 2000, rng=0)
+        assert (discretization_error(large, raw)
+                < discretization_error(small, raw))
+
+
+class TestLipschitzRoundingClaim:
+    def test_loss_shift_bounded_by_lipschitz_times_error(self):
+        """Section 1.1's rounding argument, verified on logistic loss."""
+        from repro.data.dataset import Dataset
+        from repro.losses.logistic import LogisticLoss
+        from repro.optimize.projections import L2Ball
+
+        rng = np.random.default_rng(2)
+        base = random_ball_net(2, 400, rng=0)
+        universe = labeled_universe(base, (-1.0, 1.0))
+        raw_x = rng.uniform(-0.5, 0.5, size=(300, 2))
+        raw_y = np.sign(rng.standard_normal(300))
+        dataset = discretize_points(universe, raw_x, raw_y)
+        loss = LogisticLoss(L2Ball(2))
+        theta = np.array([0.4, -0.3])
+
+        # Empirical loss on the raw data vs on the discretized data.
+        margins = raw_x @ theta
+        raw_loss = float(np.mean(np.logaddexp(0.0, -raw_y * margins)))
+        rounded_loss = loss.loss_on(theta, dataset.histogram())
+        # Labels match exactly (binary), features move by <= rounding error,
+        # and logistic is 1-Lipschitz in the margin with ||theta|| <= 1.
+        max_shift = discretization_error(universe, raw_x)
+        assert abs(raw_loss - rounded_loss) <= max_shift + 1e-9

@@ -1,0 +1,140 @@
+"""Tests for the Histogram class, including the MW update."""
+
+import numpy as np
+import pytest
+
+from repro.data.histogram import Histogram
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def universe():
+    return Universe(np.arange(5, dtype=float)[:, None], name="line5")
+
+
+class TestConstruction:
+    def test_uniform(self, universe):
+        hist = Histogram.uniform(universe)
+        np.testing.assert_allclose(hist.weights, 0.2)
+
+    def test_normalizes(self, universe):
+        hist = Histogram(universe, np.array([2.0, 2.0, 2.0, 2.0, 2.0]))
+        np.testing.assert_allclose(hist.weights.sum(), 1.0)
+
+    def test_from_counts(self, universe):
+        hist = Histogram.from_counts(universe, np.array([1, 0, 3, 0, 0]))
+        assert hist[2] == pytest.approx(0.75)
+
+    def test_point_mass(self, universe):
+        hist = Histogram.point_mass(universe, 3)
+        assert hist[3] == 1.0
+        assert hist[0] == 0.0
+
+    def test_rejects_negative(self, universe):
+        with pytest.raises(ValidationError, match="non-negative"):
+            Histogram(universe, np.array([0.5, -0.5, 0.4, 0.3, 0.3]))
+
+    def test_rejects_zero_mass(self, universe):
+        with pytest.raises(ValidationError, match="positive total"):
+            Histogram(universe, np.zeros(5))
+
+    def test_rejects_wrong_length(self, universe):
+        from repro.exceptions import UniverseError
+        with pytest.raises(UniverseError):
+            Histogram(universe, np.ones(4))
+
+    def test_weights_read_only(self, universe):
+        hist = Histogram.uniform(universe)
+        with pytest.raises(ValueError):
+            hist.weights[0] = 0.9
+
+
+class TestDot:
+    def test_linear_query_answer(self, universe):
+        hist = Histogram(universe, np.array([0.5, 0.5, 0.0, 0.0, 0.0]))
+        query = np.array([1.0, 0.0, 1.0, 0.0, 1.0])
+        assert hist.dot(query) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self, universe):
+        with pytest.raises(ValidationError):
+            Histogram.uniform(universe).dot(np.ones(3))
+
+
+class TestMultiplicativeUpdate:
+    def test_zero_direction_is_identity(self, universe):
+        hist = Histogram(universe, np.array([0.1, 0.2, 0.3, 0.2, 0.2]))
+        updated = hist.multiplicative_update(np.zeros(5), eta=0.5)
+        np.testing.assert_allclose(updated.weights, hist.weights)
+
+    def test_positive_direction_raises_weight(self, universe):
+        hist = Histogram.uniform(universe)
+        direction = np.array([1.0, 0.0, 0.0, 0.0, 0.0])
+        updated = hist.multiplicative_update(direction, eta=1.0)
+        assert updated[0] > hist[0]
+        assert updated[1] < hist[1]
+
+    def test_matches_closed_form(self, universe):
+        hist = Histogram(universe, np.array([0.1, 0.2, 0.3, 0.2, 0.2]))
+        direction = np.array([0.5, -0.5, 0.0, 1.0, -1.0])
+        eta = 0.3
+        expected = hist.weights * np.exp(eta * direction)
+        expected /= expected.sum()
+        updated = hist.multiplicative_update(direction, eta)
+        np.testing.assert_allclose(updated.weights, expected, rtol=1e-12)
+
+    def test_extreme_eta_no_overflow(self, universe):
+        hist = Histogram.uniform(universe)
+        direction = np.array([1.0, -1.0, 0.5, -0.5, 0.0])
+        updated = hist.multiplicative_update(direction, eta=800.0)
+        assert np.isfinite(updated.weights).all()
+        assert updated.weights.sum() == pytest.approx(1.0)
+
+    def test_preserves_zero_support(self, universe):
+        hist = Histogram(universe, np.array([0.0, 0.5, 0.5, 0.0, 0.0]))
+        updated = hist.multiplicative_update(np.ones(5), eta=0.2)
+        assert updated[0] == 0.0
+        assert updated[3] == 0.0
+
+
+class TestDistances:
+    def test_total_variation(self, universe):
+        a = Histogram.point_mass(universe, 0)
+        b = Histogram.point_mass(universe, 1)
+        assert a.total_variation(b) == pytest.approx(1.0)
+
+    def test_l1_of_self_is_zero(self, universe):
+        hist = Histogram.uniform(universe)
+        assert hist.l1_distance(hist) == 0.0
+
+    def test_kl_self_zero(self, universe):
+        hist = Histogram(universe, np.array([0.1, 0.2, 0.3, 0.2, 0.2]))
+        assert hist.kl_divergence(hist) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_infinite_off_support(self, universe):
+        p = Histogram.point_mass(universe, 0)
+        q = Histogram.point_mass(universe, 1)
+        assert p.kl_divergence(q) == float("inf")
+
+    def test_kl_vs_uniform_bounded_by_log_size(self, universe):
+        # KL(D || uniform) <= log |X| for any D — the MW potential bound.
+        uniform = Histogram.uniform(universe)
+        worst = Histogram.point_mass(universe, 2)
+        assert worst.kl_divergence(uniform) <= np.log(universe.size) + 1e-12
+
+
+class TestSampling:
+    def test_sample_indices_shape(self, universe):
+        hist = Histogram.uniform(universe)
+        indices = hist.sample_indices(50, rng=0)
+        assert indices.shape == (50,)
+        assert indices.min() >= 0 and indices.max() < 5
+
+    def test_sample_respects_support(self, universe):
+        hist = Histogram.point_mass(universe, 4)
+        indices = hist.sample_indices(20, rng=0)
+        assert (indices == 4).all()
+
+    def test_negative_n_rejected(self, universe):
+        with pytest.raises(ValidationError):
+            Histogram.uniform(universe).sample_indices(-1)

@@ -1,0 +1,108 @@
+"""Tests for artifact persistence (save/load of release objects)."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import (
+    load_dataset,
+    load_histogram,
+    load_universe,
+    save_dataset,
+    save_histogram,
+    save_universe,
+)
+from repro.exceptions import ValidationError
+
+
+class TestUniverseRoundTrip:
+    def test_unlabeled(self, cube_universe, tmp_path):
+        path = save_universe(cube_universe, tmp_path / "u")
+        loaded = load_universe(path)
+        np.testing.assert_array_equal(loaded.points, cube_universe.points)
+        assert loaded.labels is None
+        assert loaded.name == cube_universe.name
+
+    def test_labeled(self, labeled_ball_universe, tmp_path):
+        path = save_universe(labeled_ball_universe, tmp_path / "u.npz")
+        loaded = load_universe(path)
+        np.testing.assert_array_equal(loaded.labels,
+                                      labeled_ball_universe.labels)
+
+    def test_extension_added(self, cube_universe, tmp_path):
+        path = save_universe(cube_universe, tmp_path / "bare")
+        assert path.suffix == ".npz"
+
+
+class TestHistogramRoundTrip:
+    def test_weights_preserved(self, cube_universe, rng, tmp_path):
+        from repro.data.histogram import Histogram
+        hist = Histogram(cube_universe,
+                         rng.dirichlet(np.full(cube_universe.size, 0.5)))
+        path = save_histogram(hist, tmp_path / "h")
+        loaded = load_histogram(path)
+        np.testing.assert_allclose(loaded.weights, hist.weights)
+        assert loaded.universe.size == cube_universe.size
+
+    def test_loaded_histogram_is_functional(self, cube_universe, tmp_path):
+        from repro.data.histogram import Histogram
+        hist = Histogram.uniform(cube_universe)
+        loaded = load_histogram(save_histogram(hist, tmp_path / "h"))
+        updated = loaded.multiplicative_update(
+            np.linspace(-1, 1, cube_universe.size), eta=0.3
+        )
+        assert updated.weights.sum() == pytest.approx(1.0)
+
+
+class TestDatasetRoundTrip:
+    def test_indices_preserved(self, cube_dataset, tmp_path):
+        loaded = load_dataset(save_dataset(cube_dataset, tmp_path / "d"))
+        np.testing.assert_array_equal(loaded.indices, cube_dataset.indices)
+
+    def test_histogram_matches(self, labeled_dataset, tmp_path):
+        loaded = load_dataset(save_dataset(labeled_dataset, tmp_path / "d"))
+        np.testing.assert_allclose(loaded.histogram().weights,
+                                   labeled_dataset.histogram().weights)
+
+
+class TestKindChecks:
+    def test_wrong_kind_rejected(self, cube_universe, cube_dataset,
+                                 tmp_path):
+        path = save_universe(cube_universe, tmp_path / "u")
+        with pytest.raises(ValidationError, match="expected a 'dataset'"):
+            load_dataset(path)
+
+    def test_histogram_as_universe_rejected(self, cube_universe, tmp_path):
+        from repro.data.histogram import Histogram
+        path = save_histogram(Histogram.uniform(cube_universe),
+                              tmp_path / "h")
+        with pytest.raises(ValidationError):
+            load_universe(path)
+
+
+class TestReleaseWorkflow:
+    def test_mechanism_release_round_trip(self, cube_dataset, tmp_path):
+        """The Section 4.3 release workflow: run, save hypothesis +
+        synthetic data, reload, answer a fresh query."""
+        from repro.core.pmw_cm import PrivateMWConvex
+        from repro.erm.oracle import NonPrivateOracle
+        from repro.losses.families import random_quadratic_family
+        from repro.optimize.minimize import minimize_loss
+
+        losses = random_quadratic_family(cube_dataset.universe, 5, rng=0)
+        mechanism = PrivateMWConvex(
+            cube_dataset, NonPrivateOracle(150), scale=4.0, alpha=0.3,
+            epsilon=2.0, delta=1e-6, schedule="calibrated", max_updates=10,
+            solver_steps=150, rng=1,
+        )
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        save_histogram(mechanism.hypothesis, tmp_path / "release")
+        save_dataset(mechanism.synthetic_dataset(500, rng=2),
+                     tmp_path / "synthetic")
+
+        hypothesis = load_histogram(tmp_path / "release.npz")
+        synthetic = load_dataset(tmp_path / "synthetic.npz")
+        fresh_query = random_quadratic_family(hypothesis.universe, 1,
+                                              rng=9)[0]
+        theta = minimize_loss(fresh_query, hypothesis, steps=150).theta
+        assert fresh_query.domain.contains(theta, tol=1e-9)
+        assert synthetic.n == 500

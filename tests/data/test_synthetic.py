@@ -1,0 +1,91 @@
+"""Tests for synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    make_classification_dataset,
+    make_regression_dataset,
+    sample_dataset,
+)
+from repro.data.builders import signed_cube
+from repro.exceptions import ValidationError
+
+
+class TestSampleDataset:
+    def test_uniform_size(self):
+        universe = signed_cube(3)
+        dataset = sample_dataset(universe, 200, rng=0)
+        assert dataset.n == 200
+
+    def test_weighted_sampling_respects_support(self):
+        universe = signed_cube(3)
+        weights = np.zeros(universe.size)
+        weights[2] = 1.0
+        dataset = sample_dataset(universe, 50, weights=weights, rng=0)
+        assert (dataset.indices == 2).all()
+
+    def test_weights_shape_checked(self):
+        with pytest.raises(ValidationError):
+            sample_dataset(signed_cube(2), 10, weights=np.ones(3))
+
+    def test_unnormalized_weights_accepted(self):
+        universe = signed_cube(2)
+        dataset = sample_dataset(universe, 30, weights=np.full(4, 10.0), rng=0)
+        assert dataset.n == 30
+
+
+class TestRegressionTask:
+    def test_shapes(self):
+        task = make_regression_dataset(n=500, d=3, universe_size=64,
+                                       label_levels=5, rng=0)
+        assert task.dataset.n == 500
+        assert task.universe.dim == 3
+        assert task.universe.size == 64 * 5
+        assert task.theta_star.shape == (3,)
+
+    def test_theta_star_unit_norm(self):
+        task = make_regression_dataset(n=100, d=4, rng=1)
+        assert np.linalg.norm(task.theta_star) == pytest.approx(1.0)
+
+    def test_labels_in_range(self):
+        task = make_regression_dataset(n=300, d=2, rng=2)
+        labels = task.dataset.labels
+        assert labels.min() >= -1.0 and labels.max() <= 1.0
+
+    def test_signal_present(self):
+        """Labels must correlate with <theta*, x> — the planted signal."""
+        task = make_regression_dataset(n=2000, d=3, universe_size=400,
+                                       noise=0.05, rng=3)
+        predictions = task.dataset.points @ task.theta_star
+        correlation = np.corrcoef(predictions, task.dataset.labels)[0, 1]
+        assert correlation > 0.8
+
+    def test_reproducible(self):
+        a = make_regression_dataset(n=100, d=2, rng=9)
+        b = make_regression_dataset(n=100, d=2, rng=9)
+        np.testing.assert_array_equal(a.dataset.indices, b.dataset.indices)
+
+
+class TestClassificationTask:
+    def test_labels_binary(self):
+        task = make_classification_dataset(n=400, d=3, rng=0)
+        assert set(np.unique(task.dataset.labels)) <= {-1.0, 1.0}
+
+    def test_signal_present(self):
+        task = make_classification_dataset(n=2000, d=3, universe_size=400,
+                                           flip_probability=0.0, rng=1)
+        margins = task.dataset.points @ task.theta_star
+        agreement = np.mean(np.sign(margins) == task.dataset.labels)
+        assert agreement > 0.85  # discretization can flip near-margin points
+
+    def test_label_noise_applied(self):
+        noisy = make_classification_dataset(n=2000, d=3, universe_size=400,
+                                            flip_probability=0.4, rng=1)
+        margins = noisy.dataset.points @ noisy.theta_star
+        agreement = np.mean(np.sign(margins) == noisy.dataset.labels)
+        assert agreement < 0.8
+
+    def test_rejects_bad_flip_probability(self):
+        with pytest.raises(ValidationError):
+            make_classification_dataset(n=10, d=2, flip_probability=0.6)

@@ -1,0 +1,76 @@
+"""Tests for the Universe container."""
+
+import numpy as np
+import pytest
+
+from repro.data.universe import Universe
+from repro.exceptions import UniverseError, ValidationError
+
+
+def square_universe():
+    return Universe(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]]),
+                    name="square")
+
+
+class TestConstruction:
+    def test_size_and_dim(self):
+        universe = square_universe()
+        assert universe.size == 4
+        assert universe.dim == 2
+        assert len(universe) == 4
+
+    def test_log_size(self):
+        assert square_universe().log_size == pytest.approx(np.log(4))
+
+    def test_points_read_only(self):
+        universe = square_universe()
+        with pytest.raises(ValueError):
+            universe.points[0, 0] = 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(UniverseError):
+            Universe(np.zeros((0, 2)))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValidationError):
+            Universe(np.array([[np.inf, 0.0]]))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(UniverseError, match="labels"):
+            Universe(np.zeros((3, 2)), labels=np.zeros(2))
+
+
+class TestLabels:
+    def test_unlabeled_flag(self):
+        assert not square_universe().is_labeled
+
+    def test_with_labels(self):
+        universe = square_universe().with_labels(np.array([1, -1, 1, -1]))
+        assert universe.is_labeled
+        point, label = universe.element(1)
+        assert label == -1.0
+        np.testing.assert_array_equal(point, [1.0, 0.0])
+
+    def test_element_out_of_range(self):
+        with pytest.raises(IndexError):
+            square_universe().element(10)
+
+
+class TestGeometry:
+    def test_max_point_norm(self):
+        assert square_universe().max_point_norm() == pytest.approx(np.sqrt(2))
+
+    def test_nearest_index_exact(self):
+        universe = square_universe()
+        assert universe.nearest_index(np.array([1.0, 1.0])) == 3
+
+    def test_nearest_index_approximate(self):
+        universe = square_universe()
+        assert universe.nearest_index(np.array([0.9, 0.1])) == 1
+
+    def test_nearest_index_dim_check(self):
+        with pytest.raises(UniverseError, match="shape"):
+            square_universe().nearest_index(np.array([1.0]))
+
+    def test_describe_mentions_size(self):
+        assert "size=4" in square_universe().describe()

@@ -1,0 +1,83 @@
+"""Tests for the privacy accountant."""
+
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.exceptions import PrivacyBudgetExhausted
+
+
+class TestRecording:
+    def test_totals_accumulate(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.1, 1e-7, "a")
+        accountant.spend(0.2, 1e-7, "b")
+        total = accountant.total_basic()
+        assert total.epsilon == pytest.approx(0.3)
+        assert total.delta == pytest.approx(2e-7)
+        assert accountant.num_spends == 2
+
+    def test_empty_total_is_negligible(self):
+        total = PrivacyAccountant().total_basic()
+        assert total.epsilon < 1e-100
+        assert total.delta == 0.0
+
+
+class TestBudgetEnforcement:
+    def test_raises_when_over_epsilon(self):
+        accountant = PrivacyAccountant(epsilon_budget=0.5)
+        accountant.spend(0.4)
+        with pytest.raises(PrivacyBudgetExhausted) as info:
+            accountant.spend(0.2, label="too-much")
+        assert info.value.epsilon_budget == 0.5
+        assert "too-much" in str(info.value)
+
+    def test_refused_spend_not_recorded(self):
+        accountant = PrivacyAccountant(epsilon_budget=0.5)
+        accountant.spend(0.4)
+        with pytest.raises(PrivacyBudgetExhausted):
+            accountant.spend(0.2)
+        assert accountant.num_spends == 1
+        assert accountant.total_basic().epsilon == pytest.approx(0.4)
+
+    def test_exact_budget_allowed(self):
+        accountant = PrivacyAccountant(epsilon_budget=0.5)
+        accountant.spend(0.25)
+        accountant.spend(0.25)  # hits budget exactly: allowed
+
+    def test_delta_budget_enforced(self):
+        accountant = PrivacyAccountant(delta_budget=1e-6)
+        accountant.spend(0.1, 9e-7)
+        with pytest.raises(PrivacyBudgetExhausted):
+            accountant.spend(0.1, 5e-7)
+
+    def test_remaining_epsilon(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.spend(0.3)
+        assert accountant.remaining_epsilon() == pytest.approx(0.7)
+
+    def test_remaining_infinite_without_budget(self):
+        assert PrivacyAccountant().remaining_epsilon() == float("inf")
+
+
+class TestAdvancedTotal:
+    def test_homogeneous_uses_advanced(self):
+        accountant = PrivacyAccountant()
+        for _ in range(100):
+            accountant.spend(0.01, 1e-9)
+        advanced = accountant.total_advanced(1e-6)
+        basic = accountant.total_basic()
+        assert advanced.epsilon < basic.epsilon
+
+    def test_heterogeneous_falls_back_to_basic(self):
+        accountant = PrivacyAccountant()
+        accountant.spend(0.01)
+        accountant.spend(0.02)
+        advanced = accountant.total_advanced(1e-6)
+        assert advanced.epsilon == pytest.approx(0.03)
+
+    def test_summary_mentions_spends(self):
+        accountant = PrivacyAccountant(epsilon_budget=1.0)
+        accountant.spend(0.2)
+        text = accountant.summary()
+        assert "1 spends" in text
+        assert "remaining" in text

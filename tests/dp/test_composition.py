@@ -1,0 +1,109 @@
+"""Tests for composition calculators (Theorem 3.10 and the budget split)."""
+
+import math
+
+import pytest
+
+from repro.dp.composition import (
+    PrivacyParameters,
+    advanced_composition,
+    basic_composition,
+    per_round_budget,
+    sparse_vector_sample_bound,
+    verify_per_round_budget,
+)
+
+
+class TestPrivacyParameters:
+    def test_dominates(self):
+        strong = PrivacyParameters(0.5, 1e-7)
+        weak = PrivacyParameters(1.0, 1e-6)
+        assert strong.dominates(weak)
+        assert not weak.dominates(strong)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(Exception):
+            PrivacyParameters(-1.0, 0.0)
+
+
+class TestBasicComposition:
+    def test_linear_in_rounds(self):
+        total = basic_composition(0.1, 1e-8, 10)
+        assert total.epsilon == pytest.approx(1.0)
+        assert total.delta == pytest.approx(1e-7)
+
+    def test_delta_capped_at_one(self):
+        assert basic_composition(0.1, 0.5, 10).delta == 1.0
+
+    def test_single_round_identity(self):
+        total = basic_composition(0.3, 1e-6, 1)
+        assert total.epsilon == pytest.approx(0.3)
+
+
+class TestAdvancedComposition:
+    def test_theorem_formula(self):
+        eps0, delta0, rounds, delta_prime = 0.01, 1e-9, 100, 1e-6
+        total = advanced_composition(eps0, delta0, rounds, delta_prime)
+        expected = (math.sqrt(2 * rounds * math.log(1 / delta_prime)) * eps0
+                    + 2 * rounds * eps0 ** 2)
+        assert total.epsilon == pytest.approx(expected)
+        assert total.delta == pytest.approx(delta_prime + rounds * delta0)
+
+    def test_beats_basic_for_many_rounds(self):
+        eps0, rounds = 0.01, 10_000
+        adv = advanced_composition(eps0, 0.0, rounds, 1e-6)
+        basic = basic_composition(eps0, 0.0, rounds)
+        assert adv.epsilon < basic.epsilon
+
+    def test_worse_than_basic_for_one_round(self):
+        # For a single round the sqrt term's constant exceeds 1.
+        adv = advanced_composition(0.1, 0.0, 1, 1e-6)
+        assert adv.epsilon > 0.1
+
+
+class TestPerRoundBudget:
+    def test_formula(self):
+        split = per_round_budget(1.0, 1e-6, 50)
+        expected_eps = 1.0 / math.sqrt(8 * 50 * math.log(2 / 1e-6))
+        assert split.epsilon == pytest.approx(expected_eps)
+        assert split.delta == pytest.approx(1e-6 / 100)
+
+    @pytest.mark.parametrize("rounds", [1, 5, 50, 500])
+    def test_recomposes_within_budget(self, rounds):
+        """The split must actually compose back to (eps, delta)."""
+        assert verify_per_round_budget(1.0, 1e-6, rounds)
+
+    @pytest.mark.parametrize("epsilon", [0.1, 0.5, 1.0])
+    def test_recomposes_across_epsilons(self, epsilon):
+        assert verify_per_round_budget(epsilon, 1e-8, 64)
+
+    def test_monotone_in_rounds(self):
+        few = per_round_budget(1.0, 1e-6, 10)
+        many = per_round_budget(1.0, 1e-6, 1000)
+        assert many.epsilon < few.epsilon
+
+
+class TestSparseVectorBound:
+    def test_theorem_3_1_formula(self):
+        n = sparse_vector_sample_bound(
+            sensitivity_scale=3.0, max_above=10, total_queries=1000,
+            alpha=0.1, epsilon=1.0, delta=1e-6, beta=0.05,
+        )
+        expected = (256 * 3.0 * math.sqrt(10 * math.log(2 / 1e-6))
+                    * math.log(4 * 1000 / 0.05) / (1.0 * 0.1))
+        assert n == pytest.approx(expected)
+
+    def test_grows_with_sqrt_T(self):
+        kwargs = dict(sensitivity_scale=1.0, total_queries=100, alpha=0.1,
+                      epsilon=1.0, delta=1e-6, beta=0.05)
+        n_small = sparse_vector_sample_bound(max_above=4, **kwargs)
+        n_large = sparse_vector_sample_bound(max_above=16, **kwargs)
+        assert n_large / n_small == pytest.approx(2.0)
+
+    def test_grows_logarithmically_with_k(self):
+        kwargs = dict(sensitivity_scale=1.0, max_above=10, alpha=0.1,
+                      epsilon=1.0, delta=1e-6, beta=0.05)
+        n1 = sparse_vector_sample_bound(total_queries=100, **kwargs)
+        n2 = sparse_vector_sample_bound(total_queries=10_000, **kwargs)
+        # 100x more queries → only ~ log(4e4/b)/log(4e2/b) growth (< 2.2x).
+        assert n2 / n1 < 2.2

@@ -1,0 +1,123 @@
+"""Tests for the basic DP mechanisms.
+
+Includes statistical checks of the noise calibration and a direct empirical
+verification of the (epsilon, 0)-DP inequality for randomized response and
+the exponential mechanism (small enough output spaces to estimate the
+probabilities directly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dp.mechanisms import (
+    exponential_mechanism,
+    gaussian_mechanism,
+    gaussian_sigma,
+    laplace_mechanism,
+    randomized_response,
+)
+from repro.exceptions import ValidationError
+
+
+class TestLaplace:
+    def test_scalar_in_scalar_out(self):
+        out = laplace_mechanism(1.0, sensitivity=1.0, epsilon=1.0, rng=0)
+        assert isinstance(out, float)
+
+    def test_array_shape_preserved(self):
+        out = laplace_mechanism(np.zeros((3, 2)), 1.0, 1.0, rng=0)
+        assert out.shape == (3, 2)
+
+    def test_noise_scale(self):
+        rng = np.random.default_rng(0)
+        draws = laplace_mechanism(np.zeros(200_000), sensitivity=2.0,
+                                  epsilon=0.5, rng=rng)
+        # Laplace(b) has std b*sqrt(2); b = sensitivity/epsilon = 4.
+        assert np.std(draws) == pytest.approx(4.0 * np.sqrt(2), rel=0.05)
+
+    def test_unbiased(self):
+        draws = laplace_mechanism(np.full(100_000, 7.0), 1.0, 1.0, rng=1)
+        assert np.mean(draws) == pytest.approx(7.0, abs=0.05)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            laplace_mechanism(0.0, 1.0, epsilon=-1.0)
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        sigma = gaussian_sigma(sensitivity=2.0, epsilon=0.5, delta=1e-5)
+        expected = np.sqrt(2 * np.log(1.25 / 1e-5)) * 2.0 / 0.5
+        assert sigma == pytest.approx(expected)
+
+    def test_noise_scale(self):
+        sigma = gaussian_sigma(1.0, 1.0, 1e-6)
+        draws = gaussian_mechanism(np.zeros(200_000), 1.0, 1.0, 1e-6, rng=0)
+        assert np.std(draws) == pytest.approx(sigma, rel=0.05)
+
+    def test_sigma_decreases_with_epsilon(self):
+        assert gaussian_sigma(1.0, 2.0, 1e-6) < gaussian_sigma(1.0, 1.0, 1e-6)
+
+
+class TestExponentialMechanism:
+    def test_prefers_high_scores(self):
+        scores = np.array([0.0, 0.0, 10.0])
+        picks = [exponential_mechanism(scores, 1.0, 5.0, rng=seed)
+                 for seed in range(200)]
+        assert np.mean(np.array(picks) == 2) > 0.9
+
+    def test_uniform_when_scores_equal(self):
+        scores = np.zeros(4)
+        picks = [exponential_mechanism(scores, 1.0, 1.0, rng=seed)
+                 for seed in range(2000)]
+        counts = np.bincount(picks, minlength=4) / 2000
+        np.testing.assert_allclose(counts, 0.25, atol=0.05)
+
+    def test_extreme_scores_stable(self):
+        scores = np.array([0.0, 5000.0])
+        pick = exponential_mechanism(scores, 1.0, 1.0, rng=0)
+        assert pick in (0, 1)
+
+    def test_dp_inequality_empirical(self):
+        """Direct check: output odds ratio bounded by exp(eps) on adjacent scores."""
+        epsilon, sensitivity = 1.0, 1.0
+        scores_d = np.array([1.0, 0.0, 0.5])
+        scores_d_prime = scores_d + np.array([1.0, -1.0, 0.0])  # max shift = Δ
+
+        def probabilities(scores):
+            logits = (epsilon / (2 * sensitivity)) * scores
+            weights = np.exp(logits - logits.max())
+            return weights / weights.sum()
+
+        p, q = probabilities(scores_d), probabilities(scores_d_prime)
+        assert np.all(p <= np.exp(epsilon) * q + 1e-12)
+        assert np.all(q <= np.exp(epsilon) * p + 1e-12)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(np.array([]), 1.0, 1.0)
+
+
+class TestRandomizedResponse:
+    def test_output_is_bit(self):
+        assert randomized_response(1, 1.0, rng=0) in (0, 1)
+
+    def test_keep_probability(self):
+        epsilon = 1.0
+        keeps = np.mean([
+            randomized_response(1, epsilon, rng=seed) == 1
+            for seed in range(5000)
+        ])
+        expected = np.exp(epsilon) / (1 + np.exp(epsilon))
+        assert keeps == pytest.approx(expected, abs=0.03)
+
+    def test_dp_ratio(self):
+        """Pr[out=1 | bit=1] / Pr[out=1 | bit=0] = e^eps exactly."""
+        epsilon = 0.7
+        p_keep = np.exp(epsilon) / (1 + np.exp(epsilon))
+        ratio = p_keep / (1 - p_keep)
+        assert ratio == pytest.approx(np.exp(epsilon))
+
+    def test_rejects_non_bit(self):
+        with pytest.raises(ValueError):
+            randomized_response(2, 1.0)

@@ -1,0 +1,141 @@
+"""Tests for the online sparse-vector algorithm (Theorem 3.1 contract)."""
+
+import numpy as np
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.dp.sparse_vector import SparseVector
+from repro.exceptions import MechanismHalted, ValidationError
+
+
+def make_sv(**overrides):
+    params = dict(alpha=0.2, sensitivity=1e-4, epsilon=1.0, delta=1e-6,
+                  max_above=3, rng=0)
+    params.update(overrides)
+    return SparseVector(**params)
+
+
+class TestConstruction:
+    def test_threshold_at_midpoint(self):
+        sv = make_sv(alpha=0.4)
+        assert sv.threshold == pytest.approx(0.3)
+
+    def test_per_run_epsilon_from_advanced_composition(self):
+        sv = make_sv(max_above=16)
+        expected = 1.0 / np.sqrt(8 * 16 * np.log(2 / 1e-6))
+        assert sv.epsilon_per_run == pytest.approx(expected)
+
+    def test_rejects_bad_max_above(self):
+        with pytest.raises(ValidationError):
+            make_sv(max_above=0)
+
+    def test_accountant_records_lifetime_spend(self):
+        accountant = PrivacyAccountant()
+        make_sv(accountant=accountant)
+        assert accountant.num_spends == 1
+        assert accountant.total_basic().epsilon == pytest.approx(1.0)
+
+    def test_formally_private_flag(self):
+        assert make_sv().is_formally_private
+        assert not make_sv(noise_multiplier=0.5).is_formally_private
+
+
+class TestThresholdGame:
+    """The Theorem 3.1 accuracy contract at comfortable n (low noise)."""
+
+    def test_clearly_above_answers_top(self):
+        sv = make_sv()
+        answer = sv.process(1.0)  # far above alpha = 0.2
+        assert answer.above
+        assert answer.above_index == 0
+
+    def test_clearly_below_answers_bottom(self):
+        sv = make_sv()
+        answer = sv.process(0.0)
+        assert not answer.above
+        assert answer.above_index is None
+
+    def test_contract_over_stream(self):
+        """q >= alpha -> top, q <= alpha/2 -> bottom, w.h.p. at tiny noise."""
+        sv = make_sv(sensitivity=1e-7, max_above=50)
+        for j in range(100):
+            value = 1.0 if j % 3 == 0 else 0.0
+            answer = sv.process(value)
+            assert answer.above == (value == 1.0)
+
+    def test_midzone_either_answer_allowed(self):
+        """Values in (alpha/2, alpha) may legitimately go either way."""
+        outcomes = set()
+        for seed in range(30):
+            sv = make_sv(rng=seed, noise_multiplier=1.0,
+                         sensitivity=5e-2)  # deliberately noisy
+            outcomes.add(sv.process(0.15).above)
+        assert outcomes == {True, False}
+
+    def test_query_indices_sequential(self):
+        sv = make_sv()
+        indices = [sv.process(0.0).query_index for _ in range(5)]
+        assert indices == [0, 1, 2, 3, 4]
+
+
+class TestHalting:
+    def test_halts_after_max_above(self):
+        sv = make_sv(max_above=3)
+        for _ in range(3):
+            sv.process(1.0)
+        assert sv.halted
+        with pytest.raises(MechanismHalted):
+            sv.process(1.0)
+
+    def test_above_count_tracks(self):
+        sv = make_sv(max_above=5)
+        sv.process(1.0)
+        sv.process(0.0)
+        sv.process(1.0)
+        assert sv.above_count == 2
+        assert sv.queries_asked == 3
+
+    def test_bottom_answers_unlimited(self):
+        sv = make_sv(max_above=2)
+        for _ in range(200):
+            assert not sv.process(0.0).above
+        assert not sv.halted
+
+    def test_update_indices_sequential(self):
+        sv = make_sv(max_above=4)
+        tops = []
+        for _ in range(4):
+            tops.append(sv.process(1.0).above_index)
+        assert tops == [0, 1, 2, 3]
+
+
+class TestNoiseBehaviour:
+    def test_noise_scales_with_sensitivity(self):
+        """Higher sensitivity -> more noise -> mistakes near threshold."""
+        mistakes_low, mistakes_high = 0, 0
+        for seed in range(100):
+            low = SparseVector(alpha=0.2, sensitivity=1e-6, epsilon=1.0,
+                               delta=1e-6, max_above=2, rng=seed)
+            high = SparseVector(alpha=0.2, sensitivity=0.05, epsilon=1.0,
+                                delta=1e-6, max_above=2, rng=seed)
+            mistakes_low += low.process(0.0).above
+            mistakes_high += high.process(0.0).above
+        assert mistakes_low == 0
+        assert mistakes_high > 0
+
+    def test_noise_multiplier_zero_is_deterministic(self):
+        sv = make_sv(noise_multiplier=0.0)
+        assert sv.process(0.151).above      # above 0.75 * 0.2 = 0.15
+        sv2 = make_sv(noise_multiplier=0.0)
+        assert not sv2.process(0.149).above
+
+    def test_rejects_non_finite_query(self):
+        with pytest.raises(ValidationError):
+            make_sv().process(float("nan"))
+
+    def test_threshold_noise_redrawn_after_top(self):
+        """After a top, a fresh AboveThreshold run begins (new threshold)."""
+        sv = make_sv(sensitivity=0.05, max_above=10, rng=1)
+        first = sv._noisy_threshold
+        sv.process(10.0)  # certainly top
+        assert sv._noisy_threshold != first

@@ -1,0 +1,81 @@
+"""Statistical verification of the Theorem 3.1 contract.
+
+Theorem 3.1: with ``n`` at least the stated bound, the sparse vector
+answers the whole threshold game correctly (``q >= alpha`` -> top,
+``q <= alpha/2`` -> bottom) with probability ``1 - beta``. We run the game
+many times at the theorem's ``n`` and verify the empirical failure rate is
+within ``beta``, and conversely that a drastically smaller ``n`` fails —
+i.e. the bound is doing real work.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dp.composition import sparse_vector_sample_bound
+from repro.dp.sparse_vector import SparseVector
+
+
+ALPHA, EPSILON, DELTA, BETA = 0.2, 1.0, 1e-6, 0.1
+MAX_ABOVE, TOTAL_QUERIES = 4, 40
+SCALE = 1.0  # query sensitivity numerator (S in 3S/n with S = 1/3 here)
+
+
+def game_failures(n: int, runs: int, rng_offset: int = 0) -> int:
+    """Play the threshold game `runs` times; count contract violations."""
+    sensitivity = SCALE / n
+    failures = 0
+    for run in range(runs):
+        sv = SparseVector(alpha=ALPHA, sensitivity=sensitivity,
+                          epsilon=EPSILON, delta=DELTA,
+                          max_above=MAX_ABOVE, rng=rng_offset + run)
+        rng = np.random.default_rng(1_000_000 + run)
+        ok = True
+        for _ in range(TOTAL_QUERIES):
+            if sv.halted:
+                break
+            # Stream mixes clear-above, clear-below, and mid-zone values.
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                value, expected = ALPHA * 1.5, True
+            elif kind == 1:
+                value, expected = ALPHA * 0.25, False
+            else:
+                value, expected = ALPHA * 0.75, None  # any answer allowed
+            answer = sv.process(value)
+            if expected is not None and answer.above != expected:
+                ok = False
+                break
+        failures += not ok
+    return failures
+
+
+class TestTheorem31Contract:
+    def test_contract_holds_at_theorem_n(self):
+        n = math.ceil(sparse_vector_sample_bound(
+            SCALE, MAX_ABOVE, TOTAL_QUERIES, ALPHA, EPSILON, DELTA, BETA,
+        ))
+        runs = 60
+        failures = game_failures(n, runs)
+        # Allow generous statistical slack above beta = 0.1.
+        assert failures / runs <= BETA + 0.1
+
+    def test_contract_fails_at_tiny_n(self):
+        """At n 100x below the bound, noise swamps the margin."""
+        n = max(1, math.ceil(sparse_vector_sample_bound(
+            SCALE, MAX_ABOVE, TOTAL_QUERIES, ALPHA, EPSILON, DELTA, BETA,
+        ) / 100))
+        runs = 40
+        failures = game_failures(n, runs, rng_offset=10_000)
+        assert failures / runs > 0.5
+
+    def test_bound_monotone_in_targets(self):
+        base = sparse_vector_sample_bound(SCALE, MAX_ABOVE, TOTAL_QUERIES,
+                                          ALPHA, EPSILON, DELTA, BETA)
+        tighter_alpha = sparse_vector_sample_bound(
+            SCALE, MAX_ABOVE, TOTAL_QUERIES, ALPHA / 2, EPSILON, DELTA, BETA)
+        tighter_eps = sparse_vector_sample_bound(
+            SCALE, MAX_ABOVE, TOTAL_QUERIES, ALPHA, EPSILON / 2, DELTA, BETA)
+        assert tighter_alpha == pytest.approx(2 * base)
+        assert tighter_eps == pytest.approx(2 * base)

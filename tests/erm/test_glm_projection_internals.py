@@ -1,0 +1,94 @@
+"""Tests for the GLM projection oracle's internal reduction."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.glm_oracle import GLMProjectionOracle, _ProjectedGLM
+from repro.losses.logistic import LogisticLoss
+from repro.losses.families import random_logistic_family
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=3_000, d=6, universe_size=80, rng=0)
+
+
+class TestProjectedGLM:
+    def test_projected_problem_dimension(self, task):
+        base = LogisticLoss(L2Ball(6))
+        phi = np.random.default_rng(0).standard_normal((3, 6)) / np.sqrt(3)
+        projected = _ProjectedGLM(base, phi)
+        assert projected.domain.dim == 3
+
+    def test_margins_match_lifted_parameter(self, task):
+        """<theta_m, phi x> == <phi^T theta_m, x>: the reduction identity."""
+        base = LogisticLoss(L2Ball(6))
+        rng = np.random.default_rng(1)
+        phi = rng.standard_normal((3, 6)) / np.sqrt(3)
+        projected = _ProjectedGLM(base, phi)
+        theta_m = rng.standard_normal(3) * 0.3
+        lifted = phi.T @ theta_m
+
+        projected_margins = projected._features(task.universe) @ theta_m
+        lifted_margins = task.universe.points @ lifted
+        np.testing.assert_allclose(projected_margins, lifted_margins,
+                                   atol=1e-10)
+
+    def test_rotation_composition(self, task):
+        """A rotated base GLM composes: features become phi @ R x."""
+        base = random_logistic_family(task.universe, 1, rng=2)[0]
+        assert base.rotation is not None
+        rng = np.random.default_rng(3)
+        phi = rng.standard_normal((2, 6)) / np.sqrt(2)
+        projected = _ProjectedGLM(base, phi)
+        np.testing.assert_allclose(projected.rotation, phi @ base.rotation)
+
+    def test_link_shared_with_base(self, task):
+        base = LogisticLoss(L2Ball(6))
+        phi = np.eye(6)[:2]
+        projected = _ProjectedGLM(base, phi)
+        margins = np.array([0.5, -1.0])
+        labels = np.array([1.0, -1.0])
+        np.testing.assert_allclose(projected.link(margins, labels),
+                                   base.link(margins, labels))
+
+    def test_lipschitz_safety_factor(self, task):
+        base = LogisticLoss(L2Ball(6))
+        phi = np.eye(6)[:3]
+        projected = _ProjectedGLM(base, phi)
+        assert projected.lipschitz_bound == pytest.approx(2.0)
+
+
+class TestOracleReduction:
+    def test_identity_projection_recovers_generic_behavior(self, task):
+        """With projection_dim >= d and phi ~ identity-scaled JL, the
+        oracle should match the generic noisy-GD oracle's quality class."""
+        from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+        from repro.experiments.workloads import single_query_excess
+
+        loss = LogisticLoss(L2Ball(6))
+        glm = GLMProjectionOracle(epsilon=2.0, delta=1e-6, projection_dim=6,
+                                  steps=40)
+        generic = NoisyGradientDescentOracle(epsilon=2.0, delta=1e-6,
+                                             steps=40)
+        glm_err = np.mean([
+            single_query_excess(loss, task.dataset, glm, rng=s)
+            for s in range(4)
+        ])
+        generic_err = np.mean([
+            single_query_excess(loss, task.dataset, generic, rng=s)
+            for s in range(4)
+        ])
+        assert glm_err < max(5 * generic_err, 0.25)
+
+    def test_projection_is_fresh_per_call(self, task):
+        """phi is drawn per call from the supplied rng (data-independent);
+        two calls with different seeds generally differ."""
+        loss = LogisticLoss(L2Ball(6))
+        oracle = GLMProjectionOracle(epsilon=5.0, delta=1e-6,
+                                     projection_dim=2, steps=30)
+        a = oracle.answer(loss, task.dataset, rng=0)
+        b = oracle.answer(loss, task.dataset, rng=1)
+        assert not np.allclose(a, b)

@@ -1,0 +1,52 @@
+"""Tests for the oracle evaluation helper (OracleEvaluation statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.erm.oracle import NonPrivateOracle, evaluate_oracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.squared import SquaredLoss
+from repro.optimize.projections import L2Ball
+
+
+class TestEvaluateOracle:
+    def test_fields_consistent(self, labeled_dataset):
+        loss = RidgeRegularized(SquaredLoss(L2Ball(2)), lam=1.0)
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        evaluation = evaluate_oracle(oracle, loss, labeled_dataset,
+                                     trials=6, rng=0)
+        assert evaluation.trials == 6
+        assert 0.0 <= evaluation.mean_excess_risk <= evaluation.max_excess_risk
+        assert evaluation.std_excess_risk >= 0.0
+
+    def test_nonprivate_oracle_near_zero(self, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        evaluation = evaluate_oracle(NonPrivateOracle(200), loss,
+                                     cube_dataset, trials=2, rng=0)
+        assert evaluation.max_excess_risk < 1e-6  # closed-form minimizer
+
+    def test_deterministic_given_seed(self, labeled_dataset):
+        loss = RidgeRegularized(SquaredLoss(L2Ball(2)), lam=1.0)
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        a = evaluate_oracle(oracle, loss, labeled_dataset, trials=4, rng=5)
+        b = evaluate_oracle(oracle, loss, labeled_dataset, trials=4, rng=5)
+        assert a.mean_excess_risk == b.mean_excess_risk
+
+    def test_excess_clamped_nonnegative(self, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        evaluation = evaluate_oracle(NonPrivateOracle(200), loss,
+                                     cube_dataset, trials=3, rng=1)
+        assert evaluation.mean_excess_risk >= 0.0
+
+    def test_noisier_oracle_scores_worse(self, labeled_dataset):
+        loss = RidgeRegularized(SquaredLoss(L2Ball(2)), lam=1.0)
+        quiet = evaluate_oracle(
+            OutputPerturbationOracle(epsilon=10.0, delta=1e-6),
+            loss, labeled_dataset, trials=8, rng=2,
+        )
+        loud = evaluate_oracle(
+            OutputPerturbationOracle(epsilon=0.05, delta=1e-6),
+            loss, labeled_dataset, trials=8, rng=2,
+        )
+        assert quiet.mean_excess_risk < loud.mean_excess_risk

@@ -1,0 +1,207 @@
+"""Tests for the single-query DP-ERM oracles."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.exponential import ExponentialMechanismOracle
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.objective_perturbation import ObjectivePerturbationOracle
+from repro.erm.oracle import NonPrivateOracle, evaluate_oracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.exceptions import LossSpecificationError
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.squared import SquaredLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=4_000, d=3, universe_size=80, rng=3)
+
+
+@pytest.fixture
+def logistic(task):
+    return LogisticLoss(L2Ball(task.universe.dim))
+
+
+@pytest.fixture
+def ridge(task):
+    return RidgeRegularized(SquaredLoss(L2Ball(task.universe.dim)), lam=1.0)
+
+
+class TestNonPrivateOracle:
+    def test_returns_near_optimum(self, task, logistic):
+        oracle = NonPrivateOracle()
+        evaluation = evaluate_oracle(oracle, logistic, task.dataset, trials=1)
+        assert evaluation.max_excess_risk < 0.01
+
+    def test_flagged_non_private(self):
+        assert NonPrivateOracle().is_private is False
+
+
+class TestOutputPerturbation:
+    def test_answers_in_domain(self, task, ridge):
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        theta = oracle.answer(ridge, task.dataset, rng=0)
+        assert ridge.domain.contains(theta, tol=1e-9)
+
+    def test_requires_strong_convexity(self, task, logistic):
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        with pytest.raises(LossSpecificationError, match="strong convexity"):
+            oracle.answer(logistic, task.dataset, rng=0)
+
+    def test_sensitivity_formula(self, ridge):
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        # 2L / (sigma n) with L = 2, sigma = 1, n = 100.
+        assert oracle.argmin_sensitivity(ridge, 100) == pytest.approx(
+            2.0 * ridge.lipschitz_bound / 100
+        )
+
+    def test_error_decreases_with_epsilon(self, task, ridge):
+        loose = evaluate_oracle(
+            OutputPerturbationOracle(epsilon=0.05, delta=1e-6),
+            ridge, task.dataset, trials=8, rng=0,
+        )
+        tight = evaluate_oracle(
+            OutputPerturbationOracle(epsilon=5.0, delta=1e-6),
+            ridge, task.dataset, trials=8, rng=0,
+        )
+        assert tight.mean_excess_risk < loose.mean_excess_risk
+
+    def test_argmin_sensitivity_empirical(self, task, ridge):
+        """The released argmin really moves <= 2L/(sigma n) between neighbors."""
+        bound = OutputPerturbationOracle(1.0, 1e-6).argmin_sensitivity(
+            ridge, task.dataset.n
+        )
+        base = minimize_loss(ridge, task.dataset.histogram()).theta
+        for seed in range(5):
+            neighbor = task.dataset.random_neighbor(rng=seed)
+            other = minimize_loss(ridge, neighbor.histogram()).theta
+            assert np.linalg.norm(base - other) <= bound + 1e-9
+
+
+class TestObjectivePerturbation:
+    def test_answers_in_domain(self, task, logistic):
+        oracle = ObjectivePerturbationOracle(epsilon=1.0, delta=1e-6)
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        assert logistic.domain.contains(theta, tol=1e-9)
+
+    def test_reasonable_accuracy_at_moderate_budget(self, task, logistic):
+        oracle = ObjectivePerturbationOracle(epsilon=2.0, delta=1e-6,
+                                             solver_steps=300)
+        evaluation = evaluate_oracle(oracle, logistic, task.dataset,
+                                     trials=4, rng=1)
+        assert evaluation.mean_excess_risk < 0.25
+
+    def test_requires_lipschitz(self, task):
+        loss = QuadraticLoss(L2Ball(task.universe.dim))
+        loss.lipschitz_bound = None
+        oracle = ObjectivePerturbationOracle(epsilon=1.0, delta=1e-6)
+        with pytest.raises(LossSpecificationError, match="Lipschitz"):
+            oracle.answer(loss, task.dataset, rng=0)
+
+
+class TestNoisyGradientDescent:
+    def test_answers_in_domain(self, task, logistic):
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=20)
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        assert logistic.domain.contains(theta, tol=1e-9)
+
+    def test_noise_sigma_decreases_with_n(self, logistic):
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=10)
+        assert (oracle.noise_sigma(logistic, 10_000)
+                < oracle.noise_sigma(logistic, 1_000))
+
+    def test_error_decreases_with_n(self):
+        errors = []
+        for n in (500, 20_000):
+            task = make_classification_dataset(n=n, d=3, universe_size=80,
+                                               rng=5)
+            loss = LogisticLoss(L2Ball(3))
+            oracle = NoisyGradientDescentOracle(epsilon=0.5, delta=1e-6,
+                                                steps=30)
+            evaluation = evaluate_oracle(oracle, loss, task.dataset,
+                                         trials=4, rng=2)
+            errors.append(evaluation.mean_excess_risk)
+        assert errors[1] < errors[0]
+
+    def test_last_iterate_mode(self, task, ridge):
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6,
+                                            steps=30, averaging="last")
+        theta = oracle.answer(ridge, task.dataset, rng=0)
+        assert ridge.domain.contains(theta, tol=1e-9)
+
+    def test_rejects_bad_averaging(self):
+        with pytest.raises(LossSpecificationError):
+            NoisyGradientDescentOracle(1.0, 1e-6, averaging="median")
+
+
+class TestGLMProjectionOracle:
+    def test_requires_glm(self, task):
+        oracle = GLMProjectionOracle(epsilon=1.0, delta=1e-6)
+        with pytest.raises(LossSpecificationError, match="GLM"):
+            oracle.answer(QuadraticLoss(L2Ball(3)), task.dataset, rng=0)
+
+    def test_answers_in_domain(self, task, logistic):
+        oracle = GLMProjectionOracle(epsilon=1.0, delta=1e-6,
+                                     projection_dim=2, steps=30)
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        assert logistic.domain.contains(theta, tol=1e-9)
+
+    def test_projection_dim_capped_by_d(self, task, logistic):
+        oracle = GLMProjectionOracle(epsilon=1.0, delta=1e-6,
+                                     projection_dim=64, steps=10)
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        assert theta.shape == (task.universe.dim,)
+
+    def test_useful_accuracy(self, task, logistic):
+        oracle = GLMProjectionOracle(epsilon=2.0, delta=1e-6,
+                                     projection_dim=3, steps=40)
+        evaluation = evaluate_oracle(oracle, logistic, task.dataset,
+                                     trials=4, rng=3)
+        assert evaluation.mean_excess_risk < 0.3
+
+
+class TestExponentialMechanismOracle:
+    def test_pure_dp(self):
+        oracle = ExponentialMechanismOracle(epsilon=1.0)
+        assert oracle.delta == 0.0
+
+    def test_candidate_net_data_independent(self, task, logistic):
+        oracle = ExponentialMechanismOracle(epsilon=1.0, candidates=16,
+                                            net_seed=7)
+        net_a = oracle.candidate_net(logistic)
+        net_b = oracle.candidate_net(logistic)
+        np.testing.assert_array_equal(net_a, net_b)
+
+    def test_answer_comes_from_net(self, task, logistic):
+        oracle = ExponentialMechanismOracle(epsilon=1.0, candidates=16)
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        net = oracle.candidate_net(logistic)
+        assert any(np.allclose(theta, candidate) for candidate in net)
+
+    def test_prefers_good_candidates(self, task, logistic):
+        """At generous epsilon the pick should be near the net's best."""
+        oracle = ExponentialMechanismOracle(epsilon=50.0, candidates=64)
+        hist = task.dataset.histogram()
+        net = oracle.candidate_net(logistic)
+        values = np.array([logistic.loss_on(t, hist) for t in net])
+        theta = oracle.answer(logistic, task.dataset, rng=0)
+        picked_value = logistic.loss_on(theta, hist)
+        assert picked_value <= np.percentile(values, 20)
+
+
+class TestWithBudget:
+    def test_rebudget_copies(self):
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6)
+        cheap = oracle.with_budget(0.1, 1e-8)
+        assert cheap.epsilon == 0.1
+        assert oracle.epsilon == 1.0  # original untouched
+
+    def test_rebudget_preserves_settings(self):
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=77)
+        assert oracle.with_budget(0.2, 1e-7).steps == 77

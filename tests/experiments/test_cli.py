@@ -1,0 +1,33 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_every_bench_has_a_cli_entry(self):
+        """Keep the CLI in sync with the benchmark suite (E1-E13)."""
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["e99"])
+
+    def test_runs_and_saves(self, tmp_path, capsys):
+        assert main(["e7", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Claim 3.5" in out
+        assert (tmp_path / "e7.txt").exists()
+
+    def test_seed_forwarded(self, tmp_path):
+        main(["e8", "--seed", "3", "--out", str(tmp_path)])
+        first = (tmp_path / "e8.txt").read_text()
+        main(["e8", "--seed", "3", "--out", str(tmp_path)])
+        assert (tmp_path / "e8.txt").read_text() == first

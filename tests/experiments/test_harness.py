@@ -1,0 +1,109 @@
+"""Tests for the experiment harness (runner, sweep, report)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    ExperimentReport,
+    fit_power_law,
+    format_table,
+)
+from repro.experiments.runner import run_trials
+from repro.experiments.sweep import sweep
+
+
+class TestRunTrials:
+    def test_stats_fields(self):
+        stats = run_trials(lambda g: float(g.random()), trials=10, rng=0)
+        assert stats.trials == 10
+        assert stats.minimum <= stats.mean <= stats.maximum
+        assert len(stats.values) == 10
+
+    def test_deterministic_across_calls(self):
+        a = run_trials(lambda g: float(g.random()), trials=5, rng=3)
+        b = run_trials(lambda g: float(g.random()), trials=5, rng=3)
+        assert a.values == b.values
+
+    def test_adding_trials_preserves_prefix(self):
+        short = run_trials(lambda g: float(g.random()), trials=3, rng=3)
+        long = run_trials(lambda g: float(g.random()), trials=6, rng=3)
+        assert long.values[:3] == short.values
+
+    def test_format(self):
+        stats = run_trials(lambda g: 1.0, trials=2, rng=0)
+        assert "±" in f"{stats}"
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda g: 0.0, trials=0)
+
+
+class TestSweep:
+    def test_records_per_value(self):
+        result = sweep("n", [10, 20, 30],
+                       lambda n, g: float(n) + g.random(), trials=2)
+        assert len(result.records) == 3
+        assert result.column("n") == [10, 20, 30]
+
+    def test_series_extraction(self):
+        result = sweep("n", [1, 2], lambda n, g: float(n), trials=2)
+        xs, ys = result.series()
+        assert xs == [1, 2]
+        assert ys == pytest.approx([1.0, 2.0])
+
+    def test_extra_merged(self):
+        result = sweep("k", [5], lambda k, g: 0.0, trials=1,
+                       extra={"workload": "test"})
+        assert result.records[0]["workload"] == "test"
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law(self):
+        xs = np.array([1.0, 2.0, 4.0, 8.0])
+        ys = 3.0 * xs ** -0.5
+        slope, r2 = fit_power_law(xs, ys)
+        assert slope == pytest.approx(-0.5, abs=1e-9)
+        assert r2 == pytest.approx(1.0)
+
+    def test_flat_series(self):
+        slope, _ = fit_power_law([1, 10, 100], [5.0, 5.0, 5.0])
+        assert slope == pytest.approx(0.0, abs=1e-9)
+
+    def test_nonpositive_dropped(self):
+        slope, _ = fit_power_law([1, 2, 4, -1], [1.0, 2.0, 4.0, 0.0])
+        assert slope == pytest.approx(1.0, abs=1e-9)
+
+    def test_insufficient_points(self):
+        slope, r2 = fit_power_law([1.0], [2.0])
+        assert np.isnan(slope)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = format_table(["a", "bbbb"], [[1, 2.34567], [10, 3.0]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "2.346" in text
+
+    def test_report_render(self):
+        report = ExperimentReport("test-exp")
+        report.add("hello")
+        report.add_table(["x"], [[1]])
+        text = report.render()
+        assert "test-exp" in text
+        assert "hello" in text
+
+    def test_shape_check_ok(self):
+        report = ExperimentReport("shapes")
+        ok = report.add_shape_check("demo", [1, 2, 4], [1.0, 2.0, 4.0],
+                                    expected_slope=1.0, tolerance=0.1)
+        assert ok
+        assert "OK" in report.render()
+
+    def test_shape_check_mismatch(self):
+        report = ExperimentReport("shapes")
+        ok = report.add_shape_check("demo", [1, 2, 4], [1.0, 2.0, 4.0],
+                                    expected_slope=-1.0, tolerance=0.5)
+        assert not ok
+        assert "MISMATCH" in report.render()

@@ -1,0 +1,170 @@
+"""Integration tests: the full pipeline at realistic (but small) scale.
+
+These exercise the complete paper workflow — synthetic data generation,
+family construction, oracle plug-in, the Figure 3 mechanism, accuracy
+measurement, privacy accounting — across all four Table 1 loss families.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.analysts import WorstCaseAnalyst
+from repro.adaptive.game import play_accuracy_game
+from repro.core.accuracy import answer_error
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data.synthetic import (
+    make_classification_dataset,
+    make_regression_dataset,
+)
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.losses.families import (
+    random_halfspace_queries,
+    random_logistic_family,
+    random_ridge_family,
+    random_squared_family,
+)
+from repro.losses.scaling import family_scale_bound
+
+
+@pytest.fixture(scope="module")
+def classification():
+    return make_classification_dataset(n=30_000, d=3, universe_size=120,
+                                       rng=0)
+
+
+@pytest.fixture(scope="module")
+def regression():
+    return make_regression_dataset(n=30_000, d=3, universe_size=100,
+                                   label_levels=5, rng=1)
+
+
+class TestLipschitzPipeline:
+    def test_logistic_family_end_to_end(self, classification):
+        """Table 1 row 2 pipeline with a genuinely private run."""
+        losses = random_logistic_family(classification.universe, 12, rng=2)
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=30)
+        mechanism = PrivateMWConvex(
+            classification.dataset, oracle,
+            scale=family_scale_bound(losses), alpha=0.25, epsilon=1.0,
+            delta=1e-6, schedule="calibrated", max_updates=20,
+            solver_steps=250, rng=3,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = classification.dataset.histogram()
+        errors = [answer_error(loss, data, a.theta, solver_steps=400)
+                  for loss, a in zip(losses, answers)]
+        assert max(errors) <= 0.3
+        assert mechanism.privacy_guarantee().epsilon <= 1.1
+
+
+class TestUGLMPipeline:
+    def test_glm_oracle_plugs_in(self, classification):
+        """Table 1 row 3: same mechanism, JT14-style oracle."""
+        losses = random_logistic_family(classification.universe, 8, rng=4)
+        oracle = GLMProjectionOracle(epsilon=1.0, delta=1e-6,
+                                     projection_dim=3, steps=30)
+        mechanism = PrivateMWConvex(
+            classification.dataset, oracle,
+            scale=family_scale_bound(losses), alpha=0.3, epsilon=1.0,
+            delta=1e-6, schedule="calibrated", max_updates=15,
+            solver_steps=250, rng=5,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = classification.dataset.histogram()
+        errors = [answer_error(loss, data, a.theta, solver_steps=400)
+                  for loss, a in zip(losses, answers)]
+        assert max(errors) <= 0.35
+
+
+class TestStronglyConvexPipeline:
+    def test_ridge_family_with_output_perturbation(self, classification):
+        """Table 1 row 4: strongly convex losses, CMS11-style oracle."""
+        losses = random_ridge_family(classification.universe, 10, lam=1.0,
+                                     rng=6)
+        oracle = OutputPerturbationOracle(epsilon=1.0, delta=1e-6)
+        mechanism = PrivateMWConvex(
+            classification.dataset, oracle,
+            scale=family_scale_bound(losses), alpha=0.3, epsilon=1.0,
+            delta=1e-6, schedule="calibrated", max_updates=15,
+            solver_steps=250, rng=7,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = classification.dataset.histogram()
+        errors = [answer_error(loss, data, a.theta, solver_steps=300)
+                  for loss, a in zip(losses, answers)]
+        assert max(errors) <= 0.35
+
+
+class TestRegressionPipeline:
+    def test_squared_family(self, regression):
+        """The paper's opening example: many linear regressions."""
+        losses = random_squared_family(regression.universe, 10, rng=8)
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=30)
+        mechanism = PrivateMWConvex(
+            regression.dataset, oracle, scale=family_scale_bound(losses),
+            alpha=0.25, epsilon=1.0, delta=1e-6, schedule="calibrated",
+            max_updates=20, solver_steps=250, rng=9,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = regression.dataset.histogram()
+        errors = [answer_error(loss, data, a.theta, solver_steps=300)
+                  for loss, a in zip(losses, answers)]
+        assert max(errors) <= 0.3
+
+
+class TestLinearPipeline:
+    def test_pmw_linear_many_queries(self, classification):
+        """Table 1 row 1 on the same data substrate."""
+        queries = random_halfspace_queries(classification.universe, 60,
+                                           rng=10)
+        mechanism = PrivateMWLinear(
+            classification.dataset, alpha=0.15, epsilon=1.0, delta=1e-6,
+            schedule="calibrated", max_updates=20, rng=11,
+        )
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        data = classification.dataset.histogram()
+        errors = [abs(q.answer(data) - a.value)
+                  for q, a in zip(queries, answers)]
+        assert max(errors) <= 0.2
+
+
+class TestAdaptiveAdversary:
+    def test_worst_case_analyst_stays_accurate(self, classification):
+        """Definition 2.4 quantifies over adaptive adversaries; run one."""
+        pool = random_logistic_family(classification.universe, 6, rng=12)
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=30)
+        mechanism = PrivateMWConvex(
+            classification.dataset, oracle, scale=family_scale_bound(pool),
+            alpha=0.3, epsilon=1.0, delta=1e-6, schedule="calibrated",
+            max_updates=15, solver_steps=250, rng=13,
+        )
+        analyst = WorstCaseAnalyst(
+            pool, classification.dataset.histogram(), solver_steps=150
+        )
+        result = play_accuracy_game(mechanism, analyst, k=12,
+                                    solver_steps=300)
+        assert result.max_error <= 0.35
+
+
+class TestSyntheticRelease:
+    def test_synthetic_data_supports_new_queries(self, classification):
+        """The hypothesis generalizes to queries never asked (MW's point)."""
+        train = random_logistic_family(classification.universe, 15, rng=14)
+        holdout = random_logistic_family(classification.universe, 5, rng=99)
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6, steps=30)
+        mechanism = PrivateMWConvex(
+            classification.dataset, oracle, scale=family_scale_bound(train),
+            alpha=0.25, epsilon=1.0, delta=1e-6, schedule="calibrated",
+            max_updates=20, solver_steps=250, rng=15,
+        )
+        mechanism.answer_all(train, on_halt="hypothesis")
+        data = classification.dataset.histogram()
+        hypothesis = mechanism.hypothesis
+        from repro.optimize.minimize import minimize_loss
+        for loss in holdout:
+            theta = minimize_loss(loss, hypothesis, steps=300).theta
+            assert answer_error(loss, data, theta,
+                                solver_steps=300) <= 0.35

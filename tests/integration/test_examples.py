@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must import cleanly and run.
+
+The quickstart runs end-to-end (it is the advertised entry point); the
+larger examples are validated by import + a reduced-scale invocation of
+their building blocks, keeping the suite fast.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", [
+        "quickstart",
+        "private_regression_workbench",
+        "adaptive_analyst",
+        "many_logistic_queries",
+        "offline_marginal_release",
+    ])
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "max excess risk" in out
+        assert "privacy guarantee" in out
+
+    def test_workbench_building_blocks(self):
+        """The workbench's workload builder at reduced scale."""
+        module = load_example("private_regression_workbench")
+        from repro.data.synthetic import make_regression_dataset
+        task = make_regression_dataset(n=500, d=2, universe_size=40,
+                                       label_levels=3, rng=0)
+        losses = module.build_workload(task.universe, rng=1)
+        assert len(losses) == 30
+        names = {type(loss).__name__ for loss in losses}
+        assert {"SquaredLoss", "HuberLoss", "RidgeRegularized"} <= names

@@ -1,0 +1,127 @@
+"""Failure-injection tests: the mechanism under broken components.
+
+The paper's privacy proof (Theorem 3.9) does NOT depend on the oracle
+answering accurately — only on it being (eps0, delta0)-DP. These tests
+inject pathological oracles and verify:
+
+- the mechanism never crashes and always returns domain-feasible answers;
+- the privacy accounting is unchanged (budget spent only on calls made);
+- Claim 3.5 still holds for whatever theta the oracle returns (it is an
+  inequality for arbitrary feasible theta);
+- with a *useless* oracle the hypothesis stops improving but the update
+  budget still caps the damage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.update import claim_3_5_slack, dual_certificate
+from repro.data.histogram import Histogram
+from repro.erm.oracle import SingleQueryOracle
+from repro.exceptions import OptimizationError
+from repro.losses.families import random_quadratic_family
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.projections import L2Ball
+
+
+class AdversarialOracle(SingleQueryOracle):
+    """Returns the WORST feasible point (maximizes the loss on the data)."""
+
+    def __init__(self) -> None:
+        super().__init__(epsilon=1.0, delta=1e-6)
+
+    def answer(self, loss, dataset, rng=None):
+        histogram = dataset.histogram()
+        candidates = [loss.domain.random_point(np.random.default_rng(s))
+                      for s in range(16)]
+        values = [loss.loss_on(theta, histogram) for theta in candidates]
+        return candidates[int(np.argmax(values))]
+
+
+class ConstantOracle(SingleQueryOracle):
+    """Ignores the data entirely; returns the domain center."""
+
+    def __init__(self) -> None:
+        super().__init__(epsilon=1.0, delta=1e-6)
+
+    def answer(self, loss, dataset, rng=None):
+        return loss.domain.center()
+
+
+class OutOfDomainOracle(SingleQueryOracle):
+    """Returns a point far outside the domain (a buggy implementation)."""
+
+    def __init__(self) -> None:
+        super().__init__(epsilon=1.0, delta=1e-6)
+
+    def answer(self, loss, dataset, rng=None):
+        return np.full(loss.domain.dim, 100.0)
+
+
+def make_mechanism(dataset, oracle, **overrides):
+    params = dict(scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  schedule="calibrated", max_updates=8, solver_steps=150,
+                  rng=0)
+    params.update(overrides)
+    return PrivateMWConvex(dataset, oracle, **params)
+
+
+@pytest.mark.parametrize("oracle_cls", [AdversarialOracle, ConstantOracle,
+                                        OutOfDomainOracle])
+class TestBrokenOracles:
+    def test_never_crashes_and_stays_feasible(self, cube_dataset, oracle_cls):
+        mechanism = make_mechanism(cube_dataset, oracle_cls())
+        losses = random_quadratic_family(cube_dataset.universe, 10, rng=1)
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        for loss, answer in zip(losses, answers):
+            assert loss.domain.contains(answer.theta, tol=1e-9)
+
+    def test_privacy_accounting_unchanged(self, cube_dataset, oracle_cls):
+        mechanism = make_mechanism(cube_dataset, oracle_cls())
+        losses = random_quadratic_family(cube_dataset.universe, 10, rng=2)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        oracle_spends = [s for s in mechanism.accountant.spends
+                         if s.label.startswith("oracle")]
+        assert len(oracle_spends) == mechanism.updates_performed
+        for spend in oracle_spends:
+            assert spend.epsilon == pytest.approx(
+                mechanism.config.oracle_epsilon
+            )
+
+    def test_update_budget_caps_damage(self, cube_dataset, oracle_cls):
+        mechanism = make_mechanism(cube_dataset, oracle_cls(), max_updates=3)
+        losses = random_quadratic_family(cube_dataset.universe, 30, rng=3)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        assert mechanism.updates_performed <= 3
+
+
+class TestClaim35WithArbitraryTheta:
+    def test_holds_for_adversarial_oracle_output(self, cube_universe,
+                                                 cube_dataset):
+        """Claim 3.5 is an inequality for ANY feasible theta — including
+        the worst one an adversarial oracle could return."""
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        worst = AdversarialOracle().answer(loss, cube_dataset)
+        certificate = dual_certificate(loss, hypothesis, np.asarray(worst))
+        assert claim_3_5_slack(loss, certificate, data, hypothesis) >= -1e-9
+
+
+class TestBrokenGradients:
+    def test_nan_gradient_raises_cleanly(self, cube_dataset):
+        """A loss producing NaN gradients fails loudly, not silently."""
+        class NaNLoss(QuadraticLoss):
+            def gradients(self, theta, universe):
+                grads = super().gradients(theta, universe)
+                grads[0, 0] = np.nan
+                return grads
+
+        from repro.optimize.gradient_descent import projected_gradient_descent
+        loss = NaNLoss(L2Ball(3))
+        hist = cube_dataset.histogram()
+        with pytest.raises(OptimizationError, match="non-finite"):
+            projected_gradient_descent(
+                lambda t: loss.gradient_on(t, hist), loss.domain, steps=5
+            )

@@ -1,0 +1,73 @@
+"""Integration: threshold/interval queries through PMW-linear (Sec 4.3's
+interval-query special case on our substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data.builders import interval_grid
+from repro.data.dataset import Dataset
+from repro.losses.structured_queries import interval_queries, threshold_queries
+
+
+@pytest.fixture(scope="module")
+def grid_data():
+    universe = interval_grid(64, -1.0, 1.0)
+    rng = np.random.default_rng(0)
+    # Bimodal distribution: thresholds see interesting structure.
+    centers = rng.choice([-0.5, 0.6], size=50_000, p=[0.3, 0.7])
+    raw = np.clip(centers + 0.1 * rng.standard_normal(50_000), -1, 1)
+    indices = np.clip(((raw + 1) / 2 * 63).round().astype(int), 0, 63)
+    return Dataset(universe, indices)
+
+
+class TestThresholdPipeline:
+    def test_all_thresholds_answered_accurately(self, grid_data):
+        queries = threshold_queries(grid_data.universe)
+        mechanism = PrivateMWLinear(grid_data, alpha=0.1, epsilon=1.0,
+                                    delta=1e-6, schedule="calibrated",
+                                    max_updates=16, rng=1)
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        data = grid_data.histogram()
+        errors = [abs(q.answer(data) - a.value)
+                  for q, a in zip(queries, answers)]
+        assert max(errors) <= 0.15
+
+    def test_monotone_structure_mostly_preserved(self, grid_data):
+        """Thresholds are nested, so hypothesis answers should be largely
+        monotone after the run (MW learns the CDF shape)."""
+        queries = threshold_queries(grid_data.universe)
+        mechanism = PrivateMWLinear(grid_data, alpha=0.08, epsilon=1.0,
+                                    delta=1e-6, schedule="calibrated",
+                                    max_updates=16, rng=2)
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        hypothesis = mechanism.hypothesis
+        answers = [q.answer(hypothesis) for q in queries]
+        violations = sum(
+            answers[i + 1] < answers[i] - 1e-9
+            for i in range(len(answers) - 1)
+        )
+        assert violations == 0  # hypothesis answers are exactly a CDF
+
+    def test_interval_queries_via_hypothesis(self, grid_data):
+        """After learning thresholds, random intervals transfer: each
+        interval is the difference of two thresholds, so its hypothesis
+        error is at most two threshold errors. The sharply bimodal data
+        makes the worst threshold slow to learn, so we check the mean and
+        a 2x-threshold worst case."""
+        thresholds = threshold_queries(grid_data.universe)
+        mechanism = PrivateMWLinear(grid_data, alpha=0.1, epsilon=1.0,
+                                    delta=1e-6, schedule="calibrated",
+                                    max_updates=32, rng=3)
+        # Two passes so later updates can revisit early thresholds.
+        mechanism.answer_all(list(thresholds) * 2, on_halt="hypothesis")
+        data = grid_data.histogram()
+        hypothesis = mechanism.hypothesis
+        threshold_worst = max(
+            abs(q.answer(data) - q.answer(hypothesis)) for q in thresholds
+        )
+        intervals = interval_queries(grid_data.universe, count=25, rng=4)
+        errors = [abs(q.answer(data) - q.answer(hypothesis))
+                  for q in intervals]
+        assert np.mean(errors) <= 0.15
+        assert max(errors) <= 2 * threshold_worst + 1e-9

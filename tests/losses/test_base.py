@@ -1,0 +1,95 @@
+"""Tests for the LossFunction base contract."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossSpecificationError, ValidationError
+from repro.losses.quadratic import QuadraticLoss
+from repro.losses.logistic import LogisticLoss
+from repro.optimize.projections import L2Ball
+
+
+class TestDatasetEvaluations:
+    def test_loss_on_is_weighted_average(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        theta = np.array([0.1, 0.2, -0.1])
+        hist = cube_dataset.histogram()
+        expected = float(loss.values(theta, cube_universe) @ hist.weights)
+        assert loss.loss_on(theta, hist) == pytest.approx(expected)
+
+    def test_gradient_linearity(self, cube_universe, cube_dataset):
+        """grad l_D = sum_x D(x) grad l_x — the identity eq. (3)/(4) rely on."""
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        theta = np.array([0.3, 0.0, -0.2])
+        hist = cube_dataset.histogram()
+        per_element = loss.gradients(theta, cube_universe)
+        expected = per_element.T @ hist.weights
+        np.testing.assert_allclose(loss.gradient_on(theta, hist), expected)
+
+    def test_gradient_matches_finite_difference(self, labeled_ball_universe,
+                                                labeled_dataset):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        theta = np.array([0.2, -0.3])
+        hist = labeled_dataset.histogram()
+        grad = loss.gradient_on(theta, hist)
+        eps = 1e-6
+        for i in range(2):
+            shift = np.zeros(2)
+            shift[i] = eps
+            numeric = (loss.loss_on(theta + shift, hist)
+                       - loss.loss_on(theta - shift, hist)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_theta_shape_checked(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        with pytest.raises(ValidationError):
+            loss.loss_on(np.zeros(5), cube_dataset.histogram())
+
+
+class TestScaleBound:
+    def test_cauchy_schwarz_bound(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        # diameter 2, Lipschitz 2 -> S <= 4.
+        assert loss.scale_bound() == pytest.approx(4.0)
+
+    def test_estimate_below_bound(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        estimate = loss.estimate_scale(cube_universe, samples=64, rng=0)
+        assert estimate <= loss.scale_bound() + 1e-9
+        assert estimate > 0.0
+
+    def test_missing_lipschitz_raises(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        loss.lipschitz_bound = None
+        with pytest.raises(LossSpecificationError, match="Lipschitz"):
+            loss.scale_bound()
+
+
+class TestTraitChecks:
+    def test_max_gradient_norm_within_declared(self, labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= loss.lipschitz_bound + 1e-9
+
+    def test_convexity_check_passes(self, labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        assert loss.check_convexity(labeled_ball_universe, samples=32, rng=0)
+
+    def test_convexity_check_catches_overdeclared_sigma(self,
+                                                        labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        loss.strong_convexity = 10.0  # logistic is NOT 10-strongly convex
+        assert not loss.check_convexity(labeled_ball_universe, samples=64,
+                                        rng=0)
+
+    def test_strong_convexity_check_passes_for_quadratic(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        assert loss.strong_convexity == 1.0
+        assert loss.check_convexity(cube_universe, samples=32, rng=0)
+
+    def test_requires_labels_helper(self, cube_universe, cube_dataset):
+        loss = LogisticLoss(L2Ball(cube_universe.dim))
+        with pytest.raises(LossSpecificationError, match="label"):
+            loss.loss_on(np.zeros(cube_universe.dim),
+                         cube_dataset.histogram())

@@ -1,0 +1,110 @@
+"""Tests for random query-family generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.losses.families import (
+    _random_rotation,
+    linear_queries_as_cm,
+    random_halfspace_queries,
+    random_hinge_family,
+    random_linear_queries,
+    random_logistic_family,
+    random_quadratic_family,
+    random_ridge_family,
+    random_squared_family,
+)
+from repro.losses.scaling import validate_family
+from repro.utils.rng import as_generator
+
+
+class TestRandomRotation:
+    def test_orthogonal(self):
+        generator = as_generator(0)
+        for dim in (2, 3, 5):
+            rotation = _random_rotation(dim, generator)
+            np.testing.assert_allclose(rotation @ rotation.T, np.eye(dim),
+                                       atol=1e-10)
+
+    def test_one_dimensional_sign(self):
+        generator = as_generator(0)
+        rotation = _random_rotation(1, generator)
+        assert abs(rotation[0, 0]) == 1.0
+
+
+class TestLinearFamilies:
+    def test_count_and_range(self, cube_universe):
+        queries = random_linear_queries(cube_universe, 7, rng=0)
+        assert len(queries) == 7
+        for query in queries:
+            assert query.table.min() >= 0.0
+            assert query.table.max() <= 1.0
+
+    def test_halfspaces_are_indicators(self, cube_universe):
+        queries = random_halfspace_queries(cube_universe, 5, rng=0)
+        for query in queries:
+            assert set(np.unique(query.table)) <= {0.0, 1.0}
+
+    def test_halfspaces_nontrivial(self, cube_universe):
+        """Most halfspace queries should split the universe nontrivially."""
+        queries = random_halfspace_queries(cube_universe, 20, rng=1)
+        nontrivial = sum(
+            0 < query.table.sum() < cube_universe.size for query in queries
+        )
+        assert nontrivial >= 15
+
+    def test_as_cm_wrapping(self, cube_universe):
+        queries = random_linear_queries(cube_universe, 3, rng=0)
+        losses = linear_queries_as_cm(queries)
+        assert len(losses) == 3
+        assert all(loss.domain.dim == 1 for loss in losses)
+
+    def test_k_validation(self, cube_universe):
+        with pytest.raises(ValidationError):
+            random_linear_queries(cube_universe, 0)
+
+
+class TestCMFamilies:
+    @pytest.mark.parametrize("builder", [
+        random_logistic_family, random_squared_family, random_hinge_family,
+    ])
+    def test_glm_families_validate(self, labeled_ball_universe, builder):
+        losses = builder(labeled_ball_universe, 4, rng=0)
+        assert len(losses) == 4
+        validate_family(losses, labeled_ball_universe, samples=8, rng=1)
+
+    def test_quadratic_family_exact_ground_truth(self, cube_universe,
+                                                 cube_dataset):
+        """Each member's true answer is computable in closed form."""
+        losses = random_quadratic_family(cube_universe, 3, rng=0)
+        hist = cube_dataset.histogram()
+        for loss in losses:
+            theta = loss.exact_minimizer(hist)
+            assert theta is not None
+            assert loss.domain.contains(theta, tol=1e-9)
+
+    def test_quadratic_members_distinct(self, cube_universe, cube_dataset):
+        losses = random_quadratic_family(cube_universe, 2, rng=0)
+        hist = cube_dataset.histogram()
+        a = losses[0].exact_minimizer(hist)
+        b = losses[1].exact_minimizer(hist)
+        assert not np.allclose(a, b)
+
+    def test_ridge_family_strongly_convex(self, labeled_ball_universe):
+        losses = random_ridge_family(labeled_ball_universe, 3, lam=0.6, rng=0)
+        assert all(loss.strong_convexity == pytest.approx(0.6)
+                   for loss in losses)
+
+    def test_families_reproducible(self, labeled_ball_universe):
+        theta = np.array([0.3, -0.3])
+        a = random_logistic_family(labeled_ball_universe, 2, rng=5)
+        b = random_logistic_family(labeled_ball_universe, 2, rng=5)
+        np.testing.assert_allclose(
+            a[0].values(theta, labeled_ball_universe),
+            b[0].values(theta, labeled_ball_universe),
+        )
+
+    def test_family_names_unique(self, labeled_ball_universe):
+        losses = random_logistic_family(labeled_ball_universe, 5, rng=0)
+        assert len({loss.name for loss in losses}) == 5

@@ -1,0 +1,171 @@
+"""Tests for the GLM losses: squared, logistic, hinge, Huber."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossSpecificationError
+from repro.losses.hinge import HingeLoss, HuberLoss
+from repro.losses.logistic import LogisticLoss
+from repro.losses.squared import SquaredLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture
+def domain(labeled_ball_universe):
+    return L2Ball(labeled_ball_universe.dim)
+
+
+class TestSquaredLoss:
+    def test_values_formula(self, labeled_ball_universe, domain):
+        loss = SquaredLoss(domain)
+        theta = np.array([0.5, -0.5])
+        margins = labeled_ball_universe.points @ theta
+        expected = 0.25 * (margins - labeled_ball_universe.labels) ** 2
+        np.testing.assert_allclose(
+            loss.values(theta, labeled_ball_universe), expected
+        )
+
+    def test_gradient_finite_difference(self, labeled_ball_universe, domain,
+                                        labeled_dataset):
+        loss = SquaredLoss(domain)
+        theta = np.array([0.1, 0.4])
+        hist = labeled_dataset.histogram()
+        grad = loss.gradient_on(theta, hist)
+        eps = 1e-6
+        for i in range(2):
+            shift = np.zeros(2)
+            shift[i] = eps
+            numeric = (loss.loss_on(theta + shift, hist)
+                       - loss.loss_on(theta - shift, hist)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, abs=1e-6)
+
+    def test_exact_minimizer_beats_pgd(self, labeled_dataset, domain):
+        loss = SquaredLoss(domain)
+        hist = labeled_dataset.histogram()
+        exact = minimize_loss(loss, hist)
+        assert exact.exact
+        # Compare against a long PGD run on the same objective.
+        from repro.optimize.gradient_descent import projected_gradient_descent
+        iterative = projected_gradient_descent(
+            lambda t: loss.gradient_on(t, hist), domain, steps=5000,
+            lipschitz=1.0,
+        )
+        assert exact.value <= loss.loss_on(iterative, hist) + 1e-6
+
+    def test_lipschitz_with_default_normalization(self, labeled_ball_universe,
+                                                  domain):
+        loss = SquaredLoss(domain)
+        assert loss.lipschitz_bound == pytest.approx(1.0)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= 1.0 + 1e-9
+
+    def test_is_glm(self, domain):
+        assert SquaredLoss(domain).is_glm
+
+
+class TestLogisticLoss:
+    def test_loss_at_zero_is_log2(self, labeled_ball_universe, domain,
+                                  labeled_dataset):
+        loss = LogisticLoss(domain)
+        value = loss.loss_on(np.zeros(2), labeled_dataset.histogram())
+        assert value == pytest.approx(np.log(2))
+
+    def test_numerical_stability_large_margins(self, domain):
+        from repro.data.universe import Universe
+        universe = Universe(np.array([[1.0, 0.0]]) * 1.0,
+                            labels=np.array([1.0]))
+        loss = LogisticLoss(L2Ball(2, radius=100.0))
+        values = loss.values(np.array([100.0, 0.0]), universe)
+        assert np.isfinite(values).all()
+        assert values[0] < 1e-10  # confident correct prediction
+        values = loss.values(np.array([-100.0, 0.0]), universe)
+        assert values[0] == pytest.approx(100.0, rel=1e-6)  # ~ -margin
+
+    def test_gradient_bounded_by_one(self, labeled_ball_universe, domain):
+        loss = LogisticLoss(domain)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= 1.0 + 1e-9
+
+    def test_rejects_non_binary_labels(self, domain):
+        from repro.data.universe import Universe
+        universe = Universe(np.zeros((2, 2)), labels=np.array([0.0, 1.0]))
+        loss = LogisticLoss(domain)
+        with pytest.raises(LossSpecificationError, match=r"\{-1, \+1\}"):
+            loss.values(np.zeros(2), universe)
+
+    def test_minimizer_aligns_with_planted_direction(self, classification_task):
+        loss = LogisticLoss(L2Ball(classification_task.universe.dim))
+        hist = classification_task.dataset.histogram()
+        result = minimize_loss(loss, hist, steps=600)
+        cosine = (result.theta @ classification_task.theta_star
+                  / max(np.linalg.norm(result.theta), 1e-12))
+        assert cosine > 0.8
+
+
+class TestHingeLoss:
+    def test_values_formula(self, labeled_ball_universe, domain):
+        loss = HingeLoss(domain)
+        theta = np.array([0.2, 0.1])
+        margins = labeled_ball_universe.points @ theta
+        expected = np.maximum(0.0, 1.0 - labeled_ball_universe.labels * margins)
+        np.testing.assert_allclose(
+            loss.values(theta, labeled_ball_universe), expected
+        )
+
+    def test_subgradient_valid(self, labeled_ball_universe, domain):
+        """First-order inequality holds with the chosen subgradient."""
+        loss = HingeLoss(domain)
+        assert loss.check_convexity(labeled_ball_universe, samples=48, rng=0)
+
+    def test_subgradient_zero_on_inactive(self, domain):
+        from repro.data.universe import Universe
+        universe = Universe(np.array([[0.5, 0.0]]), labels=np.array([1.0]))
+        loss = HingeLoss(L2Ball(2, radius=10.0))
+        grads = loss.gradients(np.array([10.0, 0.0]), universe)  # margin 5 > 1
+        np.testing.assert_array_equal(grads, 0.0)
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_delta(self, domain):
+        from repro.data.universe import Universe
+        universe = Universe(np.array([[1.0, 0.0]]), labels=np.array([0.0]))
+        loss = HuberLoss(L2Ball(2), delta=0.5)
+        values = loss.values(np.array([0.3, 0.0]), universe)  # residual 0.3
+        assert values[0] == pytest.approx(0.5 * 0.3**2)
+
+    def test_linear_outside_delta(self, domain):
+        from repro.data.universe import Universe
+        universe = Universe(np.array([[1.0, 0.0]]), labels=np.array([-0.9]))
+        loss = HuberLoss(L2Ball(2), delta=0.5)
+        values = loss.values(np.array([1.0, 0.0]), universe)  # residual 1.9
+        assert values[0] == pytest.approx(0.5 * (1.9 - 0.25))
+
+    def test_derivative_clipped(self, labeled_ball_universe):
+        loss = HuberLoss(L2Ball(2), delta=0.3)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= 0.3 + 1e-9
+
+    def test_convexity(self, labeled_ball_universe):
+        loss = HuberLoss(L2Ball(2), delta=0.5)
+        assert loss.check_convexity(labeled_ball_universe, samples=32, rng=0)
+
+
+class TestRotations:
+    def test_rotation_changes_loss(self, labeled_ball_universe, domain, rng):
+        from repro.losses.families import random_logistic_family
+        losses = random_logistic_family(labeled_ball_universe, 2, rng=rng)
+        theta = np.array([0.5, 0.2])
+        a = losses[0].values(theta, labeled_ball_universe)
+        b = losses[1].values(theta, labeled_ball_universe)
+        assert not np.allclose(a, b)
+
+    def test_rotation_preserves_lipschitz(self, labeled_ball_universe, rng):
+        from repro.losses.families import random_logistic_family
+        loss = random_logistic_family(labeled_ball_universe, 1, rng=rng)[0]
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= 1.0 + 1e-6  # orthogonal rotation keeps norms

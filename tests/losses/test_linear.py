@@ -1,0 +1,91 @@
+"""Tests for linear queries and their CM embedding."""
+
+import numpy as np
+import pytest
+
+from repro.data.histogram import Histogram
+from repro.exceptions import ValidationError
+from repro.losses.linear import LinearQuery, LinearQueryAsCM
+from repro.optimize.minimize import minimize_loss
+
+
+class TestLinearQuery:
+    def test_answer_is_dot_product(self, cube_universe, cube_dataset):
+        table = np.zeros(cube_universe.size)
+        table[:4] = 1.0
+        query = LinearQuery(table)
+        hist = cube_dataset.histogram()
+        assert query.answer(hist) == pytest.approx(hist.weights[:4].sum())
+
+    def test_error(self, cube_universe, cube_dataset):
+        query = LinearQuery(np.ones(cube_universe.size))
+        hist = cube_dataset.histogram()
+        assert query.error(hist, 0.7) == pytest.approx(0.3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError, match=r"\[0, 1\]"):
+            LinearQuery(np.array([0.5, 1.5]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            LinearQuery(np.array([]))
+
+    def test_table_read_only(self):
+        query = LinearQuery(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            query.table[0] = 0.5
+
+    def test_sensitivity_is_one_over_n(self, cube_universe, cube_dataset):
+        """|q(D) - q(D')| <= 1/n for adjacent datasets."""
+        query = LinearQuery(
+            (np.arange(cube_universe.size) % 2).astype(float)
+        )
+        hist = cube_dataset.histogram()
+        for seed in range(10):
+            neighbor = cube_dataset.random_neighbor(rng=seed).histogram()
+            diff = abs(query.answer(hist) - query.answer(neighbor))
+            assert diff <= 1.0 / cube_dataset.n + 1e-12
+
+
+class TestLinearQueryAsCM:
+    def make(self, universe, rng=0):
+        generator = np.random.default_rng(rng)
+        table = (generator.random(universe.size) < 0.5).astype(float)
+        return LinearQueryAsCM(LinearQuery(table))
+
+    def test_minimizer_is_query_answer(self, cube_universe, cube_dataset):
+        loss = self.make(cube_universe)
+        hist = cube_dataset.histogram()
+        result = minimize_loss(loss, hist)
+        assert result.theta[0] == pytest.approx(loss.query.answer(hist))
+        assert result.exact
+
+    def test_one_dimensional_domain(self, cube_universe):
+        loss = self.make(cube_universe)
+        assert loss.domain.dim == 1
+
+    def test_excess_risk_is_squared_answer_error(self, cube_universe,
+                                                 cube_dataset):
+        """err = (theta - <q,D>)^2 / 4 — Table 1's linear-queries embedding."""
+        loss = self.make(cube_universe)
+        hist = cube_dataset.histogram()
+        answer = loss.query.answer(hist)
+        theta = np.array([min(1.0, answer + 0.2)])
+        optimum = minimize_loss(loss, hist).value
+        excess = loss.loss_on(theta, hist) - optimum
+        assert excess == pytest.approx((theta[0] - answer) ** 2 / 4, abs=1e-10)
+
+    def test_lipschitz_declared(self, cube_universe):
+        loss = self.make(cube_universe)
+        observed = loss.max_gradient_norm(cube_universe, samples=16, rng=0)
+        assert observed <= loss.lipschitz_bound + 1e-9
+
+    def test_universe_size_mismatch(self, cube_universe, cube_dataset):
+        query = LinearQuery(np.zeros(3))
+        loss = LinearQueryAsCM(query)
+        with pytest.raises(ValidationError, match="universe"):
+            loss.loss_on(np.array([0.5]), cube_dataset.histogram())
+
+    def test_convexity(self, cube_universe):
+        loss = self.make(cube_universe)
+        assert loss.check_convexity(cube_universe, samples=16, rng=1)

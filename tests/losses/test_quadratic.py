@@ -1,0 +1,99 @@
+"""Tests for QuadraticLoss and RidgeRegularized."""
+
+import numpy as np
+import pytest
+
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.squared import SquaredLoss
+from repro.losses.logistic import LogisticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+class TestQuadraticLoss:
+    def test_exact_minimizer_is_projected_mean(self, cube_universe,
+                                               cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        hist = cube_dataset.histogram()
+        theta = loss.exact_minimizer(hist)
+        mean = cube_universe.points.T @ hist.weights
+        np.testing.assert_allclose(theta, loss.domain.project(mean))
+
+    def test_transform_applied(self, cube_universe, cube_dataset):
+        rotation = np.array([[0.0, -1.0, 0.0],
+                             [1.0, 0.0, 0.0],
+                             [0.0, 0.0, 1.0]])
+        loss = QuadraticLoss(L2Ball(3), transform=rotation)
+        hist = cube_dataset.histogram()
+        theta = loss.exact_minimizer(hist)
+        mean = (cube_universe.points @ rotation.T).T @ hist.weights
+        np.testing.assert_allclose(theta, loss.domain.project(mean))
+
+    def test_strong_convexity_declared_and_real(self, cube_universe):
+        loss = QuadraticLoss(L2Ball(3))
+        assert loss.strong_convexity == 1.0
+        assert loss.check_convexity(cube_universe, samples=32, rng=0)
+
+    def test_minimize_dispatch_exact(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(3))
+        assert minimize_loss(loss, cube_dataset.histogram()).exact
+
+
+class TestRidgeRegularized:
+    def test_values_add_penalty(self, labeled_ball_universe):
+        base = SquaredLoss(L2Ball(2))
+        ridge = RidgeRegularized(base, lam=0.8)
+        theta = np.array([0.6, 0.0])
+        base_values = base.values(theta, labeled_ball_universe)
+        ridge_values = ridge.values(theta, labeled_ball_universe)
+        np.testing.assert_allclose(ridge_values - base_values,
+                                   0.5 * 0.8 * 0.36)
+
+    def test_strong_convexity_sum(self):
+        base = SquaredLoss(L2Ball(2))
+        ridge = RidgeRegularized(base, lam=0.5)
+        assert ridge.strong_convexity == pytest.approx(0.5)
+
+    def test_gradient_includes_lam_theta(self, labeled_ball_universe,
+                                         labeled_dataset):
+        base = SquaredLoss(L2Ball(2))
+        ridge = RidgeRegularized(base, lam=1.0)
+        theta = np.array([0.2, -0.4])
+        hist = labeled_dataset.histogram()
+        expected = base.gradient_on(theta, hist) + theta
+        np.testing.assert_allclose(ridge.gradient_on(theta, hist), expected)
+
+    def test_exact_minimizer_matches_iterative(self, labeled_dataset):
+        base = SquaredLoss(L2Ball(2))
+        ridge = RidgeRegularized(base, lam=0.7)
+        hist = labeled_dataset.histogram()
+        result = minimize_loss(ridge, hist)
+        assert result.exact
+        from repro.optimize.gradient_descent import projected_gradient_descent
+        iterative = projected_gradient_descent(
+            lambda t: ridge.gradient_on(t, hist), ridge.domain,
+            steps=5000, lipschitz=2.0, strong_convexity=0.7,
+        )
+        assert result.value <= ridge.loss_on(iterative, hist) + 1e-6
+
+    def test_no_closed_form_for_logistic_base(self, labeled_dataset):
+        ridge = RidgeRegularized(LogisticLoss(L2Ball(2)), lam=0.5)
+        assert ridge.exact_minimizer(labeled_dataset.histogram()) is None
+
+    def test_regularization_shrinks_solution(self, labeled_dataset):
+        base = SquaredLoss(L2Ball(2))
+        hist = labeled_dataset.histogram()
+        plain = minimize_loss(base, hist).theta
+        heavy = minimize_loss(RidgeRegularized(base, lam=50.0), hist).theta
+        assert np.linalg.norm(heavy) < np.linalg.norm(plain) + 1e-9
+        assert np.linalg.norm(heavy) < 0.1
+
+    def test_lipschitz_bound_accounts_for_penalty(self):
+        base = SquaredLoss(L2Ball(2))
+        ridge = RidgeRegularized(base, lam=1.0)
+        # base L = 1, lam * radius = 1 -> 2.
+        assert ridge.lipschitz_bound == pytest.approx(2.0)
+
+    def test_convexity_check(self, labeled_ball_universe):
+        ridge = RidgeRegularized(SquaredLoss(L2Ball(2)), lam=0.5)
+        assert ridge.check_convexity(labeled_ball_universe, samples=32, rng=0)

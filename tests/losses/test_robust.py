@@ -1,0 +1,187 @@
+"""Tests for the robust/extended losses (pinball, smoothed hinge, exp)."""
+
+import numpy as np
+import pytest
+
+from repro.data.universe import Universe
+from repro.exceptions import LossSpecificationError
+from repro.losses.robust import (
+    ExponentialLoss,
+    PinballLoss,
+    SmoothedHingeLoss,
+)
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+def single_point_universe(x, y):
+    return Universe(np.array([x], dtype=float), labels=np.array([y]))
+
+
+class TestPinballLoss:
+    def test_asymmetric_values(self):
+        universe = single_point_universe([1.0, 0.0], 0.0)
+        loss = PinballLoss(L2Ball(2), tau=0.9)
+        over = loss.values(np.array([0.5, 0.0]), universe)   # residual +0.5
+        under = loss.values(np.array([-0.5, 0.0]), universe)  # residual -0.5
+        # High tau: underprediction is expensive, overprediction cheap.
+        assert over[0] == pytest.approx(0.1 * 0.5)
+        assert under[0] == pytest.approx(0.9 * 0.5)
+
+    def test_median_special_case(self):
+        universe = single_point_universe([1.0, 0.0], 0.3)
+        loss = PinballLoss(L2Ball(2), tau=0.5)
+        value = loss.values(np.array([0.8, 0.0]), universe)
+        assert value[0] == pytest.approx(0.25)  # 0.5 * |0.5|
+
+    def test_lipschitz_declared_matches(self, labeled_ball_universe):
+        loss = PinballLoss(L2Ball(2), tau=0.8)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= loss.lipschitz_bound + 1e-9
+        assert loss.lipschitz_bound == pytest.approx(0.8)
+
+    def test_convexity(self, labeled_ball_universe):
+        for tau in (0.1, 0.5, 0.9):
+            loss = PinballLoss(L2Ball(2), tau=tau)
+            assert loss.check_convexity(labeled_ball_universe, samples=32,
+                                        rng=0)
+
+    def test_quantile_recovery(self):
+        """Minimizing pinball over a 1-D offset recovers the tau-quantile."""
+        rng = np.random.default_rng(0)
+        labels = np.sort(rng.uniform(-1, 1, size=201))
+        universe = Universe(np.ones((201, 1)), labels=labels)
+        from repro.data.dataset import Dataset
+        dataset = Dataset(universe, np.arange(201))
+        for tau in (0.25, 0.5, 0.75):
+            loss = PinballLoss(L2Ball(1, radius=1.5), tau=tau)
+            theta = minimize_loss(loss, dataset.histogram(),
+                                  steps=4000).theta
+            assert theta[0] == pytest.approx(
+                np.quantile(labels, tau), abs=0.05
+            )
+
+    def test_rejects_tau_one(self):
+        with pytest.raises(LossSpecificationError):
+            PinballLoss(L2Ball(2), tau=1.0)
+
+
+class TestSmoothedHingeLoss:
+    def test_three_regimes(self):
+        universe = single_point_universe([1.0, 0.0], 1.0)
+        loss = SmoothedHingeLoss(L2Ball(2, radius=5.0), gamma=0.5)
+        # m >= 1: zero.
+        assert loss.values(np.array([2.0, 0.0]), universe)[0] == 0.0
+        # Quadratic zone at m = 0.75: (0.25)^2 / 1.0.
+        assert loss.values(np.array([0.75, 0.0]), universe)[0] == \
+            pytest.approx(0.0625)
+        # Linear zone at m = 0: 1 - 0 - 0.25.
+        assert loss.values(np.array([0.0, 0.0]), universe)[0] == \
+            pytest.approx(0.75)
+
+    def test_continuity_at_boundaries(self):
+        universe = single_point_universe([1.0, 0.0], 1.0)
+        loss = SmoothedHingeLoss(L2Ball(2, radius=5.0), gamma=0.4)
+        for boundary in (1.0, 0.6):
+            below = loss.values(np.array([boundary - 1e-9, 0.0]), universe)[0]
+            above = loss.values(np.array([boundary + 1e-9, 0.0]), universe)[0]
+            assert below == pytest.approx(above, abs=1e-6)
+
+    def test_gradient_finite_difference(self, labeled_ball_universe,
+                                        labeled_dataset):
+        loss = SmoothedHingeLoss(L2Ball(2), gamma=0.3)
+        theta = np.array([0.2, -0.1])
+        hist = labeled_dataset.histogram()
+        grad = loss.gradient_on(theta, hist)
+        eps = 1e-6
+        for i in range(2):
+            shift = np.zeros(2)
+            shift[i] = eps
+            numeric = (loss.loss_on(theta + shift, hist)
+                       - loss.loss_on(theta - shift, hist)) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, abs=1e-5)
+
+    def test_lipschitz(self, labeled_ball_universe):
+        loss = SmoothedHingeLoss(L2Ball(2), gamma=0.5)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=32,
+                                          rng=0)
+        assert observed <= 1.0 + 1e-9
+
+    def test_convexity(self, labeled_ball_universe):
+        loss = SmoothedHingeLoss(L2Ball(2), gamma=0.5)
+        assert loss.check_convexity(labeled_ball_universe, samples=48, rng=0)
+
+    def test_rejects_bad_labels(self):
+        universe = single_point_universe([1.0, 0.0], 0.0)
+        loss = SmoothedHingeLoss(L2Ball(2))
+        with pytest.raises(LossSpecificationError):
+            loss.values(np.zeros(2), universe)
+
+
+class TestExponentialLoss:
+    def test_value_in_clamp_region(self):
+        universe = single_point_universe([1.0, 0.0], 1.0)
+        loss = ExponentialLoss(L2Ball(2), clamp=1.0)
+        value = loss.values(np.array([0.5, 0.0]), universe)[0]
+        assert value == pytest.approx(np.exp(-0.5))
+
+    def test_lipschitz_on_unit_setup(self, labeled_ball_universe):
+        """On the standard unit-ball setup the clamp is inactive and the
+        gradient stays within the declared e^clamp bound."""
+        loss = ExponentialLoss(L2Ball(2), clamp=1.0)
+        observed = loss.max_gradient_norm(labeled_ball_universe, samples=48,
+                                          rng=0)
+        assert observed <= np.e + 1e-9
+
+    def test_convexity(self, labeled_ball_universe):
+        loss = ExponentialLoss(L2Ball(2), clamp=1.0)
+        assert loss.check_convexity(labeled_ball_universe, samples=48, rng=0)
+
+    def test_minimizer_aligns_with_signal(self, classification_task):
+        loss = ExponentialLoss(L2Ball(classification_task.universe.dim))
+        hist = classification_task.dataset.histogram()
+        result = minimize_loss(loss, hist, steps=600)
+        cosine = (result.theta @ classification_task.theta_star
+                  / max(np.linalg.norm(result.theta), 1e-12))
+        assert cosine > 0.7
+
+    def test_scale_bound_usable_by_pmw(self, labeled_ball_universe):
+        loss = ExponentialLoss(L2Ball(2), clamp=1.0)
+        assert loss.scale_bound() == pytest.approx(2.0 * np.e)
+
+
+class TestInsidePMW:
+    def test_mixed_robust_family_end_to_end(self):
+        """The mechanism is loss-agnostic: run a mixed robust family.
+
+        Uses a larger n because the exponential loss inflates the family
+        scale S (hence the sparse-vector sensitivity) by a factor of e.
+        """
+        from repro.core.pmw_cm import PrivateMWConvex
+        from repro.data.synthetic import make_classification_dataset
+        from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+        from repro.core.accuracy import answer_error
+        from repro.losses.scaling import family_scale_bound
+
+        task = make_classification_dataset(n=40_000, d=3, universe_size=60,
+                                           rng=3)
+        universe = task.universe
+        losses = [
+            SmoothedHingeLoss(L2Ball(universe.dim), gamma=0.5),
+            PinballLoss(L2Ball(universe.dim), tau=0.5),
+            ExponentialLoss(L2Ball(universe.dim), clamp=1.0),
+        ]
+        scale = family_scale_bound(losses)
+        oracle = NoisyGradientDescentOracle(epsilon=1.0, delta=1e-6,
+                                            steps=30)
+        mechanism = PrivateMWConvex(
+            task.dataset, oracle, scale=scale, alpha=0.3,
+            epsilon=1.0, delta=1e-6, schedule="calibrated", max_updates=10,
+            solver_steps=250, rng=0,
+        )
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        data = task.dataset.histogram()
+        for loss, answer in zip(losses, answers):
+            assert answer_error(loss, data, answer.theta,
+                                solver_steps=400) <= 0.45

@@ -1,0 +1,58 @@
+"""Tests for the scale parameter S and family validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossSpecificationError
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss
+from repro.losses.scaling import (
+    empirical_value_width,
+    family_scale_bound,
+    validate_family,
+)
+from repro.optimize.projections import L2Ball
+
+
+class TestFamilyScaleBound:
+    def test_max_over_family(self, labeled_ball_universe):
+        logistic = LogisticLoss(L2Ball(2))       # S <= 2
+        quadratic = QuadraticLoss(L2Ball(2))     # S <= 4
+        assert family_scale_bound([logistic, quadratic]) == pytest.approx(4.0)
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(LossSpecificationError):
+            family_scale_bound([])
+
+
+class TestValueWidth:
+    def test_width_within_scale_bound(self, labeled_ball_universe):
+        """Section 3.4.2: the per-x value range has width <= S."""
+        loss = LogisticLoss(L2Ball(2))
+        width = empirical_value_width(loss, labeled_ball_universe,
+                                      samples=64, rng=0)
+        assert width <= loss.scale_bound() + 1e-9
+
+    def test_width_positive_for_nonconstant_loss(self, labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(2))
+        width = empirical_value_width(loss, labeled_ball_universe,
+                                      samples=32, rng=0)
+        assert width > 0.0
+
+
+class TestValidateFamily:
+    def test_valid_family_passes(self, labeled_ball_universe):
+        losses = [LogisticLoss(L2Ball(2)), QuadraticLoss(L2Ball(2))]
+        validate_family(losses, labeled_ball_universe, samples=16, rng=0)
+
+    def test_underdeclared_lipschitz_caught(self, labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(2))
+        loss.lipschitz_bound = 1e-6  # plainly false
+        with pytest.raises(LossSpecificationError, match="Lipschitz"):
+            validate_family([loss], labeled_ball_universe, samples=32, rng=0)
+
+    def test_overdeclared_strong_convexity_caught(self, labeled_ball_universe):
+        loss = LogisticLoss(L2Ball(2))
+        loss.strong_convexity = 5.0
+        with pytest.raises(LossSpecificationError, match="convexity"):
+            validate_family([loss], labeled_ball_universe, samples=64, rng=0)

@@ -1,0 +1,132 @@
+"""Tests for marginal / threshold / interval query families."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import binary_cube, interval_grid, signed_cube
+from repro.data.dataset import Dataset
+from repro.exceptions import ValidationError
+from repro.losses.structured_queries import (
+    interval_queries,
+    marginal_queries,
+    threshold_queries,
+)
+
+
+class TestMarginals:
+    def test_family_size(self):
+        universe = binary_cube(4)
+        queries = marginal_queries(universe, width=2)
+        assert len(queries) == 6 * 4  # C(4,2) * 2^2
+
+    def test_one_way_marginal_answer(self):
+        universe = binary_cube(3)
+        dataset = Dataset(universe, np.array([0, 7, 7, 7]))  # 000 and 111
+        queries = marginal_queries(universe, width=1)
+        by_name = {q.name: q for q in queries}
+        hist = dataset.histogram()
+        assert by_name["marginal[x0=1]"].answer(hist) == pytest.approx(0.75)
+        assert by_name["marginal[x0=0]"].answer(hist) == pytest.approx(0.25)
+
+    def test_complementary_patterns_sum_to_one(self):
+        universe = binary_cube(3)
+        dataset = Dataset.uniform_random(universe, 200, rng=0)
+        hist = dataset.histogram()
+        queries = {q.name: q for q in marginal_queries(universe, width=1)}
+        for axis in range(3):
+            total = (queries[f"marginal[x{axis}=0]"].answer(hist)
+                     + queries[f"marginal[x{axis}=1]"].answer(hist))
+            assert total == pytest.approx(1.0)
+
+    def test_works_on_signed_cube(self):
+        universe = signed_cube(3)
+        queries = marginal_queries(universe, width=1)
+        assert len(queries) == 6
+        for query in queries:
+            assert set(np.unique(query.table)) <= {0.0, 1.0}
+
+    def test_limit_samples_family(self):
+        universe = binary_cube(5)
+        queries = marginal_queries(universe, width=3, limit=10, rng=0)
+        assert len(queries) == 10
+        assert len({q.name for q in queries}) == 10
+
+    def test_full_width_marginal_is_point_query(self):
+        universe = binary_cube(3)
+        queries = marginal_queries(universe, width=3)
+        for query in queries:
+            assert query.table.sum() == pytest.approx(1.0)
+
+    def test_rejects_non_binary_universe(self):
+        universe = interval_grid(5)
+        with pytest.raises(ValidationError, match="binary"):
+            marginal_queries(universe, width=1)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValidationError):
+            marginal_queries(binary_cube(3), width=4)
+
+
+class TestThresholds:
+    def test_all_thresholds(self):
+        universe = interval_grid(9)
+        queries = threshold_queries(universe)
+        assert len(queries) == 9
+
+    def test_monotone_answers(self):
+        universe = interval_grid(15)
+        dataset = Dataset.uniform_random(universe, 500, rng=1)
+        hist = dataset.histogram()
+        answers = [q.answer(hist) for q in threshold_queries(universe)]
+        assert answers == sorted(answers)
+        assert answers[-1] == pytest.approx(1.0)
+
+    def test_count_subsampling(self):
+        universe = interval_grid(100)
+        queries = threshold_queries(universe, count=10)
+        assert len(queries) <= 10
+
+    def test_requires_1d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            threshold_queries(binary_cube(2))
+
+
+class TestIntervals:
+    def test_count(self):
+        universe = interval_grid(50)
+        queries = interval_queries(universe, count=7, rng=0)
+        assert len(queries) == 7
+
+    def test_interval_answer_matches_direct_count(self):
+        universe = interval_grid(21, -1.0, 1.0)
+        dataset = Dataset.uniform_random(universe, 300, rng=2)
+        hist = dataset.histogram()
+        queries = interval_queries(universe, count=5, rng=3)
+        for query in queries:
+            inside = query.table[dataset.indices]
+            assert query.answer(hist) == pytest.approx(inside.mean())
+
+    def test_requires_1d(self):
+        with pytest.raises(ValidationError):
+            interval_queries(binary_cube(2), count=3)
+
+
+class TestWithPMWLinear:
+    def test_marginals_through_pmw(self):
+        """End-to-end: answer all 2-way marginals of a skewed cube dataset."""
+        from repro.core.pmw_linear import PrivateMWLinear
+
+        universe = binary_cube(5)
+        rng = np.random.default_rng(4)
+        skew = rng.dirichlet(np.full(universe.size, 0.2))
+        dataset = Dataset(universe, rng.choice(universe.size, size=40_000,
+                                               p=skew))
+        queries = marginal_queries(universe, width=2)
+        mechanism = PrivateMWLinear(dataset, alpha=0.1, epsilon=1.0,
+                                    delta=1e-6, schedule="calibrated",
+                                    max_updates=20, rng=5)
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        data = dataset.histogram()
+        errors = [abs(q.answer(data) - a.value)
+                  for q, a in zip(queries, answers)]
+        assert max(errors) <= 0.15

@@ -1,0 +1,63 @@
+"""Tests for the minimize_loss dispatcher."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+class TestDispatch:
+    def test_exact_path_used_for_quadratic(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        result = minimize_loss(loss, cube_dataset.histogram())
+        assert result.exact
+
+    def test_exact_quadratic_is_projected_mean(self, cube_universe,
+                                               cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        hist = cube_dataset.histogram()
+        result = minimize_loss(loss, hist)
+        mean = cube_universe.points.T @ hist.weights
+        expected = loss.domain.project(mean)
+        np.testing.assert_allclose(result.theta, expected, atol=1e-12)
+
+    def test_iterative_path_for_logistic(self, labeled_ball_universe,
+                                         labeled_dataset):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        result = minimize_loss(loss, labeled_dataset.histogram(), steps=300)
+        assert not result.exact
+        assert np.isfinite(result.value)
+
+    def test_iterative_near_optimal(self, classification_task):
+        """PGD should approach the planted direction on separable-ish data."""
+        universe = classification_task.universe
+        loss = LogisticLoss(L2Ball(universe.dim))
+        hist = classification_task.dataset.histogram()
+        result = minimize_loss(loss, hist, steps=600)
+        # The planted theta* is a feasible point; the solver must do at
+        # least as well (within tolerance).
+        planted_value = loss.loss_on(classification_task.theta_star, hist)
+        assert result.value <= planted_value + 0.02
+
+    def test_value_matches_theta(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        hist = cube_dataset.histogram()
+        result = minimize_loss(loss, hist)
+        assert result.value == pytest.approx(loss.loss_on(result.theta, hist))
+
+    def test_result_unpacks(self, cube_universe, cube_dataset):
+        loss = QuadraticLoss(L2Ball(cube_universe.dim))
+        theta, value = minimize_loss(loss, cube_dataset.histogram())
+        assert theta.shape == (cube_universe.dim,)
+        assert isinstance(value, float)
+
+    def test_warm_start_accepted(self, labeled_ball_universe, labeled_dataset):
+        loss = LogisticLoss(L2Ball(labeled_ball_universe.dim))
+        hist = labeled_dataset.histogram()
+        cold = minimize_loss(loss, hist, steps=200)
+        warm = minimize_loss(loss, hist, steps=200, start=cold.theta)
+        assert warm.value <= cold.value + 1e-6

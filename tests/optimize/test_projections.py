@@ -1,0 +1,135 @@
+"""Tests for parameter domains and projections."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.optimize.projections import Box, L2Ball, Simplex
+
+
+class TestL2Ball:
+    def test_interior_point_unchanged(self):
+        ball = L2Ball(3)
+        theta = np.array([0.1, 0.2, 0.3])
+        np.testing.assert_array_equal(ball.project(theta), theta)
+
+    def test_exterior_point_lands_on_boundary(self):
+        ball = L2Ball(2, radius=1.0)
+        projected = ball.project(np.array([3.0, 4.0]))
+        assert np.linalg.norm(projected) == pytest.approx(1.0)
+        np.testing.assert_allclose(projected, [0.6, 0.8])
+
+    def test_offcenter_ball(self):
+        ball = L2Ball(2, radius=1.0, center=np.array([5.0, 0.0]))
+        projected = ball.project(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(projected, [4.0, 0.0])
+
+    def test_projection_idempotent(self):
+        ball = L2Ball(4, radius=0.5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            point = rng.standard_normal(4) * 3
+            once = ball.project(point)
+            np.testing.assert_allclose(ball.project(once), once)
+
+    def test_projection_is_nearest_point(self):
+        """The projection minimizes distance among sampled feasible points."""
+        ball = L2Ball(3)
+        rng = np.random.default_rng(1)
+        outside = np.array([2.0, -1.0, 0.5])
+        projected = ball.project(outside)
+        best = np.linalg.norm(outside - projected)
+        for _ in range(200):
+            candidate = ball.random_point(rng)
+            assert np.linalg.norm(outside - candidate) >= best - 1e-9
+
+    def test_diameter(self):
+        assert L2Ball(5, radius=2.0).diameter() == 4.0
+
+    def test_contains(self):
+        ball = L2Ball(2)
+        assert ball.contains(np.array([0.5, 0.5]))
+        assert not ball.contains(np.array([1.0, 1.0]))
+
+    def test_boundary_point(self):
+        ball = L2Ball(2, radius=2.0)
+        point = ball.boundary_point(np.array([0.0, -3.0]))
+        np.testing.assert_allclose(point, [0.0, -2.0])
+
+    def test_boundary_point_zero_direction(self):
+        ball = L2Ball(2)
+        np.testing.assert_allclose(
+            ball.boundary_point(np.zeros(2)), np.zeros(2)
+        )
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            L2Ball(3).project(np.ones(2))
+
+    def test_random_point_feasible(self):
+        ball = L2Ball(6, radius=0.7)
+        for seed in range(5):
+            assert ball.contains(ball.random_point(seed), tol=1e-9)
+
+
+class TestBox:
+    def test_clipping(self):
+        box = Box.unit(3)
+        projected = box.project(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_array_equal(projected, [0.0, 0.5, 1.0])
+
+    def test_symmetric_constructor(self):
+        box = Box.symmetric(2, half_width=3.0)
+        np.testing.assert_array_equal(box.lows, [-3.0, -3.0])
+
+    def test_diameter(self):
+        assert Box.unit(4).diameter() == pytest.approx(2.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValidationError):
+            Box(np.array([1.0]), np.array([0.0]))
+
+    def test_center_inside(self):
+        box = Box(np.array([2.0, -1.0]), np.array([4.0, 1.0]))
+        assert box.contains(box.center())
+
+
+class TestSimplex:
+    def test_projection_on_simplex_unchanged(self):
+        simplex = Simplex(3)
+        point = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(simplex.project(point), point)
+
+    def test_projection_sums_to_one(self):
+        simplex = Simplex(5)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            projected = simplex.project(rng.standard_normal(5))
+            assert projected.sum() == pytest.approx(1.0)
+            assert (projected >= -1e-12).all()
+
+    def test_known_case(self):
+        # Projecting (1, 1) onto the 2-simplex gives (0.5, 0.5).
+        np.testing.assert_allclose(
+            Simplex(2).project(np.array([1.0, 1.0])), [0.5, 0.5]
+        )
+
+    def test_dominant_coordinate(self):
+        projected = Simplex(3).project(np.array([10.0, 0.0, 0.0]))
+        np.testing.assert_allclose(projected, [1.0, 0.0, 0.0])
+
+    def test_center_is_uniform(self):
+        np.testing.assert_allclose(Simplex(4).center(), 0.25)
+
+    def test_diameter(self):
+        assert Simplex(3).diameter() == pytest.approx(np.sqrt(2))
+
+    def test_projection_is_nearest(self):
+        simplex = Simplex(4)
+        rng = np.random.default_rng(2)
+        outside = np.array([0.9, -0.4, 0.8, 0.1])
+        projected = simplex.project(outside)
+        best = np.linalg.norm(outside - projected)
+        for _ in range(300):
+            candidate = rng.dirichlet(np.ones(4))
+            assert np.linalg.norm(outside - candidate) >= best - 1e-9

@@ -1,0 +1,188 @@
+"""Tests for projected gradient descent, Frank–Wolfe, and the exact solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optimize.exact import (
+    minimize_quadratic_over_ball,
+    minimize_scalar_convex,
+)
+from repro.optimize.frank_wolfe import frank_wolfe
+from repro.optimize.gradient_descent import projected_gradient_descent
+from repro.optimize.projections import Box, L2Ball
+
+
+class TestProjectedGradientDescent:
+    def test_unconstrained_quadratic(self):
+        # min (theta - b)^2/2 over a big ball: solution is b.
+        b = np.array([0.3, -0.2])
+        theta = projected_gradient_descent(
+            lambda t: t - b, L2Ball(2, radius=10.0), steps=2000, lipschitz=12.0
+        )
+        np.testing.assert_allclose(theta, b, atol=0.05)
+
+    def test_constrained_solution_on_boundary(self):
+        b = np.array([3.0, 0.0])
+        theta = projected_gradient_descent(
+            lambda t: t - b, L2Ball(2, radius=1.0), steps=2000, lipschitz=4.0
+        )
+        np.testing.assert_allclose(theta, [1.0, 0.0], atol=0.05)
+
+    def test_strongly_convex_schedule_faster(self):
+        b = np.array([0.5, 0.5, -0.5])
+        domain = L2Ball(3, radius=2.0)
+        weak = projected_gradient_descent(
+            lambda t: t - b, domain, steps=60, lipschitz=3.0
+        )
+        strong = projected_gradient_descent(
+            lambda t: t - b, domain, steps=60, lipschitz=3.0,
+            strong_convexity=1.0,
+        )
+        assert np.linalg.norm(strong - b) <= np.linalg.norm(weak - b) + 1e-9
+
+    def test_objective_tracking_returns_best(self):
+        b = np.array([0.2])
+        theta = projected_gradient_descent(
+            lambda t: t - b, L2Ball(1, radius=1.0), steps=500, lipschitz=2.0,
+            objective=lambda t: 0.5 * float((t - b) @ (t - b)),
+        )
+        np.testing.assert_allclose(theta, b, atol=0.02)
+
+    def test_early_stopping_with_tolerance(self):
+        calls = {"n": 0}
+
+        def gradient(t):
+            calls["n"] += 1
+            return t
+
+        projected_gradient_descent(
+            gradient, L2Ball(1), steps=10_000, lipschitz=1.0,
+            objective=lambda t: 0.5 * float(t @ t), tolerance=1e-6,
+        )
+        assert calls["n"] < 10_000
+
+    def test_subgradient_works_on_nonsmooth(self):
+        # min |theta| over [-1, 1]: subgradient sign(theta).
+        theta = projected_gradient_descent(
+            lambda t: np.sign(t), Box.symmetric(1), steps=3000, lipschitz=1.0,
+            start=np.array([0.9]),
+        )
+        assert abs(theta[0]) < 0.05
+
+    def test_rejects_bad_gradient_shape(self):
+        with pytest.raises(OptimizationError, match="shape"):
+            projected_gradient_descent(
+                lambda t: np.ones(3), L2Ball(2), steps=2
+            )
+
+    def test_rejects_nan_gradient(self):
+        with pytest.raises(OptimizationError, match="non-finite"):
+            projected_gradient_descent(
+                lambda t: np.array([np.nan, 0.0]), L2Ball(2), steps=2
+            )
+
+    def test_start_respected(self):
+        calls = []
+
+        def gradient(t):
+            calls.append(np.array(t))
+            return np.zeros(2)
+
+        projected_gradient_descent(
+            gradient, L2Ball(2), steps=1, start=np.array([0.3, 0.4])
+        )
+        np.testing.assert_allclose(calls[0], [0.3, 0.4])
+
+
+class TestFrankWolfe:
+    def test_matches_pgd_on_smooth_problem(self):
+        b = np.array([0.4, -0.1])
+        domain = L2Ball(2, radius=1.0)
+        fw = frank_wolfe(lambda t: t - b, domain, steps=800)
+        np.testing.assert_allclose(fw, b, atol=0.02)
+
+    def test_boundary_solution(self):
+        b = np.array([0.0, 5.0])
+        fw = frank_wolfe(lambda t: t - b, L2Ball(2), steps=800)
+        np.testing.assert_allclose(fw, [0.0, 1.0], atol=0.02)
+
+    def test_iterates_always_feasible(self):
+        domain = L2Ball(3, radius=0.7)
+        fw = frank_wolfe(lambda t: t + 1.0, domain, steps=50)
+        assert np.linalg.norm(fw) <= 0.7 + 1e-9
+
+    def test_requires_ball(self):
+        with pytest.raises(OptimizationError, match="L2Ball"):
+            frank_wolfe(lambda t: t, Box.unit(2), steps=5)
+
+
+class TestExactQuadraticOverBall:
+    def test_interior_solution(self):
+        a = np.eye(2) * 2.0
+        b = np.array([-0.5, 0.0])          # minimizer at (0.25, 0)
+        theta = minimize_quadratic_over_ball(a, b, L2Ball(2))
+        np.testing.assert_allclose(theta, [0.25, 0.0], atol=1e-10)
+
+    def test_boundary_solution(self):
+        a = np.eye(2)
+        b = np.array([-5.0, 0.0])          # unconstrained min at (5, 0)
+        theta = minimize_quadratic_over_ball(a, b, L2Ball(2, radius=1.0))
+        np.testing.assert_allclose(theta, [1.0, 0.0], atol=1e-8)
+
+    def test_anisotropic_matches_pgd(self):
+        rng = np.random.default_rng(0)
+        m = rng.standard_normal((3, 3))
+        a = m @ m.T + 0.1 * np.eye(3)
+        b = rng.standard_normal(3)
+        domain = L2Ball(3, radius=0.8)
+        exact = minimize_quadratic_over_ball(a, b, domain)
+        iterative = projected_gradient_descent(
+            lambda t: a @ t + b, domain, steps=20_000,
+            lipschitz=float(np.linalg.norm(a)) + np.linalg.norm(b),
+        )
+
+        def objective(t):
+            return 0.5 * t @ a @ t + b @ t
+
+        assert objective(exact) <= objective(iterative) + 1e-4
+
+    def test_singular_matrix_boundary(self):
+        # A = 0: pure linear objective; minimum at the boundary opposite b.
+        a = np.zeros((2, 2))
+        b = np.array([1.0, 0.0])
+        theta = minimize_quadratic_over_ball(a, b, L2Ball(2))
+        np.testing.assert_allclose(theta, [-1.0, 0.0], atol=1e-8)
+
+    def test_offcenter_domain(self):
+        a = np.eye(2)
+        b = np.zeros(2)  # unconstrained min at origin
+        domain = L2Ball(2, radius=1.0, center=np.array([5.0, 0.0]))
+        theta = minimize_quadratic_over_ball(a, b, domain)
+        np.testing.assert_allclose(theta, [4.0, 0.0], atol=1e-8)
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(OptimizationError, match="symmetric"):
+            minimize_quadratic_over_ball(
+                np.array([[1.0, 2.0], [0.0, 1.0]]), np.zeros(2), L2Ball(2)
+            )
+
+    def test_rejects_indefinite(self):
+        with pytest.raises(OptimizationError, match="semi-definite"):
+            minimize_quadratic_over_ball(
+                -np.eye(2), np.zeros(2), L2Ball(2)
+            )
+
+
+class TestScalarConvex:
+    def test_interior_min(self):
+        x = minimize_scalar_convex(lambda t: (t - 0.3) ** 2, 0.0, 1.0)
+        assert x == pytest.approx(0.3, abs=1e-6)
+
+    def test_boundary_min(self):
+        x = minimize_scalar_convex(lambda t: t, 0.0, 1.0)
+        assert x == pytest.approx(0.0, abs=1e-6)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(OptimizationError):
+            minimize_scalar_convex(lambda t: t, 1.0, 0.0)

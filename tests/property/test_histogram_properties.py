@@ -1,0 +1,93 @@
+"""Property-based tests (hypothesis) for histogram invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.data.histogram import Histogram
+from repro.data.universe import Universe
+
+
+UNIVERSE = Universe(np.arange(12, dtype=float)[:, None], name="line12")
+
+weight_arrays = hnp.arrays(
+    dtype=float, shape=12,
+    elements=st.floats(min_value=0.0, max_value=100.0),
+).filter(lambda w: w.sum() > 1e-6)
+
+directions = hnp.arrays(
+    dtype=float, shape=12,
+    elements=st.floats(min_value=-5.0, max_value=5.0),
+)
+
+etas = st.floats(min_value=1e-6, max_value=10.0)
+
+
+class TestNormalizationInvariants:
+    @given(weights=weight_arrays)
+    def test_always_normalized(self, weights):
+        hist = Histogram(UNIVERSE, weights)
+        assert hist.weights.sum() == pytest.approx(1.0)
+        assert (hist.weights >= 0).all()
+
+    @given(weights=weight_arrays, direction=directions, eta=etas)
+    @settings(max_examples=60)
+    def test_update_preserves_normalization(self, weights, direction, eta):
+        hist = Histogram(UNIVERSE, weights)
+        updated = hist.multiplicative_update(direction, eta)
+        assert updated.weights.sum() == pytest.approx(1.0)
+        assert (updated.weights >= 0).all()
+        assert np.isfinite(updated.weights).all()
+
+    @given(weights=weight_arrays, direction=directions, eta=etas)
+    @settings(max_examples=60)
+    def test_update_preserves_support(self, weights, direction, eta):
+        """Zero-weight elements stay zero; positive stay positive."""
+        hist = Histogram(UNIVERSE, weights)
+        updated = hist.multiplicative_update(direction, eta)
+        zero_before = hist.weights == 0.0
+        assert (updated.weights[zero_before] == 0.0).all()
+
+    @given(weights=weight_arrays, eta=etas)
+    @settings(max_examples=40)
+    def test_constant_direction_is_identity(self, weights, eta):
+        """Adding a constant to the exponent cancels in normalization."""
+        hist = Histogram(UNIVERSE, weights)
+        updated = hist.multiplicative_update(np.full(12, 3.0), eta)
+        np.testing.assert_allclose(updated.weights, hist.weights, atol=1e-12)
+
+
+class TestDistanceProperties:
+    @given(a=weight_arrays, b=weight_arrays)
+    @settings(max_examples=60)
+    def test_tv_symmetric_and_bounded(self, a, b):
+        ha, hb = Histogram(UNIVERSE, a), Histogram(UNIVERSE, b)
+        tv = ha.total_variation(hb)
+        assert tv == pytest.approx(hb.total_variation(ha))
+        assert 0.0 <= tv <= 1.0 + 1e-12
+
+    @given(a=weight_arrays, b=weight_arrays)
+    @settings(max_examples=60)
+    def test_kl_nonnegative(self, a, b):
+        ha, hb = Histogram(UNIVERSE, a), Histogram(UNIVERSE, b)
+        assert ha.kl_divergence(hb) >= -1e-12
+
+    @given(a=weight_arrays)
+    @settings(max_examples=40)
+    def test_kl_to_uniform_bounded_by_log_size(self, a):
+        """The MW potential bound: KL(D || uniform) <= log |X|."""
+        hist = Histogram(UNIVERSE, a)
+        uniform = Histogram.uniform(UNIVERSE)
+        assert hist.kl_divergence(uniform) <= np.log(12) + 1e-9
+
+    @given(a=weight_arrays, b=weight_arrays, values=directions)
+    @settings(max_examples=60)
+    def test_dot_lipschitz_in_tv(self, a, b, values):
+        """|<v, D> - <v, D'>| <= max|v| * ||D - D'||_1 — the linear-query
+        accuracy transfer PMW relies on."""
+        ha, hb = Histogram(UNIVERSE, a), Histogram(UNIVERSE, b)
+        lhs = abs(ha.dot(values) - hb.dot(values))
+        rhs = np.max(np.abs(values)) * ha.l1_distance(hb)
+        assert lhs <= rhs + 1e-9

@@ -1,0 +1,117 @@
+"""Property-based tests for the loss library's contracts.
+
+For every registered GLM loss: convexity along random segments, the chain
+rule (gradients = phi' * features), Lipschitz compliance, and invariance
+laws (orthogonal rotations preserve gradient norms; scaling the
+normalization scales values linearly).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.builders import labeled_universe, random_ball_net
+from repro.losses.hinge import HingeLoss, HuberLoss
+from repro.losses.logistic import LogisticLoss
+from repro.losses.robust import PinballLoss, SmoothedHingeLoss
+from repro.losses.squared import SquaredLoss
+from repro.optimize.projections import L2Ball
+
+
+BASE = random_ball_net(3, 40, rng=0)
+UNIVERSE = labeled_universe(BASE, (-1.0, 1.0))
+DOMAIN = L2Ball(3)
+
+LOSS_BUILDERS = [
+    lambda: SquaredLoss(DOMAIN),
+    lambda: LogisticLoss(DOMAIN),
+    lambda: HingeLoss(DOMAIN),
+    lambda: HuberLoss(DOMAIN, delta=0.5),
+    lambda: PinballLoss(DOMAIN, tau=0.3),
+    lambda: SmoothedHingeLoss(DOMAIN, gamma=0.4),
+]
+
+seeds = st.integers(min_value=0, max_value=100_000)
+mix = st.floats(min_value=0.0, max_value=1.0)
+
+
+def random_theta(seed):
+    return DOMAIN.random_point(np.random.default_rng(seed))
+
+
+@pytest.mark.parametrize("builder", LOSS_BUILDERS,
+                         ids=lambda b: type(b()).__name__)
+class TestLossLaws:
+    @given(seed_a=seeds, seed_b=seeds, lam=mix)
+    @settings(max_examples=30, deadline=None)
+    def test_convex_along_segments(self, builder, seed_a, seed_b, lam):
+        """l(lam a + (1-lam) b; x) <= lam l(a;x) + (1-lam) l(b;x)."""
+        loss = builder()
+        a, b = random_theta(seed_a), random_theta(seed_b)
+        middle = lam * a + (1 - lam) * b
+        lhs = loss.values(middle, UNIVERSE)
+        rhs = lam * loss.values(a, UNIVERSE) + (1 - lam) * loss.values(b, UNIVERSE)
+        assert np.all(lhs <= rhs + 1e-9)
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_chain_rule(self, builder, seed):
+        """gradients == phi'(margins) * features, row by row."""
+        loss = builder()
+        theta = random_theta(seed)
+        features = UNIVERSE.points
+        margins = features @ theta
+        slopes = loss.link_derivative(margins, UNIVERSE.labels)
+        expected = slopes[:, None] * features
+        np.testing.assert_allclose(loss.gradients(theta, UNIVERSE), expected)
+
+    @given(seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_lipschitz_compliance(self, builder, seed):
+        loss = builder()
+        theta = random_theta(seed)
+        norms = np.linalg.norm(loss.gradients(theta, UNIVERSE), axis=1)
+        assert norms.max() <= loss.lipschitz_bound + 1e-9
+
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_values_finite_and_nonnegative(self, builder, seed):
+        loss = builder()
+        values = loss.values(random_theta(seed), UNIVERSE)
+        assert np.all(np.isfinite(values))
+        assert np.all(values >= -1e-12)
+
+
+class TestInvariances:
+    @given(seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_rotation_preserves_gradient_norms(self, seed):
+        """With an orthogonal rotation, per-point gradient norms match the
+        unrotated loss at the rotated parameter."""
+        from repro.losses.families import _random_rotation
+        rng = np.random.default_rng(seed)
+        rotation = _random_rotation(3, rng)
+        plain = LogisticLoss(DOMAIN)
+        rotated = LogisticLoss(DOMAIN, rotation=rotation)
+        theta = random_theta(seed)
+        rotated_norms = np.linalg.norm(
+            rotated.gradients(theta, UNIVERSE), axis=1
+        )
+        # Margins of the rotated loss equal margins of the plain loss at
+        # R^T theta; gradient norms are |phi'| * ||R x|| = |phi'| * ||x||.
+        plain_norms = np.linalg.norm(
+            plain.gradients(rotation.T @ theta, UNIVERSE), axis=1
+        )
+        np.testing.assert_allclose(rotated_norms, plain_norms, atol=1e-9)
+
+    @given(seed=seeds, scale=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_squared_normalization_linear(self, seed, scale):
+        theta = random_theta(seed)
+        base = SquaredLoss(DOMAIN, normalization=0.25)
+        scaled = SquaredLoss(DOMAIN, normalization=0.25 * scale)
+        np.testing.assert_allclose(
+            scaled.values(theta, UNIVERSE),
+            scale * base.values(theta, UNIVERSE),
+        )

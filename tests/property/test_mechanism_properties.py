@@ -1,0 +1,105 @@
+"""Property-based tests for the paper's key inequalities.
+
+These are the load-bearing claims of the analysis, checked over randomized
+losses, datasets, and hypotheses rather than hand-picked cases:
+
+- Claim 3.5 (dual certificate): ``<u, Dhat - D> >= l_D(theta_hat) -
+  l_D(theta)`` for EVERY theta in the domain, not just good oracle answers.
+- Equation (3): ``<u, Dhat> >= 0`` by first-order optimality.
+- Section 3.4.2's sensitivity lemma: ``|err_l(D, H) - err_l(D', H)| <=
+  3S/n`` over random adjacent pairs.
+- The scaling condition: ``|u(x)| <= S`` everywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import empirical_error_query_sensitivity
+from repro.core.update import claim_3_5_slack, dual_certificate
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.losses.quadratic import QuadraticLoss
+from repro.optimize.projections import L2Ball
+
+
+UNIVERSE = signed_cube(3)
+LOSS = QuadraticLoss(L2Ball(3))
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_histogram(seed: int) -> Histogram:
+    rng = np.random.default_rng(seed)
+    return Histogram(UNIVERSE, rng.dirichlet(np.full(UNIVERSE.size, 0.5)))
+
+
+def random_theta(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed + 777)
+    return LOSS.domain.random_point(rng)
+
+
+class TestClaim35:
+    @given(data_seed=seeds, hyp_seed=seeds, theta_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_dual_certificate_inequality(self, data_seed, hyp_seed,
+                                         theta_seed):
+        data = random_histogram(data_seed)
+        hypothesis = random_histogram(hyp_seed)
+        theta_oracle = random_theta(theta_seed)
+        certificate = dual_certificate(LOSS, hypothesis, theta_oracle)
+        slack = claim_3_5_slack(LOSS, certificate, data, hypothesis)
+        assert slack >= -1e-8
+
+    @given(hyp_seed=seeds, theta_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_first_order_optimality(self, hyp_seed, theta_seed):
+        hypothesis = random_histogram(hyp_seed)
+        certificate = dual_certificate(LOSS, hypothesis,
+                                       random_theta(theta_seed))
+        assert certificate.hypothesis_inner >= -1e-8
+
+    @given(hyp_seed=seeds, theta_seed=seeds)
+    @settings(max_examples=50, deadline=None)
+    def test_certificate_within_scale(self, hyp_seed, theta_seed):
+        """|u(x)| <= S everywhere — the scaling condition in action."""
+        hypothesis = random_histogram(hyp_seed)
+        certificate = dual_certificate(LOSS, hypothesis,
+                                       random_theta(theta_seed))
+        assert np.max(np.abs(certificate.direction)) <= LOSS.scale_bound() + 1e-9
+
+
+class TestSensitivityLemma:
+    @given(data_seed=seeds, hyp_seed=seeds,
+           row=st.integers(min_value=0, max_value=199),
+           new_value=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_error_query_sensitivity(self, data_seed, hyp_seed, row,
+                                     new_value):
+        rng = np.random.default_rng(data_seed)
+        dataset = Dataset(UNIVERSE, rng.integers(0, UNIVERSE.size, size=200))
+        neighbor = dataset.replace_row(row, new_value)
+        hypothesis = random_histogram(hyp_seed)
+        realized = empirical_error_query_sensitivity(
+            LOSS, dataset.histogram(), neighbor.histogram(), hypothesis
+        )
+        bound = 3.0 * LOSS.scale_bound() / dataset.n
+        assert realized <= bound + 1e-9
+
+
+class TestLinearQuerySensitivity:
+    @given(data_seed=seeds, row=st.integers(min_value=0, max_value=99),
+           new_value=st.integers(min_value=0, max_value=7))
+    @settings(max_examples=40, deadline=None)
+    def test_one_over_n(self, data_seed, row, new_value):
+        from repro.losses.linear import LinearQuery
+
+        rng = np.random.default_rng(data_seed)
+        dataset = Dataset(UNIVERSE, rng.integers(0, UNIVERSE.size, size=100))
+        neighbor = dataset.replace_row(row, new_value)
+        query = LinearQuery(rng.random(UNIVERSE.size))
+        diff = abs(query.answer(dataset.histogram())
+                   - query.answer(neighbor.histogram()))
+        assert diff <= 1.0 / dataset.n + 1e-12

@@ -1,0 +1,77 @@
+"""Property-based tests for domain projections."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.optimize.projections import Box, L2Ball, Simplex
+
+
+vectors = hnp.arrays(
+    dtype=float, shape=4,
+    elements=st.floats(min_value=-50.0, max_value=50.0),
+)
+
+
+class TestBallProjection:
+    @given(point=vectors)
+    def test_feasible(self, point):
+        ball = L2Ball(4, radius=1.0)
+        assert np.linalg.norm(ball.project(point)) <= 1.0 + 1e-9
+
+    @given(point=vectors)
+    def test_idempotent(self, point):
+        ball = L2Ball(4, radius=1.0)
+        once = ball.project(point)
+        np.testing.assert_allclose(ball.project(once), once, atol=1e-12)
+
+    @given(point=vectors, other=vectors)
+    @settings(max_examples=60)
+    def test_projection_is_contraction(self, point, other):
+        """||P(x) - P(y)|| <= ||x - y|| — projections onto convex sets."""
+        ball = L2Ball(4, radius=1.0)
+        lhs = np.linalg.norm(ball.project(point) - ball.project(other))
+        rhs = np.linalg.norm(point - other)
+        assert lhs <= rhs + 1e-9
+
+
+class TestBoxProjection:
+    @given(point=vectors)
+    def test_feasible(self, point):
+        box = Box.symmetric(4, half_width=1.0)
+        projected = box.project(point)
+        assert (projected >= -1.0 - 1e-12).all()
+        assert (projected <= 1.0 + 1e-12).all()
+
+    @given(point=vectors, other=vectors)
+    @settings(max_examples=60)
+    def test_contraction(self, point, other):
+        box = Box.unit(4)
+        lhs = np.linalg.norm(box.project(point) - box.project(other))
+        assert lhs <= np.linalg.norm(point - other) + 1e-9
+
+
+class TestSimplexProjection:
+    @given(point=vectors)
+    def test_feasible(self, point):
+        simplex = Simplex(4)
+        projected = simplex.project(point)
+        assert projected.sum() == pytest.approx(1.0)
+        assert (projected >= -1e-12).all()
+
+    @given(point=vectors)
+    def test_idempotent(self, point):
+        simplex = Simplex(4)
+        once = simplex.project(point)
+        np.testing.assert_allclose(simplex.project(once), once, atol=1e-9)
+
+    @given(point=vectors, shift=st.floats(min_value=-10, max_value=10))
+    @settings(max_examples=60)
+    def test_shift_invariant(self, point, shift):
+        """Simplex projection is invariant to adding a constant."""
+        simplex = Simplex(4)
+        a = simplex.project(point)
+        b = simplex.project(point + shift)
+        np.testing.assert_allclose(a, b, atol=1e-9)

@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    LossSpecificationError,
+    MechanismHalted,
+    OptimizationError,
+    PrivacyBudgetExhausted,
+    ReproError,
+    UniverseError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        ValidationError, UniverseError, PrivacyBudgetExhausted,
+        MechanismHalted, OptimizationError, LossSpecificationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        """Callers using stdlib idioms still catch validation failures."""
+        assert issubclass(ValidationError, ValueError)
+
+    def test_budget_exhausted_carries_amounts(self):
+        error = PrivacyBudgetExhausted("over budget", epsilon_spent=1.5,
+                                       epsilon_budget=1.0)
+        assert error.epsilon_spent == 1.5
+        assert error.epsilon_budget == 1.0
+        assert "over budget" in str(error)
+
+    def test_budget_exhausted_defaults_nan(self):
+        import math
+        error = PrivacyBudgetExhausted("bare")
+        assert math.isnan(error.epsilon_spent)
+
+    def test_catch_all_pattern(self):
+        """One except-clause covers every library error."""
+        try:
+            raise MechanismHalted("done")
+        except ReproError as caught:
+            assert isinstance(caught, MechanismHalted)

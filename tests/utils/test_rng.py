@@ -1,0 +1,55 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError, match="rng must be"):
+            as_generator("not-a-seed")
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_generators(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        first = [g.random(3) for g in spawn_generators(9, 2)]
+        second = [g.random(3) for g in spawn_generators(9, 2)]
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count_ok(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_generators(0, -1)

@@ -1,0 +1,77 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import (
+    check_finite_array,
+    check_positive,
+    check_probability,
+    check_unit_interval,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.5, "x") == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError, match="x must be"):
+            check_positive(bad, "x")
+
+    def test_coerces_int(self):
+        value = check_positive(3, "x")
+        assert isinstance(value, float) and value == 3.0
+
+
+class TestCheckUnitInterval:
+    def test_accepts_interior(self):
+        assert check_unit_interval(0.3, "a") == 0.3
+
+    def test_accepts_one(self):
+        assert check_unit_interval(1.0, "a") == 1.0
+
+    def test_rejects_zero_when_open(self):
+        with pytest.raises(ValidationError):
+            check_unit_interval(0.0, "a")
+
+    def test_accepts_zero_when_closed(self):
+        assert check_unit_interval(0.0, "a", open_left=False) == 0.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValidationError):
+            check_unit_interval(1.5, "a")
+
+    def test_error_mentions_bracket(self):
+        with pytest.raises(ValidationError, match=r"\(0, 1\]"):
+            check_unit_interval(2.0, "a")
+
+
+class TestCheckProbability:
+    def test_accepts_zero_and_one(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_probability(-0.1, "p")
+
+
+class TestCheckFiniteArray:
+    def test_accepts_and_coerces(self):
+        out = check_finite_array([1, 2, 3], "v")
+        assert out.dtype == float
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="non-finite"):
+            check_finite_array([1.0, np.nan], "v")
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_finite_array([1.0, 2.0], "v", ndim=2)
+
+    def test_empty_array_ok(self):
+        out = check_finite_array([], "v")
+        assert out.size == 0
