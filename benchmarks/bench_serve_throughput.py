@@ -1,0 +1,292 @@
+"""E16 — serving-layer throughput: cache fast path, sessions, crash resume.
+
+The `repro.serve` subsystem claims that a duplicate-heavy workload (the
+production shape: dashboards, retries, many analysts asking the canonical
+questions) is served much faster than naive per-query ``answer()`` calls,
+because repeats ride the answer cache and halted sessions ride the public
+hypothesis — both at zero privacy cost. This benchmark measures:
+
+1. batch throughput, service vs naive, on a duplicate-heavy stream
+   (asserted >= 5x in the regression test below);
+2. throughput and hit rate across a duplicate-fraction sweep;
+3. queries/sec as the number of concurrent sessions grows;
+4. killed-and-restarted budget exactness: a service rebuilt from its
+   ledger resumes with bit-identical privacy totals;
+5. the vectorized ``Histogram.sample_indices`` (cached-CDF inverse
+   sampling) against the previous ``Generator.choice(p=...)`` hot path.
+
+Run standalone (``python benchmarks/bench_serve_throughput.py``) or via
+pytest (``pytest benchmarks/bench_serve_throughput.py -s``).
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.data.histogram import Histogram
+from repro.data.synthetic import make_classification_dataset
+from repro.erm.oracle import NonPrivateOracle
+from repro.experiments.report import ExperimentReport
+from repro.losses.families import random_logistic_family
+from repro.serve.service import PMWService
+from repro.utils.rng import as_generator
+
+MECHANISM_PARAMS = dict(
+    scale=2.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+    schedule="calibrated", max_updates=10, solver_steps=60,
+)
+DISTINCT_LOSSES = 8
+REPEATS = 40  # duplicate-heavy: each distinct query asked 40 times
+
+
+def _task():
+    return make_classification_dataset(n=2_000, d=3, universe_size=60, rng=7)
+
+
+def _stream(universe, distinct=DISTINCT_LOSSES, repeats=REPEATS, rng=0):
+    losses = random_logistic_family(universe, distinct, rng=1)
+    generator = as_generator(rng)
+    stream = losses * repeats
+    generator.shuffle(stream)
+    return losses, stream
+
+
+def _naive_time(task, stream):
+    """Per-query answer() on a bare mechanism (hypothesis fallback on halt)."""
+    mechanism = PrivateMWConvex(
+        task.dataset, NonPrivateOracle(solver_steps=60), rng=3,
+        **MECHANISM_PARAMS,
+    )
+    start = time.perf_counter()
+    mechanism.answer_all(stream, on_halt="hypothesis")
+    return time.perf_counter() - start
+
+
+def _service_time(task, stream, sessions=1, max_workers=None):
+    service = PMWService(task.dataset, rng=3)
+    sids = [
+        service.open_session("pmw-convex", oracle="non-private",
+                             **MECHANISM_PARAMS)
+        for _ in range(sessions)
+    ]
+    batches = {sid: stream for sid in sids}
+    start = time.perf_counter()
+    service.answer_batch(batches, max_workers=max_workers)
+    return time.perf_counter() - start, service
+
+
+def duplicate_heavy_speedup():
+    """Section 1: the headline service-vs-naive comparison."""
+    task = _task()
+    _, stream = _stream(task.universe)
+    naive = _naive_time(task, stream)
+    served, service = _service_time(task, stream)
+    stats = service.cache.stats()
+    return {
+        "queries": len(stream),
+        "naive_seconds": naive,
+        "service_seconds": served,
+        "speedup": naive / served,
+        "naive_qps": len(stream) / naive,
+        "service_qps": len(stream) / served,
+        "hit_rate": stats.hit_rate,
+    }
+
+
+def hit_rate_sweep():
+    """Section 2: throughput as the duplicate fraction grows."""
+    task = _task()
+    rows = []
+    for distinct, repeats in ((200, 1), (40, 5), (20, 10), (8, 25), (4, 50)):
+        _, stream = _stream(task.universe, distinct=distinct, repeats=repeats)
+        seconds, service = _service_time(task, stream)
+        stats = service.cache.stats()
+        rows.append([
+            distinct, repeats, len(stream),
+            1.0 - distinct / len(stream),
+            stats.hit_rate, len(stream) / seconds,
+        ])
+    return rows
+
+
+def session_scaling():
+    """Section 3: queries/sec with concurrent independent sessions."""
+    task = _task()
+    _, stream = _stream(task.universe, distinct=6, repeats=10)
+    rows = []
+    for sessions in (1, 2, 4, 8):
+        seconds, _ = _service_time(task, stream, sessions=sessions,
+                                   max_workers=sessions)
+        total = len(stream) * sessions
+        rows.append([sessions, total, seconds, total / seconds])
+    return rows
+
+
+def crash_resume_exactness():
+    """Section 4: ledger-resumed totals are bit-identical to pre-crash."""
+    task = _task()
+    _, stream = _stream(task.universe, distinct=6, repeats=4)
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = os.path.join(tmp, "budget.jsonl")
+        service = PMWService(task.dataset, ledger_path=ledger_path, rng=3)
+        sid = service.open_session("pmw-convex", oracle="non-private",
+                                   **MECHANISM_PARAMS)
+        service.answer_batch((sid, stream))
+        before_basic = service.session(sid).accountant.total_basic()
+        before_advanced = service.session(sid).accountant.total_advanced(1e-7)
+        del service  # the crash: nothing survives but the journal
+
+        resumed = PMWService.restore(task.dataset, ledger_path=ledger_path)
+        after_basic = resumed.session(sid).accountant.total_basic()
+        after_advanced = resumed.session(sid).accountant.total_advanced(1e-7)
+    return {
+        "before": before_basic, "after": after_basic,
+        "before_advanced": before_advanced, "after_advanced": after_advanced,
+        "basic_exact": before_basic == after_basic,
+        "advanced_exact": before_advanced == after_advanced,
+    }
+
+
+def histogram_sampling_comparison(universe_size=4096, draws=500,
+                                  calls=600):
+    """Section 5: cached-CDF inverse sampling vs Generator.choice(p=...).
+
+    ``Generator.choice`` was the implementation before the serving PR; it
+    revalidates and re-accumulates the probability vector on every call,
+    which the serving layer's repeated ``synthetic_dataset`` calls hit
+    hard. The replacement builds the CDF once per (immutable) histogram.
+    """
+    from repro.data.universe import Universe
+
+    rng = np.random.default_rng(0)
+    points = rng.standard_normal((universe_size, 3))
+    universe = Universe(points, name="bench-sampling")
+    weights = rng.dirichlet(np.full(universe_size, 0.5))
+    histogram = Histogram(universe, weights)
+
+    legacy_rng = np.random.default_rng(1)
+    start = time.perf_counter()
+    for _ in range(calls):
+        legacy_rng.choice(universe_size, size=draws, p=histogram.weights)
+    legacy = time.perf_counter() - start
+
+    new_rng = np.random.default_rng(1)
+    start = time.perf_counter()
+    for _ in range(calls):
+        histogram.sample_indices(draws, rng=new_rng)
+    vectorized = time.perf_counter() - start
+
+    # correctness spot check: the empirical law matches the weights (the
+    # expected L1 gap of an iid sample of this size is ~ sum_i
+    # sqrt(p_i / n) ~ 0.09 for these parameters; we assert well above it)
+    sample = histogram.sample_indices(200_000, rng=2)
+    empirical = np.bincount(sample, minlength=universe_size) / sample.size
+    l1_gap = float(np.abs(empirical - histogram.weights).sum())
+
+    return {
+        "universe_size": universe_size, "draws": draws, "calls": calls,
+        "legacy_seconds": legacy, "vectorized_seconds": vectorized,
+        "speedup": legacy / vectorized, "l1_gap": l1_gap,
+    }
+
+
+def build_report():
+    report = ExperimentReport("E16 serving-layer throughput")
+
+    headline = duplicate_heavy_speedup()
+    report.add_table(
+        ["queries", "naive s", "service s", "speedup", "naive q/s",
+         "service q/s", "hit rate"],
+        [[headline["queries"], headline["naive_seconds"],
+          headline["service_seconds"], headline["speedup"],
+          headline["naive_qps"], headline["service_qps"],
+          headline["hit_rate"]]],
+        title=f"duplicate-heavy stream ({DISTINCT_LOSSES} distinct x "
+              f"{REPEATS} repeats), PMWService vs naive answer()",
+    )
+
+    report.add_table(
+        ["distinct", "repeats", "queries", "dup fraction", "hit rate",
+         "queries/s"],
+        hit_rate_sweep(),
+        title="cache hit-rate sweep",
+    )
+
+    report.add_table(
+        ["sessions", "total queries", "seconds", "queries/s"],
+        session_scaling(),
+        title="concurrent independent sessions (thread pool)",
+    )
+
+    resume = crash_resume_exactness()
+    report.add(
+        f"crash resume from ledger: basic totals "
+        f"(eps={resume['before'].epsilon:g}, delta={resume['before'].delta:g})"
+        f" -> exact={resume['basic_exact']}, "
+        f"advanced exact={resume['advanced_exact']}"
+    )
+
+    sampling = histogram_sampling_comparison()
+    report.add_table(
+        ["|X|", "draws/call", "calls", "choice(p=...) s", "cached-CDF s",
+         "speedup", "empirical L1 gap"],
+        [[sampling["universe_size"], sampling["draws"], sampling["calls"],
+          sampling["legacy_seconds"], sampling["vectorized_seconds"],
+          sampling["speedup"], sampling["l1_gap"]]],
+        title="Histogram.sample_indices: before (Generator.choice) vs "
+              "after (cached-CDF searchsorted)",
+    )
+    return report, headline, resume, sampling
+
+
+# -- pytest entry points ------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def results():
+    return build_report()
+
+
+def test_e16_report(results, save_report):
+    report, _, _, _ = results
+    text = save_report(report)
+    assert "serving-layer" in text
+
+
+def test_e16_duplicate_heavy_speedup_at_least_5x(results):
+    _, headline, _, _ = results
+    assert headline["speedup"] >= 5.0, (
+        f"expected >= 5x over naive per-query answer(), got "
+        f"{headline['speedup']:.2f}x"
+    )
+    assert headline["hit_rate"] > 0.5
+
+
+def test_e16_crash_resume_exact(results):
+    _, _, resume, _ = results
+    assert resume["basic_exact"] and resume["advanced_exact"]
+
+
+def test_e16_sampling_not_slower(results):
+    _, _, _, sampling = results
+    # the cached-CDF path must at minimum not regress, and stay correct
+    assert sampling["speedup"] >= 1.0
+    assert sampling["l1_gap"] < 0.2
+
+
+if __name__ == "__main__":
+    report, headline, resume, sampling = build_report()
+    print(report.render())
+    ok = (headline["speedup"] >= 5.0 and resume["basic_exact"]
+          and resume["advanced_exact"])
+    print(f"acceptance: speedup={headline['speedup']:.1f}x (need >= 5), "
+          f"ledger exact={resume['basic_exact'] and resume['advanced_exact']}"
+          f" -> {'PASS' if ok else 'FAIL'}")
+    sys.exit(0 if ok else 1)

@@ -1,4 +1,8 @@
-"""Legacy setup shim for environments without PEP 517 wheel support."""
+"""Legacy setup shim for environments without PEP 517 wheel support.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``python setup.py``-era tooling can still install the package.
+"""
 from setuptools import setup
 
 setup()

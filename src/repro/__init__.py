@@ -24,8 +24,17 @@ Quickstart::
     )
     answers = mechanism.answer_all(losses)
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+Or through the serving layer (sessions, budget ledger, answer cache)::
+
+    from repro import PMWService
+
+    service = PMWService(task.dataset, ledger_path="budget.jsonl")
+    sid = service.open_session("pmw-convex", scale=2.0, alpha=0.2,
+                               epsilon=1.0, delta=1e-6)
+    results = service.answer_batch((sid, losses))
+
+See README.md for the subsystem map and installation; the benchmark suite
+under ``benchmarks/`` regenerates the paper-vs-measured record.
 """
 
 from repro.core import (
@@ -87,8 +96,17 @@ from repro.losses import (
     random_squared_family,
 )
 from repro.optimize import L2Ball, minimize_loss
+from repro.serve import (
+    AnswerCache,
+    BudgetLedger,
+    MechanismRegistry,
+    PMWService,
+    ServeResult,
+    Session,
+    default_registry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # core
@@ -117,4 +135,7 @@ __all__ = [
     "random_ridge_family",
     # optimize
     "L2Ball", "minimize_loss",
+    # serve
+    "PMWService", "Session", "ServeResult", "MechanismRegistry",
+    "default_registry", "BudgetLedger", "AnswerCache",
 ]

@@ -20,6 +20,7 @@ chosen stream of convex-minimization queries on a private dataset:
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -29,13 +30,14 @@ from repro.core.config import PMWConfig
 from repro.core.update import dual_certificate, mw_step
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import PrivacyParameters, advanced_composition
 from repro.dp.sparse_vector import SparseVector
 from repro.erm.oracle import SingleQueryOracle
 from repro.exceptions import (
     LossSpecificationError,
     MechanismHalted,
+    PrivacyBudgetExhausted,
     ValidationError,
 )
 from repro.losses.base import LossFunction
@@ -70,6 +72,13 @@ class PMWAnswer:
 class PrivateMWConvex:
     """The Figure 3 mechanism.
 
+    Class attributes
+    ----------------
+    DATA_MINIMA_LIMIT:
+        LRU bound on the per-mechanism cache of data-side minimizations
+        (one entry per distinct loss fingerprint). Eviction only costs a
+        recomputation; correctness is unaffected.
+
     Parameters
     ----------
     dataset:
@@ -97,6 +106,8 @@ class PrivateMWConvex:
         Seed or generator; split into independent streams for the sparse
         vector and the oracle.
     """
+
+    DATA_MINIMA_LIMIT = 1024
 
     def __init__(self, dataset: Dataset, oracle: SingleQueryOracle, *,
                  scale: float, alpha: float, beta: float = 0.05,
@@ -135,9 +146,15 @@ class PrivateMWConvex:
         self._updates = 0
         self._history: list[dict] = []
         # min_theta l(theta; D) depends only on (loss, D): cache it per
-        # loss object so repeated queries (cycling/adaptive analysts) pay
-        # one data-side minimization, not one per round.
-        self._data_minima = weakref.WeakKeyDictionary()
+        # loss *fingerprint* so repeated queries (cycling/adaptive analysts,
+        # or a serving layer rebuilding equal loss objects) pay one
+        # data-side minimization, not one per round. Fingerprint keys also
+        # survive snapshot/restore, unlike object identity; the LRU bound
+        # keeps long-lived serving sessions from growing without limit.
+        self._data_minima: OrderedDict[str, MinimizeResult] = OrderedDict()
+        # Fallback for losses whose state cannot be fingerprinted (e.g.
+        # stored callables): identity-keyed, GC-bound, never serialized.
+        self._data_minima_by_identity = weakref.WeakKeyDictionary()
 
     # -- public state ---------------------------------------------------------
 
@@ -197,15 +214,42 @@ class PrivateMWConvex:
                 f"answer_from_hypothesis()"
             )
         self._check_loss(loss)
+        # Pre-flight the armed budget before any private work: if this
+        # round came back `top` we could not afford the oracle call, and
+        # raising after the fact would burn an update slot per retry and
+        # corrupt the round. Refusing here also skips the two inner
+        # minimizations a doomed round would otherwise pay for
+        # (hypothesis answers remain available).
+        self.accountant.preflight(self.config.oracle_epsilon,
+                                  self.config.oracle_delta,
+                                  label=f"oracle:{loss.name}")
         index = len(self._answers)
 
-        cached = self._data_minima.get(loss)
+        try:
+            key = loss.fingerprint()
+        except LossSpecificationError:
+            # Custom losses with unfingerprintable state (e.g. stored
+            # callables) still answer fine — they fall back to the
+            # identity-keyed cache, like the pre-fingerprint behaviour.
+            key = None
+        cached = (self._data_minima.get(key) if key is not None
+                  else self._data_minima_by_identity.get(loss))
         breakdown = database_error(loss, self._data_histogram,
                                    self._hypothesis,
                                    solver_steps=self.solver_steps,
                                    data_result=cached)
-        if cached is None:
-            self._data_minima[loss] = MinimizeResult(
+        if cached is not None:
+            if key is not None:
+                self._data_minima.move_to_end(key)
+        elif key is not None:
+            self._data_minima[key] = MinimizeResult(
+                breakdown.data_minimizer, breakdown.optimal_loss_on_data,
+                exact=False,
+            )
+            while len(self._data_minima) > self.DATA_MINIMA_LIMIT:
+                self._data_minima.popitem(last=False)
+        else:
+            self._data_minima_by_identity[loss] = MinimizeResult(
                 breakdown.data_minimizer, breakdown.optimal_loss_on_data,
                 exact=False,
             )
@@ -247,8 +291,9 @@ class PrivateMWConvex:
     def answer_all(self, losses, *, on_halt: str = "raise") -> list[PMWAnswer]:
         """Answer a sequence of CM queries.
 
-        ``on_halt`` controls behaviour if the update budget runs out
-        mid-stream: ``"raise"`` propagates :class:`MechanismHalted`
+        ``on_halt`` controls behaviour if the update budget — or an armed
+        accountant budget — runs out mid-stream: ``"raise"`` propagates
+        :class:`MechanismHalted` / :class:`PrivacyBudgetExhausted`
         (Figure 3's behaviour); ``"hypothesis"`` serves the remaining
         queries from the final public hypothesis (pure post-processing,
         still ``(eps, delta)``-DP, but without the per-query accuracy
@@ -267,7 +312,12 @@ class PrivateMWConvex:
                     )
                 answers.append(self.answer_from_hypothesis(loss))
                 continue
-            answers.append(self.answer(loss))
+            try:
+                answers.append(self.answer(loss))
+            except PrivacyBudgetExhausted:
+                if on_halt == "raise":
+                    raise
+                answers.append(self.answer_from_hypothesis(loss))
         return answers
 
     def answer_from_hypothesis(self, loss: LossFunction) -> PMWAnswer:
@@ -290,6 +340,122 @@ class PrivateMWConvex:
         """
         indices = self._hypothesis.sample_indices(n, rng=rng)
         return Dataset(self._dataset.universe, indices)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    SNAPSHOT_FORMAT = "repro.pmw_cm/v1"
+
+    def snapshot(self) -> dict:
+        """Full mechanism state as a JSON-serializable dict.
+
+        Contains everything *except* the private dataset and the oracle:
+        the schedule targets, the public hypothesis, answers, history, the
+        sparse-vector interaction state, rng states, the accountant's spend
+        journal, and the data-side minimization cache. Restoring via
+        :meth:`restore` with the same dataset and oracle continues the run
+        bit-for-bit. Snapshots include internal noise state and data-side
+        minima, so they are server-side artifacts, not public releases.
+        """
+        config = self.config
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "config": {
+                "alpha": config.alpha, "beta": config.beta,
+                "epsilon": config.epsilon, "delta": config.delta,
+                "scale": config.scale, "universe_size": config.universe_size,
+                "schedule": config.schedule,
+                "max_updates": config.max_updates,
+            },
+            "solver_steps": self.solver_steps,
+            "noise_multiplier": self._sparse_vector.noise_multiplier,
+            "hypothesis_weights": self._hypothesis.weights.tolist(),
+            "updates": self._updates,
+            "history": [dict(entry) for entry in self._history],
+            "answers": [
+                {
+                    "theta": answer.theta.tolist(),
+                    "from_update": answer.from_update,
+                    "query_index": answer.query_index,
+                    "update_index": answer.update_index,
+                }
+                for answer in self._answers
+            ],
+            "sparse_vector": self._sparse_vector.state_dict(),
+            "oracle_rng_state": self._oracle_rng.bit_generator.state,
+            "accountant": {
+                "records": self.accountant.to_records(),
+                "epsilon_budget": self.accountant.epsilon_budget,
+                "delta_budget": self.accountant.delta_budget,
+            },
+            "data_minima": {
+                key: {
+                    "theta": result.theta.tolist(),
+                    "value": result.value,
+                    "exact": result.exact,
+                }
+                for key, result in self._data_minima.items()
+            },
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, dataset: Dataset,
+                oracle: SingleQueryOracle, *, rng=None) -> "PrivateMWConvex":
+        """Rebuild a mechanism from :meth:`snapshot` output.
+
+        The private dataset and the oracle are supplied by the caller (they
+        are never serialized); the snapshot must have been taken against a
+        dataset over the same universe.
+        """
+        if snapshot.get("format") != cls.SNAPSHOT_FORMAT:
+            raise ValidationError(
+                f"unrecognized snapshot format {snapshot.get('format')!r}; "
+                f"expected {cls.SNAPSHOT_FORMAT!r}"
+            )
+        config = snapshot["config"]
+        if dataset.universe.size != config["universe_size"]:
+            raise ValidationError(
+                f"snapshot was taken over a universe of size "
+                f"{config['universe_size']}, dataset has "
+                f"{dataset.universe.size}"
+            )
+        mechanism = cls(
+            dataset, oracle,
+            scale=config["scale"], alpha=config["alpha"],
+            beta=config["beta"], epsilon=config["epsilon"],
+            delta=config["delta"], schedule=config["schedule"],
+            max_updates=config["max_updates"],
+            solver_steps=snapshot["solver_steps"],
+            noise_multiplier=snapshot["noise_multiplier"],
+            rng=rng,
+        )
+        mechanism._hypothesis = Histogram(
+            dataset.universe,
+            np.asarray(snapshot["hypothesis_weights"], dtype=float),
+        )
+        mechanism._updates = int(snapshot["updates"])
+        mechanism._history = [dict(entry) for entry in snapshot["history"]]
+        mechanism._answers = [
+            PMWAnswer(
+                theta=np.asarray(record["theta"], dtype=float),
+                from_update=bool(record["from_update"]),
+                query_index=int(record["query_index"]),
+                update_index=record["update_index"],
+            )
+            for record in snapshot["answers"]
+        ]
+        mechanism._sparse_vector.load_state_dict(snapshot["sparse_vector"])
+        mechanism._oracle_rng.bit_generator.state = snapshot["oracle_rng_state"]
+        # The fresh __init__ registered the sparse-vector spend; the journal
+        # already contains it, so replace rather than append.
+        mechanism.accountant = restore_accountant(snapshot["accountant"])
+        mechanism._data_minima = OrderedDict(
+            (key, MinimizeResult(
+                np.asarray(record["theta"], dtype=float),
+                float(record["value"]), bool(record["exact"]),
+            ))
+            for key, record in snapshot["data_minima"].items()
+        )
+        return mechanism
 
     # -- internals -------------------------------------------------------------
 

@@ -21,10 +21,14 @@ import numpy as np
 from repro.core.config import PMWConfig
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import per_round_budget
 from repro.dp.sparse_vector import SparseVector
-from repro.exceptions import MechanismHalted, ValidationError
+from repro.exceptions import (
+    MechanismHalted,
+    PrivacyBudgetExhausted,
+    ValidationError,
+)
 from repro.losses.linear import LinearQuery
 from repro.utils.rng import spawn_generators
 
@@ -117,12 +121,17 @@ class PrivateMWLinear:
                 f"query over {query.table.size} elements does not match the "
                 f"universe size {self._dataset.universe.size}"
             )
-        index = self._queries
-        self._queries += 1
-
         hypothesis_answer = self._hypothesis.dot(query.table)
         true_answer = self._data_histogram.dot(query.table)
         discrepancy = abs(true_answer - hypothesis_answer)
+        # Pre-flight the armed budget before the sparse vector consumes a
+        # slot (see PrivateMWConvex.answer for the failure mode). The
+        # query counter advances only after the refusal point, so refused
+        # queries leave no phantom stream slots.
+        self.accountant.preflight(self._measurement_epsilon, 0.0,
+                                  label=f"measure:{query.name}")
+        index = self._queries
+        self._queries += 1
         sv_answer = self._sparse_vector.process(discrepancy)
 
         if not sv_answer.above:
@@ -147,6 +156,69 @@ class PrivateMWLinear:
         return LinearAnswer(value=noisy_answer, from_update=True,
                             query_index=index, update_index=update_index)
 
+    # -- snapshot / restore ------------------------------------------------------
+
+    SNAPSHOT_FORMAT = "repro.pmw_linear/v1"
+
+    def snapshot(self) -> dict:
+        """Full mechanism state (minus the private dataset); see
+        :meth:`repro.core.pmw_cm.PrivateMWConvex.snapshot`."""
+        config = self.config
+        return {
+            "format": self.SNAPSHOT_FORMAT,
+            "config": {
+                "alpha": config.alpha, "beta": config.beta,
+                "epsilon": config.epsilon, "delta": config.delta,
+                "universe_size": config.universe_size,
+                "schedule": config.schedule,
+                "max_updates": config.max_updates,
+            },
+            "noise_multiplier": self._sparse_vector.noise_multiplier,
+            "hypothesis_weights": self._hypothesis.weights.tolist(),
+            "updates": self._updates,
+            "queries": self._queries,
+            "sparse_vector": self._sparse_vector.state_dict(),
+            "laplace_rng_state": self._laplace_rng.bit_generator.state,
+            "accountant": {
+                "records": self.accountant.to_records(),
+                "epsilon_budget": self.accountant.epsilon_budget,
+                "delta_budget": self.accountant.delta_budget,
+            },
+        }
+
+    @classmethod
+    def restore(cls, snapshot: dict, dataset: Dataset, *,
+                rng=None) -> "PrivateMWLinear":
+        """Rebuild a mechanism from :meth:`snapshot` output."""
+        if snapshot.get("format") != cls.SNAPSHOT_FORMAT:
+            raise ValidationError(
+                f"unrecognized snapshot format {snapshot.get('format')!r}; "
+                f"expected {cls.SNAPSHOT_FORMAT!r}"
+            )
+        config = snapshot["config"]
+        if dataset.universe.size != config["universe_size"]:
+            raise ValidationError(
+                f"snapshot was taken over a universe of size "
+                f"{config['universe_size']}, dataset has "
+                f"{dataset.universe.size}"
+            )
+        mechanism = cls(
+            dataset, alpha=config["alpha"], beta=config["beta"],
+            epsilon=config["epsilon"], delta=config["delta"],
+            schedule=config["schedule"], max_updates=config["max_updates"],
+            noise_multiplier=snapshot["noise_multiplier"], rng=rng,
+        )
+        mechanism._hypothesis = Histogram(
+            dataset.universe,
+            np.asarray(snapshot["hypothesis_weights"], dtype=float),
+        )
+        mechanism._updates = int(snapshot["updates"])
+        mechanism._queries = int(snapshot["queries"])
+        mechanism._sparse_vector.load_state_dict(snapshot["sparse_vector"])
+        mechanism._laplace_rng.bit_generator.state = snapshot["laplace_rng_state"]
+        mechanism.accountant = restore_accountant(snapshot["accountant"])
+        return mechanism
+
     def answer_all(self, queries, *, on_halt: str = "raise") -> list[LinearAnswer]:
         """Answer a sequence of linear queries (see PMW-CM's ``answer_all``)."""
         if on_halt not in ("raise", "hypothesis"):
@@ -160,11 +232,20 @@ class PrivateMWLinear:
                     raise MechanismHalted(
                         "update budget exhausted before the stream ended"
                     )
-                self._queries += 1
-                answers.append(LinearAnswer(
-                    value=self._hypothesis.dot(query.table),
-                    from_update=False, query_index=self._queries - 1,
-                ))
+                answers.append(self._hypothesis_answer(query))
                 continue
-            answers.append(self.answer(query))
+            try:
+                answers.append(self.answer(query))
+            except PrivacyBudgetExhausted:
+                if on_halt == "raise":
+                    raise
+                answers.append(self._hypothesis_answer(query))
         return answers
+
+    def _hypothesis_answer(self, query: LinearQuery) -> LinearAnswer:
+        """Serve from the public hypothesis (free post-processing)."""
+        self._queries += 1
+        return LinearAnswer(
+            value=self._hypothesis.dot(query.table),
+            from_update=False, query_index=self._queries - 1,
+        )

@@ -43,6 +43,7 @@ class Histogram:
         self._universe = universe
         self._weights = np.clip(weights, 0.0, None) / total
         self._weights.setflags(write=False)
+        self._cdf: np.ndarray | None = None  # built lazily by sample_indices
 
     # -- constructors -----------------------------------------------------
 
@@ -154,11 +155,30 @@ class Histogram:
 
         Useful for generating synthetic datasets from the final PMW
         hypothesis (the synthetic-data remark of Section 4.3).
+
+        Implemented by inverse-CDF sampling against a cumulative table that
+        is built once per histogram and reused across calls: one vectorized
+        ``searchsorted`` per draw batch, instead of ``Generator.choice``'s
+        per-call probability validation and cumsum. Serving-layer
+        ``synthetic_dataset`` calls hit the same (immutable) histogram
+        repeatedly, which makes the amortization worthwhile; see
+        ``benchmarks/bench_serve_throughput.py`` for measured numbers.
         """
         if n < 0:
             raise ValidationError(f"n must be non-negative, got {n}")
         generator = as_generator(rng)
-        return generator.choice(self._universe.size, size=n, p=self._weights)
+        if self._cdf is None:
+            cdf = np.cumsum(self._weights)
+            # Close the floating-point cumsum gap at the last *nonzero*
+            # weight, so trailing zero-weight elements stay impossible.
+            last_support = int(np.nonzero(self._weights)[0][-1])
+            cdf[last_support:] = 1.0
+            cdf.setflags(write=False)
+            self._cdf = cdf
+        draws = generator.random(n)
+        # side="right" skips zero-weight elements (flat CDF segments) and
+        # maps u in [cdf[i-1], cdf[i]) to index i — exactly choice(p=...).
+        return np.searchsorted(self._cdf, draws, side="right")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -59,6 +59,18 @@ class PrivacyAccountant:
         """Record one ``(epsilon, delta)``-DP access, enforcing the budget."""
         check_positive(epsilon, "epsilon")
         check_probability(delta, "delta")
+        self.preflight(epsilon, delta, label=label)
+        self.spends.append(PrivacySpend(float(epsilon), float(delta), label))
+
+    def preflight(self, epsilon: float, delta: float = 0.0,
+                  label: str = "") -> None:
+        """Raise if a prospective spend would exceed the budget.
+
+        Records nothing. Interactive mechanisms call this *before* doing
+        the private work a spend pays for (consuming a sparse-vector slot,
+        running an oracle), so budget exhaustion surfaces as a clean
+        refusal rather than a mid-round failure that corrupts their state.
+        """
         new_epsilon = self.total_basic().epsilon + epsilon if self.spends else epsilon
         new_delta = (self.total_basic().delta if self.spends else 0.0) + delta
         if self.epsilon_budget is not None and new_epsilon > self.epsilon_budget * (1 + 1e-9):
@@ -72,7 +84,42 @@ class PrivacyAccountant:
                 f"spending ({epsilon:g}, {delta:g}) for {label!r} would bring "
                 f"delta to {new_delta:g} > budget {self.delta_budget:g}",
             )
-        self.spends.append(PrivacySpend(float(epsilon), float(delta), label))
+
+    # -- serialization -----------------------------------------------------
+
+    def to_records(self) -> list[dict]:
+        """The spend history as JSON-serializable records.
+
+        Each record is ``{"epsilon", "delta", "label"}``. Together with the
+        budget fields this is the accountant's full state: feeding the
+        records back through :meth:`from_records` rebuilds an accountant
+        with identical :meth:`total_basic` and :meth:`total_advanced`. The
+        serving layer's ledger (:mod:`repro.serve.ledger`) journals exactly
+        these records.
+        """
+        return [
+            {"epsilon": s.epsilon, "delta": s.delta, "label": s.label}
+            for s in self.spends
+        ]
+
+    @classmethod
+    def from_records(cls, records, *, epsilon_budget: float | None = None,
+                     delta_budget: float | None = None) -> "PrivacyAccountant":
+        """Rebuild an accountant from :meth:`to_records` output.
+
+        Records are trusted journal entries (they were validated when first
+        spent), so they are restored verbatim rather than re-run through
+        :meth:`spend` — in particular a restored history may legitimately
+        sit exactly at its budget without raising.
+        """
+        accountant = cls(epsilon_budget=epsilon_budget,
+                         delta_budget=delta_budget)
+        accountant.spends = [
+            PrivacySpend(float(r["epsilon"]), float(r["delta"]),
+                         str(r.get("label", "")))
+            for r in records
+        ]
+        return accountant
 
     # -- reporting -----------------------------------------------------------
 
@@ -128,5 +175,17 @@ class PrivacyAccountant:
         return "\n".join(lines)
 
 
+def restore_accountant(state: dict) -> PrivacyAccountant:
+    """Rebuild an accountant from a snapshot's accountant section
+    (``{"records", "epsilon_budget", "delta_budget"}``), so armed budgets
+    survive snapshot/restore."""
+    return PrivacyAccountant.from_records(
+        state.get("records", []),
+        epsilon_budget=state.get("epsilon_budget"),
+        delta_budget=state.get("delta_budget"),
+    )
+
+
 # Helper mirroring basic_composition for symmetric import ergonomics.
-__all__ = ["PrivacyAccountant", "PrivacySpend", "basic_composition"]
+__all__ = ["PrivacyAccountant", "PrivacySpend", "basic_composition",
+           "restore_accountant"]

@@ -168,6 +168,40 @@ class SparseVector:
             return SparseVectorAnswer(True, index, above_index)
         return SparseVectorAnswer(False, index)
 
+    # -- serialization ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The mutable interaction state as a JSON-serializable dict.
+
+        Captures the round counters, the current noisy threshold, and the
+        noise generator state, so a restored sparse vector continues the
+        *same* AboveThreshold run bit-for-bit. The noisy threshold is
+        internal mechanism state — snapshots containing it must be stored
+        server-side (releasing it would not break DP of past answers, but
+        the snapshot as a whole is not a public artifact).
+        """
+        return {
+            "noisy_threshold": self._noisy_threshold,
+            "queries_asked": self._queries_asked,
+            "above_count": self._above_count,
+            "halted": self._halted,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore interaction state captured by :meth:`state_dict`.
+
+        The construction-time parameters (alpha, sensitivity, budget, T)
+        are not part of the state; the caller must have built this instance
+        with the same parameters as the snapshotted one — and without an
+        accountant, so the lifetime budget is not double-counted.
+        """
+        self._noisy_threshold = float(state["noisy_threshold"])
+        self._queries_asked = int(state["queries_asked"])
+        self._above_count = int(state["above_count"])
+        self._halted = bool(state["halted"])
+        self._rng.bit_generator.state = state["rng_state"]
+
     # -- internals ------------------------------------------------------------
 
     def _draw_threshold(self) -> float:

@@ -69,6 +69,23 @@ class LossFunction(ABC):
         """
         return None
 
+    def fingerprint(self) -> str:
+        """Stable digest of the mathematical query this loss represents.
+
+        Equal-parameter losses fingerprint identically across objects and
+        processes; display names are ignored. Used as the cache and ledger
+        key throughout :mod:`repro.serve` and by the mechanism's data-side
+        minimization cache. See :mod:`repro.losses.fingerprint`.
+
+        The digest is memoized on first call (hashing walks every
+        parameter array, and serving paths fingerprint each query more
+        than once); losses are treated as immutable values — mutating a
+        loss after fingerprinting it is unsupported.
+        """
+        from repro.losses.fingerprint import memoized_fingerprint
+
+        return memoized_fingerprint(self)
+
     # -- derived dataset-level evaluations ------------------------------------
 
     def loss_on(self, theta: np.ndarray, histogram: Histogram) -> float:

@@ -53,6 +53,13 @@ class LinearQuery:
         """Absolute error of an estimate against this histogram."""
         return abs(self.answer(histogram) - float(estimate))
 
+    def fingerprint(self) -> str:
+        """Stable digest of the query table (names ignored), memoized; see
+        :mod:`repro.losses.fingerprint`."""
+        from repro.losses.fingerprint import memoized_fingerprint
+
+        return memoized_fingerprint(self)
+
     def __len__(self) -> int:
         return self.table.size
 

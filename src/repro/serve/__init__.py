@@ -1,0 +1,37 @@
+"""`repro.serve` — multi-tenant query serving on top of the mechanisms.
+
+The mechanisms in :mod:`repro.core` are single-object, in-process state
+machines. This package turns them into a *service*: per-analyst sessions
+with lifecycle and snapshots (:mod:`~repro.serve.session`), config-driven
+mechanism construction (:mod:`~repro.serve.registry`), a crash-safe
+append-only privacy-budget ledger (:mod:`~repro.serve.ledger`), an answer
+cache serving duplicate queries at zero privacy cost
+(:mod:`~repro.serve.cache`), batch planning with cross-session concurrency
+(:mod:`~repro.serve.planner`), and the :class:`PMWService` front door
+(:mod:`~repro.serve.service`).
+"""
+
+from repro.serve.cache import AnswerCache, CachedAnswer, CacheStats
+from repro.serve.ledger import BudgetLedger, LedgerState, replay_ledger
+from repro.serve.planner import BatchPlan, concurrent_map, plan_batch
+from repro.serve.registry import (
+    MechanismRegistry,
+    build_oracle,
+    default_registry,
+)
+from repro.serve.service import PMWService
+from repro.serve.session import (
+    ServeResult,
+    Session,
+    query_fingerprint,
+    try_fingerprint,
+)
+
+__all__ = [
+    "PMWService",
+    "Session", "ServeResult", "query_fingerprint", "try_fingerprint",
+    "MechanismRegistry", "default_registry", "build_oracle",
+    "BudgetLedger", "LedgerState", "replay_ledger",
+    "AnswerCache", "CachedAnswer", "CacheStats",
+    "BatchPlan", "plan_batch", "concurrent_map",
+]

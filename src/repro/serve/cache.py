@@ -1,0 +1,183 @@
+"""Answer cache keyed by canonical loss fingerprints.
+
+Once a mechanism has released an answer for a query, releasing the *same*
+answer again for the *same* query is post-processing: it costs zero privacy
+budget, regardless of how many analyst round-trips repeat it. The cache
+makes that free path fast — a duplicate-heavy workload (dashboards,
+retried requests, an analyst re-deriving the canonical questions) is
+served at dictionary-lookup cost instead of a solver call per query.
+
+Keys are ``(session_id, fingerprint)`` where the fingerprint is the
+canonical digest from :mod:`repro.losses.fingerprint`: equal-parameter
+losses hit the same entry even when the analyst rebuilt the query object.
+The cache is deliberately **per-session**: each session has its own
+mechanism state and hypothesis, so the same canonical query asked by a
+*different* analyst's session is a fresh mechanism round with its own
+privacy spend — cross-session reuse would require sharing one session's
+released answers with another tenant, which is a policy decision, not a
+cache optimization. Entries never expire by correctness need (a released
+answer stays released) — ``max_entries`` exists purely to bound memory,
+evicting least-recently used entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """One released answer, replayable at zero privacy cost."""
+
+    value: object        # ndarray (CM query) or float (linear query)
+    source: str          # provenance of the original release
+    query_index: int | None
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate counters since construction (or ``clear``)."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class AnswerCache:
+    """Thread-safe LRU cache of released answers.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional capacity bound; least-recently-used entries are evicted.
+        ``None`` (default) means unbounded.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, str], CachedAnswer] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, session_id: str, fingerprint: str) -> CachedAnswer | None:
+        """Look up a released answer; counts a hit or miss."""
+        key = (session_id, fingerprint)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def contains(self, session_id: str, fingerprint: str) -> bool:
+        """Membership check that does not disturb stats or LRU order."""
+        with self._lock:
+            return (session_id, fingerprint) in self._entries
+
+    def put(self, session_id: str, fingerprint: str,
+            answer: CachedAnswer) -> None:
+        """Record a released answer (idempotent per key).
+
+        Array values are stored as read-only copies, so a caller mutating
+        the array it received can never corrupt later replays.
+        """
+        if isinstance(answer.value, np.ndarray):
+            frozen = np.array(answer.value)
+            frozen.setflags(write=False)
+            answer = CachedAnswer(value=frozen, source=answer.source,
+                                  query_index=answer.query_index)
+        key = (session_id, fingerprint)
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+
+    def drop_session(self, session_id: str) -> int:
+        """Forget a closed session's entries; returns how many were dropped."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == session_id]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def stats(self) -> CacheStats:
+        """Current counters."""
+        with self._lock:
+            return CacheStats(self._hits, self._misses, len(self._entries))
+
+    def clear(self) -> None:
+        """Drop all entries and reset counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+
+    # -- snapshot / restore ---------------------------------------------------
+
+    def to_state(self) -> dict:
+        """JSON-serializable content (for warm restarts via snapshots)."""
+        with self._lock:
+            return {
+                "max_entries": self.max_entries,
+                "entries": [
+                    {
+                        "session": key[0], "fingerprint": key[1],
+                        "value": (entry.value.tolist()
+                                  if isinstance(entry.value, np.ndarray)
+                                  else entry.value),
+                        "is_array": isinstance(entry.value, np.ndarray),
+                        "source": entry.source,
+                        "query_index": entry.query_index,
+                    }
+                    for key, entry in self._entries.items()
+                ],
+            }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "AnswerCache":
+        """Rebuild a cache from :meth:`to_state` output (counters reset)."""
+        cache = cls(max_entries=state.get("max_entries"))
+        for record in state.get("entries", []):
+            value = record["value"]
+            if record["is_array"]:
+                value = np.asarray(value, dtype=float)
+            cache.put(record["session"], record["fingerprint"], CachedAnswer(
+                value=value, source=record["source"],
+                query_index=record["query_index"],
+            ))
+        return cache
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        stats = self.stats()
+        return (
+            f"AnswerCache(entries={stats.entries}, hits={stats.hits}, "
+            f"misses={stats.misses}, max_entries={self.max_entries})"
+        )
+
+
+__all__ = ["AnswerCache", "CachedAnswer", "CacheStats"]

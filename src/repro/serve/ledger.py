@@ -1,0 +1,256 @@
+"""Crash-safe, append-only privacy-budget ledger.
+
+Durable accounting is what separates "a DP library" from "a DP system": if
+the process dies between an oracle call and the analyst's next query, the
+budget that oracle call consumed is *gone from the real world* — restarting
+with a fresh accountant would silently double-spend it. The ledger journals
+every :class:`PrivacyAccountant` spend to disk *before* the answer is
+released, so on restart the exact pre-crash totals are rebuilt from the
+journal (write-ahead logging, applied to privacy budget).
+
+Format: JSON Lines, one self-contained record per line, fsync'd by default.
+Record kinds:
+
+- ``open``  — a session was created (mechanism name + JSON params + analyst)
+- ``spend`` — one accountant spend ``(epsilon, delta, label)`` of a session
+- ``close`` — a session was closed
+
+Every record carries a monotonically increasing ``seq``; replay verifies
+contiguity, so silent truncation in the *middle* of the file is detected.
+A torn *final* line (the classic crash artifact: the process died mid-write)
+is tolerated and dropped, because its spend was by construction never acted
+on — the answer is only released after the journal write returns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.exceptions import ValidationError
+
+OPEN = "open"
+SPEND = "spend"
+CLOSE = "close"
+
+
+@dataclass
+class LedgerState:
+    """The replayed content of a ledger file."""
+
+    opens: dict[str, dict] = field(default_factory=dict)
+    spends: dict[str, list[dict]] = field(default_factory=dict)
+    closed: set[str] = field(default_factory=set)
+    last_seq: int = -1
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Sessions in the order they were opened."""
+        return list(self.opens)
+
+    def accountant_for(self, session_id: str) -> PrivacyAccountant:
+        """Rebuild the session's accountant exactly as journaled."""
+        if session_id not in self.opens:
+            raise ValidationError(f"no 'open' record for {session_id!r}")
+        budget = self.opens[session_id].get("epsilon_budget")
+        delta_budget = self.opens[session_id].get("delta_budget")
+        return PrivacyAccountant.from_records(
+            self.spends.get(session_id, []),
+            epsilon_budget=budget, delta_budget=delta_budget,
+        )
+
+
+class BudgetLedger:
+    """Append-only JSONL journal of budget events for one service.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created if missing, appended to if present (a
+        restarted service continues the same file, with ``seq`` picking up
+        where the replayed journal ended).
+    fsync:
+        Force each record to stable storage before returning (default).
+        Turning it off trades crash-safety for latency; the write is still
+        flushed to the OS.
+    """
+
+    def __init__(self, path, *, fsync: bool = True) -> None:
+        self.path = os.fspath(path)
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        if os.path.exists(self.path):
+            _truncate_torn_tail(self.path)
+            existing = replay_ledger(self.path)
+        else:
+            existing = LedgerState()
+        self._seq = existing.last_seq + 1
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # -- appending -----------------------------------------------------------
+
+    def append_open(self, session_id: str, mechanism: str, params: dict, *,
+                    analyst: str = "", dataset: str = "",
+                    universe_size: int | None = None,
+                    dataset_digest: str | None = None,
+                    epsilon_budget: float | None = None,
+                    delta_budget: float | None = None) -> None:
+        """Journal a session creation with its full (JSON) configuration.
+
+        ``universe_size`` and ``dataset_digest`` pin the private dataset's
+        content, so a later ledger-only restore against different data
+        fails loudly instead of silently grafting one dataset's budget
+        accounting onto another.
+        """
+        self._append({
+            "kind": OPEN, "session": session_id, "mechanism": mechanism,
+            "params": jsonable_params(params), "analyst": analyst,
+            "dataset": dataset, "universe_size": universe_size,
+            "dataset_digest": dataset_digest,
+            "epsilon_budget": epsilon_budget,
+            "delta_budget": delta_budget,
+        })
+
+    def append_spends(self, session_id: str, records: list[dict]) -> None:
+        """Journal accountant spends (one line each), durably, in order."""
+        for record in records:
+            self._append({
+                "kind": SPEND, "session": session_id,
+                "epsilon": float(record["epsilon"]),
+                "delta": float(record["delta"]),
+                "label": str(record.get("label", "")),
+            })
+
+    def append_close(self, session_id: str) -> None:
+        """Journal a session close."""
+        self._append({"kind": CLOSE, "session": session_id})
+
+    def _append(self, record: dict) -> None:
+        with self._lock:
+            record = {"seq": self._seq, **record}
+            self._seq += 1
+            line = json.dumps(record, separators=(",", ":"))
+            self._file.write(line + "\n")
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+
+    # -- reading ---------------------------------------------------------------
+
+    def replay(self) -> LedgerState:
+        """Replay this ledger's file (including records just appended)."""
+        with self._lock:
+            self._file.flush()
+        return replay_ledger(self.path)
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._file.close()
+
+    def __enter__(self) -> "BudgetLedger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BudgetLedger(path={self.path!r}, next_seq={self._seq})"
+
+
+def replay_ledger(path) -> LedgerState:
+    """Parse a ledger file into a :class:`LedgerState`.
+
+    Raises :class:`ValidationError` on corruption (bad JSON on a complete
+    line, or a ``seq`` gap); tolerates and drops a torn final line — one
+    with no trailing newline — whose event was never acted upon (see
+    module docstring).
+    """
+    state = LedgerState()
+    with open(path, "rb") as handle:
+        content = handle.read()
+    # The torn-tail criterion must match _truncate_torn_tail exactly
+    # (records are single `line + "\n"` writes, so torn <=> no trailing
+    # newline) — otherwise a torn-but-parseable final line would be
+    # counted by replay yet truncated on the next reopen, and the two
+    # views of the journal would disagree.
+    ends_complete = content.endswith(b"\n")
+    lines = content.decode("utf-8").splitlines()
+    for position, line in enumerate(lines):
+        if position == len(lines) - 1 and not ends_complete:
+            break  # torn final write from a crash: drop it
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            raise ValidationError(
+                f"{path}: corrupt ledger record at line {position + 1}"
+            )
+        seq = record.get("seq")
+        if seq != state.last_seq + 1:
+            raise ValidationError(
+                f"{path}: ledger sequence gap at line {position + 1} "
+                f"(expected seq {state.last_seq + 1}, got {seq})"
+            )
+        state.last_seq = seq
+        kind = record.get("kind")
+        session = record.get("session", "")
+        if kind == OPEN:
+            state.opens[session] = record
+        elif kind == SPEND:
+            state.spends.setdefault(session, []).append({
+                "epsilon": record["epsilon"], "delta": record["delta"],
+                "label": record.get("label", ""),
+            })
+        elif kind == CLOSE:
+            state.closed.add(session)
+        else:
+            raise ValidationError(
+                f"{path}: unknown ledger record kind {kind!r} at line "
+                f"{position + 1}"
+            )
+    return state
+
+
+def _truncate_torn_tail(path: str) -> None:
+    """Drop a torn final record before appending to an existing ledger.
+
+    Records are written as single ``line + "\\n"`` writes, so a crash
+    mid-write leaves exactly one artifact: a final line with no trailing
+    newline. Appending after it would concatenate the next record onto the
+    fragment; truncating to the last complete line keeps the journal
+    parseable. The dropped event was never acted on (answers are released
+    only after the journal write returns).
+    """
+    with open(path, "rb") as handle:
+        content = handle.read()
+    if not content or content.endswith(b"\n"):
+        return
+    keep = content.rfind(b"\n") + 1  # 0 when no complete line survives
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+
+
+def jsonable_params(params: dict) -> dict:
+    """Best-effort JSON form of session params.
+
+    Values that cannot be journaled (e.g. a live oracle instance) are
+    replaced with a marker; restoring such a session requires the caller to
+    re-supply them (``PMWService.restore(params_override=...)``).
+    """
+    out = {}
+    for key, value in params.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            out[key] = {"__unjournalable__": repr(value)}
+        else:
+            out[key] = value
+    return out
+
+
+__all__ = ["BudgetLedger", "LedgerState", "replay_ledger",
+           "jsonable_params"]

@@ -1,0 +1,118 @@
+"""Batch query planning and cross-session concurrency.
+
+An incoming batch rarely needs one mechanism round per query. The planner
+partitions a batch, *before touching private data*, into lanes ordered from
+free to expensive:
+
+- ``cached``     — already-released answers (zero cost, dictionary lookup);
+- ``duplicates`` — repeats within the batch of an earlier uncached query
+  (served by replaying that query's fresh answer, zero marginal cost);
+- ``hypothesis`` — queries to a session whose update budget is exhausted,
+  served from the final public hypothesis (pure post-processing);
+- ``mechanism``  — genuinely new queries that must enter the mechanism's
+  stream (and may or may not trigger a paid oracle round — that judgement
+  is the sparse vector's, made on private data at execution time).
+
+Lanes only use public information (cache keys, fingerprints, the halted
+flag), so planning itself is not a privacy event.
+
+Across sessions the mechanisms are independent, so a multi-session batch is
+served concurrently by a thread pool — within a session the stream order is
+preserved (mechanisms are stateful), across sessions there is no shared
+mutable state beyond the thread-safe cache and ledger.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.serve.cache import AnswerCache
+from repro.serve.session import Session, try_fingerprint
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """The lane assignment of one batch for one session."""
+
+    fingerprints: list[str | None]
+    cached: list[int] = field(default_factory=list)
+    duplicates: dict[int, int] = field(default_factory=dict)
+    hypothesis: list[int] = field(default_factory=list)
+    mechanism: list[int] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of queries planned."""
+        return len(self.fingerprints)
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of the batch served without a mechanism round."""
+        if not self.fingerprints:
+            return 0.0
+        free = len(self.cached) + len(self.duplicates) + len(self.hypothesis)
+        return free / len(self.fingerprints)
+
+    def describe(self) -> str:
+        """One-line lane summary."""
+        return (
+            f"plan: {self.total} queries -> {len(self.cached)} cached, "
+            f"{len(self.duplicates)} in-batch duplicates, "
+            f"{len(self.hypothesis)} hypothesis, "
+            f"{len(self.mechanism)} mechanism"
+        )
+
+
+def plan_batch(session: Session, queries, *,
+               cache: AnswerCache | None = None) -> BatchPlan:
+    """Partition ``queries`` into serving lanes for ``session``.
+
+    Planning reads only public state; the expensive lanes stay in original
+    stream order so execution preserves the mechanism's online semantics.
+    Unfingerprintable queries (fingerprint ``None``) always take the
+    mechanism/hypothesis lane — they cannot be deduplicated or cached.
+    """
+    fingerprints = [try_fingerprint(query) for query in queries]
+    plan = BatchPlan(fingerprints=fingerprints)
+    first_seen: dict[str, int] = {}
+    halted = session.halted
+    for index, fingerprint in enumerate(fingerprints):
+        if (fingerprint is not None and cache is not None
+                and cache.contains(session.session_id, fingerprint)):
+            plan.cached.append(index)
+        elif fingerprint is not None and fingerprint in first_seen:
+            plan.duplicates[index] = first_seen[fingerprint]
+        else:
+            if fingerprint is not None:
+                first_seen[fingerprint] = index
+            if halted:
+                plan.hypothesis.append(index)
+            else:
+                plan.mechanism.append(index)
+    return plan
+
+
+def concurrent_map(worker, batches: dict, *, max_workers: int | None = None) -> dict:
+    """Run ``worker(session_id, queries)`` over every batch, concurrently.
+
+    Returns ``{session_id: worker_result}``. Exceptions propagate (the
+    first one raised wins, as with any future-based fan-out). Sessions are
+    independent mechanisms, so cross-session parallelism is safe; the
+    per-session work stays on one thread, preserving stream order.
+    """
+    if not batches:
+        return {}
+    if max_workers is None:
+        max_workers = min(8, len(batches))
+    if max_workers <= 1 or len(batches) == 1:
+        return {sid: worker(sid, queries) for sid, queries in batches.items()}
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            sid: pool.submit(worker, sid, queries)
+            for sid, queries in batches.items()
+        }
+        return {sid: future.result() for sid, future in futures.items()}
+
+
+__all__ = ["BatchPlan", "plan_batch", "concurrent_map"]

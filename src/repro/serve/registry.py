@@ -1,0 +1,187 @@
+"""Mechanism registry: config-driven construction of query mechanisms.
+
+The serving layer never hard-codes mechanism classes. Each mechanism type
+registers a :class:`MechanismEntry` — a factory, a snapshot-restore hook,
+and a description — under a string name, and sessions are opened as
+``service.open_session("pmw-convex", scale=2.0, alpha=0.2, ...)``. New
+mechanism types (an offline variant, a Rényi-accounted one, a stub for
+testing) plug in by name without touching the service:
+
+    registry = default_registry()
+
+    @registry.register("my-mechanism", restore=MyMechanism.restore)
+    def build_my_mechanism(dataset, *, rng=None, **params):
+        return MyMechanism(dataset, **params)
+
+Oracles are likewise referenced by name inside the ``oracle`` parameter
+(``oracle="noisy-sgd"``, ``oracle={"name": "output-perturbation",
+"sigma_steps": 40}``) so a session's full configuration is a JSON document
+— exactly what the budget ledger journals for crash recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.erm.exponential import ExponentialMechanismOracle
+from repro.erm.glm_oracle import GLMProjectionOracle
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.objective_perturbation import ObjectivePerturbationOracle
+from repro.erm.oracle import NonPrivateOracle, SingleQueryOracle
+from repro.erm.output_perturbation import OutputPerturbationOracle
+from repro.exceptions import ValidationError
+
+#: Single-query oracle constructors by name. Each is called with
+#: ``(epsilon, delta, **extra)``; PMW re-budgets the instance to its
+#: per-round ``(eps0, delta0)`` via ``with_budget`` regardless.
+ORACLES: dict[str, Callable[..., SingleQueryOracle]] = {
+    "noisy-sgd": NoisyGradientDescentOracle,
+    "output-perturbation": OutputPerturbationOracle,
+    "objective-perturbation": ObjectivePerturbationOracle,
+    "glm-projection": GLMProjectionOracle,
+    "exponential": lambda epsilon, delta, **kw: ExponentialMechanismOracle(
+        epsilon, **kw
+    ),
+    "non-private": lambda epsilon, delta, **kw: NonPrivateOracle(**kw),
+}
+
+
+def build_oracle(spec, epsilon: float, delta: float) -> SingleQueryOracle:
+    """Resolve an oracle spec: an instance, a name, or ``{"name": ...}``.
+
+    Instances pass through untouched (non-journalable: a ledger replay
+    cannot rebuild them, so config-driven sessions should use names).
+    """
+    if isinstance(spec, SingleQueryOracle):
+        return spec
+    if isinstance(spec, str):
+        name, extra = spec, {}
+    elif isinstance(spec, dict):
+        extra = dict(spec)
+        name = extra.pop("name", None)
+        if name is None:
+            raise ValidationError("oracle dict spec requires a 'name' key")
+    else:
+        raise ValidationError(
+            f"oracle spec must be an oracle instance, a name, or a dict, "
+            f"got {type(spec).__name__}"
+        )
+    if name not in ORACLES:
+        raise ValidationError(
+            f"unknown oracle {name!r}; known: {sorted(ORACLES)}"
+        )
+    return ORACLES[name](epsilon, delta, **extra)
+
+
+@dataclass(frozen=True)
+class MechanismEntry:
+    """One registered mechanism type."""
+
+    name: str
+    factory: Callable
+    restore: Callable | None = None
+    description: str = ""
+
+
+class MechanismRegistry:
+    """Name -> :class:`MechanismEntry` mapping with a decorator interface."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, MechanismEntry] = {}
+
+    def register(self, name: str, factory: Callable | None = None, *,
+                 restore: Callable | None = None, description: str = ""):
+        """Register a factory, directly or as a decorator.
+
+        ``factory(dataset, *, rng=None, **params) -> mechanism``;
+        ``restore(snapshot, dataset, *, rng=None, **params) -> mechanism``.
+        """
+        def _register(func: Callable) -> Callable:
+            if name in self._entries:
+                raise ValidationError(f"mechanism {name!r} already registered")
+            self._entries[name] = MechanismEntry(
+                name=name, factory=func, restore=restore,
+                description=description or (func.__doc__ or "").strip(),
+            )
+            return func
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def create(self, name: str, dataset, *, rng=None, **params):
+        """Build a mechanism instance by registered name."""
+        return self._entry(name).factory(dataset, rng=rng, **params)
+
+    def restore(self, name: str, snapshot: dict, dataset, *, rng=None,
+                **params):
+        """Rebuild a mechanism from a snapshot taken by a session."""
+        entry = self._entry(name)
+        if entry.restore is None:
+            raise ValidationError(
+                f"mechanism {name!r} does not support snapshot restore"
+            )
+        return entry.restore(snapshot, dataset, rng=rng, **params)
+
+    def names(self) -> list[str]:
+        """Registered mechanism names, sorted."""
+        return sorted(self._entries)
+
+    def describe(self) -> str:
+        """One line per registered mechanism."""
+        return "\n".join(
+            f"{entry.name}: {entry.description}".rstrip(": ")
+            for entry in (self._entries[n] for n in self.names())
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def _entry(self, name: str) -> MechanismEntry:
+        if name not in self._entries:
+            raise ValidationError(
+                f"unknown mechanism {name!r}; known: {self.names()}"
+            )
+        return self._entries[name]
+
+
+def _build_pmw_convex(dataset, *, rng=None, oracle="noisy-sgd", **params):
+    """Figure 3's CM mechanism (:class:`PrivateMWConvex`)."""
+    epsilon = params.get("epsilon", 1.0)
+    delta = params.get("delta", 1e-6)
+    resolved = build_oracle(oracle, epsilon, delta)
+    return PrivateMWConvex(dataset, resolved, rng=rng, **params)
+
+
+def _restore_pmw_convex(snapshot, dataset, *, rng=None, oracle="noisy-sgd",
+                        **params):
+    config = snapshot["config"]
+    resolved = build_oracle(oracle, config["epsilon"], config["delta"])
+    return PrivateMWConvex.restore(snapshot, dataset, resolved, rng=rng)
+
+
+def _build_pmw_linear(dataset, *, rng=None, **params):
+    """The HR10 linear-query baseline (:class:`PrivateMWLinear`)."""
+    return PrivateMWLinear(dataset, rng=rng, **params)
+
+
+def _restore_pmw_linear(snapshot, dataset, *, rng=None, **params):
+    return PrivateMWLinear.restore(snapshot, dataset, rng=rng)
+
+
+def default_registry() -> MechanismRegistry:
+    """A fresh registry with the built-in mechanism types."""
+    registry = MechanismRegistry()
+    registry.register(
+        "pmw-convex", _build_pmw_convex, restore=_restore_pmw_convex,
+        description="online private MW for convex-minimization queries "
+                    "(Figure 3)",
+    )
+    registry.register(
+        "pmw-linear", _build_pmw_linear, restore=_restore_pmw_linear,
+        description="online private MW for linear queries (HR10 baseline)",
+    )
+    return registry

@@ -1,0 +1,628 @@
+"""`PMWService` — the multi-tenant query-serving front door.
+
+One service owns a set of named private datasets and serves adaptively
+chosen query streams from many analysts against them:
+
+    service = PMWService(task.dataset, ledger_path="budget.jsonl")
+    sid = service.open_session(
+        "pmw-convex", analyst="alice", oracle="noisy-sgd",
+        scale=2.0, alpha=0.2, epsilon=1.0, delta=1e-6,
+    )
+    result = service.submit(sid, loss)        # one query
+    results = service.answer_batch({sid: losses})   # planned batch
+
+Division of labor:
+
+- each :class:`~repro.serve.session.Session` wraps one mechanism with a
+  lock and lifecycle;
+- the :class:`~repro.serve.registry.MechanismRegistry` builds mechanisms
+  from JSON-documentable configuration;
+- the :class:`~repro.serve.cache.AnswerCache` replays already-released
+  answers (post-processing, zero privacy cost);
+- the :class:`~repro.serve.ledger.BudgetLedger` journals every accountant
+  spend durably *before* the answer is released, so a killed-and-restarted
+  service resumes with the exact pre-crash budget totals
+  (:meth:`PMWService.restore`);
+- the :mod:`~repro.serve.planner` partitions batches into free/paid lanes
+  and fans independent sessions out over a thread pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import (
+    MechanismHalted,
+    PrivacyBudgetExhausted,
+    ValidationError,
+)
+from repro.serve.cache import AnswerCache, CachedAnswer
+from repro.serve.ledger import BudgetLedger, replay_ledger
+from repro.serve.planner import concurrent_map, plan_batch
+from repro.serve.registry import MechanismRegistry, default_registry
+from repro.serve.session import ServeResult, Session, try_fingerprint
+from repro.utils.rng import as_generator, spawn_generators
+
+SNAPSHOT_FORMAT = "repro.serve/v1"
+
+
+class PMWService:
+    """Serve CM and linear queries from sessions over private datasets.
+
+    Parameters
+    ----------
+    datasets:
+        One :class:`Dataset` (registered as ``"default"``) or a mapping
+        ``name -> Dataset``. Datasets are the private state; they are never
+        serialized by snapshots or the ledger.
+    registry:
+        Mechanism registry; defaults to the built-ins
+        (``pmw-convex``, ``pmw-linear``).
+    ledger_path:
+        Optional path to the budget journal. When set, every accountant
+        spend is durably journaled before its answer is released.
+    cache:
+        Optional pre-built :class:`AnswerCache` (e.g. restored from a
+        snapshot); by default a fresh unbounded cache.
+    cache_entries:
+        Capacity bound for the default cache.
+    rng:
+        Seed/generator from which per-session generators are spawned.
+    """
+
+    def __init__(self, datasets, *, registry: MechanismRegistry | None = None,
+                 ledger_path=None, cache: AnswerCache | None = None,
+                 cache_entries: int | None = None, rng=None) -> None:
+        if isinstance(datasets, Dataset):
+            datasets = {"default": datasets}
+        if not datasets:
+            raise ValidationError("PMWService needs at least one dataset")
+        self.datasets: dict[str, Dataset] = dict(datasets)
+        self.registry = registry or default_registry()
+        self.ledger = (BudgetLedger(ledger_path)
+                       if ledger_path is not None else None)
+        self.cache = (cache if cache is not None
+                      else AnswerCache(max_entries=cache_entries))
+        self._rng = as_generator(rng)
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._session_counter = 0
+
+    # -- sessions ------------------------------------------------------------
+
+    def open_session(self, mechanism: str = "pmw-convex", *,
+                     dataset: str | None = None, analyst: str = "analyst",
+                     session_id: str | None = None,
+                     epsilon_budget: float | None = None,
+                     delta_budget: float | None = None,
+                     rng=None, **params) -> str:
+        """Create a session and journal its configuration. Returns its id.
+
+        ``params`` are forwarded to the registry factory (for
+        ``pmw-convex``: ``scale``, ``alpha``, ``epsilon``, ``oracle``, ...).
+        ``epsilon_budget``/``delta_budget`` arm the session's accountant as
+        a hard odometer on top of the mechanism's own calibration.
+        """
+        dataset_name = self._resolve_dataset(dataset)
+        data = self.datasets[dataset_name]
+        if rng is None:
+            rng = spawn_generators(self._rng, 1)[0]
+        mech = self.registry.create(mechanism, data, rng=rng, **params)
+        self._arm_budget(mech, epsilon_budget, delta_budget)
+        with self._lock:
+            sid = session_id or self._next_session_id(mechanism)
+            if sid in self._sessions:
+                raise ValidationError(f"session id {sid!r} already in use")
+            session = Session(sid, mech, mechanism_name=mechanism,
+                              params=params, analyst=analyst,
+                              dataset=dataset_name)
+            self._sessions[sid] = session
+        # Consume construction-time spends (the sparse vector's lifetime
+        # budget) unconditionally, so per-query marginal costs never
+        # include them — with a ledger they are journaled here.
+        construction_spends = session.consume_unjournaled()
+        if self.ledger is not None:
+            self.ledger.append_open(
+                sid, mechanism, params, analyst=analyst,
+                dataset=dataset_name,
+                universe_size=data.universe.size,
+                dataset_digest=dataset_digest(data),
+                epsilon_budget=epsilon_budget,
+                delta_budget=delta_budget,
+            )
+            self.ledger.append_spends(sid, construction_spends)
+        return sid
+
+    def session(self, session_id: str) -> Session:
+        """Look up a live session."""
+        with self._lock:
+            if session_id not in self._sessions:
+                raise ValidationError(f"unknown session {session_id!r}")
+            return self._sessions[session_id]
+
+    @property
+    def session_ids(self) -> list[str]:
+        """Ids of all live sessions, in creation order."""
+        with self._lock:
+            return list(self._sessions)
+
+    def close_session(self, session_id: str, *,
+                      drop_cache: bool = True) -> None:
+        """Close a session: journal it and evict its cache entries.
+
+        The :class:`Session` object itself stays registered (its accountant
+        feeds :meth:`budget_report` and ledger reconciliation), but its
+        cache entries are unreachable once closed — pass
+        ``drop_cache=False`` only if a snapshot should still carry them.
+        """
+        session = self.session(session_id)
+        session.close()
+        if drop_cache:
+            self.cache.drop_session(session_id)
+        if self.ledger is not None:
+            self.ledger.append_close(session_id)
+
+    # -- serving ---------------------------------------------------------------
+
+    def submit(self, session_id: str, query, *, use_cache: bool = True,
+               on_halt: str = "raise") -> ServeResult:
+        """Serve one query: cache first, then a mechanism round.
+
+        ``on_halt="hypothesis"`` downgrades a halted mechanism to the
+        public-hypothesis path instead of raising
+        :class:`MechanismHalted`.
+        """
+        session = self.session(session_id)
+        self._check_session_open(session)
+        fingerprint = try_fingerprint(query)
+        if use_cache and fingerprint is not None:
+            hit = self.cache.get(session_id, fingerprint)
+            if hit is not None:
+                return self._cache_result(session_id, fingerprint, hit)
+        return self._serve_uncached(session, query, fingerprint, on_halt,
+                                    recheck_cache=use_cache)
+
+    def answer_batch(self, batches, *, max_workers: int | None = None,
+                     use_cache: bool = True,
+                     on_halt: str = "hypothesis"):
+        """Serve batches for one or many sessions, planned and concurrent.
+
+        ``batches`` is either ``{session_id: [queries]}`` (returns
+        ``{session_id: [ServeResult]}``) or a ``(session_id, [queries])``
+        pair (returns ``[ServeResult]``). Sessions run in parallel on a
+        thread pool; within a session the mechanism lane keeps stream
+        order. The default ``on_halt="hypothesis"`` keeps batches total:
+        a mid-batch halt downgrades the remainder to the free path.
+        """
+        single = None
+        if isinstance(batches, tuple):
+            single, queries = batches
+            batches = {single: list(queries)}
+        results = concurrent_map(
+            lambda sid, queries: self._serve_batch(sid, queries,
+                                                   use_cache=use_cache,
+                                                   on_halt=on_halt),
+            {sid: list(queries) for sid, queries in batches.items()},
+            max_workers=max_workers,
+        )
+        return results[single] if single is not None else results
+
+    def _serve_batch(self, session_id: str, queries, *, use_cache: bool,
+                     on_halt: str) -> list[ServeResult]:
+        session = self.session(session_id)
+        self._check_session_open(session)
+        plan = plan_batch(session, queries,
+                          cache=self.cache if use_cache else None)
+        results: list[ServeResult | None] = [None] * plan.total
+        with session.lock:  # one thread per session: keep stream order
+            for index in sorted(plan.mechanism + plan.hypothesis):
+                results[index] = self._serve_uncached(
+                    session, queries[index], plan.fingerprints[index],
+                    on_halt, recheck_cache=use_cache,
+                )
+        for index in plan.cached:
+            fingerprint = plan.fingerprints[index]
+            hit = self.cache.get(session_id, fingerprint)
+            if hit is None:  # evicted between planning and serving
+                results[index] = self._serve_uncached(
+                    session, queries[index], fingerprint, on_halt,
+                    recheck_cache=use_cache)
+                continue
+            results[index] = self._cache_result(session_id, fingerprint, hit)
+        for index, first in plan.duplicates.items():
+            # The first occurrence was cached the moment it was served, so
+            # duplicates go through the cache (keeping hit stats honest),
+            # with the in-memory result as fallback.
+            fingerprint = plan.fingerprints[index]
+            hit = self.cache.get(session_id, fingerprint)
+            if hit is None:
+                origin = results[first]
+                hit = CachedAnswer(value=origin.value, source="cache",
+                                   query_index=origin.query_index)
+            results[index] = self._cache_result(session_id, fingerprint, hit)
+        return results
+
+    def _serve_uncached(self, session: Session, query,
+                        fingerprint: str | None, on_halt: str, *,
+                        recheck_cache: bool = True) -> ServeResult:
+        if on_halt not in ("raise", "hypothesis"):
+            raise ValidationError(
+                f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
+            )
+        with session.lock:
+            if recheck_cache and fingerprint is not None:
+                # Double-checked under the session lock: a concurrent
+                # duplicate submission may have released this answer while
+                # we waited, and replaying it is free — re-running the
+                # mechanism round would double-spend.
+                hit = self.cache.get(session.session_id, fingerprint)
+                if hit is not None:
+                    return self._cache_result(session.session_id,
+                                              fingerprint, hit)
+            try:
+                # Deferred construction spends (cold resume) are recorded
+                # now: this is the restarted interaction's first use, and
+                # they reach the journal below, before the answer release.
+                session.flush_pending_spends()
+                value, source, query_index = session.answer(query)
+            except (MechanismHalted, PrivacyBudgetExhausted):
+                # Both exhaustions mean "no more paid rounds"; the free
+                # hypothesis path stays available either way.
+                if on_halt == "raise":
+                    raise
+                value = session.answer_from_hypothesis(query)
+                source, query_index = "hypothesis", None
+            records = session.consume_unjournaled()
+            # Journal *before* releasing the answer: write-ahead budget
+            # accounting is what makes restart totals exact.
+            if self.ledger is not None:
+                self.ledger.append_spends(session.session_id, records)
+            # Cache inside the lock, so a waiting duplicate's recheck is
+            # guaranteed to see this answer.
+            if fingerprint is not None:
+                self.cache.put(session.session_id, fingerprint,
+                               CachedAnswer(value=value, source=source,
+                                            query_index=query_index))
+        return ServeResult(
+            session_id=session.session_id, fingerprint=fingerprint or "",
+            value=value, source=source, query_index=query_index,
+            epsilon_spent=float(sum(r["epsilon"] for r in records)),
+            delta_spent=float(sum(r["delta"] for r in records)),
+        )
+
+    # -- accounting ------------------------------------------------------------
+
+    def budget_report(self) -> str:
+        """Per-session and total budget position plus cache stats."""
+        lines = ["PMWService budget report"]
+        totals: dict[str, float] = {}
+        for sid in self.session_ids:
+            session = self.session(sid)
+            total = session.accountant.total_basic()
+            totals[session.dataset] = totals.get(session.dataset, 0.0) + \
+                total.epsilon
+            lines.append(
+                f"  {sid} [{session.analyst}] on {session.dataset!r}: "
+                f"eps={total.epsilon:g} delta={total.delta:g} "
+                f"({session.accountant.num_spends} spends, "
+                f"state={session.state}, halted={session.halted})"
+            )
+        for name, epsilon in totals.items():
+            lines.append(f"  dataset {name!r}: basic-composed eps={epsilon:g}")
+        stats = self.cache.stats()
+        lines.append(
+            f"  cache: {stats.entries} entries, hit rate "
+            f"{stats.hit_rate:.1%} ({stats.hits} hits / {stats.misses} misses)"
+        )
+        return "\n".join(lines)
+
+    # -- snapshot / restore ------------------------------------------------------
+
+    def snapshot(self, path=None) -> dict:
+        """Full service state (sessions + cache), JSON-serializable.
+
+        Never contains the private datasets. When ``path`` is given the
+        snapshot is written atomically (tmp + rename).
+        """
+        # Capture the cache BEFORE the sessions: with concurrent serving,
+        # a tear then at worst omits a just-released answer from the cache
+        # while its spend is in the accountant (over-accounting, safe) —
+        # never a cached answer whose spend is missing.
+        cache_state = self.cache.to_state()
+        digests = {name: dataset_digest(data)
+                   for name, data in self.datasets.items()}
+        sessions = {}
+        for sid in self.session_ids:
+            record = self.session(sid).snapshot()
+            record["dataset_digest"] = digests.get(record.get("dataset"))
+            sessions[sid] = record
+        state = {
+            "format": SNAPSHOT_FORMAT,
+            "session_counter": self._session_counter,
+            "sessions": sessions,
+            "cache": cache_state,
+        }
+        if path is not None:
+            path = os.fspath(path)
+            tmp = path + ".tmp"
+            try:
+                with open(tmp, "w", encoding="utf-8") as handle:
+                    json.dump(state, handle)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.remove(tmp)
+                raise
+        return state
+
+    @classmethod
+    def restore(cls, datasets, *, snapshot=None, ledger_path=None,
+                registry: MechanismRegistry | None = None,
+                params_override: dict | None = None, rng=None) -> "PMWService":
+        """Rebuild a service after a restart (or crash).
+
+        Two recovery tiers, composable:
+
+        - ``snapshot`` (a dict or a path written by :meth:`snapshot`):
+          full-fidelity restore — hypotheses, sparse-vector state, caches,
+          and accountants all resume bit-for-bit.
+        - ``ledger_path`` alone: cold resume — sessions are rebuilt fresh
+          from their journaled configuration (hypotheses restart from
+          uniform), but every accountant is rebuilt to the **exact**
+          journaled totals, so no budget is ever double-spent or forgotten.
+
+        When both are given, the snapshot provides state and the ledger is
+        the budget authority: journaled spends beyond the snapshot (the
+        crash window) override the snapshotted accountants.
+
+        ``params_override`` maps ``session_id -> params`` for sessions whose
+        journaled configuration contained unjournalable values (e.g. a live
+        oracle instance).
+        """
+        if snapshot is None and ledger_path is None:
+            raise ValidationError(
+                "restore needs a snapshot, a ledger_path, or both"
+            )
+        if isinstance(snapshot, (str, os.PathLike)):
+            with open(snapshot, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        if snapshot is not None and snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ValidationError(
+                f"unrecognized service snapshot format "
+                f"{snapshot.get('format')!r}"
+            )
+
+        ledger_state = None
+        if ledger_path is not None and os.path.exists(os.fspath(ledger_path)):
+            ledger_state = replay_ledger(ledger_path)
+
+        cache = (AnswerCache.from_state(snapshot["cache"])
+                 if snapshot is not None else None)
+        service = cls(datasets, registry=registry, ledger_path=ledger_path,
+                      cache=cache, rng=rng)
+        params_override = params_override or {}
+
+        if snapshot is not None:
+            service._session_counter = int(snapshot.get("session_counter", 0))
+            for sid, record in snapshot["sessions"].items():
+                service._restore_session_from_snapshot(
+                    record, params_override.get(sid))
+        if ledger_state is not None:
+            # Sessions opened after the snapshot (or all of them, with no
+            # snapshot) exist only in the journal: rebuild them too, and
+            # advance the id counter past every journaled open so their
+            # ids are never reissued.
+            for sid in ledger_state.session_ids:
+                if sid not in service._sessions:
+                    service._restore_session_from_ledger(
+                        sid, ledger_state, params_override.get(sid))
+            service._session_counter = max(service._session_counter,
+                                           len(ledger_state.opens))
+
+        if ledger_state is not None:
+            # The ledger is the budget authority: it saw every spend that
+            # was acted on, including any after the last snapshot.
+            for sid in service.session_ids:
+                if sid in ledger_state.opens:
+                    session = service.session(sid)
+                    session.mechanism.accountant = \
+                        ledger_state.accountant_for(sid)
+                    session._journal_cursor = \
+                        session.accountant.num_spends
+                if sid in ledger_state.closed:
+                    service.session(sid).close()
+        if service.ledger is not None:
+            # Sessions the journal has never seen (snapshot-restored onto a
+            # new or foreign ledger) are adopted: journal their open record
+            # and full spend history now, so this ledger alone can
+            # reconstruct their totals at the next restore.
+            known = set(ledger_state.opens) if ledger_state is not None else set()
+            for sid in service.session_ids:
+                if sid in known:
+                    continue
+                session = service.session(sid)
+                accountant = session.accountant
+                adopted_data = service.datasets.get(session.dataset)
+                service.ledger.append_open(
+                    sid, session.mechanism_name, session.params,
+                    analyst=session.analyst, dataset=session.dataset,
+                    universe_size=(adopted_data.universe.size
+                                   if adopted_data is not None else None),
+                    dataset_digest=(dataset_digest(adopted_data)
+                                    if adopted_data is not None else None),
+                    epsilon_budget=accountant.epsilon_budget,
+                    delta_budget=accountant.delta_budget,
+                )
+                session._journal_cursor = 0
+                service.ledger.append_spends(sid,
+                                             session.consume_unjournaled())
+        return service
+
+    # -- internals ---------------------------------------------------------------
+
+    def _restore_session_from_snapshot(self, record: dict,
+                                       override: dict | None) -> None:
+        dataset_name = self._resolve_dataset(record.get("dataset") or None)
+        snapshotted_digest = record.get("dataset_digest")
+        if (snapshotted_digest is not None and snapshotted_digest
+                != dataset_digest(self.datasets[dataset_name])):
+            raise ValidationError(
+                f"session {record['session_id']!r} was snapshotted over a "
+                f"dataset with a different content digest than "
+                f"{dataset_name!r}; refusing to resume over different data"
+            )
+        params = dict(override if override is not None
+                      else record.get("params", {}))
+        _check_journalable(record["session_id"], params)
+        mechanism = self.registry.restore(
+            record["mechanism"], record["mechanism_snapshot"],
+            self.datasets[dataset_name],
+            rng=spawn_generators(self._rng, 1)[0], **params,
+        )
+        session = Session.restore(record, mechanism)
+        with self._lock:
+            self._sessions[session.session_id] = session
+
+    def _restore_session_from_ledger(self, sid: str, ledger_state,
+                                     override: dict | None) -> None:
+        record = ledger_state.opens[sid]
+        dataset_name = self._resolve_dataset(record.get("dataset") or None)
+        data = self.datasets[dataset_name]
+        journaled_size = record.get("universe_size")
+        if journaled_size is not None and journaled_size != data.universe.size:
+            raise ValidationError(
+                f"session {sid!r} was journaled over a universe of size "
+                f"{journaled_size}, but dataset {dataset_name!r} has "
+                f"{data.universe.size}; refusing to resume over different "
+                f"data"
+            )
+        journaled_digest = record.get("dataset_digest")
+        if (journaled_digest is not None
+                and journaled_digest != dataset_digest(data)):
+            raise ValidationError(
+                f"session {sid!r} was journaled over a dataset with a "
+                f"different content digest than {dataset_name!r}; refusing "
+                f"to resume over different data"
+            )
+        params = dict(override if override is not None
+                      else record.get("params", {}))
+        _check_journalable(sid, params)
+        mechanism = self.registry.create(
+            record["mechanism"], self.datasets[dataset_name],
+            rng=spawn_generators(self._rng, 1)[0], **params,
+        )
+        session = Session(sid, mechanism,
+                          mechanism_name=record["mechanism"], params=params,
+                          analyst=record.get("analyst", ""),
+                          dataset=dataset_name)
+        # The fresh mechanism started a *new* sparse-vector interaction;
+        # its lifetime budget is owed, but only once the interaction is
+        # first used — park it so resume totals stay exactly pre-crash.
+        session.pending_spends = session.consume_unjournaled()
+        with self._lock:
+            self._sessions[sid] = session
+
+    @staticmethod
+    def _cache_result(session_id: str, fingerprint: str,
+                      hit: CachedAnswer) -> ServeResult:
+        """A zero-cost replay of an already-released answer."""
+        return ServeResult(
+            session_id=session_id, fingerprint=fingerprint,
+            value=hit.value, source="cache", query_index=hit.query_index,
+            epsilon_spent=0.0, delta_spent=0.0,
+        )
+
+    @staticmethod
+    def _check_session_open(session: Session) -> None:
+        if session.closed:
+            raise ValidationError(
+                f"session {session.session_id!r} is closed"
+            )
+
+    def _resolve_dataset(self, name: str | None) -> str:
+        if name is None:
+            if "default" in self.datasets:
+                return "default"
+            if len(self.datasets) == 1:
+                return next(iter(self.datasets))
+            raise ValidationError(
+                f"dataset name required; available: "
+                f"{sorted(self.datasets)}"
+            )
+        if name not in self.datasets:
+            raise ValidationError(
+                f"unknown dataset {name!r}; available: "
+                f"{sorted(self.datasets)}"
+            )
+        return name
+
+    def _next_session_id(self, mechanism: str) -> str:
+        self._session_counter += 1
+        return f"{mechanism}-{self._session_counter:04d}"
+
+    @staticmethod
+    def _arm_budget(mechanism, epsilon_budget, delta_budget) -> None:
+        if epsilon_budget is None and delta_budget is None:
+            return
+        accountant = mechanism.accountant
+        # Only arm what was asked for: a factory-armed budget stays armed.
+        if epsilon_budget is not None:
+            accountant.epsilon_budget = epsilon_budget
+        if delta_budget is not None:
+            accountant.delta_budget = delta_budget
+        total = accountant.total_basic()
+        if epsilon_budget is not None and total.epsilon > epsilon_budget:
+            raise PrivacyBudgetExhausted(
+                f"session construction already spent eps={total.epsilon:g} "
+                f"> budget {epsilon_budget:g}",
+                epsilon_spent=total.epsilon, epsilon_budget=epsilon_budget,
+            )
+        if delta_budget is not None and total.delta > delta_budget:
+            raise PrivacyBudgetExhausted(
+                f"session construction already spent delta={total.delta:g} "
+                f"> budget {delta_budget:g}",
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PMWService(datasets={sorted(self.datasets)}, "
+            f"sessions={len(self._sessions)}, "
+            f"ledger={getattr(self.ledger, 'path', None)!r})"
+        )
+
+
+def dataset_digest(dataset: Dataset) -> str:
+    """Content digest of a private dataset (universe + row multiset).
+
+    Journaled in ledger ``open`` records so a restore against different
+    data with a coincidentally equal universe size still fails loudly.
+    Row order is irrelevant (datasets are multisets), so indices are
+    sorted before hashing.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(np.ascontiguousarray(dataset.universe.points).tobytes())
+    if dataset.universe.labels is not None:
+        hasher.update(np.ascontiguousarray(dataset.universe.labels).tobytes())
+    hasher.update(np.sort(dataset.indices).tobytes())
+    return hasher.hexdigest()
+
+
+__all__ = ["PMWService", "SNAPSHOT_FORMAT", "dataset_digest"]
+
+
+def _check_journalable(session_id: str, params: dict) -> None:
+    for key, value in params.items():
+        if isinstance(value, dict) and "__unjournalable__" in value:
+            raise ValidationError(
+                f"session {session_id!r} was opened with unjournalable "
+                f"param {key!r} ({value['__unjournalable__']}); supply it "
+                f"via params_override to restore this session"
+            )

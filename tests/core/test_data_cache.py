@@ -1,4 +1,10 @@
-"""Tests for the PMW round's data-side minimization cache."""
+"""Tests for the PMW round's data-side minimization cache.
+
+The cache is keyed by the loss's canonical fingerprint
+(:mod:`repro.losses.fingerprint`), so equal-parameter losses share one
+entry even across distinct objects — and cache keys survive
+snapshot/restore.
+"""
 
 import numpy as np
 import pytest
@@ -27,10 +33,23 @@ class TestDataMinimaCache:
         mechanism = make_mechanism(cube_dataset)
         loss = random_quadratic_family(cube_dataset.universe, 1, rng=1)[0]
         mechanism.answer(loss)
-        cached = mechanism._data_minima[loss]
+        cached = mechanism._data_minima[loss.fingerprint()]
         for _ in range(3):
             mechanism.answer(loss)
-        assert mechanism._data_minima[loss] is cached
+        assert mechanism._data_minima[loss.fingerprint()] is cached
+
+    def test_equal_parameter_losses_share_entry(self, cube_dataset):
+        """Rebuilding an identical loss object must hit the same entry —
+        the object-identity fragility the fingerprint keys removed."""
+        mechanism = make_mechanism(cube_dataset)
+        first = random_quadratic_family(cube_dataset.universe, 1, rng=2)[0]
+        rebuilt = random_quadratic_family(cube_dataset.universe, 1, rng=2)[0]
+        assert first is not rebuilt
+        assert first.fingerprint() == rebuilt.fingerprint()
+        mechanism.answer(first)
+        assert len(mechanism._data_minima) == 1
+        mechanism.answer(rebuilt)
+        assert len(mechanism._data_minima) == 1
 
     def test_cached_value_is_data_optimum(self, cube_dataset):
         from repro.optimize.minimize import minimize_loss
@@ -38,7 +57,7 @@ class TestDataMinimaCache:
         loss = random_quadratic_family(cube_dataset.universe, 1, rng=2)[0]
         mechanism.answer(loss)
         direct = minimize_loss(loss, cube_dataset.histogram(), steps=150)
-        assert mechanism._data_minima[loss].value == pytest.approx(
+        assert mechanism._data_minima[loss.fingerprint()].value == pytest.approx(
             direct.value, abs=1e-9
         )
 
@@ -55,13 +74,51 @@ class TestDataMinimaCache:
         np.testing.assert_array_equal(np.stack(answers_a),
                                       np.stack(answers_b))
 
-    def test_cache_entries_released_with_losses(self, cube_dataset):
-        """WeakKeyDictionary: dropping the loss object frees the entry."""
-        import gc
+    def test_cache_survives_snapshot_restore(self, cube_dataset):
         mechanism = make_mechanism(cube_dataset)
-        losses = random_quadratic_family(cube_dataset.universe, 2, rng=4)
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=5)
         mechanism.answer_all(losses, on_halt="hypothesis")
-        assert len(mechanism._data_minima) == 2
-        del losses
+        snapshot = mechanism.snapshot()
+        restored = PrivateMWConvex.restore(
+            snapshot, cube_dataset, NonPrivateOracle(150)
+        )
+        assert set(restored._data_minima) == set(mechanism._data_minima)
+        for key, result in mechanism._data_minima.items():
+            np.testing.assert_allclose(restored._data_minima[key].theta,
+                                       result.theta)
+
+    def test_unfingerprintable_loss_still_answered(self, cube_dataset):
+        """Custom losses with unfingerprintable state (stored callables)
+        must still be servable — they just skip the cache."""
+        from repro.losses.quadratic import QuadraticLoss
+        from repro.optimize.projections import L2Ball
+
+        class CallableLoss(QuadraticLoss):
+            def __init__(self, domain):
+                super().__init__(domain)
+                self.hook = lambda x: x  # not fingerprintable
+
+        mechanism = make_mechanism(cube_dataset)
+        loss = CallableLoss(L2Ball(cube_dataset.universe.dim))
+        answer = mechanism.answer(loss)
+        assert loss.domain.contains(answer.theta, tol=1e-9)
+        assert len(mechanism._data_minima) == 0  # no fingerprint entry
+        # identity fallback: repeats of the same object reuse one entry
+        cached = mechanism._data_minima_by_identity[loss]
+        mechanism.answer(loss)
+        assert mechanism._data_minima_by_identity[loss] is cached
+        # and it is GC-bound, like the pre-fingerprint cache
+        import gc
+        del loss, cached
         gc.collect()
-        assert len(mechanism._data_minima) == 0
+        assert len(mechanism._data_minima_by_identity) == 0
+
+    def test_cache_bounded_by_lru_limit(self, cube_dataset, monkeypatch):
+        """Long-running sessions must not grow the cache without bound."""
+        monkeypatch.setattr(PrivateMWConvex, "DATA_MINIMA_LIMIT", 3)
+        mechanism = make_mechanism(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 6, rng=6)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        assert len(mechanism._data_minima) <= 3
+        # the most recent fingerprints survive
+        assert losses[-1].fingerprint() in mechanism._data_minima

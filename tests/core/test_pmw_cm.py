@@ -244,3 +244,133 @@ class TestDeterminism:
         # rare coincidence by checking the accountant instead if equal.
         if np.array_equal(thetas[0], thetas[1]):
             pytest.skip("seeds coincided on this tiny run")
+
+
+class TestMidStreamHalt:
+    """Focused coverage of answer_all(on_halt="hypothesis") when the update
+    budget runs out in the middle of a stream."""
+
+    def _halted_run(self, dataset, k=10, max_updates=2):
+        mechanism = make_mechanism(dataset, max_updates=max_updates,
+                                   noise_multiplier=0.0)
+        losses = random_quadratic_family(dataset.universe, k, rng=13)
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        assert mechanism.halted  # the concentrated dataset forces updates
+        return mechanism, losses, answers
+
+    def test_every_query_answered_with_sequential_indices(
+            self, concentrated_dataset):
+        mechanism, losses, answers = self._halted_run(concentrated_dataset)
+        assert len(answers) == len(losses)
+        assert [a.query_index for a in answers] == list(range(len(losses)))
+
+    def test_post_halt_answers_marked_no_update(self, concentrated_dataset):
+        mechanism, _, answers = self._halted_run(concentrated_dataset)
+        halt_query = max(a.query_index for a in answers if a.from_update)
+        for answer in answers:
+            if answer.query_index > halt_query:
+                assert not answer.from_update
+                assert answer.update_index is None
+
+    def test_no_spends_after_halt(self, concentrated_dataset):
+        mechanism, losses, _ = self._halted_run(concentrated_dataset)
+        spends_at_halt = mechanism.accountant.num_spends
+        more = random_quadratic_family(concentrated_dataset.universe, 5,
+                                       rng=14)
+        mechanism.answer_all(more, on_halt="hypothesis")
+        assert mechanism.accountant.num_spends == spends_at_halt
+
+    def test_post_halt_answers_come_from_final_hypothesis(
+            self, concentrated_dataset):
+        from repro.optimize.minimize import minimize_loss
+        mechanism, losses, answers = self._halted_run(concentrated_dataset)
+        final = mechanism.hypothesis
+        halt_query = max(a.query_index for a in answers if a.from_update)
+        for answer in answers:
+            if answer.query_index > halt_query:
+                expected = minimize_loss(losses[answer.query_index], final,
+                                         steps=200).theta
+                np.testing.assert_allclose(answer.theta, expected,
+                                           atol=1e-6)
+
+    def test_on_halt_raise_propagates_mid_stream(self, concentrated_dataset):
+        mechanism = make_mechanism(concentrated_dataset, max_updates=1,
+                                   noise_multiplier=0.0)
+        losses = random_quadratic_family(concentrated_dataset.universe, 6,
+                                         rng=13)
+        with pytest.raises(MechanismHalted,
+                           match="before the query stream ended"):
+            mechanism.answer_all(losses, on_halt="raise")
+        # the pre-halt prefix was still recorded
+        assert mechanism.queries_answered >= 1
+
+    def test_invalid_on_halt_rejected(self, cube_dataset):
+        from repro.exceptions import ValidationError
+        mechanism = make_mechanism(cube_dataset)
+        with pytest.raises(ValidationError, match="on_halt"):
+            mechanism.answer_all([], on_halt="ignore")
+
+
+class TestSnapshotRestore:
+    def test_restored_run_continues_bit_for_bit(self, cube_dataset):
+        from repro.core.pmw_cm import PrivateMWConvex
+        losses = random_quadratic_family(cube_dataset.universe, 8, rng=15)
+        mechanism = make_mechanism(cube_dataset, rng=21)
+        for loss in losses[:4]:
+            mechanism.answer(loss)
+        snapshot = mechanism.snapshot()
+        twin = PrivateMWConvex.restore(snapshot, cube_dataset,
+                                       NonPrivateOracle(solver_steps=200))
+        for loss in losses[4:]:
+            a = mechanism.answer(loss)
+            b = twin.answer(loss)
+            assert a.from_update == b.from_update
+            np.testing.assert_array_equal(a.theta, b.theta)
+        assert twin.queries_answered == mechanism.queries_answered
+        assert twin.updates_performed == mechanism.updates_performed
+
+    def test_restored_accountant_identical(self, cube_dataset):
+        from repro.core.pmw_cm import PrivateMWConvex
+        mechanism = make_mechanism(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 5, rng=16)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        twin = PrivateMWConvex.restore(mechanism.snapshot(), cube_dataset,
+                                       NonPrivateOracle(solver_steps=200))
+        assert (twin.accountant.total_basic()
+                == mechanism.accountant.total_basic())
+        assert (twin.accountant.total_advanced(1e-7)
+                == mechanism.accountant.total_advanced(1e-7))
+
+    def test_wrong_universe_rejected(self, cube_dataset):
+        from repro.core.pmw_cm import PrivateMWConvex
+        from repro.data.builders import signed_cube
+        from repro.data.dataset import Dataset
+        from repro.exceptions import ValidationError
+        mechanism = make_mechanism(cube_dataset)
+        other = Dataset.uniform_random(signed_cube(4), 50, rng=0)
+        with pytest.raises(ValidationError, match="universe"):
+            PrivateMWConvex.restore(mechanism.snapshot(), other,
+                                    NonPrivateOracle())
+
+    def test_wrong_format_rejected(self, cube_dataset):
+        from repro.core.pmw_cm import PrivateMWConvex
+        from repro.exceptions import ValidationError
+        with pytest.raises(ValidationError, match="format"):
+            PrivateMWConvex.restore({"format": "bogus"}, cube_dataset,
+                                    NonPrivateOracle())
+
+
+class TestBudgetExhaustionMidStream:
+    def test_answer_all_hypothesis_downgrades_on_budget_exhaustion(
+            self, cube_dataset):
+        """on_halt="hypothesis" must cover armed-budget exhaustion too."""
+        from repro.exceptions import PrivacyBudgetExhausted
+        mechanism = make_mechanism(cube_dataset)
+        mechanism.accountant.epsilon_budget = \
+            mechanism.accountant.total_basic().epsilon + 1e-9
+        losses = random_quadratic_family(cube_dataset.universe, 4, rng=17)
+        answers = mechanism.answer_all(losses, on_halt="hypothesis")
+        assert len(answers) == 4
+        assert all(not a.from_update for a in answers)
+        with pytest.raises(PrivacyBudgetExhausted):
+            mechanism.answer_all(losses, on_halt="raise")

@@ -109,3 +109,60 @@ class TestAgainstExactAnswers:
         after = [abs(q.answer(data) - q.answer(mechanism.hypothesis))
                  for q in queries]
         assert np.mean(after) < np.mean(before)
+
+
+class TestSnapshotRestore:
+    def test_restored_run_continues_bit_for_bit(self, cube_dataset):
+        from repro.core.pmw_linear import PrivateMWLinear
+        from repro.losses.families import random_linear_queries
+        queries = random_linear_queries(cube_dataset.universe, 8, rng=3)
+        mechanism = PrivateMWLinear(cube_dataset, alpha=0.3, epsilon=1.0,
+                                    delta=1e-6, max_updates=12, rng=9)
+        for query in queries[:4]:
+            mechanism.answer(query)
+        twin = PrivateMWLinear.restore(mechanism.snapshot(), cube_dataset)
+        for query in queries[4:]:
+            a = mechanism.answer(query)
+            b = twin.answer(query)
+            assert a.value == b.value
+            assert a.from_update == b.from_update
+        assert (twin.accountant.total_basic()
+                == mechanism.accountant.total_basic())
+
+    def test_mid_stream_halt_hypothesis_fallback_counts_queries(
+            self, cube_dataset):
+        """answer_all(on_halt="hypothesis") serves the whole stream and
+        keeps query indices sequential across the halt."""
+        from repro.core.pmw_linear import PrivateMWLinear
+        from repro.losses.families import random_linear_queries
+        mechanism = PrivateMWLinear(cube_dataset, alpha=0.01, epsilon=1.0,
+                                    delta=1e-6, max_updates=1,
+                                    noise_multiplier=0.0, rng=0)
+        queries = random_linear_queries(cube_dataset.universe, 6, rng=4)
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        assert len(answers) == 6
+        assert [a.query_index for a in answers] == list(range(6))
+        assert mechanism.halted
+        spends = mechanism.accountant.num_spends
+        mechanism.answer_all(queries, on_halt="hypothesis")
+        assert mechanism.accountant.num_spends == spends
+
+
+class TestBudgetExhaustionMidStream:
+    def test_answer_all_hypothesis_downgrades_on_budget_exhaustion(
+            self, cube_dataset):
+        from repro.core.pmw_linear import PrivateMWLinear
+        from repro.exceptions import PrivacyBudgetExhausted
+        from repro.losses.families import random_linear_queries
+        mechanism = PrivateMWLinear(cube_dataset, alpha=0.01, epsilon=1.0,
+                                    delta=1e-6, max_updates=5,
+                                    noise_multiplier=0.0, rng=0)
+        mechanism.accountant.epsilon_budget = \
+            mechanism.accountant.total_basic().epsilon + 1e-9
+        queries = random_linear_queries(cube_dataset.universe, 4, rng=4)
+        answers = mechanism.answer_all(queries, on_halt="hypothesis")
+        assert len(answers) == 4
+        assert [a.query_index for a in answers] == [0, 1, 2, 3]
+        assert all(not a.from_update for a in answers)
+        with pytest.raises(PrivacyBudgetExhausted):
+            mechanism.answer_all(queries, on_halt="raise")

@@ -138,3 +138,36 @@ class TestSampling:
     def test_negative_n_rejected(self, universe):
         with pytest.raises(ValidationError):
             Histogram.uniform(universe).sample_indices(-1)
+
+
+class TestSamplingDistribution:
+    """The cached-CDF inverse sampler must match choice(p=...) exactly in
+    law — including never emitting zero-probability outcomes."""
+
+    def test_trailing_zero_weight_never_sampled(self, universe):
+        weights = np.array([0.3, 0.3, 0.2, 0.2, 0.0])
+        hist = Histogram(universe, weights)
+        indices = hist.sample_indices(50_000, rng=0)
+        assert not np.any(indices == 4)
+
+    def test_interior_zero_weight_never_sampled(self, universe):
+        weights = np.array([0.5, 0.0, 0.25, 0.0, 0.25])
+        hist = Histogram(universe, weights)
+        indices = hist.sample_indices(50_000, rng=1)
+        assert not np.any(indices == 1)
+        assert not np.any(indices == 3)
+
+    def test_empirical_law_matches_weights(self, universe):
+        rng = np.random.default_rng(7)
+        weights = rng.dirichlet(np.ones(universe.size))
+        hist = Histogram(universe, weights)
+        indices = hist.sample_indices(200_000, rng=2)
+        empirical = np.bincount(indices, minlength=universe.size) / indices.size
+        np.testing.assert_allclose(empirical, hist.weights, atol=0.01)
+
+    def test_cdf_cached_across_calls(self, universe):
+        hist = Histogram.uniform(universe)
+        hist.sample_indices(10, rng=0)
+        first = hist._cdf
+        hist.sample_indices(10, rng=1)
+        assert hist._cdf is first

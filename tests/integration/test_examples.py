@@ -26,6 +26,7 @@ def load_example(name: str):
 class TestExamples:
     @pytest.mark.parametrize("name", [
         "quickstart",
+        "service_quickstart",
         "private_regression_workbench",
         "adaptive_analyst",
         "many_logistic_queries",

@@ -1,0 +1,101 @@
+"""Property-based tests for the serving layer's cache idempotence.
+
+The load-bearing claim: serving the *same* query twice through
+:class:`PMWService` never spends privacy budget on the second call and
+returns a numerically identical answer — over randomized losses, datasets,
+mechanism seeds, and interleavings, not hand-picked cases. (Replaying a
+released answer is post-processing; the cache must make that literal.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.losses.families import (
+    random_linear_queries,
+    random_quadratic_family,
+)
+from repro.serve.service import PMWService
+
+UNIVERSE = signed_cube(3)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+CONVEX_PARAMS = dict(oracle="non-private", scale=4.0, alpha=0.3, beta=0.1,
+                     epsilon=2.0, delta=1e-6, schedule="calibrated",
+                     max_updates=6, solver_steps=100)
+
+
+def random_dataset(seed: int) -> Dataset:
+    rng = np.random.default_rng(seed)
+    weights = rng.dirichlet(np.full(UNIVERSE.size, 0.6))
+    return Dataset(UNIVERSE, rng.choice(UNIVERSE.size, size=200, p=weights))
+
+
+class TestCacheIdempotence:
+    @given(data_seed=seeds, loss_seed=seeds, mech_seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_second_serving_is_free_and_identical(self, data_seed, loss_seed,
+                                                  mech_seed):
+        service = PMWService(random_dataset(data_seed), rng=mech_seed)
+        sid = service.open_session("pmw-convex", **CONVEX_PARAMS)
+        loss = random_quadratic_family(UNIVERSE, 1, rng=loss_seed)[0]
+
+        first = service.submit(sid, loss)
+        spends_after_first = service.session(sid).accountant.num_spends
+        second = service.submit(sid, loss)
+
+        assert service.session(sid).accountant.num_spends == \
+            spends_after_first
+        assert second.free
+        assert second.source == "cache"
+        np.testing.assert_array_equal(np.asarray(first.value),
+                                      np.asarray(second.value))
+
+    @given(data_seed=seeds, loss_seed=seeds, mech_seed=seeds,
+           interleave_seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_free_even_with_interleaved_queries(self, data_seed, loss_seed,
+                                                mech_seed, interleave_seed):
+        """Idempotence must survive other queries mutating the hypothesis
+        in between: the cache replays the *released* answer, it does not
+        recompute against the drifted hypothesis."""
+        service = PMWService(random_dataset(data_seed), rng=mech_seed)
+        sid = service.open_session("pmw-convex", **CONVEX_PARAMS)
+        target = random_quadratic_family(UNIVERSE, 1, rng=loss_seed)[0]
+        others = random_quadratic_family(UNIVERSE, 3,
+                                         rng=interleave_seed + 1)
+
+        first = service.submit(sid, target)
+        for other in others:
+            service.submit(sid, other, on_halt="hypothesis")
+        spends_before = service.session(sid).accountant.num_spends
+        replay = service.submit(sid, target)
+
+        assert service.session(sid).accountant.num_spends == spends_before
+        assert replay.free and replay.source == "cache"
+        np.testing.assert_array_equal(np.asarray(first.value),
+                                      np.asarray(replay.value))
+
+    @given(data_seed=seeds, query_seed=seeds, mech_seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_rebuilt_equal_query_object_is_free(self, data_seed, query_seed,
+                                                mech_seed):
+        """Equality is by fingerprint, not object identity: an analyst
+        re-deriving the same query pays nothing the second time."""
+        service = PMWService(random_dataset(data_seed), rng=mech_seed)
+        sid = service.open_session("pmw-linear", alpha=0.25, epsilon=1.0,
+                                   delta=1e-6, max_updates=5)
+        query = random_linear_queries(UNIVERSE, 1, rng=query_seed)[0]
+        rebuilt = random_linear_queries(UNIVERSE, 1, rng=query_seed)[0]
+        assert query is not rebuilt
+
+        first = service.submit(sid, query)
+        spends = service.session(sid).accountant.num_spends
+        second = service.submit(sid, rebuilt)
+
+        assert service.session(sid).accountant.num_spends == spends
+        assert second.free and second.source == "cache"
+        assert first.value == second.value

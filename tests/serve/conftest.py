@@ -1,0 +1,47 @@
+"""Fixtures for the serving-layer tests.
+
+Small datasets, deterministic (``noise_multiplier=0`` where update
+behaviour must be forced), and non-private oracles where only the serving
+plumbing is under test — the mechanisms themselves are covered by
+``tests/core``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.builders import signed_cube
+
+
+SERVE_PARAMS = dict(
+    oracle="non-private", scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0,
+    delta=1e-6, schedule="calibrated", max_updates=8, solver_steps=120,
+)
+
+
+@pytest.fixture
+def cube_universe():
+    return signed_cube(3)
+
+
+@pytest.fixture
+def cube_dataset(cube_universe):
+    rng = np.random.default_rng(12345)
+    weights = rng.dirichlet(np.full(cube_universe.size, 0.7))
+    indices = rng.choice(cube_universe.size, size=300, p=weights)
+    return Dataset(cube_universe, indices)
+
+
+@pytest.fixture
+def concentrated_dataset(cube_universe):
+    """80% of mass on one vertex: quadratic queries force updates when
+    noise_multiplier = 0 (same construction as tests/core)."""
+    indices = np.concatenate([np.full(240, 5), np.arange(8).repeat(8)[:60]])
+    return Dataset(cube_universe, indices)
+
+
+@pytest.fixture
+def serve_params():
+    return dict(SERVE_PARAMS)

@@ -1,0 +1,121 @@
+"""Tests for the answer cache."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.serve.cache import AnswerCache, CachedAnswer
+
+
+def entry(value=1.0, source="no-update", index=0):
+    return CachedAnswer(value=value, source=source, query_index=index)
+
+
+class TestBasics:
+    def test_get_miss_then_hit(self):
+        cache = AnswerCache()
+        assert cache.get("s1", "fp") is None
+        cache.put("s1", "fp", entry())
+        hit = cache.get("s1", "fp")
+        assert hit is not None and hit.value == 1.0
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_sessions_isolated(self):
+        cache = AnswerCache()
+        cache.put("s1", "fp", entry(1.0))
+        assert cache.get("s2", "fp") is None
+
+    def test_contains_does_not_touch_stats(self):
+        cache = AnswerCache()
+        cache.put("s1", "fp", entry())
+        assert cache.contains("s1", "fp")
+        assert not cache.contains("s1", "other")
+        stats = cache.stats()
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_drop_session(self):
+        cache = AnswerCache()
+        cache.put("s1", "a", entry())
+        cache.put("s1", "b", entry())
+        cache.put("s2", "a", entry())
+        assert cache.drop_session("s1") == 2
+        assert len(cache) == 1
+        assert cache.contains("s2", "a")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValidationError):
+            AnswerCache(max_entries=0)
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = AnswerCache(max_entries=2)
+        cache.put("s", "a", entry(1))
+        cache.put("s", "b", entry(2))
+        cache.get("s", "a")        # refresh a
+        cache.put("s", "c", entry(3))  # evicts b
+        assert cache.contains("s", "a")
+        assert not cache.contains("s", "b")
+        assert cache.contains("s", "c")
+
+
+class TestImmutability:
+    def test_caller_mutation_cannot_corrupt_replays(self):
+        """The cache stores a read-only copy: mutating the array a caller
+        received must not change what later duplicates are served."""
+        cache = AnswerCache()
+        released = np.array([0.1, 0.2])
+        cache.put("s", "fp", entry(released, "update", 0))
+        released *= 0.0  # analyst mutates their copy in place
+        replay = cache.get("s", "fp")
+        np.testing.assert_array_equal(replay.value, [0.1, 0.2])
+        with pytest.raises(ValueError):
+            replay.value[0] = 99.0  # cached array is frozen
+
+
+class TestStateRoundTrip:
+    def test_array_and_scalar_values(self):
+        cache = AnswerCache(max_entries=10)
+        cache.put("s", "cm", entry(np.array([0.1, 0.2]), "update", 3))
+        cache.put("s", "lin", entry(0.75, "no-update", 4))
+        restored = AnswerCache.from_state(cache.to_state())
+        cm = restored.get("s", "cm")
+        np.testing.assert_array_equal(cm.value, [0.1, 0.2])
+        assert isinstance(cm.value, np.ndarray)
+        assert cm.source == "update" and cm.query_index == 3
+        lin = restored.get("s", "lin")
+        assert lin.value == 0.75 and not isinstance(lin.value, np.ndarray)
+        assert restored.max_entries == 10
+
+    def test_state_is_json_round_trippable(self):
+        import json
+        cache = AnswerCache()
+        cache.put("s", "fp", entry(np.zeros(3)))
+        state = json.loads(json.dumps(cache.to_state()))
+        assert AnswerCache.from_state(state).contains("s", "fp")
+
+
+class TestThreadSafety:
+    def test_concurrent_put_get(self):
+        cache = AnswerCache(max_entries=64)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(200):
+                    cache.put(f"s{tid}", f"fp{i % 16}", entry(i))
+                    cache.get(f"s{tid}", f"fp{i % 16}")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 64

@@ -1,0 +1,137 @@
+"""Tests for canonical loss fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LossSpecificationError
+from repro.losses.fingerprint import fingerprint_of
+from repro.losses.linear import LinearQuery, LinearQueryAsCM
+from repro.losses.logistic import LogisticLoss
+from repro.losses.quadratic import QuadraticLoss, RidgeRegularized
+from repro.losses.squared import SquaredLoss
+from repro.optimize.projections import Box, L2Ball
+
+
+class TestStability:
+    def test_equal_parameters_equal_fingerprint(self):
+        a = LogisticLoss(L2Ball(3))
+        b = LogisticLoss(L2Ball(3))
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_name_is_cosmetic(self):
+        a = LogisticLoss(L2Ball(3), name="alice's query")
+        b = LogisticLoss(L2Ball(3), name="bob's query")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_is_hex_digest(self):
+        digest = LogisticLoss(L2Ball(3)).fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_repeated_calls_stable(self):
+        loss = SquaredLoss(L2Ball(2))
+        assert loss.fingerprint() == loss.fingerprint()
+
+
+class TestDiscrimination:
+    def test_different_class_differs(self):
+        assert (LogisticLoss(L2Ball(3)).fingerprint()
+                != SquaredLoss(L2Ball(3)).fingerprint())
+
+    def test_different_domain_differs(self):
+        assert (LogisticLoss(L2Ball(3)).fingerprint()
+                != LogisticLoss(L2Ball(4)).fingerprint())
+        assert (LogisticLoss(L2Ball(3, radius=1.0)).fingerprint()
+                != LogisticLoss(L2Ball(3, radius=2.0)).fingerprint())
+
+    def test_different_scalar_parameter_differs(self):
+        assert (SquaredLoss(L2Ball(2), normalization=0.25).fingerprint()
+                != SquaredLoss(L2Ball(2), normalization=0.5).fingerprint())
+
+    def test_rotation_matrix_differs(self):
+        rng = np.random.default_rng(0)
+        r1 = np.eye(3)
+        r2 = rng.standard_normal((3, 3))
+        assert (LogisticLoss(L2Ball(3), rotation=r1).fingerprint()
+                != LogisticLoss(L2Ball(3), rotation=r2).fingerprint())
+
+    def test_tiny_float_difference_differs(self):
+        """IEEE-754 bytes are hashed, not repr: 1 ulp matters."""
+        base = 0.25
+        bumped = np.nextafter(base, 1.0)
+        assert (SquaredLoss(L2Ball(2), normalization=base).fingerprint()
+                != SquaredLoss(L2Ball(2), normalization=bumped).fingerprint())
+
+
+class TestNestedObjects:
+    def test_linear_query_fingerprint(self):
+        table = np.linspace(0.0, 1.0, 8)
+        a = LinearQuery(table, name="q1")
+        b = LinearQuery(table.copy(), name="q2")
+        assert a.fingerprint() == b.fingerprint()
+        c = LinearQuery(np.ones(8))
+        assert a.fingerprint() != c.fingerprint()
+
+    def test_linear_query_as_cm_recurses(self):
+        q1 = LinearQuery(np.linspace(0.0, 1.0, 8))
+        q2 = LinearQuery(np.zeros(8))
+        assert (LinearQueryAsCM(q1).fingerprint()
+                != LinearQueryAsCM(q2).fingerprint())
+
+    def test_ridge_wrapper_recurses(self):
+        base = SquaredLoss(L2Ball(2))
+        assert (RidgeRegularized(base, lam=0.5).fingerprint()
+                != RidgeRegularized(base, lam=1.0).fingerprint())
+        assert (RidgeRegularized(base, lam=0.5).fingerprint()
+                != base.fingerprint())
+
+    def test_box_domain_supported(self):
+        loss = QuadraticLoss(Box.unit(2))
+        assert loss.fingerprint() == QuadraticLoss(Box.unit(2)).fingerprint()
+
+
+class TestErrors:
+    def test_unfingerprintable_object_raises(self):
+        with pytest.raises(LossSpecificationError, match="fingerprint"):
+            fingerprint_of(object())
+
+    def test_object_dtype_array_raises(self):
+        """tobytes() on object arrays would hash pointers — refuse."""
+        with pytest.raises(LossSpecificationError, match="object-dtype"):
+            fingerprint_of(np.array([1, "two", 3.0], dtype=object))
+
+    def test_fingerprint_state_hook(self):
+        class Custom:
+            def __init__(self, value):
+                self.value = value
+
+            def fingerprint_state(self):
+                return {"value": self.value}
+
+        assert fingerprint_of(Custom(1.0)) == fingerprint_of(Custom(1.0))
+        assert fingerprint_of(Custom(1.0)) != fingerprint_of(Custom(2.0))
+
+
+class TestMemoization:
+    def test_digest_memoized_and_excluded_from_state(self):
+        a = LogisticLoss(L2Ball(3))
+        before = a.fingerprint()
+        assert a._fingerprint_digest == before
+        # a twin that never memoized still matches (the memo attr is
+        # excluded from the hashed state)
+        b = LogisticLoss(L2Ball(3))
+        assert b.fingerprint() == before
+
+    def test_nested_loss_memoization_does_not_change_parent(self):
+        base1 = SquaredLoss(L2Ball(2))
+        base1.fingerprint()  # memoize the inner loss
+        base2 = SquaredLoss(L2Ball(2))
+        from repro.losses.quadratic import RidgeRegularized
+        assert (RidgeRegularized(base1, lam=0.5).fingerprint()
+                == RidgeRegularized(base2, lam=0.5).fingerprint())
+
+    def test_linear_query_memoized(self):
+        q = LinearQuery(np.linspace(0.0, 1.0, 8))
+        assert q.fingerprint() == q.fingerprint()
+        assert q._fingerprint_digest is not None

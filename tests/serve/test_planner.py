@@ -1,0 +1,112 @@
+"""Tests for batch planning and cross-session concurrency."""
+
+import threading
+
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.erm.oracle import NonPrivateOracle
+from repro.losses.families import random_quadratic_family
+from repro.serve.cache import AnswerCache, CachedAnswer
+from repro.serve.planner import BatchPlan, concurrent_map, plan_batch
+from repro.serve.session import Session
+
+
+def make_session(dataset, **overrides):
+    params = dict(scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  schedule="calibrated", max_updates=8, solver_steps=120,
+                  rng=0)
+    params.update(overrides)
+    mechanism = PrivateMWConvex(dataset, NonPrivateOracle(120), **params)
+    return Session("s1", mechanism)
+
+
+class TestPlanBatch:
+    def test_fresh_batch_all_mechanism(self, cube_dataset):
+        session = make_session(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 4, rng=0)
+        plan = plan_batch(session, losses)
+        assert plan.mechanism == [0, 1, 2, 3]
+        assert not plan.cached and not plan.duplicates and not plan.hypothesis
+        assert plan.free_fraction == 0.0
+
+    def test_duplicates_detected(self, cube_dataset):
+        session = make_session(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 2, rng=0)
+        batch = [losses[0], losses[1], losses[0], losses[1], losses[0]]
+        plan = plan_batch(session, batch)
+        assert plan.mechanism == [0, 1]
+        assert plan.duplicates == {2: 0, 3: 1, 4: 0}
+        assert plan.free_fraction == pytest.approx(3 / 5)
+
+    def test_rebuilt_equal_losses_are_duplicates(self, cube_dataset):
+        """Fingerprint-based dedup: equal parameters, distinct objects."""
+        session = make_session(cube_dataset)
+        a = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        b = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        plan = plan_batch(session, [a, b])
+        assert plan.duplicates == {1: 0}
+
+    def test_cache_hits_partitioned(self, cube_dataset):
+        session = make_session(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=0)
+        cache = AnswerCache()
+        cache.put("s1", losses[1].fingerprint(),
+                  CachedAnswer(1.0, "no-update", 0))
+        plan = plan_batch(session, losses, cache=cache)
+        assert plan.cached == [1]
+        assert plan.mechanism == [0, 2]
+
+    def test_halted_session_goes_hypothesis(self, concentrated_dataset):
+        session = make_session(concentrated_dataset, max_updates=1,
+                               noise_multiplier=0.0)
+        losses = random_quadratic_family(concentrated_dataset.universe, 3,
+                                         rng=1)
+        session.answer(losses[0])  # forces the single update -> halt
+        assert session.halted
+        plan = plan_batch(session, losses[1:])
+        assert plan.hypothesis == [0, 1]
+        assert not plan.mechanism
+        assert plan.free_fraction == 1.0
+
+    def test_describe_mentions_lanes(self, cube_dataset):
+        session = make_session(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 2, rng=0)
+        text = plan_batch(session, losses).describe()
+        assert "2 queries" in text and "mechanism" in text
+
+
+class TestConcurrentMap:
+    def test_results_keyed_by_session(self):
+        out = concurrent_map(lambda sid, qs: (sid, sum(qs)),
+                             {"a": [1, 2], "b": [3, 4]}, max_workers=4)
+        assert out == {"a": ("a", 3), "b": ("b", 7)}
+
+    def test_empty_batches(self):
+        assert concurrent_map(lambda sid, qs: None, {}) == {}
+
+    def test_exceptions_propagate(self):
+        def worker(sid, qs):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            concurrent_map(worker, {"a": [], "b": []}, max_workers=2)
+
+    def test_actually_concurrent(self):
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def worker(sid, qs):
+            barrier.wait()  # deadlocks unless all three run in parallel
+            return sid
+
+        out = concurrent_map(worker, {"a": [], "b": [], "c": []},
+                             max_workers=3)
+        assert set(out) == {"a", "b", "c"}
+
+    def test_single_batch_runs_inline(self):
+        main_thread = threading.current_thread()
+        out = concurrent_map(
+            lambda sid, qs: threading.current_thread() is main_thread,
+            {"a": []},
+        )
+        assert out == {"a": True}

@@ -1,0 +1,91 @@
+"""Tests for the mechanism registry and oracle specs."""
+
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.erm.noisy_sgd import NoisyGradientDescentOracle
+from repro.erm.oracle import NonPrivateOracle
+from repro.exceptions import ValidationError
+from repro.serve.registry import (
+    MechanismRegistry,
+    build_oracle,
+    default_registry,
+)
+
+
+class TestBuildOracle:
+    def test_name_spec(self):
+        oracle = build_oracle("noisy-sgd", 1.0, 1e-6)
+        assert isinstance(oracle, NoisyGradientDescentOracle)
+
+    def test_dict_spec_with_extras(self):
+        oracle = build_oracle({"name": "non-private", "solver_steps": 17},
+                              1.0, 1e-6)
+        assert isinstance(oracle, NonPrivateOracle)
+        assert oracle.solver_steps == 17
+
+    def test_instance_passthrough(self):
+        instance = NonPrivateOracle(50)
+        assert build_oracle(instance, 1.0, 1e-6) is instance
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown oracle"):
+            build_oracle("perfect-oracle", 1.0, 1e-6)
+
+    def test_dict_without_name_raises(self):
+        with pytest.raises(ValidationError, match="'name'"):
+            build_oracle({"steps": 3}, 1.0, 1e-6)
+
+
+class TestDefaultRegistry:
+    def test_builtins_present(self):
+        registry = default_registry()
+        assert "pmw-convex" in registry
+        assert "pmw-linear" in registry
+        assert registry.names() == ["pmw-convex", "pmw-linear"]
+
+    def test_create_pmw_convex(self, cube_dataset, serve_params):
+        registry = default_registry()
+        mechanism = registry.create("pmw-convex", cube_dataset, rng=0,
+                                    **serve_params)
+        assert isinstance(mechanism, PrivateMWConvex)
+
+    def test_create_pmw_linear(self, cube_dataset):
+        registry = default_registry()
+        mechanism = registry.create("pmw-linear", cube_dataset, rng=0,
+                                    alpha=0.2, epsilon=1.0, delta=1e-6,
+                                    max_updates=5)
+        assert isinstance(mechanism, PrivateMWLinear)
+
+    def test_unknown_mechanism_raises(self, cube_dataset):
+        with pytest.raises(ValidationError, match="unknown mechanism"):
+            default_registry().create("mwem-deluxe", cube_dataset)
+
+    def test_describe_lists_builtins(self):
+        text = default_registry().describe()
+        assert "pmw-convex" in text and "pmw-linear" in text
+
+
+class TestPluggability:
+    def test_register_by_decorator_and_create(self, cube_dataset):
+        registry = MechanismRegistry()
+
+        @registry.register("stub", description="test stub")
+        def build_stub(dataset, *, rng=None, **params):
+            return ("stub-mechanism", dataset.n, params)
+
+        built = registry.create("stub", cube_dataset, alpha=0.1)
+        assert built == ("stub-mechanism", 300, {"alpha": 0.1})
+
+    def test_duplicate_name_raises(self):
+        registry = MechanismRegistry()
+        registry.register("m", lambda dataset, **kw: None)
+        with pytest.raises(ValidationError, match="already registered"):
+            registry.register("m", lambda dataset, **kw: None)
+
+    def test_restore_unsupported_raises(self, cube_dataset):
+        registry = MechanismRegistry()
+        registry.register("m", lambda dataset, **kw: None)
+        with pytest.raises(ValidationError, match="snapshot restore"):
+            registry.restore("m", {}, cube_dataset)

@@ -1,0 +1,149 @@
+"""Tests for session lifecycle, journaling cursor, and snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.erm.oracle import NonPrivateOracle
+from repro.exceptions import MechanismHalted, ValidationError
+from repro.losses.families import random_quadratic_family
+from repro.losses.families import random_linear_queries
+from repro.serve.session import Session, query_fingerprint
+
+
+def make_convex_session(dataset, session_id="s1", **overrides):
+    params = dict(scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  schedule="calibrated", max_updates=8, solver_steps=120,
+                  rng=0)
+    params.update(overrides)
+    mechanism = PrivateMWConvex(dataset, NonPrivateOracle(120), **params)
+    return Session(session_id, mechanism, mechanism_name="pmw-convex",
+                   analyst="alice", dataset="default")
+
+
+class TestLifecycle:
+    def test_initial_state(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        assert session.state == "open"
+        assert not session.closed
+        assert not session.halted
+
+    def test_close_blocks_answers(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        session.close()
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        with pytest.raises(ValidationError, match="closed"):
+            session.answer(loss)
+        with pytest.raises(ValidationError, match="closed"):
+            session.answer_from_hypothesis(loss)
+
+    def test_halt_surfaces_as_mechanism_halted(self, concentrated_dataset):
+        session = make_convex_session(concentrated_dataset, max_updates=2,
+                                      noise_multiplier=0.0)
+        losses = random_quadratic_family(concentrated_dataset.universe, 8,
+                                         rng=1)
+        with pytest.raises(MechanismHalted):
+            for loss in losses:
+                session.answer(loss)
+        assert session.halted
+        # hypothesis path still works after halt
+        theta = session.answer_from_hypothesis(losses[0])
+        assert losses[0].domain.contains(theta, tol=1e-9)
+
+
+class TestAnswerNormalization:
+    def test_convex_answer_shape(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=2)[0]
+        value, source, index = session.answer(loss)
+        assert isinstance(value, np.ndarray)
+        assert source in ("update", "no-update")
+        assert index == 0
+
+    def test_linear_answer_is_float(self, cube_dataset):
+        mechanism = PrivateMWLinear(cube_dataset, alpha=0.2, epsilon=1.0,
+                                    delta=1e-6, max_updates=5, rng=0)
+        session = Session("lin", mechanism, mechanism_name="pmw-linear")
+        query = random_linear_queries(cube_dataset.universe, 1, rng=0)[0]
+        value, source, index = session.answer(query)
+        assert isinstance(value, float)
+        assert 0.0 <= value <= 1.0
+        hyp = session.answer_from_hypothesis(query)
+        assert isinstance(hyp, float)
+
+
+class TestJournalCursor:
+    def test_construction_spend_consumed_once(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        first = session.consume_unjournaled()
+        assert [r["label"] for r in first] == ["sparse-vector"]
+        assert session.consume_unjournaled() == []
+
+    def test_update_spend_surfaces(self, concentrated_dataset):
+        session = make_convex_session(concentrated_dataset,
+                                      noise_multiplier=0.0)
+        session.consume_unjournaled()
+        loss = random_quadratic_family(concentrated_dataset.universe, 1,
+                                       rng=1)[0]
+        value, source, _ = session.answer(loss)
+        assert source == "update"  # forced by the concentrated dataset
+        records = session.consume_unjournaled()
+        assert len(records) == 1
+        assert records[0]["label"].startswith("oracle:")
+        assert records[0]["epsilon"] > 0.0
+
+
+class TestSnapshotRestore:
+    def test_round_trip_continues_identically(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        losses = random_quadratic_family(cube_dataset.universe, 6, rng=3)
+        for loss in losses[:3]:
+            session.answer(loss)
+        snapshot = session.snapshot()
+
+        mechanism = PrivateMWConvex.restore(
+            snapshot["mechanism_snapshot"], cube_dataset,
+            NonPrivateOracle(120),
+        )
+        twin = Session.restore(snapshot, mechanism)
+        assert twin.session_id == session.session_id
+        assert twin.analyst == "alice"
+        assert twin.dataset == "default"
+        # identical continuation: same answers for the same stream
+        for loss in losses[3:]:
+            a, src_a, _ = session.answer(loss)
+            b, src_b, _ = twin.answer(loss)
+            assert src_a == src_b
+            np.testing.assert_array_equal(a, b)
+
+    def test_snapshot_is_json_serializable(self, cube_dataset):
+        import json
+        session = make_convex_session(cube_dataset)
+        session.answer(random_quadratic_family(
+            cube_dataset.universe, 1, rng=4)[0])
+        text = json.dumps(session.snapshot())
+        assert "mechanism_snapshot" in json.loads(text)
+
+    def test_journal_cursor_survives(self, cube_dataset):
+        session = make_convex_session(cube_dataset)
+        session.consume_unjournaled()
+        snapshot = session.snapshot()
+        mechanism = PrivateMWConvex.restore(
+            snapshot["mechanism_snapshot"], cube_dataset,
+            NonPrivateOracle(120),
+        )
+        twin = Session.restore(snapshot, mechanism)
+        assert twin.consume_unjournaled() == []
+
+
+class TestFingerprintHelper:
+    def test_loss_and_query_supported(self, cube_dataset):
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        query = random_linear_queries(cube_dataset.universe, 1, rng=0)[0]
+        assert query_fingerprint(loss) == loss.fingerprint()
+        assert query_fingerprint(query) == query.fingerprint()
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ValidationError, match="no fingerprint"):
+            query_fingerprint(42)
