@@ -52,6 +52,7 @@ from repro.core import (
 from repro.data import (
     Dataset,
     Histogram,
+    ShardedHistogram,
     Universe,
     binary_cube,
     labeled_universe,
@@ -95,6 +96,12 @@ from repro.losses import (
     random_ridge_family,
     random_squared_family,
 )
+from repro.engine import (
+    batch_answers,
+    batch_data_minima,
+    batch_loss_on,
+    compile_batch,
+)
 from repro.optimize import L2Ball, minimize_loss
 from repro.serve import (
     AnswerCache,
@@ -115,7 +122,8 @@ __all__ = [
     "PMWConfig", "answer_error", "database_error", "dual_certificate",
     "theory",
     # data
-    "Universe", "Histogram", "Dataset", "binary_cube", "signed_cube",
+    "Universe", "Histogram", "ShardedHistogram", "Dataset", "binary_cube",
+    "signed_cube",
     "random_ball_net", "labeled_universe", "make_regression_dataset",
     "make_classification_dataset",
     # dp
@@ -133,6 +141,8 @@ __all__ = [
     "random_halfspace_queries", "random_logistic_family",
     "random_squared_family", "random_quadratic_family",
     "random_ridge_family",
+    # engine
+    "compile_batch", "batch_answers", "batch_loss_on", "batch_data_minima",
     # optimize
     "L2Ball", "minimize_loss",
     # serve

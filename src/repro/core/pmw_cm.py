@@ -30,6 +30,7 @@ from repro.core.config import PMWConfig
 from repro.core.update import dual_certificate, mw_step
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
+from repro.data.sharded import hypothesis_histogram
 from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import PrivacyParameters, advanced_composition
 from repro.dp.sparse_vector import SparseVector
@@ -114,7 +115,8 @@ class PrivateMWConvex:
                  epsilon: float = 1.0, delta: float = 1e-6,
                  schedule: str = "calibrated", max_updates: int | None = None,
                  solver_steps: int = 400, noise_multiplier: float = 1.0,
-                 rng=None) -> None:
+                 shards: int | None = None,
+                 histogram_workers: int | None = None, rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()  # private: never released
         self.config = PMWConfig.from_targets(
@@ -141,7 +143,10 @@ class PrivateMWConvex:
         )
         self._oracle = oracle.with_budget(self.config.oracle_epsilon,
                                           self.config.oracle_delta)
-        self._hypothesis = Histogram.uniform(dataset.universe)
+        self.shards = shards
+        self.histogram_workers = histogram_workers
+        self._hypothesis = hypothesis_histogram(
+            dataset.universe, shards=shards, workers=histogram_workers)
         self._answers: list[PMWAnswer] = []
         self._updates = 0
         self._history: list[dict] = []
@@ -288,7 +293,66 @@ class PrivateMWConvex:
         self._answers.append(answer)
         return answer
 
-    def answer_all(self, losses, *, on_halt: str = "raise") -> list[PMWAnswer]:
+    def prewarm(self, losses) -> int:
+        """Batch-populate the data-side minimization cache via the engine.
+
+        ``min_theta l(theta; D)`` depends only on ``(loss, D)``, so a whole
+        batch of pending queries can pay for it up front in one vectorized
+        pass (:func:`repro.engine.batch_data_minima`): closed-form families
+        collapse into shared moment computations instead of one
+        universe-sized solve per query. Purely an evaluation-order change —
+        no privacy event happens here, the cached values are exactly what
+        :meth:`answer` would have computed lazily, and unfingerprintable or
+        non-loss queries are skipped (they keep their scalar path).
+
+        Returns the number of cache entries added.
+        """
+        from repro.engine import batch_data_minima
+
+        fresh: list[LossFunction] = []
+        seen: set[str] = set()
+        cached_needed = 0
+        for loss in losses:
+            if not isinstance(loss, LossFunction):
+                continue
+            try:
+                key = loss.fingerprint()
+            except LossSpecificationError:
+                continue
+            if key in seen:
+                continue
+            seen.add(key)
+            if key in self._data_minima:
+                # Mark the entry hot: this stream is about to use it, and
+                # the eviction below must drop genuinely cold keys, not
+                # ones the incoming lane still needs.
+                self._data_minima.move_to_end(key)
+                cached_needed += 1
+                continue
+            fresh.append(loss)
+        # Never compute more than the cache can hold alongside the lane's
+        # already-cached entries: anything past the LRU bound would be
+        # evicted before the stream reaches it and solved again lazily —
+        # keeping the stream prefix means the first queries to run are
+        # exactly the ones warmed.
+        fresh = fresh[:max(0, self.DATA_MINIMA_LIMIT - cached_needed)]
+        if not fresh:
+            return 0
+        results = batch_data_minima(fresh, self._data_histogram,
+                                    solver_steps=self.solver_steps)
+        for loss, result in zip(fresh, results):
+            # Stored exactly as answer() stores its lazy computation
+            # (exact=False: cache entries round-trip through snapshots,
+            # which do not persist the exactness of the original dispatch).
+            self._data_minima[loss.fingerprint()] = MinimizeResult(
+                result.theta, result.value, exact=False,
+            )
+        while len(self._data_minima) > self.DATA_MINIMA_LIMIT:
+            self._data_minima.popitem(last=False)
+        return len(fresh)
+
+    def answer_all(self, losses, *, on_halt: str = "raise",
+                   prewarm: bool = True) -> list[PMWAnswer]:
         """Answer a sequence of CM queries.
 
         ``on_halt`` controls behaviour if the update budget — or an armed
@@ -298,11 +362,29 @@ class PrivateMWConvex:
         queries from the final public hypothesis (pure post-processing,
         still ``(eps, delta)``-DP, but without the per-query accuracy
         certificate).
+
+        ``prewarm`` (default on) runs the batch through
+        :meth:`prewarm` first, so data-side minimizations are computed in
+        one vectorized engine pass instead of lazily per round.
         """
         if on_halt not in ("raise", "hypothesis"):
             raise ValidationError(
                 f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
             )
+        losses = list(losses)
+        # Pre-warming is dead work when no paid round can run: a halted
+        # mechanism serves everything from the hypothesis (or raises
+        # immediately), and an exhausted armed budget makes every round
+        # refuse at preflight before reading the data-side minima.
+        if prewarm and not self.halted:
+            try:
+                self.accountant.preflight(self.config.oracle_epsilon,
+                                          self.config.oracle_delta,
+                                          label="prewarm")
+            except PrivacyBudgetExhausted:
+                pass
+            else:
+                self.prewarm(losses)
         answers = []
         for loss in losses:
             if self.halted:
@@ -368,6 +450,8 @@ class PrivateMWConvex:
             },
             "solver_steps": self.solver_steps,
             "noise_multiplier": self._sparse_vector.noise_multiplier,
+            "shards": self.shards,
+            "histogram_workers": self.histogram_workers,
             "hypothesis_weights": self._hypothesis.weights.tolist(),
             "updates": self._updates,
             "history": [dict(entry) for entry in self._history],
@@ -426,11 +510,15 @@ class PrivateMWConvex:
             max_updates=config["max_updates"],
             solver_steps=snapshot["solver_steps"],
             noise_multiplier=snapshot["noise_multiplier"],
+            shards=snapshot.get("shards"),
+            histogram_workers=snapshot.get("histogram_workers"),
             rng=rng,
         )
-        mechanism._hypothesis = Histogram(
+        mechanism._hypothesis = hypothesis_histogram(
             dataset.universe,
             np.asarray(snapshot["hypothesis_weights"], dtype=float),
+            shards=snapshot.get("shards"),
+            workers=snapshot.get("histogram_workers"),
         )
         mechanism._updates = int(snapshot["updates"])
         mechanism._history = [dict(entry) for entry in snapshot["history"]]

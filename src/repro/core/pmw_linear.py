@@ -10,6 +10,16 @@ CM mechanism's structure mirrors. Round structure (online variant):
 3. On ``top``: release a Laplace-noised true answer, and update ``Dhat``
    multiplicatively toward it (increase weight where ``q_j`` under- or
    over-counts, by the sign of the discrepancy).
+
+Whole streams go through the batched evaluation engine
+(:mod:`repro.engine`): :meth:`PrivateMWLinear.answer_all` stacks the query
+tables into one loss matrix, answers the true side with a single matvec
+(the data histogram never changes), and precomputes hypothesis answers in
+growing blocks — the hypothesis only changes on ``top`` rounds, so blocks
+double while updates stay away and reset after one.
+Large universes can shard the hypothesis (``shards=...``), running each
+MW update and reduction shard-by-shard
+(:class:`~repro.data.sharded.ShardedHistogram`).
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ import numpy as np
 from repro.core.config import PMWConfig
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
+from repro.data.sharded import hypothesis_histogram
 from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import per_round_budget
 from repro.dp.sparse_vector import SparseVector
@@ -54,7 +65,8 @@ class PrivateMWLinear:
     def __init__(self, dataset: Dataset, *, alpha: float, beta: float = 0.05,
                  epsilon: float = 1.0, delta: float = 1e-6,
                  schedule: str = "calibrated", max_updates: int | None = None,
-                 noise_multiplier: float = 1.0, rng=None) -> None:
+                 noise_multiplier: float = 1.0, shards: int | None = None,
+                 histogram_workers: int | None = None, rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()
         self.config = PMWConfig.from_targets(
@@ -81,7 +93,10 @@ class PrivateMWLinear:
                                        self.config.sv_delta,
                                        self.config.max_updates)
         self._measurement_epsilon = measurement.epsilon
-        self._hypothesis = Histogram.uniform(dataset.universe)
+        self.shards = shards
+        self.histogram_workers = histogram_workers
+        self._hypothesis = hypothesis_histogram(
+            dataset.universe, shards=shards, workers=histogram_workers)
         self._updates = 0
         self._queries = 0
 
@@ -116,13 +131,23 @@ class PrivateMWLinear:
                 f"PMW-linear exhausted its update budget "
                 f"T={self.config.max_updates}"
             )
-        if query.table.size != self._dataset.universe.size:
-            raise ValidationError(
-                f"query over {query.table.size} elements does not match the "
-                f"universe size {self._dataset.universe.size}"
-            )
-        hypothesis_answer = self._hypothesis.dot(query.table)
-        true_answer = self._data_histogram.dot(query.table)
+        self._validate_query(query)
+        return self._answer_given(
+            query,
+            true_answer=self._data_histogram.dot(query.table),
+            hypothesis_answer=self._hypothesis.dot(query.table),
+        )
+
+    def _answer_given(self, query: LinearQuery, *, true_answer: float,
+                      hypothesis_answer: float) -> LinearAnswer:
+        """The mechanism round, with the two inner products precomputed.
+
+        Shared by the scalar path (:meth:`answer` computes the dots) and
+        the batched path (:meth:`answer_all` reads them from the engine's
+        loss-matrix pass); everything that touches privacy — pre-flight,
+        the sparse-vector slot, the Laplace measurement, the MW update —
+        happens here, identically for both.
+        """
         discrepancy = abs(true_answer - hypothesis_answer)
         # Pre-flight the armed budget before the sparse vector consumes a
         # slot (see PrivateMWConvex.answer for the failure mode). The
@@ -156,6 +181,13 @@ class PrivateMWLinear:
         return LinearAnswer(value=noisy_answer, from_update=True,
                             query_index=index, update_index=update_index)
 
+    def _validate_query(self, query: LinearQuery) -> None:
+        if query.table.size != self._dataset.universe.size:
+            raise ValidationError(
+                f"query over {query.table.size} elements does not match the "
+                f"universe size {self._dataset.universe.size}"
+            )
+
     # -- snapshot / restore ------------------------------------------------------
 
     SNAPSHOT_FORMAT = "repro.pmw_linear/v1"
@@ -174,6 +206,8 @@ class PrivateMWLinear:
                 "max_updates": config.max_updates,
             },
             "noise_multiplier": self._sparse_vector.noise_multiplier,
+            "shards": self.shards,
+            "histogram_workers": self.histogram_workers,
             "hypothesis_weights": self._hypothesis.weights.tolist(),
             "updates": self._updates,
             "queries": self._queries,
@@ -206,11 +240,15 @@ class PrivateMWLinear:
             dataset, alpha=config["alpha"], beta=config["beta"],
             epsilon=config["epsilon"], delta=config["delta"],
             schedule=config["schedule"], max_updates=config["max_updates"],
-            noise_multiplier=snapshot["noise_multiplier"], rng=rng,
+            noise_multiplier=snapshot["noise_multiplier"],
+            shards=snapshot.get("shards"),
+            histogram_workers=snapshot.get("histogram_workers"), rng=rng,
         )
-        mechanism._hypothesis = Histogram(
+        mechanism._hypothesis = hypothesis_histogram(
             dataset.universe,
             np.asarray(snapshot["hypothesis_weights"], dtype=float),
+            shards=snapshot.get("shards"),
+            workers=snapshot.get("histogram_workers"),
         )
         mechanism._updates = int(snapshot["updates"])
         mechanism._queries = int(snapshot["queries"])
@@ -219,33 +257,125 @@ class PrivateMWLinear:
         mechanism.accountant = restore_accountant(snapshot["accountant"])
         return mechanism
 
+    #: answer_all stacks independently built tables into one loss matrix
+    #: only below this copy size; above it (e.g. 64 queries over a 10^7
+    #: universe would be a multi-GB copy) it keeps per-query evaluation,
+    #: whose extra memory is O(1). Shared-matrix families (zero-copy
+    #: stacking) always take the matrix path regardless of size.
+    STACK_COPY_LIMIT_BYTES = 128 * 2**20
+
     def answer_all(self, queries, *, on_halt: str = "raise") -> list[LinearAnswer]:
-        """Answer a sequence of linear queries (see PMW-CM's ``answer_all``)."""
+        """Answer a query stream through the batched evaluation engine.
+
+        Semantics match a loop of :meth:`answer` calls (same sparse-vector
+        stream, same noise draws, same ``on_halt`` behaviour as PMW-CM's
+        ``answer_all``); the evaluation strategy differs:
+
+        - the *true* answers for the whole stream are one loss-matrix
+          matvec against the (immutable) data histogram;
+        - the *hypothesis* answers are precomputed in **growing blocks**
+          — the hypothesis only changes on ``top`` rounds, so blocks
+          double while no update lands (the tail of a sparse stream is
+          a few large matmuls) and shrink back after one (bounding the
+          work an update throws away).
+
+        The loss matrix is zero-copy for shared-matrix query families;
+        independently built tables are stacked only up to
+        :attr:`STACK_COPY_LIMIT_BYTES`, beyond which the stream keeps
+        per-query dot products (identical semantics, O(1) extra memory).
+
+        Values agree with the scalar path to floating-point reassociation
+        (``~1e-15``; see ``tests/property/test_batch_agreement.py``).
+        """
+        from repro.engine import kernels
+
         if on_halt not in ("raise", "hypothesis"):
             raise ValidationError(
                 f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
             )
-        answers = []
+        queries = list(queries)
         for query in queries:
+            self._validate_query(query)
+        if not queries:
+            return []
+        if self.halted:
+            # No mechanism round will run: skip the loss-matrix build and
+            # the true-answer pass entirely (their results would be dead).
+            if on_halt == "raise":
+                raise MechanismHalted(
+                    "update budget exhausted before the stream ended"
+                )
+            return [self._hypothesis_answer(query) for query in queries]
+
+        tables = kernels.shared_table_matrix(queries)
+        if tables is None and (len(queries) * queries[0].table.size * 8
+                               <= self.STACK_COPY_LIMIT_BYTES):
+            tables = kernels.stack_tables(queries)
+        if tables is not None:
+            true_answers = tables @ self._data_histogram.weights
+            hypothesis_answers = np.empty(len(queries))
+            # Hypothesis answers are precomputed in *growing* blocks: an
+            # MW update invalidates everything past the current query, so
+            # recomputing the whole suffix eagerly wastes a full pass per
+            # update. Starting small and doubling on every uninterrupted
+            # extension bounds the waste per update at one block while
+            # the post-update tail (sparse streams stop updating) still
+            # collapses into a few large matmuls.
+            valid_until = 0  # exclusive end of fresh hypothesis answers
+            run = 8          # next block size; doubles between updates
+
+        answers = []
+        for j, query in enumerate(queries):
+            if tables is not None and j >= valid_until:
+                stop = min(len(queries), j + run)
+                hypothesis_answers[j:stop] = (
+                    tables[j:stop] @ self._hypothesis.weights
+                )
+                valid_until = stop
+                run *= 2
             if self.halted:
                 if on_halt == "raise":
                     raise MechanismHalted(
                         "update budget exhausted before the stream ended"
                     )
-                answers.append(self._hypothesis_answer(query))
+                answers.append(self._hypothesis_answer(
+                    query,
+                    value=(float(hypothesis_answers[j])
+                           if tables is not None else None)))
                 continue
+            if tables is not None:
+                true_answer = float(true_answers[j])
+                hypothesis_answer = float(hypothesis_answers[j])
+            else:  # bounded-memory path: same dots the scalar round does
+                true_answer = self._data_histogram.dot(query.table)
+                hypothesis_answer = self._hypothesis.dot(query.table)
             try:
-                answers.append(self.answer(query))
+                answer = self._answer_given(
+                    query, true_answer=true_answer,
+                    hypothesis_answer=hypothesis_answer,
+                )
             except PrivacyBudgetExhausted:
                 if on_halt == "raise":
                     raise
-                answers.append(self._hypothesis_answer(query))
+                answers.append(self._hypothesis_answer(
+                    query, value=hypothesis_answer))
+                continue
+            answers.append(answer)
+            if (tables is not None
+                    and answer.from_update):  # hypothesis moved: stale
+                valid_until = j + 1
+                run = 8
         return answers
 
-    def _hypothesis_answer(self, query: LinearQuery) -> LinearAnswer:
+    def _hypothesis_answer(self, query: LinearQuery,
+                           value: float | None = None) -> LinearAnswer:
         """Serve from the public hypothesis (free post-processing)."""
         self._queries += 1
+        if value is None:
+            value = self._hypothesis.dot(query.table)
         return LinearAnswer(
-            value=self._hypothesis.dot(query.table),
+            value=float(value),
             from_update=False, query_index=self._queries - 1,
         )
+
+

@@ -9,6 +9,9 @@ indexed by ``X``. This package provides:
   optional labels (for supervised losses).
 - :class:`Histogram` — a probability vector over a :class:`Universe` with
   the multiplicative-weights update as a first-class operation.
+- :class:`ShardedHistogram` — the same contract with every heavy
+  operation (updates, reductions, sampling) run per contiguous shard,
+  optionally on a thread pool, for universes in the ≥10^6 regime.
 - :class:`Dataset` — an ``n``-row dataset of universe elements, with
   adjacency (``D ~ D'``) helpers used by privacy tests.
 - builders for standard universes (binary cube, ball nets, labeled grids).
@@ -20,6 +23,7 @@ indexed by ``X``. This package provides:
 
 from repro.data.universe import Universe
 from repro.data.histogram import Histogram
+from repro.data.sharded import ShardedHistogram, hypothesis_histogram
 from repro.data.dataset import Dataset
 from repro.data.builders import (
     ball_grid,
@@ -47,6 +51,8 @@ from repro.data.io import (
 __all__ = [
     "Universe",
     "Histogram",
+    "ShardedHistogram",
+    "hypothesis_histogram",
     "Dataset",
     "binary_cube",
     "ball_grid",

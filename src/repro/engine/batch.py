@@ -1,0 +1,363 @@
+"""Compile a batch of queries into per-family groups and evaluate them.
+
+The engine's entry points take a *heterogeneous* list of queries —
+:class:`~repro.losses.linear.LinearQuery` tables, GLM losses with
+per-query feature rotations, anything implementing
+:class:`~repro.losses.base.LossFunction` — and partition it into groups
+that share a vectorized kernel (:mod:`repro.engine.kernels`):
+
+================  =============================================  ===========
+group             members                                        kernel
+================  =============================================  ===========
+``linear``        ``LinearQuery``                                loss matrix
+``linear-cm``     ``LinearQueryAsCM``                            moments
+``glm``           ``SquaredLoss`` / ``LogisticLoss`` /           margin
+                  ``HingeLoss`` / ``HuberLoss`` (exact type,     matrix
+                  matching link parameters)
+``fallback``      everything else                                per-query
+================  =============================================  ===========
+
+Grouping is by *exact* type plus the link parameters the kernel depends
+on, so a subclass with an overridden link never silently rides a kernel
+that does not match its math — it falls back to the per-query path, which
+is always correct.
+
+Results agree with the scalar path up to floating-point associativity
+(``~1e-12`` absolute in practice; the property tests in
+``tests/property/test_batch_agreement.py`` pin this down), because each
+kernel computes the same quantity through a reassociated product — never
+a different approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.histogram import Histogram
+from repro.engine import kernels
+from repro.exceptions import ValidationError
+from repro.losses.base import LossFunction
+from repro.losses.hinge import HingeLoss, HuberLoss
+from repro.losses.linear import LinearQuery, LinearQueryAsCM
+from repro.losses.logistic import LogisticLoss
+from repro.losses.squared import SquaredLoss
+from repro.optimize.exact import minimize_quadratic_over_ball
+from repro.optimize.minimize import MinimizeResult, minimize_loss
+from repro.optimize.projections import L2Ball
+
+__all__ = [
+    "CompiledBatch",
+    "compile_batch",
+    "batch_answers",
+    "batch_loss_on",
+    "batch_data_minima",
+]
+
+_LINEAR = "linear"
+_LINEAR_CM = "linear-cm"
+_GLM = "glm"
+_FALLBACK = "fallback"
+
+#: GLM families with a safe margin-matrix kernel, keyed by *exact* type.
+#: The key function returns the link parameters that must match for two
+#: instances to share one vectorized link evaluation.
+_GLM_FAMILIES = {
+    SquaredLoss: lambda loss: (loss.normalization,),
+    LogisticLoss: lambda loss: (),
+    HingeLoss: lambda loss: (),
+    HuberLoss: lambda loss: (loss.delta,),
+}
+
+
+def _family_key(query):
+    if type(query) is LinearQuery:
+        return (_LINEAR,)
+    if type(query) is LinearQueryAsCM:
+        return (_LINEAR_CM,)
+    params = _GLM_FAMILIES.get(type(query))
+    if params is not None:
+        return (_GLM, type(query), params(query))
+    return (_FALLBACK,)
+
+
+@dataclass
+class _Group:
+    """One kernel-compatible slice of a batch (positions + members)."""
+
+    kind: str
+    indices: list[int]
+    members: list
+    tables: np.ndarray | None = None  # stacked for linear/linear-cm groups
+    _squared: np.ndarray | None = field(default=None, repr=False)
+
+    def squared_tables(self) -> np.ndarray:
+        """``tables * tables``, computed once per compiled group.
+
+        The tables are immutable, and a CompiledBatch exists to be
+        evaluated against many histograms — rebuilding this ``B×|X|``
+        temporary per evaluation would dominate the moment kernel it
+        feeds.
+        """
+        if self._squared is None:
+            self._squared = self.tables * self.tables
+        return self._squared
+
+
+class CompiledBatch:
+    """A batch of queries, grouped once, evaluated many times.
+
+    Compiling is cheap (type dispatch plus stacking linear tables); the
+    point of keeping the compiled object around is re-evaluating the same
+    batch against *different* histograms — the serving layer answers a
+    batch against an evolving public hypothesis, and PMW-linear replays
+    its stream suffix after every update.
+    """
+
+    def __init__(self, queries) -> None:
+        self.queries = list(queries)
+        self._groups: list[_Group] = []
+        buckets: dict[tuple, list[int]] = {}
+        for index, query in enumerate(self.queries):
+            buckets.setdefault(_family_key(query), []).append(index)
+        for key, indices in buckets.items():
+            members = [self.queries[i] for i in indices]
+            tables = None
+            if key[0] == _LINEAR:
+                tables = kernels.stack_tables(members)
+            elif key[0] == _LINEAR_CM:
+                tables = kernels.stack_tables(
+                    [loss.query for loss in members]
+                )
+            self._groups.append(
+                _Group(kind=key[0], indices=indices, members=members,
+                       tables=tables)
+            )
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def group_kinds(self) -> list[str]:
+        """The kernel kind of each group (diagnostics / tests)."""
+        return [group.kind for group in self._groups]
+
+    # -- evaluation --------------------------------------------------------
+
+    def linear_answers(self, histogram: Histogram) -> np.ndarray:
+        """All ``<q_j, D>`` answers in one matvec (``LinearQuery`` only)."""
+        out = np.empty(len(self.queries))
+        for group in self._groups:
+            if group.kind != _LINEAR:
+                raise ValidationError(
+                    f"linear_answers needs a LinearQuery batch; found a "
+                    f"{type(group.members[0]).__name__}"
+                )
+            out[group.indices] = kernels.linear_answers(group.tables,
+                                                        histogram)
+        return out
+
+    def loss_values(self, thetas, histogram: Histogram) -> np.ndarray:
+        """The batch ``[l_D(theta_j)]`` — one vectorized pass per family.
+
+        ``thetas`` is a sequence of per-query parameters, aligned with the
+        compiled query order. Raises for ``LinearQuery`` members (they
+        answer via :meth:`linear_answers`, not a parameter).
+        """
+        thetas = list(thetas)
+        if len(thetas) != len(self.queries):
+            raise ValidationError(
+                f"{len(thetas)} thetas for {len(self.queries)} queries"
+            )
+        out = np.empty(len(self.queries))
+        for group in self._groups:
+            group_thetas = [thetas[i] for i in group.indices]
+            if group.kind == _LINEAR:
+                raise ValidationError(
+                    "loss_values is for CM queries; LinearQuery batches "
+                    "answer via linear_answers"
+                )
+            if group.kind == _LINEAR_CM:
+                out[group.indices] = _linear_cm_values(
+                    group, group_thetas, histogram)
+            elif group.kind == _GLM:
+                out[group.indices] = _glm_values(
+                    group.members, group_thetas, histogram)
+            else:
+                out[group.indices] = [
+                    float(loss.loss_on(np.asarray(theta, dtype=float),
+                                       histogram))
+                    for loss, theta in zip(group.members, group_thetas)
+                ]
+        return out
+
+    def data_minima(self, histogram: Histogram, *,
+                    solver_steps: int = 400) -> list[MinimizeResult]:
+        """Batched ``argmin_theta l(theta; D)`` per query.
+
+        Closed forms are batched through moment kernels
+        (``linear-cm`` exactly, squared-family GLMs via one shared
+        universe-sized moment computation); every other loss goes through
+        the same :func:`~repro.optimize.minimize.minimize_loss` call the
+        scalar path makes, so results never diverge from it by more than
+        reassociated floating point.
+        """
+        results: list[MinimizeResult | None] = [None] * len(self.queries)
+        for group in self._groups:
+            if group.kind == _LINEAR:
+                raise ValidationError(
+                    "data_minima is for CM queries; LinearQuery batches "
+                    "answer via linear_answers"
+                )
+            if group.kind == _LINEAR_CM:
+                minima = _linear_cm_minima(group, histogram)
+            elif (group.kind == _GLM
+                    and type(group.members[0]) is SquaredLoss):
+                minima = _squared_minima(group.members, histogram,
+                                         solver_steps=solver_steps)
+            else:
+                minima = [minimize_loss(loss, histogram, steps=solver_steps)
+                          for loss in group.members]
+            for index, result in zip(group.indices, minima):
+                results[index] = result
+        return results
+
+
+def _linear_cm_moments(group: _Group,
+                       histogram: Histogram) -> tuple[np.ndarray, np.ndarray]:
+    """First/second query moments ``(<q, D>, <q², D>)`` for the group."""
+    first = kernels.linear_answers(group.tables, histogram)
+    second = kernels.linear_answers(group.squared_tables(), histogram)
+    return first, second
+
+
+def _linear_cm_value(theta: np.ndarray, first: np.ndarray,
+                     second: np.ndarray) -> np.ndarray:
+    """``E[(theta - q)^2 / 4] = (theta² - 2·theta·<q,D> + <q²,D>) / 4``."""
+    return 0.25 * (theta * theta - 2.0 * theta * first + second)
+
+
+def _linear_cm_values(group: _Group, thetas,
+                      histogram: Histogram) -> np.ndarray:
+    """``E[(theta - q)^2 / 4]`` via first/second query moments."""
+    theta = np.array([float(np.asarray(t, dtype=float).ravel()[0])
+                      for t in thetas])
+    first, second = _linear_cm_moments(group, histogram)
+    return _linear_cm_value(theta, first, second)
+
+
+def _linear_cm_minima(group: _Group,
+                      histogram: Histogram) -> list[MinimizeResult]:
+    """Exact minimizers ``clip(<q, D>, 0, 1)`` for a whole batch at once."""
+    first, second = _linear_cm_moments(group, histogram)
+    theta = np.clip(first, 0.0, 1.0)
+    values = _linear_cm_value(theta, first, second)
+    return [
+        MinimizeResult(np.array([float(t)]), float(v), True)
+        for t, v in zip(theta, values)
+    ]
+
+
+#: Universe rows per block in the margin-matrix evaluation. The block's
+#: margin and value matrices (``block × B``) stay cache-resident, so the
+#: batch streams the universe points exactly once instead of materializing
+#: (and re-reading) two ``|X| × B`` temporaries — this blocking, not the
+#: matmul alone, is where the ≥3x of ``benchmarks/bench_batch_engine.py``
+#: comes from on cheap-link families.
+GLM_BLOCK_ROWS = 2048
+
+
+def _glm_values(losses, thetas, histogram: Histogram) -> np.ndarray:
+    """Margin-matrix evaluation of a same-link GLM group, universe-blocked.
+
+    Per block of universe rows: one ``block×d @ d×B`` matmul, one
+    vectorized link evaluation, one ``wᵀV`` accumulation. Summation is
+    reassociated across blocks (``~1e-15`` vs the scalar path).
+    """
+    universe = histogram.universe
+    prototype = losses[0]
+    for loss in losses:  # same incompatibility error as the scalar path
+        loss.check_universe_dim(universe)
+    parameters = kernels.glm_parameter_matrix(losses, thetas)
+    points = universe.points
+    # The prototype's own accessor, so an unlabeled universe raises the
+    # same LossSpecificationError the scalar path would — batching must
+    # not change which exception a caller handles.
+    labels = prototype._labels(universe)
+    weights = histogram.weights
+    out = np.zeros(len(losses))
+    for start in range(0, universe.size, GLM_BLOCK_ROWS):
+        stop = min(start + GLM_BLOCK_ROWS, universe.size)
+        margins = points[start:stop] @ parameters
+        block_labels = (labels[start:stop, None]
+                        if labels is not None else None)
+        values = prototype.link(margins, block_labels)
+        out += weights[start:stop] @ values
+    return out
+
+
+def _squared_minima(losses, histogram: Histogram, *,
+                    solver_steps: int) -> list[MinimizeResult]:
+    """Squared-loss data minima sharing one universe-sized moment pass.
+
+    ``E[(x Rᵀ)(x Rᵀ)ᵀ] = R E[x xᵀ] Rᵀ`` and ``E[y (R x)] = R E[y x]``, so
+    the batch pays for the moments once and each member solves a ``d×d``
+    trust-region subproblem. Members without the closed form's
+    preconditions (non-ball domain, unlabeled universe) fall back to
+    :func:`minimize_loss`, exactly as the scalar dispatch would.
+    """
+    universe = histogram.universe
+    labels = universe.labels
+    base_second = None
+    results = []
+    for loss in losses:
+        loss.check_universe_dim(universe)  # scalar-path error parity
+        if not isinstance(loss.domain, L2Ball) or labels is None:
+            results.append(minimize_loss(loss, histogram,
+                                         steps=solver_steps))
+            continue
+        if base_second is None:
+            base_second = kernels.second_moment(universe.points, histogram)
+            base_cross = kernels.cross_moment(universe.points, labels,
+                                              histogram)
+            label_second = float(histogram.weights @ (labels * labels))
+        rotation = loss.rotation
+        if rotation is None:
+            second, cross = base_second, base_cross
+        else:
+            second = rotation @ base_second @ rotation.T
+            cross = rotation @ base_cross
+        c = loss.normalization
+        theta = minimize_quadratic_over_ball(
+            2.0 * c * second, -2.0 * c * cross, loss.domain)
+        theta = loss.domain.project(np.asarray(theta, dtype=float))
+        value = c * (theta @ second @ theta - 2.0 * (cross @ theta)
+                     + label_second)
+        results.append(MinimizeResult(theta, float(value), True))
+    return results
+
+
+# -- functional façade -----------------------------------------------------
+
+
+def compile_batch(queries) -> CompiledBatch:
+    """Group a query batch by kernel family (see :class:`CompiledBatch`)."""
+    return CompiledBatch(queries)
+
+
+def batch_answers(queries, histogram: Histogram) -> np.ndarray:
+    """All linear-query answers ``<q_j, D>`` in one vectorized pass."""
+    return compile_batch(queries).linear_answers(histogram)
+
+
+def batch_loss_on(losses, thetas, histogram: Histogram) -> np.ndarray:
+    """The batch ``[l_D(theta_j)]`` in one vectorized pass per family."""
+    return compile_batch(losses).loss_values(thetas, histogram)
+
+
+def batch_data_minima(losses, histogram: Histogram, *,
+                      solver_steps: int = 400) -> list[MinimizeResult]:
+    """Batched data-side minimizations (closed forms vectorized)."""
+    return compile_batch(losses).data_minima(histogram,
+                                             solver_steps=solver_steps)

@@ -1,0 +1,175 @@
+"""Per-family kernels for the batched evaluation engine.
+
+Every kernel here turns a *batch* of same-family queries into one or two
+dense linear-algebra calls over the whole universe, instead of one pass
+per query. The layouts:
+
+- **Loss matrix** (linear queries): stack the ``B`` query tables into a
+  matrix ``Q ∈ R^{B×|X|}``; all answers against a histogram ``w`` are the
+  single matvec ``Q w``. Dominated by streaming ``Q`` once.
+- **Margin matrix** (GLM families): a GLM loss in rotated features
+  evaluates ``phi((X R_jᵀ) theta_j, y)`` per query — a ``|X|·d²`` matmul
+  *per query* on the scalar path. But ``(X R_jᵀ) theta_j = X (R_jᵀ
+  theta_j)``, so projecting every parameter first (``B`` tiny ``d×d``
+  products) collapses the batch into one ``|X|×d @ d×B`` matmul producing
+  the margin matrix ``M ∈ R^{|X|×B}``, followed by one vectorized link
+  evaluation — roughly a factor-``d`` flop saving, which is what the
+  ≥3x requirement of ``benchmarks/bench_batch_engine.py`` rides on.
+- **Moment kernels** (squared-family closed forms): the data-side
+  minimizer of a squared loss needs ``E[x xᵀ]`` and ``E[y x]`` in the
+  *rotated* features — but ``R (E[x xᵀ]) Rᵀ`` lets a whole batch share
+  one universe-sized moment computation, leaving only ``d×d`` work per
+  query.
+
+Kernels are pure functions over arrays; grouping queries into families is
+:mod:`repro.engine.batch`'s job.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.histogram import Histogram
+from repro.exceptions import ValidationError
+from repro.losses.squared import (
+    weighted_cross_moment,
+    weighted_second_moment,
+)
+from repro.utils.validation import root_base
+
+__all__ = [
+    "stack_tables",
+    "shared_table_matrix",
+    "linear_answers",
+    "glm_parameter_matrix",
+    "glm_margin_matrix",
+    "second_moment",
+    "cross_moment",
+]
+
+
+def stack_tables(queries) -> np.ndarray:
+    """Stack ``LinearQuery`` tables into the loss matrix ``Q ∈ R^{B×|X|}``.
+
+    When the tables are already consecutive rows of one contiguous matrix
+    (query families built that way — e.g.
+    :func:`repro.experiments.workloads.large_universe_workload` — keep
+    their tables as views), the shared matrix is returned **zero-copy**;
+    stacking a 64-query batch over a 10^5-element universe would
+    otherwise spend more time copying than the evaluation it enables.
+
+    Raises if the tables disagree on universe size (a batch must target
+    one universe).
+    """
+    tables = _validated_tables(queries)
+    if not tables:
+        return np.empty((0, 0))
+    shared = _shared_row_matrix(tables)
+    if shared is not None:
+        return shared
+    return np.vstack(tables)
+
+
+def shared_table_matrix(queries) -> np.ndarray | None:
+    """The zero-copy loss matrix for a batch, or ``None``.
+
+    Returns the shared base matrix when the tables are exactly its rows
+    in order (the :func:`stack_tables` fast path), without ever falling
+    back to a copy — callers that cannot afford a ``B×|X|`` allocation
+    (e.g. :meth:`repro.core.pmw_linear.PrivateMWLinear.answer_all` over a
+    10^7-element universe) probe with this and keep per-query evaluation
+    when it returns ``None``.
+    """
+    tables = _validated_tables(queries)
+    if not tables:
+        return np.empty((0, 0))
+    return _shared_row_matrix(tables)
+
+
+def _validated_tables(queries) -> list[np.ndarray]:
+    tables = [np.asarray(query.table, dtype=float) for query in queries]
+    if not tables:
+        return tables
+    size = tables[0].shape[0]
+    for index, table in enumerate(tables):
+        if table.shape != (size,):
+            raise ValidationError(
+                f"query {index} has table shape {table.shape}; batch "
+                f"universe size is {size}"
+            )
+    return tables
+
+
+def _shared_row_matrix(tables) -> np.ndarray | None:
+    """The common base matrix, iff the tables are exactly its rows in order."""
+    base = root_base(tables[0])
+    size = tables[0].shape[0]
+    if base.ndim != 2 or base.shape != (len(tables), size):
+        return None
+    if base.dtype != tables[0].dtype or base.strides[1] != base.itemsize:
+        return None
+    start = base.__array_interface__["data"][0]
+    for row, table in enumerate(tables):
+        if root_base(table) is not base:
+            return None
+        if table.strides != (base.itemsize,):
+            return None
+        if (table.__array_interface__["data"][0]
+                != start + row * base.strides[0]):
+            return None
+    return base
+
+
+def linear_answers(tables: np.ndarray, histogram: Histogram) -> np.ndarray:
+    """All linear-query answers ``Q w`` in one matvec."""
+    weights = histogram.weights
+    if tables.size and tables.shape[1] != weights.shape[0]:
+        raise ValidationError(
+            f"loss matrix has {tables.shape[1]} columns but the histogram "
+            f"universe has {weights.shape[0]} elements"
+        )
+    return tables @ weights
+
+
+def glm_parameter_matrix(losses, thetas) -> np.ndarray:
+    """Project batch parameters into universe feature space: ``P ∈ R^{d×B}``.
+
+    Column ``j`` is ``R_jᵀ theta_j`` (or ``theta_j`` for unrotated
+    losses), so that ``X P`` is the whole batch's margin matrix. The
+    per-column products are ``d×d`` — negligible next to the universe
+    matmul they unlock.
+    """
+    columns = []
+    for loss, theta in zip(losses, thetas):
+        theta = np.asarray(theta, dtype=float)
+        rotation = getattr(loss, "rotation", None)
+        columns.append(theta if rotation is None else rotation.T @ theta)
+    return np.column_stack(columns)
+
+
+def glm_margin_matrix(points: np.ndarray,
+                      parameters: np.ndarray) -> np.ndarray:
+    """The batch margin matrix ``M = X P ∈ R^{|X|×B}`` — one matmul."""
+    if points.shape[1] != parameters.shape[0]:
+        raise ValidationError(
+            f"universe dim {points.shape[1]} does not match projected "
+            f"parameter dim {parameters.shape[0]}"
+        )
+    return points @ parameters
+
+
+def second_moment(features: np.ndarray, histogram: Histogram) -> np.ndarray:
+    """``E[x xᵀ]`` — shared across a squared-loss batch.
+
+    Delegates to the squared family's own moment implementation
+    (:func:`repro.losses.squared.weighted_second_moment`), so the batched
+    closed form and the scalar one are the same math by construction.
+    """
+    return weighted_second_moment(features, histogram.weights)
+
+
+def cross_moment(features: np.ndarray, labels: np.ndarray,
+                 histogram: Histogram) -> np.ndarray:
+    """``E[y x]`` — shared across a squared-loss batch (same delegation
+    as :func:`second_moment`)."""
+    return weighted_cross_moment(features, histogram.weights, labels)

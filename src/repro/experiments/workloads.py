@@ -5,6 +5,14 @@ with *genuinely private* parameters: the sample size ``n`` is chosen large
 enough that the sparse-vector and oracle noise are small relative to the
 accuracy targets (cheap here, because all mechanism-side computation is
 histogram-based and independent of ``n``).
+
+:func:`large_universe_workload` is the exception to "laptop-scale": it
+builds a linear-query workload over a universe big enough that the dense
+hypothesis path stops being the right default, and
+:func:`sharded_linear_max_error` runs it end to end through
+:class:`~repro.core.pmw_linear.PrivateMWLinear` with a sharded hypothesis
+(:class:`~repro.data.sharded.ShardedHistogram`) and the batched
+evaluation engine (:mod:`repro.engine`).
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.builders import interval_grid
 from repro.data.dataset import Dataset
 from repro.data.synthetic import (
     make_classification_dataset,
@@ -21,9 +30,13 @@ from repro.data.synthetic import (
 from repro.data.universe import Universe
 from repro.erm.oracle import SingleQueryOracle
 from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
 from repro.core.accuracy import answer_error
 from repro.losses.base import LossFunction
+from repro.losses.linear import LinearQuery
 from repro.optimize.minimize import minimize_loss
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,92 @@ def regression_workload(n: int, d: int, k: int, family_builder, *,
     return Workload(dataset=task.dataset, universe=task.universe,
                     losses=losses, scale=scale,
                     description=description or f"regression(n={n}, d={d})")
+
+
+@dataclass(frozen=True)
+class LinearWorkload:
+    """A linear-query workload: dataset + query tables over one universe."""
+
+    dataset: Dataset
+    universe: Universe
+    queries: list
+    shards: int
+    description: str
+
+
+def large_universe_workload(universe_size: int = 200_000, k: int = 64,
+                            n: int = 100_000, *, shards: int = 8,
+                            interval_scale: float = 0.35, rng=0,
+                            description: str = "") -> LinearWorkload:
+    """A large-universe interval-query workload for the sharded path.
+
+    Builds a 1-D grid universe of ``universe_size`` points on ``[-1, 1]``,
+    a bell-shaped dataset of ``n`` rows over it, and ``k`` random interval
+    (range-counting) queries — the classic PMW workload shape, at a
+    universe size where the engine's loss-matrix layout and the sharded
+    hypothesis (``shards`` contiguous shards) earn their keep. Everything
+    is built vectorized, so the construction itself stays cheap at
+    ``universe_size >= 10^6`` (memory is dominated by the ``k ×
+    universe_size`` query tables).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    check_positive(interval_scale, "interval_scale")
+    universe = interval_grid(universe_size)
+    generator = as_generator(rng)
+    raw = np.clip(generator.normal(0.0, interval_scale, size=n), -1.0, 1.0)
+    indices = np.rint((raw + 1.0) / 2.0 * (universe_size - 1)).astype(int)
+    dataset = Dataset(universe, indices)
+    grid = universe.points[:, 0]
+    lows = generator.uniform(-1.0, 1.0, size=k)
+    highs = np.minimum(lows + generator.uniform(0.05, 1.0, size=k), 1.0)
+    # One contiguous (k, |X|) table matrix, frozen so each query keeps its
+    # row as a view and the engine's loss-matrix layout is zero-copy for
+    # this family (see repro.engine.kernels.stack_tables; LinearQuery
+    # only aliases read-only buffers).
+    tables = ((grid[None, :] >= lows[:, None])
+              & (grid[None, :] <= highs[:, None])).astype(float)
+    tables.setflags(write=False)
+    queries = [
+        LinearQuery(tables[j], name=f"interval-{j}") for j in range(k)
+    ]
+    return LinearWorkload(
+        dataset=dataset, universe=universe, queries=queries, shards=shards,
+        description=description or (
+            f"intervals(|X|={universe_size}, k={k}, shards={shards})"
+        ),
+    )
+
+
+def sharded_linear_max_error(workload: LinearWorkload, *, alpha: float = 0.1,
+                             epsilon: float = 1.0, delta: float = 1e-6,
+                             max_updates: int | None = 20,
+                             workers: int | None = None,
+                             rng=None) -> tuple[float, int]:
+    """Run PMW-linear end to end with a sharded hypothesis.
+
+    The mechanism's hypothesis is a
+    :class:`~repro.data.sharded.ShardedHistogram` (``workload.shards``
+    shards, optionally threaded shard passes via ``workers``), the stream
+    is answered through the engine's segment-batched
+    :meth:`~repro.core.pmw_linear.PrivateMWLinear.answer_all`, and the
+    ground truth comes from one batched loss-matrix pass. Returns
+    ``(max absolute answer error, update rounds used)``.
+    """
+    from repro.engine import batch_answers
+
+    mechanism = PrivateMWLinear(
+        workload.dataset, alpha=alpha, epsilon=epsilon, delta=delta,
+        max_updates=max_updates, shards=workload.shards,
+        histogram_workers=workers, rng=rng,
+    )
+    answers = mechanism.answer_all(workload.queries, on_halt="hypothesis")
+    truth = batch_answers(workload.queries, workload.dataset.histogram())
+    worst = max(
+        abs(answer.value - true)
+        for answer, true in zip(answers, truth)
+    )
+    return float(worst), mechanism.updates_performed
 
 
 def pmw_max_error(workload: Workload, oracle: SingleQueryOracle, *,

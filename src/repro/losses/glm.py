@@ -84,14 +84,24 @@ class GeneralizedLinearLoss(LossFunction):
 
     # -- helpers -----------------------------------------------------------------
 
-    def _features(self, universe: Universe) -> np.ndarray:
-        points = universe.points
-        if points.shape[1] != (self.rotation.shape[1] if self.rotation is not None
-                               else self.domain.dim):
+    def check_universe_dim(self, universe: Universe) -> None:
+        """Raise the canonical incompatibility error for a wrong universe.
+
+        Shared by the scalar path (:meth:`_features`) and the batched
+        engine's moment/margin kernels, so batching never changes which
+        exception a caller handles.
+        """
+        expected = (self.rotation.shape[1] if self.rotation is not None
+                    else self.domain.dim)
+        if universe.points.shape[1] != expected:
             raise LossSpecificationError(
-                f"{self.name}: universe dim {points.shape[1]} incompatible "
-                f"with loss dim {self.domain.dim}"
+                f"{self.name}: universe dim {universe.points.shape[1]} "
+                f"incompatible with loss dim {self.domain.dim}"
             )
+
+    def _features(self, universe: Universe) -> np.ndarray:
+        self.check_universe_dim(universe)
+        points = universe.points
         if self.rotation is None:
             return points
         return points @ self.rotation.T

@@ -21,7 +21,7 @@ from repro.data.universe import Universe
 from repro.exceptions import ValidationError
 from repro.losses.base import LossFunction
 from repro.optimize.projections import Box
-from repro.utils.validation import check_finite_array
+from repro.utils.validation import check_finite_array, root_base
 
 
 class LinearQuery:
@@ -33,15 +33,37 @@ class LinearQuery:
         Array of shape ``(|X|,)`` with entries in ``[0, 1]``:
         ``table[i] = q(x_i)``. The answer on a dataset is the histogram dot
         product ``<table, D>``; sensitivity is ``1/n``.
+
+    Queries are immutable values (the same contract as
+    :meth:`LossFunction.fingerprint`): when ``table`` is a view of a
+    read-only buffer it is aliased zero-copy, so re-enabling writeability
+    on the owning array and mutating it afterwards is unsupported — the
+    memoized fingerprint (and every fingerprint-keyed cache) would go
+    stale. Writable inputs are defensively copied as before.
     """
 
     def __init__(self, table: np.ndarray, name: str = "linear-query") -> None:
         table = check_finite_array(table, "table", ndim=1)
         if table.size == 0:
             raise ValidationError("query table must be non-empty")
-        if table.min() < -1e-12 or table.max() > 1.0 + 1e-12:
+        low, high = float(table.min()), float(table.max())
+        if low < -1e-12 or high > 1.0 + 1e-12:
             raise ValidationError("query table entries must lie in [0, 1]")
-        self.table = np.clip(table, 0.0, 1.0)
+        if (0.0 <= low and high <= 1.0
+                and not root_base(table).flags.writeable):
+            # Keep a *view* instead of a clipped copy — but only when the
+            # buffer that actually owns the memory is frozen, so nobody
+            # can mutate the table under the query (and its memoized
+            # fingerprint); checking the passed array alone would accept
+            # a read-only view of a still-writable base. Query families
+            # built as rows of one read-only matrix stay rows of it,
+            # which lets the engine's loss-matrix layout
+            # (repro.engine.kernels.stack_tables) evaluate the whole
+            # family with zero copies.
+            table = table.view()
+        else:
+            table = np.clip(table, 0.0, 1.0)
+        self.table = table
         self.table.setflags(write=False)
         self.name = name
 

@@ -19,7 +19,11 @@ import numpy as np
 from repro.data.histogram import Histogram
 from repro.data.universe import Universe
 from repro.losses.base import LossFunction
-from repro.losses.squared import SquaredLoss
+from repro.losses.squared import (
+    SquaredLoss,
+    weighted_cross_moment,
+    weighted_second_moment,
+)
 from repro.optimize.exact import minimize_quadratic_over_ball
 from repro.optimize.projections import Domain, L2Ball
 from repro.utils.validation import check_finite_array, check_positive
@@ -109,7 +113,7 @@ class RidgeRegularized(LossFunction):
             return None
         weights = histogram.weights
         c = self.base.normalization
-        second_moment = (features * weights[:, None]).T @ features
+        second_moment = weighted_second_moment(features, weights)
         quadratic = 2.0 * c * second_moment + self.lam * np.eye(self.domain.dim)
-        linear = -2.0 * c * features.T @ (weights * labels)
+        linear = -2.0 * c * weighted_cross_moment(features, weights, labels)
         return minimize_quadratic_over_ball(quadratic, linear, self.domain)

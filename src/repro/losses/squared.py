@@ -18,6 +18,23 @@ from repro.optimize.projections import Domain, L2Ball
 from repro.utils.validation import check_positive
 
 
+def weighted_second_moment(features: np.ndarray,
+                           weights: np.ndarray) -> np.ndarray:
+    """``E[x xᵀ] = Xᵀ diag(w) X`` under the distribution ``w``.
+
+    The single implementation of the squared-family moment math — shared
+    by the closed-form minimizers here and by the batched engine's moment
+    kernels (:mod:`repro.engine.kernels`), so the two paths cannot drift.
+    """
+    return (features * weights[:, None]).T @ features
+
+
+def weighted_cross_moment(features: np.ndarray, weights: np.ndarray,
+                          labels: np.ndarray) -> np.ndarray:
+    """``E[y x] = Xᵀ (w ⊙ y)`` under the distribution ``w``."""
+    return features.T @ (weights * labels)
+
+
 class SquaredLoss(GeneralizedLinearLoss):
     """Scaled squared loss ``c (<theta, R x> - y)^2`` over a labeled universe."""
 
@@ -52,8 +69,8 @@ class SquaredLoss(GeneralizedLinearLoss):
         if labels is None:
             return None
         weights = histogram.weights
-        second_moment = (features * weights[:, None]).T @ features
-        cross_moment = features.T @ (weights * labels)
+        second_moment = weighted_second_moment(features, weights)
+        cross_moment = weighted_cross_moment(features, weights, labels)
         quadratic = 2.0 * self.normalization * second_moment
         linear = -2.0 * self.normalization * cross_moment
         return minimize_quadratic_over_ball(quadratic, linear, self.domain)

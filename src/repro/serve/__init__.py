@@ -9,6 +9,12 @@ cache serving duplicate queries at zero privacy cost
 (:mod:`~repro.serve.cache`), batch planning with cross-session concurrency
 (:mod:`~repro.serve.planner`), and the :class:`PMWService` front door
 (:mod:`~repro.serve.service`).
+
+Mechanism lanes are submitted as whole batches: the planner's executor
+pre-warms each session through the batched evaluation engine
+(:mod:`repro.engine`) before streaming the lane in order, so data-side
+minimizations for a lane collapse into one vectorized pass. See
+``docs/serve.md`` for lifecycle, ledger, and cache semantics.
 """
 
 from repro.serve.cache import AnswerCache, CachedAnswer, CacheStats

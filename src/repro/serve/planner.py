@@ -16,6 +16,14 @@ free to expensive:
 Lanes only use public information (cache keys, fingerprints, the halted
 flag), so planning itself is not a privacy event.
 
+The mechanism lane is submitted to the mechanism *as a whole batch*, not
+query by query: the executor pre-warms the session through the batched
+evaluation engine (:meth:`Session.prewarm` →
+:func:`repro.engine.batch_data_minima`) so data-side minimizations for the
+entire lane collapse into one vectorized pass, and only then streams the
+lane in order (the sparse vector is a stream; order is part of the
+mechanism's semantics and of the ledger's write-ahead contract).
+
 Across sessions the mechanisms are independent, so a multi-session batch is
 served concurrently by a thread pool — within a session the stream order is
 preserved (mechanisms are stateful), across sessions there is no shared
@@ -62,6 +70,15 @@ class BatchPlan:
             f"{len(self.hypothesis)} hypothesis, "
             f"{len(self.mechanism)} mechanism"
         )
+
+    def mechanism_lane(self, queries) -> list:
+        """The mechanism-lane queries, in stream order.
+
+        This is the batch the executor hands to the engine
+        (:meth:`repro.serve.session.Session.prewarm`) before streaming the
+        lane through the mechanism.
+        """
+        return [queries[index] for index in self.mechanism]
 
 
 def plan_batch(session: Session, queries, *,

@@ -221,6 +221,13 @@ class PMWService:
                           cache=self.cache if use_cache else None)
         results: list[ServeResult | None] = [None] * plan.total
         with session.lock:  # one thread per session: keep stream order
+            # Submit the mechanism lane as one batch: the engine
+            # pre-computes its data-side minimizations in a single
+            # vectorized pass before the lane streams through the
+            # mechanism in order.
+            lane = plan.mechanism_lane(queries)
+            if len(lane) > 1:
+                session.prewarm(lane)
             for index in sorted(plan.mechanism + plan.hypothesis):
                 results[index] = self._serve_uncached(
                     session, queries[index], plan.fingerprints[index],

@@ -158,6 +158,25 @@ class Session:
                 return self.mechanism.hypothesis.dot(query.table)
             return self.mechanism.answer_from_hypothesis(query).theta
 
+    def prewarm(self, queries) -> int:
+        """Hand a whole mechanism lane to the engine before serving it.
+
+        Delegates to the mechanism's ``prewarm`` hook (e.g.
+        :meth:`repro.core.pmw_cm.PrivateMWConvex.prewarm`, which
+        batch-computes data-side minimizations in one vectorized pass).
+        Mechanisms without the hook — or lanes too small to benefit — are
+        a no-op. Never a privacy event: pre-warming only reorders
+        non-private evaluation work.
+
+        Returns the number of batch-prepared entries (0 when skipped).
+        """
+        warm = getattr(self.mechanism, "prewarm", None)
+        if warm is None:
+            return 0
+        with self.lock:
+            self._check_open()
+            return int(warm(queries))
+
     # -- budget journaling ---------------------------------------------------
 
     def consume_unjournaled(self) -> list[dict]:

@@ -35,6 +35,19 @@ def check_probability(value: float, name: str) -> float:
     return check_unit_interval(value, name, open_left=False)
 
 
+def root_base(array: np.ndarray) -> np.ndarray:
+    """The array that owns the memory at the bottom of a view chain.
+
+    Used wherever view-aliasing matters: a query may keep a zero-copy
+    view of a buffer only if the *owning* array is frozen, and the
+    engine's loss-matrix stacking detects tables that are rows of one
+    shared matrix by walking to the same root.
+    """
+    while isinstance(array.base, np.ndarray):
+        array = array.base
+    return array
+
+
 def check_finite_array(array, name: str, *, ndim: int | None = None) -> np.ndarray:
     """Coerce to ``ndarray`` of floats and require all entries finite."""
     array = np.asarray(array, dtype=float)

@@ -171,3 +171,104 @@ class TestSamplingDistribution:
         first = hist._cdf
         hist.sample_indices(10, rng=1)
         assert hist._cdf is first
+
+
+class TestEdgeCases:
+    """Zero-weight bins and the single-bin universe (degenerate but legal)."""
+
+    @pytest.fixture
+    def point(self):
+        return Universe(np.zeros((1, 1)), name="point")
+
+    def test_single_bin_update_is_identity(self, point):
+        hist = Histogram(point, np.array([3.0]))
+        updated = hist.multiplicative_update(np.array([-5.0]), 2.0)
+        np.testing.assert_allclose(updated.weights, [1.0])
+
+    def test_single_bin_divergences_vanish(self, point):
+        one = Histogram(point, np.array([1.0]))
+        other = Histogram(point, np.array([7.0]))
+        assert one.kl_divergence(other) == 0.0
+        assert one.total_variation(other) == 0.0
+        assert one.l1_distance(other) == 0.0
+
+    def test_single_bin_sampling(self, point):
+        hist = Histogram(point, np.array([1.0]))
+        np.testing.assert_array_equal(hist.sample_indices(4, rng=0), 0)
+
+    def test_kl_ignores_shared_zero_bins(self, universe):
+        p = Histogram(universe, np.array([0.5, 0.5, 0.0, 0.0, 0.0]))
+        q = Histogram(universe, np.array([0.25, 0.75, 0.0, 0.0, 0.0]))
+        expected = 0.5 * np.log(0.5 / 0.25) + 0.5 * np.log(0.5 / 0.75)
+        assert p.kl_divergence(q) == pytest.approx(expected)
+
+    def test_kl_finite_when_other_covers_support(self, universe):
+        p = Histogram(universe, np.array([1.0, 0.0, 0.0, 0.0, 0.0]))
+        q = Histogram.uniform(universe)
+        assert p.kl_divergence(q) == pytest.approx(np.log(5.0))
+        assert q.kl_divergence(p) == np.inf
+
+    def test_total_variation_with_zero_weight_bins(self, universe):
+        p = Histogram(universe, np.array([1.0, 0.0, 0.0, 0.0, 0.0]))
+        q = Histogram(universe, np.array([0.0, 0.0, 0.0, 0.0, 1.0]))
+        assert p.total_variation(q) == pytest.approx(1.0)
+
+    def test_update_keeps_zero_bins_at_zero(self, universe):
+        hist = Histogram(universe, np.array([0.4, 0.0, 0.6, 0.0, 0.0]))
+        updated = hist.multiplicative_update(np.ones(5), 3.0)
+        assert updated.weights[1] == 0.0
+        assert np.all(updated.weights[3:] == 0.0)
+        np.testing.assert_allclose(updated.weights.sum(), 1.0)
+
+
+class TestCdfCacheInvalidation:
+    """Regression: the cached sampling CDF must never outlive its weights.
+
+    ``multiplicative_update`` returns a *new* object; if the cached CDF
+    were carried over (or shared by reference), samples would follow the
+    pre-update distribution forever.
+    """
+
+    def test_update_returns_instance_with_cold_cache(self, universe):
+        hist = Histogram(universe, np.array([1.0, 1.0, 1.0, 1.0, 1.0]))
+        hist.sample_indices(10, rng=0)  # warm the original's CDF
+        assert hist._cdf is not None
+        updated = hist.multiplicative_update(np.array(
+            [10.0, -10.0, -10.0, -10.0, -10.0]), 1.0)
+        assert updated._cdf is None  # fresh instance: cache starts cold
+
+    def test_caches_never_shared_between_instances(self, universe):
+        hist = Histogram(universe, np.ones(5))
+        hist.sample_indices(10, rng=0)
+        updated = hist.multiplicative_update(np.array(
+            [5.0, -5.0, -5.0, -5.0, -5.0]), 1.0)
+        updated.sample_indices(10, rng=0)
+        assert updated._cdf is not hist._cdf
+        # and the original's cache still matches the original weights
+        np.testing.assert_allclose(np.diff(np.concatenate(([0.0], hist._cdf))),
+                                   hist.weights, atol=1e-15)
+
+    def test_samples_follow_updated_weights(self, universe):
+        hist = Histogram(universe, np.ones(5))
+        hist.sample_indices(100, rng=0)
+        # massive update: essentially all mass onto bin 0
+        updated = hist.multiplicative_update(
+            np.array([1.0, 0.0, 0.0, 0.0, 0.0]), 50.0)
+        sample = updated.sample_indices(2000, rng=1)
+        assert np.mean(sample == 0) > 0.99
+        # the original still samples its own (uniform) law
+        original = hist.sample_indices(5000, rng=2)
+        counts = np.bincount(original, minlength=5) / 5000
+        np.testing.assert_allclose(counts, 0.2, atol=0.05)
+
+    def test_sharded_tables_not_shared_either(self, universe):
+        from repro.data.sharded import ShardedHistogram
+
+        hist = ShardedHistogram(universe, np.ones(5), num_shards=2)
+        hist.sample_indices(10, rng=0)
+        assert hist._shard_tables is not None
+        updated = hist.multiplicative_update(
+            np.array([1.0, 0.0, 0.0, 0.0, 0.0]), 50.0)
+        assert updated._shard_tables is None
+        sample = updated.sample_indices(2000, rng=1)
+        assert np.mean(sample == 0) > 0.99

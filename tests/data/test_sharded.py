@@ -1,0 +1,154 @@
+"""ShardedHistogram: per-shard kernels must match the dense class."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import interval_grid
+from repro.data.histogram import Histogram
+from repro.data.sharded import ShardedHistogram, hypothesis_histogram
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def universe():
+    return interval_grid(997)  # prime: shards of uneven sizes
+
+
+@pytest.fixture
+def weights(universe):
+    rng = np.random.default_rng(0)
+    return rng.dirichlet(np.full(universe.size, 0.4))
+
+
+@pytest.fixture
+def dense(universe, weights):
+    return Histogram(universe, weights)
+
+
+@pytest.fixture(params=[1, 3, 8])
+def sharded(request, universe, weights):
+    return ShardedHistogram(universe, weights, num_shards=request.param)
+
+
+class TestTopology:
+    def test_shards_cover_universe_contiguously(self, sharded, universe):
+        slices = sharded.shard_slices
+        assert slices[0].start == 0
+        assert slices[-1].stop == universe.size
+        for left, right in zip(slices, slices[1:]):
+            assert left.stop == right.start
+
+    def test_default_shard_count(self, universe, weights):
+        hist = ShardedHistogram(universe, weights)
+        assert hist.num_shards == 1  # small universe: one shard
+
+    def test_invalid_shard_count(self, universe, weights):
+        with pytest.raises(ValidationError):
+            ShardedHistogram(universe, weights, num_shards=0)
+        with pytest.raises(ValidationError):
+            ShardedHistogram(universe, weights,
+                             num_shards=universe.size + 1)
+
+    def test_invalid_workers(self, universe, weights):
+        with pytest.raises(ValidationError):
+            ShardedHistogram(universe, weights, num_shards=2, workers=0)
+
+
+class TestAgreementWithDense:
+    def test_multiplicative_update_bitwise(self, dense, sharded, universe):
+        rng = np.random.default_rng(1)
+        direction = rng.standard_normal(universe.size)
+        expected = dense.multiplicative_update(direction, 0.7)
+        actual = sharded.multiplicative_update(direction, 0.7)
+        np.testing.assert_array_equal(actual.weights, expected.weights)
+
+    def test_update_preserves_sharding(self, sharded, universe):
+        updated = sharded.multiplicative_update(np.zeros(universe.size), 1.0)
+        assert isinstance(updated, ShardedHistogram)
+        assert updated.num_shards == sharded.num_shards
+        assert updated.workers == sharded.workers
+
+    def test_dot(self, dense, sharded, universe):
+        values = np.random.default_rng(2).standard_normal(universe.size)
+        assert sharded.dot(values) == pytest.approx(dense.dot(values),
+                                                    abs=1e-12)
+
+    def test_divergences(self, dense, sharded, universe):
+        other_weights = np.random.default_rng(3).dirichlet(
+            np.full(universe.size, 0.4))
+        other = Histogram(universe, other_weights)
+        assert sharded.kl_divergence(other) == pytest.approx(
+            dense.kl_divergence(other), abs=1e-12)
+        assert sharded.total_variation(other) == pytest.approx(
+            dense.total_variation(other), abs=1e-12)
+        assert sharded.l1_distance(other) == pytest.approx(
+            dense.l1_distance(other), abs=1e-12)
+
+    def test_kl_infinite_off_support(self, universe):
+        p = ShardedHistogram(universe, np.ones(universe.size), num_shards=4)
+        q_weights = np.ones(universe.size)
+        q_weights[universe.size // 2] = 0.0
+        q = Histogram(universe, q_weights)
+        assert p.kl_divergence(q) == np.inf
+
+    def test_threaded_matches_sequential(self, universe, weights):
+        rng = np.random.default_rng(4)
+        direction = rng.standard_normal(universe.size)
+        sequential = ShardedHistogram(universe, weights, num_shards=5)
+        threaded = ShardedHistogram(universe, weights, num_shards=5,
+                                    workers=3)
+        np.testing.assert_array_equal(
+            sequential.multiplicative_update(direction, 0.5).weights,
+            threaded.multiplicative_update(direction, 0.5).weights,
+        )
+        assert threaded.dot(direction) == pytest.approx(
+            sequential.dot(direction))
+
+
+class TestSampling:
+    def test_empirical_law(self, sharded, weights):
+        sample = sharded.sample_indices(200_000, rng=5)
+        empirical = np.bincount(sample, minlength=weights.size) / sample.size
+        assert np.abs(empirical - weights).sum() < 0.2
+
+    def test_zero_mass_shards_unreachable(self, universe):
+        weights = np.zeros(universe.size)
+        weights[100:120] = 1.0  # support confined to one region
+        hist = ShardedHistogram(universe, weights, num_shards=7)
+        sample = hist.sample_indices(5_000, rng=6)
+        assert sample.min() >= 100
+        assert sample.max() < 120
+
+    def test_interior_zero_weight_never_sampled(self, universe):
+        weights = np.ones(universe.size)
+        weights[200:400] = 0.0
+        hist = ShardedHistogram(universe, weights, num_shards=4)
+        sample = hist.sample_indices(20_000, rng=7)
+        assert not np.any((sample >= 200) & (sample < 400))
+
+    def test_negative_n_rejected(self, sharded):
+        with pytest.raises(ValidationError):
+            sharded.sample_indices(-1)
+
+
+class TestHypothesisHistogram:
+    def test_dense_by_default(self, universe):
+        hist = hypothesis_histogram(universe)
+        assert type(hist) is Histogram
+        np.testing.assert_allclose(hist.weights, 1.0 / universe.size)
+
+    def test_sharded_when_asked(self, universe):
+        hist = hypothesis_histogram(universe, shards=4, workers=2)
+        assert isinstance(hist, ShardedHistogram)
+        assert hist.num_shards == 4
+        assert hist.workers == 2
+
+    def test_restores_given_weights(self, universe, weights):
+        hist = hypothesis_histogram(universe, weights, shards=3)
+        np.testing.assert_allclose(hist.weights, weights / weights.sum())
+
+    def test_workers_without_shards_rejected(self, universe):
+        # Regression: workers without shards would silently build the
+        # sequential dense path, making histogram_workers= a no-op.
+        with pytest.raises(ValidationError, match="shards"):
+            hypothesis_histogram(universe, workers=4)

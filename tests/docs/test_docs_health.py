@@ -1,0 +1,58 @@
+"""Tier-1 enforcement of the docs health check (tools/check_docs.py).
+
+CI runs the checker as its own job; this test runs the same code in the
+tier-1 suite so a broken docs link or a stale fenced example fails fast
+locally too.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_files_exist():
+    files = check_docs.documentation_files()
+    names = {path.name for path in files}
+    assert {"architecture.md", "serve.md", "engine.md",
+            "benchmarks.md", "README.md"} <= names
+
+
+def test_links_and_examples_pass(capsys):
+    assert check_docs.main() == 0
+    out = capsys.readouterr().out
+    assert "links resolve, examples pass" in out
+
+
+def test_broken_link_detected(tmp_path):
+    doc = tmp_path / "broken.md"
+    doc.write_text("see [missing](does-not-exist.md)")
+    failures = check_docs.check_links(doc, doc.read_text())
+    assert len(failures) == 1
+    assert "does-not-exist.md" in failures[0]
+
+
+def test_failing_doctest_detected(tmp_path):
+    doc = tmp_path / "stale.md"
+    doc.write_text("```python\n>>> 1 + 1\n3\n```\n")
+    failures = check_docs.check_fences(doc, doc.read_text())
+    assert len(failures) == 1
+
+
+def test_syntax_error_detected(tmp_path):
+    doc = tmp_path / "bad.md"
+    doc.write_text("```python\ndef broken(:\n```\n")
+    failures = check_docs.check_fences(doc, doc.read_text())
+    assert len(failures) == 1
+    assert "syntax error" in failures[0]
+
+
+def test_external_links_skipped(tmp_path):
+    doc = tmp_path / "ext.md"
+    doc.write_text("[x](https://example.com/nope) [y](#anchor)")
+    assert check_docs.check_links(doc, doc.read_text()) == []

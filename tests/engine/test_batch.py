@@ -1,0 +1,203 @@
+"""Batch compilation, grouping, and scalar-path agreement."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification_dataset
+from repro.engine import (
+    batch_answers,
+    batch_data_minima,
+    batch_loss_on,
+    compile_batch,
+)
+from repro.exceptions import ValidationError
+from repro.losses.base import LossFunction
+from repro.losses.families import (
+    linear_queries_as_cm,
+    random_hinge_family,
+    random_linear_queries,
+    random_logistic_family,
+    random_quadratic_family,
+    random_squared_family,
+)
+from repro.optimize.minimize import minimize_loss
+from repro.optimize.projections import L2Ball
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=2_000, d=4, universe_size=150,
+                                       rng=0)
+
+
+@pytest.fixture(scope="module")
+def histogram(task):
+    return task.dataset.histogram()
+
+
+def _thetas(losses, rng_seed=1):
+    rng = np.random.default_rng(rng_seed)
+    return [rng.standard_normal(loss.domain.dim) * 0.3 for loss in losses]
+
+
+class TestGrouping:
+    def test_families_grouped_separately(self, task):
+        queries = random_linear_queries(task.universe, 2, rng=1)
+        losses = (linear_queries_as_cm(queries)
+                  + random_logistic_family(task.universe, 2, rng=2)
+                  + random_squared_family(task.universe, 2, rng=3)
+                  + random_quadratic_family(task.universe, 1, rng=4))
+        batch = compile_batch(losses)
+        kinds = sorted(batch.group_kinds)
+        assert kinds == ["fallback", "glm", "glm", "linear-cm"]
+        assert len(batch) == len(losses)
+
+    def test_squared_normalizations_do_not_mix(self, task):
+        a = random_squared_family(task.universe, 2, rng=5,
+                                  normalization=0.25)
+        b = random_squared_family(task.universe, 2, rng=6,
+                                  normalization=0.125)
+        batch = compile_batch(a + b)
+        assert batch.group_kinds.count("glm") == 2
+
+    def test_subclass_takes_fallback(self, task):
+        class TweakedLogistic(random_logistic_family(task.universe, 1,
+                                                     rng=7)[0].__class__):
+            pass
+
+        loss = TweakedLogistic(L2Ball(task.universe.dim))
+        assert compile_batch([loss]).group_kinds == ["fallback"]
+
+
+class TestLossValues:
+    @pytest.mark.parametrize("family,seed", [
+        (random_logistic_family, 10),
+        (random_squared_family, 11),
+        (random_hinge_family, 12),
+        (random_quadratic_family, 13),
+    ])
+    def test_matches_scalar_loss_on(self, task, histogram, family, seed):
+        losses = family(task.universe, 6, rng=seed)
+        thetas = _thetas(losses, seed)
+        batched = batch_loss_on(losses, thetas, histogram)
+        scalar = [loss.loss_on(theta, histogram)
+                  for loss, theta in zip(losses, thetas)]
+        np.testing.assert_allclose(batched, scalar, atol=1e-10)
+
+    def test_mixed_batch_preserves_order(self, task, histogram):
+        losses = (random_logistic_family(task.universe, 3, rng=14)
+                  + linear_queries_as_cm(
+                      random_linear_queries(task.universe, 3, rng=15))
+                  + random_squared_family(task.universe, 3, rng=16))
+        thetas = _thetas(losses, 17)
+        batched = batch_loss_on(losses, thetas, histogram)
+        scalar = [loss.loss_on(theta, histogram)
+                  for loss, theta in zip(losses, thetas)]
+        np.testing.assert_allclose(batched, scalar, atol=1e-10)
+
+    def test_theta_count_mismatch(self, task, histogram):
+        losses = random_logistic_family(task.universe, 2, rng=18)
+        with pytest.raises(ValidationError, match="thetas"):
+            batch_loss_on(losses, _thetas(losses)[:1], histogram)
+
+    def test_linear_queries_rejected(self, task, histogram):
+        queries = random_linear_queries(task.universe, 2, rng=19)
+        with pytest.raises(ValidationError, match="linear_answers"):
+            batch_loss_on(queries, [np.zeros(1)] * 2, histogram)
+
+
+class TestLinearAnswers:
+    def test_matches_scalar(self, task, histogram):
+        queries = random_linear_queries(task.universe, 9, rng=20)
+        batched = batch_answers(queries, histogram)
+        scalar = [histogram.dot(query.table) for query in queries]
+        np.testing.assert_allclose(batched, scalar, atol=1e-12)
+
+    def test_cm_losses_rejected(self, task, histogram):
+        losses = random_logistic_family(task.universe, 2, rng=21)
+        with pytest.raises(ValidationError, match="LinearQuery"):
+            batch_answers(losses, histogram)
+
+
+class TestDataMinima:
+    def test_linear_cm_closed_form(self, task, histogram):
+        losses = linear_queries_as_cm(
+            random_linear_queries(task.universe, 5, rng=22))
+        batched = batch_data_minima(losses, histogram)
+        for loss, result in zip(losses, batched):
+            scalar = minimize_loss(loss, histogram)
+            np.testing.assert_allclose(result.theta, scalar.theta,
+                                       atol=1e-10)
+            assert result.value == pytest.approx(scalar.value, abs=1e-10)
+            assert result.exact
+
+    def test_squared_shared_moments(self, task, histogram):
+        losses = random_squared_family(task.universe, 5, rng=23)
+        batched = batch_data_minima(losses, histogram)
+        for loss, result in zip(losses, batched):
+            scalar = minimize_loss(loss, histogram)
+            np.testing.assert_allclose(result.theta, scalar.theta,
+                                       atol=1e-10)
+            assert result.value == pytest.approx(scalar.value, abs=1e-10)
+
+    def test_fallback_families_use_solver(self, task, histogram):
+        losses = random_logistic_family(task.universe, 3, rng=24)
+        batched = batch_data_minima(losses, histogram, solver_steps=80)
+        for loss, result in zip(losses, batched):
+            scalar = minimize_loss(loss, histogram, steps=80)
+            np.testing.assert_allclose(result.theta, scalar.theta,
+                                       atol=1e-10)
+
+    def test_value_is_loss_at_theta(self, task, histogram):
+        losses = random_squared_family(task.universe, 4, rng=25)
+        for loss, result in zip(losses, batch_data_minima(losses,
+                                                          histogram)):
+            direct = loss.loss_on(result.theta, histogram)
+            assert result.value == pytest.approx(direct, abs=1e-10)
+
+
+class TestFallbackContract:
+    def test_unknown_loss_still_evaluates(self, task, histogram):
+        class OddLoss(LossFunction):
+            def values(self, theta, universe):
+                return np.abs(universe.points @ theta)
+
+            def gradients(self, theta, universe):
+                signs = np.sign(universe.points @ theta)
+                return signs[:, None] * universe.points
+
+        loss = OddLoss(L2Ball(task.universe.dim), name="odd")
+        theta = np.full(task.universe.dim, 0.1)
+        batched = batch_loss_on([loss], [theta], histogram)
+        assert batched[0] == pytest.approx(loss.loss_on(theta, histogram))
+
+
+class TestErrorContractParity:
+    def test_unlabeled_universe_raises_loss_specification_error(self):
+        from repro.data.builders import random_ball_net
+        from repro.data.dataset import Dataset
+        from repro.exceptions import LossSpecificationError
+        from repro.losses.squared import SquaredLoss
+
+        universe = random_ball_net(3, 50, rng=0)  # no labels
+        histogram = Dataset.uniform_random(universe, 100, rng=1).histogram()
+        loss = SquaredLoss(L2Ball(3))
+        theta = np.zeros(3)
+        with pytest.raises(LossSpecificationError, match="label"):
+            loss.loss_on(theta, histogram)  # the scalar contract
+        with pytest.raises(LossSpecificationError, match="label"):
+            batch_loss_on([loss], [theta], histogram)  # batching keeps it
+
+
+class TestCompiledBatchReuse:
+    def test_squared_tables_computed_once(self, task, histogram):
+        losses = linear_queries_as_cm(
+            random_linear_queries(task.universe, 4, rng=30))
+        batch = compile_batch(losses)
+        thetas = [np.array([0.3])] * 4
+        batch.loss_values(thetas, histogram)
+        group = batch._groups[0]
+        cached = group.squared_tables()
+        batch.loss_values(thetas, histogram)
+        batch.data_minima(histogram)
+        assert group.squared_tables() is cached  # reused, not rebuilt

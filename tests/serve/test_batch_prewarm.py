@@ -1,0 +1,71 @@
+"""Serving-layer engine integration: batch lanes are engine-prewarmed."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_classification_dataset
+from repro.losses.families import random_squared_family
+from repro.serve.planner import plan_batch
+from repro.serve.service import PMWService
+
+PARAMS = dict(scale=2.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+              max_updates=5, solver_steps=60, oracle="non-private")
+
+
+@pytest.fixture
+def task():
+    return make_classification_dataset(n=2_000, d=3, universe_size=80,
+                                       rng=0)
+
+
+@pytest.fixture
+def losses(task):
+    return random_squared_family(task.universe, 8, rng=1)
+
+
+def test_batch_serving_prewarms_mechanism_cache(task, losses):
+    service = PMWService(task.dataset, rng=2)
+    sid = service.open_session("pmw-convex", **PARAMS)
+    service.answer_batch((sid, losses))
+    mechanism = service.session(sid).mechanism
+    # every distinct loss in the lane hit the batched data-minima pass
+    for loss in losses:
+        assert loss.fingerprint() in mechanism._data_minima
+
+
+def test_batch_serving_matches_sequential_submits(task, losses):
+    batched = PMWService(task.dataset, rng=3)
+    sid_b = batched.open_session("pmw-convex", **PARAMS)
+    batch_results = batched.answer_batch((sid_b, losses))
+
+    sequential = PMWService(task.dataset, rng=3)
+    sid_s = sequential.open_session("pmw-convex", **PARAMS)
+    seq_results = [sequential.submit(sid_s, loss, on_halt="hypothesis")
+                   for loss in losses]
+
+    for a, b in zip(batch_results, seq_results):
+        assert a.source == b.source
+        np.testing.assert_allclose(np.asarray(a.value),
+                                   np.asarray(b.value), atol=1e-10)
+
+
+def test_plan_mechanism_lane_preserves_order(task, losses):
+    service = PMWService(task.dataset, rng=4)
+    sid = service.open_session("pmw-convex", **PARAMS)
+    session = service.session(sid)
+    stream = [losses[0], losses[1], losses[0], losses[2]]
+    plan = plan_batch(session, stream)
+    lane = plan.mechanism_lane(stream)
+    assert lane == [losses[0], losses[1], losses[2]]
+
+
+def test_session_prewarm_noop_for_linear(task):
+    from repro.losses.families import random_linear_queries
+
+    service = PMWService(task.dataset, rng=5)
+    sid = service.open_session("pmw-linear", alpha=0.2, epsilon=2.0,
+                               max_updates=10)
+    queries = random_linear_queries(task.universe, 4, rng=6)
+    assert service.session(sid).prewarm(queries) == 0
+    results = service.answer_batch((sid, queries))
+    assert len(results) == 4
