@@ -1,0 +1,387 @@
+"""E18 — the versioned log-domain hypothesis core in the PMW hot loop.
+
+PR 2's engine made *query evaluation* batched; the remaining per-round
+cost was the update/answer loop itself: a fresh log/exp/normalize
+histogram per MW update, a cold 400-step hypothesis solve per round, and
+wholesale cache invalidation. This benchmark measures the versioned-core
+claims the PR is gated on:
+
+1. **end-to-end update-heavy PMW-CM** (the ≥3x bar, |X| = 10^5) — a
+   cycling query stream against a concentrated dataset that forces the
+   full MW update budget (``noise_multiplier=0`` makes the update
+   pattern deterministic), run with ``versioned_core=True`` vs the
+   legacy immutable path. The versioned run replays repeated
+   ``(fingerprint, version)`` rounds from cache and accumulates updates
+   in place; answers agree to float reassociation;
+2. **log-domain core micro** — in-place ``log w += eta·u`` with lazy
+   normalization vs one immutable ``multiplicative_update`` per round,
+   with a ``dot`` read per round forcing materialization;
+3. **update-heavy PMW-linear stream** — in-place core + version-stamped
+   batch evaluator vs the legacy immutable hypothesis, both through
+   ``answer_all``;
+4. **warm-started hypothesis solve** — a post-update logistic solve
+   seeded from the previous round's minimizer at a quarter of the step
+   budget vs a cold solve.
+
+Results are archived as text (``benchmarks/results/e18.txt``) and as
+machine-readable JSON (``benchmarks/results/BENCH_hot_loop.json``) so the
+perf trajectory is trackable across PRs.
+
+Run standalone (``python benchmarks/bench_hot_loop.py``), in CI smoke
+mode (``python benchmarks/bench_hot_loop.py --smoke`` — small sizes,
+asserts the end-to-end speedup ≥ 1.5x), or via pytest
+(``pytest benchmarks/bench_hot_loop.py -s``).
+"""
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data.builders import interval_grid, random_ball_net
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.data.log_histogram import LogHistogram
+from repro.erm.oracle import NonPrivateOracle
+from repro.experiments.report import ExperimentReport
+from repro.losses.families import random_logistic_family, \
+    random_quadratic_family
+from repro.losses.linear import LinearQuery
+from repro.optimize.minimize import minimize_loss
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+JSON_NAME = "BENCH_hot_loop.json"
+
+#: The regression bars: full mode runs at |X| >= 1e5 and must clear 3x;
+#: smoke mode (CI) runs small and must clear 1.5x.
+FULL_BAR = 3.0
+SMOKE_BAR = 1.5
+
+FULL_SIZES = dict(universe_size=100_000, solver_steps=100, repeats=24)
+SMOKE_SIZES = dict(universe_size=20_000, solver_steps=60, repeats=24)
+
+
+def _best_of(repeats, fn):
+    """Best-of-N wall time (and the last return value, for checks)."""
+    best, value = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def concentrated_task(universe_size, *, d=8, n=20_000, rng=1):
+    """A ball-net universe with 85% of the data mass on its farthest
+    point: the uniform starting hypothesis errs badly, so the stream
+    deterministically burns the whole MW update budget."""
+    universe = random_ball_net(d, universe_size, rng=0)
+    generator = np.random.default_rng(rng)
+    anchor = int(np.argmax(np.linalg.norm(universe.points, axis=1)))
+    n_anchor = int(0.85 * n)
+    indices = np.concatenate([
+        np.full(n_anchor, anchor),
+        generator.choice(universe_size, size=n - n_anchor),
+    ])
+    return Dataset(universe, indices)
+
+
+def cm_hot_loop(universe_size, *, distinct=8, repeats=24, solver_steps=100,
+                max_updates=12, alpha=0.15, timing_repeats=3):
+    """Section 1: the end-to-end update-heavy PMW-CM answer loop."""
+    dataset = concentrated_task(universe_size)
+    losses = random_quadratic_family(dataset.universe, distinct, rng=2)
+    stream = losses * repeats
+    scale = max(loss.scale_bound() for loss in losses)
+    params = dict(scale=scale, alpha=alpha, epsilon=2.0, delta=1e-6,
+                  max_updates=max_updates, solver_steps=solver_steps,
+                  noise_multiplier=0.0)
+
+    def run(versioned):
+        mechanism = PrivateMWConvex(
+            dataset, NonPrivateOracle(solver_steps=solver_steps), rng=3,
+            versioned_core=versioned, **params)
+        answers = mechanism.answer_all(stream, on_halt="hypothesis",
+                                       prewarm=True)
+        return answers, mechanism.updates_performed
+
+    versioned_seconds, (versioned_answers, versioned_updates) = _best_of(
+        timing_repeats, lambda: run(True))
+    legacy_seconds, (legacy_answers, legacy_updates) = _best_of(
+        timing_repeats, lambda: run(False))
+    return {
+        "universe": universe_size, "queries": len(stream),
+        "distinct": distinct, "updates": versioned_updates,
+        "legacy_updates": legacy_updates,
+        "versioned_seconds": versioned_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": legacy_seconds / versioned_seconds,
+        "max_divergence": max(
+            float(np.max(np.abs(a.theta - b.theta)))
+            for a, b in zip(versioned_answers, legacy_answers)),
+    }
+
+
+def core_update_micro(universe_size, *, rounds=50, timing_repeats=3):
+    """Section 2: the raw MW accumulation, one dot read per round."""
+    rng = np.random.default_rng(4)
+    universe = interval_grid(universe_size)
+    directions = [rng.uniform(-1.0, 1.0, universe_size)
+                  for _ in range(rounds)]
+    probe = rng.random(universe_size)
+
+    def immutable_chain():
+        hist = Histogram.uniform(universe)
+        total = 0.0
+        for direction in directions:
+            hist = hist.multiplicative_update(direction, 0.05)
+            total += hist.dot(probe)
+        return hist, total
+
+    def log_domain_chain():
+        core = LogHistogram.uniform(universe)
+        total = 0.0
+        for direction in directions:
+            core.apply_update(direction, 0.05)
+            total += core.dot(probe)
+        return core, total
+
+    immutable_seconds, (immutable, _) = _best_of(timing_repeats,
+                                                 immutable_chain)
+    core_seconds, (core, _) = _best_of(timing_repeats, log_domain_chain)
+    return {
+        "universe": universe_size, "rounds": rounds,
+        "immutable_seconds": immutable_seconds,
+        "core_seconds": core_seconds,
+        "speedup": immutable_seconds / core_seconds,
+        "max_divergence": float(np.max(np.abs(
+            core.weights - immutable.weights))),
+    }
+
+
+def linear_hot_loop(universe_size, *, k=64, timing_repeats=3):
+    """Section 3: an update-heavy PMW-linear stream through answer_all."""
+    universe = interval_grid(universe_size)
+    rng = np.random.default_rng(5)
+    n = 20_000
+    anchored = int(0.8 * n)
+    indices = np.concatenate([
+        np.zeros(anchored, dtype=int),
+        rng.choice(universe_size, size=n - anchored),
+    ])
+    dataset = Dataset(universe, indices)
+    # Interval queries over a concentrated dataset: the uniform
+    # hypothesis over/under-counts nearly all of them, forcing updates.
+    queries = []
+    for index in range(k):
+        table = np.zeros(universe_size)
+        start = (index * universe_size // k)
+        table[start:start + universe_size // 4] = 1.0
+        queries.append(LinearQuery(table, name=f"interval-{index}"))
+
+    def run(versioned):
+        mechanism = PrivateMWLinear(
+            dataset, alpha=0.1, epsilon=2.0, delta=1e-6, max_updates=24,
+            noise_multiplier=0.0, versioned_core=versioned, rng=6)
+        answers = mechanism.answer_all(queries * 3, on_halt="hypothesis")
+        return answers, mechanism.updates_performed
+
+    versioned_seconds, (versioned_answers, updates) = _best_of(
+        timing_repeats, lambda: run(True))
+    legacy_seconds, (legacy_answers, _) = _best_of(
+        timing_repeats, lambda: run(False))
+    return {
+        "universe": universe_size, "queries": 3 * k, "updates": updates,
+        "versioned_seconds": versioned_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": legacy_seconds / versioned_seconds,
+        "max_divergence": max(
+            abs(a.value - b.value)
+            for a, b in zip(versioned_answers, legacy_answers)),
+    }
+
+
+def warm_start_solve(universe_size, *, solver_steps=200, timing_repeats=3):
+    """Section 4: warm-started post-update hypothesis solve (logistic)."""
+    from repro.data.synthetic import make_classification_dataset
+
+    task = make_classification_dataset(n=4_000, d=8,
+                                       universe_size=universe_size, rng=7)
+    loss = random_logistic_family(task.universe, 1, rng=8)[0]
+    core = LogHistogram.uniform(task.universe)
+    previous = minimize_loss(loss, core.freeze(), steps=solver_steps)
+    rng = np.random.default_rng(9)
+    core.apply_update(rng.uniform(-1.0, 1.0, task.universe.size), 0.1)
+    moved = core.freeze()
+
+    cold_seconds, cold = _best_of(
+        timing_repeats, lambda: minimize_loss(loss, moved,
+                                              steps=solver_steps))
+    warm_steps = max(25, solver_steps // 4)
+    warm_seconds, warm = _best_of(
+        timing_repeats, lambda: minimize_loss(loss, moved, steps=warm_steps,
+                                              start=previous.theta))
+    return {
+        "universe": task.universe.size, "cold_steps": solver_steps,
+        "warm_steps": warm_steps,
+        "cold_seconds": cold_seconds, "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds,
+        "objective_gap": float(warm.value - cold.value),
+    }
+
+
+# -- assembly -----------------------------------------------------------------
+
+
+def build_results(*, smoke=False):
+    sizes = SMOKE_SIZES if smoke else FULL_SIZES
+    cm = cm_hot_loop(sizes["universe_size"], repeats=sizes["repeats"],
+                     solver_steps=sizes["solver_steps"])
+    micro = core_update_micro(2 * sizes["universe_size"])
+    linear = linear_hot_loop(2 * sizes["universe_size"])
+    warm = warm_start_solve(max(10_000, sizes["universe_size"] // 4),
+                            solver_steps=2 * sizes["solver_steps"])
+    return {
+        "benchmark": "hot_loop",
+        "mode": "smoke" if smoke else "full",
+        "bar": SMOKE_BAR if smoke else FULL_BAR,
+        "cm_hot_loop": cm,
+        "core_update_micro": micro,
+        "linear_hot_loop": linear,
+        "warm_start_solve": warm,
+    }
+
+
+def build_report(results):
+    report = ExperimentReport("E18 versioned log-domain hypothesis core")
+    cm = results["cm_hot_loop"]
+    report.add_table(
+        ["|X|", "queries", "distinct", "updates", "legacy s",
+         "versioned s", "speedup", "max |diff|"],
+        [[cm["universe"], cm["queries"], cm["distinct"], cm["updates"],
+          cm["legacy_seconds"], cm["versioned_seconds"], cm["speedup"],
+          cm["max_divergence"]]],
+        title="end-to-end update-heavy PMW-CM: versioned core + round "
+              "cache + warm starts vs immutable path "
+              f"(bar: >= {results['bar']}x)",
+    )
+    micro = results["core_update_micro"]
+    report.add_table(
+        ["|X|", "rounds", "immutable s", "log-domain s", "speedup",
+         "max |diff|"],
+        [[micro["universe"], micro["rounds"], micro["immutable_seconds"],
+          micro["core_seconds"], micro["speedup"],
+          micro["max_divergence"]]],
+        title="MW accumulation micro: in-place log-domain update + lazy "
+              "normalize vs immutable update (one dot read per round)",
+    )
+    linear = results["linear_hot_loop"]
+    report.add_table(
+        ["|X|", "queries", "updates", "legacy s", "versioned s", "speedup",
+         "max |diff|"],
+        [[linear["universe"], linear["queries"], linear["updates"],
+          linear["legacy_seconds"], linear["versioned_seconds"],
+          linear["speedup"], linear["max_divergence"]]],
+        title="update-heavy PMW-linear stream: in-place core + versioned "
+              "batch evaluator vs immutable hypothesis",
+    )
+    warm = results["warm_start_solve"]
+    report.add_table(
+        ["|X|", "cold steps", "warm steps", "cold s", "warm s", "speedup",
+         "objective gap"],
+        [[warm["universe"], warm["cold_steps"], warm["warm_steps"],
+          warm["cold_seconds"], warm["warm_seconds"], warm["speedup"],
+          warm["objective_gap"]]],
+        title="post-update hypothesis solve: warm-started quarter-budget "
+              "vs cold full-budget (logistic)",
+    )
+    return report
+
+
+def write_json(results, path=None):
+    """Archive machine-readable results (perf trajectory across PRs)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if path is None:
+        name = JSON_NAME if results["mode"] == "full" \
+            else JSON_NAME.replace(".json", ".smoke.json")
+        path = RESULTS_DIR / name
+    payload = dict(results)
+    payload["speedups"] = {
+        section: results[section]["speedup"]
+        for section in ("cm_hot_loop", "core_update_micro",
+                        "linear_hot_loop", "warm_start_solve")
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return path
+
+
+def check_bars(results):
+    """The assertions both pytest and the CI smoke job enforce."""
+    cm = results["cm_hot_loop"]
+    bar = results["bar"]
+    assert cm["updates"] >= 8, (
+        f"the stream must be update-heavy; only {cm['updates']} updates ran"
+    )
+    assert cm["updates"] == cm["legacy_updates"], (
+        "versioned and legacy paths took different update patterns"
+    )
+    assert cm["speedup"] >= bar, (
+        f"end-to-end hot loop speedup {cm['speedup']:.2f}x is below the "
+        f"{bar}x bar at |X|={cm['universe']}"
+    )
+    assert cm["max_divergence"] < 1e-9
+    assert results["core_update_micro"]["max_divergence"] < 1e-10
+    assert results["linear_hot_loop"]["max_divergence"] < 1e-10
+
+
+# -- pytest entry points ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def results():
+    return build_results()
+
+
+def test_e18_report(results, save_report):
+    text = save_report(build_report(results))
+    assert "versioned log-domain" in text
+
+
+def test_e18_cm_hot_loop_at_least_3x(results):
+    check_bars(results)
+
+
+def test_e18_json_artifact(results):
+    path = write_json(results)
+    payload = json.loads(pathlib.Path(path).read_text())
+    assert payload["speedups"]["cm_hot_loop"] >= FULL_BAR
+    assert payload["mode"] == "full"
+
+
+# -- standalone / CI ----------------------------------------------------------
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    outcome = build_results(smoke=smoke)
+    print(build_report(outcome).render())
+    json_path = write_json(outcome)
+    print(f"machine-readable results -> {json_path}")
+    if not smoke:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "e18.txt").write_text(
+            build_report(outcome).render())
+    check_bars(outcome)
+    cm_speedup = outcome["cm_hot_loop"]["speedup"]
+    print(f"OK: hot-loop speedup {cm_speedup:.2f}x >= {outcome['bar']}x "
+          f"({outcome['mode']} mode)")

@@ -60,10 +60,18 @@ def _stream(universe, distinct=DISTINCT_LOSSES, repeats=REPEATS, rng=0):
 
 
 def _naive_time(task, stream):
-    """Per-query answer() on a bare mechanism (hypothesis fallback on halt)."""
+    """Per-query answer() on a bare mechanism (hypothesis fallback on halt).
+
+    Pinned to the legacy immutable path (``versioned_core=False``): this
+    baseline represents the pre-serving-layer behaviour E16's bar was
+    recorded against. The versioned core's own round cache makes even the
+    bare mechanism replay duplicates (that gain is measured by E18,
+    ``bench_hot_loop.py``); leaving it on here would fold E18's win into
+    the baseline and understate the serving layer's contribution.
+    """
     mechanism = PrivateMWConvex(
         task.dataset, NonPrivateOracle(solver_steps=60), rng=3,
-        **MECHANISM_PARAMS,
+        versioned_core=False, **MECHANISM_PARAMS,
     )
     start = time.perf_counter()
     mechanism.answer_all(stream, on_halt="hypothesis")

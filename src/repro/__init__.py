@@ -52,6 +52,7 @@ from repro.core import (
 from repro.data import (
     Dataset,
     Histogram,
+    LogHistogram,
     ShardedHistogram,
     Universe,
     binary_cube,
@@ -122,7 +123,8 @@ __all__ = [
     "PMWConfig", "answer_error", "database_error", "dual_certificate",
     "theory",
     # data
-    "Universe", "Histogram", "ShardedHistogram", "Dataset", "binary_cube",
+    "Universe", "Histogram", "LogHistogram", "ShardedHistogram", "Dataset",
+    "binary_cube",
     "signed_cube",
     "random_ball_net", "labeled_universe", "make_regression_dataset",
     "make_classification_dataset",

@@ -20,9 +20,11 @@ from repro.core.accuracy import (
 from repro.core.config import PMWConfig
 from repro.core.update import (
     UpdateCertificate,
+    certificate_inner_gap,
     claim_3_5_slack,
     dual_certificate,
     mw_step,
+    mw_step_inplace,
 )
 from repro.core.pmw_cm import PMWAnswer, PrivateMWConvex
 from repro.core.offline import OfflineMWConvex, OfflineResult
@@ -46,7 +48,9 @@ __all__ = [
     "UpdateCertificate",
     "dual_certificate",
     "mw_step",
+    "mw_step_inplace",
     "claim_3_5_slack",
+    "certificate_inner_gap",
     "answer_error",
     "database_error",
     "DatabaseErrorBreakdown",

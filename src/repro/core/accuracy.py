@@ -52,6 +52,7 @@ def answer_error(loss: LossFunction, data: Histogram, theta: np.ndarray,
 def database_error(loss: LossFunction, data: Histogram, hypothesis: Histogram,
                    *, solver_steps: int = 400,
                    data_result: MinimizeResult | None = None,
+                   hypothesis_result: MinimizeResult | None = None,
                    ) -> DatabaseErrorBreakdown:
     """Definition 2.3: ``err_l(D, D')`` with its intermediate quantities.
 
@@ -59,11 +60,15 @@ def database_error(loss: LossFunction, data: Histogram, hypothesis: Histogram,
     minimizer ``theta_hat`` again for the dual-certificate update, and
     tests assert relationships between the parts. ``data_result`` lets
     callers reuse the data-side minimization (it only depends on
-    ``(loss, data)``, both fixed across a mechanism's lifetime).
+    ``(loss, data)``, both fixed across a mechanism's lifetime);
+    ``hypothesis_result`` likewise supplies an already-computed
+    ``theta_hat`` — e.g. from a ``(fingerprint, hypothesis version)``
+    cache, or a warm-started solve the caller ran itself (see
+    ``PrivateMWConvex._minimize_on_hypothesis``).
     """
-    hypothesis_result: MinimizeResult = minimize_loss(
-        loss, hypothesis, steps=solver_steps
-    )
+    if hypothesis_result is None:
+        hypothesis_result = minimize_loss(loss, hypothesis,
+                                          steps=solver_steps)
     if data_result is None:
         data_result = minimize_loss(loss, data, steps=solver_steps)
     loss_on_data = float(loss.loss_on(hypothesis_result.theta, data))

@@ -25,11 +25,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.accuracy import database_error
+from repro.core.accuracy import DatabaseErrorBreakdown, database_error
 from repro.core.config import PMWConfig
-from repro.core.update import dual_certificate, mw_step
+from repro.core.update import dual_certificate, mw_step, mw_step_inplace
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
+from repro.data.log_histogram import LogHistogram, hypothesis_core
 from repro.data.sharded import hypothesis_histogram
 from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import PrivacyParameters, advanced_composition
@@ -79,6 +80,13 @@ class PrivateMWConvex:
         LRU bound on the per-mechanism cache of data-side minimizations
         (one entry per distinct loss fingerprint). Eviction only costs a
         recomputation; correctness is unaffected.
+    ROUND_CACHE_LIMIT:
+        LRU bound on the per-round breakdown cache, keyed by
+        ``(loss fingerprint, hypothesis version)``. A repeated query at
+        an unchanged hypothesis replays the whole round evaluation —
+        solver, loss-on-data pass, error query — from this cache. The
+        cache is cleared on every MW update (all entries are for a stale
+        version by construction).
 
     Parameters
     ----------
@@ -103,12 +111,33 @@ class PrivateMWConvex:
     noise_multiplier:
         Forwarded to the sparse vector; values below 1 void the formal
         privacy guarantee (ablations only).
+    versioned_core:
+        ``True`` (default) keeps the hypothesis in the version-stamped
+        log-domain accumulator (:class:`~repro.data.log_histogram.LogHistogram`):
+        MW updates are in-place accumulations, repeated queries at an
+        unchanged version replay their full round evaluation from cache,
+        and hypothesis-side solves warm-start from the previous round.
+        ``False`` is the legacy immutable-histogram path (one fresh
+        histogram and one cold solve per round) — kept for ablations and
+        the hot-loop benchmark baseline.
+    warm_start:
+        With the versioned core, seed each hypothesis-side solve from the
+        same query's previous minimizer at a reduced step budget
+        (``solver_steps // 4``, at least 25). Purely an inner-solver
+        change: answers remain valid minimizers, just reached cheaper.
     rng:
         Seed or generator; split into independent streams for the sparse
         vector and the oracle.
     """
 
     DATA_MINIMA_LIMIT = 1024
+    ROUND_CACHE_LIMIT = 256
+    #: How many versions old a warm start may be and still justify the
+    #: reduced step budget. One MW step moves the hypothesis by at most
+    #: O(eta) in total variation; across many steps that bound (and the
+    #: near-solution argument with it) decays, so staler starts keep the
+    #: full budget (still seeded — a start can only improve best-seen).
+    WARM_STALENESS_LIMIT = 4
 
     def __init__(self, dataset: Dataset, oracle: SingleQueryOracle, *,
                  scale: float, alpha: float, beta: float = 0.05,
@@ -116,7 +145,9 @@ class PrivateMWConvex:
                  schedule: str = "calibrated", max_updates: int | None = None,
                  solver_steps: int = 400, noise_multiplier: float = 1.0,
                  shards: int | None = None,
-                 histogram_workers: int | None = None, rng=None) -> None:
+                 histogram_workers: int | None = None,
+                 versioned_core: bool = True, warm_start: bool = True,
+                 rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()  # private: never released
         self.config = PMWConfig.from_targets(
@@ -145,8 +176,37 @@ class PrivateMWConvex:
                                           self.config.oracle_delta)
         self.shards = shards
         self.histogram_workers = histogram_workers
-        self._hypothesis = hypothesis_histogram(
-            dataset.universe, shards=shards, workers=histogram_workers)
+        self.versioned_core = bool(versioned_core)
+        self.warm_start = bool(warm_start) and self.versioned_core
+        self.warm_solver_steps = max(1, min(self.solver_steps,
+                                            max(25, self.solver_steps // 4)))
+        if self.versioned_core:
+            self._core: LogHistogram | None = hypothesis_core(
+                dataset.universe, shards=shards, workers=histogram_workers)
+            self._hypothesis = None
+        else:
+            self._core = None
+            self._hypothesis = hypothesis_histogram(
+                dataset.universe, shards=shards, workers=histogram_workers)
+        # Whole-round evaluations keyed by (loss fingerprint, hypothesis
+        # version): a no-update round re-asking a known query skips the
+        # hypothesis solve, the loss-on-data pass, and the error query
+        # entirely. Cleared on every update (the version moved).
+        self._round_cache: OrderedDict[tuple[str, int],
+                                       DatabaseErrorBreakdown] = OrderedDict()
+        # Hypothesis-side solves alone, same keying: also hit by
+        # hypothesis-only answers (post-halt streams), which never build
+        # a full round breakdown.
+        self._hypothesis_minima: OrderedDict[tuple[str, int],
+                                             MinimizeResult] = OrderedDict()
+        # Previous hypothesis-side minimizer per fingerprint, stored with
+        # the version it was solved at; used to warm-start later solves
+        # (survives updates — that is the point: the hypothesis moves
+        # little per MW step). The reduced step budget applies only when
+        # the start is at most WARM_STALENESS_LIMIT versions old;
+        # staler starts still seed the solver but keep the full budget.
+        self._warm_starts: OrderedDict[str,
+                                       tuple[int, np.ndarray]] = OrderedDict()
         self._answers: list[PMWAnswer] = []
         self._updates = 0
         self._history: list[dict] = []
@@ -165,8 +225,29 @@ class PrivateMWConvex:
 
     @property
     def hypothesis(self) -> Histogram:
-        """The current public hypothesis ``Dhat_t`` (safe to release)."""
+        """The current public hypothesis ``Dhat_t`` (safe to release).
+
+        With the versioned core this is a frozen (immutable) view,
+        cached per version — repeated reads between updates return the
+        same object.
+        """
+        if self._core is not None:
+            return self._core.freeze()
         return self._hypothesis
+
+    @property
+    def hypothesis_version(self) -> int:
+        """Monotone version of the public hypothesis.
+
+        Bumped exactly once per MW update; equal versions mean the
+        identical distribution. The serving layer's update-aware answer
+        cache and the engine's versioned evaluators key on this. The
+        legacy (non-versioned) path reports the update count, which
+        bumps at the same moments.
+        """
+        if self._core is not None:
+            return self._core.version
+        return self._updates
 
     @property
     def queries_answered(self) -> int:
@@ -230,19 +311,13 @@ class PrivateMWConvex:
                                   label=f"oracle:{loss.name}")
         index = len(self._answers)
 
-        try:
-            key = loss.fingerprint()
-        except LossSpecificationError:
-            # Custom losses with unfingerprintable state (e.g. stored
-            # callables) still answer fine — they fall back to the
-            # identity-keyed cache, like the pre-fingerprint behaviour.
-            key = None
+        # Custom losses with unfingerprintable state (e.g. stored
+        # callables) still answer fine — they fall back to the
+        # identity-keyed cache, like the pre-fingerprint behaviour.
+        key = self._loss_key(loss)
         cached = (self._data_minima.get(key) if key is not None
                   else self._data_minima_by_identity.get(loss))
-        breakdown = database_error(loss, self._data_histogram,
-                                   self._hypothesis,
-                                   solver_steps=self.solver_steps,
-                                   data_result=cached)
+        breakdown = self._round_breakdown(loss, key, cached)
         if cached is not None:
             if key is not None:
                 self._data_minima.move_to_end(key)
@@ -273,12 +348,19 @@ class PrivateMWConvex:
                               self.config.oracle_delta,
                               label=f"oracle:{loss.name}")
         certificate = dual_certificate(
-            loss, self._hypothesis, theta_oracle,
+            loss, self.hypothesis, theta_oracle,
             theta_hat=breakdown.hypothesis_minimizer,
             solver_steps=self.solver_steps,
         )
-        self._hypothesis = mw_step(self._hypothesis, certificate,
-                                   self.config.eta, self.config.scale)
+        if self._core is not None:
+            mw_step_inplace(self._core, certificate,
+                            self.config.eta, self.config.scale)
+            # Every cached round evaluation is for the old version now.
+            self._round_cache.clear()
+            self._hypothesis_minima.clear()
+        else:
+            self._hypothesis = mw_step(self._hypothesis, certificate,
+                                       self.config.eta, self.config.scale)
         update_index = self._updates
         self._updates += 1
         self._history.append({
@@ -403,11 +485,20 @@ class PrivateMWConvex:
         return answers
 
     def answer_from_hypothesis(self, loss: LossFunction) -> PMWAnswer:
-        """Answer from the public hypothesis only (no privacy cost)."""
+        """Answer from the public hypothesis only (no privacy cost).
+
+        Shares the round cache and warm starts with :meth:`answer`: a
+        query whose round was already evaluated at the current version
+        replays its minimizer without touching the solver.
+        """
         self._check_loss(loss)
         index = len(self._answers)
-        theta = minimize_loss(loss, self._hypothesis,
-                              steps=self.solver_steps).theta
+        key = self._loss_key(loss)
+        hit = self._round_cache_get(key)
+        if hit is not None:
+            theta = hit.hypothesis_minimizer
+        else:
+            theta = self._minimize_on_hypothesis(loss, key).theta
         answer = PMWAnswer(theta=theta, from_update=False, query_index=index)
         self._answers.append(answer)
         return answer
@@ -420,12 +511,18 @@ class PrivateMWConvex:
         the public hypothesis is post-processing, hence free of privacy
         cost.
         """
-        indices = self._hypothesis.sample_indices(n, rng=rng)
+        indices = self.hypothesis.sample_indices(n, rng=rng)
         return Dataset(self._dataset.universe, indices)
 
     # -- snapshot / restore ------------------------------------------------------
 
-    SNAPSHOT_FORMAT = "repro.pmw_cm/v1"
+    #: Written format. v2 stores the hypothesis as the raw log-domain
+    #: core state (``hypothesis_core``) for versioned mechanisms —
+    #: ``hypothesis_weights`` is ``None`` there — plus warm-start and
+    #: round-cache records. v1 (pre-versioned-core) snapshots are still
+    #: accepted on read and restore onto the legacy immutable path.
+    SNAPSHOT_FORMAT = "repro.pmw_cm/v2"
+    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_cm/v1", "repro.pmw_cm/v2")
 
     def snapshot(self) -> dict:
         """Full mechanism state as a JSON-serializable dict.
@@ -452,7 +549,35 @@ class PrivateMWConvex:
             "noise_multiplier": self._sparse_vector.noise_multiplier,
             "shards": self.shards,
             "histogram_workers": self.histogram_workers,
-            "hypothesis_weights": self._hypothesis.weights.tolist(),
+            "versioned_core": self.versioned_core,
+            "warm_start": self.warm_start,
+            # Exactly one hypothesis representation is stored: the raw
+            # log-domain core state (versioned path — normalized weights
+            # would both double the payload and lose the deferred
+            # normalization state), or the normalized weights (legacy).
+            "hypothesis_weights": (self._hypothesis.weights.tolist()
+                                   if self._core is None else None),
+            "hypothesis_core": (self._core.state_dict()
+                                if self._core is not None else None),
+            "warm_starts": {
+                key: {"version": version, "theta": theta.tolist()}
+                for key, (version, theta) in self._warm_starts.items()
+            },
+            "round_cache": [
+                {
+                    "fingerprint": fingerprint,
+                    "version": version,
+                    "error": breakdown.error,
+                    "hypothesis_minimizer":
+                        breakdown.hypothesis_minimizer.tolist(),
+                    "hypothesis_loss_on_data":
+                        breakdown.hypothesis_loss_on_data,
+                    "optimal_loss_on_data": breakdown.optimal_loss_on_data,
+                    "data_minimizer": breakdown.data_minimizer.tolist(),
+                }
+                for (fingerprint, version), breakdown
+                in self._round_cache.items()
+            ],
             "updates": self._updates,
             "history": [dict(entry) for entry in self._history],
             "answers": [
@@ -490,10 +615,10 @@ class PrivateMWConvex:
         are never serialized); the snapshot must have been taken against a
         dataset over the same universe.
         """
-        if snapshot.get("format") != cls.SNAPSHOT_FORMAT:
+        if snapshot.get("format") not in cls.ACCEPTED_SNAPSHOT_FORMATS:
             raise ValidationError(
                 f"unrecognized snapshot format {snapshot.get('format')!r}; "
-                f"expected {cls.SNAPSHOT_FORMAT!r}"
+                f"expected one of {cls.ACCEPTED_SNAPSHOT_FORMATS}"
             )
         config = snapshot["config"]
         if dataset.universe.size != config["universe_size"]:
@@ -512,13 +637,44 @@ class PrivateMWConvex:
             noise_multiplier=snapshot["noise_multiplier"],
             shards=snapshot.get("shards"),
             histogram_workers=snapshot.get("histogram_workers"),
+            # Pre-versioned-core snapshots carry only normalized weights;
+            # restoring them onto the legacy immutable path keeps the
+            # resumed run faithful to the snapshotted one.
+            versioned_core=snapshot.get("versioned_core", False),
+            warm_start=snapshot.get("warm_start", True),
             rng=rng,
         )
-        mechanism._hypothesis = hypothesis_histogram(
-            dataset.universe,
-            np.asarray(snapshot["hypothesis_weights"], dtype=float),
-            shards=snapshot.get("shards"),
-            workers=snapshot.get("histogram_workers"),
+        if mechanism._core is not None:
+            # The raw log-domain accumulator (pre-normalization state and
+            # version counter) restores bitwise, so a resumed run applies
+            # updates to exactly the floats the original would have.
+            mechanism._core = LogHistogram.from_state(
+                dataset.universe, snapshot["hypothesis_core"])
+        else:
+            mechanism._hypothesis = hypothesis_histogram(
+                dataset.universe,
+                np.asarray(snapshot["hypothesis_weights"], dtype=float),
+                shards=snapshot.get("shards"),
+                workers=snapshot.get("histogram_workers"),
+            )
+        mechanism._warm_starts = OrderedDict(
+            (key, (int(record["version"]),
+                   np.asarray(record["theta"], dtype=float)))
+            for key, record in snapshot.get("warm_starts", {}).items()
+        )
+        mechanism._round_cache = OrderedDict(
+            ((record["fingerprint"], int(record["version"])),
+             DatabaseErrorBreakdown(
+                 error=float(record["error"]),
+                 hypothesis_minimizer=np.asarray(
+                     record["hypothesis_minimizer"], dtype=float),
+                 hypothesis_loss_on_data=float(
+                     record["hypothesis_loss_on_data"]),
+                 optimal_loss_on_data=float(record["optimal_loss_on_data"]),
+                 data_minimizer=np.asarray(record["data_minimizer"],
+                                           dtype=float),
+             ))
+            for record in snapshot.get("round_cache", [])
         )
         mechanism._updates = int(snapshot["updates"])
         mechanism._history = [dict(entry) for entry in snapshot["history"]]
@@ -546,6 +702,94 @@ class PrivateMWConvex:
         return mechanism
 
     # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _loss_key(loss: LossFunction) -> str | None:
+        """Fingerprint, or ``None`` when the loss cannot be fingerprinted."""
+        try:
+            return loss.fingerprint()
+        except LossSpecificationError:
+            return None
+
+    def _round_cache_get(self, key: str | None) -> DatabaseErrorBreakdown | None:
+        """Current-version round cache lookup (versioned core only)."""
+        if self._core is None or key is None:
+            return None
+        round_key = (key, self._core.version)
+        hit = self._round_cache.get(round_key)
+        if hit is not None:
+            self._round_cache.move_to_end(round_key)
+        return hit
+
+    def _minimize_on_hypothesis(self, loss: LossFunction,
+                                key: str | None) -> MinimizeResult:
+        """Hypothesis-side solve, warm-started when the query was seen.
+
+        Warm starting only changes the inner solver's trajectory — the
+        returned minimizer is still a valid (projected, best-seen)
+        solution on the *current* hypothesis. The previous minimizer is
+        a near-solution because one MW step moves the hypothesis by at
+        most ``O(eta)`` in total variation — an argument that decays
+        with staleness, so the reduced step budget applies only to
+        starts at most :attr:`WARM_STALENESS_LIMIT` versions old.
+
+        Results are cached per ``(fingerprint, version)``, so repeated
+        solves at an unchanged hypothesis — including post-halt
+        hypothesis-only streams — cost a dictionary lookup.
+        """
+        minima_key = None
+        if self._core is not None and key is not None:
+            minima_key = (key, self._core.version)
+            hit = self._hypothesis_minima.get(minima_key)
+            if hit is not None:
+                self._hypothesis_minima.move_to_end(minima_key)
+                return hit
+        start, steps = None, self.solver_steps
+        if self.warm_start and key is not None:
+            warm = self._warm_starts.get(key)
+            if warm is not None:
+                warm_version, start = warm
+                staleness = self._core.version - warm_version
+                if staleness <= self.WARM_STALENESS_LIMIT:
+                    steps = self.warm_solver_steps
+        result = minimize_loss(loss, self.hypothesis, steps=steps,
+                               start=start)
+        if minima_key is not None:
+            self._hypothesis_minima[minima_key] = result
+            while len(self._hypothesis_minima) > self.ROUND_CACHE_LIMIT:
+                self._hypothesis_minima.popitem(last=False)
+        if self.warm_start and key is not None:
+            self._warm_starts[key] = (self._core.version, result.theta)
+            self._warm_starts.move_to_end(key)
+            while len(self._warm_starts) > self.DATA_MINIMA_LIMIT:
+                self._warm_starts.popitem(last=False)
+        return result
+
+    def _round_breakdown(self, loss: LossFunction, key: str | None,
+                         data_result) -> DatabaseErrorBreakdown:
+        """One round's ``database_error``, version-cached and warm-started.
+
+        With the versioned core, a repeated ``(fingerprint, version)``
+        pair replays the cached breakdown — no solver call, no
+        loss-on-data pass, no error-query recomputation. The cached
+        quantities are deterministic functions of ``(loss, data,
+        hypothesis version)``, so replaying them is exactly what
+        recomputing would produce.
+        """
+        hit = self._round_cache_get(key)
+        if hit is not None:
+            return hit
+        hypothesis_result = self._minimize_on_hypothesis(loss, key)
+        breakdown = database_error(loss, self._data_histogram,
+                                   self.hypothesis,
+                                   solver_steps=self.solver_steps,
+                                   data_result=data_result,
+                                   hypothesis_result=hypothesis_result)
+        if self._core is not None and key is not None:
+            self._round_cache[(key, self._core.version)] = breakdown
+            while len(self._round_cache) > self.ROUND_CACHE_LIMIT:
+                self._round_cache.popitem(last=False)
+        return breakdown
 
     def _check_loss(self, loss: LossFunction) -> None:
         if loss.domain.dim < 1:

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.config import PMWConfig
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
+from repro.data.log_histogram import LogHistogram, hypothesis_core
 from repro.data.sharded import hypothesis_histogram
 from repro.dp.accountant import PrivacyAccountant, restore_accountant
 from repro.dp.composition import per_round_budget
@@ -66,7 +67,8 @@ class PrivateMWLinear:
                  epsilon: float = 1.0, delta: float = 1e-6,
                  schedule: str = "calibrated", max_updates: int | None = None,
                  noise_multiplier: float = 1.0, shards: int | None = None,
-                 histogram_workers: int | None = None, rng=None) -> None:
+                 histogram_workers: int | None = None,
+                 versioned_core: bool = True, rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()
         self.config = PMWConfig.from_targets(
@@ -95,8 +97,15 @@ class PrivateMWLinear:
         self._measurement_epsilon = measurement.epsilon
         self.shards = shards
         self.histogram_workers = histogram_workers
-        self._hypothesis = hypothesis_histogram(
-            dataset.universe, shards=shards, workers=histogram_workers)
+        self.versioned_core = bool(versioned_core)
+        if self.versioned_core:
+            self._core: LogHistogram | None = hypothesis_core(
+                dataset.universe, shards=shards, workers=histogram_workers)
+            self._hypothesis = None
+        else:
+            self._core = None
+            self._hypothesis = hypothesis_histogram(
+                dataset.universe, shards=shards, workers=histogram_workers)
         self._updates = 0
         self._queries = 0
 
@@ -104,8 +113,19 @@ class PrivateMWLinear:
 
     @property
     def hypothesis(self) -> Histogram:
-        """The current public hypothesis."""
+        """The current public hypothesis (a frozen per-version view when
+        the versioned core is active)."""
+        if self._core is not None:
+            return self._core.freeze()
         return self._hypothesis
+
+    @property
+    def hypothesis_version(self) -> int:
+        """Monotone hypothesis version (see
+        :attr:`repro.core.pmw_cm.PrivateMWConvex.hypothesis_version`)."""
+        if self._core is not None:
+            return self._core.version
+        return self._updates
 
     @property
     def updates_performed(self) -> int:
@@ -135,8 +155,15 @@ class PrivateMWLinear:
         return self._answer_given(
             query,
             true_answer=self._data_histogram.dot(query.table),
-            hypothesis_answer=self._hypothesis.dot(query.table),
+            hypothesis_answer=self._hypothesis_dot(query.table),
         )
+
+    def _hypothesis_dot(self, table: np.ndarray) -> float:
+        """``<q, Dhat>`` — off the core's shared materialization when
+        versioned (amortized across every same-version read)."""
+        if self._core is not None:
+            return self._core.dot(table)
+        return self._hypothesis.dot(table)
 
     def _answer_given(self, query: LinearQuery, *, true_answer: float,
                       hypothesis_answer: float) -> LinearAnswer:
@@ -173,9 +200,14 @@ class PrivateMWLinear:
         # MW update: if the hypothesis under-counts (noisy > hypothesis),
         # raise weight where q(x) is large; if it over-counts, lower it.
         sign = 1.0 if noisy_answer > hypothesis_answer else -1.0
-        self._hypothesis = self._hypothesis.multiplicative_update(
-            sign * query.table, self.config.eta
-        )
+        if self._core is not None:
+            # In-place log-domain accumulation; (±eta)·q is bitwise the
+            # same increment as the immutable update's eta·(±q).
+            self._core.apply_update(query.table, sign * self.config.eta)
+        else:
+            self._hypothesis = self._hypothesis.multiplicative_update(
+                sign * query.table, self.config.eta
+            )
         update_index = self._updates
         self._updates += 1
         return LinearAnswer(value=noisy_answer, from_update=True,
@@ -190,7 +222,10 @@ class PrivateMWLinear:
 
     # -- snapshot / restore ------------------------------------------------------
 
-    SNAPSHOT_FORMAT = "repro.pmw_linear/v1"
+    #: Written format; see PrivateMWConvex.SNAPSHOT_FORMAT for the v1→v2
+    #: schema change (raw log-domain core state for versioned mechanisms).
+    SNAPSHOT_FORMAT = "repro.pmw_linear/v2"
+    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_linear/v1", "repro.pmw_linear/v2")
 
     def snapshot(self) -> dict:
         """Full mechanism state (minus the private dataset); see
@@ -208,7 +243,13 @@ class PrivateMWLinear:
             "noise_multiplier": self._sparse_vector.noise_multiplier,
             "shards": self.shards,
             "histogram_workers": self.histogram_workers,
-            "hypothesis_weights": self._hypothesis.weights.tolist(),
+            "versioned_core": self.versioned_core,
+            # One hypothesis representation: the raw log-domain core
+            # state (versioned) or the normalized weights (legacy).
+            "hypothesis_weights": (self._hypothesis.weights.tolist()
+                                   if self._core is None else None),
+            "hypothesis_core": (self._core.state_dict()
+                                if self._core is not None else None),
             "updates": self._updates,
             "queries": self._queries,
             "sparse_vector": self._sparse_vector.state_dict(),
@@ -224,10 +265,10 @@ class PrivateMWLinear:
     def restore(cls, snapshot: dict, dataset: Dataset, *,
                 rng=None) -> "PrivateMWLinear":
         """Rebuild a mechanism from :meth:`snapshot` output."""
-        if snapshot.get("format") != cls.SNAPSHOT_FORMAT:
+        if snapshot.get("format") not in cls.ACCEPTED_SNAPSHOT_FORMATS:
             raise ValidationError(
                 f"unrecognized snapshot format {snapshot.get('format')!r}; "
-                f"expected {cls.SNAPSHOT_FORMAT!r}"
+                f"expected one of {cls.ACCEPTED_SNAPSHOT_FORMATS}"
             )
         config = snapshot["config"]
         if dataset.universe.size != config["universe_size"]:
@@ -242,14 +283,21 @@ class PrivateMWLinear:
             schedule=config["schedule"], max_updates=config["max_updates"],
             noise_multiplier=snapshot["noise_multiplier"],
             shards=snapshot.get("shards"),
-            histogram_workers=snapshot.get("histogram_workers"), rng=rng,
+            histogram_workers=snapshot.get("histogram_workers"),
+            # Pre-versioned-core snapshots restore onto the legacy path
+            # (they carry only normalized weights).
+            versioned_core=snapshot.get("versioned_core", False), rng=rng,
         )
-        mechanism._hypothesis = hypothesis_histogram(
-            dataset.universe,
-            np.asarray(snapshot["hypothesis_weights"], dtype=float),
-            shards=snapshot.get("shards"),
-            workers=snapshot.get("histogram_workers"),
-        )
+        if mechanism._core is not None:
+            mechanism._core = LogHistogram.from_state(
+                dataset.universe, snapshot["hypothesis_core"])
+        else:
+            mechanism._hypothesis = hypothesis_histogram(
+                dataset.universe,
+                np.asarray(snapshot["hypothesis_weights"], dtype=float),
+                shards=snapshot.get("shards"),
+                workers=snapshot.get("histogram_workers"),
+            )
         mechanism._updates = int(snapshot["updates"])
         mechanism._queries = int(snapshot["queries"])
         mechanism._sparse_vector.load_state_dict(snapshot["sparse_vector"])
@@ -273,11 +321,13 @@ class PrivateMWLinear:
 
         - the *true* answers for the whole stream are one loss-matrix
           matvec against the (immutable) data histogram;
-        - the *hypothesis* answers are precomputed in **growing blocks**
-          — the hypothesis only changes on ``top`` rounds, so blocks
-          double while no update lands (the tail of a sparse stream is
-          a few large matmuls) and shrink back after one (bounding the
-          work an update throws away).
+        - the *hypothesis* answers stream through a
+          :class:`~repro.engine.versioned.VersionedBatchEvaluator` —
+          per-entry version stamps against the hypothesis core, so only
+          entries stale under the current version recompute, in growing
+          blocks (doubling while no update lands, reset by one — the
+          tail of a sparse stream is a few large matmuls, and an update
+          throws away at most one block of lookahead).
 
         The loss matrix is zero-copy for shared-matrix query families;
         independently built tables are stacked only up to
@@ -288,6 +338,7 @@ class PrivateMWLinear:
         (``~1e-15``; see ``tests/property/test_batch_agreement.py``).
         """
         from repro.engine import kernels
+        from repro.engine.versioned import VersionedBatchEvaluator
 
         if on_halt not in ("raise", "hypothesis"):
             raise ValidationError(
@@ -313,42 +364,31 @@ class PrivateMWLinear:
             tables = kernels.stack_tables(queries)
         if tables is not None:
             true_answers = tables @ self._data_histogram.weights
-            hypothesis_answers = np.empty(len(queries))
-            # Hypothesis answers are precomputed in *growing* blocks: an
-            # MW update invalidates everything past the current query, so
-            # recomputing the whole suffix eagerly wastes a full pass per
-            # update. Starting small and doubling on every uninterrupted
-            # extension bounds the waste per update at one block while
-            # the post-update tail (sparse streams stop updating) still
-            # collapses into a few large matmuls.
-            valid_until = 0  # exclusive end of fresh hypothesis answers
-            run = 8          # next block size; doubles between updates
+            # Per-entry version stamps: the evaluator recomputes only
+            # entries stale under the hypothesis's current version, in
+            # growing blocks — an update invalidates at most one block
+            # of lookahead, update-free tails collapse into a few large
+            # matmuls, and no bookkeeping here needs to know when an
+            # update landed.
+            evaluator = VersionedBatchEvaluator(tables)
 
         answers = []
         for j, query in enumerate(queries):
-            if tables is not None and j >= valid_until:
-                stop = min(len(queries), j + run)
-                hypothesis_answers[j:stop] = (
-                    tables[j:stop] @ self._hypothesis.weights
-                )
-                valid_until = stop
-                run *= 2
+            if tables is not None:
+                hypothesis_answer = evaluator.answer(
+                    *self._hypothesis_state(), j)
+            else:  # bounded-memory path: same dots the scalar round does
+                hypothesis_answer = self._hypothesis_dot(query.table)
             if self.halted:
                 if on_halt == "raise":
                     raise MechanismHalted(
                         "update budget exhausted before the stream ended"
                     )
                 answers.append(self._hypothesis_answer(
-                    query,
-                    value=(float(hypothesis_answers[j])
-                           if tables is not None else None)))
+                    query, value=hypothesis_answer))
                 continue
-            if tables is not None:
-                true_answer = float(true_answers[j])
-                hypothesis_answer = float(hypothesis_answers[j])
-            else:  # bounded-memory path: same dots the scalar round does
-                true_answer = self._data_histogram.dot(query.table)
-                hypothesis_answer = self._hypothesis.dot(query.table)
+            true_answer = (float(true_answers[j]) if tables is not None
+                           else self._data_histogram.dot(query.table))
             try:
                 answer = self._answer_given(
                     query, true_answer=true_answer,
@@ -361,18 +401,20 @@ class PrivateMWLinear:
                     query, value=hypothesis_answer))
                 continue
             answers.append(answer)
-            if (tables is not None
-                    and answer.from_update):  # hypothesis moved: stale
-                valid_until = j + 1
-                run = 8
         return answers
+
+    def _hypothesis_state(self) -> tuple[np.ndarray, int]:
+        """``(weights, version)`` for version-stamped batch evaluation."""
+        if self._core is not None:
+            return self._core.weights, self._core.version
+        return self._hypothesis.weights, self._updates
 
     def _hypothesis_answer(self, query: LinearQuery,
                            value: float | None = None) -> LinearAnswer:
         """Serve from the public hypothesis (free post-processing)."""
         self._queries += 1
         if value is None:
-            value = self._hypothesis.dot(query.table)
+            value = self._hypothesis_dot(query.table)
         return LinearAnswer(
             value=float(value),
             from_update=False, query_index=self._queries - 1,

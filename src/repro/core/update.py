@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.histogram import Histogram
+from repro.data.log_histogram import LogHistogram
 from repro.exceptions import ValidationError
 from repro.losses.base import LossFunction
 from repro.optimize.minimize import minimize_loss
@@ -89,6 +90,26 @@ def dual_certificate(loss: LossFunction, hypothesis: Histogram,
     )
 
 
+def _checked_step(certificate: UpdateCertificate, eta: float,
+                  scale: float) -> tuple[float, float]:
+    """Shared validation for :func:`mw_step` / :func:`mw_step_inplace`.
+
+    Checks positivity of ``eta``/``scale`` and that the certificate
+    respects the declared family scale bound; returns both as floats.
+    """
+    eta = check_positive(eta, "eta")
+    scale = check_positive(scale, "scale")
+    direction = certificate.direction
+    max_abs = (float(np.max(np.abs(direction))) / scale if direction.size
+               else 0.0)
+    if max_abs > 1.0 + 1e-6:
+        raise ValidationError(
+            f"certificate direction exceeds declared scale: max |u|/S = "
+            f"{max_abs:.6g} > 1; the family scale bound is wrong"
+        )
+    return eta, scale
+
+
 def mw_step(hypothesis: Histogram, certificate: UpdateCertificate, eta: float,
             scale: float, *, paper_sign: bool = False) -> Histogram:
     """One multiplicative-weights update of the hypothesis.
@@ -98,30 +119,43 @@ def mw_step(hypothesis: Histogram, certificate: UpdateCertificate, eta: float,
     Figure 3's printed ``+`` sign instead; it exists solely for the E12
     ablation and is not used by the mechanism.
     """
-    eta = check_positive(eta, "eta")
-    scale = check_positive(scale, "scale")
+    eta, scale = _checked_step(certificate, eta, scale)
     direction = certificate.direction / scale
-    max_abs = float(np.max(np.abs(direction))) if direction.size else 0.0
-    if max_abs > 1.0 + 1e-6:
-        raise ValidationError(
-            f"certificate direction exceeds declared scale: max |u|/S = "
-            f"{max_abs:.6g} > 1; the family scale bound is wrong"
-        )
     signed = direction if paper_sign else -direction
     return hypothesis.multiplicative_update(signed, eta)
 
 
-def certificate_gap(certificate: UpdateCertificate, data: Histogram) -> float:
-    """The Claim 3.5 inequality's two sides, returned as their gap.
+def mw_step_inplace(hypothesis_core: LogHistogram,
+                    certificate: UpdateCertificate, eta: float, scale: float,
+                    *, paper_sign: bool = False) -> int:
+    """The MW update of :func:`mw_step`, accumulated in place.
 
-    Returns ``<u, Dhat - D> - (l_D(theta_hat) - l_D(theta_oracle))`` which
-    Claim 3.5 proves non-negative. Consumed by the E7 benchmark and the
-    property tests. (Requires access to the true data histogram, so this
-    is a *diagnostic*, never part of the private mechanism's output path.)
+    Mathematically identical to ``mw_step`` (same validation, same
+    regret-consistent sign), but applied to the versioned log-domain
+    accumulator: one fused ``log w += (∓eta/S) · u`` with normalization
+    deferred to the next read, instead of a full log/exp/normalize pass
+    constructing a fresh histogram. Bumps — and returns — the core's
+    version, which is what every ``(fingerprint, version)``-keyed cache
+    downstream invalidates on.
+    """
+    eta, scale = _checked_step(certificate, eta, scale)
+    signed_eta = (eta if paper_sign else -eta) / scale
+    return hypothesis_core.apply_update(certificate.direction, signed_eta)
+
+
+def certificate_inner_gap(certificate: UpdateCertificate,
+                          data: Histogram) -> float:
+    """The inner-product side of Claim 3.5: ``<u, Dhat - D>``.
+
+    This is only the *left-hand side* of the claim's inequality — the
+    amount by which the hypothesis over-weights the certificate direction
+    relative to the true data. The full claim subtracts the excess-risk
+    side; see :func:`claim_3_5_slack` for the complete (non-negative)
+    slack. (Requires access to the true data histogram, so this is a
+    *diagnostic*, never part of the private mechanism's output path.)
     """
     raise_if_mismatched(certificate.direction, data)
-    lhs = certificate.hypothesis_inner - data.dot(certificate.direction)
-    return lhs  # caller combines with loss values; see claim_3_5_slack
+    return certificate.hypothesis_inner - data.dot(certificate.direction)
 
 
 def claim_3_5_slack(loss: LossFunction, certificate: UpdateCertificate,
@@ -129,9 +163,9 @@ def claim_3_5_slack(loss: LossFunction, certificate: UpdateCertificate,
     """Full Claim 3.5 slack: ``<u, Dhat - D> - (l_D(theta_hat) - l_D(theta))``.
 
     Non-negative whenever the loss is convex (up to solver tolerance).
+    The left-hand side is :func:`certificate_inner_gap`.
     """
-    raise_if_mismatched(certificate.direction, data)
-    lhs = certificate.hypothesis_inner - data.dot(certificate.direction)
+    lhs = certificate_inner_gap(certificate, data)
     rhs = (float(loss.loss_on(certificate.theta_hat, data))
            - float(loss.loss_on(certificate.theta_oracle, data)))
     return lhs - rhs

@@ -12,6 +12,9 @@ indexed by ``X``. This package provides:
 - :class:`ShardedHistogram` — the same contract with every heavy
   operation (updates, reductions, sampling) run per contiguous shard,
   optionally on a thread pool, for universes in the ≥10^6 regime.
+- :class:`LogHistogram` — the version-stamped log-domain accumulator the
+  mechanisms' hot loop mutates in place (``log w += eta·u`` with deferred
+  normalization); :meth:`~LogHistogram.freeze` yields immutable views.
 - :class:`Dataset` — an ``n``-row dataset of universe elements, with
   adjacency (``D ~ D'``) helpers used by privacy tests.
 - builders for standard universes (binary cube, ball nets, labeled grids).
@@ -24,6 +27,7 @@ indexed by ``X``. This package provides:
 from repro.data.universe import Universe
 from repro.data.histogram import Histogram
 from repro.data.sharded import ShardedHistogram, hypothesis_histogram
+from repro.data.log_histogram import LogHistogram, hypothesis_core
 from repro.data.dataset import Dataset
 from repro.data.builders import (
     ball_grid,
@@ -53,6 +57,8 @@ __all__ = [
     "Histogram",
     "ShardedHistogram",
     "hypothesis_histogram",
+    "LogHistogram",
+    "hypothesis_core",
     "Dataset",
     "binary_cube",
     "ball_grid",

@@ -21,6 +21,21 @@ from repro.utils.rng import as_generator
 from repro.utils.validation import check_finite_array
 
 
+def mass_annihilation_error(detail: str) -> ValidationError:
+    """The shared diagnostic for an update that zeroed every weight.
+
+    Raised (with a path-specific ``detail`` prefix) by the dense update,
+    the sharded update, and the log-domain accumulator's materialization
+    whenever no finite log-weight remains — instead of the opaque
+    empty-``np.max`` crash this situation used to produce.
+    """
+    return ValidationError(
+        f"{detail} annihilated all probability mass: no finite "
+        f"log-weight remains (|eta * direction| overflowed on every "
+        f"positive-weight element)"
+    )
+
+
 class Histogram:
     """A probability distribution over a :class:`Universe`.
 
@@ -46,6 +61,26 @@ class Histogram:
         self._cdf: np.ndarray | None = None  # built lazily by sample_indices
 
     # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def _adopt_normalized(cls, universe: Universe,
+                          normalized: np.ndarray) -> "Histogram":
+        """Wrap internally produced, already-normalized weights.
+
+        The public constructor re-validates and copies (finiteness and
+        sign masks, a clip, a division — several full-universe
+        temporaries). Internal producers — the sharded update and the
+        log-domain accumulator's ``freeze()`` — guarantee non-negative,
+        finite, unit-mass weights by construction, so they are adopted
+        in place. Callers with untrusted weights must use the
+        constructor.
+        """
+        instance = cls.__new__(cls)
+        normalized.setflags(write=False)
+        instance._universe = universe
+        instance._weights = normalized
+        instance._cdf = None
+        return instance
 
     @classmethod
     def uniform(cls, universe: Universe) -> "Histogram":
@@ -112,7 +147,10 @@ class Histogram:
         with np.errstate(divide="ignore"):
             log_weights = np.log(self._weights)
         log_weights = log_weights + float(eta) * direction
-        log_weights -= np.max(log_weights[np.isfinite(log_weights)])
+        finite = log_weights[np.isfinite(log_weights)]
+        if finite.size == 0:
+            raise mass_annihilation_error("multiplicative update")
+        log_weights -= np.max(finite)
         new_weights = np.exp(log_weights)
         new_weights[~np.isfinite(new_weights)] = 0.0
         return Histogram(self._universe, new_weights)
@@ -143,9 +181,13 @@ class Histogram:
         return float(np.sum(p[support] * log_ratio))
 
     def _check_compatible(self, other: "Histogram") -> None:
-        if other._universe is not self._universe and (
-            other._universe.size != self._universe.size
-        ):
+        # Identity is the fast path; otherwise the universes must agree on
+        # *content* — equal size alone is not compatibility (two different
+        # domains of coincidentally equal size would make every pairwise
+        # statistic silently meaningless).
+        if other._universe is self._universe:
+            return
+        if not self._universe.same_domain(other._universe):
             raise UniverseError("histograms are over different universes")
 
     # -- sampling -------------------------------------------------------------

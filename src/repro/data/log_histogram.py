@@ -1,0 +1,364 @@
+"""Version-stamped, log-domain hypothesis accumulator.
+
+The immutable :class:`~repro.data.histogram.Histogram` makes every MW
+update pay full price: a fresh ``log`` pass over the whole universe, a
+max-shift, an ``exp``, a normalization, and several universe-sized
+temporaries — then throws the cached sampling CDF away with the old
+object. The PMW hot loop applies those updates *in sequence to one
+evolving hypothesis*, which admits a much cheaper representation:
+
+- keep the hypothesis in **log-space** (``log_weights``), where the MW
+  update ``w(x) ∝ w(x) · exp(eta · u(x))`` is a single fused in-place
+  ``log_weights += eta · u`` — no transcendentals, no fresh allocation;
+- **defer normalization**: in log-space the per-round normalizer is an
+  additive constant that cancels against the next update, so it only
+  needs to be computed when a ``dot``/``sample``/``freeze`` actually
+  reads probabilities (and then once per version, shared by every
+  reader);
+- stamp the state with a monotone **version** counter, bumped once per
+  update, so every downstream cache — solver warm-starts, per-round
+  breakdowns, compiled-batch answers, the serving layer's answer cache —
+  can key on ``(work, version)`` and skip recomputation whenever the
+  hypothesis has not moved.
+
+:meth:`freeze` materializes the current version as a regular (immutable)
+:class:`Histogram` — or :class:`~repro.data.sharded.ShardedHistogram`
+when sharding is configured — agreeing with the chain of per-round
+immutable updates to floating-point reassociation (``<= 1e-10``; pinned
+by ``tests/property/test_log_domain_agreement.py``). Frozen views are
+cached per version and stay valid forever: once a buffer escapes through
+``freeze()`` the next materialization writes a fresh one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.histogram import Histogram, mass_annihilation_error
+from repro.data.sharded import (
+    ShardedHistogram,
+    _make_slices,
+    check_shard_params,
+    map_shards,
+)
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_finite_array
+
+
+class LogHistogram:
+    """A mutable probability vector kept in log-space, stamped by version.
+
+    Parameters
+    ----------
+    universe:
+        The underlying :class:`Universe`.
+    weights:
+        Optional initial (unnormalized) weights, validated exactly like
+        the :class:`Histogram` constructor. ``None`` starts uniform —
+        PMW's ``Dhat_1`` — without materializing an intermediate
+        histogram.
+    num_shards:
+        When set, heavy passes (the update accumulation and the
+        materializing ``exp``) run shard-by-shard with shard-sized
+        temporaries, and :meth:`freeze` yields a
+        :class:`ShardedHistogram`. ``None`` keeps the dense layout.
+    workers:
+        Optional thread count for shard passes; requires ``num_shards``
+        (mirroring :func:`repro.data.sharded.hypothesis_histogram`).
+    """
+
+    def __init__(self, universe: Universe, weights: np.ndarray | None = None,
+                 *, num_shards: int | None = None,
+                 workers: int | None = None) -> None:
+        self._setup(universe, num_shards=num_shards, workers=workers)
+        if weights is None:
+            self._log_weights = np.full(universe.size,
+                                        -np.log(universe.size))
+        else:
+            # Route validation + normalization through the canonical
+            # constructor so the accepted inputs are exactly the
+            # Histogram contract.
+            base = Histogram(universe, np.asarray(weights, dtype=float))
+            with np.errstate(divide="ignore"):
+                self._log_weights = np.log(base.weights)
+
+    def _setup(self, universe: Universe, *, num_shards: int | None,
+               workers: int | None) -> None:
+        if num_shards is None and workers is not None:
+            raise ValidationError(
+                "histogram workers require sharding: pass num_shards=... "
+                "alongside workers"
+            )
+        num_shards, workers = check_shard_params(universe.size, num_shards,
+                                                 workers)
+        self._universe = universe
+        self._num_shards = num_shards
+        self._workers = workers
+        self._slices = _make_slices(universe.size, num_shards or 1)
+        self._version = 0
+        self._scratch: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._weights_version = -1
+        self._weights_escaped = False
+        self._frozen: Histogram | None = None
+        self._frozen_version = -1
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def uniform(cls, universe: Universe, *, num_shards: int | None = None,
+                workers: int | None = None) -> "LogHistogram":
+        """The uniform accumulator (PMW's ``Dhat_1``) at version 0."""
+        return cls(universe, num_shards=num_shards, workers=workers)
+
+    @classmethod
+    def from_histogram(cls, histogram: Histogram, *,
+                       num_shards: int | None = None,
+                       workers: int | None = None) -> "LogHistogram":
+        """Adopt an existing histogram's distribution at version 0."""
+        return cls(histogram.universe, histogram.weights,
+                   num_shards=num_shards, workers=workers)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def universe(self) -> Universe:
+        """The underlying universe."""
+        return self._universe
+
+    @property
+    def version(self) -> int:
+        """Monotone update counter; bumped once per :meth:`apply_update`.
+
+        Two reads at equal version see the identical distribution, which
+        is the invariant every version-keyed cache relies on.
+        """
+        return self._version
+
+    @property
+    def num_shards(self) -> int | None:
+        """Configured shard count (``None`` = dense layout)."""
+        return self._num_shards
+
+    @property
+    def workers(self) -> int | None:
+        """Thread count for shard passes (``None`` = sequential)."""
+        return self._workers
+
+    def __len__(self) -> int:
+        return self._universe.size
+
+    # -- the in-place MW accumulation ---------------------------------------
+
+    def apply_update(self, direction: np.ndarray, eta: float) -> int:
+        """Accumulate ``log w(x) += eta * direction(x)`` in place.
+
+        This *is* the MW update — normalization is deferred because in
+        log-space it is an additive constant that the next update's
+        normalizer absorbs; it is applied lazily (once per version) when
+        probabilities are actually read. No allocation happens after the
+        first call: the ``eta * direction`` product lands in a reusable
+        scratch buffer.
+
+        Returns the new version.
+        """
+        direction = check_finite_array(direction, "direction", ndim=1)
+        if direction.shape != self._log_weights.shape:
+            raise ValidationError(
+                f"direction has shape {direction.shape}, expected "
+                f"{self._log_weights.shape}"
+            )
+        eta = float(eta)
+        if not np.isfinite(eta):
+            raise ValidationError(f"eta must be finite, got {eta}")
+        if self._scratch is None:
+            self._scratch = np.empty_like(self._log_weights)
+        log_weights, scratch = self._log_weights, self._scratch
+
+        def accumulate(shard: slice) -> None:
+            np.multiply(direction[shard], eta, out=scratch[shard])
+            log_weights[shard] += scratch[shard]
+
+        self._map_shards(accumulate)
+        self._version += 1
+        return self._version
+
+    # -- lazy materialization ------------------------------------------------
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The normalized probability vector at the current version.
+
+        Materialized lazily (max-shift, ``exp``, one normalization) and
+        cached until the next update; successive reads at the same
+        version are free. The returned array is a borrowed buffer —
+        valid until the next :meth:`apply_update` unless obtained via
+        :meth:`freeze`, which pins it permanently.
+        """
+        if self._weights_version != self._version:
+            self._materialize()
+        return self._weights
+
+    def _materialize(self) -> None:
+        if self._weights is None or self._weights_escaped:
+            self._weights = np.empty_like(self._log_weights)
+            self._weights_escaped = False
+        log_weights, out = self._log_weights, self._weights
+
+        def max_pass(shard: slice) -> float:
+            chunk = log_weights[shard]
+            finite = chunk[np.isfinite(chunk)]
+            return float(np.max(finite)) if finite.size else float("-inf")
+
+        shift = max(self._map_shards(max_pass))
+        if not np.isfinite(shift):
+            raise mass_annihilation_error("log-domain hypothesis")
+
+        def exp_pass(shard: slice) -> None:
+            chunk = out[shard]
+            np.subtract(log_weights[shard], shift, out=chunk)
+            np.exp(chunk, out=chunk)
+
+        self._map_shards(exp_pass)
+        # Full-vector pairwise sum — the same normalizer the immutable
+        # constructors compute, keeping dense/sharded/log paths aligned.
+        total = float(out.sum())
+        if not (np.isfinite(total) and total > 0.0):
+            raise ValidationError(
+                "log-domain hypothesis produced a non-finite normalizer; "
+                "an accumulated update overflowed"
+            )
+        out /= total
+        self._weights_version = self._version
+
+    def freeze(self) -> Histogram:
+        """An immutable histogram view of the current version.
+
+        Cached per version: repeated freezes between updates return the
+        same object (so its lazily built sampling CDF is shared too).
+        The view stays valid after further updates — the buffer it
+        adopted is marked escaped and the next materialization writes a
+        fresh one.
+        """
+        if self._frozen_version == self._version:
+            return self._frozen
+        weights = self.weights
+        self._weights_escaped = True
+        if self._num_shards is None:
+            frozen = Histogram._adopt_normalized(self._universe, weights)
+        else:
+            frozen = ShardedHistogram._adopt(self._universe, weights,
+                                             num_shards=self._num_shards,
+                                             workers=self._workers)
+        self._frozen = frozen
+        self._frozen_version = self._version
+        return frozen
+
+    # -- reads ---------------------------------------------------------------
+
+    def dot(self, values: np.ndarray) -> float:
+        """``<values, Dhat>`` at the current version."""
+        values = np.asarray(values, dtype=float)
+        weights = self.weights
+        if values.shape != weights.shape:
+            raise ValidationError(
+                f"values has shape {values.shape}, expected {weights.shape}"
+            )
+        if self._num_shards is None:
+            return float(values @ weights)
+        partials = self._map_shards(
+            lambda s: float(values[s] @ weights[s])
+        )
+        return float(sum(partials))
+
+    def sample_indices(self, n: int, rng=None) -> np.ndarray:
+        """Draw ``n`` iid universe indices from the current version.
+
+        Delegates to the frozen view, whose inverse-CDF table is built
+        once per version and shared by every caller.
+        """
+        return self.freeze().sample_indices(n, rng=rng)
+
+    def kl_divergence(self, other: Histogram) -> float:
+        """``KL(Dhat || other)`` at the current version."""
+        return self.freeze().kl_divergence(other)
+
+    def total_variation(self, other: Histogram) -> float:
+        """Total-variation distance at the current version."""
+        return self.freeze().total_variation(other)
+
+    def l1_distance(self, other: Histogram) -> float:
+        """``||Dhat - other||_1`` at the current version."""
+        return self.freeze().l1_distance(other)
+
+    # -- snapshot / restore ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable state: raw log-weights plus the version.
+
+        The *pre-normalization* log-weights are stored, so a restored
+        accumulator continues bitwise-identically to one that was never
+        snapshotted (normalized weights alone would lose the deferred
+        state). ``-inf`` entries (zero-weight elements) survive the JSON
+        round trip as ``-Infinity`` literals.
+        """
+        return {
+            "version": self._version,
+            "log_weights": self._log_weights.tolist(),
+            "num_shards": self._num_shards,
+            "workers": self._workers,
+        }
+
+    @classmethod
+    def from_state(cls, universe: Universe, state: dict) -> "LogHistogram":
+        """Rebuild an accumulator from :meth:`state_dict` output."""
+        core = cls.__new__(cls)
+        core._setup(universe, num_shards=state.get("num_shards"),
+                    workers=state.get("workers"))
+        log_weights = np.asarray(state["log_weights"], dtype=float)
+        if log_weights.ndim != 1 or log_weights.shape[0] != universe.size:
+            raise ValidationError(
+                f"log_weights has shape {log_weights.shape}; universe has "
+                f"{universe.size} elements"
+            )
+        if np.any(np.isnan(log_weights)) or np.any(log_weights == np.inf):
+            raise ValidationError(
+                "log_weights must be finite or -inf (zero weight)"
+            )
+        core._log_weights = log_weights
+        core._version = int(state["version"])
+        if core._version < 0:
+            raise ValidationError(
+                f"version must be non-negative, got {core._version}"
+            )
+        return core
+
+    # -- internals -------------------------------------------------------------
+
+    def _map_shards(self, task):
+        return map_shards(self._slices, self._workers, task)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogHistogram(universe={self._universe.name!r}, "
+            f"size={self._universe.size}, version={self._version}, "
+            f"shards={self._num_shards}, workers={self._workers})"
+        )
+
+
+def hypothesis_core(universe: Universe, weights: np.ndarray | None = None, *,
+                    shards: int | None = None,
+                    workers: int | None = None) -> LogHistogram:
+    """Build a mechanism's versioned hypothesis core.
+
+    The log-domain counterpart of
+    :func:`repro.data.sharded.hypothesis_histogram`, sharing its knob
+    semantics (``workers`` without ``shards`` is rejected by the
+    constructor).
+    """
+    return LogHistogram(universe, weights, num_shards=shards,
+                        workers=workers)
+
+
+__all__ = ["LogHistogram", "hypothesis_core"]

@@ -39,7 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.data.histogram import Histogram
+from repro.data.histogram import Histogram, mass_annihilation_error
 from repro.data.universe import Universe
 from repro.exceptions import ValidationError
 from repro.utils.rng import as_generator
@@ -73,6 +73,40 @@ def _pool(workers: int) -> ThreadPoolExecutor:
         return pool
 
 
+def map_shards(slices: list[slice], workers: int | None, task):
+    """Run ``task(shard_slice)`` over every shard, optionally threaded.
+
+    The shared dispatch behind every shard-local pass
+    (:class:`ShardedHistogram` reductions/updates and
+    :class:`~repro.data.log_histogram.LogHistogram` accumulation and
+    materialization): sequential unless ``workers > 1`` and there is
+    more than one shard to fan out.
+    """
+    if workers and workers > 1 and len(slices) > 1:
+        return list(_pool(workers).map(task, slices))
+    return [task(shard) for shard in slices]
+
+
+def check_shard_params(size: int, num_shards: int | None,
+                       workers: int | None) -> tuple[int | None, int | None]:
+    """Validate and normalize a ``(num_shards, workers)`` configuration.
+
+    Shared by every shard-configurable histogram; returns the pair as
+    ``int | None``. Bounds: ``1 <= num_shards <= size``, ``workers >= 1``.
+    """
+    if num_shards is not None:
+        num_shards = int(num_shards)
+        if not 1 <= num_shards <= size:
+            raise ValidationError(
+                f"num_shards must be in [1, {size}], got {num_shards}"
+            )
+    if workers is not None:
+        workers = int(workers)
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+    return num_shards, workers
+
+
 class ShardedHistogram(Histogram):
     """A :class:`Histogram` whose heavy operations run per contiguous shard.
 
@@ -97,15 +131,9 @@ class ShardedHistogram(Histogram):
         size = universe.size
         if num_shards is None:
             num_shards = max(1, -(-size // DEFAULT_SHARD_SIZE))
-        num_shards = int(num_shards)
-        if not 1 <= num_shards <= size:
-            raise ValidationError(
-                f"num_shards must be in [1, {size}], got {num_shards}"
-            )
-        if workers is not None and int(workers) < 1:
-            raise ValidationError(f"workers must be >= 1, got {workers}")
+        num_shards, workers = check_shard_params(size, num_shards, workers)
         self._num_shards = num_shards
-        self._workers = int(workers) if workers is not None else None
+        self._workers = workers
         self._slices = _make_slices(size, num_shards)
         # Two-level sampling tables, built lazily by sample_indices.
         # Never shared across instances: every update constructs a fresh
@@ -126,11 +154,7 @@ class ShardedHistogram(Histogram):
         adopted in place; callers with untrusted weights must use the
         constructor.
         """
-        instance = cls.__new__(cls)
-        normalized.setflags(write=False)
-        instance._universe = universe
-        instance._weights = normalized
-        instance._cdf = None
+        instance = super()._adopt_normalized(universe, normalized)
         instance._num_shards = num_shards
         instance._workers = workers
         instance._slices = _make_slices(universe.size, num_shards)
@@ -173,9 +197,7 @@ class ShardedHistogram(Histogram):
 
     def _map_shards(self, task):
         """Run ``task(shard_slice)`` over every shard, optionally threaded."""
-        if self._workers and self._workers > 1 and self._num_shards > 1:
-            return list(_pool(self._workers).map(task, self._slices))
-        return [task(shard) for shard in self._slices]
+        return map_shards(self._slices, self._workers, task)
 
     # -- shard-local algebra -----------------------------------------------
 
@@ -223,7 +245,9 @@ class ShardedHistogram(Histogram):
             return float(np.max(finite)) if finite.size else float("-inf")
 
         maxima = self._map_shards(log_pass)
-        shift = max(maxima)  # finite: total mass is positive
+        shift = max(maxima)
+        if not np.isfinite(shift):
+            raise mass_annihilation_error("sharded multiplicative update")
 
         def exp_pass(shard: slice) -> None:
             chunk = out[shard]
@@ -367,4 +391,5 @@ def hypothesis_histogram(universe: Universe, weights: np.ndarray | None = None,
                             workers=workers)
 
 
-__all__ = ["ShardedHistogram", "hypothesis_histogram", "DEFAULT_SHARD_SIZE"]
+__all__ = ["ShardedHistogram", "hypothesis_histogram", "DEFAULT_SHARD_SIZE",
+           "map_shards", "check_shard_params"]

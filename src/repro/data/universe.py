@@ -98,6 +98,23 @@ class Universe:
         distances = np.linalg.norm(self.points - point[None, :], axis=1)
         return int(np.argmin(distances))
 
+    def same_domain(self, other: "Universe") -> bool:
+        """Whether two universes describe the same data domain.
+
+        Content comparison (points and labels), not object identity —
+        a universe rebuilt from a snapshot is the same domain. The name
+        is cosmetic and ignored.
+        """
+        if self is other:
+            return True
+        if self.size != other.size or self.dim != other.dim:
+            return False
+        if (self.labels is None) != (other.labels is None):
+            return False
+        if not np.array_equal(self.points, other.points):
+            return False
+        return self.labels is None or np.array_equal(self.labels, other.labels)
+
     def with_labels(self, labels: np.ndarray, name: str | None = None) -> "Universe":
         """Return a copy of this universe with ``labels`` attached."""
         return Universe(

@@ -16,6 +16,10 @@ the ROADMAP's "fast as the hardware allows" north star targets:
   :func:`batch_loss_on`, and :func:`batch_data_minima` evaluate it in one
   vectorized pass per family, falling back to the scalar path for
   anything a kernel cannot prove it handles.
+- :mod:`repro.engine.versioned` — :class:`VersionedBatchEvaluator` keeps
+  per-entry version stamps against an evolving hypothesis core, so only
+  stale answers recompute across MW updates (plus a fused
+  update-then-evaluate call for whole-batch consumers).
 
 Consumers: :class:`~repro.core.pmw_cm.PrivateMWConvex` pre-warms its
 data-side minimization cache through :func:`batch_data_minima`;
@@ -40,6 +44,7 @@ from repro.engine.batch import (
     batch_loss_on,
     compile_batch,
 )
+from repro.engine.versioned import VersionedBatchEvaluator
 from repro.engine import kernels
 
 __all__ = [
@@ -48,5 +53,6 @@ __all__ = [
     "batch_answers",
     "batch_loss_on",
     "batch_data_minima",
+    "VersionedBatchEvaluator",
     "kernels",
 ]

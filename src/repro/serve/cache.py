@@ -33,11 +33,21 @@ from repro.exceptions import ValidationError
 
 @dataclass(frozen=True)
 class CachedAnswer:
-    """One released answer, replayable at zero privacy cost."""
+    """One released answer, replayable at zero privacy cost.
+
+    ``hypothesis_version`` records which hypothesis version a
+    *hypothesis-derived* answer was computed against (``None`` for
+    answers whose value does not depend on the hypothesis — oracle
+    releases — and for caches that do not track versions). Replaying at
+    any later time is always privacy-free; the version only matters to
+    callers that *prefer* a fresh answer once the hypothesis has moved
+    (see :meth:`AnswerCache.get`'s ``version`` parameter).
+    """
 
     value: object        # ndarray (CM query) or float (linear query)
     source: str          # provenance of the original release
     query_index: int | None
+    hypothesis_version: int | None = None
 
 
 @dataclass(frozen=True)
@@ -76,22 +86,45 @@ class AnswerCache:
         self._hits = 0
         self._misses = 0
 
-    def get(self, session_id: str, fingerprint: str) -> CachedAnswer | None:
-        """Look up a released answer; counts a hit or miss."""
+    def get(self, session_id: str, fingerprint: str, *,
+            version: int | None = None) -> CachedAnswer | None:
+        """Look up a released answer; counts a hit or miss.
+
+        ``version`` opts into **update-aware** lookups: when given, a
+        hypothesis-derived entry stamped with a *different* hypothesis
+        version is treated as a miss — the hypothesis has moved since the
+        answer was computed, and the caller prefers a fresh round over a
+        stale replay. Entries with ``hypothesis_version=None`` (oracle
+        releases, untracked caches) hit regardless: their value never
+        depended on the hypothesis. ``version=None`` (default) is the
+        replay-forever policy — any released answer hits.
+        """
         key = (session_id, fingerprint)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is None or self._stale(entry, version):
                 self._misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
             return entry
 
-    def contains(self, session_id: str, fingerprint: str) -> bool:
-        """Membership check that does not disturb stats or LRU order."""
+    def contains(self, session_id: str, fingerprint: str, *,
+                 version: int | None = None) -> bool:
+        """Membership check that does not disturb stats or LRU order.
+
+        Applies the same update-aware staleness rule as :meth:`get` when
+        ``version`` is given.
+        """
         with self._lock:
-            return (session_id, fingerprint) in self._entries
+            entry = self._entries.get((session_id, fingerprint))
+            return entry is not None and not self._stale(entry, version)
+
+    @staticmethod
+    def _stale(entry: CachedAnswer, version: int | None) -> bool:
+        return (version is not None
+                and entry.hypothesis_version is not None
+                and entry.hypothesis_version != version)
 
     def put(self, session_id: str, fingerprint: str,
             answer: CachedAnswer) -> None:
@@ -104,7 +137,8 @@ class AnswerCache:
             frozen = np.array(answer.value)
             frozen.setflags(write=False)
             answer = CachedAnswer(value=frozen, source=answer.source,
-                                  query_index=answer.query_index)
+                                  query_index=answer.query_index,
+                                  hypothesis_version=answer.hypothesis_version)
         key = (session_id, fingerprint)
         with self._lock:
             self._entries[key] = answer
@@ -149,6 +183,7 @@ class AnswerCache:
                         "is_array": isinstance(entry.value, np.ndarray),
                         "source": entry.source,
                         "query_index": entry.query_index,
+                        "hypothesis_version": entry.hypothesis_version,
                     }
                     for key, entry in self._entries.items()
                 ],
@@ -165,6 +200,7 @@ class AnswerCache:
             cache.put(record["session"], record["fingerprint"], CachedAnswer(
                 value=value, source=record["source"],
                 query_index=record["query_index"],
+                hypothesis_version=record.get("hypothesis_version"),
             ))
         return cache
 

@@ -82,13 +82,19 @@ class BatchPlan:
 
 
 def plan_batch(session: Session, queries, *,
-               cache: AnswerCache | None = None) -> BatchPlan:
+               cache: AnswerCache | None = None,
+               version: int | None = None) -> BatchPlan:
     """Partition ``queries`` into serving lanes for ``session``.
 
     Planning reads only public state; the expensive lanes stay in original
     stream order so execution preserves the mechanism's online semantics.
     Unfingerprintable queries (fingerprint ``None``) always take the
     mechanism/hypothesis lane — they cannot be deduplicated or cached.
+
+    ``version`` opts cache-lane planning into update-aware lookups
+    (hypothesis-derived entries stamped with a different hypothesis
+    version plan as fresh mechanism work — see
+    :meth:`repro.serve.cache.AnswerCache.get`).
     """
     fingerprints = [try_fingerprint(query) for query in queries]
     plan = BatchPlan(fingerprints=fingerprints)
@@ -96,7 +102,8 @@ def plan_batch(session: Session, queries, *,
     halted = session.halted
     for index, fingerprint in enumerate(fingerprints):
         if (fingerprint is not None and cache is not None
-                and cache.contains(session.session_id, fingerprint)):
+                and cache.contains(session.session_id, fingerprint,
+                                   version=version)):
             plan.cached.append(index)
         elif fingerprint is not None and fingerprint in first_seen:
             plan.duplicates[index] = first_seen[fingerprint]

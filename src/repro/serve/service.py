@@ -72,13 +72,25 @@ class PMWService:
         snapshot); by default a fresh unbounded cache.
     cache_entries:
         Capacity bound for the default cache.
+    cache_policy:
+        ``"replay"`` (default): any released answer is replayed forever —
+        the privacy-optimal policy, since replays are free post-processing.
+        ``"track-hypothesis"``: hypothesis-derived answers (sources
+        ``"hypothesis"`` and ``"no-update"``) are stamped with the
+        session's hypothesis version and invalidated once the hypothesis
+        moves, so repeat queries after an MW update get a fresh (more
+        accurate) round; same-version repeats and oracle releases
+        (``"update"``) still replay at zero cost.
     rng:
         Seed/generator from which per-session generators are spawned.
     """
 
+    CACHE_POLICIES = ("replay", "track-hypothesis")
+
     def __init__(self, datasets, *, registry: MechanismRegistry | None = None,
                  ledger_path=None, cache: AnswerCache | None = None,
-                 cache_entries: int | None = None, rng=None) -> None:
+                 cache_entries: int | None = None,
+                 cache_policy: str = "replay", rng=None) -> None:
         if isinstance(datasets, Dataset):
             datasets = {"default": datasets}
         if not datasets:
@@ -89,6 +101,12 @@ class PMWService:
                        if ledger_path is not None else None)
         self.cache = (cache if cache is not None
                       else AnswerCache(max_entries=cache_entries))
+        if cache_policy not in self.CACHE_POLICIES:
+            raise ValidationError(
+                f"cache_policy must be one of {self.CACHE_POLICIES}, got "
+                f"{cache_policy!r}"
+            )
+        self.cache_policy = cache_policy
         self._rng = as_generator(rng)
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
@@ -182,11 +200,23 @@ class PMWService:
         self._check_session_open(session)
         fingerprint = try_fingerprint(query)
         if use_cache and fingerprint is not None:
-            hit = self.cache.get(session_id, fingerprint)
+            hit = self.cache.get(session_id, fingerprint,
+                                 version=self._cache_version(session))
             if hit is not None:
                 return self._cache_result(session_id, fingerprint, hit)
         return self._serve_uncached(session, query, fingerprint, on_halt,
                                     recheck_cache=use_cache)
+
+    def _cache_version(self, session: Session) -> int | None:
+        """The hypothesis version cache lookups key on, per policy.
+
+        ``None`` under the ``"replay"`` policy (or for mechanisms without
+        version tracking): any released answer hits regardless of
+        hypothesis movement.
+        """
+        if self.cache_policy != "track-hypothesis":
+            return None
+        return session.hypothesis_version
 
     def answer_batch(self, batches, *, max_workers: int | None = None,
                      use_cache: bool = True,
@@ -218,8 +248,14 @@ class PMWService:
         session = self.session(session_id)
         self._check_session_open(session)
         plan = plan_batch(session, queries,
-                          cache=self.cache if use_cache else None)
+                          cache=self.cache if use_cache else None,
+                          version=self._cache_version(session))
         results: list[ServeResult | None] = [None] * plan.total
+        # Hypothesis version each first-occurrence was served at, so the
+        # duplicates lane can tell a merely-evicted entry (same version:
+        # replay the in-memory origin for free) from a stale one (an
+        # update landed since: re-serve).
+        served_versions: dict[int, int | None] = {}
         with session.lock:  # one thread per session: keep stream order
             # Submit the mechanism lane as one batch: the engine
             # pre-computes its data-side minimizations in a single
@@ -233,10 +269,12 @@ class PMWService:
                     session, queries[index], plan.fingerprints[index],
                     on_halt, recheck_cache=use_cache,
                 )
+                served_versions[index] = session.hypothesis_version
         for index in plan.cached:
             fingerprint = plan.fingerprints[index]
-            hit = self.cache.get(session_id, fingerprint)
-            if hit is None:  # evicted between planning and serving
+            hit = self.cache.get(session_id, fingerprint,
+                                 version=self._cache_version(session))
+            if hit is None:  # evicted (or gone stale) since planning
                 results[index] = self._serve_uncached(
                     session, queries[index], fingerprint, on_halt,
                     recheck_cache=use_cache)
@@ -247,9 +285,28 @@ class PMWService:
             # duplicates go through the cache (keeping hit stats honest),
             # with the in-memory result as fallback.
             fingerprint = plan.fingerprints[index]
-            hit = self.cache.get(session_id, fingerprint)
+            hit = self.cache.get(session_id, fingerprint,
+                                 version=self._cache_version(session))
             if hit is None:
                 origin = results[first]
+                # The in-memory origin is a valid free replay unless the
+                # policy tracks the hypothesis AND the origin is a
+                # hypothesis-derived answer from a version that has since
+                # moved (an MW update landed mid-batch). A merely-evicted
+                # entry replays — re-running it would double-spend the
+                # stream slot (and possibly oracle budget) for an answer
+                # already in hand; oracle releases ("update") replay
+                # across versions by the policy's own definition.
+                replayable = (
+                    self.cache_policy != "track-hypothesis"
+                    or origin.source == "update"
+                    or served_versions.get(first) == session.hypothesis_version
+                )
+                if not replayable:
+                    results[index] = self._serve_uncached(
+                        session, queries[index], fingerprint, on_halt,
+                        recheck_cache=use_cache)
+                    continue
                 hit = CachedAnswer(value=origin.value, source="cache",
                                    query_index=origin.query_index)
             results[index] = self._cache_result(session_id, fingerprint, hit)
@@ -268,7 +325,8 @@ class PMWService:
                 # duplicate submission may have released this answer while
                 # we waited, and replaying it is free — re-running the
                 # mechanism round would double-spend.
-                hit = self.cache.get(session.session_id, fingerprint)
+                hit = self.cache.get(session.session_id, fingerprint,
+                                     version=self._cache_version(session))
                 if hit is not None:
                     return self._cache_result(session.session_id,
                                               fingerprint, hit)
@@ -291,11 +349,19 @@ class PMWService:
             if self.ledger is not None:
                 self.ledger.append_spends(session.session_id, records)
             # Cache inside the lock, so a waiting duplicate's recheck is
-            # guaranteed to see this answer.
+            # guaranteed to see this answer. Hypothesis-derived answers
+            # are stamped with the hypothesis version they were computed
+            # at (unchanged by bottom rounds), so update-aware lookups
+            # can tell fresh from stale; oracle releases ("update") are
+            # data-side answers and stay version-free (replay forever).
             if fingerprint is not None:
+                stamped = (session.hypothesis_version
+                           if source in ("hypothesis", "no-update")
+                           else None)
                 self.cache.put(session.session_id, fingerprint,
                                CachedAnswer(value=value, source=source,
-                                            query_index=query_index))
+                                            query_index=query_index,
+                                            hypothesis_version=stamped))
         return ServeResult(
             session_id=session.session_id, fingerprint=fingerprint or "",
             value=value, source=source, query_index=query_index,
@@ -352,6 +418,7 @@ class PMWService:
         state = {
             "format": SNAPSHOT_FORMAT,
             "session_counter": self._session_counter,
+            "cache_policy": self.cache_policy,
             "sessions": sessions,
             "cache": cache_state,
         }
@@ -373,7 +440,8 @@ class PMWService:
     @classmethod
     def restore(cls, datasets, *, snapshot=None, ledger_path=None,
                 registry: MechanismRegistry | None = None,
-                params_override: dict | None = None, rng=None) -> "PMWService":
+                params_override: dict | None = None,
+                cache_policy: str | None = None, rng=None) -> "PMWService":
         """Rebuild a service after a restart (or crash).
 
         Two recovery tiers, composable:
@@ -392,7 +460,8 @@ class PMWService:
 
         ``params_override`` maps ``session_id -> params`` for sessions whose
         journaled configuration contained unjournalable values (e.g. a live
-        oracle instance).
+        oracle instance). ``cache_policy`` overrides the snapshotted
+        answer-cache policy (defaults to the snapshot's, else ``"replay"``).
         """
         if snapshot is None and ledger_path is None:
             raise ValidationError(
@@ -413,8 +482,10 @@ class PMWService:
 
         cache = (AnswerCache.from_state(snapshot["cache"])
                  if snapshot is not None else None)
+        if cache_policy is None:
+            cache_policy = (snapshot or {}).get("cache_policy", "replay")
         service = cls(datasets, registry=registry, ledger_path=ledger_path,
-                      cache=cache, rng=rng)
+                      cache=cache, cache_policy=cache_policy, rng=rng)
         params_override = params_override or {}
 
         if snapshot is not None:

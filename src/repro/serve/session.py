@@ -126,6 +126,17 @@ class Session:
         return bool(self.mechanism.halted)
 
     @property
+    def hypothesis_version(self) -> int | None:
+        """The mechanism's monotone hypothesis version, if it has one.
+
+        ``None`` for plug-in mechanisms without version tracking — the
+        serving layer's update-aware cache then degrades gracefully to
+        replay-forever for this session's hypothesis-derived answers.
+        """
+        version = getattr(self.mechanism, "hypothesis_version", None)
+        return int(version) if version is not None else None
+
+    @property
     def accountant(self):
         """The mechanism's :class:`PrivacyAccountant`."""
         return self.mechanism.accountant
@@ -229,6 +240,7 @@ class Session:
                 "analyst": self.analyst,
                 "dataset": self.dataset,
                 "state": self._state,
+                "hypothesis_version": self.hypothesis_version,
                 "journal_cursor": self._journal_cursor,
                 "pending_spends": [dict(r) for r in self.pending_spends],
                 "mechanism_snapshot": self.mechanism.snapshot(),

@@ -177,3 +177,98 @@ class TestMWStep:
                        - loss.loss_on(theta_star, data))
         assert initial_error > 0.05  # the starting hypothesis was truly bad
         assert final_error < max(0.1 * initial_error, 1e-4)
+
+
+class TestCertificateGapReconciliation:
+    """`certificate_inner_gap` is *only* the inner-product side of Claim
+    3.5; `claim_3_5_slack` is the full gap. The two must reconcile."""
+
+    def make_parts(self, cube_universe, cube_dataset):
+        from repro.core.update import certificate_inner_gap
+
+        loss = QuadraticLoss(L2Ball(3))
+        data = cube_dataset.histogram()
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = minimize_loss(loss, data).theta
+        certificate = dual_certificate(loss, hypothesis, theta_oracle)
+        return certificate_inner_gap, loss, certificate, data, hypothesis
+
+    def test_inner_gap_is_the_inner_product_side(self, cube_universe,
+                                                 cube_dataset):
+        gap, loss, certificate, data, hypothesis = self.make_parts(
+            cube_universe, cube_dataset)
+        expected = certificate.hypothesis_inner - data.dot(
+            certificate.direction)
+        assert gap(certificate, data) == pytest.approx(expected)
+
+    def test_slack_is_inner_gap_minus_excess_risk(self, cube_universe,
+                                                  cube_dataset):
+        gap, loss, certificate, data, hypothesis = self.make_parts(
+            cube_universe, cube_dataset)
+        excess = (loss.loss_on(certificate.theta_hat, data)
+                  - loss.loss_on(certificate.theta_oracle, data))
+        assert claim_3_5_slack(loss, certificate, data, hypothesis) == \
+            pytest.approx(gap(certificate, data) - excess)
+
+    def test_slack_non_negative_for_convex_loss(self, cube_universe,
+                                                cube_dataset):
+        gap, loss, certificate, data, hypothesis = self.make_parts(
+            cube_universe, cube_dataset)
+        assert claim_3_5_slack(loss, certificate, data, hypothesis) >= -1e-9
+
+    def test_mismatched_universe_raises(self, cube_universe, cube_dataset):
+        gap, loss, certificate, data, hypothesis = self.make_parts(
+            cube_universe, cube_dataset)
+        from repro.data.universe import Universe
+
+        other = Histogram.uniform(
+            Universe(np.arange(5, dtype=float)[:, None], name="line5"))
+        with pytest.raises(ValidationError):
+            gap(certificate, other)
+
+
+class TestMWStepInplace:
+    def test_matches_immutable_step(self, cube_universe):
+        from repro.core.update import mw_step_inplace
+        from repro.data.log_histogram import LogHistogram
+
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        theta_oracle = np.array([1.0, 0.0, 0.0])
+        certificate = dual_certificate(loss, hypothesis, theta_oracle)
+
+        core = LogHistogram.uniform(cube_universe)
+        version = mw_step_inplace(core, certificate, eta=0.5, scale=4.0)
+        assert version == core.version == 1
+        immutable = mw_step(hypothesis, certificate, eta=0.5, scale=4.0)
+        np.testing.assert_allclose(core.weights, immutable.weights,
+                                   atol=1e-12)
+
+    def test_scale_violation_raises_without_mutating(self, cube_universe):
+        from repro.core.update import mw_step_inplace
+        from repro.data.log_histogram import LogHistogram
+
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        certificate = dual_certificate(loss, hypothesis,
+                                       np.array([1.0, 0.0, 0.0]))
+        core = LogHistogram.uniform(cube_universe)
+        with pytest.raises(ValidationError, match="scale"):
+            mw_step_inplace(core, certificate, eta=0.5, scale=1e-6)
+        assert core.version == 0
+        np.testing.assert_allclose(core.weights, 1.0 / len(cube_universe))
+
+    def test_paper_sign_flips_direction(self, cube_universe):
+        from repro.core.update import mw_step_inplace
+        from repro.data.log_histogram import LogHistogram
+
+        loss = QuadraticLoss(L2Ball(3))
+        hypothesis = Histogram.uniform(cube_universe)
+        certificate = dual_certificate(loss, hypothesis,
+                                       np.array([1.0, 0.0, 0.0]))
+        core = LogHistogram.uniform(cube_universe)
+        mw_step_inplace(core, certificate, eta=0.5, scale=4.0,
+                        paper_sign=True)
+        flipped = mw_step(hypothesis, certificate, eta=0.5, scale=4.0,
+                          paper_sign=True)
+        np.testing.assert_allclose(core.weights, flipped.weights, atol=1e-12)

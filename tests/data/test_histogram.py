@@ -272,3 +272,61 @@ class TestCdfCacheInvalidation:
         assert updated._shard_tables is None
         sample = updated.sample_indices(2000, rng=1)
         assert np.mean(sample == 0) > 0.99
+
+
+class TestCompatibilityCheck:
+    """Regression: two *different* universes of equal size must not pass."""
+
+    def test_same_size_different_points_rejected(self, universe):
+        from repro.exceptions import UniverseError
+
+        shifted = Universe(np.asarray(universe.points) + 1.0, name="shifted")
+        a = Histogram.uniform(universe)
+        b = Histogram.uniform(shifted)
+        for op in (a.total_variation, a.l1_distance, a.kl_divergence):
+            with pytest.raises(UniverseError):
+                op(b)
+
+    def test_equal_content_distinct_objects_accepted(self, universe):
+        rebuilt = Universe(np.array(universe.points), name="rebuilt")
+        a = Histogram.uniform(universe)
+        b = Histogram.uniform(rebuilt)
+        assert a.total_variation(b) == pytest.approx(0.0)
+
+    def test_label_mismatch_rejected(self, universe):
+        from repro.exceptions import UniverseError
+
+        labeled = universe.with_labels(np.ones(len(universe)))
+        a = Histogram.uniform(universe)
+        b = Histogram.uniform(labeled)
+        with pytest.raises(UniverseError):
+            a.l1_distance(b)
+
+
+class TestMassAnnihilation:
+    """Regression: annihilating every positive weight must raise clearly,
+    not crash inside ``np.max`` on an empty array."""
+
+    def test_dense_update_raises_validation_error(self, universe):
+        hist = Histogram.uniform(universe)
+        # eta * direction overflows to -inf on every element.
+        with np.errstate(over="ignore"), pytest.raises(
+                ValidationError, match="annihilated"):
+            hist.multiplicative_update(np.full(len(universe), -1e200), 1e200)
+
+    def test_sharded_update_raises_validation_error(self, universe):
+        from repro.data.sharded import ShardedHistogram
+
+        hist = ShardedHistogram.uniform(universe, num_shards=2)
+        with np.errstate(over="ignore"), pytest.raises(
+                ValidationError, match="annihilated"):
+            hist.multiplicative_update(np.full(len(universe), -1e200), 1e200)
+
+    def test_extreme_but_survivable_update_still_works(self, universe):
+        """One element surviving means no error and a point mass there."""
+        direction = np.full(len(universe), -1e200)
+        direction[2] = 0.0
+        with np.errstate(over="ignore"):
+            updated = Histogram.uniform(universe).multiplicative_update(
+                direction, 1e200)
+        assert updated.weights[2] == pytest.approx(1.0)

@@ -1,0 +1,150 @@
+"""Tests for the version-aware batch evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import interval_grid
+from repro.data.histogram import Histogram
+from repro.data.log_histogram import LogHistogram
+from repro.engine import VersionedBatchEvaluator
+from repro.exceptions import ValidationError
+from repro.losses.linear import LinearQuery
+
+
+@pytest.fixture
+def universe():
+    return interval_grid(40)
+
+
+@pytest.fixture
+def tables(universe):
+    rng = np.random.default_rng(0)
+    return rng.random((12, universe.size))
+
+
+@pytest.fixture
+def core(universe):
+    return LogHistogram.uniform(universe)
+
+
+class TestAnswers:
+    def test_matches_direct_matmul(self, tables, core):
+        evaluator = VersionedBatchEvaluator(tables)
+        out = evaluator.answers(core.weights, core.version)
+        np.testing.assert_allclose(out, tables @ core.weights, atol=1e-15)
+
+    def test_same_version_is_fully_cached(self, tables, core):
+        evaluator = VersionedBatchEvaluator(tables)
+        evaluator.answers(core.weights, core.version)
+        recomputed = evaluator.recomputed_rows
+        evaluator.answers(core.weights, core.version)
+        assert evaluator.recomputed_rows == recomputed
+        assert evaluator.cached_hits >= len(evaluator)
+
+    def test_version_bump_invalidates_only_stale(self, tables, core,
+                                                 universe):
+        evaluator = VersionedBatchEvaluator(tables)
+        # Warm three entries at version 0 via the streaming interface.
+        evaluator.answer(core.weights, core.version, 0)
+        warmed = evaluator.recomputed_rows
+        core.apply_update(np.linspace(-1, 1, universe.size), 0.5)
+        out = evaluator.answers(core.weights, core.version)
+        # Everything recomputes (all rows were stamped <= old version),
+        # and the result matches the new weights.
+        np.testing.assert_allclose(out, tables @ core.weights, atol=1e-15)
+        assert evaluator.recomputed_rows == warmed + len(evaluator)
+
+    def test_partial_staleness_recomputes_subset(self, tables, core,
+                                                 universe):
+        evaluator = VersionedBatchEvaluator(tables, initial_block=4)
+        evaluator.answer(core.weights, core.version, 0)  # rows 0..3 at v0
+        core.apply_update(np.linspace(-1, 1, universe.size), 0.5)
+        evaluator.answers(core.weights, core.version)    # all 12 at v1
+        before = evaluator.recomputed_rows
+        evaluator.answers(core.weights, core.version)
+        assert evaluator.recomputed_rows == before  # nothing stale
+
+    def test_returns_copy(self, tables, core, universe):
+        evaluator = VersionedBatchEvaluator(tables)
+        first = evaluator.answers(core.weights, core.version)
+        core.apply_update(np.ones(universe.size) * 0.3, 1.0)
+        pinned = first.copy()
+        evaluator.answers(core.weights, core.version)
+        np.testing.assert_array_equal(first, pinned)
+
+
+class TestStreamingAnswer:
+    def test_growing_blocks_double_until_update(self, tables, core):
+        evaluator = VersionedBatchEvaluator(tables, initial_block=2)
+        evaluator.answer(core.weights, core.version, 0)   # computes [0, 2)
+        assert evaluator.recomputed_rows == 2
+        evaluator.answer(core.weights, core.version, 1)   # cached
+        assert evaluator.recomputed_rows == 2
+        evaluator.answer(core.weights, core.version, 2)   # computes [2, 6)
+        assert evaluator.recomputed_rows == 6
+
+    def test_block_resets_after_version_change(self, tables, core,
+                                               universe):
+        evaluator = VersionedBatchEvaluator(tables, initial_block=2)
+        evaluator.answer(core.weights, core.version, 0)
+        evaluator.answer(core.weights, core.version, 2)   # block now 4
+        core.apply_update(np.linspace(-1, 1, universe.size), 0.4)
+        before = evaluator.recomputed_rows
+        evaluator.answer(core.weights, core.version, 3)   # reset block: 2
+        assert evaluator.recomputed_rows == before + 2
+
+    def test_values_match_direct_dot(self, tables, core, universe):
+        evaluator = VersionedBatchEvaluator(tables, initial_block=3)
+        for j in range(len(evaluator)):
+            if j == 5:
+                core.apply_update(np.linspace(-1, 1, universe.size), 0.2)
+            got = evaluator.answer(core.weights, core.version, j)
+            assert got == pytest.approx(float(tables[j] @ core.weights),
+                                        abs=1e-15)
+
+    def test_index_out_of_range(self, tables, core):
+        evaluator = VersionedBatchEvaluator(tables)
+        with pytest.raises(ValidationError):
+            evaluator.answer(core.weights, core.version, len(evaluator))
+
+
+class TestFusedUpdateThenAnswers:
+    def test_matches_separate_steps(self, tables, universe):
+        rng = np.random.default_rng(3)
+        direction = rng.uniform(-1, 1, universe.size)
+
+        fused_core = LogHistogram.uniform(universe)
+        fused = VersionedBatchEvaluator(tables)
+        fused.answers(fused_core.weights, fused_core.version)
+        out = fused.update_then_answers(fused_core, direction, 0.7)
+
+        reference = Histogram.uniform(universe).multiplicative_update(
+            direction, 0.7)
+        np.testing.assert_allclose(out, tables @ reference.weights,
+                                   atol=1e-12)
+        assert fused_core.version == 1
+
+    def test_reuses_compiled_layout(self, tables, universe):
+        core = LogHistogram.uniform(universe)
+        evaluator = VersionedBatchEvaluator(tables)
+        held = evaluator._tables
+        evaluator.update_then_answers(core, np.zeros(universe.size), 1.0)
+        assert evaluator._tables is held  # no recompilation on update
+
+
+class TestConstruction:
+    def test_from_queries_stacks_tables(self, universe):
+        rng = np.random.default_rng(4)
+        queries = [LinearQuery(rng.random(universe.size), name=f"q{i}")
+                   for i in range(5)]
+        evaluator = VersionedBatchEvaluator.from_queries(queries)
+        core = LogHistogram.uniform(universe)
+        out = evaluator.answers(core.weights, core.version)
+        expected = [core.dot(query.table) for query in queries]
+        np.testing.assert_allclose(out, expected, atol=1e-15)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValidationError):
+            VersionedBatchEvaluator(np.zeros(5))
+        with pytest.raises(ValidationError):
+            VersionedBatchEvaluator(np.zeros((2, 5)), initial_block=0)

@@ -1,0 +1,260 @@
+"""Tests for the hypothesis-version-aware answer cache.
+
+Two policies:
+
+- ``"replay"`` (default): any released answer replays forever — the
+  pre-existing, privacy-optimal semantics;
+- ``"track-hypothesis"``: hypothesis-derived answers are stamped with the
+  hypothesis version they were computed at, and a repeat query after an
+  MW update gets a fresh round instead of a stale replay. Same-version
+  repeats and oracle ("update") releases still hit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.builders import interval_grid
+from repro.data.dataset import Dataset
+from repro.losses.linear import LinearQuery
+from repro.serve.cache import AnswerCache, CachedAnswer
+from repro.serve.service import PMWService
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture
+def line_universe():
+    return interval_grid(20)
+
+
+@pytest.fixture
+def skewed_dataset(line_universe):
+    """80% of the mass on element 0: indicator queries force updates."""
+    indices = np.concatenate([np.zeros(160, dtype=int),
+                              np.arange(20).repeat(2)])
+    return Dataset(line_universe, indices)
+
+
+def constant_query(universe, value=0.4, name="flat"):
+    """Constant tables answer identically under every distribution, so
+    the round always comes back bottom ("no-update")."""
+    return LinearQuery(np.full(universe.size, value), name=name)
+
+
+def indicator_query(universe, index=0, name="spike"):
+    table = np.zeros(universe.size)
+    table[index] = 1.0
+    return LinearQuery(table, name=name)
+
+
+def open_linear(service, **extra):
+    return service.open_session(
+        "pmw-linear", alpha=0.3, epsilon=2.0, delta=1e-6, max_updates=4,
+        noise_multiplier=0.0, **extra,
+    )
+
+
+class TestTrackHypothesisPolicy:
+    def test_same_version_repeat_hits_cache(self, skewed_dataset,
+                                            line_universe):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        first = service.submit(sid, flat)
+        assert first.source == "no-update"
+        replay = service.submit(sid, flat)
+        assert replay.source == "cache"
+        assert replay.value == first.value
+
+    def test_update_invalidates_hypothesis_derived_entries(
+            self, skewed_dataset, line_universe):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        first = service.submit(sid, flat)
+        assert first.source == "no-update"
+
+        forced = service.submit(sid, indicator_query(line_universe))
+        assert forced.source == "update"  # the hypothesis moved
+
+        fresh = service.submit(sid, flat)
+        assert fresh.source == "no-update"  # re-served, not replayed
+        assert service.session(sid).hypothesis_version == 1
+
+    def test_update_sourced_answers_replay_across_versions(
+            self, skewed_dataset, line_universe):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        spike = indicator_query(line_universe)
+        first = service.submit(sid, spike)
+        assert first.source == "update"
+
+        # Force another update with a different query (the hypothesis
+        # badly over-counts the tail once mass concentrated on 0)...
+        tail = np.zeros(line_universe.size)
+        tail[10:] = 1.0
+        other = service.submit(sid, LinearQuery(tail, name="tail"))
+        assert other.source == "update"
+        # ...yet the original oracle release still replays: its value is
+        # a (noisy) data-side answer, not a hypothesis readout.
+        replay = service.submit(sid, spike)
+        assert replay.source == "cache"
+        assert replay.value == first.value
+
+    def test_batch_planning_respects_staleness(self, skewed_dataset,
+                                               line_universe):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        assert service.submit(sid, flat).source == "no-update"
+        assert service.submit(sid,
+                              indicator_query(line_universe)
+                              ).source == "update"
+        results = service.answer_batch((sid, [flat, flat]))
+        # First occurrence re-serves at the new version; the in-batch
+        # duplicate replays the fresh release.
+        assert results[0].source == "no-update"
+        assert results[1].source == "cache"
+
+    def test_in_batch_duplicate_after_mid_batch_update_is_fresh(
+            self, skewed_dataset, line_universe):
+        """[flat, spike, flat] in ONE batch: the spike's MW update lands
+        between the two flat occurrences, so the duplicate must be
+        re-served at the new version, not replayed from the stale
+        in-memory origin."""
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        spike = indicator_query(line_universe)
+        results = service.answer_batch((sid, [flat, spike, flat]))
+        assert results[0].source == "no-update"
+        assert results[1].source == "update"
+        assert results[2].source == "no-update"  # fresh, not "cache"
+        # And with no mid-batch update, the duplicate stays a free replay.
+        replayed = service.answer_batch((sid, [flat, flat]))
+        assert {r.source for r in replayed} <= {"cache", "no-update"}
+        assert replayed[1].source == "cache"
+
+    def test_evicted_same_version_duplicate_replays_for_free(
+            self, skewed_dataset, line_universe):
+        """A duplicate whose cache entry was LRU-evicted — but whose
+        hypothesis version never moved — must replay the in-memory
+        origin, not double-spend a mechanism round."""
+        service = PMWService(skewed_dataset, cache_entries=2,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        # Five distinct bottom-round queries + a trailing duplicate of
+        # the first: the tiny cache evicts q0's entry long before the
+        # duplicate is reached, and no update ever lands.
+        queries = [constant_query(line_universe, value=0.1 * (i + 1),
+                                  name=f"flat{i}") for i in range(5)]
+        batch = queries + [queries[0]]
+        session = service.session(sid)
+        before = session.accountant.num_spends
+        results = service.answer_batch((sid, batch))
+        assert all(r.source == "no-update" for r in results[:5])
+        assert results[5].source == "cache"   # replayed, not re-served
+        assert results[5].value == results[0].value
+        # No extra accountant spends beyond the five mechanism rounds'
+        # (all bottom: zero marginal spend either way, but the stream
+        # must not have consumed a sixth slot).
+        assert session.mechanism.queries_answered == 5
+        assert session.accountant.num_spends == before
+
+
+class TestReplayPolicy:
+    def test_default_policy_replays_across_updates(self, skewed_dataset,
+                                                   line_universe):
+        service = PMWService(skewed_dataset, rng=0)  # policy: replay
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        first = service.submit(sid, flat)
+        assert service.submit(sid,
+                              indicator_query(line_universe)
+                              ).source == "update"
+        replay = service.submit(sid, flat)
+        assert replay.source == "cache"
+        assert replay.value == first.value
+
+    def test_invalid_policy_rejected(self, skewed_dataset):
+        with pytest.raises(ValidationError, match="cache_policy"):
+            PMWService(skewed_dataset, cache_policy="sometimes")
+
+
+class TestCacheVersionPlumbing:
+    def test_entries_are_version_stamped(self, skewed_dataset,
+                                         line_universe):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        service.submit(sid, constant_query(line_universe))
+        entry = service.cache.get(sid, constant_query(
+            line_universe).fingerprint())
+        assert entry.hypothesis_version == 0
+        service.submit(sid, indicator_query(line_universe))
+        spike_entry = service.cache.get(
+            sid, indicator_query(line_universe).fingerprint())
+        assert spike_entry.hypothesis_version is None  # oracle release
+
+    def test_versioned_get_and_contains(self):
+        cache = AnswerCache()
+        cache.put("s", "fp", CachedAnswer(value=1.0, source="no-update",
+                                          query_index=0,
+                                          hypothesis_version=3))
+        assert cache.get("s", "fp") is not None
+        assert cache.get("s", "fp", version=3) is not None
+        assert cache.get("s", "fp", version=4) is None
+        assert cache.contains("s", "fp", version=3)
+        assert not cache.contains("s", "fp", version=4)
+        # Version-free entries hit under any requested version.
+        cache.put("s", "fp2", CachedAnswer(value=2.0, source="update",
+                                           query_index=1))
+        assert cache.get("s", "fp2", version=99) is not None
+
+    def test_stamps_survive_cache_state_round_trip(self):
+        cache = AnswerCache()
+        cache.put("s", "fp", CachedAnswer(value=np.array([1.0, 2.0]),
+                                          source="no-update", query_index=0,
+                                          hypothesis_version=2))
+        restored = AnswerCache.from_state(cache.to_state())
+        entry = restored.get("s", "fp", version=2)
+        assert entry is not None and entry.hypothesis_version == 2
+        assert restored.get("s", "fp", version=3) is None
+
+
+class TestServiceSnapshotRoundTrip:
+    def test_policy_and_stamps_survive_restore(self, skewed_dataset,
+                                               line_universe, tmp_path):
+        service = PMWService(skewed_dataset,
+                             cache_policy="track-hypothesis", rng=0)
+        sid = open_linear(service)
+        flat = constant_query(line_universe)
+        service.submit(sid, flat)
+        state = service.snapshot(tmp_path / "snap.json")
+
+        restored = PMWService.restore(skewed_dataset,
+                                      snapshot=tmp_path / "snap.json",
+                                      rng=0)
+        assert restored.cache_policy == "track-hypothesis"
+        assert restored.session(sid).hypothesis_version == 0
+        assert restored.submit(sid, flat).source == "cache"
+        # An update after restore still invalidates the stale entry.
+        assert restored.submit(
+            sid, indicator_query(line_universe)).source == "update"
+        assert restored.submit(sid, flat).source == "no-update"
+
+    def test_restore_can_override_policy(self, skewed_dataset,
+                                         line_universe, tmp_path):
+        service = PMWService(skewed_dataset, rng=0)
+        sid = open_linear(service)
+        service.submit(sid, constant_query(line_universe))
+        service.snapshot(tmp_path / "snap.json")
+        restored = PMWService.restore(skewed_dataset,
+                                      snapshot=tmp_path / "snap.json",
+                                      cache_policy="track-hypothesis",
+                                      rng=0)
+        assert restored.cache_policy == "track-hypothesis"
