@@ -34,7 +34,7 @@ import pytest
 from repro.core.pmw_linear import PrivateMWLinear
 from repro.data import Histogram, make_classification_dataset
 from repro.data.sharded import ShardedHistogram
-from repro.engine import batch_data_minima, batch_loss_on, compile_batch
+from repro.engine import batch_data_minima, compile_batch
 from repro.experiments.report import ExperimentReport
 from repro.experiments.workloads import large_universe_workload
 from repro.losses.families import (

@@ -37,6 +37,7 @@ import json
 import os
 import pathlib
 import sys
+import tempfile
 import time
 
 import numpy as np
@@ -307,18 +308,41 @@ def build_report(results):
     return report
 
 
-def write_json(results, path=None):
-    """Archive machine-readable results (perf trajectory across PRs)."""
+def write_json(results, path=None, json_dir=None):
+    """Archive machine-readable results (perf trajectory across PRs).
+
+    ``json_dir`` redirects the artifact (the nightly regression workflow
+    writes candidates to a scratch directory and diffs them against the
+    committed baselines here). Smoke runs without an explicit directory
+    land in a scratch location, never on top of the committed baseline;
+    re-baseline with ``--smoke --json-dir benchmarks/results``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     if path is None:
         name = JSON_NAME if results["mode"] == "full" \
             else JSON_NAME.replace(".json", ".smoke.json")
-        path = RESULTS_DIR / name
+        if json_dir is not None:
+            directory = pathlib.Path(json_dir)
+        elif results["mode"] == "full":
+            directory = RESULTS_DIR
+        else:
+            directory = pathlib.Path(tempfile.gettempdir()) \
+                / "repro-bench-smoke"
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / name
     payload = dict(results)
     payload["speedups"] = {
         section: results[section]["speedup"]
         for section in ("cm_hot_loop", "core_update_micro",
                         "linear_hot_loop", "warm_start_solve")
+    }
+    # Only sections with genuine headroom feed the nightly regression
+    # gate; linear_hot_loop sits near 1.0x (bandwidth-bound parity) and
+    # would flake a -20% floor on scheduler noise alone.
+    payload["gated_speedups"] = {
+        section: results[section]["speedup"]
+        for section in ("cm_hot_loop", "core_update_micro",
+                        "warm_start_solve")
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -373,9 +397,15 @@ def test_e18_json_artifact(results):
 
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
+    json_dir = None
+    if "--json-dir" in sys.argv:
+        position = sys.argv.index("--json-dir") + 1
+        if position >= len(sys.argv):
+            raise SystemExit("--json-dir requires a directory argument")
+        json_dir = sys.argv[position]
     outcome = build_results(smoke=smoke)
     print(build_report(outcome).render())
-    json_path = write_json(outcome)
+    json_path = write_json(outcome, json_dir=json_dir)
     print(f"machine-readable results -> {json_path}")
     if not smoke:
         RESULTS_DIR.mkdir(exist_ok=True)

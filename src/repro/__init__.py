@@ -107,14 +107,16 @@ from repro.optimize import L2Ball, minimize_loss
 from repro.serve import (
     AnswerCache,
     BudgetLedger,
+    GatewayMetrics,
     MechanismRegistry,
     PMWService,
     ServeResult,
+    ServiceGateway,
     Session,
     default_registry,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # core
@@ -148,6 +150,7 @@ __all__ = [
     # optimize
     "L2Ball", "minimize_loss",
     # serve
-    "PMWService", "Session", "ServeResult", "MechanismRegistry",
-    "default_registry", "BudgetLedger", "AnswerCache",
+    "PMWService", "ServiceGateway", "GatewayMetrics", "Session",
+    "ServeResult", "MechanismRegistry", "default_registry", "BudgetLedger",
+    "AnswerCache",
 ]

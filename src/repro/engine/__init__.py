@@ -26,7 +26,10 @@ data-side minimization cache through :func:`batch_data_minima`;
 :class:`~repro.core.pmw_linear.PrivateMWLinear` answers whole streams
 through the loss-matrix layout (recomputing only the suffix after each MW
 update); the serving layer's batch planner hands mechanism lanes to the
-engine before executing them. Large universes pair the engine with
+engine before executing them, and the serving gateway
+(:mod:`repro.serve.gateway`) coalesces queued concurrent requests into
+exactly such lanes — sustained load converts into batched kernel work.
+Large universes pair the engine with
 :class:`~repro.data.sharded.ShardedHistogram`, whose updates and
 reductions run shard-by-shard.
 
@@ -42,7 +45,9 @@ from repro.engine.batch import (
     batch_answers,
     batch_data_minima,
     batch_loss_on,
+    closed_form_minima,
     compile_batch,
+    dedupe_by_fingerprint,
 )
 from repro.engine.versioned import VersionedBatchEvaluator
 from repro.engine import kernels
@@ -53,6 +58,8 @@ __all__ = [
     "batch_answers",
     "batch_loss_on",
     "batch_data_minima",
+    "closed_form_minima",
+    "dedupe_by_fingerprint",
     "VersionedBatchEvaluator",
     "kernels",
 ]

@@ -38,7 +38,6 @@ import numpy as np
 from repro.data.histogram import Histogram
 from repro.engine import kernels
 from repro.exceptions import ValidationError
-from repro.losses.base import LossFunction
 from repro.losses.hinge import HingeLoss, HuberLoss
 from repro.losses.linear import LinearQuery, LinearQueryAsCM
 from repro.losses.logistic import LogisticLoss
@@ -53,6 +52,8 @@ __all__ = [
     "batch_answers",
     "batch_loss_on",
     "batch_data_minima",
+    "closed_form_minima",
+    "dedupe_by_fingerprint",
 ]
 
 _LINEAR = "linear"
@@ -361,3 +362,62 @@ def batch_data_minima(losses, histogram: Histogram, *,
     """Batched data-side minimizations (closed forms vectorized)."""
     return compile_batch(losses).data_minima(histogram,
                                              solver_steps=solver_steps)
+
+
+def closed_form_minima(queries, *, universe=None):
+    """The subset of ``queries`` whose batched :func:`batch_data_minima`
+    dispatch is a *shared* closed-form kernel (squared-family GLMs via
+    one moment computation, embedded linear queries) rather than the
+    per-query fallback solver.
+
+    Consumers use this to decide which lane entries are worth
+    batch-minimizing eagerly: for fallback-family losses an eager batch
+    would pay the same per-query solves the lazy path pays — possibly
+    more, since the lazy path can warm-start — so eager batching only
+    wins where a kernel genuinely shares work. The filter mirrors
+    :func:`_squared_minima`'s own preconditions: squared losses over a
+    non-ball domain fall back per query, as do all of them when the
+    ``universe`` the consumer will solve against carries no labels
+    (pass it to enforce that; ``None`` skips the label check).
+    """
+    labeled = universe is None or universe.labels is not None
+    keep = []
+    for query in queries:
+        kind = _family_key(query)[0]
+        if kind == _LINEAR_CM:
+            keep.append(query)
+        elif (kind == _GLM and type(query) is SquaredLoss and labeled
+                and isinstance(query.domain, L2Ball)):
+            keep.append(query)
+    return keep
+
+
+def dedupe_by_fingerprint(queries, *, skip=()):
+    """First occurrence of each fingerprintable query in a lane.
+
+    Returns aligned ``(keys, uniques)`` lists, preserving lane order.
+    Queries whose state cannot be fingerprinted are dropped (they cannot
+    ride a fingerprint-keyed cache), as are keys in ``skip`` (typically
+    the consumer's already-warm cache keys). Mechanism ``prewarm`` hooks
+    use this so a coalesced gateway batch full of repeats costs one
+    kernel entry per *distinct* query, not per request.
+    """
+    from repro.exceptions import LossSpecificationError
+
+    keys: list[str] = []
+    uniques: list = []
+    seen = set(skip)
+    for query in queries:
+        fingerprint = getattr(query, "fingerprint", None)
+        if fingerprint is None:
+            continue
+        try:
+            key = fingerprint()
+        except LossSpecificationError:
+            continue
+        if key in seen:
+            continue
+        seen.add(key)
+        keys.append(key)
+        uniques.append(query)
+    return keys, uniques

@@ -45,6 +45,40 @@ class OptimizationError(ReproError):
     """A convex-minimization subroutine failed to produce a solution."""
 
 
+class Overloaded(ReproError):
+    """A request was shed by admission control before touching any state.
+
+    Raised by the serving gateway when a per-session queue is at its
+    depth bound, the gateway-wide in-flight limit is reached, or the
+    gateway is draining. Shedding happens strictly *before* the request
+    enters a mechanism stream, so a shed request never consumes privacy
+    budget, a stream slot, or a ledger record — callers can safely retry.
+    """
+
+    def __init__(self, message: str, *, session_id: str | None = None,
+                 reason: str = "overload") -> None:
+        super().__init__(message)
+        self.session_id = session_id
+        self.reason = reason
+
+
+class RequestTimeout(ReproError):
+    """A queued request timed out before a worker claimed it.
+
+    Only *unclaimed* requests time out: once a worker has claimed a
+    request into a coalesced batch, the batch runs to completion and its
+    write-ahead ledger spends are journaled — the answer is delivered
+    even if the waiter has stopped listening. A ``RequestTimeout``
+    therefore guarantees the request never entered the mechanism stream.
+    """
+
+    def __init__(self, message: str, *, session_id: str | None = None,
+                 waited: float = float("nan")) -> None:
+        super().__init__(message)
+        self.session_id = session_id
+        self.waited = waited
+
+
 class LossSpecificationError(ReproError):
     """A loss function violates the contract it declared.
 

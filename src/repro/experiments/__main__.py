@@ -29,6 +29,7 @@ from repro.experiments.generalization import run_generalization
 from repro.experiments.offline_online import run_offline_online
 from repro.experiments.oracles import run_oracle_sweep
 from repro.experiments.runtime import run_runtime_profile
+from repro.experiments.serving import run_gateway_demo
 from repro.experiments.table1 import (
     run_linear_row,
     run_lipschitz_row,
@@ -50,6 +51,8 @@ EXPERIMENTS = {
     "e11": ("runtime vs |X|", run_runtime_profile),
     "e12": ("update-rule ablation", run_update_rule_ablation),
     "e13": ("offline vs online variant", run_offline_online),
+    "e14": ("gateway load demo: coalescing + admission-control metrics",
+            run_gateway_demo),
 }
 
 

@@ -13,12 +13,22 @@ cache serving duplicate queries at zero privacy cost
 Mechanism lanes are submitted as whole batches: the planner's executor
 pre-warms each session through the batched evaluation engine
 (:mod:`repro.engine`) before streaming the lane in order, so data-side
-minimizations for a lane collapse into one vectorized pass. See
-``docs/serve.md`` for lifecycle, ledger, and cache semantics.
+minimizations for a lane collapse into one vectorized pass.
+
+On top of the service sits the concurrent request gateway
+(:mod:`~repro.serve.gateway`): bounded per-session FIFO queues over a
+cross-session worker pool, admission control with typed
+:class:`~repro.exceptions.Overloaded` / :class:`~repro.exceptions.RequestTimeout`
+shedding, coalescing of queued same-session requests into
+engine-prewarmed batches, and a :class:`~repro.serve.metrics.GatewayMetrics`
+registry. See ``docs/serve.md`` for lifecycle, ledger, cache, and
+gateway semantics.
 """
 
 from repro.serve.cache import AnswerCache, CachedAnswer, CacheStats
+from repro.serve.gateway import ServiceGateway
 from repro.serve.ledger import BudgetLedger, LedgerState, replay_ledger
+from repro.serve.metrics import GatewayMetrics, LatencyHistogram
 from repro.serve.planner import BatchPlan, concurrent_map, plan_batch
 from repro.serve.registry import (
     MechanismRegistry,
@@ -35,6 +45,7 @@ from repro.serve.session import (
 
 __all__ = [
     "PMWService",
+    "ServiceGateway", "GatewayMetrics", "LatencyHistogram",
     "Session", "ServeResult", "query_fingerprint", "try_fingerprint",
     "MechanismRegistry", "default_registry", "build_oracle",
     "BudgetLedger", "LedgerState", "replay_ledger",

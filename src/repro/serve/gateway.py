@@ -1,0 +1,524 @@
+"""`ServiceGateway` — the concurrent front end over :class:`PMWService`.
+
+The service itself is call-and-wait: ``submit`` blocks the caller for a
+full mechanism round, and concurrency exists only inside one
+``answer_batch`` call. Under burst load from many analysts that
+serializes everything on the submitting thread. The gateway decouples
+request arrival from execution:
+
+- **bounded per-session FIFO queues** — requests to different sessions
+  run in parallel on a shared worker pool, while each session's
+  privacy-state mutations stay strictly serialized (one worker owns a
+  session at a time, and the session lock backstops it);
+- **admission control** — a full session queue or a gateway-wide
+  in-flight bound sheds with a typed :class:`~repro.exceptions.Overloaded`
+  *before* the request touches any mechanism state, and a queued request
+  whose deadline passes unclaimed sheds with
+  :class:`~repro.exceptions.RequestTimeout`. Once a worker has claimed a
+  request into a batch, it always runs to completion: a claimed round's
+  write-ahead ledger spend is never abandoned mid-flight;
+- **batch coalescing** — everything waiting on one session when a worker
+  claims it is merged into a single
+  :meth:`~repro.serve.service.PMWService.serve_session_batch` call, so
+  queue pressure converts into the batched evaluation path (the planner
+  dedupes and lanes the merged batch, and the session pre-warms the
+  mechanism lane through :mod:`repro.engine`);
+- **drain/shutdown** — ``close(drain=True)`` stops admissions and waits
+  for the queues to empty; ``close(drain=False)`` sheds every unclaimed
+  request with :class:`Overloaded` but still lets claimed batches finish,
+  so ledger totals stay exact through a forced shutdown.
+
+Observability lives in :class:`~repro.serve.metrics.GatewayMetrics`.
+
+Usage::
+
+    with service.gateway(workers=8, max_queue_depth=32) as gateway:
+        futures = [gateway.submit_async(sid, q) for q in queries]
+        answers = [f.result() for f in futures]
+    print(gateway.metrics.describe())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FutureTimeout
+
+from repro.exceptions import Overloaded, RequestTimeout, ValidationError
+from repro.serve.metrics import GatewayMetrics
+
+#: Sentinel distinguishing "use the gateway default" from "no timeout".
+_UNSET = object()
+
+
+class _Request:
+    """One queued query with its completion future and deadline."""
+
+    __slots__ = ("session_id", "query", "future", "enqueued_at", "timeout",
+                 "claimed")
+
+    def __init__(self, session_id: str, query,
+                 timeout: float | None) -> None:
+        self.session_id = session_id
+        self.query = query
+        self.future: Future = Future()
+        self.enqueued_at = time.monotonic()
+        self.timeout = timeout
+        self.claimed = False
+
+    @property
+    def deadline(self) -> float | None:
+        if self.timeout is None:
+            return None
+        return self.enqueued_at + self.timeout
+
+
+class ServiceGateway:
+    """Concurrent, admission-controlled request front end for a service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.PMWService` to serve through.
+    workers:
+        Worker threads in the cross-session pool. Each worker owns at
+        most one session at a time, so up to ``workers`` *sessions*
+        execute concurrently; within a session, requests are strictly
+        FIFO-serialized.
+    max_queue_depth:
+        Per-session bound on queued (unclaimed) requests; submissions
+        beyond it shed with :class:`Overloaded`.
+    max_in_flight:
+        Optional gateway-wide bound on admitted-but-unfinished requests
+        across all sessions (queued + claimed); ``None`` (default) means
+        only the per-session bound applies.
+    max_coalesce:
+        Most requests a worker merges into one coalesced batch.
+    default_timeout:
+        Deadline (seconds, from enqueue) applied when ``submit`` /
+        ``submit_async`` does not pass ``timeout``. ``None`` means wait
+        forever.
+    use_cache, on_halt:
+        Serving flags forwarded to every coalesced
+        :meth:`~repro.serve.service.PMWService.serve_session_batch` call.
+        They are gateway-wide so any subset of queued requests can merge
+        into one batch. The ``on_halt="hypothesis"`` default keeps
+        batches total across a mid-batch halt.
+    metrics:
+        Optional pre-built :class:`GatewayMetrics` (e.g. shared across
+        gateways); by default a fresh registry.
+    """
+
+    def __init__(self, service, *, workers: int = 4,
+                 max_queue_depth: int = 64,
+                 max_in_flight: int | None = None,
+                 max_coalesce: int = 16,
+                 default_timeout: float | None = None,
+                 use_cache: bool = True, on_halt: str = "hypothesis",
+                 metrics: GatewayMetrics | None = None) -> None:
+        if workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {workers}")
+        if max_queue_depth < 1:
+            raise ValidationError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValidationError(
+                f"max_in_flight must be >= 1 or None, got {max_in_flight}"
+            )
+        if max_coalesce < 1:
+            raise ValidationError(
+                f"max_coalesce must be >= 1, got {max_coalesce}"
+            )
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValidationError(
+                f"default_timeout must be > 0 or None, got {default_timeout}"
+            )
+        if on_halt not in ("raise", "hypothesis"):
+            raise ValidationError(
+                f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
+            )
+        self.service = service
+        self.workers = int(workers)
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_in_flight = (None if max_in_flight is None
+                              else int(max_in_flight))
+        self.max_coalesce = int(max_coalesce)
+        self.default_timeout = default_timeout
+        self.use_cache = bool(use_cache)
+        self.on_halt = on_halt
+        self.metrics = metrics if metrics is not None else GatewayMetrics()
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)   # workers wait here
+        self._idle = threading.Condition(self._lock)   # drain waiters here
+        self._queues: dict[str, deque[_Request]] = {}
+        self._ready: deque[str] = deque()   # sessions with unclaimed work
+        self._scheduled: set[str] = set()   # mirror of _ready, O(1) checks
+        self._busy: set[str] = set()        # sessions a worker owns now
+        self._in_flight = 0                 # admitted and unfinished
+        self._closing = False               # no new admissions
+        self._shutdown = False              # workers may exit
+        self._threads = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"gateway-worker-{index}", daemon=True)
+            for index in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit_async(self, session_id: str, query,
+                     timeout=_UNSET) -> Future:
+        """Enqueue one query; returns a future resolving to a
+        :class:`~repro.serve.session.ServeResult`.
+
+        Sheds immediately with :class:`Overloaded` when the gateway is
+        closing, the session queue is at ``max_queue_depth``, or the
+        gateway-wide ``max_in_flight`` bound is reached. A ``timeout``
+        (default: the gateway's ``default_timeout``) bounds how long the
+        request may wait *unclaimed*; expiry surfaces as
+        :class:`RequestTimeout` on the future — detected lazily, when a
+        worker next claims from this session's queue, so the future may
+        resolve later than the deadline itself (there is no timer
+        thread). Use the blocking :meth:`submit` for a waiter-enforced
+        deadline, or pass ``future.result(timeout=...)`` your own bound.
+        Unknown or closed sessions raise :class:`ValidationError` at
+        submission.
+
+        ``future.cancel()`` works while the request is still queued
+        (it is dropped at claim time, having touched no mechanism
+        state); once a worker claims it the future is RUNNING and the
+        round always completes.
+        """
+        return self._submit(session_id, query, timeout).future
+
+    def submit(self, session_id: str, query, timeout=_UNSET):
+        """Enqueue one query and wait for its answer.
+
+        Blocking form of :meth:`submit_async`. If the deadline passes
+        while the request is still queued, it is shed and
+        :class:`RequestTimeout` raises; if a worker claimed it first,
+        the call waits for the (already-paid-for) answer regardless —
+        a claimed round's ledger spend is never orphaned.
+        """
+        request = self._submit(session_id, query, timeout)
+        if request.timeout is None:
+            return request.future.result()
+        try:
+            return request.future.result(timeout=request.timeout)
+        except FutureTimeout:
+            if self._shed_unclaimed(request):
+                raise RequestTimeout(
+                    f"request to {session_id!r} unclaimed after "
+                    f"{request.timeout:g}s",
+                    session_id=session_id, waited=request.timeout,
+                ) from None
+            # Claimed while we were timing out: the round ran (and its
+            # spend is journaled) — deliver the answer.
+            return request.future.result()
+
+    def _submit(self, session_id: str, query, timeout) -> _Request:
+        if timeout is _UNSET:
+            timeout = self.default_timeout
+        if timeout is not None and timeout <= 0:
+            raise ValidationError(
+                f"timeout must be > 0 or None, got {timeout}"
+            )
+        # Fail fast on unknown/closed sessions, outside the gateway lock.
+        session = self.service.session(session_id)
+        if session.closed:
+            raise ValidationError(f"session {session_id!r} is closed")
+        with self._lock:
+            if self._closing:
+                self.metrics.record_shed("shutdown", session_id)
+                raise Overloaded(
+                    "gateway is draining and admits no new requests",
+                    session_id=session_id, reason="shutdown",
+                )
+            queue = self._queues.setdefault(session_id, deque())
+            if len(queue) >= self.max_queue_depth:
+                self.metrics.record_shed("overload", session_id)
+                raise Overloaded(
+                    f"session {session_id!r} queue is full "
+                    f"({self.max_queue_depth} deep)",
+                    session_id=session_id,
+                )
+            if (self.max_in_flight is not None
+                    and self._in_flight >= self.max_in_flight):
+                self.metrics.record_shed("overload", session_id)
+                raise Overloaded(
+                    f"gateway at max_in_flight={self.max_in_flight}",
+                    session_id=session_id,
+                )
+            request = _Request(session_id, query, timeout)
+            queue.append(request)
+            self._in_flight += 1
+            self.metrics.record_submit(session_id, len(queue))
+            self._schedule_locked(session_id)
+            self._work.notify()
+        return request
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Admitted requests not yet completed or shed."""
+        with self._lock:
+            return self._in_flight
+
+    def queue_depth(self, session_id: str) -> int:
+        """Unclaimed requests queued for one session."""
+        with self._lock:
+            queue = self._queues.get(session_id)
+            return len(queue) if queue else 0
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has completed."""
+        return self._shutdown
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request finished (or ``timeout``).
+
+        Returns ``True`` when the gateway went idle. Admissions stay
+        open — this is a barrier, not a shutdown.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while self._in_flight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+            return True
+
+    def close(self, *, drain: bool = True,
+              timeout: float | None = None) -> None:
+        """Stop admissions, settle in-flight work, stop the workers.
+
+        ``drain=True`` (default) waits for every admitted request to
+        finish. ``drain=False`` sheds all *unclaimed* queued requests
+        with :class:`Overloaded` (their futures fail; none of them ever
+        touched a mechanism), then waits only for claimed batches —
+        which always run to completion, so no write-ahead ledger spend
+        is ever left without its journaled record.
+
+        Raises the builtin :class:`TimeoutError` if settling exceeds
+        ``timeout`` (claimed rounds may still be mid-stream — this is
+        *not* a shed). The gateway is then still draining: admissions
+        stay closed, workers stay alive, and calling :meth:`close`
+        again finishes the shutdown once in-flight work settles.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        doomed: list[tuple[str, _Request]] = []
+        with self._lock:
+            self._closing = True
+            if not drain:
+                for session_id, queue in self._queues.items():
+                    while queue:
+                        request = queue.popleft()
+                        self._in_flight -= 1
+                        self.metrics.record_shed("shutdown", session_id)
+                        doomed.append((session_id, request))
+                self._ready.clear()
+                self._scheduled.clear()
+                # The shed may have emptied the gateway: wake any
+                # concurrent drain() waiter blocked on _idle.
+                self._idle.notify_all()
+        # Settle shed futures OUTSIDE the lock (their done callbacks may
+        # re-enter the gateway), then wait for claimed work to finish.
+        for session_id, request in doomed:
+            _settle_exception(request.future, Overloaded(
+                "request shed by gateway shutdown",
+                session_id=session_id, reason="shutdown",
+            ))
+        with self._lock:
+            while self._in_flight > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        # Not a shed: claimed rounds are still running
+                        # to completion. The gateway stays draining and
+                        # close() can be called again to finish.
+                        raise TimeoutError(
+                            f"gateway close timed out with "
+                            f"{self._in_flight} requests in flight"
+                        )
+                self._idle.wait(remaining)
+            self._shutdown = True
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "ServiceGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- worker pool ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._lock:
+                while not self._ready and not self._shutdown:
+                    self._work.wait()
+                if self._shutdown and not self._ready:
+                    return
+                session_id = self._ready.popleft()
+                self._scheduled.discard(session_id)
+                if session_id in self._busy:
+                    # Another worker still owns this session; it will
+                    # reschedule on release (per-session serialization).
+                    continue
+                self._busy.add(session_id)
+                batch, expired = self._claim_batch_locked(session_id)
+            try:
+                # Settle expired requests OUTSIDE the lock: a done
+                # callback may re-enter the gateway (retry-on-shed),
+                # which would deadlock on the non-reentrant lock.
+                for request, error in expired:
+                    _settle_exception(request.future, error)
+                if batch:
+                    self._execute(session_id, batch)
+            finally:
+                with self._lock:
+                    self._busy.discard(session_id)
+                    self._in_flight -= len(batch)
+                    queue = self._queues.get(session_id)
+                    if queue:
+                        self._schedule_locked(session_id)
+                        self._work.notify()
+                    self._idle.notify_all()
+
+    def _schedule_locked(self, session_id: str) -> None:
+        """Mark a session ready unless it is already queued or owned."""
+        if session_id in self._scheduled or session_id in self._busy:
+            return
+        self._ready.append(session_id)
+        self._scheduled.add(session_id)
+
+    def _claim_batch_locked(self, session_id: str):
+        """Pop up to ``max_coalesce`` live requests; returns
+        ``(batch, expired)``. Claimed requests are committed (their
+        futures are transitioned to RUNNING, so a client ``cancel()``
+        can no longer race the settle); expired and client-cancelled
+        ones are dropped here, with the expired futures returned for
+        the caller to settle *outside* the lock."""
+        queue = self._queues.get(session_id)
+        batch: list[_Request] = []
+        expired: list[tuple[_Request, Exception]] = []
+        now = time.monotonic()
+        waits: list[float] = []
+        while queue and len(batch) < self.max_coalesce:
+            request = queue.popleft()
+            deadline = request.deadline
+            if deadline is not None and now >= deadline:
+                self._in_flight -= 1
+                self.metrics.record_shed("timeout", session_id)
+                expired.append((request, RequestTimeout(
+                    f"request to {session_id!r} expired after "
+                    f"{now - request.enqueued_at:.3f}s in queue",
+                    session_id=session_id,
+                    waited=now - request.enqueued_at,
+                )))
+                continue
+            if not request.future.set_running_or_notify_cancel():
+                # The client cancelled the pending future: it never
+                # touched mechanism state, so just drop it.
+                self._in_flight -= 1
+                self.metrics.record_shed("cancelled", session_id)
+                continue
+            request.claimed = True
+            waits.append(now - request.enqueued_at)
+            batch.append(request)
+        if batch:
+            self.metrics.record_claim(session_id, waits,
+                                      len(queue) if queue else 0)
+        return batch, expired
+
+    def _execute(self, session_id: str, batch: list[_Request]) -> None:
+        """Serve one coalesced batch and settle its futures.
+
+        A raising batch fails all of its requests with that exception —
+        per-request retries are deliberately not attempted, because a
+        partially-executed lane may have released (and journaled) some
+        answers already, and re-running an unfingerprintable query would
+        double-spend its stream slot.
+        """
+        queries = [request.query for request in batch]
+        try:
+            results = self.service.serve_session_batch(
+                session_id, queries,
+                use_cache=self.use_cache, on_halt=self.on_halt,
+            )
+        except BaseException as error:
+            self.metrics.record_failure(session_id, len(batch))
+            for request in batch:
+                _settle_exception(request.future, error)
+            return
+        finished = time.monotonic()
+        self.metrics.record_batch(
+            session_id, size=len(batch),
+            sources=[result.source for result in results],
+            latencies=[finished - request.enqueued_at for request in batch],
+        )
+        for request, result in zip(batch, results):
+            _settle_result(request.future, result)
+
+    def _shed_unclaimed(self, request: _Request) -> bool:
+        """Remove a still-queued request (timeout path). Returns whether
+        the shed happened; ``False`` means a worker claimed it first."""
+        with self._lock:
+            if request.claimed:
+                return False
+            queue = self._queues.get(request.session_id)
+            if queue is None or request not in queue:
+                return False
+            queue.remove(request)
+            self._in_flight -= 1
+            self.metrics.record_shed("timeout", request.session_id)
+            self._idle.notify_all()
+        _settle_exception(request.future, RequestTimeout(
+            f"request to {request.session_id!r} shed after timeout",
+            session_id=request.session_id, waited=request.timeout,
+        ))
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ServiceGateway(workers={self.workers}, "
+            f"max_queue_depth={self.max_queue_depth}, "
+            f"in_flight={self.in_flight}, closed={self.closed})"
+        )
+
+
+def _settle_result(future: Future, result) -> None:
+    """Deliver a result, tolerating a client-cancelled future.
+
+    Claimed futures are moved to RUNNING at claim time (uncancellable),
+    so this should never race in practice — the guard keeps a worker
+    thread alive even if a future somehow reached a terminal state."""
+    try:
+        future.set_result(result)
+    except InvalidStateError:  # pragma: no cover - belt and suspenders
+        pass
+
+
+def _settle_exception(future: Future, error: Exception) -> None:
+    """Fail a future, tolerating a client ``cancel()`` racing the shed
+    (the request never touched mechanism state either way)."""
+    try:
+        future.set_exception(error)
+    except InvalidStateError:
+        pass
+
+
+__all__ = ["ServiceGateway"]

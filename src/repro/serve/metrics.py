@@ -1,0 +1,269 @@
+"""Gateway observability: counters, gauges, and latency histograms.
+
+A production front door is only operable if its pressure is visible:
+how deep the per-session queues run, how long requests wait before a
+worker claims them, how much of the load the coalescer converts into
+batched-kernel work, and how often admission control sheds. The
+:class:`GatewayMetrics` registry collects exactly that, thread-safely,
+and snapshots to a plain-JSON document (``repro-experiments e14`` prints
+one; dashboards can poll :meth:`GatewayMetrics.snapshot`).
+
+Latencies are recorded in fixed geometric buckets
+(:class:`LatencyHistogram`) rather than raw samples, so the registry's
+memory footprint is constant no matter how long the gateway runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.exceptions import ValidationError
+
+#: Geometric bucket upper edges in seconds: 100us doubling up to ~200s.
+#: Observations above the last edge land in a single overflow bucket.
+BUCKET_EDGES: tuple[float, ...] = tuple(1e-4 * 2.0 ** i for i in range(21))
+
+#: The shed kinds admission control distinguishes. ``cancelled`` counts
+#: pending futures the client cancelled before a worker claimed them.
+SHED_KINDS = ("overload", "timeout", "shutdown", "cancelled")
+
+
+class LatencyHistogram:
+    """Constant-memory latency distribution over geometric buckets.
+
+    Not thread-safe on its own; :class:`GatewayMetrics` serializes access
+    under its registry lock.
+    """
+
+    __slots__ = ("counts", "overflow", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * len(BUCKET_EDGES)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (negative clock skew clamps to 0)."""
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total += seconds
+        self.max = max(self.max, seconds)
+        for index, edge in enumerate(BUCKET_EDGES):
+            if seconds <= edge:
+                self.counts[index] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in seconds (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-edge estimate of the ``q``-quantile, ``q`` in [0, 1].
+
+        Bucketed, so the estimate is conservative: the true quantile is
+        at most the returned edge. Overflow samples report the max seen.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValidationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        # Rank at least 1, so q=0 lands on the first *occupied* bucket
+        # (the minimum sample's edge) rather than the first edge.
+        rank = max(1.0, q * self.count)
+        seen = 0
+        for index, edge in enumerate(BUCKET_EDGES):
+            seen += self.counts[index]
+            if seen >= rank:
+                return edge
+        return self.max
+
+    def snapshot(self) -> dict:
+        """JSON-serializable summary (non-empty buckets only)."""
+        return {
+            "count": self.count,
+            "total_seconds": self.total,
+            "mean_seconds": self.mean,
+            "max_seconds": self.max,
+            "p50_seconds": self.quantile(0.50),
+            "p90_seconds": self.quantile(0.90),
+            "p99_seconds": self.quantile(0.99),
+            "buckets": [
+                {"le_seconds": edge, "count": count}
+                for edge, count in zip(BUCKET_EDGES, self.counts)
+                if count
+            ] + ([{"le_seconds": None, "count": self.overflow}]
+                 if self.overflow else []),
+        }
+
+
+class GatewayMetrics:
+    """Thread-safe registry of one gateway's operational counters.
+
+    Tracked:
+
+    - **admission** — submitted, shed (per kind: ``overload`` at a queue
+      or in-flight bound, ``timeout`` for requests whose deadline passed
+      unclaimed, ``shutdown`` for requests dropped by a non-draining
+      close);
+    - **coalescing** — executed batches, how many merged more than one
+      request (and how many requests rode a merged batch), so the
+      "queue pressure becomes batched-kernel work" conversion rate is a
+      first-class number;
+    - **serving** — completed/failed requests, answers by provenance
+      (``cache`` / ``hypothesis`` / ``no-update`` / ``update``);
+    - **latency** — queue-wait (enqueue to worker claim) and end-to-end
+      (enqueue to answer) histograms;
+    - **per-session** — submitted/completed counts and the high-water
+      queue depth.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.sheds = {kind: 0 for kind in SHED_KINDS}
+        self.batches = 0
+        self.coalesced_batches = 0
+        self.coalesced_requests = 0
+        self.sources: dict[str, int] = {}
+        self.queue_wait = LatencyHistogram()
+        self.end_to_end = LatencyHistogram()
+        self._sessions: dict[str, dict] = {}
+
+    # -- recording (called by the gateway) --------------------------------
+
+    def record_submit(self, session_id: str, depth: int) -> None:
+        """One admitted request; ``depth`` is the queue depth after it."""
+        with self._lock:
+            self.submitted += 1
+            entry = self._session(session_id)
+            entry["submitted"] += 1
+            entry["queue_depth"] = depth
+            entry["max_queue_depth"] = max(entry["max_queue_depth"], depth)
+
+    def record_shed(self, kind: str, session_id: str | None = None) -> None:
+        """One request refused (``overload``/``timeout``/``shutdown``)."""
+        if kind not in self.sheds:
+            raise ValidationError(
+                f"unknown shed kind {kind!r}; known: {SHED_KINDS}"
+            )
+        with self._lock:
+            self.sheds[kind] += 1
+            if session_id is not None:
+                self._session(session_id)["shed"] += 1
+
+    def record_claim(self, session_id: str, waits: list[float],
+                     depth: int) -> None:
+        """A worker claimed a batch; ``waits`` are per-request queue
+        waits, ``depth`` the queue depth left behind."""
+        with self._lock:
+            for wait in waits:
+                self.queue_wait.observe(wait)
+            self._session(session_id)["queue_depth"] = depth
+
+    def record_batch(self, session_id: str, *, size: int, sources,
+                     latencies) -> None:
+        """One executed batch: provenance tally + end-to-end latencies."""
+        with self._lock:
+            self.batches += 1
+            if size > 1:
+                self.coalesced_batches += 1
+                self.coalesced_requests += size
+            self.completed += size
+            entry = self._session(session_id)
+            entry["completed"] += size
+            for source in sources:
+                self.sources[source] = self.sources.get(source, 0) + 1
+            for latency in latencies:
+                self.end_to_end.observe(latency)
+
+    def record_failure(self, session_id: str, count: int) -> None:
+        """A batch execution raised; all its requests failed."""
+        with self._lock:
+            self.failed += count
+            self._session(session_id)["failed"] += count
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def shed_total(self) -> int:
+        """Requests refused across all shed kinds."""
+        with self._lock:
+            return sum(self.sheds.values())
+
+    @property
+    def cache_hits(self) -> int:
+        """Answers served by zero-cost replay."""
+        with self._lock:
+            return self.sources.get("cache", 0)
+
+    def snapshot(self) -> dict:
+        """Full JSON-serializable state of the registry."""
+        with self._lock:
+            coalesce_rate = (self.coalesced_requests / self.completed
+                            if self.completed else 0.0)
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": dict(self.sheds),
+                "shed_total": sum(self.sheds.values()),
+                "batches": self.batches,
+                "coalesced_batches": self.coalesced_batches,
+                "coalesced_requests": self.coalesced_requests,
+                "coalesce_rate": coalesce_rate,
+                "sources": dict(self.sources),
+                "queue_wait": self.queue_wait.snapshot(),
+                "end_to_end": self.end_to_end.snapshot(),
+                "sessions": {sid: dict(entry)
+                             for sid, entry in self._sessions.items()},
+            }
+
+    def to_json(self, path=None, *, indent: int = 2) -> str:
+        """The snapshot as a JSON document, optionally written to disk."""
+        text = json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    def describe(self) -> str:
+        """One-paragraph operator summary."""
+        snap = self.snapshot()
+        return (
+            f"gateway: {snap['submitted']} submitted, "
+            f"{snap['completed']} completed, {snap['failed']} failed, "
+            f"{snap['shed_total']} shed {snap['shed']}; "
+            f"{snap['batches']} batches "
+            f"({snap['coalesced_batches']} coalesced covering "
+            f"{snap['coalesced_requests']} requests); "
+            f"sources {snap['sources']}; "
+            f"queue wait p50 {snap['queue_wait']['p50_seconds'] * 1e3:.2f}ms, "
+            f"end-to-end p99 {snap['end_to_end']['p99_seconds'] * 1e3:.2f}ms"
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _session(self, session_id: str) -> dict:
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            entry = {"submitted": 0, "completed": 0, "failed": 0, "shed": 0,
+                     "queue_depth": 0, "max_queue_depth": 0}
+            self._sessions[session_id] = entry
+        return entry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GatewayMetrics(submitted={self.submitted}, "
+            f"completed={self.completed}, shed={self.shed_total})"
+        )
+
+
+__all__ = ["GatewayMetrics", "LatencyHistogram", "BUCKET_EDGES",
+           "SHED_KINDS"]

@@ -35,6 +35,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.exceptions import ValidationError
 from repro.serve.cache import AnswerCache
 from repro.serve.session import Session, try_fingerprint
 
@@ -121,15 +122,25 @@ def concurrent_map(worker, batches: dict, *, max_workers: int | None = None) -> 
     """Run ``worker(session_id, queries)`` over every batch, concurrently.
 
     Returns ``{session_id: worker_result}``. Exceptions propagate (the
-    first one raised wins, as with any future-based fan-out). Sessions are
-    independent mechanisms, so cross-session parallelism is safe; the
-    per-session work stays on one thread, preserving stream order.
+    first one raised wins, as with any future-based fan-out) — but every
+    submitted worker still runs to completion before the pool is torn
+    down, so one session's failure never truncates another session's
+    stream mid-batch. ``max_workers=1`` runs the batches inline on the
+    calling thread, byte-identical to a serial loop; ``None`` sizes the
+    pool automatically. Sessions are independent mechanisms, so
+    cross-session parallelism is safe; the per-session work stays on one
+    thread, preserving stream order.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ValidationError(
+            f"max_workers must be >= 1 (or None for automatic sizing), "
+            f"got {max_workers}"
+        )
     if not batches:
         return {}
     if max_workers is None:
         max_workers = min(8, len(batches))
-    if max_workers <= 1 or len(batches) == 1:
+    if max_workers == 1 or len(batches) == 1:
         return {sid: worker(sid, queries) for sid, queries in batches.items()}
     with ThreadPoolExecutor(max_workers=max_workers) as pool:
         futures = {

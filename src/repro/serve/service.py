@@ -235,16 +235,26 @@ class PMWService:
             single, queries = batches
             batches = {single: list(queries)}
         results = concurrent_map(
-            lambda sid, queries: self._serve_batch(sid, queries,
-                                                   use_cache=use_cache,
-                                                   on_halt=on_halt),
+            lambda sid, queries: self.serve_session_batch(
+                sid, queries, use_cache=use_cache, on_halt=on_halt),
             {sid: list(queries) for sid, queries in batches.items()},
             max_workers=max_workers,
         )
         return results[single] if single is not None else results
 
-    def _serve_batch(self, session_id: str, queries, *, use_cache: bool,
-                     on_halt: str) -> list[ServeResult]:
+    def serve_session_batch(self, session_id: str, queries, *,
+                            use_cache: bool = True,
+                            on_halt: str = "hypothesis") -> list[ServeResult]:
+        """Serve one session's batch: planned lanes, engine-prewarmed.
+
+        The single-session execution path under :meth:`answer_batch`
+        (which fans it out across sessions) and the unit the gateway's
+        coalescer submits (:meth:`gateway`): the planner lanes the batch
+        (cache / in-batch duplicates / hypothesis / mechanism), the
+        session pre-warms the mechanism lane through the batched
+        evaluation engine, and the lane streams in order under the
+        session lock. Results align with ``queries``.
+        """
         session = self.session(session_id)
         self._check_session_open(session)
         plan = plan_batch(session, queries,
@@ -369,6 +379,18 @@ class PMWService:
             delta_spent=float(sum(r["delta"] for r in records)),
         )
 
+    def gateway(self, **knobs) -> "ServiceGateway":
+        """Build a :class:`~repro.serve.gateway.ServiceGateway` front end.
+
+        Convenience constructor: ``service.gateway(workers=8,
+        max_queue_depth=32)``. The gateway owns a worker pool with
+        bounded per-session FIFO queues, admission control, and batch
+        coalescing — see :mod:`repro.serve.gateway`.
+        """
+        from repro.serve.gateway import ServiceGateway
+
+        return ServiceGateway(self, **knobs)
+
     # -- accounting ------------------------------------------------------------
 
     def budget_report(self) -> str:
@@ -384,6 +406,7 @@ class PMWService:
                 f"  {sid} [{session.analyst}] on {session.dataset!r}: "
                 f"eps={total.epsilon:g} delta={total.delta:g} "
                 f"({session.accountant.num_spends} spends, "
+                f"{session.queries_served} rounds served, "
                 f"state={session.state}, halted={session.halted})"
             )
         for name, epsilon in totals.items():

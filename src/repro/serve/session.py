@@ -101,6 +101,7 @@ class Session:
         self.lock = threading.RLock()
         self._state = OPEN
         self._journal_cursor = 0
+        self._queries_served = 0
         #: Spends owed but not yet recorded or journaled — used by cold
         #: (ledger-only) resume: the restarted mechanism's fresh
         #: sparse-vector interaction is charged the moment it is first
@@ -141,6 +142,13 @@ class Session:
         """The mechanism's :class:`PrivacyAccountant`."""
         return self.mechanism.accountant
 
+    @property
+    def queries_served(self) -> int:
+        """Serving-layer rounds this session ran (mechanism + hypothesis
+        answers; cache replays never reach the session). Monotone, so
+        gateway metrics and load reports can diff it between polls."""
+        return self._queries_served
+
     def close(self) -> None:
         """Mark the session closed; further answers raise."""
         with self.lock:
@@ -158,6 +166,7 @@ class Session:
         with self.lock:
             self._check_open()
             raw = self.mechanism.answer(query)
+            self._queries_served += 1
         value, from_update, index = _unpack(raw)
         return value, ("update" if from_update else "no-update"), index
 
@@ -166,8 +175,11 @@ class Session:
         with self.lock:
             self._check_open()
             if isinstance(query, LinearQuery):
-                return self.mechanism.hypothesis.dot(query.table)
-            return self.mechanism.answer_from_hypothesis(query).theta
+                value = self.mechanism.hypothesis.dot(query.table)
+            else:
+                value = self.mechanism.answer_from_hypothesis(query).theta
+            self._queries_served += 1
+            return value
 
     def prewarm(self, queries) -> int:
         """Hand a whole mechanism lane to the engine before serving it.
@@ -241,6 +253,7 @@ class Session:
                 "dataset": self.dataset,
                 "state": self._state,
                 "hypothesis_version": self.hypothesis_version,
+                "queries_served": self._queries_served,
                 "journal_cursor": self._journal_cursor,
                 "pending_spends": [dict(r) for r in self.pending_spends],
                 "mechanism_snapshot": self.mechanism.snapshot(),
@@ -257,6 +270,7 @@ class Session:
             dataset=snapshot.get("dataset", ""),
         )
         session._state = snapshot.get("state", OPEN)
+        session._queries_served = int(snapshot.get("queries_served", 0))
         session._journal_cursor = int(snapshot.get("journal_cursor", 0))
         session.pending_spends = [
             dict(r) for r in snapshot.get("pending_spends", [])

@@ -66,7 +66,6 @@ class TestDiscretizationError:
 class TestLipschitzRoundingClaim:
     def test_loss_shift_bounded_by_lipschitz_times_error(self):
         """Section 1.1's rounding argument, verified on logistic loss."""
-        from repro.data.dataset import Dataset
         from repro.losses.logistic import LogisticLoss
         from repro.optimize.projections import L2Ball
 

@@ -8,7 +8,6 @@ locally too.
 import pathlib
 import sys
 
-import pytest
 
 TOOLS = pathlib.Path(__file__).resolve().parents[2] / "tools"
 sys.path.insert(0, str(TOOLS))

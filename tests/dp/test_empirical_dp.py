@@ -13,7 +13,6 @@ sensitivity, wrong noise scale), which is their job here.
 """
 
 import numpy as np
-import pytest
 
 from repro.dp.sparse_vector import SparseVector
 

@@ -201,3 +201,30 @@ class TestCompiledBatchReuse:
         batch.loss_values(thetas, histogram)
         batch.data_minima(histogram)
         assert group.squared_tables() is cached  # reused, not rebuilt
+
+
+class TestClosedFormMinima:
+    def test_filters_to_shared_kernel_families(self, task):
+        from repro.engine import closed_form_minima
+        from repro.losses.families import linear_queries_as_cm
+
+        squared = random_squared_family(task.universe, 2, rng=40)
+        logistic = random_logistic_family(task.universe, 2, rng=41)
+        quadratic = random_quadratic_family(task.universe, 2, rng=42)
+        embedded = linear_queries_as_cm(
+            random_linear_queries(task.universe, 2, rng=43))
+        lane = list(squared) + list(logistic) + list(quadratic) \
+            + list(embedded)
+        kept = closed_form_minima(lane, universe=task.universe)
+        # only the shared-moment families survive the filter
+        assert kept == list(squared) + list(embedded)
+
+    def test_unlabeled_universe_drops_squared(self, task):
+        """_squared_minima's closed form needs labels; mirror that."""
+        from repro.data.builders import interval_grid
+        from repro.engine import closed_form_minima
+
+        squared = random_squared_family(task.universe, 2, rng=44)
+        unlabeled = interval_grid(10)
+        assert closed_form_minima(squared, universe=unlabeled) == []
+        assert closed_form_minima(squared) == list(squared)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import Histogram, make_classification_dataset
+from repro.data import make_classification_dataset
 from repro.engine import kernels
 from repro.exceptions import ValidationError
 from repro.losses.families import (

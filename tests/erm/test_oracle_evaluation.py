@@ -1,7 +1,5 @@
 """Tests for the oracle evaluation helper (OracleEvaluation statistics)."""
 
-import numpy as np
-import pytest
 
 from repro.erm.oracle import NonPrivateOracle, evaluate_oracle
 from repro.erm.output_perturbation import OutputPerturbationOracle

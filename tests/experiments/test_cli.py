@@ -13,8 +13,8 @@ class TestCLI:
             assert key in out
 
     def test_every_bench_has_a_cli_entry(self):
-        """Keep the CLI in sync with the benchmark suite (E1-E13)."""
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 14)}
+        """Keep the CLI in sync with the experiment index (E1-E14)."""
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):

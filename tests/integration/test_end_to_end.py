@@ -5,7 +5,6 @@ family construction, oracle plug-in, the Figure 3 mechanism, accuracy
 measurement, privacy accounting — across all four Table 1 loss families.
 """
 
-import numpy as np
 import pytest
 
 from repro.adaptive.analysts import WorstCaseAnalyst

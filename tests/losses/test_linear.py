@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.histogram import Histogram
 from repro.exceptions import ValidationError
 from repro.losses.linear import LinearQuery, LinearQueryAsCM
 from repro.optimize.minimize import minimize_loss

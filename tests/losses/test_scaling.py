@@ -1,6 +1,5 @@
 """Tests for the scale parameter S and family validation."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import LossSpecificationError

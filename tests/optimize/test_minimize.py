@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.data.dataset import Dataset
 from repro.losses.logistic import LogisticLoss
 from repro.losses.quadratic import QuadraticLoss
 from repro.optimize.minimize import minimize_loss

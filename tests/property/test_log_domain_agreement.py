@@ -11,7 +11,6 @@ snapshot/restore splicing allowed anywhere in the sequence.
 import json
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
@@ -35,7 +34,13 @@ update_sequences = st.lists(
 
 weight_arrays = hnp.arrays(
     dtype=float, shape=SIZE,
-    elements=st.floats(min_value=0.0, max_value=50.0),
+    # Subnormal weights (< ~2.2e-308) are excluded: they carry no
+    # meaningful probability mass (no count/n histogram produces them),
+    # and log-of-subnormal loses enough precision that the two
+    # representations legitimately diverge past 1e-10 on the KL
+    # potential while still agreeing on every answer.
+    elements=st.floats(min_value=0.0, max_value=50.0,
+                       allow_subnormal=False),
 ).filter(lambda w: w.sum() > 1e-6)
 
 

@@ -12,7 +12,6 @@ losses, datasets, and hypotheses rather than hand-picked cases:
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -49,6 +49,67 @@ def test_batch_serving_matches_sequential_submits(task, losses):
                                    np.asarray(b.value), atol=1e-10)
 
 
+def test_lane_hypothesis_minima_match_scalar(task):
+    """Prewarm registers the lane for hypothesis-side batching; the
+    batched shared-moment solves must agree with the scalar dispatch."""
+    from repro.erm.oracle import NonPrivateOracle
+    from repro.core.pmw_cm import PrivateMWConvex
+
+    losses = random_squared_family(task.universe, 6, rng=11)
+    kwargs = dict(scale=2.0 * max(loss.scale_bound() for loss in losses),
+                  alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                  max_updates=5, solver_steps=60, noise_multiplier=0.0)
+    batched = PrivateMWConvex(task.dataset, NonPrivateOracle(60), rng=13,
+                              **kwargs)
+    scalar = PrivateMWConvex(task.dataset, NonPrivateOracle(60), rng=13,
+                             **kwargs)
+    batched.prewarm(losses)
+    assert list(batched._lane_minima) == [loss.fingerprint()
+                                          for loss in losses]
+    for loss in losses:
+        a = batched.answer(loss)
+        b = scalar.answer(loss)
+        assert a.from_update == b.from_update
+        np.testing.assert_allclose(a.theta, b.theta, atol=1e-10)
+    # the batch pass actually populated current-version entries
+    version = batched.hypothesis_version
+    assert any(key_version == version
+               for _, key_version in batched._hypothesis_minima)
+
+
+def test_linear_prewarm_matches_scalar_rounds(task):
+    """A prewarmed PMW-linear twin answers identically to a cold one."""
+    from repro.core.pmw_linear import PrivateMWLinear
+    from repro.losses.families import random_linear_queries
+
+    queries = random_linear_queries(task.universe, 12, rng=5)
+    kwargs = dict(alpha=0.2, epsilon=1.5, delta=1e-6, max_updates=6,
+                  noise_multiplier=0.0)
+    warm = PrivateMWLinear(task.dataset, rng=7, **kwargs)
+    cold = PrivateMWLinear(task.dataset, rng=7, **kwargs)
+    added = warm.prewarm(queries + queries)  # duplicates dedupe
+    assert added == len(queries)
+    assert warm.prewarm(queries) == 0  # already warm
+    for query in queries:
+        got = warm.answer(query)
+        want = cold.answer(query)
+        assert got.from_update == want.from_update
+        assert got.value == pytest.approx(want.value, abs=1e-12)
+
+
+def test_linear_batch_serving_prewarms_true_answers(task):
+    from repro.losses.families import random_linear_queries
+
+    service = PMWService(task.dataset, rng=6)
+    sid = service.open_session("pmw-linear", alpha=0.2, epsilon=1.5,
+                               delta=1e-6, max_updates=6)
+    queries = random_linear_queries(task.universe, 6, rng=7)
+    service.answer_batch((sid, queries))
+    mechanism = service.session(sid).mechanism
+    for query in queries:
+        assert query.fingerprint() in mechanism._true_answers
+
+
 def test_plan_mechanism_lane_preserves_order(task, losses):
     service = PMWService(task.dataset, rng=4)
     sid = service.open_session("pmw-convex", **PARAMS)
@@ -59,13 +120,26 @@ def test_plan_mechanism_lane_preserves_order(task, losses):
     assert lane == [losses[0], losses[1], losses[2]]
 
 
-def test_session_prewarm_noop_for_linear(task):
+def test_session_prewarm_linear_counts_distinct(task):
+    """PMW-linear sessions batch their true-answer side on prewarm
+    (one loss-matrix matvec per lane) — added in the gateway PR."""
     from repro.losses.families import random_linear_queries
 
     service = PMWService(task.dataset, rng=5)
     sid = service.open_session("pmw-linear", alpha=0.2, epsilon=2.0,
                                max_updates=10)
     queries = random_linear_queries(task.universe, 4, rng=6)
-    assert service.session(sid).prewarm(queries) == 0
+    assert service.session(sid).prewarm(queries) == 4
     results = service.answer_batch((sid, queries))
     assert len(results) == 4
+
+
+def test_session_prewarm_noop_without_hook(task):
+    """Mechanisms without a prewarm hook stay a no-op (plug-in path)."""
+    from repro.serve.session import Session
+
+    class Hookless:
+        halted = False
+
+    session = Session("bare", Hookless())
+    assert session.prewarm(["anything"]) == 0

@@ -1,0 +1,639 @@
+"""Tests for the concurrent request gateway (`repro.serve.gateway`).
+
+Covers the four gateway contracts: per-session serialization under a
+cross-session worker pool, admission control (queue depth, in-flight
+bound, deadlines) with typed shedding, batch coalescing into the planned
+serving path, and the drain/shutdown protocol's ledger exactness.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant
+from repro.exceptions import (
+    LossSpecificationError,
+    Overloaded,
+    RequestTimeout,
+    ValidationError,
+)
+from repro.losses.families import random_quadratic_family
+from repro.serve.gateway import ServiceGateway
+from repro.serve.ledger import replay_ledger
+from repro.serve.metrics import GatewayMetrics, LatencyHistogram
+from repro.serve.registry import MechanismRegistry
+from repro.serve.service import PMWService
+
+
+# -- stub plumbing ------------------------------------------------------------
+
+
+class StubAnswer:
+    def __init__(self, value, from_update, query_index):
+        self.value = value
+        self.from_update = from_update
+        self.query_index = query_index
+
+
+class StubQuery:
+    """Fingerprintable no-math query (the stub mechanism keys on it)."""
+
+    def __init__(self, key):
+        self.key = key
+
+    def fingerprint(self):
+        return f"stub:{self.key}"
+
+
+class OpaqueQuery(StubQuery):
+    """Unfingerprintable: cannot ride the cache or in-batch dedup."""
+
+    def fingerprint(self):
+        raise LossSpecificationError("opaque")
+
+
+class StubMechanism:
+    """Records every round's (key, start, end) and detects interleaving.
+
+    ``gate`` (an Event) blocks each round until set — the tests use it to
+    hold a worker mid-batch deterministically; ``started`` is set when a
+    round begins executing. ``epsilon_per_round`` makes rounds paid, so
+    ledger tests see real spends.
+    """
+
+    def __init__(self, *, delay=0.0, gate=None, started=None,
+                 epsilon_per_round=0.0, barrier=None):
+        self.accountant = PrivacyAccountant()
+        self.halted = False
+        self.delay = delay
+        self.gate = gate
+        self.started = started
+        self.barrier = barrier
+        self.epsilon_per_round = epsilon_per_round
+        self.calls = []
+        self.overlaps = 0
+        self._active = 0
+        self._probe = threading.Lock()
+        self._index = 0
+
+    def answer(self, query):
+        with self._probe:
+            self._active += 1
+            if self._active > 1:
+                self.overlaps += 1
+        start = time.monotonic()
+        if self.started is not None:
+            self.started.set()
+        if self.gate is not None:
+            assert self.gate.wait(10.0), "test gate never opened"
+        if self.barrier is not None:
+            self.barrier.wait(timeout=10.0)
+        if self.delay:
+            time.sleep(self.delay)
+        if self.epsilon_per_round:
+            self.accountant.spend(self.epsilon_per_round, 0.0, label="stub")
+        index = self._index
+        self._index += 1
+        with self._probe:
+            self._active -= 1
+            self.calls.append((query.key, start, time.monotonic()))
+        return StubAnswer(float(index), self.epsilon_per_round > 0, index)
+
+
+def stub_service(dataset, mechanisms, *, ledger_path=None):
+    """A PMWService whose sessions wrap the given stub mechanisms."""
+    registry = MechanismRegistry()
+    pool = list(mechanisms)
+
+    @registry.register("stub")
+    def _build(dataset, *, rng=None, **params):
+        return pool.pop(0)
+
+    service = PMWService(dataset, registry=registry, ledger_path=ledger_path,
+                         rng=0)
+    sids = [service.open_session("stub") for _ in mechanisms]
+    return service, sids
+
+
+def open_convex(service, **overrides):
+    params = dict(oracle="non-private", scale=4.0, alpha=0.3, beta=0.1,
+                  epsilon=2.0, delta=1e-6, schedule="calibrated",
+                  max_updates=4, solver_steps=60, noise_multiplier=0.0)
+    params.update(overrides)
+    return service.open_session("pmw-convex", **params)
+
+
+# -- construction / validation ------------------------------------------------
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("knobs", [
+        dict(workers=0), dict(max_queue_depth=0), dict(max_in_flight=0),
+        dict(max_coalesce=0), dict(default_timeout=0.0),
+        dict(on_halt="explode"),
+    ])
+    def test_bad_knobs_rejected(self, cube_dataset, knobs):
+        service, _ = stub_service(cube_dataset, [StubMechanism()])
+        with pytest.raises(ValidationError):
+            ServiceGateway(service, **knobs)
+
+    def test_unknown_session_fails_fast(self, cube_dataset):
+        service, _ = stub_service(cube_dataset, [StubMechanism()])
+        with service.gateway(workers=1) as gateway:
+            with pytest.raises(ValidationError, match="unknown session"):
+                gateway.submit_async("ghost", StubQuery("q"))
+
+    def test_closed_session_fails_fast(self, cube_dataset):
+        service, (sid,) = stub_service(cube_dataset, [StubMechanism()])
+        service.close_session(sid)
+        with service.gateway(workers=1) as gateway:
+            with pytest.raises(ValidationError, match="closed"):
+                gateway.submit_async(sid, StubQuery("q"))
+
+    def test_closed_gateway_sheds(self, cube_dataset):
+        service, (sid,) = stub_service(cube_dataset, [StubMechanism()])
+        gateway = service.gateway(workers=1)
+        gateway.close()
+        with pytest.raises(Overloaded, match="draining"):
+            gateway.submit(sid, StubQuery("q"))
+        assert gateway.metrics.sheds["shutdown"] == 1
+
+
+# -- serialization and concurrency -------------------------------------------
+
+
+class TestSerialization:
+    def test_per_session_rounds_never_interleave(self, cube_dataset):
+        """Stress: many workers, many submitters, one session — the
+        mechanism's privacy-state mutations must stay strictly serial."""
+        mechanism = StubMechanism(delay=0.001)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        with service.gateway(workers=6, max_queue_depth=1000,
+                             max_coalesce=4) as gateway:
+            futures = []
+            sink = threading.Lock()
+
+            def flood(offset):
+                local = [gateway.submit_async(sid, StubQuery(f"{offset}-{i}"))
+                         for i in range(25)]
+                with sink:
+                    futures.extend(local)
+
+            threads = [threading.Thread(target=flood, args=(t,))
+                       for t in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [future.result(timeout=30) for future in futures]
+        assert len(results) == 100
+        assert mechanism.overlaps == 0
+        # intervals must be pairwise disjoint, not just overlap-free by
+        # the probe's sampling: check end_i <= start_{i+1} in call order
+        calls = sorted(mechanism.calls, key=lambda call: call[1])
+        for (_, _, end), (_, start, _) in zip(calls, calls[1:]):
+            assert end <= start
+
+    def test_single_submitter_is_fifo(self, cube_dataset):
+        mechanism = StubMechanism()
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        with service.gateway(workers=4, max_queue_depth=100) as gateway:
+            futures = [gateway.submit_async(sid, StubQuery(str(i)))
+                       for i in range(30)]
+            for future in futures:
+                future.result(timeout=30)
+        assert [key for key, _, _ in mechanism.calls] \
+            == [str(i) for i in range(30)]
+
+    def test_sessions_run_concurrently(self, cube_dataset):
+        """A shared barrier inside both mechanisms deadlocks unless two
+        sessions execute at the same time on different workers."""
+        barrier = threading.Barrier(2, timeout=10.0)
+        mechanisms = [StubMechanism(barrier=barrier),
+                      StubMechanism(barrier=barrier)]
+        service, sids = stub_service(cube_dataset, mechanisms)
+        with service.gateway(workers=2) as gateway:
+            futures = [gateway.submit_async(sid, StubQuery("q"))
+                       for sid in sids]
+            for future in futures:
+                future.result(timeout=10)
+
+    def test_matches_serial_service_exactly(self, concentrated_dataset):
+        """Deterministic twins: gateway answers == plain serial submits."""
+        serial = PMWService(concentrated_dataset, rng=7)
+        gated = PMWService(concentrated_dataset, rng=7)
+        sid_s = open_convex(serial)
+        sid_g = open_convex(gated)
+        losses = random_quadratic_family(concentrated_dataset.universe, 6,
+                                         rng=8)
+        stream = losses + [losses[0], losses[3]]
+        expected = [serial.submit(sid_s, loss, on_halt="hypothesis")
+                    for loss in stream]
+        with gated.gateway(workers=3, max_coalesce=4) as gateway:
+            futures = [gateway.submit_async(sid_g, loss) for loss in stream]
+            got = [future.result(timeout=60) for future in futures]
+        for have, want in zip(got, expected):
+            np.testing.assert_allclose(np.asarray(have.value),
+                                       np.asarray(want.value), atol=1e-10)
+            assert have.epsilon_spent == want.epsilon_spent
+
+
+# -- admission control --------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def _blocked_gateway(self, dataset, **knobs):
+        """One worker held mid-round on a gate; returns the pieces."""
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(dataset, [mechanism])
+        gateway = service.gateway(workers=1, **knobs)
+        first = gateway.submit_async(sid, StubQuery("first"))
+        assert started.wait(5.0)
+        return gateway, sid, gate, first
+
+    def test_queue_depth_sheds_overload(self, cube_dataset):
+        gateway, sid, gate, first = self._blocked_gateway(
+            cube_dataset, max_queue_depth=3)
+        queued = [gateway.submit_async(sid, StubQuery(f"q{i}"))
+                  for i in range(3)]
+        with pytest.raises(Overloaded, match="queue is full") as shed:
+            gateway.submit_async(sid, StubQuery("overflow"))
+        assert shed.value.session_id == sid
+        assert shed.value.reason == "overload"
+        gate.set()
+        for future in [first, *queued]:
+            future.result(timeout=10)
+        gateway.close()
+        assert gateway.metrics.sheds["overload"] == 1
+        assert gateway.metrics.completed == 4
+
+    def test_in_flight_bound_sheds_overload(self, cube_dataset):
+        gateway, sid, gate, first = self._blocked_gateway(
+            cube_dataset, max_queue_depth=50, max_in_flight=2)
+        second = gateway.submit_async(sid, StubQuery("second"))
+        with pytest.raises(Overloaded, match="max_in_flight"):
+            gateway.submit_async(sid, StubQuery("third"))
+        gate.set()
+        first.result(timeout=10)
+        second.result(timeout=10)
+        gateway.close()
+
+    def test_unclaimed_timeout_sheds(self, cube_dataset):
+        gateway, sid, gate, first = self._blocked_gateway(
+            cube_dataset, max_queue_depth=10)
+        started = time.monotonic()
+        with pytest.raises(RequestTimeout):
+            gateway.submit(sid, StubQuery("stuck"), timeout=0.2)
+        assert time.monotonic() - started < 5.0
+        gate.set()
+        first.result(timeout=10)
+        gateway.close()
+        assert gateway.metrics.sheds["timeout"] == 1
+        # the shed request never reached the mechanism
+        assert gateway.metrics.completed == 1
+
+    def test_claimed_request_survives_waiter_timeout(self, cube_dataset):
+        """Once claimed, a round runs to completion and its answer is
+        delivered — a timed-out waiter still gets the (paid-for) result."""
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+
+        def release():
+            assert started.wait(10.0)  # the request is claimed for sure
+            time.sleep(1.5)            # outlive the waiter's 1s timeout
+            gate.set()
+
+        releaser = threading.Thread(target=release)
+        releaser.start()
+        with service.gateway(workers=1) as gateway:
+            result = gateway.submit(sid, StubQuery("slow"), timeout=1.0)
+        releaser.join()
+        assert result.value == 0.0
+        assert gateway.metrics.sheds["timeout"] == 0
+
+    def test_cancelled_future_does_not_kill_the_worker(self, cube_dataset):
+        """A client cancelling a queued future must not poison the pool:
+        the request is dropped at claim time and later requests on the
+        same (sole) worker still get served."""
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        gateway = service.gateway(workers=1, max_queue_depth=10)
+        head = gateway.submit_async(sid, StubQuery("head"))
+        assert started.wait(5.0)
+        doomed = gateway.submit_async(sid, StubQuery("doomed"))
+        survivor = gateway.submit_async(sid, StubQuery("survivor"))
+        assert doomed.cancel()
+        gate.set()
+        head.result(timeout=10)
+        assert survivor.result(timeout=10).source in ("update", "no-update")
+        # the cancelled request never reached the mechanism
+        assert [key for key, _, _ in mechanism.calls] == ["head", "survivor"]
+        gateway.close()
+        assert gateway.metrics.sheds["cancelled"] == 1
+        assert gateway.in_flight == 0
+
+    def test_shed_callback_may_reenter_the_gateway(self, cube_dataset):
+        """Done callbacks run synchronously on the settling thread; a
+        retry-on-shed callback that calls back into the gateway must not
+        deadlock (sheds settle outside the gateway lock)."""
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        gateway = service.gateway(workers=1, max_queue_depth=10)
+        retried = []
+
+        def retry(future):
+            if future.exception() is not None:
+                retried.append(gateway.submit_async(sid, StubQuery("retry")))
+
+        head = gateway.submit_async(sid, StubQuery("head"))
+        assert started.wait(5.0)
+        stale = gateway.submit_async(sid, StubQuery("stale"), timeout=0.05)
+        stale.add_done_callback(retry)
+        time.sleep(0.1)  # expire while the worker is gated
+        gate.set()
+        head.result(timeout=10)
+        with pytest.raises(RequestTimeout):
+            stale.result(timeout=10)
+        assert len(retried) == 1
+        assert retried[0].result(timeout=10).source in ("update", "no-update")
+        gateway.close()
+
+    def test_expired_requests_shed_at_claim_time(self, cube_dataset):
+        gateway, sid, gate, first = self._blocked_gateway(
+            cube_dataset, max_queue_depth=10)
+        stale = gateway.submit_async(sid, StubQuery("stale"), timeout=0.05)
+        time.sleep(0.1)  # expire while the worker is still gated
+        gate.set()
+        first.result(timeout=10)
+        with pytest.raises(RequestTimeout):
+            stale.result(timeout=10)
+        gateway.close()
+        assert gateway.metrics.sheds["timeout"] == 1
+
+
+# -- coalescing ---------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_queued_requests_merge_into_one_batch(self, cube_dataset):
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        with service.gateway(workers=1, max_coalesce=8) as gateway:
+            first = gateway.submit_async(sid, StubQuery("a"))
+            assert started.wait(5.0)
+            queued = [gateway.submit_async(sid, StubQuery(key))
+                      for key in ("b", "c", "d", "b")]
+            gate.set()
+            first.result(timeout=10)
+            results = [future.result(timeout=10) for future in queued]
+        snapshot = gateway.metrics.snapshot()
+        assert snapshot["batches"] == 2  # the solo head + one merged batch
+        assert snapshot["coalesced_batches"] == 1
+        assert snapshot["coalesced_requests"] == 4
+        # the in-batch duplicate rode the dedup lane, not a fresh round
+        assert results[3].source == "cache"
+        assert [key for key, _, _ in mechanism.calls] == ["a", "b", "c", "d"]
+
+    def test_unfingerprintable_queries_still_served(self, cube_dataset):
+        mechanism = StubMechanism()
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        with service.gateway(workers=1) as gateway:
+            result = gateway.submit(sid, OpaqueQuery("x"))
+        assert result.fingerprint == ""
+        assert result.source in ("update", "no-update")
+
+    def test_failed_batch_fails_all_its_requests(self, cube_dataset):
+        class ExplodingMechanism(StubMechanism):
+            def answer(self, query):
+                raise RuntimeError("kaboom")
+
+        service, (sid,) = stub_service(cube_dataset, [ExplodingMechanism()])
+        gateway = service.gateway(workers=1, on_halt="raise")
+        future = gateway.submit_async(sid, StubQuery("boom"))
+        with pytest.raises(RuntimeError, match="kaboom"):
+            future.result(timeout=10)
+        gateway.close()
+        assert gateway.metrics.failed == 1
+        assert gateway.metrics.completed == 0
+
+    def test_real_session_queue_pressure_coalesces(self, cube_dataset):
+        """Hold the only worker on a stub session, pile real queries onto
+        a pmw-convex session, release: the backlog must execute as one
+        coalesced (engine-prewarmed) batch, not five solo rounds."""
+        from repro.serve.registry import default_registry
+
+        gate = threading.Event()
+        started = threading.Event()
+        stub = StubMechanism(gate=gate, started=started)
+        registry = default_registry()
+
+        @registry.register("stub")
+        def _build(dataset, *, rng=None, **params):
+            return stub
+
+        service = PMWService(cube_dataset, registry=registry, rng=11)
+        stub_sid = service.open_session("stub")
+        real_sid = service.open_session(
+            "pmw-convex", oracle="non-private", scale=4.0, alpha=0.3,
+            beta=0.1, epsilon=2.0, delta=1e-6, max_updates=4,
+            solver_steps=60, noise_multiplier=0.0)
+        losses = random_quadratic_family(cube_dataset.universe, 5, rng=12)
+
+        with service.gateway(workers=1, max_coalesce=8) as gateway:
+            head = gateway.submit_async(stub_sid, StubQuery("hold"))
+            assert started.wait(5.0)
+            futures = [gateway.submit_async(real_sid, loss)
+                       for loss in losses]
+            gate.set()
+            head.result(timeout=10)
+            for future in futures:
+                future.result(timeout=60)
+        snapshot = gateway.metrics.snapshot()
+        assert snapshot["coalesced_batches"] == 1
+        assert snapshot["coalesced_requests"] == 5
+        assert snapshot["sessions"][real_sid]["completed"] == 5
+
+
+# -- drain / shutdown / ledger exactness --------------------------------------
+
+
+class TestDrainAndShutdown:
+    def test_drain_settles_all(self, cube_dataset):
+        mechanism = StubMechanism(delay=0.01)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        gateway = service.gateway(workers=2, max_queue_depth=100)
+        futures = [gateway.submit_async(sid, StubQuery(str(i)))
+                   for i in range(20)]
+        assert gateway.drain(timeout=30)
+        assert gateway.in_flight == 0
+        assert all(future.done() for future in futures)
+        gateway.close()
+        assert gateway.closed
+
+    def test_forced_close_sheds_unclaimed_only(self, cube_dataset):
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started,
+                                  epsilon_per_round=0.125)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        gateway = service.gateway(workers=1, max_queue_depth=10,
+                                  max_coalesce=1)
+        claimed = gateway.submit_async(sid, StubQuery("claimed"))
+        assert started.wait(5.0)
+        doomed = [gateway.submit_async(sid, StubQuery(f"q{i}"))
+                  for i in range(4)]
+
+        closer = threading.Thread(
+            target=lambda: gateway.close(drain=False))
+        closer.start()
+        time.sleep(0.05)  # close() is now settling the claimed round
+        gate.set()
+        closer.join(timeout=10)
+        assert not closer.is_alive()
+        # the claimed round completed and delivered
+        assert claimed.result(timeout=1).value == 0.0
+        # every unclaimed request failed with the typed shutdown shed
+        for future in doomed:
+            with pytest.raises(Overloaded, match="shutdown"):
+                future.result(timeout=1)
+        assert gateway.metrics.sheds["shutdown"] == 4
+        # exactly one paid round ran
+        assert mechanism.accountant.total_basic().epsilon == 0.125
+
+    def test_forced_close_wakes_drain_waiters(self, cube_dataset):
+        """close(drain=False) may empty the gateway; a concurrent
+        drain() waiter must be woken, not left on the condition."""
+        gate = threading.Event()
+        started = threading.Event()
+        mechanism = StubMechanism(gate=gate, started=started)
+        service, (sid,) = stub_service(cube_dataset, [mechanism])
+        gateway = service.gateway(workers=1, max_queue_depth=10,
+                                  max_coalesce=1)
+        head = gateway.submit_async(sid, StubQuery("head"))
+        assert started.wait(5.0)
+        for index in range(3):
+            gateway.submit_async(sid, StubQuery(f"q{index}"))
+        outcome = {}
+        waiter = threading.Thread(
+            target=lambda: outcome.setdefault("idle",
+                                              gateway.drain(timeout=10)))
+        waiter.start()
+        closer = threading.Thread(target=lambda: gateway.close(drain=False))
+        closer.start()
+        time.sleep(0.05)
+        gate.set()
+        waiter.join(timeout=10)
+        closer.join(timeout=10)
+        assert not waiter.is_alive() and not closer.is_alive()
+        assert outcome["idle"] is True
+        assert head.result(timeout=1).value == 0.0
+
+    def test_ledger_exact_after_shed_drain_cycle(self, concentrated_dataset,
+                                                 tmp_path):
+        """Acceptance: forced shed + drain cycles never lose or invent a
+        write-ahead spend — replayed totals equal live totals exactly."""
+        ledger_path = tmp_path / "budget.jsonl"
+        service = PMWService(concentrated_dataset, rng=3,
+                             ledger_path=str(ledger_path))
+        sids = [open_convex(service, max_updates=3) for _ in range(3)]
+        losses = random_quadratic_family(concentrated_dataset.universe, 8,
+                                         rng=4)
+
+        # Cycle 1: flood a tight gateway, then force a non-draining close
+        # mid-stream — some requests complete, some shed.
+        gateway = service.gateway(workers=2, max_queue_depth=3,
+                                  max_coalesce=2)
+        futures = []
+        for sid in sids:
+            for loss in losses:
+                try:
+                    futures.append(gateway.submit_async(sid, loss))
+                except Overloaded:
+                    pass  # admission shed: never touched mechanism state
+        deadline = time.monotonic() + 10.0
+        while gateway.metrics.batches == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)  # let the workers claim some of the flood
+        gateway.close(drain=False)
+        outcomes = {"done": 0, "shed": 0}
+        for future in futures:
+            try:
+                future.result(timeout=1)
+                outcomes["done"] += 1
+            except Overloaded:
+                outcomes["shed"] += 1
+        assert outcomes["done"] > 0  # claimed batches finished
+
+        # Cycle 2: a fresh gateway drains cleanly over the same service.
+        with service.gateway(workers=2) as second:
+            more = [second.submit_async(sid, losses[0]) for sid in sids]
+            for future in more:
+                future.result(timeout=60)
+
+        state = replay_ledger(str(ledger_path))
+        for sid in sids:
+            live = service.session(sid).accountant.total_basic()
+            replayed = state.accountant_for(sid).total_basic()
+            assert replayed.epsilon == live.epsilon
+            assert replayed.delta == live.delta
+
+
+# -- metrics ------------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_latency_histogram_quantiles(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        for value in (0.001, 0.002, 0.004, 0.008, 10.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.max == 10.0
+        assert histogram.quantile(0.0) <= histogram.quantile(1.0)
+        assert histogram.quantile(0.5) >= 0.002
+        with pytest.raises(ValidationError):
+            histogram.quantile(1.5)
+
+    def test_histogram_overflow_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(10_000.0)
+        assert histogram.overflow == 1
+        snap = histogram.snapshot()
+        assert snap["buckets"][-1]["le_seconds"] is None
+
+    def test_registry_snapshot_is_json_ready(self):
+        import json
+
+        metrics = GatewayMetrics()
+        metrics.record_submit("s1", depth=1)
+        metrics.record_claim("s1", [0.001], depth=0)
+        metrics.record_batch("s1", size=2, sources=["cache", "update"],
+                             latencies=[0.002, 0.003])
+        metrics.record_shed("overload", "s1")
+        with pytest.raises(ValidationError, match="unknown shed kind"):
+            metrics.record_shed("cosmic-rays")
+        snap = json.loads(metrics.to_json())
+        assert snap["submitted"] == 1
+        assert snap["completed"] == 2
+        assert snap["coalesced_batches"] == 1
+        assert snap["sources"] == {"cache": 1, "update": 1}
+        assert snap["sessions"]["s1"]["shed"] == 1
+        assert metrics.cache_hits == 1
+        assert "p99" in metrics.describe()
+
+    def test_to_json_writes_file(self, tmp_path):
+        metrics = GatewayMetrics()
+        path = tmp_path / "metrics.json"
+        text = metrics.to_json(path)
+        assert path.read_text().strip() == text.strip()

@@ -1,6 +1,7 @@
 """Tests for batch planning and cross-session concurrency."""
 
 import threading
+import time
 
 import pytest
 
@@ -8,7 +9,7 @@ from repro.core.pmw_cm import PrivateMWConvex
 from repro.erm.oracle import NonPrivateOracle
 from repro.losses.families import random_quadratic_family
 from repro.serve.cache import AnswerCache, CachedAnswer
-from repro.serve.planner import BatchPlan, concurrent_map, plan_batch
+from repro.serve.planner import concurrent_map, plan_batch
 from repro.serve.session import Session
 
 
@@ -110,3 +111,43 @@ class TestConcurrentMap:
             {"a": []},
         )
         assert out == {"a": True}
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_nonpositive_max_workers_rejected(self, bad):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="max_workers"):
+            concurrent_map(lambda sid, qs: None, {"a": []}, max_workers=bad)
+
+    def test_max_workers_one_equals_serial(self):
+        """max_workers=1 is the serial path: inline, in dict order."""
+        main_thread = threading.current_thread()
+        order = []
+
+        def worker(sid, qs):
+            order.append(sid)
+            return threading.current_thread() is main_thread
+
+        out = concurrent_map(worker, {"b": [], "a": [], "c": []},
+                             max_workers=1)
+        assert out == {"b": True, "a": True, "c": True}
+        assert order == ["b", "a", "c"]
+
+    def test_raising_worker_does_not_truncate_others(self):
+        """One failing session propagates, but every other submitted
+        worker still runs to completion (the pool drains before the
+        exception surfaces) — no mechanism stream is cut mid-batch."""
+        completed = []
+
+        def worker(sid, qs):
+            if sid == "poison":
+                raise RuntimeError("boom")
+            time.sleep(0.05)  # still running when poison's error surfaces
+            completed.append(sid)
+            return sid
+
+        with pytest.raises(RuntimeError, match="boom"):
+            concurrent_map(worker,
+                           {"poison": [], "alive-1": [], "alive-2": []},
+                           max_workers=3)
+        assert sorted(completed) == ["alive-1", "alive-2"]

@@ -120,6 +120,65 @@ class TestServing:
         assert [r.query_index for r in results[a]] == [0, 1, 2]
         assert [r.query_index for r in results[b]] == [0, 1, 2]
 
+    def test_empty_batch_dict(self, cube_dataset):
+        service = PMWService(cube_dataset, rng=0)
+        assert service.answer_batch({}) == {}
+
+    def test_empty_query_list_for_session(self, cube_dataset):
+        service = PMWService(cube_dataset, rng=0)
+        sid = open_convex(service)
+        assert service.answer_batch({sid: []}) == {sid: []}
+        assert service.answer_batch((sid, [])) == []
+
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_answer_batch_rejects_nonpositive_workers(self, cube_dataset,
+                                                      bad):
+        service = PMWService(cube_dataset, rng=0)
+        sid = open_convex(service)
+        loss = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        with pytest.raises(ValidationError, match="max_workers"):
+            service.answer_batch({sid: [loss]}, max_workers=bad)
+        # shedding happened at validation: nothing entered the stream
+        assert service.session(sid).queries_served == 0
+
+    def test_answer_batch_single_worker_matches_serial(self, cube_dataset):
+        """max_workers=1 must be byte-identical to a serial loop of
+        per-session batches, in dict order."""
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=9)
+
+        def run(max_workers):
+            service = PMWService(cube_dataset, rng=21)
+            a = open_convex(service)
+            b = open_convex(service)
+            if max_workers is None:  # the reference: explicit serial calls
+                out = {sid: service.serve_session_batch(sid, losses)
+                       for sid in (a, b)}
+            else:
+                out = service.answer_batch({a: losses, b: losses},
+                                           max_workers=max_workers)
+            return [(r.source, np.asarray(r.value))
+                    for sid in (a, b) for r in out[sid]]
+
+        serial = run(None)
+        pooled = run(1)
+        for (source_a, value_a), (source_b, value_b) in zip(serial, pooled):
+            assert source_a == source_b
+            np.testing.assert_array_equal(value_a, value_b)
+
+    def test_failing_session_leaves_others_complete(self, cube_dataset):
+        """A worker raising mid-batch (closed session) propagates, but
+        the other sessions' streams still run to completion."""
+        service = PMWService(cube_dataset, rng=0)
+        healthy = open_convex(service)
+        broken = open_convex(service)
+        service.close_session(broken)
+        losses = random_quadratic_family(cube_dataset.universe, 3, rng=5)
+        with pytest.raises(ValidationError, match="closed"):
+            service.answer_batch({broken: losses, healthy: losses},
+                                 max_workers=2)
+        assert service.session(healthy).queries_served == 3
+        assert service.session(broken).queries_served == 0
+
     def test_linear_session_serving(self, cube_dataset):
         service = PMWService(cube_dataset, rng=0)
         sid = service.open_session("pmw-linear", alpha=0.2, epsilon=1.0,

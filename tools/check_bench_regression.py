@@ -1,0 +1,134 @@
+"""Benchmark-regression gate for the nightly workflow.
+
+Two phases, composable:
+
+- ``--run``: discover every ``benchmarks/bench_*.py`` that advertises a
+  smoke mode (``--smoke`` and ``--json-dir`` in its source), run each
+  into ``--candidate-dir``, producing fresh ``BENCH_*.smoke.json``
+  documents.
+- compare (always): for every candidate JSON with a committed baseline
+  of the same name under ``benchmarks/results/``, diff the ``speedups``
+  maps. A candidate speedup more than ``--tolerance`` (default 20%)
+  below its baseline fails the run.
+
+Speedups are ratios of twin runs on the same host, so they transfer
+across machines far better than absolute seconds — that is what makes a
+committed baseline meaningful on a fresh CI runner.
+
+Usage::
+
+    python tools/check_bench_regression.py --run \
+        --candidate-dir /tmp/bench-candidate --tolerance 0.20
+    python tools/check_bench_regression.py --candidate-dir DIR  # diff only
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+BASELINE_DIR = BENCH_DIR / "results"
+
+
+def smoke_benchmarks():
+    """Benchmarks that support the smoke+json protocol, sorted by name."""
+    found = []
+    for path in sorted(BENCH_DIR.glob("bench_*.py")):
+        text = path.read_text()
+        if "--smoke" in text and "--json-dir" in text:
+            found.append(path)
+    return found
+
+
+def run_benchmarks(candidate_dir: pathlib.Path) -> int:
+    candidate_dir.mkdir(parents=True, exist_ok=True)
+    benches = smoke_benchmarks()
+    if not benches:
+        print("no smoke-capable benchmarks found", file=sys.stderr)
+        return 1
+    for bench in benches:
+        print(f"== running {bench.name} --smoke")
+        result = subprocess.run(
+            [sys.executable, str(bench), "--smoke",
+             "--json-dir", str(candidate_dir)],
+            cwd=str(REPO),
+        )
+        if result.returncode != 0:
+            print(f"FAIL: {bench.name} exited {result.returncode}",
+                  file=sys.stderr)
+            return result.returncode
+    return 0
+
+
+def compare(candidate_dir: pathlib.Path, tolerance: float) -> int:
+    candidates = sorted(candidate_dir.glob("BENCH_*.json"))
+    if not candidates:
+        print(f"no candidate BENCH_*.json under {candidate_dir}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    compared = 0
+    for candidate_path in candidates:
+        baseline_path = BASELINE_DIR / candidate_path.name
+        if not baseline_path.exists():
+            print(f"-- {candidate_path.name}: no committed baseline, "
+                  f"skipping (commit one to start gating it)")
+            continue
+        candidate = json.loads(candidate_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        # Prefer the gated subset: benchmarks exclude informational
+        # near-1.0x sections from it so the -tolerance floor only
+        # guards sections with genuine headroom.
+        gated = baseline.get("gated_speedups") or baseline.get(
+            "speedups", {})
+        fresh_map = candidate.get("gated_speedups") or candidate.get(
+            "speedups", {})
+        for section, base_speedup in sorted(gated.items()):
+            fresh = fresh_map.get(section)
+            if fresh is None:
+                print(f"FAIL {candidate_path.name}:{section}: present in "
+                      f"baseline but missing from the fresh run")
+                failures += 1
+                continue
+            compared += 1
+            floor = (1.0 - tolerance) * base_speedup
+            verdict = "ok" if fresh >= floor else "REGRESSION"
+            print(f"{verdict:>10}  {candidate_path.name}:{section}: "
+                  f"fresh {fresh:.2f}x vs baseline {base_speedup:.2f}x "
+                  f"(floor {floor:.2f}x)")
+            if fresh < floor:
+                failures += 1
+    if compared == 0:
+        print("no comparable speedups found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"{failures} regression(s) beyond the "
+              f"{tolerance:.0%} tolerance", file=sys.stderr)
+        return 1
+    print(f"all {compared} speedups within {tolerance:.0%} of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run smoke benchmarks and gate on >tolerance "
+                    "regressions against committed baselines.")
+    parser.add_argument("--run", action="store_true",
+                        help="run every smoke-capable benchmark first")
+    parser.add_argument("--candidate-dir", type=pathlib.Path,
+                        default=pathlib.Path("/tmp/bench-candidate"))
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional speedup drop (default .2)")
+    args = parser.parse_args(argv)
+    if args.run:
+        code = run_benchmarks(args.candidate_dir)
+        if code != 0:
+            return code
+    return compare(args.candidate_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
