@@ -107,6 +107,7 @@ from repro.optimize import L2Ball, minimize_loss
 from repro.serve import (
     AnswerCache,
     BudgetLedger,
+    Checkpointer,
     GatewayMetrics,
     MechanismRegistry,
     PMWService,
@@ -152,5 +153,5 @@ __all__ = [
     # serve
     "PMWService", "ServiceGateway", "GatewayMetrics", "Session",
     "ServeResult", "MechanismRegistry", "default_registry", "BudgetLedger",
-    "AnswerCache",
+    "AnswerCache", "Checkpointer",
 ]

@@ -544,8 +544,14 @@ class PrivateMWConvex:
     #: ``hypothesis_weights`` is ``None`` there — plus warm-start and
     #: round-cache records. v1 (pre-versioned-core) snapshots are still
     #: accepted on read and restore onto the legacy immutable path.
-    SNAPSHOT_FORMAT = "repro.pmw_cm/v2"
-    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_cm/v1", "repro.pmw_cm/v2")
+    #: v3 run-length encodes the accountant's spend records
+    #: (``to_grouped_records``: entries may carry a ``count``); the bump
+    #: exists because a v2 reader would ignore ``count`` and silently
+    #: under-count spent budget — it must refuse loudly instead. v1/v2
+    #: snapshots (plain records) are still accepted on read.
+    SNAPSHOT_FORMAT = "repro.pmw_cm/v3"
+    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_cm/v1", "repro.pmw_cm/v2",
+                                 "repro.pmw_cm/v3")
 
     def snapshot(self) -> dict:
         """Full mechanism state as a JSON-serializable dict.
@@ -615,7 +621,7 @@ class PrivateMWConvex:
             "sparse_vector": self._sparse_vector.state_dict(),
             "oracle_rng_state": self._oracle_rng.bit_generator.state,
             "accountant": {
-                "records": self.accountant.to_records(),
+                "records": self.accountant.to_grouped_records(),
                 "epsilon_budget": self.accountant.epsilon_budget,
                 "delta_budget": self.accountant.delta_budget,
             },

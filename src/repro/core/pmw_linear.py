@@ -295,9 +295,12 @@ class PrivateMWLinear:
     # -- snapshot / restore ------------------------------------------------------
 
     #: Written format; see PrivateMWConvex.SNAPSHOT_FORMAT for the v1→v2
-    #: schema change (raw log-domain core state for versioned mechanisms).
-    SNAPSHOT_FORMAT = "repro.pmw_linear/v2"
-    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_linear/v1", "repro.pmw_linear/v2")
+    #: (raw log-domain core state) and v2→v3 (RLE accountant records —
+    #: an old reader would silently under-count budget) schema changes.
+    SNAPSHOT_FORMAT = "repro.pmw_linear/v3"
+    ACCEPTED_SNAPSHOT_FORMATS = ("repro.pmw_linear/v1",
+                                 "repro.pmw_linear/v2",
+                                 "repro.pmw_linear/v3")
 
     def snapshot(self) -> dict:
         """Full mechanism state (minus the private dataset); see
@@ -327,7 +330,7 @@ class PrivateMWLinear:
             "sparse_vector": self._sparse_vector.state_dict(),
             "laplace_rng_state": self._laplace_rng.bit_generator.state,
             "accountant": {
-                "records": self.accountant.to_records(),
+                "records": self.accountant.to_grouped_records(),
                 "epsilon_budget": self.accountant.epsilon_budget,
                 "delta_budget": self.accountant.delta_budget,
             },

@@ -102,23 +102,48 @@ class PrivacyAccountant:
             for s in self.spends
         ]
 
+    def to_grouped_records(self) -> list[dict]:
+        """The spend history run-length encoded, preserving order.
+
+        Long-lived interactive sessions spend the same calibrated
+        ``(epsilon, delta, label)`` round after round, so consecutive
+        identical spends collapse into one record with a ``count`` —
+        turning an O(history) serialization into O(distinct runs).
+        :meth:`from_records` accepts both forms; expansion reproduces the
+        original sequence exactly (composed totals are floating-point
+        sums, so order is part of the contract). Service snapshots and
+        the budget ledger's compaction baselines both use this form.
+        """
+        return group_records(self.to_records())
+
     @classmethod
     def from_records(cls, records, *, epsilon_budget: float | None = None,
                      delta_budget: float | None = None) -> "PrivacyAccountant":
-        """Rebuild an accountant from :meth:`to_records` output.
+        """Rebuild an accountant from :meth:`to_records` (or
+        :meth:`to_grouped_records`) output.
 
         Records are trusted journal entries (they were validated when first
         spent), so they are restored verbatim rather than re-run through
         :meth:`spend` — in particular a restored history may legitimately
-        sit exactly at its budget without raising.
+        sit exactly at its budget without raising. A grouped record
+        expands into ``count`` references to one immutable
+        :class:`PrivacySpend`, so rebuilding a 20k-spend history costs
+        O(distinct runs), not O(spends).
         """
         accountant = cls(epsilon_budget=epsilon_budget,
                          delta_budget=delta_budget)
-        accountant.spends = [
-            PrivacySpend(float(r["epsilon"]), float(r["delta"]),
-                         str(r.get("label", "")))
-            for r in records
-        ]
+        spends: list[PrivacySpend] = []
+        for r in records:
+            spend = PrivacySpend(float(r["epsilon"]), float(r["delta"]),
+                                 str(r.get("label", "")))
+            count = int(r.get("count", 1))
+            if count == 1:
+                spends.append(spend)
+            else:
+                # PrivacySpend is frozen: sharing one object `count`
+                # times is indistinguishable from `count` constructions.
+                spends.extend([spend] * count)
+        accountant.spends = spends
         return accountant
 
     # -- reporting -----------------------------------------------------------
@@ -175,6 +200,45 @@ class PrivacyAccountant:
         return "\n".join(lines)
 
 
+def group_records(records: list[dict]) -> list[dict]:
+    """Run-length encode spend records, preserving order exactly.
+
+    Consecutive records with identical ``(epsilon, delta, label)``
+    collapse into one group carrying a ``count``; :func:`expand_records`
+    (and :meth:`PrivacyAccountant.from_records`) reproduce the original
+    sequence bit-for-bit — composed totals are order-sensitive
+    floating-point sums, so no reordering is ever allowed.
+    """
+    groups: list[dict] = []
+    for record in records:
+        key = (record["epsilon"], record["delta"],
+               record.get("label", ""))
+        if groups and (groups[-1]["epsilon"], groups[-1]["delta"],
+                       groups[-1]["label"]) == key:
+            groups[-1]["count"] += 1
+        else:
+            groups.append({"epsilon": record["epsilon"],
+                           "delta": record["delta"],
+                           "label": record.get("label", ""),
+                           "count": 1})
+    return groups
+
+
+def expand_records(groups: list[dict]) -> list[dict]:
+    """Inverse of :func:`group_records` (plain records pass through).
+
+    Each expanded record is a fresh dict, safe for callers to annotate.
+    """
+    records = []
+    for group in groups:
+        records.extend(
+            {"epsilon": group["epsilon"], "delta": group["delta"],
+             "label": group.get("label", "")}
+            for _ in range(int(group.get("count", 1)))
+        )
+    return records
+
+
 def restore_accountant(state: dict) -> PrivacyAccountant:
     """Rebuild an accountant from a snapshot's accountant section
     (``{"records", "epsilon_budget", "delta_budget"}``), so armed budgets
@@ -188,4 +252,4 @@ def restore_accountant(state: dict) -> PrivacyAccountant:
 
 # Helper mirroring basic_composition for symmetric import ergonomics.
 __all__ = ["PrivacyAccountant", "PrivacySpend", "basic_composition",
-           "restore_accountant"]
+           "restore_accountant", "group_records", "expand_records"]

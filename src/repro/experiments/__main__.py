@@ -9,6 +9,16 @@ Usage::
 
 Each experiment prints the same paper-vs-measured report the benchmark
 suite archives under ``benchmarks/results/``.
+
+Two operator verbs manage a deployed service's durability artifacts
+(see :mod:`repro.serve.checkpoint`)::
+
+    # rotate a budget journal offline (archive + RLE baselines)
+    python -m repro.experiments compact --ledger budget.jsonl
+
+    # recovery readiness: checkpoint generations, stamps, replay suffix
+    python -m repro.experiments checkpoint --dir checkpoints/ \\
+        --ledger budget.jsonl
 """
 
 from __future__ import annotations
@@ -28,6 +38,11 @@ from repro.experiments.diagnostics import (
 from repro.experiments.generalization import run_generalization
 from repro.experiments.offline_online import run_offline_online
 from repro.experiments.oracles import run_oracle_sweep
+from repro.experiments.recovery import (
+    checkpoint_status,
+    compact_ledger,
+    run_recovery_demo,
+)
 from repro.experiments.runtime import run_runtime_profile
 from repro.experiments.serving import run_gateway_demo
 from repro.experiments.table1 import (
@@ -53,10 +68,42 @@ EXPERIMENTS = {
     "e13": ("offline vs online variant", run_offline_online),
     "e14": ("gateway load demo: coalescing + admission-control metrics",
             run_gateway_demo),
+    "e15": ("crash-recovery demo: checkpoint + suffix replay + compaction",
+            run_recovery_demo),
 }
 
 
+def _run_verb(argv) -> int:
+    """The ``checkpoint`` / ``compact`` operator verbs."""
+    verb, rest = argv[0], argv[1:]
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.experiments {verb}",
+        description=("inspect checkpoint/ledger recovery readiness"
+                     if verb == "checkpoint"
+                     else "rotate a budget journal offline"),
+    )
+    if verb == "checkpoint":
+        parser.add_argument("--dir", required=True,
+                            help="checkpoint directory (Checkpointer's)")
+        parser.add_argument("--ledger", default=None,
+                            help="budget journal to diff the stamp against")
+        args = parser.parse_args(rest)
+        return checkpoint_status(args.dir, ledger_path=args.ledger)
+    parser.add_argument("--ledger", required=True,
+                        help="budget journal (JSONL) to compact in place")
+    parser.add_argument("--archive-dir", default=None,
+                        help="directory for the archived old segment "
+                             "(default: alongside the journal)")
+    args = parser.parse_args(rest)
+    compact_ledger(args.ledger, archive_dir=args.archive_dir)
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in ("checkpoint", "compact"):
+        return _run_verb(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's evaluation (Table 1 + theorem "

@@ -15,6 +15,14 @@ pre-warms each session through the batched evaluation engine
 (:mod:`repro.engine`) before streaming the lane in order, so data-side
 minimizations for a lane collapse into one vectorized pass.
 
+Durability is two-tier — the write-ahead ledger plus seq-stamped atomic
+snapshots — and the checkpointing subsystem
+(:mod:`~repro.serve.checkpoint`) keeps restart cost bounded: a
+:class:`Checkpointer` takes periodic stamped checkpoints (restores
+replay only the journal suffix past the stamp) and compacts the ledger
+(rotation with run-length-encoded ``baseline`` records, bitwise-exact
+replayed totals).
+
 On top of the service sits the concurrent request gateway
 (:mod:`~repro.serve.gateway`): bounded per-session FIFO queues over a
 cross-session worker pool, admission control with typed
@@ -26,8 +34,14 @@ gateway semantics.
 """
 
 from repro.serve.cache import AnswerCache, CachedAnswer, CacheStats
+from repro.serve.checkpoint import Checkpointer, checkpoint_stamp
 from repro.serve.gateway import ServiceGateway
-from repro.serve.ledger import BudgetLedger, LedgerState, replay_ledger
+from repro.serve.ledger import (
+    BudgetLedger,
+    LedgerState,
+    fsync_dir,
+    replay_ledger,
+)
 from repro.serve.metrics import GatewayMetrics, LatencyHistogram
 from repro.serve.planner import BatchPlan, concurrent_map, plan_batch
 from repro.serve.registry import (
@@ -48,7 +62,8 @@ __all__ = [
     "ServiceGateway", "GatewayMetrics", "LatencyHistogram",
     "Session", "ServeResult", "query_fingerprint", "try_fingerprint",
     "MechanismRegistry", "default_registry", "build_oracle",
-    "BudgetLedger", "LedgerState", "replay_ledger",
+    "BudgetLedger", "LedgerState", "replay_ledger", "fsync_dir",
+    "Checkpointer", "checkpoint_stamp",
     "AnswerCache", "CachedAnswer", "CacheStats",
     "BatchPlan", "plan_batch", "concurrent_map",
 ]

@@ -1,0 +1,294 @@
+"""`Checkpointer` — crash-consistent checkpoints + ledger compaction.
+
+The two durability tiers built in PRs 1–4 — the write-ahead
+:class:`~repro.serve.ledger.BudgetLedger` and atomic
+:meth:`~repro.serve.service.PMWService.snapshot` files — keep restart
+totals exact, but left restart *cost* unbounded: a ledger-only resume
+replays the entire journal history, so a long-lived deployment gets
+slower to recover every day, and nothing ever shrinks the journal. The
+checkpointer closes that gap:
+
+- :meth:`Checkpointer.checkpoint` takes an atomic service snapshot
+  stamped with the ledger's high-water ``seq``. Restoring from it
+  replays only the journal *suffix* past the stamp
+  (:meth:`PMWService.restore <repro.serve.service.PMWService.restore>`
+  reconciles the tiers on the stamp), so restart cost is O(crash
+  window), not O(history).
+- :meth:`Checkpointer.maybe_checkpoint` makes it periodic: checkpoint
+  whenever the journal has advanced ``every_records`` past the last
+  stamp — call it from a serving loop, a timer, or a gateway-idle hook.
+- :meth:`Checkpointer.compact` rotates the journal
+  (:meth:`BudgetLedger.compact <repro.serve.ledger.BudgetLedger.compact>`):
+  the spend history is folded into run-length-encoded ``baseline``
+  records, the old segment is archived, and a fresh checkpoint is taken
+  at the post-rotation watermark — bounding journal size *and* replay
+  cost for services that run for months.
+
+When the service fronts a :class:`~repro.serve.gateway.ServiceGateway`,
+pass it in: captures run inside ``gateway.quiesce()``, so no write-ahead
+spend can land between the snapshot and its seq stamp — the stamp and
+the captured accountants describe the same instant. Without a gateway,
+per-session ``last_spend_seq`` tracking makes a racing capture safe
+anyway (restore never re-applies a spend the snapshot already contains);
+the quiesce simply removes the race entirely.
+
+Every fault point is covered by the crash-injection suite
+(``tests/serve/test_checkpoint.py``): a torn checkpoint tmp file is
+ignored, a half-finished rotation is retried, and a torn journal suffix
+after a checkpoint restores to bitwise-exact pre-crash totals.
+
+Usage::
+
+    service = PMWService(dataset, ledger_path="budget.jsonl")
+    checkpointer = Checkpointer(service, "checkpoints/",
+                                every_records=1000)
+    ...
+    checkpointer.maybe_checkpoint()      # in the serving loop
+    checkpointer.compact()               # cron: rotate + re-stamp
+    # after a crash:
+    service = Checkpointer.restore(dataset, "checkpoints/",
+                                   ledger_path="budget.jsonl")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from repro.exceptions import ValidationError
+from repro.serve.ledger import fsync_dir
+
+#: Checkpoint files are ``checkpoint-<generation>.json``; a crash
+#: mid-write leaves only a ``.json.tmp`` artifact, which discovery
+#: ignores.
+_PREFIX = "checkpoint-"
+_SUFFIX = ".json"
+
+
+class Checkpointer:
+    """Periodic, on-demand, and compaction-coupled service checkpoints.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.PMWService` to checkpoint.
+    directory:
+        Where checkpoint files live; created if missing. Discovery
+        (:meth:`latest`) and pruning (``keep``) both operate on this
+        directory, so point :meth:`restore` at the same one.
+    gateway:
+        Optional :class:`~repro.serve.gateway.ServiceGateway` fronting
+        the service. When given, every capture runs inside
+        ``gateway.quiesce()`` — claimed batches finish, nothing new
+        starts, and the seq stamp is race-free.
+    every_records:
+        Journal-advance threshold for :meth:`maybe_checkpoint` (ledger
+        records past the last stamp). ``None`` disables the periodic
+        trigger (on-demand only).
+    keep:
+        Checkpoint generations to retain; older files are pruned after
+        each successful capture (the newest is never pruned).
+    """
+
+    def __init__(self, service, directory, *, gateway=None,
+                 every_records: int | None = None, keep: int = 2) -> None:
+        if every_records is not None and every_records < 1:
+            raise ValidationError(
+                f"every_records must be >= 1 or None, got {every_records}"
+            )
+        if keep < 1:
+            raise ValidationError(f"keep must be >= 1, got {keep}")
+        self.service = service
+        self.gateway = gateway
+        self.directory = os.fspath(directory)
+        self.every_records = every_records
+        self.keep = int(keep)
+        self._lock = threading.Lock()
+        os.makedirs(self.directory, exist_ok=True)
+        latest = self.latest()
+        self._last_stamp = (-1 if latest is None
+                            else checkpoint_stamp(latest))
+
+    # -- discovery -----------------------------------------------------------
+
+    def checkpoints(self) -> list[str]:
+        """Completed checkpoint paths, oldest first. Torn ``.tmp``
+        artifacts from a crash mid-write are not checkpoints."""
+        return discover_checkpoints(self.directory)
+
+    def latest(self) -> str | None:
+        """Newest completed checkpoint, or ``None``."""
+        paths = self.checkpoints()
+        return paths[-1] if paths else None
+
+    @property
+    def last_stamp(self) -> int:
+        """Ledger seq of the newest checkpoint (``-1`` when none, or
+        when the newest checkpoint was taken by a ledger-less service)."""
+        with self._lock:
+            return self._last_stamp
+
+    # -- capturing -----------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Take one atomic, seq-stamped checkpoint; returns its path.
+
+        The write is tmp + rename + directory fsync
+        (:meth:`PMWService.snapshot <repro.serve.service.PMWService.snapshot>`),
+        so a crash at any byte of the capture leaves the previous
+        checkpoint generation intact and discoverable. Old generations
+        beyond ``keep`` are pruned only after the new file is durable.
+        """
+        self._check_not_gateway_worker()
+        with self._lock:
+            return self._checkpoint_locked()
+
+    def _check_not_gateway_worker(self) -> None:
+        """Refuse checkpoint work on a gateway worker thread BEFORE
+        taking the checkpointer lock: a worker blocked here while
+        another thread's checkpoint quiesces the gateway is a deadlock
+        (the quiesce waits for this worker's batch; this worker waits
+        for the lock)."""
+        if self.gateway is not None and self.gateway.is_worker_thread():
+            raise ValidationError(
+                "checkpoint operations cannot run on a gateway worker "
+                "thread (e.g. inside a request future's done callback) "
+                "— they quiesce the gateway, which must wait for that "
+                "very worker; schedule checkpoints from an external "
+                "thread"
+            )
+
+    def _checkpoint_locked(self, *, quiesce: bool = True) -> str:
+        generation = self._next_generation()
+        path = os.path.join(
+            self.directory, f"{_PREFIX}{generation:08d}{_SUFFIX}")
+        if quiesce and self.gateway is not None:
+            with self.gateway.quiesce():
+                state = self.service.snapshot(path)
+        else:
+            state = self.service.snapshot(path)
+        stamp = state.get("ledger_seq")
+        self._last_stamp = -1 if stamp is None else int(stamp)
+        self._prune()
+        return path
+
+    def maybe_checkpoint(self) -> str | None:
+        """Checkpoint iff the journal advanced ``every_records`` past the
+        last stamp; returns the new path or ``None`` (also ``None`` when
+        the service has no ledger or no threshold is configured)."""
+        self._check_not_gateway_worker()
+        with self._lock:
+            if self.every_records is None or self.service.ledger is None:
+                return None
+            advanced = self.service.ledger.last_seq - self._last_stamp
+            if advanced < self.every_records:
+                return None
+            return self._checkpoint_locked()
+
+    def compact(self, *, archive_dir=None) -> tuple[str, str]:
+        """Rotate the journal, then checkpoint at the new watermark.
+
+        Returns ``(checkpoint_path, archive_path)``. Rotation first:
+        the fresh checkpoint's stamp then lands *past* the rotation
+        header, so the steady-state restore is checkpoint + (tiny)
+        suffix. A crash between the two steps is safe — the previous
+        checkpoint's stamp predates the rotation, which restore detects
+        (``compacted_through >= stamp``) and falls back to full-replay
+        authority on the journal the rotation just made small.
+
+        Runs under ``gateway.quiesce()`` when a gateway was given, so
+        rotation and checkpoint describe the same instant.
+        """
+        if self.service.ledger is None:
+            raise ValidationError(
+                "compact() needs a service with a budget ledger"
+            )
+        self._check_not_gateway_worker()
+        with self._lock:
+            if self.gateway is not None:
+                with self.gateway.quiesce():
+                    archive = self.service.ledger.compact(
+                        archive_dir=archive_dir)
+                    # Already inside the quiesce: a nested one would be
+                    # redundant (the counter allows it, but pointless).
+                    path = self._checkpoint_locked(quiesce=False)
+            else:
+                archive = self.service.ledger.compact(
+                    archive_dir=archive_dir)
+                path = self._checkpoint_locked()
+            return path, archive
+
+    # -- restoring -----------------------------------------------------------
+
+    @classmethod
+    def restore(cls, datasets, directory, *, ledger_path=None, **kwargs):
+        """Rebuild a service from the newest checkpoint + ledger suffix.
+
+        The restart path this subsystem exists for: finds the newest
+        completed checkpoint under ``directory`` (``None`` degrades to a
+        ledger-only cold resume) and hands it to
+        :meth:`PMWService.restore <repro.serve.service.PMWService.restore>`
+        together with ``ledger_path``; extra kwargs (``registry``,
+        ``params_override``, ``rng``, ...) pass through.
+        """
+        from repro.serve.service import PMWService
+
+        paths = discover_checkpoints(directory)
+        snapshot = paths[-1] if paths else None
+        return PMWService.restore(datasets, snapshot=snapshot,
+                                  ledger_path=ledger_path, **kwargs)
+
+    # -- internals -----------------------------------------------------------
+
+    def _next_generation(self) -> int:
+        best = -1
+        for path in self.checkpoints():
+            name = os.path.basename(path)
+            digits = name[len(_PREFIX):-len(_SUFFIX)]
+            try:
+                best = max(best, int(digits))
+            except ValueError:
+                continue
+        return best + 1
+
+    def _prune(self) -> None:
+        paths = self.checkpoints()
+        for stale in paths[:-self.keep]:
+            os.remove(stale)
+        if len(paths) > self.keep:
+            fsync_dir(self.directory)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Checkpointer(directory={self.directory!r}, "
+            f"last_stamp={self.last_stamp}, "
+            f"every_records={self.every_records})"
+        )
+
+
+def discover_checkpoints(directory) -> list[str]:
+    """Completed checkpoint paths under ``directory``, oldest first
+    (generation names sort chronologically; ``.tmp`` artifacts from a
+    crash mid-write are excluded). The single source of truth for
+    discovery — :meth:`Checkpointer.checkpoints`, :meth:`.latest`, and
+    :meth:`.restore` must all agree on what the newest checkpoint is."""
+    directory = os.fspath(directory)
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith(_PREFIX) and name.endswith(_SUFFIX)
+    )
+
+
+def checkpoint_stamp(path) -> int:
+    """The ``ledger_seq`` stamp of a checkpoint file (``-1`` when the
+    snapshot was taken without a ledger)."""
+    with open(path, encoding="utf-8") as handle:
+        stamp = json.load(handle).get("ledger_seq")
+    return -1 if stamp is None else int(stamp)
+
+
+__all__ = ["Checkpointer", "checkpoint_stamp", "discover_checkpoints"]

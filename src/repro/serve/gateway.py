@@ -40,6 +40,7 @@ Usage::
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from collections import deque
@@ -159,6 +160,7 @@ class ServiceGateway:
         self._scheduled: set[str] = set()   # mirror of _ready, O(1) checks
         self._busy: set[str] = set()        # sessions a worker owns now
         self._in_flight = 0                 # admitted and unfinished
+        self._paused = 0                    # quiesce() depth: no claiming
         self._closing = False               # no new admissions
         self._shutdown = False              # workers may exit
         self._threads = [
@@ -298,6 +300,75 @@ class ServiceGateway:
                 self._idle.wait(remaining)
             return True
 
+    def is_worker_thread(self) -> bool:
+        """Whether the calling thread is one of this gateway's workers.
+
+        Request future done-callbacks run on worker threads; anything
+        that would wait for the gateway to settle (:meth:`quiesce`,
+        :meth:`drain`, a checkpoint) must not run there — it would wait
+        on its own worker's batch forever. The checkpointer checks this
+        *before* taking its own lock, so the deadlock cannot hide
+        behind lock ordering either.
+        """
+        return threading.current_thread() in self._threads
+
+    @contextlib.contextmanager
+    def quiesce(self, timeout: float | None = None):
+        """Pause execution — claimed batches finish, nothing new starts.
+
+        A checkpoint barrier, not a shutdown: admissions stay open
+        (requests queue up and wait), but no worker claims a batch while
+        the context is held, so **no ledger spend can land** between the
+        moment this returns and the moment the context exits. This is
+        what lets :class:`~repro.serve.checkpoint.Checkpointer` stamp a
+        service snapshot with the ledger's high-water ``seq`` with no
+        concurrent-writer caveat: the stamp and the captured accountants
+        describe the same instant.
+
+        Blocks until every already-claimed batch has settled (their
+        write-ahead spends are then journaled and inside the stamp).
+        Raises the builtin :class:`TimeoutError` if that takes longer
+        than ``timeout``; the pause is rolled back first. Reentrant and
+        safe under concurrent quiescers (a depth counter).
+        """
+        if self.is_worker_thread():
+            # A worker's own session sits in _busy until its batch
+            # settles, so quiescing from a worker (e.g. a future
+            # done-callback running checkpointer.maybe_checkpoint)
+            # would wait on itself forever. Fail loudly instead.
+            raise ValidationError(
+                "quiesce() cannot be called from a gateway worker "
+                "thread (e.g. inside a request future's done callback) "
+                "— it would deadlock waiting for that worker's own "
+                "batch to settle; schedule checkpoints from an "
+                "external thread"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._paused += 1
+            try:
+                while self._busy:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError(
+                                f"quiesce timed out with {len(self._busy)} "
+                                f"sessions still executing"
+                            )
+                    self._idle.wait(remaining)
+            except BaseException:
+                self._paused -= 1
+                self._work.notify_all()
+                raise
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._paused -= 1
+                if not self._paused:
+                    self._work.notify_all()
+
     def close(self, *, drain: bool = True,
               timeout: float | None = None) -> None:
         """Stop admissions, settle in-flight work, stop the workers.
@@ -357,6 +428,20 @@ class ServiceGateway:
         for thread in self._threads:
             thread.join()
 
+    def shutdown(self, *, drain: bool = True,
+                 timeout: float | None = None) -> None:
+        """Full teardown: close the gateway, then the service.
+
+        :meth:`close` settles in-flight work and stops the workers;
+        :meth:`PMWService.close <repro.serve.service.PMWService.close>`
+        then releases the budget ledger's file handle — the pairing that
+        keeps many short-lived gateway+service stacks in one process
+        from leaking a handle each. Use plain :meth:`close` when the
+        service outlives the gateway.
+        """
+        self.close(drain=drain, timeout=timeout)
+        self.service.close()
+
     def __enter__(self) -> "ServiceGateway":
         return self
 
@@ -368,7 +453,8 @@ class ServiceGateway:
     def _worker_loop(self) -> None:
         while True:
             with self._lock:
-                while not self._ready and not self._shutdown:
+                while not self._shutdown and (self._paused
+                                              or not self._ready):
                     self._work.wait()
                 if self._shutdown and not self._ready:
                     return

@@ -14,12 +14,25 @@ Record kinds:
 - ``open``  — a session was created (mechanism name + JSON params + analyst)
 - ``spend`` — one accountant spend ``(epsilon, delta, label)`` of a session
 - ``close`` — a session was closed
+- ``compact``  — rotation header: this file starts at a nonzero ``seq``
+  because everything through ``compacted_through`` was folded into the
+  baseline records that follow (the old segment lives on as ``archive``)
+- ``baseline`` — one session's full pre-compaction spend history,
+  run-length encoded in order, so replay of a rotated journal rebuilds
+  accountants bitwise-identically to replay of the uncompacted one
 
 Every record carries a monotonically increasing ``seq``; replay verifies
 contiguity, so silent truncation in the *middle* of the file is detected.
 A torn *final* line (the classic crash artifact: the process died mid-write)
 is tolerated and dropped, because its spend was by construction never acted
 on — the answer is only released after the journal write returns.
+
+``seq`` is the durability watermark the whole serving stack agrees on:
+service snapshots are stamped with the ledger's ``last_seq`` at capture,
+so a restart replays only the journal *suffix* past the stamp
+(``replay_ledger(path, from_seq=...)``) instead of the entire history,
+and :meth:`BudgetLedger.compact` keeps ``seq`` monotone across rotations
+so stamps never go stale.
 """
 
 from __future__ import annotations
@@ -29,22 +42,37 @@ import os
 import threading
 from dataclasses import dataclass, field
 
-from repro.dp.accountant import PrivacyAccountant
+from repro.dp.accountant import (
+    PrivacyAccountant,
+    expand_records,
+    group_records,
+)
 from repro.exceptions import ValidationError
 
 OPEN = "open"
 SPEND = "spend"
 CLOSE = "close"
+COMPACT = "compact"
+BASELINE = "baseline"
 
 
 @dataclass
 class LedgerState:
-    """The replayed content of a ledger file."""
+    """The replayed content of a ledger file.
+
+    ``compacted_through`` is the highest ``compacted_through`` of any
+    rotation header seen (``-1`` when the replayed range contains none):
+    spends at or below it are aggregated inside baseline records rather
+    than individually addressable, which a suffix-replaying restore must
+    detect (a snapshot stamped *before* that point cannot be reconciled
+    record-by-record and falls back to full-replay authority).
+    """
 
     opens: dict[str, dict] = field(default_factory=dict)
     spends: dict[str, list[dict]] = field(default_factory=dict)
     closed: set[str] = field(default_factory=set)
     last_seq: int = -1
+    compacted_through: int = -1
 
     @property
     def session_ids(self) -> list[str]:
@@ -76,19 +104,38 @@ class BudgetLedger:
         Force each record to stable storage before returning (default).
         Turning it off trades crash-safety for latency; the write is still
         flushed to the OS.
+    validate:
+        Verify the existing journal's seq contiguity at open (default),
+        so appending onto a silently-truncated or bit-rotted file fails
+        *now* — while a backup is fresh — rather than at the next
+        restore. The scan reads seqs only (no record parsing); callers
+        that have just replayed the file authoritatively
+        (:meth:`PMWService.restore <repro.serve.service.PMWService.restore>`)
+        pass ``False`` to keep restarts O(crash window).
     """
 
-    def __init__(self, path, *, fsync: bool = True) -> None:
+    def __init__(self, path, *, fsync: bool = True,
+                 validate: bool = True) -> None:
         self.path = os.fspath(path)
         self.fsync = bool(fsync)
         self._lock = threading.Lock()
         if os.path.exists(self.path):
             _truncate_torn_tail(self.path)
-            existing = replay_ledger(self.path)
+            self._seq = _scan_last_seq(self.path,
+                                       validate=bool(validate)) + 1
         else:
-            existing = LedgerState()
-        self._seq = existing.last_seq + 1
+            self._seq = 0
         self._file = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest durable record (``-1`` for an empty ledger).
+
+        This is the watermark service snapshots are stamped with: a
+        restore replays only records past the stamp.
+        """
+        with self._lock:
+            return self._seq - 1
 
     # -- appending -----------------------------------------------------------
 
@@ -114,22 +161,34 @@ class BudgetLedger:
             "delta_budget": delta_budget,
         })
 
-    def append_spends(self, session_id: str, records: list[dict]) -> None:
-        """Journal accountant spends (one line each), durably, in order."""
+    def append_spends(self, session_id: str, records: list[dict]) -> int:
+        """Journal accountant spends (one line each), durably, in order.
+
+        Returns the ``seq`` of the last spend written (``-1`` when
+        ``records`` is empty) — sessions track it so a snapshot can say
+        exactly which journaled spends its accountants already contain.
+        """
+        last = -1
         for record in records:
-            self._append({
+            last = self._append({
                 "kind": SPEND, "session": session_id,
                 "epsilon": float(record["epsilon"]),
                 "delta": float(record["delta"]),
                 "label": str(record.get("label", "")),
             })
+        return last
 
     def append_close(self, session_id: str) -> None:
         """Journal a session close."""
         self._append({"kind": CLOSE, "session": session_id})
 
-    def _append(self, record: dict) -> None:
+    def _append(self, record: dict) -> int:
         with self._lock:
+            if self._file.closed:
+                raise ValidationError(
+                    f"{self.path}: ledger is closed; the spend was NOT "
+                    f"journaled — do not release the answer it pays for"
+                )
             record = {"seq": self._seq, **record}
             self._seq += 1
             line = json.dumps(record, separators=(",", ":"))
@@ -137,6 +196,104 @@ class BudgetLedger:
             self._file.flush()
             if self.fsync:
                 os.fsync(self._file.fileno())
+            return record["seq"]
+
+    # -- compaction ------------------------------------------------------------
+
+    def compact(self, *, archive_dir=None) -> str:
+        """Rotate the journal, bounding replay cost for long-lived services.
+
+        Writes a fresh ledger whose ``open`` records are re-journaled and
+        whose spend history is folded into one run-length-encoded
+        ``baseline`` record per session, swaps it in atomically, and
+        leaves the old segment as an archive file (returned). Replay of
+        the rotated journal rebuilds every accountant **bitwise-equal**
+        to replay of the uncompacted one: the RLE preserves record order,
+        values, and labels exactly.
+
+        Crash consistency: the new file is fully written and fsync'd as
+        ``<path>.compact.tmp``; the live journal is first *hard-linked*
+        to the archive name, then atomically replaced by the tmp file,
+        then the directory is fsync'd. A crash at any point leaves either
+        the old journal or the new one at ``path`` — never neither — and
+        a half-finished attempt is simply retried (stale tmp/archive
+        files are overwritten).
+
+        ``seq`` stays monotone across the rotation (the new file opens
+        with a ``compact`` header at ``old last_seq + 1``), so snapshot
+        stamps taken before the rotation are still ordered correctly —
+        they simply fall back to full-replay authority, which the
+        rotation has just made cheap.
+        """
+        with self._lock:
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            state = replay_ledger(self.path)
+            prev_last = state.last_seq
+            directory = os.path.dirname(os.path.abspath(self.path))
+            archive_directory = (os.fspath(archive_dir)
+                                 if archive_dir is not None else directory)
+            os.makedirs(archive_directory, exist_ok=True)
+            archive_name = (f"{os.path.basename(self.path)}"
+                            f".{prev_last + 1:08d}.archive")
+            archive_path = os.path.join(archive_directory, archive_name)
+            tmp = self.path + ".compact.tmp"
+
+            seq = prev_last + 1
+            lines = [{
+                "seq": seq, "kind": COMPACT,
+                "compacted_through": prev_last, "archive": archive_name,
+                "sessions": len(state.opens),
+            }]
+            for sid, opened in state.opens.items():
+                seq += 1
+                lines.append({**opened, "seq": seq})
+                spends = state.spends.get(sid, [])
+                if spends:
+                    seq += 1
+                    lines.append({
+                        "seq": seq, "kind": BASELINE, "session": sid,
+                        "spends": _rle_encode(spends),
+                    })
+                if sid in state.closed:
+                    seq += 1
+                    lines.append({"seq": seq, "kind": CLOSE,
+                                  "session": sid})
+
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for record in lines:
+                    handle.write(json.dumps(record,
+                                            separators=(",", ":")) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Archive-by-hardlink THEN replace: at no instant is `path`
+            # missing, and the old bytes survive under the archive name.
+            self._file.close()
+            try:
+                if os.path.exists(archive_path):
+                    os.remove(archive_path)  # stale earlier attempt
+                try:
+                    os.link(self.path, archive_path)
+                except OSError:
+                    # Cross-device archive_dir (EXDEV) or a filesystem
+                    # without hard links: durable copy instead. Same
+                    # crash window — the archive exists in full before
+                    # the live journal is replaced.
+                    _copy_durable(self.path, archive_path)
+                os.replace(tmp, self.path)
+                # The rotated file is live the instant the rename
+                # lands: advance the seq NOW, before anything below can
+                # raise — a stale _seq would make the next append
+                # collide with the rotation header and corrupt the
+                # journal for every future replay.
+                self._seq = seq + 1
+                fsync_dir(directory)
+                if archive_directory != directory:
+                    fsync_dir(archive_directory)
+            finally:
+                self._file = open(self.path, "a", encoding="utf-8")
+        return archive_path
 
     # -- reading ---------------------------------------------------------------
 
@@ -147,8 +304,10 @@ class BudgetLedger:
         return replay_ledger(self.path)
 
     def close(self) -> None:
-        """Close the underlying file handle."""
-        self._file.close()
+        """Close the underlying file handle (serialized against any
+        in-progress append; later appends fail loudly)."""
+        with self._lock:
+            self._file.close()
 
     def __enter__(self) -> "BudgetLedger":
         return self
@@ -160,8 +319,16 @@ class BudgetLedger:
         return f"BudgetLedger(path={self.path!r}, next_seq={self._seq})"
 
 
-def replay_ledger(path) -> LedgerState:
+def replay_ledger(path, *, from_seq: int | None = None) -> LedgerState:
     """Parse a ledger file into a :class:`LedgerState`.
+
+    ``from_seq`` replays only the *suffix*: the scan byte-jumps to the
+    first record past it (falling back to a cheap per-line seq skip),
+    which is what makes restarting from a checkpoint O(crash window)
+    instead of O(history). Contiguity is verified from wherever the
+    scan starts; the skipped prefix is trusted to the caller's stamp —
+    it is validated by every full replay and by the open-time scan in
+    :class:`BudgetLedger` instead.
 
     Raises :class:`ValidationError` on corruption (bad JSON on a complete
     line, or a ``seq`` gap); tolerates and drops a torn final line — one
@@ -177,42 +344,261 @@ def replay_ledger(path) -> LedgerState:
     # counted by replay yet truncated on the next reopen, and the two
     # views of the journal would disagree.
     ends_complete = content.endswith(b"\n")
+    expected_seq = None
+    if from_seq is not None:
+        # Byte-jump straight to the suffix: records are canonical
+        # single-line writes opening with `{"seq":N,` and JSON strings
+        # cannot contain a raw newline, so the marker match is exact.
+        # Falls back to a line scan when the marker is absent (empty
+        # suffix, or a hand-edited journal).
+        marker = b'{"seq":%d,' % (from_seq + 1)
+        if content.startswith(marker):
+            expected_seq = from_seq + 1
+        else:
+            position = content.find(b"\n" + marker)
+            if position >= 0:
+                content = content[position + 1:]
+                expected_seq = from_seq + 1
+            else:
+                # No record past the stamp (checkpoint-then-idle crash):
+                # jump to the stamp record itself so the scan below
+                # touches O(1) lines, not the whole history.
+                marker = b'{"seq":%d,' % from_seq
+                position = (0 if content.startswith(marker)
+                            else content.find(b"\n" + marker) + 1)
+                if position > 0 or content.startswith(marker):
+                    content = content[position:]
+        if expected_seq is not None:
+            state.last_seq = from_seq
     lines = content.decode("utf-8").splitlines()
     for position, line in enumerate(lines):
         if position == len(lines) - 1 and not ends_complete:
             break  # torn final write from a crash: drop it
         if not line.strip():
             continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError:
-            raise ValidationError(
-                f"{path}: corrupt ledger record at line {position + 1}"
-            )
+        if (from_seq is not None
+                and (expected_seq is None or expected_seq <= from_seq)):
+            # Prefix skip: only the seq is read (fast path), contiguity
+            # still checked. A rotation header hiding in the skipped
+            # prefix is irrelevant — its baselines predate ``from_seq``.
+            seq = _quick_seq(line)
+            if seq is None:
+                seq = _parse_record(path, position, line).get("seq")
+            if seq is not None and seq <= from_seq:
+                if expected_seq is not None and seq != expected_seq:
+                    raise ValidationError(
+                        f"{path}: ledger sequence gap at line "
+                        f"{position + 1} (expected seq {expected_seq}, "
+                        f"got {seq})"
+                    )
+                state.last_seq = seq
+                expected_seq = seq + 1
+                continue
+            # First record already past from_seq (a rotated journal):
+            # fall through to full processing.
+        record = _parse_record(path, position, line)
         seq = record.get("seq")
-        if seq != state.last_seq + 1:
+        kind = record.get("kind")
+        if expected_seq is None:
+            # First record: seq 0, unless this file opens with a
+            # rotation header (compaction keeps seq monotone across
+            # files, so a rotated journal legitimately starts higher).
+            if seq != 0 and kind != COMPACT:
+                raise ValidationError(
+                    f"{path}: ledger sequence gap at line {position + 1} "
+                    f"(expected seq 0, got {seq})"
+                )
+        elif seq != expected_seq:
             raise ValidationError(
                 f"{path}: ledger sequence gap at line {position + 1} "
-                f"(expected seq {state.last_seq + 1}, got {seq})"
+                f"(expected seq {expected_seq}, got {seq})"
             )
         state.last_seq = seq
-        kind = record.get("kind")
+        expected_seq = seq + 1
         session = record.get("session", "")
         if kind == OPEN:
             state.opens[session] = record
         elif kind == SPEND:
             state.spends.setdefault(session, []).append({
                 "epsilon": record["epsilon"], "delta": record["delta"],
-                "label": record.get("label", ""),
+                "label": record.get("label", ""), "seq": seq,
             })
         elif kind == CLOSE:
             state.closed.add(session)
+        elif kind == COMPACT:
+            state.compacted_through = max(state.compacted_through,
+                                          int(record["compacted_through"]))
+        elif kind == BASELINE:
+            state.spends.setdefault(session, []).extend(
+                _rle_expand(record["spends"], seq))
         else:
             raise ValidationError(
                 f"{path}: unknown ledger record kind {kind!r} at line "
                 f"{position + 1}"
             )
     return state
+
+
+def _parse_record(path, position: int, line: str) -> dict:
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError:
+        raise ValidationError(
+            f"{path}: corrupt ledger record at line {position + 1}"
+        )
+
+
+def _quick_seq(line: str) -> int | None:
+    """Extract ``seq`` from a canonically-written line without JSON
+    parsing (records are written ``{"seq":N,...}``); ``None`` on any
+    mismatch, signalling the caller to fall back to a full parse."""
+    if not line.startswith('{"seq":'):
+        return None
+    end = line.find(",", 7)
+    if end < 0:
+        return None
+    try:
+        return int(line[7:end])
+    except ValueError:
+        return None
+
+
+#: Tail window for reading the final record at ledger open. Records are
+#: a few hundred bytes; 64 KiB of slack covers even giant param blobs.
+_TAIL_CHUNK = 65536
+
+
+def _scan_last_seq(path, *, validate: bool = True) -> int:
+    """Seq of the last complete record (the torn tail has already been
+    truncated, so the final line is complete).
+
+    With ``validate`` (the default), every line's seq is checked for
+    contiguity — an integer scan, no record parsing — so corruption is
+    caught at open time, before anything is appended after it. Without
+    it, only the file's tail is read: O(1) for callers that have just
+    replayed (and thereby validated) the file themselves.
+    """
+    if validate:
+        last = -1
+        expected = None
+        with open(path, "rb") as handle:
+            content = handle.read()
+        for position, raw in enumerate(content.splitlines()):
+            line = raw.decode("utf-8")
+            if not line.strip():
+                continue
+            seq = _quick_seq(line)
+            kind = None
+            if seq is None:
+                record = _parse_record(path, position, line)
+                seq = record.get("seq")
+                kind = record.get("kind")
+            if expected is None:
+                if seq != 0:
+                    # Only a rotation header may open at nonzero seq.
+                    if kind is None:
+                        kind = _parse_record(path, position,
+                                             line).get("kind")
+                    if kind != COMPACT:
+                        raise ValidationError(
+                            f"{path}: ledger sequence gap at line "
+                            f"{position + 1} (expected seq 0, got {seq})"
+                        )
+            elif seq != expected:
+                raise ValidationError(
+                    f"{path}: ledger sequence gap at line {position + 1} "
+                    f"(expected seq {expected}, got {seq})"
+                )
+            last = seq
+            expected = seq + 1
+        return last
+    size = os.path.getsize(path)
+    offset = max(0, size - _TAIL_CHUNK)
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        tail = handle.read()
+        if offset > 0 and b"\n" not in tail[:-1]:
+            # One record longer than the window: read it all.
+            handle.seek(0)
+            tail = handle.read()
+            offset = 0
+    if offset > 0:
+        # Drop the chunk's leading partial line; what follows the first
+        # newline is a sequence of complete records.
+        tail = tail[tail.index(b"\n") + 1:]
+    for raw in reversed(tail.rstrip(b"\n").split(b"\n")):
+        line = raw.decode("utf-8")
+        if not line.strip():
+            continue
+        seq = _quick_seq(line)
+        if seq is None:
+            seq = _parse_record(path, 0, line).get("seq")
+        if not isinstance(seq, int):
+            raise ValidationError(
+                f"{path}: final ledger record carries no seq"
+            )
+        return seq
+    return -1
+
+
+def _rle_encode(spends: list[dict]) -> list[dict]:
+    """Run-length encode a spend history, preserving order exactly
+    (:func:`repro.dp.accountant.group_records`): expansion reproduces
+    the original record sequence bit-for-bit, so compaction never
+    perturbs composed totals (basic sums are order-sensitive in
+    floating point)."""
+    return group_records(spends)
+
+
+def _rle_expand(groups: list[dict], seq: int) -> list[dict]:
+    """Inverse of :func:`_rle_encode`; every expanded record carries the
+    baseline record's ``seq`` (the individual seqs are gone — which is
+    exactly what ``compacted_through`` lets restores detect)."""
+    expanded = expand_records(groups)
+    for record in expanded:
+        record["seq"] = seq
+    return expanded
+
+
+def fsync_dir(path) -> None:
+    """fsync a directory so a rename/create/truncate in it survives power
+    loss — fsync on the *file* makes its bytes durable, but the directory
+    entry pointing at them is separate metadata with its own write-back.
+
+    ``path`` may be the directory itself or a file inside it. Best-effort
+    on platforms where directories cannot be opened for fsync.
+    """
+    directory = os.fspath(path)
+    if not os.path.isdir(directory):
+        directory = os.path.dirname(os.path.abspath(directory)) or "."
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX platforms
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        # EINVAL/EIO on exotic filesystems: nothing stronger exists
+        # there, and failing a rotation that already landed would leave
+        # the caller's in-memory state out of sync with a good file.
+        pass
+    finally:
+        os.close(fd)
+
+
+def _copy_durable(src: str, dst: str) -> None:
+    """Copy ``src`` to ``dst`` and fsync it — the hardlink-archive
+    fallback for cross-device destinations. A crash mid-copy leaves a
+    partial ``dst`` and an untouched live journal; the retried rotation
+    overwrites it."""
+    with open(src, "rb") as source, open(dst, "wb") as target:
+        while True:
+            chunk = source.read(1 << 20)
+            if not chunk:
+                break
+            target.write(chunk)
+        target.flush()
+        os.fsync(target.fileno())
 
 
 def _truncate_torn_tail(path: str) -> None:
@@ -224,6 +610,10 @@ def _truncate_torn_tail(path: str) -> None:
     fragment; truncating to the last complete line keeps the journal
     parseable. The dropped event was never acted on (answers are released
     only after the journal write returns).
+
+    The truncation itself is fsync'd (file and directory), so a power
+    failure right after cannot resurrect the dropped fragment and leave
+    the next append concatenated onto it.
     """
     with open(path, "rb") as handle:
         content = handle.read()
@@ -232,6 +622,9 @@ def _truncate_torn_tail(path: str) -> None:
     keep = content.rfind(b"\n") + 1  # 0 when no complete line survives
     with open(path, "r+b") as handle:
         handle.truncate(keep)
+        handle.flush()
+        os.fsync(handle.fileno())
+    fsync_dir(path)
 
 
 def jsonable_params(params: dict) -> dict:
@@ -252,5 +645,5 @@ def jsonable_params(params: dict) -> dict:
     return out
 
 
-__all__ = ["BudgetLedger", "LedgerState", "replay_ledger",
+__all__ = ["BudgetLedger", "LedgerState", "replay_ledger", "fsync_dir",
            "jsonable_params"]

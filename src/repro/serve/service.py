@@ -32,18 +32,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import threading
 
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.dp.accountant import PrivacySpend
 from repro.exceptions import (
     MechanismHalted,
     PrivacyBudgetExhausted,
     ValidationError,
 )
 from repro.serve.cache import AnswerCache, CachedAnswer
-from repro.serve.ledger import BudgetLedger, replay_ledger
+from repro.serve.ledger import BudgetLedger, fsync_dir, replay_ledger
 from repro.serve.planner import concurrent_map, plan_batch
 from repro.serve.registry import MechanismRegistry, default_registry
 from repro.serve.session import ServeResult, Session, try_fingerprint
@@ -67,6 +69,14 @@ class PMWService:
     ledger_path:
         Optional path to the budget journal. When set, every accountant
         spend is durably journaled before its answer is released.
+    ledger_fsync:
+        Force each journal record to stable storage before its answer is
+        released (default). Turning it off trades crash-safety for
+        latency — appropriate for tests and benchmarks, not production.
+    ledger_validate:
+        Verify the existing journal's integrity (seq contiguity) when
+        opening it (default). :meth:`restore` turns it off because its
+        own replay has just validated the range it trusts.
     cache:
         Optional pre-built :class:`AnswerCache` (e.g. restored from a
         snapshot); by default a fresh unbounded cache.
@@ -88,7 +98,9 @@ class PMWService:
     CACHE_POLICIES = ("replay", "track-hypothesis")
 
     def __init__(self, datasets, *, registry: MechanismRegistry | None = None,
-                 ledger_path=None, cache: AnswerCache | None = None,
+                 ledger_path=None, ledger_fsync: bool = True,
+                 ledger_validate: bool = True,
+                 cache: AnswerCache | None = None,
                  cache_entries: int | None = None,
                  cache_policy: str = "replay", rng=None) -> None:
         if isinstance(datasets, Dataset):
@@ -97,7 +109,8 @@ class PMWService:
             raise ValidationError("PMWService needs at least one dataset")
         self.datasets: dict[str, Dataset] = dict(datasets)
         self.registry = registry or default_registry()
-        self.ledger = (BudgetLedger(ledger_path)
+        self.ledger = (BudgetLedger(ledger_path, fsync=ledger_fsync,
+                                    validate=ledger_validate)
                        if ledger_path is not None else None)
         self.cache = (cache if cache is not None
                       else AnswerCache(max_entries=cache_entries))
@@ -111,6 +124,7 @@ class PMWService:
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
         self._session_counter = 0
+        self._closed = False
 
     # -- sessions ------------------------------------------------------------
 
@@ -127,6 +141,7 @@ class PMWService:
         ``epsilon_budget``/``delta_budget`` arm the session's accountant as
         a hard odometer on top of the mechanism's own calibration.
         """
+        self._check_service_open()
         dataset_name = self._resolve_dataset(dataset)
         data = self.datasets[dataset_name]
         if rng is None:
@@ -134,27 +149,45 @@ class PMWService:
         mech = self.registry.create(mechanism, data, rng=rng, **params)
         self._arm_budget(mech, epsilon_budget, delta_budget)
         with self._lock:
+            # Re-checked under the lock: close() flips the flag under
+            # the same lock, so a session is either registered before
+            # close() reads the barrier list or refused here.
+            self._check_service_open()
             sid = session_id or self._next_session_id(mechanism)
             if sid in self._sessions:
                 raise ValidationError(f"session id {sid!r} already in use")
             session = Session(sid, mech, mechanism_name=mechanism,
                               params=params, analyst=analyst,
                               dataset=dataset_name)
+            # Hold the session lock across registration AND journaling:
+            # the moment the session enters _sessions it is visible to a
+            # concurrent snapshot, which captures per session under this
+            # lock — without it, a capture could see the construction
+            # spends in the accountant but last_spend_seq still -1, and
+            # a later suffix-replaying restore would apply those
+            # journaled spends a second time.
+            session.lock.acquire()
             self._sessions[sid] = session
-        # Consume construction-time spends (the sparse vector's lifetime
-        # budget) unconditionally, so per-query marginal costs never
-        # include them — with a ledger they are journaled here.
-        construction_spends = session.consume_unjournaled()
-        if self.ledger is not None:
-            self.ledger.append_open(
-                sid, mechanism, params, analyst=analyst,
-                dataset=dataset_name,
-                universe_size=data.universe.size,
-                dataset_digest=dataset_digest(data),
-                epsilon_budget=epsilon_budget,
-                delta_budget=delta_budget,
-            )
-            self.ledger.append_spends(sid, construction_spends)
+        try:
+            # Consume construction-time spends (the sparse vector's
+            # lifetime budget) unconditionally, so per-query marginal
+            # costs never include them — with a ledger they are
+            # journaled here.
+            construction_spends = session.consume_unjournaled()
+            if self.ledger is not None:
+                self.ledger.append_open(
+                    sid, mechanism, params, analyst=analyst,
+                    dataset=dataset_name,
+                    universe_size=data.universe.size,
+                    dataset_digest=dataset_digest(data),
+                    epsilon_budget=epsilon_budget,
+                    delta_budget=delta_budget,
+                )
+                seq = self.ledger.append_spends(sid, construction_spends)
+                if seq >= 0:
+                    session.last_spend_seq = seq
+        finally:
+            session.lock.release()
         return sid
 
     def session(self, session_id: str) -> Session:
@@ -196,6 +229,7 @@ class PMWService:
         public-hypothesis path instead of raising
         :class:`MechanismHalted`.
         """
+        self._check_service_open()
         session = self.session(session_id)
         self._check_session_open(session)
         fingerprint = try_fingerprint(query)
@@ -255,6 +289,7 @@ class PMWService:
         evaluation engine, and the lane streams in order under the
         session lock. Results align with ``queries``.
         """
+        self._check_service_open()
         session = self.session(session_id)
         self._check_session_open(session)
         plan = plan_batch(session, queries,
@@ -330,6 +365,11 @@ class PMWService:
                 f"on_halt must be 'raise' or 'hypothesis', got {on_halt!r}"
             )
         with session.lock:
+            # Re-checked under the session lock: close() barriers on
+            # this lock after flipping the flag, so a round either
+            # refuses here or completes its journaling before the
+            # ledger handle is released.
+            self._check_service_open()
             if recheck_cache and fingerprint is not None:
                 # Double-checked under the session lock: a concurrent
                 # duplicate submission may have released this answer while
@@ -357,7 +397,9 @@ class PMWService:
             # Journal *before* releasing the answer: write-ahead budget
             # accounting is what makes restart totals exact.
             if self.ledger is not None:
-                self.ledger.append_spends(session.session_id, records)
+                seq = self.ledger.append_spends(session.session_id, records)
+                if seq >= 0:
+                    session.last_spend_seq = seq
             # Cache inside the lock, so a waiting duplicate's recheck is
             # guaranteed to see this answer. Hypothesis-derived answers
             # are stamped with the hypothesis version they were computed
@@ -378,6 +420,56 @@ class PMWService:
             epsilon_spent=float(sum(r["epsilon"] for r in records)),
             delta_spent=float(sum(r["delta"] for r in records)),
         )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Close the service, releasing the budget ledger's file handle.
+
+        Idempotent, and safe against in-flight serving: after new
+        admissions are stopped, the close barriers on every session's
+        lock, so a round that already entered its critical section
+        finishes — and journals its spend — before the handle goes
+        away. (Rounds re-check the closed flag under their session
+        lock, so nothing new starts once the flag is up.) A closed
+        service refuses new sessions and new answers; snapshots and
+        budget reports still work. Call it at teardown — or use the
+        service as a context manager — so many short-lived services in
+        one process do not each leak an open ledger handle.
+        :meth:`ServiceGateway.shutdown <repro.serve.gateway.ServiceGateway.shutdown>`
+        calls it after draining the gateway.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Sessions registered after this point were refused by the
+            # closed-flag re-check inside open_session's locked section,
+            # so this list is complete for barrier purposes.
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            with session.lock:
+                pass  # barrier: in-flight rounds journal before we close
+        if self.ledger is not None:
+            self.ledger.close()
+
+    def __enter__(self) -> "PMWService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_service_open(self) -> None:
+        if self._closed:
+            raise ValidationError(
+                "service is closed (its budget ledger handle has been "
+                "released); build or restore a new PMWService"
+            )
 
     def gateway(self, **knobs) -> "ServiceGateway":
         """Build a :class:`~repro.serve.gateway.ServiceGateway` front end.
@@ -424,8 +516,23 @@ class PMWService:
         """Full service state (sessions + cache), JSON-serializable.
 
         Never contains the private datasets. When ``path`` is given the
-        snapshot is written atomically (tmp + rename).
+        snapshot is written atomically (tmp + rename + directory fsync —
+        without the fsync the rename itself could be lost on power
+        failure, resurrecting the previous snapshot).
+
+        With a ledger, the snapshot is stamped with the journal's
+        ``last_seq`` at capture (``"ledger_seq"``), so a restore replays
+        only the ledger *suffix* past the stamp. The stamp is taken
+        *first*: any spend that lands while sessions are being captured
+        has ``seq > stamp`` and each session's own ``last_spend_seq``
+        (captured under its lock) tells the restore whether that spend is
+        already inside the snapshotted accountant. For a stamp with no
+        concurrent-writer caveats at all, checkpoint through
+        :class:`~repro.serve.checkpoint.Checkpointer`, which quiesces the
+        gateway around the capture.
         """
+        ledger_seq = self.ledger.last_seq if self.ledger is not None \
+            else None
         # Capture the cache BEFORE the sessions: with concurrent serving,
         # a tear then at worst omits a just-released answer from the cache
         # while its spend is in the accountant (over-accounting, safe) —
@@ -442,6 +549,7 @@ class PMWService:
             "format": SNAPSHOT_FORMAT,
             "session_counter": self._session_counter,
             "cache_policy": self.cache_policy,
+            "ledger_seq": ledger_seq,
             "sessions": sessions,
             "cache": cache_state,
         }
@@ -454,6 +562,7 @@ class PMWService:
                     handle.flush()
                     os.fsync(handle.fileno())
                 os.replace(tmp, path)
+                fsync_dir(path)
             except BaseException:
                 if os.path.exists(tmp):
                     os.remove(tmp)
@@ -462,6 +571,7 @@ class PMWService:
 
     @classmethod
     def restore(cls, datasets, *, snapshot=None, ledger_path=None,
+                ledger_fsync: bool = True,
                 registry: MechanismRegistry | None = None,
                 params_override: dict | None = None,
                 cache_policy: str | None = None, rng=None) -> "PMWService":
@@ -477,9 +587,21 @@ class PMWService:
           uniform), but every accountant is rebuilt to the **exact**
           journaled totals, so no budget is ever double-spent or forgotten.
 
-        When both are given, the snapshot provides state and the ledger is
-        the budget authority: journaled spends beyond the snapshot (the
-        crash window) override the snapshotted accountants.
+        When both are given, the tiers are *reconciled* on the ledger's
+        ``seq`` watermark. A snapshot taken against a ledger carries a
+        ``ledger_seq`` stamp; restore replays only the journal **suffix**
+        past the stamp (the crash window) and applies it on top of the
+        snapshotted accountants — O(crash window), not O(history). The
+        ledger stays the budget authority: journaled spends the snapshot
+        has not seen are never dropped, sessions opened post-snapshot are
+        revived, and a stamped snapshot restored *without* its ledger (or
+        against a ledger that ends before the stamp) fails loudly instead
+        of silently under-reporting spent budget. Un-stamped snapshots
+        (taken by a ledger-less service, or pre-stamp) keep the original
+        full-replay reconciliation. If the journal was compacted after
+        the stamp, per-record suffix replay is impossible (the rotation
+        folded those records into baselines) and restore falls back to
+        full-replay authority — which the rotation has just made cheap.
 
         ``params_override`` maps ``session_id -> params`` for sessions whose
         journaled configuration contained unjournalable values (e.g. a live
@@ -499,15 +621,50 @@ class PMWService:
                 f"{snapshot.get('format')!r}"
             )
 
-        ledger_state = None
-        if ledger_path is not None and os.path.exists(os.fspath(ledger_path)):
-            ledger_state = replay_ledger(ledger_path)
+        stamp = snapshot.get("ledger_seq") if snapshot is not None else None
+        ledger_exists = (ledger_path is not None
+                         and os.path.exists(os.fspath(ledger_path)))
+        if stamp is not None and not ledger_exists:
+            raise ValidationError(
+                f"snapshot is stamped at ledger seq {stamp}: it was taken "
+                f"against a budget ledger, which is the authority for any "
+                f"spends journaled after the snapshot — restoring without "
+                f"that ledger would silently under-report spent budget. "
+                f"Pass ledger_path."
+            )
+
+        ledger_state = None   # full-replay authority
+        suffix_state = None   # only the records past the snapshot stamp
+        if ledger_exists:
+            if stamp is not None:
+                suffix_state = replay_ledger(ledger_path, from_seq=stamp)
+                if suffix_state.last_seq < stamp:
+                    raise ValidationError(
+                        f"snapshot is stamped at ledger seq {stamp}, but "
+                        f"{os.fspath(ledger_path)} ends at seq "
+                        f"{suffix_state.last_seq}: a write-ahead journal "
+                        f"never runs behind its snapshot, so this is not "
+                        f"the ledger the snapshot was taken against"
+                    )
+                if suffix_state.compacted_through >= stamp:
+                    # Rotated at-or-after the snapshot stamp: spends
+                    # through the stamp are folded inside baseline
+                    # records, so record-by-record suffix application is
+                    # impossible. The suffix replay above already covers
+                    # the whole rotated file (it opens at the rotation
+                    # header), so it IS the full authority.
+                    ledger_state, suffix_state = suffix_state, None
+            else:
+                ledger_state = replay_ledger(ledger_path)
 
         cache = (AnswerCache.from_state(snapshot["cache"])
                  if snapshot is not None else None)
         if cache_policy is None:
             cache_policy = (snapshot or {}).get("cache_policy", "replay")
+        # The replay above already validated the journal range restore
+        # trusts, so the ledger skips its own open-time integrity scan.
         service = cls(datasets, registry=registry, ledger_path=ledger_path,
+                      ledger_fsync=ledger_fsync, ledger_validate=False,
                       cache=cache, cache_policy=cache_policy, rng=rng)
         params_override = params_override or {}
 
@@ -518,15 +675,11 @@ class PMWService:
                     record, params_override.get(sid))
         if ledger_state is not None:
             # Sessions opened after the snapshot (or all of them, with no
-            # snapshot) exist only in the journal: rebuild them too, and
-            # advance the id counter past every journaled open so their
-            # ids are never reissued.
+            # snapshot) exist only in the journal: rebuild them too.
             for sid in ledger_state.session_ids:
                 if sid not in service._sessions:
                     service._restore_session_from_ledger(
                         sid, ledger_state, params_override.get(sid))
-            service._session_counter = max(service._session_counter,
-                                           len(ledger_state.opens))
 
         if ledger_state is not None:
             # The ledger is the budget authority: it saw every spend that
@@ -538,13 +691,21 @@ class PMWService:
                         ledger_state.accountant_for(sid)
                     session._journal_cursor = \
                         session.accountant.num_spends
+                    spends = ledger_state.spends.get(sid, [])
+                    if spends:
+                        session.last_spend_seq = spends[-1]["seq"]
                 if sid in ledger_state.closed:
                     service.session(sid).close()
-        if service.ledger is not None:
+        if suffix_state is not None:
+            service._reconcile_ledger_suffix(suffix_state, stamp,
+                                             params_override)
+        if service.ledger is not None and stamp is None:
             # Sessions the journal has never seen (snapshot-restored onto a
             # new or foreign ledger) are adopted: journal their open record
             # and full spend history now, so this ledger alone can
-            # reconstruct their totals at the next restore.
+            # reconstruct their totals at the next restore. (A stamped
+            # snapshot restores against its own ledger — every session is
+            # already journaled there.)
             known = set(ledger_state.opens) if ledger_state is not None else set()
             for sid in service.session_ids:
                 if sid in known:
@@ -563,9 +724,71 @@ class PMWService:
                     delta_budget=accountant.delta_budget,
                 )
                 session._journal_cursor = 0
-                service.ledger.append_spends(sid,
-                                             session.consume_unjournaled())
+                seq = service.ledger.append_spends(
+                    sid, session.consume_unjournaled())
+                if seq >= 0:
+                    session.last_spend_seq = seq
+        # Never reissue an id: advance the minting counter past every
+        # numeric suffix in use. Length-of-journal floors miss explicit
+        # ids that *look* like future auto ids ("pmw-convex-0002" opened
+        # by hand), and a post-restore open_session would collide.
+        service._session_counter = max(service._session_counter,
+                                       _max_id_counter(service.session_ids))
         return service
+
+    def _reconcile_ledger_suffix(self, suffix, stamp: int,
+                                 params_override: dict) -> None:
+        """Apply the journal's crash window on top of a stamped snapshot.
+
+        ``suffix`` holds only records with ``seq > stamp``. Three cases:
+
+        - sessions opened in the window exist only in the journal —
+          rebuild them cold (the suffix carries their complete history);
+        - snapshotted sessions may have journaled spends the snapshot
+          has not seen — append exactly those (each session's own
+          ``last_spend_seq`` marks where its snapshotted accountant
+          ends, so a spend that raced the capture is never re-applied);
+        - sessions closed in the window are closed.
+        """
+        for sid in suffix.session_ids:
+            if sid in self._sessions:
+                continue
+            self._restore_session_from_ledger(sid, suffix,
+                                              params_override.get(sid))
+            session = self.session(sid)
+            session.mechanism.accountant = suffix.accountant_for(sid)
+            session._journal_cursor = session.accountant.num_spends
+            spends = suffix.spends.get(sid, [])
+            if spends:
+                session.last_spend_seq = spends[-1]["seq"]
+        unknown = sorted(set(suffix.spends) - set(self._sessions))
+        if unknown:
+            raise ValidationError(
+                f"ledger journals spends after seq {stamp} for sessions "
+                f"the snapshot does not contain: {unknown}; the snapshot "
+                f"and ledger disagree about the service's history"
+            )
+        for sid in self.session_ids:
+            session = self.session(sid)
+            spends = suffix.spends.get(sid, [])
+            extra = [r for r in spends
+                     if r["seq"] > session.last_spend_seq]
+            if extra:
+                # Extend in place (journal entries are trusted, like
+                # from_records): appending keeps reconciliation
+                # O(crash window) — rebuilding the accountant would be
+                # the O(history) cost this path exists to avoid.
+                session.accountant.spends.extend(
+                    PrivacySpend(float(r["epsilon"]), float(r["delta"]),
+                                 str(r.get("label", "")))
+                    for r in extra
+                )
+                session._journal_cursor = session.accountant.num_spends
+            if spends:
+                session.last_spend_seq = max(session.last_spend_seq,
+                                             spends[-1]["seq"])
+            if sid in suffix.closed:
+                session.close()
 
     # -- internals ---------------------------------------------------------------
 
@@ -714,6 +937,22 @@ def dataset_digest(dataset: Dataset) -> str:
         hasher.update(np.ascontiguousarray(dataset.universe.labels).tobytes())
     hasher.update(np.sort(dataset.indices).tobytes())
     return hasher.hexdigest()
+
+
+#: Auto-minted ids end in ``-<counter>``; explicit ids may coincide.
+_ID_SUFFIX = re.compile(r"-(\d+)$")
+
+
+def _max_id_counter(session_ids) -> int:
+    """Largest numeric id suffix in use (0 when none), so the minting
+    counter can skip past ids a restore replayed — including explicit
+    ones that merely look auto-minted."""
+    best = 0
+    for sid in session_ids:
+        match = _ID_SUFFIX.search(sid)
+        if match:
+            best = max(best, int(match.group(1)))
+    return best
 
 
 __all__ = ["PMWService", "SNAPSHOT_FORMAT", "dataset_digest"]

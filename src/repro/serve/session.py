@@ -102,6 +102,13 @@ class Session:
         self._state = OPEN
         self._journal_cursor = 0
         self._queries_served = 0
+        #: Ledger ``seq`` of this session's newest journaled spend (``-1``
+        #: before any). Snapshots carry it, so a suffix-replaying restore
+        #: knows exactly which journaled spends the snapshotted accountant
+        #: already contains — even when the snapshot raced other sessions'
+        #: writes between the service-wide stamp and this session's
+        #: capture.
+        self.last_spend_seq = -1
         #: Spends owed but not yet recorded or journaled — used by cold
         #: (ledger-only) resume: the restarted mechanism's fresh
         #: sparse-vector interaction is charged the moment it is first
@@ -255,6 +262,7 @@ class Session:
                 "hypothesis_version": self.hypothesis_version,
                 "queries_served": self._queries_served,
                 "journal_cursor": self._journal_cursor,
+                "last_spend_seq": self.last_spend_seq,
                 "pending_spends": [dict(r) for r in self.pending_spends],
                 "mechanism_snapshot": self.mechanism.snapshot(),
             }
@@ -272,6 +280,7 @@ class Session:
         session._state = snapshot.get("state", OPEN)
         session._queries_served = int(snapshot.get("queries_served", 0))
         session._journal_cursor = int(snapshot.get("journal_cursor", 0))
+        session.last_spend_seq = int(snapshot.get("last_spend_seq", -1))
         session.pending_spends = [
             dict(r) for r in snapshot.get("pending_spends", [])
         ]

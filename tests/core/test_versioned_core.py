@@ -243,12 +243,12 @@ class TestSnapshotRestore:
 
     def test_v1_snapshot_format_accepted(self, cube_dataset):
         """Pre-versioned-core (v1) snapshots restore onto the legacy
-        path; the written format is v2."""
+        path; the written format is v3 (RLE accountant records)."""
         mechanism = make_mechanism(cube_dataset, versioned_core=False)
         losses = random_quadratic_family(cube_dataset.universe, 2, rng=12)
         mechanism.answer_all(losses, on_halt="hypothesis")
         state = json.loads(json.dumps(mechanism.snapshot()))
-        assert state["format"] == "repro.pmw_cm/v2"
+        assert state["format"] == "repro.pmw_cm/v3"
         # Simulate a v1 snapshot: old format string, no v2-only fields.
         state["format"] = "repro.pmw_cm/v1"
         for key in ("versioned_core", "warm_start", "hypothesis_core",

@@ -81,3 +81,54 @@ class TestAdvancedTotal:
         text = accountant.summary()
         assert "1 spends" in text
         assert "remaining" in text
+
+
+class TestGroupedRecords:
+    """RLE serialization: O(distinct runs) histories, bitwise round trips."""
+
+    def _spend_history(self):
+        accountant = PrivacyAccountant(epsilon_budget=100.0)
+        accountant.spend(1.0, 5e-7, label="sparse-vector")
+        for _ in range(50):
+            accountant.spend(0.01, 1e-9, label="oracle:round")
+        accountant.spend(0.25, 0.0, label="measure:q")
+        for _ in range(30):
+            accountant.spend(0.01, 1e-9, label="oracle:round")
+        return accountant
+
+    def test_grouped_round_trip_is_bitwise(self):
+        accountant = self._spend_history()
+        groups = accountant.to_grouped_records()
+        assert len(groups) == 4  # runs, not spends
+        rebuilt = PrivacyAccountant.from_records(groups,
+                                                 epsilon_budget=100.0)
+        assert rebuilt.to_records() == accountant.to_records()
+        assert rebuilt.total_basic() == accountant.total_basic()
+        assert (rebuilt.total_advanced(1e-6)
+                == accountant.total_advanced(1e-6))
+        assert rebuilt.num_spends == accountant.num_spends
+
+    def test_group_expand_inverse(self):
+        from repro.dp.accountant import expand_records, group_records
+        records = self._spend_history().to_records()
+        assert expand_records(group_records(records)) == records
+        # plain records pass through from_records unchanged
+        assert expand_records(records) == records
+
+    def test_order_preserved_not_sorted(self):
+        """RLE must never merge non-adjacent runs: float sums are
+        order-sensitive, and order is part of the journal contract."""
+        accountant = PrivacyAccountant()
+        accountant.spend(0.1, 0.0, label="a")
+        accountant.spend(0.2, 0.0, label="b")
+        accountant.spend(0.1, 0.0, label="a")
+        groups = accountant.to_grouped_records()
+        assert [g["label"] for g in groups] == ["a", "b", "a"]
+        assert all(g["count"] == 1 for g in groups)
+
+    def test_restored_accountant_keeps_spending(self):
+        groups = self._spend_history().to_grouped_records()
+        rebuilt = PrivacyAccountant.from_records(groups)
+        rebuilt.spend(0.5, 0.0, label="later")
+        assert rebuilt.spends[-1].label == "later"
+        assert rebuilt.num_spends == 83

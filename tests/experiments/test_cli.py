@@ -13,8 +13,8 @@ class TestCLI:
             assert key in out
 
     def test_every_bench_has_a_cli_entry(self):
-        """Keep the CLI in sync with the experiment index (E1-E14)."""
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
+        """Keep the CLI in sync with the experiment index (E1-E15)."""
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 16)}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):
@@ -31,3 +31,72 @@ class TestCLI:
         first = (tmp_path / "e8.txt").read_text()
         main(["e8", "--seed", "3", "--out", str(tmp_path)])
         assert (tmp_path / "e8.txt").read_text() == first
+
+
+class TestOperatorVerbs:
+    """The `checkpoint` / `compact` durability verbs (PR 5)."""
+
+    @pytest.fixture
+    def deployment(self, tmp_path):
+        from repro.data.synthetic import make_classification_dataset
+        from repro.losses.families import random_quadratic_family
+        from repro.serve.checkpoint import Checkpointer
+        from repro.serve.service import PMWService
+
+        task = make_classification_dataset(n=300, d=3, universe_size=40,
+                                           rng=0)
+        ledger = tmp_path / "budget.jsonl"
+        service = PMWService(task.dataset, ledger_path=ledger, rng=0)
+        sid = service.open_session(
+            "pmw-convex", oracle="non-private", scale=4.0, alpha=0.4,
+            epsilon=2.0, delta=1e-6, max_updates=4, solver_steps=30)
+        losses = random_quadratic_family(task.universe, 4, rng=1)
+        service.answer_batch((sid, losses[:2]))
+        checkpointer = Checkpointer(service, tmp_path / "ck")
+        checkpointer.checkpoint()
+        service.answer_batch((sid, losses[2:]))
+        service.close()
+        return tmp_path
+
+    def test_checkpoint_status_verb(self, deployment, capsys):
+        code = main(["checkpoint", "--dir", str(deployment / "ck"),
+                     "--ledger", str(deployment / "budget.jsonl")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ledger stamp" in out
+        assert "suffix records" in out or "full-replay authority" in out
+
+    def test_checkpoint_status_empty_dir(self, deployment, tmp_path,
+                                         capsys):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert main(["checkpoint", "--dir", str(empty)]) == 1
+        assert "no checkpoints" in capsys.readouterr().out
+
+    def test_compact_verb(self, deployment, capsys):
+        from repro.serve.ledger import replay_ledger
+        ledger = deployment / "budget.jsonl"
+        before = replay_ledger(ledger)
+        assert main(["compact", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "archived" in out
+        after = replay_ledger(ledger)
+        assert after.compacted_through == before.last_seq
+        for sid in before.opens:
+            assert after.accountant_for(sid).total_basic() == \
+                before.accountant_for(sid).total_basic()
+
+    def test_compact_then_status_reports_rotation(self, deployment,
+                                                  capsys):
+        main(["compact", "--ledger", str(deployment / "budget.jsonl")])
+        capsys.readouterr()
+        assert main(["checkpoint", "--dir", str(deployment / "ck"),
+                     "--ledger",
+                     str(deployment / "budget.jsonl")]) == 0
+        assert "full-replay authority" in capsys.readouterr().out
+
+    def test_e15_demo_runs(self, capsys):
+        assert main(["e15"]) == 0
+        out = capsys.readouterr().out
+        assert "crash recovery" in out
+        assert "True" in out  # bitwise-exact columns
