@@ -43,6 +43,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.losses.base import LossFunction
+from repro.obs import trace
 from repro.optimize.minimize import MinimizeResult, minimize_loss
 from repro.utils.rng import spawn_generators
 
@@ -271,6 +272,18 @@ class PrivateMWConvex:
         return self._sparse_vector.halted
 
     @property
+    def svt_hard_queries(self) -> int:
+        """Sparse-vector above-threshold ("hard") answers so far — each
+        one consumed an update slot. Published as the
+        ``mechanism.svt_hard_queries`` telemetry gauge."""
+        return self._sparse_vector.above_count
+
+    @property
+    def svt_queries_asked(self) -> int:
+        """Queries the sparse-vector interaction has judged so far."""
+        return self._sparse_vector.queries_asked
+
+    @property
     def history(self) -> list[dict]:
         """Per-update diagnostics (update index, loss name, error query)."""
         return list(self._history)
@@ -320,7 +333,8 @@ class PrivateMWConvex:
         # Custom losses with unfingerprintable state (e.g. stored
         # callables) still answer fine — they fall back to the
         # identity-keyed cache, like the pre-fingerprint behaviour.
-        key = self._loss_key(loss)
+        with trace.span("mechanism.fingerprint"):
+            key = self._loss_key(loss)
         cached = (self._data_minima.get(key) if key is not None
                   else self._data_minima_by_identity.get(loss))
         breakdown = self._round_breakdown(loss, key, cached)
@@ -339,7 +353,8 @@ class PrivateMWConvex:
                 breakdown.data_minimizer, breakdown.optimal_loss_on_data,
                 exact=False,
             )
-        sv_answer = self._sparse_vector.process(breakdown.error)
+        with trace.span("mechanism.svt"):
+            sv_answer = self._sparse_vector.process(breakdown.error)
 
         if not sv_answer.above:
             answer = PMWAnswer(theta=breakdown.hypothesis_minimizer,
@@ -347,26 +362,29 @@ class PrivateMWConvex:
             self._answers.append(answer)
             return answer
 
-        theta_oracle = self._oracle.answer(loss, self._dataset,
-                                           rng=self._oracle_rng)
-        theta_oracle = loss.domain.project(np.asarray(theta_oracle, dtype=float))
-        self.accountant.spend(self.config.oracle_epsilon,
-                              self.config.oracle_delta,
-                              label=f"oracle:{loss.name}")
-        certificate = dual_certificate(
-            loss, self.hypothesis, theta_oracle,
-            theta_hat=breakdown.hypothesis_minimizer,
-            solver_steps=self.solver_steps,
-        )
-        if self._core is not None:
-            mw_step_inplace(self._core, certificate,
-                            self.config.eta, self.config.scale)
-            # Every cached round evaluation is for the old version now.
-            self._round_cache.clear()
-            self._hypothesis_minima.clear()
-        else:
-            self._hypothesis = mw_step(self._hypothesis, certificate,
-                                       self.config.eta, self.config.scale)
+        with trace.span("mechanism.mw_update", loss=loss.name):
+            theta_oracle = self._oracle.answer(loss, self._dataset,
+                                               rng=self._oracle_rng)
+            theta_oracle = loss.domain.project(
+                np.asarray(theta_oracle, dtype=float))
+            self.accountant.spend(self.config.oracle_epsilon,
+                                  self.config.oracle_delta,
+                                  label=f"oracle:{loss.name}")
+            certificate = dual_certificate(
+                loss, self.hypothesis, theta_oracle,
+                theta_hat=breakdown.hypothesis_minimizer,
+                solver_steps=self.solver_steps,
+            )
+            if self._core is not None:
+                mw_step_inplace(self._core, certificate,
+                                self.config.eta, self.config.scale)
+                # Every cached round evaluation is for the old version now.
+                self._round_cache.clear()
+                self._hypothesis_minima.clear()
+            else:
+                self._hypothesis = mw_step(self._hypothesis, certificate,
+                                           self.config.eta,
+                                           self.config.scale)
         update_index = self._updates
         self._updates += 1
         self._history.append({
@@ -852,15 +870,17 @@ class PrivateMWConvex:
         hypothesis version)``, so replaying them is exactly what
         recomputing would produce.
         """
-        hit = self._round_cache_get(key)
+        with trace.span("mechanism.cache_probe"):
+            hit = self._round_cache_get(key)
         if hit is not None:
             return hit
-        hypothesis_result = self._minimize_on_hypothesis(loss, key)
-        breakdown = database_error(loss, self._data_histogram,
-                                   self.hypothesis,
-                                   solver_steps=self.solver_steps,
-                                   data_result=data_result,
-                                   hypothesis_result=hypothesis_result)
+        with trace.span("mechanism.solve", loss=loss.name):
+            hypothesis_result = self._minimize_on_hypothesis(loss, key)
+            breakdown = database_error(loss, self._data_histogram,
+                                       self.hypothesis,
+                                       solver_steps=self.solver_steps,
+                                       data_result=data_result,
+                                       hypothesis_result=hypothesis_result)
         if self._core is not None and key is not None:
             self._round_cache[(key, self._core.version)] = breakdown
             while len(self._round_cache) > self.ROUND_CACHE_LIMIT:

@@ -43,6 +43,7 @@ from repro.exceptions import (
     ValidationError,
 )
 from repro.losses.linear import LinearQuery
+from repro.obs import trace
 from repro.utils.rng import spawn_generators
 
 
@@ -152,6 +153,18 @@ class PrivateMWLinear:
         """Whether the update budget is exhausted."""
         return self._sparse_vector.halted
 
+    @property
+    def svt_hard_queries(self) -> int:
+        """Sparse-vector above-threshold ("hard") answers so far — each
+        one consumed an update slot. Published as the
+        ``mechanism.svt_hard_queries`` telemetry gauge."""
+        return self._sparse_vector.above_count
+
+    @property
+    def svt_queries_asked(self) -> int:
+        """Queries the sparse-vector interaction has judged so far."""
+        return self._sparse_vector.queries_asked
+
     # -- answering ---------------------------------------------------------------
 
     def answer(self, query: LinearQuery) -> LinearAnswer:
@@ -162,10 +175,14 @@ class PrivateMWLinear:
                 f"T={self.config.max_updates}"
             )
         self._validate_query(query)
+        with trace.span("mechanism.cache_probe"):
+            true_answer = self._true_answer(query)
+        with trace.span("mechanism.solve"):
+            hypothesis_answer = self._hypothesis_dot(query.table)
         return self._answer_given(
             query,
-            true_answer=self._true_answer(query),
-            hypothesis_answer=self._hypothesis_dot(query.table),
+            true_answer=true_answer,
+            hypothesis_answer=hypothesis_answer,
         )
 
     def _true_answer(self, query: LinearQuery) -> float:
@@ -177,7 +194,8 @@ class PrivateMWLinear:
         scalar dot they always did.
         """
         if self._true_answers:
-            key = query.fingerprint()
+            with trace.span("mechanism.fingerprint"):
+                key = query.fingerprint()
             cached = self._true_answers.get(key)
             if cached is not None:
                 self._true_answers.move_to_end(key)  # keep hot entries
@@ -256,30 +274,33 @@ class PrivateMWLinear:
                                   label=f"measure:{query.name}")
         index = self._queries
         self._queries += 1
-        sv_answer = self._sparse_vector.process(discrepancy)
+        with trace.span("mechanism.svt"):
+            sv_answer = self._sparse_vector.process(discrepancy)
 
         if not sv_answer.above:
             return LinearAnswer(value=hypothesis_answer, from_update=False,
                                 query_index=index)
 
-        noisy_answer = true_answer + float(self._laplace_rng.laplace(
-            0.0, 1.0 / (self._dataset.n * self._measurement_epsilon)
-        ))
-        self.accountant.spend(self._measurement_epsilon, 0.0,
-                              label=f"measure:{query.name}")
-        noisy_answer = float(np.clip(noisy_answer, 0.0, 1.0))
+        with trace.span("mechanism.mw_update", query=query.name):
+            noisy_answer = true_answer + float(self._laplace_rng.laplace(
+                0.0, 1.0 / (self._dataset.n * self._measurement_epsilon)
+            ))
+            self.accountant.spend(self._measurement_epsilon, 0.0,
+                                  label=f"measure:{query.name}")
+            noisy_answer = float(np.clip(noisy_answer, 0.0, 1.0))
 
-        # MW update: if the hypothesis under-counts (noisy > hypothesis),
-        # raise weight where q(x) is large; if it over-counts, lower it.
-        sign = 1.0 if noisy_answer > hypothesis_answer else -1.0
-        if self._core is not None:
-            # In-place log-domain accumulation; (±eta)·q is bitwise the
-            # same increment as the immutable update's eta·(±q).
-            self._core.apply_update(query.table, sign * self.config.eta)
-        else:
-            self._hypothesis = self._hypothesis.multiplicative_update(
-                sign * query.table, self.config.eta
-            )
+            # MW update: if the hypothesis under-counts (noisy >
+            # hypothesis), raise weight where q(x) is large; if it
+            # over-counts, lower it.
+            sign = 1.0 if noisy_answer > hypothesis_answer else -1.0
+            if self._core is not None:
+                # In-place log-domain accumulation; (±eta)·q is bitwise
+                # the same increment as the immutable update's eta·(±q).
+                self._core.apply_update(query.table, sign * self.config.eta)
+            else:
+                self._hypothesis = self._hypothesis.multiplicative_update(
+                    sign * query.table, self.config.eta
+                )
         update_index = self._updates
         self._updates += 1
         return LinearAnswer(value=noisy_answer, from_update=True,

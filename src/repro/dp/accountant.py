@@ -185,6 +185,31 @@ class PrivacyAccountant:
         spent = self.total_basic().epsilon if self.spends else 0.0
         return max(0.0, self.epsilon_budget - spent)
 
+    def telemetry(self) -> dict:
+        """Gauge-ready view of the odometer for the observability layer.
+
+        ``epsilon_spent``/``delta_spent`` are the exact basic-composition
+        running sums (0.0 when nothing was spent — unlike
+        :meth:`total_basic`, which floors epsilon at 1e-300 for
+        downstream log-domain math). Because the sums run over the spend
+        list in journal order, an accountant rebuilt from the same
+        records (:meth:`from_records`, ledger replay) reports bitwise
+        identical values — the property the budget-telemetry gauges and
+        benchmark E21's exactness check rely on.
+        """
+        epsilon_spent = (sum(s.epsilon for s in self.spends)
+                         if self.spends else 0.0)
+        delta_spent = (min(1.0, sum(s.delta for s in self.spends))
+                       if self.spends else 0.0)
+        return {
+            "epsilon_spent": epsilon_spent,
+            "delta_spent": delta_spent,
+            "num_spends": len(self.spends),
+            "epsilon_budget": self.epsilon_budget,
+            "delta_budget": self.delta_budget,
+            "epsilon_remaining": self.remaining_epsilon(),
+        }
+
     def summary(self) -> str:
         """Human-readable accounting summary."""
         total = self.total_basic()

@@ -42,6 +42,7 @@ from repro.losses.hinge import HingeLoss, HuberLoss
 from repro.losses.linear import LinearQuery, LinearQueryAsCM
 from repro.losses.logistic import LogisticLoss
 from repro.losses.squared import SquaredLoss
+from repro.obs import trace
 from repro.optimize.exact import minimize_quadratic_over_ball
 from repro.optimize.minimize import MinimizeResult, minimize_loss
 from repro.optimize.projections import L2Ball
@@ -349,19 +350,22 @@ def compile_batch(queries) -> CompiledBatch:
 
 def batch_answers(queries, histogram: Histogram) -> np.ndarray:
     """All linear-query answers ``<q_j, D>`` in one vectorized pass."""
-    return compile_batch(queries).linear_answers(histogram)
+    with trace.span("engine.batch_answers", queries=len(queries)):
+        return compile_batch(queries).linear_answers(histogram)
 
 
 def batch_loss_on(losses, thetas, histogram: Histogram) -> np.ndarray:
     """The batch ``[l_D(theta_j)]`` in one vectorized pass per family."""
-    return compile_batch(losses).loss_values(thetas, histogram)
+    with trace.span("engine.batch_loss_on", losses=len(losses)):
+        return compile_batch(losses).loss_values(thetas, histogram)
 
 
 def batch_data_minima(losses, histogram: Histogram, *,
                       solver_steps: int = 400) -> list[MinimizeResult]:
     """Batched data-side minimizations (closed forms vectorized)."""
-    return compile_batch(losses).data_minima(histogram,
-                                             solver_steps=solver_steps)
+    with trace.span("engine.batch_minima", losses=len(losses)):
+        return compile_batch(losses).data_minima(histogram,
+                                                 solver_steps=solver_steps)
 
 
 def closed_form_minima(queries, *, universe=None):

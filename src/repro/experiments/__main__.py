@@ -10,8 +10,9 @@ Usage::
 Each experiment prints the same paper-vs-measured report the benchmark
 suite archives under ``benchmarks/results/``.
 
-Two operator verbs manage a deployed service's durability artifacts
-(see :mod:`repro.serve.checkpoint`)::
+Three operator verbs manage a deployed service's durability and
+observability artifacts (see :mod:`repro.serve.checkpoint` and
+:mod:`repro.obs`)::
 
     # rotate a budget journal offline (archive + RLE baselines)
     python -m repro.experiments compact --ledger budget.jsonl
@@ -19,6 +20,10 @@ Two operator verbs manage a deployed service's durability artifacts
     # recovery readiness: checkpoint generations, stamps, replay suffix
     python -m repro.experiments checkpoint --dir checkpoints/ \\
         --ledger budget.jsonl
+
+    # re-render a saved MetricsRegistry snapshot for a scrape endpoint
+    python -m repro.experiments metrics --snapshot metrics.json \\
+        --format prometheus
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ from repro.experiments.diagnostics import (
     run_update_rule_ablation,
 )
 from repro.experiments.generalization import run_generalization
+from repro.experiments.observability import run_observability_demo
 from repro.experiments.offline_online import run_offline_online
 from repro.experiments.oracles import run_oracle_sweep
 from repro.experiments.recovery import (
@@ -70,12 +76,16 @@ EXPERIMENTS = {
             run_gateway_demo),
     "e15": ("crash-recovery demo: checkpoint + suffix replay + compaction",
             run_recovery_demo),
+    "e16": ("observability demo: span latencies, trace trees, budget gauges",
+            run_observability_demo),
 }
 
 
 def _run_verb(argv) -> int:
-    """The ``checkpoint`` / ``compact`` operator verbs."""
+    """The ``checkpoint`` / ``compact`` / ``metrics`` operator verbs."""
     verb, rest = argv[0], argv[1:]
+    if verb == "metrics":
+        return _run_metrics_verb(rest)
     parser = argparse.ArgumentParser(
         prog=f"python -m repro.experiments {verb}",
         description=("inspect checkpoint/ledger recovery readiness"
@@ -99,10 +109,43 @@ def _run_verb(argv) -> int:
     return 0
 
 
+def _run_metrics_verb(rest) -> int:
+    """Re-render a saved :class:`~repro.obs.MetricsRegistry` snapshot.
+
+    A service dumps its registry with ``registry.to_json(path)``; this
+    verb turns that file back into Prometheus text exposition (for a
+    textfile-collector scrape) or re-serialized JSON — proving the
+    snapshot round-trips without the service running.
+    """
+    import json
+
+    from repro.obs import MetricsRegistry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments metrics",
+        description="render a saved MetricsRegistry snapshot",
+    )
+    parser.add_argument("--snapshot", required=True,
+                        help="registry snapshot JSON "
+                             "(MetricsRegistry.to_json output)")
+    parser.add_argument("--format", choices=("prometheus", "json"),
+                        default="prometheus",
+                        help="output format (default: prometheus)")
+    args = parser.parse_args(rest)
+    with open(args.snapshot, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    registry = MetricsRegistry.from_snapshot(state)
+    if args.format == "prometheus":
+        sys.stdout.write(registry.render_prometheus())
+    else:
+        sys.stdout.write(registry.to_json() + "\n")
+    return 0
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] in ("checkpoint", "compact"):
+    if argv and argv[0] in ("checkpoint", "compact", "metrics"):
         return _run_verb(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",

@@ -1,0 +1,42 @@
+"""`repro.obs` — dependency-free observability for the serving stack.
+
+Three pillars, three modules:
+
+- :mod:`~repro.obs.registry` — a thread-safe :class:`MetricsRegistry`
+  of named counters, gauges, and log-scale histograms (100 ns–10 000 s
+  range, interpolated quantiles with a ≤ 12.2 % relative-error bound),
+  exported as JSON snapshots and Prometheus text exposition;
+- :mod:`~repro.obs.trace` — :class:`Span` structured tracing with
+  per-request trace IDs propagated from ``ServiceGateway.submit``
+  through planner, session, mechanism round phases, engine, and
+  ledger/checkpoint writes; span durations land in the registry, and
+  trace trees can be dumped as JSONL;
+- :mod:`~repro.obs.telemetry` — pull-model domain gauges: per-session
+  privacy-budget burn-down (bitwise equal to a ledger replay), SVT and
+  hypothesis state, and answer-cache health keyed by cache policy.
+
+Instrumentation is off by default and costs one global read per span
+site; :func:`repro.obs.trace.install` turns it on process-wide. See
+``docs/observability.md``.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LogScaleHistogram,
+    MetricsRegistry,
+)
+from repro.obs.telemetry import (
+    publish_accountant,
+    publish_cache,
+    publish_service,
+    publish_session,
+)
+from repro.obs.trace import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "LogScaleHistogram",
+    "Span", "Tracer", "NOOP_SPAN",
+    "publish_accountant", "publish_session", "publish_cache",
+    "publish_service",
+]

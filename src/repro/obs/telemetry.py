@@ -1,0 +1,125 @@
+"""Domain telemetry: privacy budgets, SVT state, and cache health as gauges.
+
+The registry and tracer measure *how fast* the stack runs; this module
+publishes *what the privacy mechanism knows* — the numbers an operator
+of a DP serving system owes their analysts and their auditors:
+
+- per-session budget gauges: ``budget.epsilon_spent`` /
+  ``budget.delta_spent`` / ``budget.epsilon_remaining`` /
+  ``budget.num_spends`` (labelled ``{session=...}``), bitwise equal to
+  the :class:`~repro.dp.accountant.PrivacyAccountant`'s journal-ordered
+  running sums — and therefore to a ledger replay of the same session;
+- per-session mechanism gauges: ``mechanism.svt_hard_queries`` (sparse
+  vector above-threshold count), ``mechanism.svt_queries_asked``,
+  ``mechanism.update_rounds``, ``mechanism.hypothesis_version``,
+  ``mechanism.halted``, ``session.queries_served``;
+- answer-cache gauges keyed by ``cache_policy``: ``cache.hits`` /
+  ``cache.misses`` / ``cache.stale_misses`` / ``cache.entries``
+  (labelled ``{policy=...}``).
+
+Publication is **pull-model**: nothing here hooks the hot path. Call
+:func:`publish_service` whenever a consistent view is wanted — before a
+scrape, after a batch, at end of run — and it refreshes every gauge
+from live state under each session's own lock. Gateway queue/shed/
+coalesce counters are *not* re-published here because the
+:class:`~repro.serve.metrics.GatewayMetrics` façade already keeps them
+on a registry natively; pass that same registry here (or construct
+``GatewayMetrics(registry=...)`` with it) to get one unified namespace.
+
+Usage::
+
+    from repro.obs import MetricsRegistry, publish_service
+
+    registry = MetricsRegistry()
+    ...                        # serve traffic through a PMWService
+    publish_service(registry, service)
+    print(registry.render_prometheus())
+"""
+
+from __future__ import annotations
+
+
+def publish_accountant(registry, session_id: str, accountant) -> None:
+    """Refresh one session's budget gauges from its accountant.
+
+    Gauge values are set verbatim from
+    :meth:`PrivacyAccountant.telemetry
+    <repro.dp.accountant.PrivacyAccountant.telemetry>`, so
+    ``budget.epsilon_spent`` is bitwise the accountant's journal-ordered
+    sum — replaying the session's ledger records reproduces it exactly.
+    ``budget.epsilon_remaining`` is published only for budgeted
+    accountants (an unbudgeted session has no finite remaining value to
+    scrape).
+    """
+    labels = {"session": session_id}
+    view = accountant.telemetry()
+    registry.gauge("budget.epsilon_spent", labels).set(view["epsilon_spent"])
+    registry.gauge("budget.delta_spent", labels).set(view["delta_spent"])
+    registry.gauge("budget.num_spends", labels).set(view["num_spends"])
+    if view["epsilon_budget"] is not None:
+        registry.gauge("budget.epsilon_budget", labels).set(
+            view["epsilon_budget"])
+        registry.gauge("budget.epsilon_remaining", labels).set(
+            view["epsilon_remaining"])
+
+
+def publish_session(registry, session) -> None:
+    """Refresh one session's budget + mechanism gauges.
+
+    Takes the session lock so the accountant, sparse vector, and
+    hypothesis version describe one consistent instant (a mechanism
+    round cannot be half-published).
+    """
+    with session.lock:
+        sid = session.session_id
+        labels = {"session": sid}
+        publish_accountant(registry, sid, session.accountant)
+        mechanism = session.mechanism
+        hard = getattr(mechanism, "svt_hard_queries", None)
+        if hard is not None:
+            registry.gauge("mechanism.svt_hard_queries", labels).set(hard)
+        asked = getattr(mechanism, "svt_queries_asked", None)
+        if asked is not None:
+            registry.gauge("mechanism.svt_queries_asked", labels).set(asked)
+        updates = getattr(mechanism, "updates_performed", None)
+        if updates is not None:
+            registry.gauge("mechanism.update_rounds", labels).set(updates)
+        version = session.hypothesis_version
+        if version is not None:
+            registry.gauge("mechanism.hypothesis_version", labels).set(
+                version)
+        registry.gauge("mechanism.halted", labels).set(
+            1 if session.halted else 0)
+        registry.gauge("session.queries_served", labels).set(
+            session.queries_served)
+
+
+def publish_cache(registry, cache, *, policy: str = "replay") -> None:
+    """Refresh answer-cache gauges, labelled by ``cache_policy``."""
+    stats = cache.stats()
+    labels = {"policy": policy}
+    registry.gauge("cache.hits", labels).set(stats.hits)
+    registry.gauge("cache.misses", labels).set(stats.misses)
+    registry.gauge("cache.stale_misses", labels).set(stats.stale_misses)
+    registry.gauge("cache.entries", labels).set(stats.entries)
+
+
+def publish_service(registry, service, *, gateway=None) -> None:
+    """Refresh every domain gauge for one service (and optionally its
+    gateway's queue-depth gauges, when the gateway metrics live on a
+    *different* registry than ``registry``).
+    """
+    for sid in service.session_ids:
+        publish_session(registry, service.session(sid))
+    publish_cache(registry, service.cache, policy=service.cache_policy)
+    if service.ledger is not None:
+        registry.gauge("ledger.last_seq").set(service.ledger.last_seq)
+    if gateway is not None and gateway.metrics.registry is not registry:
+        snapshot = gateway.metrics.snapshot()
+        for sid, stats in snapshot["sessions"].items():
+            registry.gauge("gateway.queue_depth", {"session": sid}).set(
+                stats["queue_depth"])
+
+
+__all__ = ["publish_accountant", "publish_session", "publish_cache",
+           "publish_service"]

@@ -1,0 +1,312 @@
+"""Structured tracing: per-request spans over the serving request path.
+
+A :class:`Span` is a context manager timing one phase of one request —
+gateway execute, batch plan, a mechanism round's fingerprint / cache
+probe / solve / MW update, a ledger append. Spans nest via a
+thread-local stack, inherit their parent's ``trace_id``, and on exit
+record their duration into a :class:`~repro.obs.registry.MetricsRegistry`
+histogram named ``span.<name>`` — so the registry's interpolated
+quantiles double as a per-phase latency breakdown. A tracer can also
+append every finished span to a JSONL file for offline flame-style
+inspection, and keeps a bounded in-memory ring of finished spans that
+:meth:`Tracer.render_tree` turns into an indented trace tree.
+
+The instrumentation contract is *pay-only-when-on*: call sites use the
+module-level :func:`span` / :func:`new_trace_id` helpers, which read one
+module global and return a shared no-op context manager when no tracer
+is installed — cheap enough to leave in mechanism hot loops. Install a
+tracer (usually per process) with :func:`install`::
+
+    from repro.obs import MetricsRegistry, trace
+
+    registry = MetricsRegistry()
+    tracer = trace.install(registry=registry, jsonl_path="spans.jsonl")
+    ...                      # serve traffic; spans record themselves
+    print(tracer.render_tree(trace_id))
+    trace.uninstall()
+
+Trace IDs are minted at the edge (``ServiceGateway.submit`` stamps one
+per request) and flow to worker threads explicitly — a worker opens its
+root span with ``span("gateway.execute", trace_id=request.trace_id)``
+and every nested span below it inherits the ID from the stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+
+from repro.exceptions import ValidationError
+
+_TRACE_BUFFER_DEFAULT = 4096
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed phase. Use as a context manager; re-entry not supported."""
+
+    __slots__ = ("tracer", "name", "trace_id", "span_id", "parent_id",
+                 "attrs", "start", "duration", "error")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str | None,
+                 attrs: dict | None) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = None
+        self.parent_id = None
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+        self.error = None
+
+    def __enter__(self) -> "Span":
+        tracer = self.tracer
+        stack = tracer._stack()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            self.parent_id = parent.span_id
+            if self.trace_id is None:
+                self.trace_id = parent.trace_id
+        if self.trace_id is None:
+            self.trace_id = tracer.new_trace_id()
+        self.span_id = tracer._next_span_id()
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = time.perf_counter() - self.start
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        stack = self.tracer._stack()
+        # Pop self even if an inner span leaked (defensive: a span left
+        # open by a crashed frame must not reparent the rest of the
+        # thread's work).
+        while stack and stack.pop() is not self:
+            pass
+        self.tracer._finish(self)
+        return False
+
+    def record(self) -> dict:
+        """JSON-ready description of a finished span."""
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"duration={self.duration:.6f}s)")
+
+
+class Tracer:
+    """Span factory + sink.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; every
+        finished span observes its duration into the histogram
+        ``span.<name>``.
+    jsonl_path:
+        Optional file; every finished span is appended as one JSON line
+        (call :meth:`close` to flush and release the handle).
+    keep:
+        Size of the in-memory ring of finished span records backing
+        :meth:`finished`, :meth:`spans_for` and :meth:`render_tree`
+        (oldest evicted first; 0 disables buffering).
+    """
+
+    def __init__(self, registry=None, *, jsonl_path=None,
+                 keep: int = _TRACE_BUFFER_DEFAULT) -> None:
+        if keep < 0:
+            raise ValidationError(f"keep must be >= 0, got {keep}")
+        self.registry = registry
+        self.keep = int(keep)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._buffer: list[dict] = []
+        self._jsonl_path = jsonl_path
+        self._jsonl = (open(jsonl_path, "a", encoding="utf-8")
+                       if jsonl_path is not None else None)
+
+    # -- span factory --------------------------------------------------------
+
+    def span(self, name: str, *, trace_id: str | None = None,
+             **attrs) -> Span:
+        """A new (unstarted) span; enter it with ``with``."""
+        return Span(self, name, trace_id, attrs or None)
+
+    def new_trace_id(self) -> str:
+        """Mint a process-unique trace ID (``t-000001``, ...).
+
+        ``next()`` on :func:`itertools.count` is atomic under CPython's
+        GIL, so the admission-edge hot path takes no lock.
+        """
+        return f"t-{next(self._trace_ids):06d}"
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on *this* thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_span_id(self) -> str:
+        # Atomic under the GIL (see new_trace_id) — per-span hot path.
+        return f"s-{next(self._span_ids):06d}"
+
+    def _finish(self, span: Span) -> None:
+        if self.registry is not None:
+            self.registry.histogram(f"span.{span.name}").observe(
+                span.duration)
+        record = span.record()
+        with self._lock:
+            if self.keep:
+                self._buffer.append(record)
+                if len(self._buffer) > self.keep:
+                    del self._buffer[:len(self._buffer) - self.keep]
+            if self._jsonl is not None:
+                self._jsonl.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (idempotent)."""
+        with self._lock:
+            if self._jsonl is not None:
+                self._jsonl.close()
+                self._jsonl = None
+
+    # -- reading -------------------------------------------------------------
+
+    def finished(self) -> list[dict]:
+        """Finished span records, oldest first (bounded by ``keep``)."""
+        with self._lock:
+            return list(self._buffer)
+
+    def spans_for(self, trace_id: str) -> list[dict]:
+        """Finished spans of one trace, in start order."""
+        with self._lock:
+            spans = [r for r in self._buffer if r["trace_id"] == trace_id]
+        spans.sort(key=lambda r: r["start"])
+        return spans
+
+    def render_tree(self, trace_id: str) -> str:
+        """Indented tree of one trace's spans (durations in ms)."""
+        spans = self.spans_for(trace_id)
+        if not spans:
+            return f"(no spans for trace {trace_id})"
+        children: dict = {}
+        by_id = {record["span_id"]: record for record in spans}
+        roots = []
+        for record in spans:
+            parent = record["parent_id"]
+            if parent in by_id:
+                children.setdefault(parent, []).append(record)
+            else:
+                roots.append(record)
+        lines = [f"trace {trace_id}"]
+
+        def walk(record, depth):
+            lines.append(f"{'  ' * depth}- {record['name']} "
+                         f"{record['duration'] * 1e3:.3f} ms")
+            for child in children.get(record["span_id"], ()):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 1)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Tracer(registry={self.registry is not None}, "
+                f"jsonl={self._jsonl_path!r}, "
+                f"buffered={len(self.finished())})")
+
+
+# -- module-level install (the cheap hot-path hook) ---------------------------
+
+_active: Tracer | None = None
+_install_lock = threading.Lock()
+
+
+def install(tracer: Tracer | None = None, *, registry=None,
+            jsonl_path=None, keep: int = _TRACE_BUFFER_DEFAULT) -> Tracer:
+    """Install ``tracer`` (or build one from the kwargs) as the process
+    tracer; returns it. Replaces any previous tracer (which keeps its
+    buffered spans but stops receiving new ones)."""
+    global _active
+    with _install_lock:
+        if tracer is None:
+            tracer = Tracer(registry, jsonl_path=jsonl_path, keep=keep)
+        _active = tracer
+        return tracer
+
+
+def uninstall() -> Tracer | None:
+    """Remove and return the active tracer (closing its JSONL sink)."""
+    global _active
+    with _install_lock:
+        tracer, _active = _active, None
+        if tracer is not None:
+            tracer.close()
+        return tracer
+
+
+def active() -> Tracer | None:
+    """The installed tracer, or ``None``."""
+    return _active
+
+
+def span(name: str, *, trace_id: str | None = None, **attrs):
+    """A span on the active tracer, or a shared no-op when tracing is
+    off — the one-global-read fast path instrument sites rely on."""
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, trace_id=trace_id, **attrs)
+
+
+def new_trace_id() -> str | None:
+    """Mint a trace ID on the active tracer (``None`` when tracing is
+    off — callers propagate the ``None`` for free)."""
+    tracer = _active
+    if tracer is None:
+        return None
+    return tracer.new_trace_id()
+
+
+__all__ = ["Span", "Tracer", "NOOP_SPAN", "install", "uninstall",
+           "active", "span", "new_trace_id"]

@@ -52,11 +52,19 @@ class CachedAnswer:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Aggregate counters since construction (or ``clear``)."""
+    """Aggregate counters since construction (or ``clear``).
+
+    ``stale_misses`` counts the subset of ``misses`` caused by
+    update-aware staleness: the entry existed, but its hypothesis
+    version no longer matched the caller's. They separate "never
+    released" from "released, then invalidated by an update" — the
+    signal the ``track-hypothesis`` cache policy exists to create.
+    """
 
     hits: int
     misses: int
     entries: int
+    stale_misses: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -85,6 +93,7 @@ class AnswerCache:
         self._entries: OrderedDict[tuple[str, str], CachedAnswer] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._stale_misses = 0
 
     def get(self, session_id: str, fingerprint: str, *,
             version: int | None = None) -> CachedAnswer | None:
@@ -104,6 +113,8 @@ class AnswerCache:
             entry = self._entries.get(key)
             if entry is None or self._stale(entry, version):
                 self._misses += 1
+                if entry is not None:
+                    self._stale_misses += 1
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
@@ -158,7 +169,8 @@ class AnswerCache:
     def stats(self) -> CacheStats:
         """Current counters."""
         with self._lock:
-            return CacheStats(self._hits, self._misses, len(self._entries))
+            return CacheStats(self._hits, self._misses, len(self._entries),
+                              self._stale_misses)
 
     def clear(self) -> None:
         """Drop all entries and reset counters."""
@@ -166,6 +178,7 @@ class AnswerCache:
             self._entries.clear()
             self._hits = 0
             self._misses = 0
+            self._stale_misses = 0
 
     # -- snapshot / restore ---------------------------------------------------
 

@@ -57,6 +57,7 @@ import os
 import threading
 
 from repro.exceptions import ValidationError
+from repro.obs import trace
 from repro.serve.ledger import fsync_dir
 
 #: Checkpoint files are ``checkpoint-<generation>.json``; a crash
@@ -163,11 +164,12 @@ class Checkpointer:
         generation = self._next_generation()
         path = os.path.join(
             self.directory, f"{_PREFIX}{generation:08d}{_SUFFIX}")
-        if quiesce and self.gateway is not None:
-            with self.gateway.quiesce():
+        with trace.span("checkpoint.capture", generation=generation):
+            if quiesce and self.gateway is not None:
+                with self.gateway.quiesce():
+                    state = self.service.snapshot(path)
+            else:
                 state = self.service.snapshot(path)
-        else:
-            state = self.service.snapshot(path)
         stamp = state.get("ledger_seq")
         self._last_stamp = -1 if stamp is None else int(stamp)
         self._prune()
@@ -205,7 +207,7 @@ class Checkpointer:
                 "compact() needs a service with a budget ledger"
             )
         self._check_not_gateway_worker()
-        with self._lock:
+        with self._lock, trace.span("checkpoint.compact"):
             if self.gateway is not None:
                 with self.gateway.quiesce():
                     archive = self.service.ledger.compact(

@@ -28,7 +28,14 @@ request arrival from execution:
   request with :class:`Overloaded` but still lets claimed batches finish,
   so ledger totals stay exact through a forced shutdown.
 
-Observability lives in :class:`~repro.serve.metrics.GatewayMetrics`.
+Observability lives in :class:`~repro.serve.metrics.GatewayMetrics`
+(since PR 6 a façade over :class:`repro.obs.MetricsRegistry` — pass
+``metrics=GatewayMetrics(registry=...)`` to share one namespace with
+mechanism spans and budget telemetry). When a tracer is installed
+(:func:`repro.obs.trace.install`), every admitted request is stamped
+with a trace ID at submission, and the worker that executes its batch
+opens a ``gateway.execute`` root span under that ID — all spans below
+(planner, session, mechanism phases, ledger) nest automatically.
 
 Usage::
 
@@ -48,6 +55,7 @@ from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeout
 
 from repro.exceptions import Overloaded, RequestTimeout, ValidationError
+from repro.obs import trace
 from repro.serve.metrics import GatewayMetrics
 
 #: Sentinel distinguishing "use the gateway default" from "no timeout".
@@ -58,7 +66,7 @@ class _Request:
     """One queued query with its completion future and deadline."""
 
     __slots__ = ("session_id", "query", "future", "enqueued_at", "timeout",
-                 "claimed")
+                 "claimed", "trace_id")
 
     def __init__(self, session_id: str, query,
                  timeout: float | None) -> None:
@@ -68,6 +76,10 @@ class _Request:
         self.enqueued_at = time.monotonic()
         self.timeout = timeout
         self.claimed = False
+        # Minted at the admission edge so every span this request causes
+        # — on whichever worker thread — shares one trace (None when
+        # tracing is off; propagating None costs nothing).
+        self.trace_id = trace.new_trace_id()
 
     @property
     def deadline(self) -> float | None:
@@ -541,10 +553,18 @@ class ServiceGateway:
         """
         queries = [request.query for request in batch]
         try:
-            results = self.service.serve_session_batch(
-                session_id, queries,
-                use_cache=self.use_cache, on_halt=self.on_halt,
-            )
+            # Root span of the request path on this worker thread; a
+            # coalesced batch runs under the oldest request's trace, with
+            # the riders' trace IDs attached for offline joining.
+            with trace.span(
+                "gateway.execute", trace_id=batch[0].trace_id,
+                session=session_id, batch_size=len(batch),
+                coalesced_traces=[r.trace_id for r in batch[1:]] or None,
+            ):
+                results = self.service.serve_session_batch(
+                    session_id, queries,
+                    use_cache=self.use_cache, on_halt=self.on_halt,
+                )
         except BaseException as error:
             self.metrics.record_failure(session_id, len(batch))
             for request in batch:

@@ -48,6 +48,7 @@ from repro.dp.accountant import (
     group_records,
 )
 from repro.exceptions import ValidationError
+from repro.obs import trace
 
 OPEN = "open"
 SPEND = "spend"
@@ -169,13 +170,15 @@ class BudgetLedger:
         exactly which journaled spends its accountants already contain.
         """
         last = -1
-        for record in records:
-            last = self._append({
-                "kind": SPEND, "session": session_id,
-                "epsilon": float(record["epsilon"]),
-                "delta": float(record["delta"]),
-                "label": str(record.get("label", "")),
-            })
+        with trace.span("ledger.append", session=session_id,
+                        spends=len(records)):
+            for record in records:
+                last = self._append({
+                    "kind": SPEND, "session": session_id,
+                    "epsilon": float(record["epsilon"]),
+                    "delta": float(record["delta"]),
+                    "label": str(record.get("label", "")),
+                })
         return last
 
     def append_close(self, session_id: str) -> None:
@@ -225,7 +228,7 @@ class BudgetLedger:
         they simply fall back to full-replay authority, which the
         rotation has just made cheap.
         """
-        with self._lock:
+        with trace.span("ledger.compact"), self._lock:
             self._file.flush()
             if self.fsync:
                 os.fsync(self._file.fileno())

@@ -8,9 +8,22 @@ batched-kernel work, and how often admission control sheds. The
 and snapshots to a plain-JSON document (``repro-experiments e14`` prints
 one; dashboards can poll :meth:`GatewayMetrics.snapshot`).
 
-Latencies are recorded in fixed geometric buckets
-(:class:`LatencyHistogram`) rather than raw samples, so the registry's
-memory footprint is constant no matter how long the gateway runs.
+Since PR 6, :class:`GatewayMetrics` is a thin façade over a
+:class:`repro.obs.MetricsRegistry`: every counter, gauge, and histogram
+lives on the registry (names under ``gateway.*``), so gateway pressure
+shares one namespace — and one Prometheus exposition — with mechanism
+spans and privacy-budget telemetry. Pass your own ``registry=`` to get
+that unified view; the default constructs a private one. The public
+surface (attributes, :meth:`snapshot` schema, :meth:`describe`,
+:meth:`to_json`) is unchanged, so E19 and existing dashboards keep
+working.
+
+:class:`LatencyHistogram` is now a log-scale histogram
+(:class:`repro.obs.LogScaleHistogram`): 100 ns–10 000 s range at 20
+buckets/decade, an explicit overflow counter in :meth:`snapshot`, and
+*interpolated* quantiles whose relative error is bounded by the bucket
+edge ratio (≤ 12.2 %) — replacing the fixed doubling buckets that
+saturated at 3276.8 ms and returned raw upper edges.
 """
 
 from __future__ import annotations
@@ -19,86 +32,79 @@ import json
 import threading
 
 from repro.exceptions import ValidationError
-
-#: Geometric bucket upper edges in seconds: 100us doubling up to ~200s.
-#: Observations above the last edge land in a single overflow bucket.
-BUCKET_EDGES: tuple[float, ...] = tuple(1e-4 * 2.0 ** i for i in range(21))
+from repro.obs.registry import LogScaleHistogram, MetricsRegistry
 
 #: The shed kinds admission control distinguishes. ``cancelled`` counts
 #: pending futures the client cancelled before a worker claimed them.
 SHED_KINDS = ("overload", "timeout", "shutdown", "cancelled")
 
+#: Latency histogram resolution: 100 ns to 10 000 s at 20 buckets per
+#: decade (edge ratio 10**(1/20) ≈ 1.122 → ≤ 12.2 % quantile error).
+LATENCY_LOW = 1e-7
+LATENCY_HIGH = 1e4
+LATENCY_BUCKETS_PER_DECADE = 20
 
-class LatencyHistogram:
-    """Constant-memory latency distribution over geometric buckets.
 
-    Not thread-safe on its own; :class:`GatewayMetrics` serializes access
-    under its registry lock.
+class LatencyHistogram(LogScaleHistogram):
+    """Constant-memory latency distribution over log-scale buckets.
+
+    Thread-safe (each observation takes the histogram lock; when
+    registered on a :class:`~repro.obs.MetricsRegistry`, that is the
+    registry lock). :meth:`snapshot` keeps the legacy schema — bucket
+    entries as ``{"le_seconds", "count"}`` with a trailing
+    ``le_seconds: None`` entry for overflow — and adds the explicit
+    ``overflow`` count and ``top_edge_seconds``.
     """
 
-    __slots__ = ("counts", "overflow", "count", "total", "max")
+    __slots__ = ()
 
     def __init__(self) -> None:
-        self.counts = [0] * len(BUCKET_EDGES)
-        self.overflow = 0
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    def observe(self, seconds: float) -> None:
-        """Record one latency sample (negative clock skew clamps to 0)."""
-        seconds = max(0.0, float(seconds))
-        self.count += 1
-        self.total += seconds
-        self.max = max(self.max, seconds)
-        for index, edge in enumerate(BUCKET_EDGES):
-            if seconds <= edge:
-                self.counts[index] += 1
-                return
-        self.overflow += 1
+        super().__init__(low=LATENCY_LOW, high=LATENCY_HIGH,
+                         buckets_per_decade=LATENCY_BUCKETS_PER_DECADE)
 
     @property
     def mean(self) -> float:
         """Mean latency in seconds (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> float:
-        """Upper-edge estimate of the ``q``-quantile, ``q`` in [0, 1].
-
-        Bucketed, so the estimate is conservative: the true quantile is
-        at most the returned edge. Overflow samples report the max seen.
-        """
-        if not 0.0 <= q <= 1.0:
-            raise ValidationError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return 0.0
-        # Rank at least 1, so q=0 lands on the first *occupied* bucket
-        # (the minimum sample's edge) rather than the first edge.
-        rank = max(1.0, q * self.count)
-        seen = 0
-        for index, edge in enumerate(BUCKET_EDGES):
-            seen += self.counts[index]
-            if seen >= rank:
-                return edge
-        return self.max
-
     def snapshot(self) -> dict:
-        """JSON-serializable summary (non-empty buckets only)."""
+        """JSON-serializable summary (non-empty buckets only).
+
+        ``p50/p90/p99_seconds`` are interpolated inside the winning
+        bucket (relative error ≤ the 12.2 % edge ratio); ``overflow``
+        counts samples past ``top_edge_seconds`` — 0 whenever the tail
+        is actually being measured.
+        """
+        base = super().snapshot()
+        count = base["count"]
+        buckets = [
+            {"le_seconds": self.edge(index), "count": bucket}
+            for index, bucket in base["counts"]
+        ]
+        if base["overflow"]:
+            buckets.append({"le_seconds": None, "count": base["overflow"]})
         return {
-            "count": self.count,
-            "total_seconds": self.total,
-            "mean_seconds": self.mean,
-            "max_seconds": self.max,
+            "count": count,
+            "total_seconds": base["total"],
+            "mean_seconds": base["total"] / count if count else 0.0,
+            "max_seconds": base["max"],
             "p50_seconds": self.quantile(0.50),
             "p90_seconds": self.quantile(0.90),
             "p99_seconds": self.quantile(0.99),
-            "buckets": [
-                {"le_seconds": edge, "count": count}
-                for edge, count in zip(BUCKET_EDGES, self.counts)
-                if count
-            ] + ([{"le_seconds": None, "count": self.overflow}]
-                 if self.overflow else []),
+            "overflow": base["overflow"],
+            "top_edge_seconds": self.top_edge,
+            "buckets": buckets,
         }
+
+
+#: Legacy alias: the default latency bucket upper edges, in seconds.
+#: Since PR 6 these are the log-scale edges (220 buckets, 100 ns–10 ks),
+#: not the old 21 doubling buckets that topped out at ~104.86 s.
+_EDGE_TEMPLATE = LatencyHistogram()
+BUCKET_EDGES: tuple[float, ...] = tuple(
+    _EDGE_TEMPLATE.edge(index) for index in range(_EDGE_TEMPLATE._n)
+)
+del _EDGE_TEMPLATE
 
 
 class GatewayMetrics:
@@ -120,43 +126,64 @@ class GatewayMetrics:
       (enqueue to answer) histograms;
     - **per-session** — submitted/completed counts and the high-water
       queue depth.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` to publish onto
+        (``gateway.*`` metric names; per-session series labelled
+        ``{session=...}``). Default builds a private registry. Sharing
+        one registry between two gateways merges their counters — give
+        each gateway its own unless aggregation is what you want.
+
+    Thread-safety: every ``record_*`` method holds the façade lock for
+    its full multi-metric update, and :meth:`snapshot` takes the same
+    lock, so concurrent recording from worker threads loses nothing and
+    snapshots never observe a half-recorded batch.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.failed = 0
-        self.sheds = {kind: 0 for kind in SHED_KINDS}
-        self.batches = 0
-        self.coalesced_batches = 0
-        self.coalesced_requests = 0
-        self.sources: dict[str, int] = {}
-        self.queue_wait = LatencyHistogram()
-        self.end_to_end = LatencyHistogram()
-        self._sessions: dict[str, dict] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._submitted = reg.counter("gateway.submitted")
+        self._completed = reg.counter("gateway.completed")
+        self._failed = reg.counter("gateway.failed")
+        self._batches = reg.counter("gateway.batches")
+        self._coalesced_batches = reg.counter("gateway.coalesced_batches")
+        self._coalesced_requests = reg.counter("gateway.coalesced_requests")
+        self._sheds = {
+            kind: reg.counter("gateway.shed", {"kind": kind})
+            for kind in SHED_KINDS
+        }
+        self.queue_wait = reg.register_histogram(
+            "gateway.queue_wait", histogram=LatencyHistogram())
+        self.end_to_end = reg.register_histogram(
+            "gateway.end_to_end", histogram=LatencyHistogram())
+        self._session_metrics: dict[str, dict] = {}
 
     # -- recording (called by the gateway) --------------------------------
 
     def record_submit(self, session_id: str, depth: int) -> None:
         """One admitted request; ``depth`` is the queue depth after it."""
         with self._lock:
-            self.submitted += 1
+            self._submitted.inc()
             entry = self._session(session_id)
-            entry["submitted"] += 1
-            entry["queue_depth"] = depth
-            entry["max_queue_depth"] = max(entry["max_queue_depth"], depth)
+            entry["submitted"].inc()
+            entry["queue_depth"].set(depth)
+            if depth > entry["max_queue_depth"].value:
+                entry["max_queue_depth"].set(depth)
 
     def record_shed(self, kind: str, session_id: str | None = None) -> None:
         """One request refused (``overload``/``timeout``/``shutdown``)."""
-        if kind not in self.sheds:
+        if kind not in self._sheds:
             raise ValidationError(
                 f"unknown shed kind {kind!r}; known: {SHED_KINDS}"
             )
         with self._lock:
-            self.sheds[kind] += 1
+            self._sheds[kind].inc()
             if session_id is not None:
-                self._session(session_id)["shed"] += 1
+                self._session(session_id)["shed"].inc()
 
     def record_claim(self, session_id: str, waits: list[float],
                      depth: int) -> None:
@@ -165,64 +192,120 @@ class GatewayMetrics:
         with self._lock:
             for wait in waits:
                 self.queue_wait.observe(wait)
-            self._session(session_id)["queue_depth"] = depth
+            self._session(session_id)["queue_depth"].set(depth)
 
     def record_batch(self, session_id: str, *, size: int, sources,
                      latencies) -> None:
         """One executed batch: provenance tally + end-to-end latencies."""
         with self._lock:
-            self.batches += 1
+            self._batches.inc()
             if size > 1:
-                self.coalesced_batches += 1
-                self.coalesced_requests += size
-            self.completed += size
-            entry = self._session(session_id)
-            entry["completed"] += size
+                self._coalesced_batches.inc()
+                self._coalesced_requests.inc(size)
+            self._completed.inc(size)
+            self._session(session_id)["completed"].inc(size)
             for source in sources:
-                self.sources[source] = self.sources.get(source, 0) + 1
+                self.registry.counter(
+                    "gateway.answers", {"source": source}).inc()
             for latency in latencies:
                 self.end_to_end.observe(latency)
 
     def record_failure(self, session_id: str, count: int) -> None:
         """A batch execution raised; all its requests failed."""
         with self._lock:
-            self.failed += count
-            self._session(session_id)["failed"] += count
+            self._failed.inc(count)
+            self._session(session_id)["failed"].inc(count)
 
     # -- reading ----------------------------------------------------------
 
     @property
+    def submitted(self) -> int:
+        """Requests admitted past admission control."""
+        return self._submitted.value
+
+    @property
+    def completed(self) -> int:
+        """Requests answered successfully."""
+        return self._completed.value
+
+    @property
+    def failed(self) -> int:
+        """Requests whose batch execution raised."""
+        return self._failed.value
+
+    @property
+    def batches(self) -> int:
+        """Batches executed."""
+        return self._batches.value
+
+    @property
+    def coalesced_batches(self) -> int:
+        """Batches that merged more than one request."""
+        return self._coalesced_batches.value
+
+    @property
+    def coalesced_requests(self) -> int:
+        """Requests that rode a merged batch."""
+        return self._coalesced_requests.value
+
+    @property
+    def sheds(self) -> dict[str, int]:
+        """Shed counts per kind (a fresh plain dict)."""
+        return {kind: counter.value
+                for kind, counter in self._sheds.items()}
+
+    @property
+    def sources(self) -> dict[str, int]:
+        """Answer counts by provenance (``cache``/``hypothesis``/...)."""
+        return {
+            labels[0][1]: counter.value
+            for (name, labels), counter
+            in self.registry.collect("counter").items()
+            if name == "gateway.answers"
+        }
+
+    @property
     def shed_total(self) -> int:
         """Requests refused across all shed kinds."""
-        with self._lock:
-            return sum(self.sheds.values())
+        return sum(counter.value for counter in self._sheds.values())
 
     @property
     def cache_hits(self) -> int:
         """Answers served by zero-cost replay."""
-        with self._lock:
-            return self.sources.get("cache", 0)
+        counter = self.registry.get("gateway.answers", {"source": "cache"})
+        return counter.value if counter is not None else 0
 
     def snapshot(self) -> dict:
         """Full JSON-serializable state of the registry."""
         with self._lock:
-            coalesce_rate = (self.coalesced_requests / self.completed
-                            if self.completed else 0.0)
+            completed = self._completed.value
+            coalesced_requests = self._coalesced_requests.value
+            sheds = self.sheds
             return {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "failed": self.failed,
-                "shed": dict(self.sheds),
-                "shed_total": sum(self.sheds.values()),
-                "batches": self.batches,
-                "coalesced_batches": self.coalesced_batches,
-                "coalesced_requests": self.coalesced_requests,
-                "coalesce_rate": coalesce_rate,
-                "sources": dict(self.sources),
+                "submitted": self._submitted.value,
+                "completed": completed,
+                "failed": self._failed.value,
+                "shed": sheds,
+                "shed_total": sum(sheds.values()),
+                "batches": self._batches.value,
+                "coalesced_batches": self._coalesced_batches.value,
+                "coalesced_requests": coalesced_requests,
+                "coalesce_rate": (coalesced_requests / completed
+                                  if completed else 0.0),
+                "sources": self.sources,
                 "queue_wait": self.queue_wait.snapshot(),
                 "end_to_end": self.end_to_end.snapshot(),
-                "sessions": {sid: dict(entry)
-                             for sid, entry in self._sessions.items()},
+                "sessions": {
+                    sid: {
+                        "submitted": entry["submitted"].value,
+                        "completed": entry["completed"].value,
+                        "failed": entry["failed"].value,
+                        "shed": entry["shed"].value,
+                        "queue_depth": entry["queue_depth"].value,
+                        "max_queue_depth": entry["max_queue_depth"].value,
+                    }
+                    for sid, entry in self._session_metrics.items()
+                },
             }
 
     def to_json(self, path=None, *, indent: int = 2) -> str:
@@ -232,6 +315,11 @@ class GatewayMetrics:
             with open(path, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
         return text
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of the backing registry (includes
+        anything else published onto a shared registry)."""
+        return self.registry.render_prometheus()
 
     def describe(self) -> str:
         """One-paragraph operator summary."""
@@ -251,11 +339,22 @@ class GatewayMetrics:
     # -- internals --------------------------------------------------------
 
     def _session(self, session_id: str) -> dict:
-        entry = self._sessions.get(session_id)
+        entry = self._session_metrics.get(session_id)
         if entry is None:
-            entry = {"submitted": 0, "completed": 0, "failed": 0, "shed": 0,
-                     "queue_depth": 0, "max_queue_depth": 0}
-            self._sessions[session_id] = entry
+            labels = {"session": session_id}
+            reg = self.registry
+            entry = {
+                "submitted": reg.counter("gateway.session.submitted",
+                                         labels),
+                "completed": reg.counter("gateway.session.completed",
+                                         labels),
+                "failed": reg.counter("gateway.session.failed", labels),
+                "shed": reg.counter("gateway.session.shed", labels),
+                "queue_depth": reg.gauge("gateway.queue_depth", labels),
+                "max_queue_depth": reg.gauge("gateway.max_queue_depth",
+                                             labels),
+            }
+            self._session_metrics[session_id] = entry
         return entry
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

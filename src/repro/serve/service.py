@@ -44,6 +44,7 @@ from repro.exceptions import (
     PrivacyBudgetExhausted,
     ValidationError,
 )
+from repro.obs import trace
 from repro.serve.cache import AnswerCache, CachedAnswer
 from repro.serve.ledger import BudgetLedger, fsync_dir, replay_ledger
 from repro.serve.planner import concurrent_map, plan_batch
@@ -292,9 +293,11 @@ class PMWService:
         self._check_service_open()
         session = self.session(session_id)
         self._check_session_open(session)
-        plan = plan_batch(session, queries,
-                          cache=self.cache if use_cache else None,
-                          version=self._cache_version(session))
+        with trace.span("serve.plan", session=session_id,
+                        queries=len(queries)):
+            plan = plan_batch(session, queries,
+                              cache=self.cache if use_cache else None,
+                              version=self._cache_version(session))
         results: list[ServeResult | None] = [None] * plan.total
         # Hypothesis version each first-occurrence was served at, so the
         # duplicates lane can tell a merely-evicted entry (same version:
@@ -308,7 +311,9 @@ class PMWService:
             # mechanism in order.
             lane = plan.mechanism_lane(queries)
             if len(lane) > 1:
-                session.prewarm(lane)
+                with trace.span("serve.prewarm", session=session_id,
+                                lane=len(lane)):
+                    session.prewarm(lane)
             for index in sorted(plan.mechanism + plan.hypothesis):
                 results[index] = self._serve_uncached(
                     session, queries[index], plan.fingerprints[index],

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.core.pmw_cm import PMWAnswer
 from repro.exceptions import ValidationError
 from repro.losses.linear import LinearQuery
+from repro.obs import trace
 
 #: Lifecycle states. ``halted`` is derived from the mechanism (its update
 #: budget ran out), not stored: a halted session still serves
@@ -172,7 +173,8 @@ class Session:
         """
         with self.lock:
             self._check_open()
-            raw = self.mechanism.answer(query)
+            with trace.span("session.answer", session=self.session_id):
+                raw = self.mechanism.answer(query)
             self._queries_served += 1
         value, from_update, index = _unpack(raw)
         return value, ("update" if from_update else "no-update"), index

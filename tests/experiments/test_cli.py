@@ -13,8 +13,8 @@ class TestCLI:
             assert key in out
 
     def test_every_bench_has_a_cli_entry(self):
-        """Keep the CLI in sync with the experiment index (E1-E15)."""
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 16)}
+        """Keep the CLI in sync with the experiment index (E1-E16)."""
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 17)}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):

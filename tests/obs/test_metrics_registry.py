@@ -1,0 +1,265 @@
+"""MetricsRegistry: counters, gauges, log-scale histograms, exposition.
+
+Covers the PR's registry contracts: snapshot -> JSON -> restore
+round-trip equality, Prometheus text-exposition validity (cumulative
+monotone buckets, ``+Inf`` equals ``_count``), the histogram tail fix
+(log-scale edges past the old 3 276.8 ms saturation point, explicit
+overflow, interpolated quantiles with the documented bias bound), and
+lost-increment-free concurrent recording.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs import LogScaleHistogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests", {"kind": "ok"})
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("requests", {"kind": "ok"}) is counter
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("requests").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        gauge.set(7)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 8
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", {"x": "1", "y": "2"})
+        b = registry.counter("c", {"y": "2", "x": "1"})
+        assert a is b
+
+    def test_name_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(ValidationError):
+            registry.gauge("metric")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            registry.counter("1bad name")
+
+    def test_get_missing_returns_none(self):
+        registry = MetricsRegistry()
+        assert registry.get("nope") is None
+
+
+class TestLogScaleHistogram:
+    def test_empty_quantile_is_zero(self):
+        histogram = LogScaleHistogram()
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_quantile_bounds_validated(self):
+        histogram = LogScaleHistogram()
+        with pytest.raises(ValidationError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValidationError):
+            histogram.quantile(-0.1)
+
+    def test_interpolated_quantile_relative_error_bound(self):
+        """The documented bias bound: the interpolated quantile shares a
+        bucket with the true order statistic, so relative error is at
+        most the edge ratio minus one (12.2% at 20/decade)."""
+        histogram = LogScaleHistogram()
+        samples = [1e-6, 3.7e-5, 4.2e-4, 0.0013, 0.0088, 0.071, 0.44,
+                   2.9, 17.0, 240.0]
+        for value in samples:
+            histogram.observe(value)
+        bound = 10.0 ** (1.0 / histogram.buckets_per_decade) - 1.0
+        ordered = sorted(samples)
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 1.0):
+            rank = max(int(math.ceil(q * len(ordered))), 1)
+            true_value = ordered[rank - 1]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - true_value) / true_value <= bound + 1e-9
+
+    def test_tail_beyond_old_saturation_point(self):
+        """Durations past the old fixed table's 3 276.8 ms ceiling land
+        in real buckets — p99 stays finite and below the top edge."""
+        histogram = LogScaleHistogram()
+        for value in (5.0, 60.0, 900.0, 3500.0):  # up to ~58 minutes
+            histogram.observe(value)
+        assert histogram.overflow == 0
+        assert histogram.quantile(0.99) < histogram.top_edge
+        assert histogram.quantile(0.99) >= 900.0 * (1 - 0.13)
+
+    def test_overflow_explicit(self):
+        histogram = LogScaleHistogram()
+        histogram.observe(0.001)
+        histogram.observe(histogram.high)       # at high => overflow
+        histogram.observe(histogram.high * 10)
+        assert histogram.overflow == 2
+        assert histogram.count == 3
+        # Quantiles landing in the overflow region report observed max.
+        assert histogram.quantile(0.99) == histogram.max
+
+    def test_negative_clamps_to_zero(self):
+        histogram = LogScaleHistogram()
+        histogram.observe(-1.0)
+        assert histogram.count == 1
+        assert histogram.max == 0.0
+
+    def test_range_covers_100ns_to_over_an_hour(self):
+        histogram = LogScaleHistogram()
+        assert histogram.low <= 1e-7
+        assert histogram.top_edge >= 3600.0
+
+
+class TestSnapshotRoundTrip:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("gw.submitted").inc(12)
+        registry.counter("gw.shed", {"kind": "overload"}).inc(3)
+        registry.gauge("depth", {"session": "s1"}).set(4)
+        histogram = registry.histogram("latency", {"stage": "e2e"})
+        for value in (1e-6, 0.004, 0.25, 7.0, 1e9):
+            histogram.observe(value)
+        return registry
+
+    def test_snapshot_json_restore_equality(self):
+        registry = self.build()
+        text = registry.to_json()
+        restored = MetricsRegistry.from_snapshot(json.loads(text))
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.to_json() == text
+
+    def test_snapshot_is_pure_json_and_deterministic(self):
+        registry = self.build()
+        snapshot = registry.snapshot()
+        assert snapshot["format"] == "repro.obs.registry/v1"
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert registry.snapshot() == snapshot
+
+    def test_restored_histogram_preserves_tail_state(self):
+        registry = self.build()
+        restored = MetricsRegistry.from_snapshot(registry.snapshot())
+        original = registry.get("latency", {"stage": "e2e"})
+        clone = restored.get("latency", {"stage": "e2e"})
+        assert clone.count == original.count
+        assert clone.overflow == original.overflow == 1
+        assert clone.max == original.max
+        assert clone.quantile(0.5) == original.quantile(0.5)
+
+    def test_from_snapshot_rejects_foreign_format(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry.from_snapshot({"format": "something/else"})
+
+    def test_to_json_writes_file(self, tmp_path):
+        registry = self.build()
+        path = tmp_path / "metrics.json"
+        registry.to_json(path)
+        assert json.loads(path.read_text())["format"] == \
+            "repro.obs.registry/v1"
+
+
+class TestPrometheusExposition:
+    def test_families_typed_and_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("gateway.shed", {"kind": "overload"}).inc(2)
+        registry.gauge("budget.epsilon-spent", {"session": "a"}).set(0.5)
+        text = registry.render_prometheus()
+        assert "# TYPE gateway_shed counter" in text
+        assert 'gateway_shed{kind="overload"} 2' in text
+        assert "# TYPE budget_epsilon_spent gauge" in text
+        assert 'budget_epsilon_spent{session="a"} 0.5' in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", {"k": 'he said "hi"\\\n'}).inc()
+        text = registry.render_prometheus()
+        line = [ln for ln in text.splitlines() if ln.startswith("c{")][0]
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+        assert "\n" not in line
+
+    def test_histogram_buckets_cumulative_and_inf_equals_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat")
+        for value in (0.001, 0.001, 0.02, 0.5, 1e9):
+            histogram.observe(value)
+        text = registry.render_prometheus()
+        pattern = re.compile(r'lat_bucket\{le="([^"]+)"\} (\d+)')
+        buckets = [(le, int(count))
+                   for le, count in pattern.findall(text)]
+        assert buckets, "no bucket lines rendered"
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        edges = [float(le) for le, _ in buckets[:-1]]
+        assert edges == sorted(edges), "bucket edges must ascend"
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 5  # +Inf includes the overflow sample
+        assert re.search(r"lat_count 5\b", text)
+        assert "# TYPE lat histogram" in text
+
+    def test_every_line_well_formed(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.gauge("c-d", {"x": "1"}).set(2)
+        registry.histogram("e").observe(0.1)
+        sample = re.compile(
+            r"^[a-zA-Z_][a-zA-Z0-9_]*(\{[^{}]*\})? -?[0-9+.eEinf]+$")
+        for line in registry.render_prometheus().splitlines():
+            assert line.startswith("# TYPE ") or sample.match(line), line
+
+
+class TestConcurrentRecording:
+    def test_no_lost_increments_across_threads(self):
+        """8 threads hammer one counter, one gauge, and one histogram
+        concurrently; every increment and observation must survive."""
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        gauge = registry.gauge("level")
+        histogram = registry.histogram("lat")
+        threads_n, per_thread = 8, 2_000
+
+        def hammer(seed):
+            for index in range(per_thread):
+                counter.inc()
+                gauge.inc()
+                histogram.observe((seed + index % 7) * 1e-4)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = threads_n * per_thread
+        assert counter.value == expected
+        assert gauge.value == expected
+        assert histogram.count == expected
+        assert sum(histogram.counts) + histogram.overflow == expected
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("shared", {"k": "v"}))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(metric is seen[0] for metric in seen)

@@ -1,0 +1,231 @@
+"""Domain telemetry: budget gauges, mechanism state, cache counters.
+
+Covers the PR's telemetry contracts: per-session budget gauges bitwise
+equal to the accountant's journal-ordered sums — including after a
+checkpoint/restore cycle, where the restored accountant must replay to
+the identical float — SVT and hypothesis-version gauges tracking the
+mechanism, and answer-cache counters keyed by ``cache_policy``
+(stale misses separated from cold misses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.dp.accountant import PrivacyAccountant
+from repro.losses.families import random_quadratic_family
+from repro.obs import (
+    MetricsRegistry,
+    publish_accountant,
+    publish_service,
+    publish_session,
+)
+from repro.serve.checkpoint import Checkpointer
+from repro.serve.ledger import replay_ledger
+from repro.serve.service import PMWService
+
+SESSION_PARAMS = dict(
+    oracle="non-private", scale=4.0, alpha=0.35, epsilon=2.0, delta=1e-6,
+    max_updates=4, solver_steps=30, noise_multiplier=0.0,
+)
+
+
+@pytest.fixture
+def dataset():
+    """80% of mass on one vertex: quadratic queries force MW updates
+    when ``noise_multiplier=0`` (same construction as tests/serve)."""
+    universe = signed_cube(3)
+    rng = np.random.default_rng(11)
+    heavy = int(0.8 * 260)
+    indices = np.concatenate([
+        np.zeros(heavy, dtype=int),
+        rng.choice(universe.size, size=260 - heavy),
+    ])
+    return Dataset(universe, indices)
+
+
+def drive(service, sid, count=6, seed=5):
+    universe = service.datasets["default"].universe
+    for query in random_quadratic_family(universe, count, rng=seed):
+        service.submit(sid, query, on_halt="hypothesis")
+
+
+class TestAccountantGauges:
+    def test_gauges_are_bitwise_accountant_sums(self):
+        registry = MetricsRegistry()
+        accountant = PrivacyAccountant(epsilon_budget=3.0)
+        for epsilon in (0.1, 0.2, 0.30000000000000004, 0.1):
+            accountant.spend(epsilon, 1e-7, label="q")
+        publish_accountant(registry, "s1", accountant)
+        labels = {"session": "s1"}
+        expected = sum(s.epsilon for s in accountant.spends)
+        assert registry.get("budget.epsilon_spent", labels).value \
+            == expected
+        assert registry.get("budget.num_spends", labels).value == 4
+        assert registry.get("budget.epsilon_budget", labels).value == 3.0
+        assert registry.get("budget.epsilon_remaining", labels).value \
+            == accountant.remaining_epsilon()
+
+    def test_unbudgeted_accountant_omits_remaining(self):
+        registry = MetricsRegistry()
+        accountant = PrivacyAccountant()
+        accountant.spend(0.5, 0.0)
+        publish_accountant(registry, "s1", accountant)
+        assert registry.get("budget.epsilon_remaining",
+                            {"session": "s1"}) is None
+
+    def test_empty_accountant_publishes_zero(self):
+        registry = MetricsRegistry()
+        publish_accountant(registry, "s0", PrivacyAccountant())
+        assert registry.get("budget.epsilon_spent",
+                            {"session": "s0"}).value == 0.0
+
+    def test_republish_refreshes_in_place(self):
+        registry = MetricsRegistry()
+        accountant = PrivacyAccountant()
+        accountant.spend(0.25, 0.0)
+        publish_accountant(registry, "s1", accountant)
+        accountant.spend(0.5, 0.0)
+        publish_accountant(registry, "s1", accountant)
+        labels = {"session": "s1"}
+        assert registry.get("budget.num_spends", labels).value == 2
+        assert registry.get("budget.epsilon_spent", labels).value \
+            == sum(s.epsilon for s in accountant.spends)
+
+
+class TestSessionGauges:
+    def test_mechanism_state_published(self, dataset):
+        registry = MetricsRegistry()
+        service = PMWService(dataset, rng=np.random.default_rng(3))
+        sid = service.open_session("pmw-convex", **SESSION_PARAMS)
+        drive(service, sid)
+        session = service.session(sid)
+        publish_session(registry, session)
+        labels = {"session": sid}
+        mechanism = session.mechanism
+        assert registry.get("mechanism.svt_hard_queries", labels).value \
+            == mechanism.svt_hard_queries
+        assert registry.get("mechanism.svt_queries_asked", labels).value \
+            == mechanism.svt_queries_asked
+        assert registry.get("mechanism.update_rounds", labels).value \
+            == mechanism.updates_performed
+        assert registry.get("mechanism.hypothesis_version", labels).value \
+            == session.hypothesis_version
+        assert registry.get("mechanism.halted", labels).value \
+            == int(session.halted)
+        assert registry.get("session.queries_served", labels).value \
+            == session.queries_served
+        assert registry.get("mechanism.update_rounds", labels).value > 0
+        service.close()
+
+    def test_budget_gauge_matches_live_accountant_bitwise(self, dataset):
+        registry = MetricsRegistry()
+        service = PMWService(dataset, rng=np.random.default_rng(3))
+        sid = service.open_session("pmw-convex", **SESSION_PARAMS)
+        drive(service, sid)
+        session = service.session(sid)
+        publish_session(registry, session)
+        expected = sum(s.epsilon for s in session.accountant.spends)
+        assert registry.get("budget.epsilon_spent",
+                            {"session": sid}).value == expected
+        service.close()
+
+
+class TestCacheGauges:
+    def test_counters_labelled_by_policy(self, dataset):
+        registry = MetricsRegistry()
+        service = PMWService(dataset, cache_policy="track-hypothesis",
+                             rng=np.random.default_rng(4))
+        sid = service.open_session("pmw-convex", **SESSION_PARAMS)
+        universe = dataset.universe
+        queries = list(random_quadratic_family(universe, 4, rng=9))
+        for query in queries:
+            service.submit(sid, query, on_halt="hypothesis")
+        service.submit(sid, queries[0], on_halt="hypothesis")  # replay
+        publish_service(registry, service)
+        labels = {"policy": "track-hypothesis"}
+        stats = service.cache.stats()
+        assert registry.get("cache.hits", labels).value == stats.hits
+        assert registry.get("cache.misses", labels).value == stats.misses
+        assert registry.get("cache.stale_misses", labels).value \
+            == stats.stale_misses
+        assert registry.get("cache.entries", labels).value == stats.entries
+        assert stats.hits > 0
+        service.close()
+
+    def test_stale_misses_counted_separately(self):
+        from repro.serve.cache import AnswerCache, CachedAnswer
+
+        cache = AnswerCache()
+        cache.put("s", "fp", CachedAnswer(
+            value=1.0, source="hypothesis", query_index=None,
+            hypothesis_version=1))
+        assert cache.get("s", "fp", version=1) is not None
+        assert cache.get("s", "fp", version=2) is None   # stale
+        assert cache.get("s", "other", version=2) is None  # cold
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.stale_misses == 1
+        cache.clear()
+        assert cache.stats().stale_misses == 0
+
+
+class TestLedgerAndRestoreConsistency:
+    def test_gauges_bitwise_equal_ledger_replay(self, dataset, tmp_path):
+        registry = MetricsRegistry()
+        ledger_path = tmp_path / "budget.jsonl"
+        service = PMWService(dataset, ledger_path=ledger_path,
+                             rng=np.random.default_rng(5))
+        sids = [service.open_session("pmw-convex", analyst=f"a{i}",
+                                     **SESSION_PARAMS)
+                for i in range(2)]
+        for index, sid in enumerate(sids):
+            drive(service, sid, seed=20 + index)
+        publish_service(registry, service)
+        replayed = replay_ledger(ledger_path)
+        for sid in sids:
+            gauge = registry.get("budget.epsilon_spent",
+                                 {"session": sid}).value
+            assert gauge == sum(record["epsilon"] for record
+                                in replayed.spends.get(sid, []))
+            assert gauge > 0
+        assert registry.get("ledger.last_seq").value \
+            == service.ledger.last_seq
+        service.close()
+
+    def test_gauges_survive_checkpoint_restore_bitwise(self, dataset,
+                                                       tmp_path):
+        """The acceptance criterion: budget gauges published from a
+        *restored* service are bitwise identical to the pre-crash ones
+        — restore replays the same journal-ordered spends, so the float
+        sums cannot drift."""
+        ledger_path = tmp_path / "budget.jsonl"
+        directory = tmp_path / "checkpoints"
+        service = PMWService(dataset, ledger_path=ledger_path,
+                             rng=np.random.default_rng(6))
+        sid = service.open_session("pmw-convex", **SESSION_PARAMS)
+        drive(service, sid, seed=31)
+        checkpointer = Checkpointer(service, directory)
+        checkpointer.checkpoint()
+        drive(service, sid, count=3, seed=32)  # post-checkpoint suffix
+
+        before = MetricsRegistry()
+        publish_service(before, service)
+        service.close()
+
+        restored = Checkpointer.restore(dataset, directory,
+                                        ledger_path=ledger_path)
+        after = MetricsRegistry()
+        publish_service(after, restored)
+        labels = {"session": sid}
+        for gauge in ("budget.epsilon_spent", "budget.delta_spent",
+                      "budget.num_spends"):
+            assert after.get(gauge, labels).value \
+                == before.get(gauge, labels).value, gauge
+        assert after.get("mechanism.hypothesis_version", labels).value \
+            == before.get("mechanism.hypothesis_version", labels).value
+        restored.close()

@@ -637,3 +637,43 @@ class TestMetrics:
         path = tmp_path / "metrics.json"
         text = metrics.to_json(path)
         assert path.read_text().strip() == text.strip()
+
+    def test_concurrent_recording_loses_no_increments(self):
+        """8 threads hammer every record_* path concurrently; totals
+        must come out exact — the thread-safety bug this PR fixes was
+        unlocked read-modify-write on the counters."""
+        metrics = GatewayMetrics()
+        threads_n, per_thread = 8, 500
+
+        def hammer(thread_index):
+            sid = f"s{thread_index % 3}"  # sessions shared across threads
+            for index in range(per_thread):
+                metrics.record_submit(sid, depth=index % 7)
+                metrics.record_claim(sid, [0.001], depth=index % 5)
+                metrics.record_batch(sid, size=2,
+                                     sources=["cache", "update"],
+                                     latencies=[0.002, 0.003])
+                metrics.record_shed("overload", sid)
+                metrics.record_failure(sid, 1)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        total = threads_n * per_thread
+        assert metrics.submitted == total
+        assert metrics.completed == 2 * total
+        assert metrics.failed == total
+        assert metrics.batches == total
+        assert metrics.coalesced_batches == total
+        assert metrics.coalesced_requests == 2 * total
+        assert metrics.sheds["overload"] == total
+        assert metrics.sources == {"cache": total, "update": total}
+        assert metrics.queue_wait.count == total
+        assert metrics.end_to_end.count == 2 * total
+        snap = metrics.snapshot()
+        assert sum(entry["submitted"]
+                   for entry in snap["sessions"].values()) == total
