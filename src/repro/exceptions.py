@@ -79,6 +79,30 @@ class RequestTimeout(ReproError):
         self.waited = waited
 
 
+class ShardUnavailable(ReproError):
+    """A request was routed to a shard process that is dead or unreachable.
+
+    Raised by the sharded serving layer
+    (:class:`repro.serve.shard.ShardedService`) when the worker process
+    owning a session has exited — killed, crashed, or mid-restore — or
+    when its RPC channel broke while a request was in flight. The
+    guarantee mirrors :class:`Overloaded`: a shed request never entered
+    the mechanism stream, so retrying after the shard is restored is
+    safe. A request that died *in flight* may or may not have journaled
+    its write-ahead spend — the restored shard's ledger is the
+    authority, and re-asking the same query replays any answer the dead
+    shard released (and cached/checkpointed) before dying.
+    """
+
+    def __init__(self, message: str, *, shard_id: str | None = None,
+                 session_id: str | None = None,
+                 reason: str = "dead") -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.session_id = session_id
+        self.reason = reason
+
+
 class LossSpecificationError(ReproError):
     """A loss function violates the contract it declared.
 

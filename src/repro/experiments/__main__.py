@@ -24,6 +24,10 @@ observability artifacts (see :mod:`repro.serve.checkpoint` and
     # re-render a saved MetricsRegistry snapshot for a scrape endpoint
     python -m repro.experiments metrics --snapshot metrics.json \\
         --format prometheus
+
+    # failover readiness of a sharded deployment (topology + per-shard
+    # checkpoint/journal state, see repro.serve.shard)
+    python -m repro.experiments shards --dir /var/lib/repro/deploy
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ from repro.experiments.recovery import (
 )
 from repro.experiments.runtime import run_runtime_profile
 from repro.experiments.serving import run_gateway_demo
+from repro.experiments.sharding import run_sharding_demo, shard_status
 from repro.experiments.table1 import (
     run_linear_row,
     run_lipschitz_row,
@@ -78,14 +83,28 @@ EXPERIMENTS = {
             run_recovery_demo),
     "e16": ("observability demo: span latencies, trace trees, budget gauges",
             run_observability_demo),
+    "e22": ("sharded-failover demo: consistent-hash routing, SIGKILL + "
+            "auto-restore with exact budget totals", run_sharding_demo),
 }
 
 
 def _run_verb(argv) -> int:
-    """The ``checkpoint`` / ``compact`` / ``metrics`` operator verbs."""
+    """The ``checkpoint``/``compact``/``metrics``/``shards`` verbs."""
     verb, rest = argv[0], argv[1:]
     if verb == "metrics":
         return _run_metrics_verb(rest)
+    if verb == "shards":
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.experiments shards",
+            description="failover readiness of a sharded deployment "
+                        "directory (topology, per-shard checkpoints, "
+                        "replay suffixes)",
+        )
+        parser.add_argument("--dir", required=True,
+                            help="ShardedService deployment directory "
+                                 "(holds topology.json)")
+        args = parser.parse_args(rest)
+        return shard_status(args.dir)
     parser = argparse.ArgumentParser(
         prog=f"python -m repro.experiments {verb}",
         description=("inspect checkpoint/ledger recovery readiness"
@@ -145,7 +164,7 @@ def _run_metrics_verb(rest) -> int:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] in ("checkpoint", "compact", "metrics"):
+    if argv and argv[0] in ("checkpoint", "compact", "metrics", "shards"):
         return _run_verb(argv)
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",

@@ -277,6 +277,35 @@ class LogScaleHistogram:
         """Alias for :meth:`state` (presentation hook for subclasses)."""
         return self.state()
 
+    def merge_state(self, state: dict) -> None:
+        """Add another histogram's :meth:`state` into this one, exactly.
+
+        Bucket counts, the overflow counter, ``count``, and ``total``
+        add; ``max`` takes the larger observed maximum. The two
+        histograms must share a bucket layout (``low``/``high``/
+        ``buckets_per_decade``) — merging across layouts would smear
+        counts into different edges, so it raises instead. This is the
+        primitive cross-process aggregation builds on: merging N shard
+        registries preserves every bucket count bit-for-bit, so
+        sum-of-shards equals the aggregate.
+        """
+        if (state["low"] != self.low or state["high"] != self.high
+                or state["buckets_per_decade"] != self.buckets_per_decade):
+            raise ValidationError(
+                f"cannot merge histograms with different bucket layouts: "
+                f"have (low={self.low}, high={self.high}, "
+                f"per_decade={self.buckets_per_decade}), got "
+                f"(low={state['low']}, high={state['high']}, "
+                f"per_decade={state['buckets_per_decade']})"
+            )
+        with self._lock:
+            for index, count in state.get("counts", []):
+                self.counts[int(index)] += count
+            self.overflow += state.get("overflow", 0)
+            self.count += state.get("count", 0)
+            self.total += state.get("total", 0.0)
+            self.max = max(self.max, state.get("max", 0.0))
+
     @classmethod
     def from_snapshot(cls, state: dict, *, lock=None) -> "LogScaleHistogram":
         """Rebuild a histogram whose :meth:`state` equals ``state``."""
@@ -463,6 +492,42 @@ class MetricsRegistry:
                     LogScaleHistogram.from_snapshot(
                         record, lock=registry._lock))
         return registry
+
+    def merge_snapshot(self, state: dict, *, labels=None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The cross-process aggregation primitive: each shard process
+        snapshots its own registry, the parent merges them all here, and
+        the result is exact — counters add, histogram bucket counts and
+        overflow counters add bucket-wise (:meth:`LogScaleHistogram.
+        merge_state`), so sum-of-shards equals what one shared registry
+        would have recorded. Gauges are point-in-time, not additive:
+        each is ``set`` to the incoming value (last merge wins), so
+        merge per-shard gauges under distinguishing ``labels``.
+
+        ``labels`` (e.g. ``{"shard": "shard-03"}``) are added to every
+        merged metric's own labels, letting one parent registry hold
+        per-shard series side by side; an incoming label with the same
+        key wins over the extra one.
+        """
+        if state.get("format") != "repro.obs.registry/v1":
+            raise ValidationError(
+                f"not a registry snapshot (format={state.get('format')!r})"
+            )
+        extra = dict(labels) if labels else {}
+        for record in state.get("counters", []):
+            merged = {**extra, **record["labels"]}
+            self.counter(record["name"], merged).inc(record["value"])
+        for record in state.get("gauges", []):
+            merged = {**extra, **record["labels"]}
+            self.gauge(record["name"], merged).set(record["value"])
+        for record in state.get("histograms", []):
+            merged = {**extra, **record["labels"]}
+            histogram = self.histogram(
+                record["name"], merged, low=record["low"],
+                high=record["high"],
+                buckets_per_decade=record["buckets_per_decade"])
+            histogram.merge_state(record)
 
     # -- Prometheus exposition ------------------------------------------------
 

@@ -50,6 +50,11 @@ from repro.serve.registry import (
     default_registry,
 )
 from repro.serve.service import PMWService
+from repro.serve.shard import (
+    ConsistentHashRouter,
+    FaultPlan,
+    ShardedService,
+)
 from repro.serve.session import (
     ServeResult,
     Session,
@@ -59,6 +64,7 @@ from repro.serve.session import (
 
 __all__ = [
     "PMWService",
+    "ShardedService", "ConsistentHashRouter", "FaultPlan",
     "ServiceGateway", "GatewayMetrics", "LatencyHistogram",
     "Session", "ServeResult", "query_fingerprint", "try_fingerprint",
     "MechanismRegistry", "default_registry", "build_oracle",

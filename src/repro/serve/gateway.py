@@ -450,8 +450,21 @@ class ServiceGateway:
         keeps many short-lived gateway+service stacks in one process
         from leaking a handle each. Use plain :meth:`close` when the
         service outlives the gateway.
+
+        Between the two steps the pull-model domain telemetry
+        (:func:`repro.obs.telemetry.publish_service`) gets one final
+        refresh, while the quiesced service state is still readable —
+        otherwise a deployment whose last scrape predates the final
+        batches would archive stale budget/cache gauges. Services that
+        publish their own telemetry (the sharded service pulls each
+        shard's registry during its close) are left alone.
         """
         self.close(drain=drain, timeout=timeout)
+        if hasattr(self.service, "cache"):
+            from repro.obs.telemetry import publish_service
+
+            publish_service(self.metrics.registry, self.service,
+                            gateway=self)
         self.service.close()
 
     def __enter__(self) -> "ServiceGateway":

@@ -1,0 +1,19 @@
+"""`repro.serve.shard` — multi-process session sharding with failover.
+
+Sessions are partitioned across worker processes by consistent-hash
+routing (:class:`ConsistentHashRouter`); each shard process owns its
+own write-ahead ledger + checkpointer, so a killed shard restores from
+checkpoint + journal suffix with bitwise-exact budget totals
+(:class:`ShardedService`). :class:`FaultPlan` gives the chaos suite
+deterministic in-worker kill points. See ``docs/serve.md`` ("Sharding
+& failover") for topology, knobs, and failure semantics.
+"""
+
+from repro.serve.shard.router import DEFAULT_VNODES, ConsistentHashRouter
+from repro.serve.shard.sharded import ShardedService
+from repro.serve.shard.worker import FaultPlan, ShardSpec, build_service
+
+__all__ = [
+    "ConsistentHashRouter", "DEFAULT_VNODES",
+    "FaultPlan", "ShardSpec", "ShardedService", "build_service",
+]

@@ -1,0 +1,239 @@
+"""Shard worker: the child-process side of the sharded service.
+
+Each shard process owns one :class:`~repro.serve.service.PMWService`
+with its *own* write-ahead :class:`~repro.serve.ledger.BudgetLedger`
+and :class:`~repro.serve.checkpoint.Checkpointer` directory — the full
+PR 5 durability stack, one instance per shard. The supervisor speaks a
+synchronous request/response protocol over a duplex pipe::
+
+    parent                         worker
+    ------                         ------
+    send((verb, payload))  ---->   dispatch verb
+    recv()                 <----   ("ok", result) | ("error", exc)
+
+One request is in flight per pipe at a time (the supervisor serializes
+per-shard calls under a handle lock), so the protocol needs no request
+ids or reordering logic; concurrency across shards comes from having
+many shards, and concurrency within the parent from the gateway's
+worker pool. If the worker dies mid-request the parent's ``recv`` sees
+EOF and surfaces :class:`~repro.exceptions.ShardUnavailable`.
+
+**Startup is restore-or-fresh, decided by the directory.** If the
+shard directory already holds checkpoints or a budget journal, the
+worker restores from the newest checkpoint plus the journal suffix
+(bitwise-exact accountant totals — the PR 5 guarantee); otherwise it
+starts a fresh service. A restarted shard therefore needs no flags: the
+supervisor just launches the same spec at the same directory.
+
+**Fault injection.** :class:`FaultPlan` gives the chaos suite
+deterministic kill points: ``exit_after_batch=N`` kills the process
+with ``os._exit`` immediately *after* the Nth batch's reply is flushed
+to the pipe (client saw the answer; process state dies), and
+``exit_before_reply=N`` kills *after* the Nth batch is served and
+journaled/checkpointed but *before* the reply is sent (client sees
+``ShardUnavailable``; the ledger already holds the spends — the
+double-spend-on-retry trap a restore must survive). ``os._exit``
+bypasses ``atexit``/flush handlers, so nothing graceful happens — by
+design, this is a crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from repro.exceptions import ValidationError
+
+#: Exit codes for injected faults, so a supervisor (or a confused
+#: operator reading ``dmesg``) can tell a planned chaos kill from a
+#: real crash.
+EXIT_AFTER_BATCH = 41
+EXIT_BEFORE_REPLY = 42
+
+#: File/dir names inside each shard directory.
+LEDGER_NAME = "budget.jsonl"
+CHECKPOINT_DIR = "checkpoints"
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic kill points for chaos tests (see module docstring).
+
+    Batch numbers are 1-based counts of ``serve_batch`` requests
+    handled by this worker incarnation; a restarted worker gets a fresh
+    plan (normally ``None``), so faults do not re-trigger after
+    restore.
+    """
+
+    exit_after_batch: int | None = None
+    exit_before_reply: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("exit_after_batch", "exit_before_reply"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValidationError(
+                    f"{name} must be >= 1 or None, got {value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """Everything a worker process needs to build (or restore) its
+    service. Pickled and shipped to the child at spawn time, so every
+    field must be picklable — in particular ``rng`` is an integer seed,
+    not a live generator, and mechanism construction is config-driven
+    through the default registry."""
+
+    shard_id: str
+    directory: str
+    datasets: dict
+    rng: int | None = None
+    checkpoint_every: int | None = None
+    ledger_fsync: bool = True
+    cache_policy: str = "replay"
+    fault_plan: FaultPlan | None = None
+
+
+def build_service(spec: ShardSpec):
+    """Restore-or-fresh service construction for one shard.
+
+    Returns ``(service, checkpointer)``. Shared by the worker entry
+    point and by in-process oracle/verification code (the chaos suite
+    replays a shard directory through this exact path to assert the
+    restored totals).
+    """
+    from repro.serve.checkpoint import Checkpointer, discover_checkpoints
+    from repro.serve.service import PMWService
+
+    ledger_path = os.path.join(spec.directory, LEDGER_NAME)
+    ckpt_dir = os.path.join(spec.directory, CHECKPOINT_DIR)
+    os.makedirs(spec.directory, exist_ok=True)
+    has_history = (bool(discover_checkpoints(ckpt_dir))
+                   or os.path.exists(ledger_path))
+    if has_history:
+        service = Checkpointer.restore(
+            spec.datasets, ckpt_dir, ledger_path=ledger_path,
+            ledger_fsync=spec.ledger_fsync,
+            cache_policy=spec.cache_policy, rng=spec.rng)
+    else:
+        service = PMWService(
+            spec.datasets, ledger_path=ledger_path,
+            ledger_fsync=spec.ledger_fsync,
+            cache_policy=spec.cache_policy, rng=spec.rng)
+    checkpointer = Checkpointer(service, ckpt_dir,
+                                every_records=spec.checkpoint_every)
+    return service, checkpointer
+
+
+def shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Child-process entry point: serve the RPC loop until shutdown.
+
+    Every dispatch is wrapped so an application error (budget
+    exhausted, halted mechanism, unknown session) travels back as a
+    pickled exception and the loop continues — only ``shutdown``, EOF
+    on the pipe (parent died), or an injected fault ends the process.
+    """
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.telemetry import publish_service
+
+    service, checkpointer = build_service(spec)
+    registry = MetricsRegistry()
+    batches = registry.counter("shard.batches")
+    requests = registry.counter("shard.requests")
+    fault = spec.fault_plan or FaultPlan()
+    batch_count = 0
+
+    def metrics_snapshot() -> dict:
+        publish_service(registry, service)
+        return registry.snapshot()
+
+    try:
+        while True:
+            try:
+                verb, payload = conn.recv()
+            except (EOFError, OSError):
+                break  # supervisor is gone; release the ledger handle
+            try:
+                if verb == "serve_batch":
+                    batch_count += 1
+                    results = service.serve_session_batch(
+                        payload["session_id"], payload["queries"],
+                        use_cache=payload.get("use_cache", True),
+                        on_halt=payload.get("on_halt", "hypothesis"))
+                    batches.inc()
+                    requests.inc(len(payload["queries"]))
+                    checkpointer.maybe_checkpoint()
+                    if fault.exit_before_reply == batch_count:
+                        os._exit(EXIT_BEFORE_REPLY)
+                    reply = ("ok", results)
+                elif verb == "submit":
+                    result = service.submit(
+                        payload["session_id"], payload["query"],
+                        use_cache=payload.get("use_cache", True),
+                        on_halt=payload.get("on_halt", "raise"))
+                    requests.inc()
+                    checkpointer.maybe_checkpoint()
+                    reply = ("ok", result)
+                elif verb == "open_session":
+                    mechanism = payload.pop("mechanism")
+                    sid = service.open_session(mechanism, **payload)
+                    checkpointer.maybe_checkpoint()
+                    reply = ("ok", sid)
+                elif verb == "close_session":
+                    service.close_session(payload["session_id"])
+                    reply = ("ok", None)
+                elif verb == "session_ids":
+                    reply = ("ok", service.session_ids)
+                elif verb == "session_info":
+                    session = service.session(payload["session_id"])
+                    reply = ("ok", {
+                        "closed": session.closed,
+                        "mechanism": session.mechanism_name,
+                        "analyst": session.analyst,
+                    })
+                elif verb == "budget_records":
+                    reply = ("ok", {
+                        sid: service.session(sid).accountant.to_records()
+                        for sid in service.session_ids
+                    })
+                elif verb == "checkpoint":
+                    reply = ("ok", checkpointer.checkpoint())
+                elif verb == "metrics":
+                    reply = ("ok", metrics_snapshot())
+                elif verb == "ping":
+                    reply = ("ok", {
+                        "shard_id": spec.shard_id,
+                        "pid": os.getpid(),
+                        "sessions": len(service.session_ids),
+                        "ledger_seq": (service.ledger.last_seq
+                                       if service.ledger else -1),
+                    })
+                elif verb == "shutdown":
+                    final = metrics_snapshot()
+                    service.close()
+                    conn.send(("ok", final))
+                    return
+                else:
+                    reply = ("error", ValidationError(
+                        f"unknown shard verb {verb!r}"))
+            except BaseException as exc:  # noqa: BLE001 - RPC boundary
+                reply = ("error", exc)
+            try:
+                conn.send(reply)
+            except (TypeError, AttributeError, ValueError):
+                # Unpicklable result or exception: degrade to a typed,
+                # always-picklable error rather than killing the shard.
+                conn.send(("error", ValidationError(
+                    f"shard reply for {verb!r} was not picklable: "
+                    f"{reply[1]!r}")))
+            if fault.exit_after_batch == batch_count and verb == "serve_batch":
+                os._exit(EXIT_AFTER_BATCH)
+    finally:
+        service.close()
+
+
+__all__ = [
+    "CHECKPOINT_DIR", "EXIT_AFTER_BATCH", "EXIT_BEFORE_REPLY",
+    "FaultPlan", "LEDGER_NAME", "ShardSpec", "build_service",
+    "shard_worker_main",
+]

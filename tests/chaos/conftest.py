@@ -1,0 +1,58 @@
+"""Chaos-suite fixtures: hard per-test timeouts and small datasets.
+
+Kill-injection tests must never hang the suite: a bug that leaves a
+parent blocked on a pipe to a dead (or never-restored) shard would
+otherwise stall CI forever. There is no ``pytest-timeout`` in the
+environment, so the watchdog is a dependency-free SIGALRM: tests run
+in the main thread, and an alarm interrupts even a blocked
+``Connection.recv``.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import numpy as np
+import pytest
+
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+
+#: Hard wall-clock ceiling per chaos test (seconds). Generous — a
+#: normal run is a few seconds; this only exists to turn a hang into a
+#: loud failure.
+CHAOS_TEST_TIMEOUT = 180
+
+
+def pytest_collection_modifyitems(items):
+    """Everything under ``tests/chaos/`` is chaos-marked: the marker is
+    positional, not opt-in, so a new test file cannot forget it (CI
+    runs ``-m chaos`` as its own job)."""
+    for item in items:
+        if "/tests/chaos/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.chaos)
+
+
+@pytest.fixture(autouse=True)
+def chaos_watchdog():
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"chaos test exceeded the {CHAOS_TEST_TIMEOUT}s hard "
+            f"timeout — a shard restore or pipe read is likely hung")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(CHAOS_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture
+def cube_dataset():
+    universe = signed_cube(3)
+    rng = np.random.default_rng(12345)
+    weights = rng.dirichlet(np.full(universe.size, 0.7))
+    indices = rng.choice(universe.size, size=300, p=weights)
+    return Dataset(universe, indices)

@@ -1,0 +1,186 @@
+"""Reusable fault-injection harness for the sharded serving stack.
+
+The chaos suite's claims are *oracle-relative*: a sharded run that
+loses a shard mid-load and restores it must end bitwise-identical — in
+per-session accountant records and in released answer values — to a
+single-process :class:`~repro.serve.service.PMWService` run that never
+crashed. This module provides the shared pieces:
+
+- deterministic workload **plans** (an ordered list of per-session
+  batches with seeded queries),
+- the **oracle runner** (single process, same per-session integer
+  seeds, same batch order),
+- a **plan driver** for the sharded service that retries
+  :class:`~repro.exceptions.ShardUnavailable` through a caller-supplied
+  recovery hook (restore-and-retry is the documented client contract),
+- a multi-threaded **flood driver** for SIGKILL-under-load scenarios,
+  which records every outcome so the test can assert "typed shedding
+  or success — never silent loss".
+
+Determinism notes: every session gets an explicit integer rng seed
+(identical in both topologies — the single-process service's
+spawn-in-open-order default streams could not be reproduced across a
+different topology), and the oracle serves batches in the same
+per-session order the plan lists. Sessions are independent state
+machines, so cross-session interleaving differences cannot affect
+per-session streams.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.exceptions import ShardUnavailable
+from repro.losses.families import random_quadratic_family
+from repro.serve.service import PMWService
+
+#: Deterministic mechanism config shared by sharded runs and oracles.
+CHAOS_PARAMS = dict(
+    oracle="non-private", scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0,
+    delta=1e-6, schedule="calibrated", max_updates=4, solver_steps=30,
+)
+
+
+def session_seed(sid: str) -> int:
+    """Stable per-session integer seed, identical in every topology."""
+    return 10_000 + sum(sid.encode())
+
+
+def chaos_session_ids(count: int) -> list[str]:
+    return [f"an-{index:02d}" for index in range(count)]
+
+
+def open_chaos_sessions(service, sids) -> None:
+    for sid in sids:
+        service.open_session("pmw-convex", session_id=sid, analyst=sid,
+                             rng=session_seed(sid), **CHAOS_PARAMS)
+
+
+def build_plan(universe, sids, *, rounds: int = 3,
+               batch_size: int = 2) -> list[tuple[str, list]]:
+    """Round-robin batch plan: ``rounds`` seeded batches per session."""
+    plan = []
+    for round_index in range(rounds):
+        for sid in sids:
+            queries = random_quadratic_family(
+                universe, batch_size,
+                rng=round_index * 1000 + session_seed(sid))
+            plan.append((sid, queries))
+    return plan
+
+
+def oracle_run(dataset, sids, plan, ledger_path):
+    """The crash-free ground truth: one process, same seeds, same plan.
+
+    Returns ``(budget_records, answers)`` where ``answers[i]`` is the
+    list of released values for ``plan[i]``.
+    """
+    answers = []
+    with PMWService(dataset, ledger_path=ledger_path,
+                    ledger_fsync=False) as service:
+        open_chaos_sessions(service, sids)
+        for sid, queries in plan:
+            results = service.serve_session_batch(sid, queries)
+            answers.append([result.value for result in results])
+        records = {sid: service.session(sid).accountant.to_records()
+                   for sid in sids}
+    return records, answers
+
+
+def drive_plan(service, plan, *, on_unavailable):
+    """Run a plan against a sharded service, recovering through
+    ``on_unavailable(exc)`` (which must leave the shard serveable —
+    e.g. restore + wait) and retrying the failed batch. Returns
+    ``(answers, sheds)`` where ``sheds`` lists every typed failure
+    observed — the caller asserts both the values *and* that failures
+    were the expected typed kind at the expected point."""
+    answers = []
+    sheds = []
+    for sid, queries in plan:
+        try:
+            results = service.serve_session_batch(sid, queries)
+        except ShardUnavailable as exc:
+            sheds.append(exc)
+            on_unavailable(exc)
+            results = service.serve_session_batch(sid, queries)
+        answers.append([result.value for result in results])
+    return answers, sheds
+
+
+def assert_answers_equal(actual, expected) -> None:
+    assert len(actual) == len(expected)
+    for batch_index, (got, want) in enumerate(zip(actual, expected)):
+        assert len(got) == len(want), f"batch {batch_index} length"
+        for value_index, (a, b) in enumerate(zip(got, want)):
+            assert np.array_equal(np.asarray(a), np.asarray(b)), (
+                f"batch {batch_index} answer {value_index} diverged")
+
+
+class FloodResult:
+    """Outcome log of one flooding thread: every batch either completed
+    or raised — the lists here are the proof there was no third,
+    silent, outcome."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.shed: list[ShardUnavailable] = []
+        self.unexpected: list[BaseException] = []
+
+
+class Flood:
+    """Hammer every session from its own thread until told to stop.
+
+    Usage::
+
+        storm = Flood(service, sids, universe)
+        storm.start()
+        ...  # inject faults from the main thread
+        results = storm.finish()
+
+    :class:`ShardUnavailable` is recorded and the thread backs off
+    briefly and retries (the documented client contract); anything else
+    is recorded as unexpected and fails the test.
+    """
+
+    def __init__(self, service, sids, universe, *,
+                 batch_size: int = 2) -> None:
+        self.service = service
+        self.sids = list(sids)
+        self.universe = universe
+        self.batch_size = batch_size
+        self.stop = threading.Event()
+        self.results = [FloodResult() for _ in self.sids]
+        self._threads = [
+            threading.Thread(target=self._run, args=(sid, outcome))
+            for sid, outcome in zip(self.sids, self.results)
+        ]
+
+    def _run(self, sid: str, outcome: FloodResult) -> None:
+        round_index = 0
+        while not self.stop.is_set():
+            queries = random_quadratic_family(
+                self.universe, self.batch_size,
+                rng=round_index * 1000 + session_seed(sid))
+            round_index += 1
+            try:
+                self.service.serve_session_batch(sid, queries)
+                outcome.completed += 1
+            except ShardUnavailable as exc:
+                outcome.shed.append(exc)
+                self.stop.wait(0.05)
+            except BaseException as exc:  # noqa: BLE001 - recorded+asserted
+                outcome.unexpected.append(exc)
+                return
+
+    def start(self) -> "Flood":
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def finish(self) -> list[FloodResult]:
+        self.stop.set()
+        for thread in self._threads:
+            thread.join()
+        return self.results

@@ -1,0 +1,240 @@
+"""Chaos suite: kill shards, restore them, demand bitwise equality.
+
+The sharded service's headline claim (ISSUE 7): a killed shard is
+restored from checkpoint + journal suffix with *bitwise-exact* ledger
+totals, in-flight requests on the dead shard fail with a typed
+:class:`~repro.exceptions.ShardUnavailable` (never silent loss), and a
+retry after restore never double-spends. Every test here compares
+against ground truth — a single-process oracle run or the shard's own
+write-ahead journal — not against "looks plausible".
+
+Kill mechanics covered:
+
+- deterministic in-worker kill points (``FaultPlan``): ``os._exit``
+  after the reply is flushed, and after the spend is journaled but
+  *before* the reply — the double-spend-on-retry trap;
+- SIGKILL from outside under multi-threaded load, with auto-restore;
+- a torn (half-written) journal record injected after the kill, which
+  restore must truncate and survive.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from harness import (
+    Flood,
+    assert_answers_equal,
+    build_plan,
+    chaos_session_ids,
+    drive_plan,
+    open_chaos_sessions,
+    oracle_run,
+)
+from repro.exceptions import ShardUnavailable
+from repro.serve.ledger import replay_ledger
+from repro.serve.shard import FaultPlan, ShardedService
+from repro.serve.shard.router import ConsistentHashRouter
+from repro.serve.shard.worker import LEDGER_NAME
+
+pytestmark = pytest.mark.chaos
+
+SIDS = chaos_session_ids(6)
+#: Routing is a pure function of (session id, topology), so the victim
+#: shard — the one owning SIDS[0] — is known before any process exists.
+VICTIM = ConsistentHashRouter(["shard-00", "shard-01"]).route(SIDS[0])
+
+
+class TestDeterministicKillPoints:
+    def run_killpoint(self, cube_dataset, tmp_path, fault: FaultPlan):
+        plan = build_plan(cube_dataset.universe, SIDS, rounds=3)
+        oracle_records, oracle_answers = oracle_run(
+            cube_dataset, SIDS, plan, tmp_path / "oracle.jsonl")
+
+        service = ShardedService(
+            cube_dataset, tmp_path / "dep", shards=2, checkpoint_every=1,
+            ledger_fsync=False, rng=0, auto_restore=False,
+            fault_plans={VICTIM: fault})
+        try:
+            open_chaos_sessions(service, SIDS)
+
+            def recover(exc: ShardUnavailable):
+                assert exc.shard_id == VICTIM
+                service.restore_shard(VICTIM)
+                service.wait_alive(VICTIM)
+
+            answers, sheds = drive_plan(service, plan,
+                                        on_unavailable=recover)
+            records = service.budget_records()
+        finally:
+            service.close()
+        return oracle_records, oracle_answers, records, answers, sheds
+
+    def test_kill_after_journal_before_reply(self, cube_dataset, tmp_path):
+        """The worker journals + checkpoints the batch, then dies before
+        replying. The client sees a typed shed and retries the same
+        batch after restore; the restored cache replays the released
+        answers at zero budget — bitwise-equal totals AND values versus
+        the crash-free oracle, with no double-spend."""
+        oracle_records, oracle_answers, records, answers, sheds = (
+            self.run_killpoint(cube_dataset, tmp_path,
+                               FaultPlan(exit_before_reply=2)))
+        assert len(sheds) == 1
+        assert sheds[0].reason in ("died-in-flight", "dead")
+        assert records == oracle_records
+        assert_answers_equal(answers, oracle_answers)
+
+    def test_kill_after_reply(self, cube_dataset, tmp_path):
+        """The worker dies right after flushing a reply. The *next*
+        batch routed to it sheds typed; after restore the continuation
+        serves fresh from exactly the pre-kill state — bitwise-equal to
+        the oracle."""
+        oracle_records, oracle_answers, records, answers, sheds = (
+            self.run_killpoint(cube_dataset, tmp_path,
+                               FaultPlan(exit_after_batch=2)))
+        assert len(sheds) == 1
+        assert records == oracle_records
+        assert_answers_equal(answers, oracle_answers)
+
+
+class TestSigkillUnderLoad:
+    def test_sigkill_auto_restore_exact_totals(self, cube_dataset,
+                                               tmp_path):
+        service = ShardedService(
+            cube_dataset, tmp_path / "dep", shards=2, checkpoint_every=1,
+            ledger_fsync=False, rng=0, auto_restore=True)
+        try:
+            open_chaos_sessions(service, SIDS)
+            storm = Flood(service, SIDS, cube_dataset.universe).start()
+            try:
+                # Let batches flow on both shards before pulling the rug.
+                deadline = time.monotonic() + 10.0
+                while (min(r.completed for r in storm.results) < 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+                service.kill_shard(VICTIM)
+                service.wait_alive(VICTIM, timeout=60)
+                time.sleep(0.3)  # post-restore traffic on the new worker
+            finally:
+                results = storm.finish()
+
+            # 1. Never silent loss: every batch completed or shed typed.
+            for outcome in results:
+                assert outcome.unexpected == []
+            assert sum(r.completed for r in results) > 0
+            all_sheds = [exc for r in results for exc in r.shed]
+            assert all_sheds, "the kill landed but nothing was shed"
+            assert {exc.shard_id for exc in all_sheds} == {VICTIM}
+
+            # 2. The supervisor saw exactly one death and one restore.
+            snapshot = service.metrics_snapshot()
+            by_name = {}
+            for record in snapshot["counters"]:
+                by_name.setdefault(record["name"], {})[
+                    record["labels"].get("shard")] = record["value"]
+            assert by_name["shard.deaths"][VICTIM] == 1
+            assert by_name["shard.restarts"][VICTIM] == 1
+
+            # 3. No double-spend, no lost spend: every live accountant
+            # is bitwise what replaying its shard's write-ahead journal
+            # produces.
+            records = service.budget_records()
+            assert set(records) == set(SIDS)
+            for shard_id in service.shard_ids:
+                ledger_path = os.path.join(service.shard_dir(shard_id),
+                                           LEDGER_NAME)
+                state = replay_ledger(ledger_path)
+                for sid in state.session_ids:
+                    assert (state.accountant_for(sid).to_records()
+                            == records[sid]), (
+                        f"{sid} on {shard_id}: journal and accountant "
+                        f"disagree after SIGKILL + restore")
+
+            # 4. The deployment still serves on every shard.
+            follow_up = build_plan(cube_dataset.universe, SIDS, rounds=1)
+            for sid, queries in follow_up:
+                assert len(service.serve_session_batch(sid, queries)) == 2
+        finally:
+            service.close()
+
+
+class TestTornWriteInjection:
+    def test_torn_journal_tail_is_truncated_on_restore(self, cube_dataset,
+                                                       tmp_path):
+        """SIGKILL, then corrupt the dead shard's journal with a
+        half-written record (what a crash mid-``write`` leaves). The
+        restored worker must truncate the torn tail and come back with
+        the pre-kill totals exactly."""
+        service = ShardedService(
+            cube_dataset, tmp_path / "dep", shards=1, checkpoint_every=3,
+            ledger_fsync=False, rng=0, auto_restore=False)
+        try:
+            open_chaos_sessions(service, SIDS[:3])
+            plan = build_plan(cube_dataset.universe, SIDS[:3], rounds=2)
+            for sid, queries in plan:
+                service.serve_session_batch(sid, queries)
+            before = service.budget_records()
+
+            service.kill_shard("shard-00")
+            ledger_path = os.path.join(service.shard_dir("shard-00"),
+                                       LEDGER_NAME)
+            with open(ledger_path, "ab") as handle:
+                handle.write(b'{"type": "spend", "session": "an-00", "ep')
+            service.restore_shard("shard-00")
+            service.wait_alive("shard-00")
+
+            assert service.budget_records() == before
+            sid, queries = plan[0]
+            results = service.serve_session_batch(sid, queries)
+            assert [r.source for r in results] == ["cache", "cache"]
+        finally:
+            service.close()
+
+
+class TestConcurrentMetricsPull:
+    def test_metrics_snapshot_is_safe_under_load(self, cube_dataset,
+                                                 tmp_path):
+        """Pulling merged metrics while every shard is serving must
+        neither deadlock nor tear: counters only grow between pulls."""
+        service = ShardedService(
+            cube_dataset, tmp_path / "dep", shards=2,
+            ledger_fsync=False, rng=0, auto_restore=True)
+        try:
+            open_chaos_sessions(service, SIDS)
+            storm = Flood(service, SIDS, cube_dataset.universe).start()
+            try:
+                seen = []
+                for _ in range(5):
+                    snapshot = service.metrics_snapshot(per_shard=False)
+                    total = sum(
+                        record["value"]
+                        for record in snapshot["counters"]
+                        if record["name"] == "shard.requests")
+                    seen.append(total)
+                    time.sleep(0.05)
+            finally:
+                results = storm.finish()
+            for outcome in results:
+                assert outcome.unexpected == []
+            assert seen == sorted(seen), "merged request counter regressed"
+        finally:
+            service.close()
+
+
+def test_harness_flood_threads_are_daemonless(cube_dataset, tmp_path):
+    """The harness itself must not leak: after ``finish()`` no flood
+    thread survives (a leaked thread would hold a pipe handle and wedge
+    ``close``)."""
+    service = ShardedService(cube_dataset, tmp_path / "dep", shards=1,
+                             ledger_fsync=False, rng=0)
+    try:
+        open_chaos_sessions(service, SIDS[:2])
+        storm = Flood(service, SIDS[:2], cube_dataset.universe).start()
+        time.sleep(0.2)
+        storm.finish()
+        assert all(not t.is_alive() for t in storm._threads)
+        assert threading.active_count() < 20
+    finally:
+        service.close()

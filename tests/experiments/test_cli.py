@@ -13,8 +13,9 @@ class TestCLI:
             assert key in out
 
     def test_every_bench_has_a_cli_entry(self):
-        """Keep the CLI in sync with the experiment index (E1-E16)."""
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 17)}
+        """Keep the CLI in sync with the experiment index (E1-E16 plus
+        the serving-layer demos that share their benchmark's number)."""
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 17)} | {"e22"}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):
@@ -100,3 +101,48 @@ class TestOperatorVerbs:
         out = capsys.readouterr().out
         assert "crash recovery" in out
         assert "True" in out  # bitwise-exact columns
+
+
+class TestShardsVerb:
+    """The `shards` failover-readiness verb + e22 demo (PR 7)."""
+
+    @pytest.fixture
+    def sharded_deployment(self, tmp_path):
+        from repro.data.synthetic import make_classification_dataset
+        from repro.losses.families import random_quadratic_family
+        from repro.serve.shard import ShardedService
+
+        task = make_classification_dataset(n=300, d=3, universe_size=40,
+                                           rng=0)
+        deploy = tmp_path / "deploy"
+        with ShardedService(task.dataset, deploy, shards=2,
+                            checkpoint_every=1, ledger_fsync=False,
+                            rng=0) as service:
+            for index in range(3):
+                sid = service.open_session(
+                    "pmw-convex", session_id=f"an-{index}",
+                    analyst=f"an-{index}", rng=100 + index,
+                    oracle="non-private", scale=4.0, alpha=0.4,
+                    epsilon=2.0, delta=1e-6, max_updates=4,
+                    solver_steps=30)
+                service.serve_session_batch(
+                    sid, random_quadratic_family(task.universe, 2,
+                                                 rng=index))
+        return deploy
+
+    def test_shards_status_verb(self, sharded_deployment, capsys):
+        assert main(["shards", "--dir", str(sharded_deployment)]) == 0
+        out = capsys.readouterr().out
+        assert "topology: 2 shards x 128 vnodes" in out
+        assert "shard-00" in out and "shard-01" in out
+        assert "checkpoint(s)" in out
+
+    def test_shards_status_not_a_deployment(self, tmp_path, capsys):
+        assert main(["shards", "--dir", str(tmp_path)]) == 1
+        assert "no topology.json" in capsys.readouterr().out
+
+    def test_e22_demo_runs(self, capsys):
+        assert main(["e22"]) == 0
+        out = capsys.readouterr().out
+        assert "session sharding" in out
+        assert "True" in out  # totals bitwise-exact column

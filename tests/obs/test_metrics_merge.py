@@ -1,0 +1,190 @@
+"""Cross-process metrics aggregation must be *exact*.
+
+The sharded service merges per-shard registry snapshots into one
+document (:meth:`MetricsRegistry.merge_snapshot`). The claim under
+test: merging N registries is indistinguishable from having recorded
+everything into one registry — counters sum, histogram bucket counts
+and the explicit overflow counter add bucket-wise, nothing is smeared
+or resampled — including when the source registries were recorded into
+concurrently.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.obs.registry import LogScaleHistogram, MetricsRegistry
+
+
+def snapshot_by_name(snapshot: dict, kind: str) -> dict:
+    return {(record["name"], tuple(sorted(record["labels"].items()))): record
+            for record in snapshot[kind]}
+
+
+def assert_snapshots_equal(left: dict, right: dict) -> None:
+    """Exact on every integer-valued field (counters, bucket counts,
+    ``count``, ``overflow``, ``max``); histogram ``total`` is a float
+    *sum*, so merge order may regroup the additions — it gets an
+    ulp-level tolerance instead of bitwise equality."""
+    assert left["counters"] == right["counters"]
+    assert left["gauges"] == right["gauges"]
+    assert len(left["histograms"]) == len(right["histograms"])
+    for mine, theirs in zip(left["histograms"], right["histograms"]):
+        mine, theirs = dict(mine), dict(theirs)
+        assert mine.pop("total") == pytest.approx(theirs.pop("total"),
+                                                  rel=1e-12)
+        assert mine == theirs
+
+
+def record_samples(registry: MetricsRegistry, samples) -> None:
+    for value in samples:
+        registry.counter("requests").inc()
+        registry.histogram("latency").observe(value)
+
+
+class TestExactAggregation:
+    def test_sum_of_shards_equals_aggregate(self):
+        # Samples spanning 9 decades, plus values >= the histogram's
+        # ``high`` bound so the overflow counter is exercised.
+        shards = [
+            [1e-6 * (i + 1) for i in range(50)],
+            [0.5 * (i + 1) for i in range(50)],
+            [2e4, 5e4, 1e-8, 3.0, 3.0, 3.0],
+        ]
+        parts = []
+        for samples in shards:
+            registry = MetricsRegistry()
+            record_samples(registry, samples)
+            parts.append(registry.snapshot())
+        oracle = MetricsRegistry()
+        for samples in shards:
+            record_samples(oracle, samples)
+
+        merged = MetricsRegistry()
+        for part in parts:
+            merged.merge_snapshot(part)
+        assert_snapshots_equal(merged.snapshot(), oracle.snapshot())
+
+    def test_histogram_buckets_and_overflow_are_preserved(self):
+        left = LogScaleHistogram()
+        right = LogScaleHistogram()
+        for value in (1e-4, 2e-3, 5.0, 2e4):
+            left.observe(value)
+        for value in (1e-4, 7.7, 9e4, 8e4):
+            right.observe(value)
+        merged = LogScaleHistogram.from_snapshot(left.state())
+        merged.merge_state(right.state())
+
+        both = LogScaleHistogram()
+        for value in (1e-4, 2e-3, 5.0, 2e4, 1e-4, 7.7, 9e4, 8e4):
+            both.observe(value)
+        mine, theirs = merged.state(), both.state()
+        assert mine.pop("total") == pytest.approx(theirs.pop("total"),
+                                                  rel=1e-12)
+        assert mine == theirs
+        assert merged.overflow == 3
+
+    def test_merge_is_associative_across_order(self):
+        parts = []
+        for seed in range(4):
+            registry = MetricsRegistry()
+            record_samples(registry,
+                           [1e-5 * (seed + 1) * (i + 1) for i in range(20)])
+            parts.append(registry.snapshot())
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge_snapshot(part)
+        backward = MetricsRegistry()
+        for part in reversed(parts):
+            backward.merge_snapshot(part)
+        assert_snapshots_equal(forward.snapshot(), backward.snapshot())
+
+
+class TestConcurrentRecording:
+    def test_concurrent_shard_recording_merges_exactly(self):
+        """Four registries hammered by four threads each, then merged:
+        the merged totals must equal the known ground truth — no sample
+        lost to a race either during recording or during the merge."""
+        registries = [MetricsRegistry() for _ in range(4)]
+        per_thread = 500
+        threads = []
+
+        def hammer(registry, base):
+            for index in range(per_thread):
+                registry.counter("requests").inc()
+                registry.counter("work", {"kind": "batch"}).inc(2)
+                registry.histogram("latency").observe(base * (index + 1))
+
+        for shard_index, registry in enumerate(registries):
+            for thread_index in range(4):
+                threads.append(threading.Thread(
+                    target=hammer,
+                    args=(registry, 1e-6 * (shard_index + thread_index + 1))))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        merged = MetricsRegistry()
+        for registry in registries:
+            merged.merge_snapshot(registry.snapshot())
+        total = len(registries) * 4 * per_thread
+        counters = snapshot_by_name(merged.snapshot(), "counters")
+        assert counters[("requests", ())]["value"] == total
+        assert counters[("work", (("kind", "batch"),))]["value"] == 2 * total
+        histograms = snapshot_by_name(merged.snapshot(), "histograms")
+        record = histograms[("latency", ())]
+        assert record["count"] == total
+        assert sum(count for _, count in record["counts"]) == total
+        assert record["overflow"] == 0
+
+
+class TestMergeSemantics:
+    def test_labels_keep_shard_series_apart(self):
+        parts = []
+        for shard in ("shard-00", "shard-01"):
+            registry = MetricsRegistry()
+            registry.counter("requests").inc(3)
+            registry.gauge("queue_depth").set(7)
+            parts.append((shard, registry.snapshot()))
+        merged = MetricsRegistry()
+        for shard, part in parts:
+            merged.merge_snapshot(part, labels={"shard": shard})
+        counters = snapshot_by_name(merged.snapshot(), "counters")
+        assert counters[("requests", (("shard", "shard-00"),))]["value"] == 3
+        assert counters[("requests", (("shard", "shard-01"),))]["value"] == 3
+        gauges = snapshot_by_name(merged.snapshot(), "gauges")
+        assert gauges[("queue_depth", (("shard", "shard-01"),))]["value"] == 7
+
+    def test_incoming_label_wins_over_extra_label(self):
+        source = MetricsRegistry()
+        source.counter("requests", {"shard": "original"}).inc(5)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(source.snapshot(),
+                              labels={"shard": "overridden"})
+        counters = snapshot_by_name(merged.snapshot(), "counters")
+        assert ("requests", (("shard", "original"),)) in counters
+
+    def test_gauges_take_last_merged_value(self):
+        first = MetricsRegistry()
+        first.gauge("alive").set(1)
+        second = MetricsRegistry()
+        second.gauge("alive").set(0)
+        merged = MetricsRegistry()
+        merged.merge_snapshot(first.snapshot())
+        merged.merge_snapshot(second.snapshot())
+        gauges = snapshot_by_name(merged.snapshot(), "gauges")
+        assert gauges[("alive", ())]["value"] == 0
+
+    def test_layout_mismatch_raises(self):
+        coarse = MetricsRegistry()
+        coarse.histogram("latency", buckets_per_decade=5).observe(0.1)
+        fine = MetricsRegistry()
+        fine.histogram("latency").observe(0.1)
+        with pytest.raises(ValidationError):
+            fine.merge_snapshot(coarse.snapshot())
+
+    def test_non_snapshot_document_raises(self):
+        with pytest.raises(ValidationError):
+            MetricsRegistry().merge_snapshot({"format": "bogus"})

@@ -1,0 +1,124 @@
+"""Property tests for the consistent-hash session→shard router.
+
+Three load-bearing claims (the routing layer of
+:mod:`repro.serve.shard`):
+
+1. **Restart stability** — routing is a pure function of (session id,
+   topology): two independently built routers agree on every
+   assignment, so a restarted supervisor can never misroute a session
+   whose shard directory already holds its ledger.
+2. **Exact locality of resharding** — removing a shard remaps *only*
+   that shard's sessions (survivor-to-survivor moves are impossible by
+   construction), and adding a shard only *steals* sessions (every
+   changed session maps to the new shard). These are exact invariants,
+   not statistical ones.
+3. **Bounded churn** — the fraction of sessions remapped by a
+   one-shard topology change stays ≤ 1/n + ε, the consistent-hashing
+   bound that makes resharding affordable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.shard.router import ConsistentHashRouter
+
+session_ids = st.sets(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+        min_size=1, max_size=24,
+    ),
+    min_size=1, max_size=200,
+)
+
+shard_counts = st.integers(min_value=2, max_value=6)
+
+
+def shard_names(n: int) -> list[str]:
+    return [f"shard-{index:02d}" for index in range(n)]
+
+
+class TestRestartStability:
+    @given(sids=session_ids, n=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_independent_routers_agree(self, sids, n):
+        first = ConsistentHashRouter(shard_names(n))
+        second = ConsistentHashRouter(shard_names(n))
+        assert first.assignments(sids) == second.assignments(sids)
+
+    @given(sids=session_ids, n=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_order_is_irrelevant(self, sids, n):
+        forward = ConsistentHashRouter(shard_names(n))
+        backward = ConsistentHashRouter(reversed(shard_names(n)))
+        assert forward.assignments(sids) == backward.assignments(sids)
+
+
+class TestReshardingLocality:
+    @given(sids=session_ids, n=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_remove_only_remaps_the_removed_shards_sessions(self, sids, n):
+        router = ConsistentHashRouter(shard_names(n))
+        before = router.assignments(sids)
+        removed = shard_names(n)[-1]
+        router.remove_shard(removed)
+        after = router.assignments(sids)
+        for sid in sids:
+            if before[sid] == removed:
+                assert after[sid] != removed
+            else:
+                assert after[sid] == before[sid]
+
+    @given(sids=session_ids, n=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_add_only_steals_sessions_for_the_new_shard(self, sids, n):
+        router = ConsistentHashRouter(shard_names(n))
+        before = router.assignments(sids)
+        router.add_shard("shard-new")
+        after = router.assignments(sids)
+        for sid in sids:
+            if after[sid] != before[sid]:
+                assert after[sid] == "shard-new"
+
+    @given(sids=session_ids, n=shard_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_remove_then_readd_roundtrips(self, sids, n):
+        router = ConsistentHashRouter(shard_names(n))
+        before = router.assignments(sids)
+        removed = shard_names(n)[0]
+        router.remove_shard(removed)
+        router.add_shard(removed)
+        assert router.assignments(sids) == before
+
+
+class TestBoundedChurn:
+    @given(n=shard_counts, seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_add_remaps_at_most_one_nth_plus_epsilon(self, n, seed):
+        # A fixed large id population per seed: the 1/n bound is about
+        # the *expected* arc length owned by the new shard, so it needs
+        # enough sessions for the empirical fraction to concentrate.
+        sids = [f"session-{seed}-{index}" for index in range(2000)]
+        router = ConsistentHashRouter(shard_names(n))
+        before = router.assignments(sids)
+        router.add_shard("shard-new")
+        after = router.assignments(sids)
+        moved = sum(1 for sid in sids if after[sid] != before[sid])
+        # ε = 0.08 absorbs vnode placement variance at 128 vnodes/shard
+        # over a 2000-session sample (observed spread is ~±0.03).
+        assert moved / len(sids) <= 1.0 / (n + 1) + 0.08
+
+
+class TestValidation:
+    def test_duplicate_and_unknown_shards_raise(self):
+        from repro.exceptions import ValidationError
+
+        import pytest
+
+        router = ConsistentHashRouter(["a", "b"])
+        with pytest.raises(ValidationError):
+            router.add_shard("a")
+        with pytest.raises(ValidationError):
+            router.remove_shard("missing")
+        router.remove_shard("b")
+        with pytest.raises(ValidationError):
+            router.remove_shard("a")  # never empty the ring

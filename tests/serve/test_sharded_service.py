@@ -1,0 +1,282 @@
+"""Integration tests for :class:`repro.serve.shard.ShardedService`.
+
+Real worker processes, small datasets. Crash/failover *under load* is
+the chaos suite's job (``tests/chaos/``); here we pin the supervisor's
+contracts: routing and topology persistence, the serving surface the
+gateway fronts, typed :class:`ShardUnavailable` shedding, per-shard
+metrics aggregation, and teardown ordering (final shard telemetry is
+captured before ledgers close).
+"""
+
+import os
+
+import pytest
+
+from repro.exceptions import ShardUnavailable, ValidationError
+from repro.losses.families import random_quadratic_family
+from repro.serve.shard import ConsistentHashRouter, ShardedService
+
+#: Fast mechanism config for plumbing tests (mechanics, not accuracy).
+SHARD_PARAMS = dict(
+    oracle="non-private", scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0,
+    delta=1e-6, schedule="calibrated", max_updates=4, solver_steps=30,
+)
+
+
+@pytest.fixture
+def sharded(cube_dataset, tmp_path):
+    service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                             checkpoint_every=4, ledger_fsync=False, rng=0)
+    yield service
+    service.close()
+
+
+def open_analysts(service, count, *, prefix="an"):
+    return [
+        service.open_session("pmw-convex", session_id=f"{prefix}-{i:02d}",
+                             analyst=f"{prefix}-{i:02d}", rng=1000 + i,
+                             **SHARD_PARAMS)
+        for i in range(count)
+    ]
+
+
+class TestRoutingAndSessions:
+    def test_sessions_route_by_consistent_hash(self, sharded):
+        sids = open_analysts(sharded, 8)
+        router = ConsistentHashRouter(sharded.shard_ids)
+        for sid in sids:
+            assert sharded.shard_of(sid) == router.route(sid)
+
+    def test_shards_own_disjoint_session_sets(self, sharded, cube_dataset):
+        open_analysts(sharded, 8)
+        per_shard = {
+            shard_id: set(sharded._handles[shard_id].call("session_ids"))
+            for shard_id in sharded.shard_ids
+        }
+        union = set().union(*per_shard.values())
+        assert union == set(sharded.session_ids)
+        assert sum(len(owned) for owned in per_shard.values()) == len(union)
+
+    def test_serve_submit_and_close_session(self, sharded, cube_dataset):
+        (sid,) = open_analysts(sharded, 1)
+        queries = random_quadratic_family(cube_dataset.universe, 3, rng=7)
+        results = sharded.serve_session_batch(sid, queries)
+        assert len(results) == 3
+        assert all(result.session_id == sid for result in results)
+        single = sharded.submit(sid, queries[0])
+        assert single.source == "cache"  # released answers replay free
+        sharded.close_session(sid)
+        assert sharded.session(sid).closed
+        with pytest.raises(Exception):
+            sharded.serve_session_batch(sid, queries)
+
+    def test_duplicate_and_unknown_sessions_raise(self, sharded):
+        open_analysts(sharded, 1)
+        with pytest.raises(ValidationError):
+            sharded.open_session("pmw-convex", session_id="an-00",
+                                 **SHARD_PARAMS)
+        with pytest.raises(ValidationError):
+            sharded.session("nonexistent")
+
+    def test_live_generator_rng_is_refused(self, sharded):
+        import numpy as np
+
+        with pytest.raises(ValidationError):
+            sharded.open_session("pmw-convex",
+                                 rng=np.random.default_rng(0),
+                                 **SHARD_PARAMS)
+
+
+class TestTopologyPersistence:
+    def test_mismatched_reattach_is_refused(self, cube_dataset, tmp_path):
+        first = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                               ledger_fsync=False)
+        first.close()
+        with pytest.raises(ValidationError):
+            ShardedService(cube_dataset, tmp_path / "dep", shards=3,
+                           ledger_fsync=False)
+
+    def test_full_restart_restores_sessions(self, cube_dataset, tmp_path):
+        queries = random_quadratic_family(cube_dataset.universe, 4, rng=3)
+        first = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                               checkpoint_every=1, ledger_fsync=False, rng=0)
+        sids = open_analysts(first, 4)
+        for sid in sids:
+            first.serve_session_batch(sid, queries)
+        before = first.budget_records()
+        first.close()
+
+        second = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                checkpoint_every=1, ledger_fsync=False,
+                                rng=0)
+        try:
+            # Worker-side state (ledger + checkpoint) is the authority;
+            # the new supervisor's stubs repopulate on demand, but the
+            # restored accountants must be bitwise what we left.
+            assert second.budget_records() == before
+        finally:
+            second.close()
+
+
+class TestFailureShedding:
+    def test_dead_shard_sheds_typed(self, cube_dataset, tmp_path):
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                 ledger_fsync=False, auto_restore=False)
+        try:
+            sids = open_analysts(service, 4)
+            victim_shard = service.shard_of(sids[0])
+            service.kill_shard(victim_shard)
+            queries = random_quadratic_family(cube_dataset.universe, 2,
+                                              rng=5)
+            with pytest.raises(ShardUnavailable) as info:
+                service.serve_session_batch(sids[0], queries)
+            assert info.value.shard_id == victim_shard
+            assert info.value.session_id == sids[0]
+            # Sessions on the surviving shard keep serving.
+            survivor = next(sid for sid in sids
+                            if service.shard_of(sid) != victim_shard)
+            assert len(service.serve_session_batch(survivor, queries)) == 2
+            states = service.shard_states()
+            assert states[victim_shard] is False
+            assert sum(states.values()) == 1
+        finally:
+            service.close()
+
+    def test_manual_restore_after_kill(self, cube_dataset, tmp_path):
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                 checkpoint_every=1, ledger_fsync=False,
+                                 auto_restore=False)
+        try:
+            sids = open_analysts(service, 4)
+            queries = random_quadratic_family(cube_dataset.universe, 3,
+                                              rng=5)
+            for sid in sids:
+                service.serve_session_batch(sid, queries)
+            before = service.budget_records()
+            victim_shard = service.shard_of(sids[0])
+            service.kill_shard(victim_shard)
+            service.restore_shard(victim_shard)
+            service.wait_alive(victim_shard)
+            assert service.budget_records() == before
+        finally:
+            service.close()
+
+    def test_closed_service_refuses_work(self, cube_dataset, tmp_path):
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                 ledger_fsync=False)
+        sids = open_analysts(service, 1)
+        service.close()
+        service.close()  # idempotent
+        with pytest.raises(ValidationError):
+            service.open_session("pmw-convex", **SHARD_PARAMS)
+        with pytest.raises(ValidationError):
+            service.serve_session_batch(sids[0], [])
+
+
+class TestMetricsAggregation:
+    def test_snapshot_merges_shard_series_with_labels(self, sharded,
+                                                      cube_dataset):
+        sids = open_analysts(sharded, 6)
+        queries = random_quadratic_family(cube_dataset.universe, 2, rng=9)
+        for sid in sids:
+            sharded.serve_session_batch(sid, queries)
+        snapshot = sharded.metrics_snapshot()
+        batch_counters = [record for record in snapshot["counters"]
+                          if record["name"] == "shard.batches"]
+        shards_seen = {record["labels"]["shard"]
+                       for record in batch_counters}
+        assert shards_seen == set(sharded.shard_ids)
+        assert (sum(record["value"] for record in batch_counters)
+                == len(sids))
+        alive = [record for record in snapshot["gauges"]
+                 if record["name"] == "shard.alive"]
+        assert {record["labels"]["shard"]: record["value"]
+                for record in alive} == {s: 1 for s in sharded.shard_ids}
+        spent = [record for record in snapshot["gauges"]
+                 if record["name"] == "budget.epsilon_spent"]
+        assert {record["labels"]["session"] for record in spent} == set(sids)
+
+    def test_aggregate_snapshot_sums_across_shards(self, sharded,
+                                                   cube_dataset):
+        sids = open_analysts(sharded, 6)
+        queries = random_quadratic_family(cube_dataset.universe, 2, rng=9)
+        for sid in sids:
+            sharded.serve_session_batch(sid, queries)
+        aggregate = sharded.metrics_snapshot(per_shard=False)
+        requests = [record for record in aggregate["counters"]
+                    if record["name"] == "shard.requests"
+                    and record["labels"] == {}]
+        assert len(requests) == 1
+        assert requests[0]["value"] == len(sids) * len(queries)
+
+    def test_final_telemetry_survives_close(self, cube_dataset, tmp_path):
+        """The shutdown-ordering guarantee: the last per-shard pull
+        happens before ledgers close, so a post-mortem snapshot still
+        carries every shard's final numbers."""
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                 ledger_fsync=False)
+        sids = open_analysts(service, 4)
+        queries = random_quadratic_family(cube_dataset.universe, 2, rng=9)
+        for sid in sids:
+            service.serve_session_batch(sid, queries)
+        service.close()
+        snapshot = service.metrics_snapshot()
+        batch_counters = [record for record in snapshot["counters"]
+                          if record["name"] == "shard.batches"]
+        assert (sum(record["value"] for record in batch_counters)
+                == len(sids))
+        spent = [record for record in snapshot["gauges"]
+                 if record["name"] == "budget.epsilon_spent"]
+        assert {record["labels"]["session"] for record in spent} == set(sids)
+
+
+class TestGatewayFront:
+    def test_gateway_serves_across_shards(self, sharded, cube_dataset):
+        sids = open_analysts(sharded, 6)
+        queries = random_quadratic_family(cube_dataset.universe, 3, rng=11)
+        gateway = sharded.gateway(workers=4, max_queue_depth=32)
+        try:
+            futures = [gateway.submit_async(sid, query)
+                       for sid in sids for query in queries]
+            results = [future.result(timeout=60) for future in futures]
+            assert all(result.value is not None for result in results)
+        finally:
+            gateway.close()
+        assert (gateway.metrics.completed
+                == len(sids) * len(queries))
+
+    def test_gateway_propagates_shard_unavailable(self, cube_dataset,
+                                                  tmp_path):
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                                 ledger_fsync=False, auto_restore=False)
+        try:
+            sids = open_analysts(service, 4)
+            victim_shard = service.shard_of(sids[0])
+            gateway = service.gateway(workers=2)
+            try:
+                service.kill_shard(victim_shard)
+                queries = random_quadratic_family(cube_dataset.universe, 1,
+                                                  rng=13)
+                future = gateway.submit_async(sids[0], queries[0])
+                with pytest.raises(ShardUnavailable):
+                    future.result(timeout=60)
+            finally:
+                gateway.close()
+        finally:
+            service.close()
+
+
+class TestShardDirectories:
+    def test_each_shard_owns_its_own_durability_stack(self, sharded,
+                                                      cube_dataset):
+        sids = open_analysts(sharded, 6)
+        queries = random_quadratic_family(cube_dataset.universe, 2, rng=15)
+        for sid in sids:
+            sharded.serve_session_batch(sid, queries)
+        paths = sharded.checkpoint()
+        assert set(paths) == set(sharded.shard_ids)
+        for shard_id in sharded.shard_ids:
+            shard_dir = sharded.shard_dir(shard_id)
+            assert os.path.exists(os.path.join(shard_dir, "budget.jsonl"))
+            assert paths[shard_id].startswith(
+                os.path.join(shard_dir, "checkpoints"))

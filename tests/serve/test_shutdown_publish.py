@@ -1,0 +1,95 @@
+"""Regression: ``ServiceGateway.shutdown()`` must capture final gauges.
+
+Before this PR, ``shutdown()`` closed the gateway and then the service
+without a final :func:`~repro.obs.telemetry.publish_service` pull — so
+a deployment whose last scrape predated the final batches archived
+stale (or absent) budget/cache gauges. The contract now: after
+``shutdown()`` returns, the gateway's registry holds domain gauges
+reflecting the *final* quiesced service state, and services that
+publish their own telemetry (the sharded service) are left alone.
+"""
+
+from repro.losses.families import random_quadratic_family
+from repro.serve.service import PMWService
+
+
+def gauges_by_name(registry, name):
+    return {record["labels"].get("session"): record["value"]
+            for record in registry.snapshot()["gauges"]
+            if record["name"] == name}
+
+
+class TestShutdownPublishesFinalTelemetry:
+    def test_final_budget_gauges_land_without_manual_scrape(
+            self, cube_dataset, serve_params):
+        service = PMWService(cube_dataset)
+        sid = service.open_session("pmw-convex", rng=5, **serve_params)
+        queries = random_quadratic_family(cube_dataset.universe, 4, rng=2)
+        gateway = service.gateway(workers=2)
+        for query in queries:
+            gateway.submit(sid, query)
+        expected = service.session(sid).accountant.telemetry()
+        gateway.shutdown()
+        spent = gauges_by_name(gateway.metrics.registry,
+                               "budget.epsilon_spent")
+        assert spent[sid] == expected["epsilon_spent"]
+        served = gauges_by_name(gateway.metrics.registry,
+                                "session.queries_served")
+        assert served[sid] == len(queries)
+
+    def test_stale_mid_run_scrape_is_refreshed(self, cube_dataset,
+                                               serve_params):
+        from repro.obs.telemetry import publish_service
+
+        service = PMWService(cube_dataset)
+        sid = service.open_session("pmw-convex", rng=5, **serve_params)
+        queries = random_quadratic_family(cube_dataset.universe, 6, rng=2)
+        gateway = service.gateway(workers=2)
+        for query in queries[:2]:
+            gateway.submit(sid, query)
+        publish_service(gateway.metrics.registry, service, gateway=gateway)
+        stale = gauges_by_name(gateway.metrics.registry,
+                               "session.queries_served")[sid]
+        assert stale == 2
+        for query in queries[2:]:
+            gateway.submit(sid, query)
+        gateway.shutdown()
+        final = gauges_by_name(gateway.metrics.registry,
+                               "session.queries_served")[sid]
+        assert final == len(queries)
+
+    def test_shutdown_skips_services_without_cache(self, cube_dataset,
+                                                   serve_params):
+        """A service that publishes its own telemetry (no ``cache``
+        attribute — the sharded service's shape) must not be pulled by
+        the gateway's shutdown hook."""
+
+        class OpaqueService:
+            def __init__(self, inner):
+                self._inner = inner
+                self.closed = False
+
+            def session(self, sid):
+                return self._inner.session(sid)
+
+            def serve_session_batch(self, sid, queries, **kwargs):
+                return self._inner.serve_session_batch(sid, queries,
+                                                       **kwargs)
+
+            def close(self):
+                self.closed = True
+                self._inner.close()
+
+        inner = PMWService(cube_dataset)
+        sid = inner.open_session("pmw-convex", rng=5, **serve_params)
+        opaque = OpaqueService(inner)
+        queries = random_quadratic_family(cube_dataset.universe, 2, rng=2)
+        from repro.serve.gateway import ServiceGateway
+
+        gateway = ServiceGateway(opaque, workers=1)
+        for query in queries:
+            gateway.submit(sid, query)
+        gateway.shutdown()
+        assert opaque.closed
+        assert gauges_by_name(gateway.metrics.registry,
+                              "budget.epsilon_spent") == {}
