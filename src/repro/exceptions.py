@@ -45,7 +45,28 @@ class OptimizationError(ReproError):
     """A convex-minimization subroutine failed to produce a solution."""
 
 
-class Overloaded(ReproError):
+class Shed(ReproError):
+    """Base class for typed request refusals by the serving stack.
+
+    Every shed carries a machine-readable ``reason`` string — the same
+    vocabulary the gateway's ``gateway.shed`` Prometheus counter is
+    labelled with — so callers and dashboards can distinguish *why* a
+    request was refused without parsing messages. The shared contract:
+    a shed request **never entered a mechanism stream**, so it consumed
+    no privacy budget, no stream slot, and no ledger record, and
+    retrying it is always privacy-safe (see
+    :class:`repro.serve.resilience.ResilientClient` for a retry policy
+    that is also *spend*-safe across shard deaths).
+    """
+
+    def __init__(self, message: str, *, session_id: str | None = None,
+                 reason: str = "shed") -> None:
+        super().__init__(message)
+        self.session_id = session_id
+        self.reason = reason
+
+
+class Overloaded(Shed):
     """A request was shed by admission control before touching any state.
 
     Raised by the serving gateway when a per-session queue is at its
@@ -57,12 +78,10 @@ class Overloaded(ReproError):
 
     def __init__(self, message: str, *, session_id: str | None = None,
                  reason: str = "overload") -> None:
-        super().__init__(message)
-        self.session_id = session_id
-        self.reason = reason
+        super().__init__(message, session_id=session_id, reason=reason)
 
 
-class RequestTimeout(ReproError):
+class RequestTimeout(Shed):
     """A queued request timed out before a worker claimed it.
 
     Only *unclaimed* requests time out: once a worker has claimed a
@@ -74,12 +93,32 @@ class RequestTimeout(ReproError):
 
     def __init__(self, message: str, *, session_id: str | None = None,
                  waited: float = float("nan")) -> None:
-        super().__init__(message)
-        self.session_id = session_id
+        super().__init__(message, session_id=session_id, reason="timeout")
         self.waited = waited
 
 
-class ShardUnavailable(ReproError):
+class DeadlineUnmeetable(Shed):
+    """A request was refused at enqueue because its deadline is hopeless.
+
+    Raised by deadline-aware admission control when the estimated queue
+    wait for the request's lane (a quantile of the lane's observed
+    queue-wait histogram) already exceeds the request's remaining
+    deadline. Unlike :class:`RequestTimeout` — which fires *after* the
+    request sat in a queue for its whole deadline — this shed happens
+    synchronously at submit time, so a doomed request costs the caller
+    nothing but the round trip and frees the queue slot for a request
+    that can still make it.
+    """
+
+    def __init__(self, message: str, *, session_id: str | None = None,
+                 deadline_remaining: float = float("nan"),
+                 estimated_wait: float = float("nan")) -> None:
+        super().__init__(message, session_id=session_id, reason="deadline")
+        self.deadline_remaining = deadline_remaining
+        self.estimated_wait = estimated_wait
+
+
+class ShardUnavailable(Shed):
     """A request was routed to a shard process that is dead or unreachable.
 
     Raised by the sharded serving layer
@@ -97,10 +136,8 @@ class ShardUnavailable(ReproError):
     def __init__(self, message: str, *, shard_id: str | None = None,
                  session_id: str | None = None,
                  reason: str = "dead") -> None:
-        super().__init__(message)
+        super().__init__(message, session_id=session_id, reason=reason)
         self.shard_id = shard_id
-        self.session_id = session_id
-        self.reason = reason
 
 
 class LossSpecificationError(ReproError):

@@ -53,6 +53,7 @@ from repro.experiments.recovery import (
     compact_ledger,
     run_recovery_demo,
 )
+from repro.experiments.resilience import run_resilience_demo
 from repro.experiments.runtime import run_runtime_profile
 from repro.experiments.serving import run_gateway_demo
 from repro.experiments.sharding import run_sharding_demo, shard_status
@@ -85,6 +86,9 @@ EXPERIMENTS = {
             run_observability_demo),
     "e22": ("sharded-failover demo: consistent-hash routing, SIGKILL + "
             "auto-restore with exact budget totals", run_sharding_demo),
+    "e23": ("resilience demo: priority lanes, deadline shedding, "
+            "exactly-once retries across a mid-reply kill",
+            run_resilience_demo),
 }
 
 

@@ -14,7 +14,10 @@ repro.experiments``::
     python -m repro.experiments shards --dir /var/lib/repro/deploy
 
 which reports the pinned topology and, per shard, checkpoint
-generations, stamps, and how much journal a restart would replay.
+generations, stamps, how much journal a restart would replay, and the
+supervisor's persisted circuit-breaker health (state, death/restart
+counts, last-death timestamp) — exiting nonzero when any breaker is
+open, so the verb can gate a deploy script.
 """
 
 from __future__ import annotations
@@ -29,7 +32,7 @@ from repro.experiments.report import ExperimentReport
 from repro.losses.families import random_quadratic_family
 from repro.serve.checkpoint import checkpoint_stamp, discover_checkpoints
 from repro.serve.ledger import replay_ledger
-from repro.serve.shard import ShardedService
+from repro.serve.shard import ShardedService, read_shard_health
 from repro.serve.shard.worker import CHECKPOINT_DIR, LEDGER_NAME
 
 
@@ -129,10 +132,30 @@ def run_sharding_demo(*, shards: int = 2, analysts: int = 4,
 # -- operator verb ------------------------------------------------------------
 
 
+def _health_summary(health: dict) -> str:
+    """One human line of breaker + death accounting for a shard."""
+    breaker = health.get("breaker", "unknown")
+    parts = [f"breaker {breaker}"]
+    deaths = health.get("deaths", 0)
+    if deaths:
+        parts.append(f"{deaths} death(s)")
+        last = health.get("last_death_unix")
+        if last is not None:
+            stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(last))
+            parts.append(f"last died {stamp}")
+    restarts = health.get("restarts", 0)
+    if restarts:
+        parts.append(f"{restarts} restart(s)")
+    return ", ".join(parts)
+
+
 def shard_status(directory: str) -> int:
     """Failover-readiness report for a sharded deployment directory;
-    returns 0 when every shard could restore from its newest
-    checkpoint (or cold-resume from its journal alone)."""
+    returns 0 when every shard could restore from its newest checkpoint
+    (or cold-resume from its journal alone) **and** no supervisor-side
+    circuit breaker is open — an open breaker means the supervisor saw
+    the shard die and it has not come back, so the deployment is
+    serving degraded."""
     topology_path = os.path.join(directory, "topology.json")
     if not os.path.exists(topology_path):
         print(f"no topology.json under {directory} — not a sharded "
@@ -141,6 +164,7 @@ def shard_status(directory: str) -> int:
     with open(topology_path, encoding="utf-8") as handle:
         topology = json.load(handle)
     shard_ids = topology.get("shards", [])
+    health = read_shard_health(directory)
     print(f"topology: {len(shard_ids)} shards x "
           f"{topology.get('vnodes')} vnodes ({topology.get('format')})")
     status = 0
@@ -148,6 +172,10 @@ def shard_status(directory: str) -> int:
         shard_dir = os.path.join(directory, shard_id)
         ledger_path = os.path.join(shard_dir, LEDGER_NAME)
         checkpoint_dir = os.path.join(shard_dir, CHECKPOINT_DIR)
+        shard_health = health.get(shard_id, {})
+        summary = _health_summary(shard_health)
+        if shard_health.get("breaker") == "open":
+            status = 1
         if not os.path.isdir(shard_dir):
             print(f"  {shard_id}: never started (no directory)")
             continue
@@ -155,7 +183,8 @@ def shard_status(directory: str) -> int:
             if os.path.isdir(checkpoint_dir) else []
         stamp = checkpoint_stamp(paths[-1]) if paths else -1
         if not os.path.exists(ledger_path):
-            print(f"  {shard_id}: {len(paths)} checkpoint(s), no journal")
+            print(f"  {shard_id}: {len(paths)} checkpoint(s), no journal"
+                  f" — {summary}")
             continue
         state = replay_ledger(ledger_path)
         suffix = state.last_seq - stamp if stamp >= 0 else state.last_seq
@@ -167,7 +196,11 @@ def shard_status(directory: str) -> int:
         print(f"  {shard_id}: {len(state.session_ids)} session(s), "
               f"journal seq {state.last_seq}, {len(paths)} checkpoint(s)"
               + (f", restart replays {suffix} suffix record(s)"
-                 if paths else ", cold-resume from journal alone"))
+                 if paths else ", cold-resume from journal alone")
+              + f" — {summary}")
+    if status and any(h.get("breaker") == "open" for h in health.values()):
+        print("DEGRADED: at least one circuit breaker is open (a shard "
+              "died and was not restored)")
     return status
 
 

@@ -29,8 +29,16 @@ cross-session worker pool, admission control with typed
 :class:`~repro.exceptions.Overloaded` / :class:`~repro.exceptions.RequestTimeout`
 shedding, coalescing of queued same-session requests into
 engine-prewarmed batches, and a :class:`~repro.serve.metrics.GatewayMetrics`
-registry. See ``docs/serve.md`` for lifecycle, ledger, cache, and
-gateway semantics.
+registry. The gateway splits traffic into priority lanes (cache-hit
+reads never queue behind mechanism updates) and sheds deadline-doomed
+requests at enqueue. For callers facing a sharded deployment,
+:mod:`~repro.serve.resilience` adds a :class:`Deadline` propagated end
+to end, per-shard :class:`CircuitBreaker`\\ s, and a
+:class:`ResilientClient` whose retries are exactly-once: answers are
+journaled through the ledger under client-minted idempotency keys, so
+a retry after a mid-reply crash replays the recorded answer bitwise
+instead of re-spending budget. See ``docs/serve.md`` for lifecycle,
+ledger, cache, and gateway semantics.
 """
 
 from repro.serve.cache import AnswerCache, CachedAnswer, CacheStats
@@ -48,6 +56,12 @@ from repro.serve.registry import (
     MechanismRegistry,
     build_oracle,
     default_registry,
+)
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ResilientClient,
+    full_jitter_delay,
 )
 from repro.serve.service import PMWService
 from repro.serve.shard import (
@@ -72,4 +86,5 @@ __all__ = [
     "Checkpointer", "checkpoint_stamp",
     "AnswerCache", "CachedAnswer", "CacheStats",
     "BatchPlan", "plan_batch", "concurrent_map",
+    "ResilientClient", "Deadline", "CircuitBreaker", "full_jitter_delay",
 ]

@@ -10,6 +10,12 @@ request arrival from execution:
   run in parallel on a shared worker pool, while each session's
   privacy-state mutations stay strictly serialized (one worker owns a
   session at a time, and the session lock backstops it);
+- **priority lanes** — each request rides the ``"fast"`` or ``"bulk"``
+  lane (auto-classified: a query whose answer is already cached is
+  fast). Workers prefer fast work and ``fast_workers`` threads are
+  reserved for it, so a cheap cache-hit read never queues behind a
+  multi-second MW update from another session; per-lane queue-wait
+  histograms make the isolation measurable;
 - **admission control** — a full session queue or a gateway-wide
   in-flight bound sheds with a typed :class:`~repro.exceptions.Overloaded`
   *before* the request touches any mechanism state, and a queued request
@@ -17,6 +23,13 @@ request arrival from execution:
   :class:`~repro.exceptions.RequestTimeout`. Once a worker has claimed a
   request into a batch, it always runs to completion: a claimed round's
   write-ahead ledger spend is never abandoned mid-flight;
+- **deadline-aware admission** — under pressure (all workers busy), a
+  request whose deadline is already smaller than the lane's observed
+  queue-wait quantile (from the obs log-scale histograms) sheds at
+  *enqueue* with :class:`~repro.exceptions.DeadlineUnmeetable` instead
+  of wasting a queue slot and timing out after the wait. All sheds are
+  :class:`~repro.exceptions.Shed` subclasses with a machine-readable
+  ``reason``, mirrored on the ``gateway.shed{reason=...}`` counter;
 - **batch coalescing** — everything waiting on one session when a worker
   claims it is merged into a single
   :meth:`~repro.serve.service.PMWService.serve_session_batch` call, so
@@ -54,9 +67,16 @@ from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from concurrent.futures import TimeoutError as FutureTimeout
 
-from repro.exceptions import Overloaded, RequestTimeout, ValidationError
+from repro.exceptions import (
+    DeadlineUnmeetable,
+    Overloaded,
+    RequestTimeout,
+    ValidationError,
+)
 from repro.obs import trace
-from repro.serve.metrics import GatewayMetrics
+from repro.serve.metrics import LANES, GatewayMetrics
+from repro.serve.resilience import Deadline
+from repro.serve.session import try_fingerprint
 
 #: Sentinel distinguishing "use the gateway default" from "no timeout".
 _UNSET = object()
@@ -66,16 +86,19 @@ class _Request:
     """One queued query with its completion future and deadline."""
 
     __slots__ = ("session_id", "query", "future", "enqueued_at", "timeout",
-                 "claimed", "trace_id")
+                 "claimed", "trace_id", "lane", "idempotency_key")
 
-    def __init__(self, session_id: str, query,
-                 timeout: float | None) -> None:
+    def __init__(self, session_id: str, query, timeout: float | None,
+                 lane: str = "bulk",
+                 idempotency_key: str | None = None) -> None:
         self.session_id = session_id
         self.query = query
         self.future: Future = Future()
         self.enqueued_at = time.monotonic()
         self.timeout = timeout
         self.claimed = False
+        self.lane = lane
+        self.idempotency_key = idempotency_key
         # Minted at the admission edge so every span this request causes
         # — on whichever worker thread — shares one trace (None when
         # tracing is off; propagating None costs nothing).
@@ -113,6 +136,19 @@ class ServiceGateway:
         Deadline (seconds, from enqueue) applied when ``submit`` /
         ``submit_async`` does not pass ``timeout``. ``None`` means wait
         forever.
+    fast_workers:
+        Worker threads reserved for the ``"fast"`` lane (they idle
+        rather than claim bulk work, so a burst of MW updates can never
+        occupy every thread). Default 0: every worker serves both
+        lanes, fast first — lane *priority* is always on; lane
+        *reservation* is opt-in because each reserved thread reduces
+        bulk concurrency by one.
+    admission_quantile, admission_min_samples:
+        Deadline-aware admission sheds a request at enqueue when the
+        request's lane has at least ``admission_min_samples`` observed
+        queue waits, every worker is occupied, and the lane's
+        ``admission_quantile`` queue wait already exceeds the request's
+        deadline.
     use_cache, on_halt:
         Serving flags forwarded to every coalesced
         :meth:`~repro.serve.service.PMWService.serve_session_batch` call.
@@ -129,10 +165,29 @@ class ServiceGateway:
                  max_in_flight: int | None = None,
                  max_coalesce: int = 16,
                  default_timeout: float | None = None,
+                 fast_workers: int = 0,
+                 admission_quantile: float = 0.9,
+                 admission_min_samples: int = 32,
                  use_cache: bool = True, on_halt: str = "hypothesis",
                  metrics: GatewayMetrics | None = None) -> None:
         if workers < 1:
             raise ValidationError(f"workers must be >= 1, got {workers}")
+        if not 0 <= fast_workers < workers:
+            raise ValidationError(
+                f"fast_workers must leave at least one general worker "
+                f"(0 <= fast_workers < workers), got {fast_workers} of "
+                f"{workers}"
+            )
+        if not 0.0 < admission_quantile < 1.0:
+            raise ValidationError(
+                f"admission_quantile must be in (0, 1), got "
+                f"{admission_quantile}"
+            )
+        if admission_min_samples < 1:
+            raise ValidationError(
+                f"admission_min_samples must be >= 1, got "
+                f"{admission_min_samples}"
+            )
         if max_queue_depth < 1:
             raise ValidationError(
                 f"max_queue_depth must be >= 1, got {max_queue_depth}"
@@ -160,6 +215,9 @@ class ServiceGateway:
                               else int(max_in_flight))
         self.max_coalesce = int(max_coalesce)
         self.default_timeout = default_timeout
+        self.fast_workers = int(fast_workers)
+        self.admission_quantile = float(admission_quantile)
+        self.admission_min_samples = int(admission_min_samples)
         self.use_cache = bool(use_cache)
         self.on_halt = on_halt
         self.metrics = metrics if metrics is not None else GatewayMetrics()
@@ -167,9 +225,12 @@ class ServiceGateway:
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)   # workers wait here
         self._idle = threading.Condition(self._lock)   # drain waiters here
-        self._queues: dict[str, deque[_Request]] = {}
-        self._ready: deque[str] = deque()   # sessions with unclaimed work
-        self._scheduled: set[str] = set()   # mirror of _ready, O(1) checks
+        # session -> lane -> FIFO of unclaimed requests
+        self._queues: dict[str, dict[str, deque[_Request]]] = {}
+        # lane -> sessions with unclaimed work in that lane
+        self._ready: dict[str, deque[str]] = {lane: deque()
+                                              for lane in LANES}
+        self._scheduled: set[tuple[str, str]] = set()  # mirror of _ready
         self._busy: set[str] = set()        # sessions a worker owns now
         self._in_flight = 0                 # admitted and unfinished
         self._paused = 0                    # quiesce() depth: no claiming
@@ -177,6 +238,7 @@ class ServiceGateway:
         self._shutdown = False              # workers may exit
         self._threads = [
             threading.Thread(target=self._worker_loop,
+                             args=(index < self.fast_workers,),
                              name=f"gateway-worker-{index}", daemon=True)
             for index in range(self.workers)
         ]
@@ -185,32 +247,48 @@ class ServiceGateway:
 
     # -- submission ---------------------------------------------------------
 
-    def submit_async(self, session_id: str, query,
-                     timeout=_UNSET) -> Future:
+    def submit_async(self, session_id: str, query, timeout=_UNSET, *,
+                     lane: str | None = None, deadline=None,
+                     idempotency_key: str | None = None) -> Future:
         """Enqueue one query; returns a future resolving to a
         :class:`~repro.serve.session.ServeResult`.
 
         Sheds immediately with :class:`Overloaded` when the gateway is
         closing, the session queue is at ``max_queue_depth``, or the
-        gateway-wide ``max_in_flight`` bound is reached. A ``timeout``
-        (default: the gateway's ``default_timeout``) bounds how long the
-        request may wait *unclaimed*; expiry surfaces as
-        :class:`RequestTimeout` on the future — detected lazily, when a
-        worker next claims from this session's queue, so the future may
-        resolve later than the deadline itself (there is no timer
-        thread). Use the blocking :meth:`submit` for a waiter-enforced
-        deadline, or pass ``future.result(timeout=...)`` your own bound.
-        Unknown or closed sessions raise :class:`ValidationError` at
-        submission.
+        gateway-wide ``max_in_flight`` bound is reached — and with
+        :class:`~repro.exceptions.DeadlineUnmeetable` when, under full
+        worker occupancy, the lane's observed queue-wait quantile
+        already exceeds the request's deadline (shed at enqueue, not
+        after queueing). A ``timeout`` (default: the gateway's
+        ``default_timeout``) bounds how long the request may wait
+        *unclaimed*; expiry surfaces as :class:`RequestTimeout` on the
+        future — detected lazily, when a worker next claims from this
+        session's queue, so the future may resolve later than the
+        deadline itself (there is no timer thread). Use the blocking
+        :meth:`submit` for a waiter-enforced deadline, or pass
+        ``future.result(timeout=...)`` your own bound. Unknown or
+        closed sessions raise :class:`ValidationError` at submission.
+
+        ``lane`` pins the priority lane (``"fast"``/``"bulk"``); the
+        default auto-classifies — a fingerprintable query whose answer
+        is already cached rides the fast lane. ``deadline`` (a
+        :class:`~repro.serve.resilience.Deadline`, or seconds) is an
+        alternative spelling of ``timeout`` that also propagates into
+        the engine-batching layer. ``idempotency_key`` flows through to
+        the service for exactly-once retry replay.
 
         ``future.cancel()`` works while the request is still queued
         (it is dropped at claim time, having touched no mechanism
         state); once a worker claims it the future is RUNNING and the
         round always completes.
         """
-        return self._submit(session_id, query, timeout).future
+        return self._submit(session_id, query, timeout, lane=lane,
+                            deadline=deadline,
+                            idempotency_key=idempotency_key).future
 
-    def submit(self, session_id: str, query, timeout=_UNSET):
+    def submit(self, session_id: str, query, timeout=_UNSET, *,
+               lane: str | None = None, deadline=None,
+               idempotency_key: str | None = None):
         """Enqueue one query and wait for its answer.
 
         Blocking form of :meth:`submit_async`. If the deadline passes
@@ -219,7 +297,9 @@ class ServiceGateway:
         the call waits for the (already-paid-for) answer regardless —
         a claimed round's ledger spend is never orphaned.
         """
-        request = self._submit(session_id, query, timeout)
+        request = self._submit(session_id, query, timeout, lane=lane,
+                               deadline=deadline,
+                               idempotency_key=idempotency_key)
         if request.timeout is None:
             return request.future.result()
         try:
@@ -235,7 +315,20 @@ class ServiceGateway:
             # spend is journaled) — deliver the answer.
             return request.future.result()
 
-    def _submit(self, session_id: str, query, timeout) -> _Request:
+    def _submit(self, session_id: str, query, timeout, *,
+                lane: str | None = None, deadline=None,
+                idempotency_key: str | None = None) -> _Request:
+        if deadline is not None:
+            if isinstance(deadline, (int, float)):
+                deadline = Deadline.after(deadline)
+            timeout = deadline.remaining()
+            if timeout <= 0:
+                self.metrics.record_shed("deadline", session_id)
+                raise DeadlineUnmeetable(
+                    f"request to {session_id!r} arrived with an already-"
+                    f"expired deadline", session_id=session_id,
+                    deadline_remaining=timeout, estimated_wait=0.0,
+                )
         if timeout is _UNSET:
             timeout = self.default_timeout
         if timeout is not None and timeout <= 0:
@@ -246,6 +339,7 @@ class ServiceGateway:
         session = self.service.session(session_id)
         if session.closed:
             raise ValidationError(f"session {session_id!r} is closed")
+        lane = self._classify_lane(session, session_id, query, lane)
         with self._lock:
             if self._closing:
                 self.metrics.record_shed("shutdown", session_id)
@@ -253,8 +347,10 @@ class ServiceGateway:
                     "gateway is draining and admits no new requests",
                     session_id=session_id, reason="shutdown",
                 )
-            queue = self._queues.setdefault(session_id, deque())
-            if len(queue) >= self.max_queue_depth:
+            lanes = self._queues.setdefault(
+                session_id, {name: deque() for name in LANES})
+            depth = sum(len(q) for q in lanes.values())
+            if depth >= self.max_queue_depth:
                 self.metrics.record_shed("overload", session_id)
                 raise Overloaded(
                     f"session {session_id!r} queue is full "
@@ -268,13 +364,80 @@ class ServiceGateway:
                     f"gateway at max_in_flight={self.max_in_flight}",
                     session_id=session_id,
                 )
-            request = _Request(session_id, query, timeout)
-            queue.append(request)
+            if timeout is not None and self._in_flight >= self.workers:
+                # Deadline-aware admission: only consulted under
+                # pressure (every worker plausibly occupied — an idle
+                # gateway serves immediately no matter what history
+                # says), and only once the lane's queue-wait histogram
+                # has enough samples to estimate from.
+                estimate = self.metrics.estimated_queue_wait(
+                    lane, quantile=self.admission_quantile,
+                    min_samples=self.admission_min_samples)
+                if estimate is not None and estimate > timeout:
+                    self.metrics.record_shed("deadline", session_id)
+                    raise DeadlineUnmeetable(
+                        f"deadline {timeout:.3f}s cannot be met: the "
+                        f"{lane!r} lane's p"
+                        f"{self.admission_quantile * 100:.0f} queue "
+                        f"wait is {estimate:.3f}s",
+                        session_id=session_id,
+                        deadline_remaining=timeout,
+                        estimated_wait=estimate,
+                    )
+            request = _Request(session_id, query, timeout, lane=lane,
+                               idempotency_key=idempotency_key)
+            lanes[lane].append(request)
             self._in_flight += 1
-            self.metrics.record_submit(session_id, len(queue))
-            self._schedule_locked(session_id)
-            self._work.notify()
+            self.metrics.record_submit(session_id, depth + 1)
+            self._schedule_locked(session_id, lane)
+            self._notify_work_locked((lane,))
         return request
+
+    def _notify_work_locked(self, lanes) -> None:
+        """Wake enough workers that one *eligible* waiter must hear it.
+
+        Every worker sees the fast lane, so one wakeup suffices — but
+        waiters are heterogeneous: with reserved fast workers, a bulk
+        readiness change notified to a single waiter could land on a
+        fast-only worker the bulk lane is invisible to, and the wakeup
+        would be lost. Waking ``fast_workers + 1`` guarantees a general
+        worker is among them (extras re-check and re-sleep); a blanket
+        ``notify_all`` would thundering-herd the whole pool on every
+        submit.
+        """
+        if self.fast_workers and "bulk" in lanes:
+            self._work.notify(self.fast_workers + 1)
+        else:
+            self._work.notify()
+
+    def _classify_lane(self, session, session_id: str, query,
+                       lane: str | None) -> str:
+        """Explicit lane, or auto: cached answers ride the fast lane.
+
+        Auto-classification needs a local cache probe, so it applies to
+        in-process services only (:class:`ShardedService` callers pin
+        ``lane=`` explicitly — the cache lives in the shard process);
+        everything else defaults to bulk.
+        """
+        if lane is not None:
+            if lane not in LANES:
+                raise ValidationError(
+                    f"unknown lane {lane!r}; known: {LANES}"
+                )
+            return lane
+        cache = getattr(self.service, "cache", None)
+        contains = getattr(cache, "contains", None)
+        if not callable(contains):
+            return "bulk"
+        fingerprint = try_fingerprint(query)
+        if fingerprint is None:
+            return "bulk"
+        version = None
+        cache_version = getattr(self.service, "_cache_version", None)
+        if callable(cache_version):
+            version = cache_version(session)
+        return "fast" if contains(session_id, fingerprint,
+                                  version=version) else "bulk"
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -284,11 +447,16 @@ class ServiceGateway:
         with self._lock:
             return self._in_flight
 
-    def queue_depth(self, session_id: str) -> int:
-        """Unclaimed requests queued for one session."""
+    def queue_depth(self, session_id: str, lane: str | None = None) -> int:
+        """Unclaimed requests queued for one session (one lane, or all)."""
         with self._lock:
-            queue = self._queues.get(session_id)
-            return len(queue) if queue else 0
+            lanes = self._queues.get(session_id)
+            if not lanes:
+                return 0
+            if lane is not None:
+                queue = lanes.get(lane)
+                return len(queue) if queue else 0
+            return sum(len(queue) for queue in lanes.values())
 
     @property
     def closed(self) -> bool:
@@ -403,13 +571,15 @@ class ServiceGateway:
         with self._lock:
             self._closing = True
             if not drain:
-                for session_id, queue in self._queues.items():
-                    while queue:
-                        request = queue.popleft()
-                        self._in_flight -= 1
-                        self.metrics.record_shed("shutdown", session_id)
-                        doomed.append((session_id, request))
-                self._ready.clear()
+                for session_id, lanes in self._queues.items():
+                    for queue in lanes.values():
+                        while queue:
+                            request = queue.popleft()
+                            self._in_flight -= 1
+                            self.metrics.record_shed("shutdown", session_id)
+                            doomed.append((session_id, request))
+                for ready in self._ready.values():
+                    ready.clear()
                 self._scheduled.clear()
                 # The shed may have emptied the gateway: wake any
                 # concurrent drain() waiter blocked on _idle.
@@ -475,22 +645,31 @@ class ServiceGateway:
 
     # -- worker pool ---------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, fast_only: bool) -> None:
+        # Reserved workers see only the fast lane; general workers serve
+        # both, fast first — so cache-hit reads never wait behind an MW
+        # update from another session, in either direction of pressure.
+        my_lanes = ("fast",) if fast_only else LANES
         while True:
             with self._lock:
-                while not self._shutdown and (self._paused
-                                              or not self._ready):
+                while not self._shutdown and (
+                        self._paused
+                        or not any(self._ready[lane]
+                                   for lane in my_lanes)):
                     self._work.wait()
-                if self._shutdown and not self._ready:
+                if self._shutdown and not any(self._ready[lane]
+                                              for lane in my_lanes):
                     return
-                session_id = self._ready.popleft()
-                self._scheduled.discard(session_id)
+                lane = next(name for name in my_lanes
+                            if self._ready[name])
+                session_id = self._ready[lane].popleft()
+                self._scheduled.discard((session_id, lane))
                 if session_id in self._busy:
                     # Another worker still owns this session; it will
                     # reschedule on release (per-session serialization).
                     continue
                 self._busy.add(session_id)
-                batch, expired = self._claim_batch_locked(session_id)
+                batch, expired = self._claim_batch_locked(session_id, lane)
             try:
                 # Settle expired requests OUTSIDE the lock: a done
                 # callback may re-enter the gateway (retry-on-shed),
@@ -503,27 +682,34 @@ class ServiceGateway:
                 with self._lock:
                     self._busy.discard(session_id)
                     self._in_flight -= len(batch)
-                    queue = self._queues.get(session_id)
-                    if queue:
-                        self._schedule_locked(session_id)
-                        self._work.notify()
+                    lanes = self._queues.get(session_id)
+                    rescheduled = []
+                    if lanes:
+                        for name, queue in lanes.items():
+                            if queue:
+                                self._schedule_locked(session_id, name)
+                                rescheduled.append(name)
+                    if rescheduled:
+                        self._notify_work_locked(rescheduled)
                     self._idle.notify_all()
 
-    def _schedule_locked(self, session_id: str) -> None:
-        """Mark a session ready unless it is already queued or owned."""
-        if session_id in self._scheduled or session_id in self._busy:
+    def _schedule_locked(self, session_id: str, lane: str) -> None:
+        """Mark a session's lane ready unless queued or session-owned."""
+        if (session_id, lane) in self._scheduled \
+                or session_id in self._busy:
             return
-        self._ready.append(session_id)
-        self._scheduled.add(session_id)
+        self._ready[lane].append(session_id)
+        self._scheduled.add((session_id, lane))
 
-    def _claim_batch_locked(self, session_id: str):
-        """Pop up to ``max_coalesce`` live requests; returns
-        ``(batch, expired)``. Claimed requests are committed (their
-        futures are transitioned to RUNNING, so a client ``cancel()``
-        can no longer race the settle); expired and client-cancelled
-        ones are dropped here, with the expired futures returned for
-        the caller to settle *outside* the lock."""
-        queue = self._queues.get(session_id)
+    def _claim_batch_locked(self, session_id: str, lane: str):
+        """Pop up to ``max_coalesce`` live requests from one lane;
+        returns ``(batch, expired)``. Claimed requests are committed
+        (their futures are transitioned to RUNNING, so a client
+        ``cancel()`` can no longer race the settle); expired and
+        client-cancelled ones are dropped here, with the expired futures
+        returned for the caller to settle *outside* the lock."""
+        lanes = self._queues.get(session_id)
+        queue = lanes.get(lane) if lanes else None
         batch: list[_Request] = []
         expired: list[tuple[_Request, Exception]] = []
         now = time.monotonic()
@@ -552,7 +738,8 @@ class ServiceGateway:
             batch.append(request)
         if batch:
             self.metrics.record_claim(session_id, waits,
-                                      len(queue) if queue else 0)
+                                      len(queue) if queue else 0,
+                                      lane=lane)
         return batch, expired
 
     def _execute(self, session_id: str, batch: list[_Request]) -> None:
@@ -565,6 +752,17 @@ class ServiceGateway:
         double-spend its stream slot.
         """
         queries = [request.query for request in batch]
+        serve_kwargs = {}
+        if any(request.idempotency_key is not None for request in batch):
+            serve_kwargs["idempotency_keys"] = [
+                request.idempotency_key for request in batch]
+        # The batch inherits the tightest member deadline, shipped as a
+        # live Deadline so the engine-batching layer (and the shard RPC
+        # boundary, via remaining-seconds encoding) can see it tick.
+        deadlines = [request.deadline for request in batch
+                     if request.deadline is not None]
+        if deadlines:
+            serve_kwargs["deadline"] = Deadline(min(deadlines))
         try:
             # Root span of the request path on this worker thread; a
             # coalesced batch runs under the oldest request's trace, with
@@ -577,6 +775,7 @@ class ServiceGateway:
                 results = self.service.serve_session_batch(
                     session_id, queries,
                     use_cache=self.use_cache, on_halt=self.on_halt,
+                    **serve_kwargs,
                 )
         except BaseException as error:
             self.metrics.record_failure(session_id, len(batch))
@@ -598,7 +797,8 @@ class ServiceGateway:
         with self._lock:
             if request.claimed:
                 return False
-            queue = self._queues.get(request.session_id)
+            lanes = self._queues.get(request.session_id)
+            queue = lanes.get(request.lane) if lanes else None
             if queue is None or request not in queue:
                 return False
             queue.remove(request)

@@ -20,6 +20,12 @@ Record kinds:
 - ``baseline`` — one session's full pre-compaction spend history,
   run-length encoded in order, so replay of a rotated journal rebuilds
   accountants bitwise-identically to replay of the uncompacted one
+- ``answer`` — an idempotency-keyed answer journaled *before* its reply
+  is released: a client retry carrying the same key after a mid-reply
+  crash replays the recorded answer bitwise instead of re-spending
+  budget (exactly-once retries; see :mod:`repro.serve.resilience`).
+  Values are encoded losslessly — ``float.hex()`` for scalars, dtype +
+  base64 raw bytes for arrays — and survive compaction.
 
 Every record carries a monotonically increasing ``seq``; replay verifies
 contiguity, so silent truncation in the *middle* of the file is detected.
@@ -37,10 +43,13 @@ so stamps never go stale.
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import threading
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.dp.accountant import (
     PrivacyAccountant,
@@ -55,6 +64,45 @@ SPEND = "spend"
 CLOSE = "close"
 COMPACT = "compact"
 BASELINE = "baseline"
+ANSWER = "answer"
+
+
+def encode_answer_value(value) -> dict:
+    """Lossless JSON encoding of a served answer value.
+
+    Floats round-trip through ``float.hex()`` and arrays through
+    ``dtype + shape + base64(raw bytes)``, so a replayed answer is
+    **bitwise** identical to the one originally released — the property
+    the exactly-once retry contract is stated in.
+    """
+    if isinstance(value, np.ndarray):
+        return {
+            "t": "ndarray", "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": base64.b64encode(np.ascontiguousarray(value)
+                                     .tobytes()).decode("ascii"),
+        }
+    if isinstance(value, (float, np.floating)):
+        return {"t": "float", "hex": float(value).hex()}
+    if isinstance(value, (int, np.integer)):
+        return {"t": "int", "v": int(value)}
+    raise ValidationError(
+        f"cannot journal answer value of type {type(value).__name__}"
+    )
+
+
+def decode_answer_value(payload: dict):
+    """Inverse of :func:`encode_answer_value`."""
+    kind = payload.get("t")
+    if kind == "ndarray":
+        data = base64.b64decode(payload["data"])
+        return np.frombuffer(data, dtype=np.dtype(payload["dtype"])) \
+            .reshape(payload["shape"]).copy()
+    if kind == "float":
+        return float.fromhex(payload["hex"])
+    if kind == "int":
+        return int(payload["v"])
+    raise ValidationError(f"unknown answer value encoding {kind!r}")
 
 
 @dataclass
@@ -72,6 +120,9 @@ class LedgerState:
     opens: dict[str, dict] = field(default_factory=dict)
     spends: dict[str, list[dict]] = field(default_factory=dict)
     closed: set[str] = field(default_factory=set)
+    #: idempotency key -> full ``answer`` record (value still encoded;
+    #: :func:`decode_answer_value` turns it back into the released one).
+    answers: dict[str, dict] = field(default_factory=dict)
     last_seq: int = -1
     compacted_through: int = -1
 
@@ -181,6 +232,27 @@ class BudgetLedger:
                 })
         return last
 
+    def append_answer(self, session_id: str, key: str, *,
+                      value, source: str, query_index: int,
+                      fingerprint: str = "",
+                      epsilon_spent: float = 0.0,
+                      delta_spent: float = 0.0) -> int:
+        """Journal an idempotency-keyed answer, durably, before release.
+
+        A later replay (crash restore, retried request) reconstructs the
+        full :class:`~repro.serve.session.ServeResult` bitwise from this
+        record — the write must therefore land *before* the reply leaves
+        the process, the same write-ahead discipline as spends. Returns
+        the record's ``seq``.
+        """
+        return self._append({
+            "kind": ANSWER, "session": session_id, "key": str(key),
+            "fingerprint": str(fingerprint),
+            "value": encode_answer_value(value), "source": str(source),
+            "query_index": int(query_index),
+            "epsilon": float(epsilon_spent), "delta": float(delta_spent),
+        })
+
     def append_close(self, session_id: str) -> None:
         """Journal a session close."""
         self._append({"kind": CLOSE, "session": session_id})
@@ -249,6 +321,10 @@ class BudgetLedger:
                 "compacted_through": prev_last, "archive": archive_name,
                 "sessions": len(state.opens),
             }]
+            answers_by_session: dict[str, list[tuple[str, dict]]] = {}
+            for key, record in state.answers.items():
+                answers_by_session.setdefault(
+                    record.get("session", ""), []).append((key, record))
             for sid, opened in state.opens.items():
                 seq += 1
                 lines.append({**opened, "seq": seq})
@@ -259,6 +335,13 @@ class BudgetLedger:
                         "seq": seq, "kind": BASELINE, "session": sid,
                         "spends": _rle_encode(spends),
                     })
+                # Idempotency answers survive rotation verbatim (minus
+                # their old seqs): a retry after compaction must still
+                # replay bitwise.
+                for key, record in answers_by_session.pop(sid, []):
+                    seq += 1
+                    lines.append({**{k: v for k, v in record.items()
+                                     if k != "seq"}, "seq": seq})
                 if sid in state.closed:
                     seq += 1
                     lines.append({"seq": seq, "kind": CLOSE,
@@ -428,6 +511,8 @@ def replay_ledger(path, *, from_seq: int | None = None) -> LedgerState:
             })
         elif kind == CLOSE:
             state.closed.add(session)
+        elif kind == ANSWER:
+            state.answers[record["key"]] = record
         elif kind == COMPACT:
             state.compacted_through = max(state.compacted_through,
                                           int(record["compacted_through"]))
@@ -649,4 +734,4 @@ def jsonable_params(params: dict) -> dict:
 
 
 __all__ = ["BudgetLedger", "LedgerState", "replay_ledger", "fsync_dir",
-           "jsonable_params"]
+           "jsonable_params", "encode_answer_value", "decode_answer_value"]

@@ -34,9 +34,17 @@ import threading
 from repro.exceptions import ValidationError
 from repro.obs.registry import LogScaleHistogram, MetricsRegistry
 
-#: The shed kinds admission control distinguishes. ``cancelled`` counts
-#: pending futures the client cancelled before a worker claimed them.
-SHED_KINDS = ("overload", "timeout", "shutdown", "cancelled")
+#: The shed kinds admission control distinguishes — the same vocabulary
+#: as :attr:`repro.exceptions.Shed.reason`, and the values of the
+#: ``gateway.shed{reason=...}`` counter labels, so Prometheus queries
+#: can slice sheds by cause. ``cancelled`` counts pending futures the
+#: client cancelled before a worker claimed them; ``deadline`` counts
+#: requests refused at enqueue by deadline-aware admission.
+SHED_KINDS = ("overload", "timeout", "shutdown", "cancelled", "deadline")
+
+#: The gateway's priority lanes: ``"fast"`` for cheap cache-hit/replay
+#: reads, ``"bulk"`` for everything that may run a mechanism round.
+LANES = ("fast", "bulk")
 
 #: Latency histogram resolution: 100 ns to 10 000 s at 20 buckets per
 #: decade (edge ratio 10**(1/20) ≈ 1.122 → ≤ 12.2 % quantile error).
@@ -153,11 +161,17 @@ class GatewayMetrics:
         self._coalesced_batches = reg.counter("gateway.coalesced_batches")
         self._coalesced_requests = reg.counter("gateway.coalesced_requests")
         self._sheds = {
-            kind: reg.counter("gateway.shed", {"kind": kind})
+            kind: reg.counter("gateway.shed", {"reason": kind})
             for kind in SHED_KINDS
         }
         self.queue_wait = reg.register_histogram(
             "gateway.queue_wait", histogram=LatencyHistogram())
+        self.queue_wait_lanes = {
+            lane: reg.register_histogram(
+                "gateway.queue_wait", {"lane": lane},
+                histogram=LatencyHistogram())
+            for lane in LANES
+        }
         self.end_to_end = reg.register_histogram(
             "gateway.end_to_end", histogram=LatencyHistogram())
         self._session_metrics: dict[str, dict] = {}
@@ -186,13 +200,29 @@ class GatewayMetrics:
                 self._session(session_id)["shed"].inc()
 
     def record_claim(self, session_id: str, waits: list[float],
-                     depth: int) -> None:
+                     depth: int, lane: str | None = None) -> None:
         """A worker claimed a batch; ``waits`` are per-request queue
-        waits, ``depth`` the queue depth left behind."""
+        waits, ``depth`` the queue depth left behind, ``lane`` the
+        priority lane the batch was claimed from (observed into the
+        lane's own histogram as well as the all-lanes one)."""
+        lane_histogram = self.queue_wait_lanes.get(lane) \
+            if lane is not None else None
         with self._lock:
             for wait in waits:
                 self.queue_wait.observe(wait)
+                if lane_histogram is not None:
+                    lane_histogram.observe(wait)
             self._session(session_id)["queue_depth"].set(depth)
+
+    def estimated_queue_wait(self, lane: str, *, quantile: float = 0.9,
+                             min_samples: int = 32) -> float | None:
+        """The lane's observed queue-wait quantile, in seconds — the
+        input to deadline-aware admission. ``None`` until the lane has
+        ``min_samples`` observations (no shedding on folklore)."""
+        histogram = self.queue_wait_lanes.get(lane)
+        if histogram is None or histogram.count < min_samples:
+            return None
+        return histogram.quantile(quantile)
 
     def record_batch(self, session_id: str, *, size: int, sources,
                      latencies) -> None:
@@ -294,6 +324,10 @@ class GatewayMetrics:
                                   if completed else 0.0),
                 "sources": self.sources,
                 "queue_wait": self.queue_wait.snapshot(),
+                "queue_wait_lanes": {
+                    lane: histogram.snapshot()
+                    for lane, histogram in self.queue_wait_lanes.items()
+                },
                 "end_to_end": self.end_to_end.snapshot(),
                 "sessions": {
                     sid: {
@@ -365,4 +399,4 @@ class GatewayMetrics:
 
 
 __all__ = ["GatewayMetrics", "LatencyHistogram", "BUCKET_EDGES",
-           "SHED_KINDS"]
+           "SHED_KINDS", "LANES"]

@@ -1,0 +1,419 @@
+"""Client-side resilience: deadlines, circuit breakers, safe retries.
+
+PR 7 gave the serving stack *typed* failure — :class:`~repro.exceptions.Shed`
+subclasses guarantee a refused request never entered a mechanism stream —
+but no story for what a caller does next. In a PMW service a naive retry
+is worse than wasteful: privacy budget is non-refundable and journaled
+write-ahead, so re-submitting a request whose reply was lost mid-flight
+**double-spends** the session's budget. This module closes the loop:
+
+:class:`Deadline`
+    A wall-clock-free deadline (monotonic clock) that travels from the
+    client through the gateway queue, the shard RPC boundary (as
+    *remaining seconds* — monotonic clocks do not cross processes), and
+    into engine batching. Admission control sheds requests whose
+    deadline cannot be met **at enqueue** (:class:`DeadlineUnmeetable`)
+    using lane queue-wait quantiles, instead of letting them time out
+    after queueing.
+
+:class:`CircuitBreaker`
+    The classic closed / open / half-open state machine, used in two
+    places: client-side per shard inside :class:`ResilientClient`, and
+    supervisor-side in :class:`~repro.serve.shard.ShardedService`, which
+    persists breaker transitions to each shard's ``health.json`` for the
+    ``repro-experiments shards`` operator verb.
+
+:class:`ResilientClient`
+    Retries :class:`~repro.exceptions.ShardUnavailable` /
+    :class:`~repro.exceptions.Overloaded` with capped exponential
+    backoff and **full jitter**, fails fast while a shard's breaker is
+    open, and makes retries **exactly-once**: every logical request is
+    minted one idempotency key, journaled through the budget ledger with
+    its answer, so a retry that lands after a mid-reply SIGKILL replays
+    the recorded answer bitwise instead of re-spending budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+import uuid
+
+from repro.exceptions import (
+    DeadlineUnmeetable,
+    Overloaded,
+    ShardUnavailable,
+    ValidationError,
+)
+
+__all__ = [
+    "Deadline",
+    "CircuitBreaker",
+    "ResilientClient",
+    "full_jitter_delay",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]
+
+
+class Deadline:
+    """A point in (monotonic) time after which an answer is worthless.
+
+    Built from a relative budget (:meth:`after`) and queried for
+    :meth:`remaining` seconds; ``remaining()`` goes negative once the
+    deadline has passed. Deadlines cross the shard RPC boundary as
+    remaining seconds (:meth:`to_wire` / :meth:`from_wire`) because
+    monotonic clocks are per-process.
+
+    The clock is injectable for tests (any ``() -> float``); the default
+    is :func:`time.monotonic`.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, expires_at: float, *, clock=time.monotonic) -> None:
+        self._expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float, *, clock=time.monotonic) -> "Deadline":
+        """The deadline ``seconds`` from now."""
+        if not seconds == seconds or seconds == float("inf"):  # NaN / inf
+            raise ValidationError(f"deadline budget must be finite, "
+                                  f"got {seconds!r}")
+        return cls(clock() + float(seconds), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return self.remaining() <= 0.0
+
+    def to_wire(self) -> float:
+        """Remaining seconds, floored at 0 — the cross-process encoding."""
+        return max(0.0, self.remaining())
+
+    @classmethod
+    def from_wire(cls, seconds, *, clock=time.monotonic):
+        """Rebuild a deadline from :meth:`to_wire` output (``None`` maps
+        to ``None`` so RPC payloads can omit the field)."""
+        if seconds is None:
+            return None
+        return cls(clock() + max(0.0, float(seconds)), clock=clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+#: Circuit-breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over consecutive failures.
+
+    - **closed** — calls flow; ``failure_threshold`` *consecutive*
+      failures trip it open.
+    - **open** — calls are refused without touching the target. After
+      ``reset_after`` seconds (or an explicit :meth:`note_restore`, e.g.
+      when the supervisor reports the shard restored) the breaker moves
+      to half-open.
+    - **half-open** — exactly one probe call is allowed through at a
+      time; success closes the breaker, failure re-opens it.
+
+    Thread-safe; the clock is injectable for tests.
+    """
+
+    def __init__(self, *, failure_threshold: int = 3,
+                 reset_after: float = 1.0, clock=time.monotonic) -> None:
+        if failure_threshold < 1:
+            raise ValidationError("failure_threshold must be >= 1, "
+                                  f"got {failure_threshold}")
+        if reset_after < 0:
+            raise ValidationError(f"reset_after must be >= 0, "
+                                  f"got {reset_after}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_after = float(reset_after)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state, after applying any due open→half-open reset."""
+        with self._lock:
+            self._maybe_reset_locked()
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state this *claims* the single probe slot — a
+        caller that gets ``True`` must follow up with
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        with self._lock:
+            self._maybe_reset_locked()
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                return False
+            if self._probing:
+                return False
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        """A call succeeded: close the breaker, clear the failure run."""
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """A call failed: count it; trip open at the threshold, and
+        re-open immediately from half-open (the probe failed)."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN or \
+                    self._failures >= self.failure_threshold:
+                self._trip_locked()
+
+    def trip(self) -> None:
+        """Force the breaker open (e.g. the supervisor saw the shard die
+        — no need to burn ``failure_threshold`` doomed calls first)."""
+        with self._lock:
+            self._failures = max(self._failures, self.failure_threshold)
+            self._trip_locked()
+
+    def note_restore(self) -> None:
+        """The target was restored: move open → half-open so the next
+        call probes it instead of waiting out ``reset_after``."""
+        with self._lock:
+            if self._state == OPEN:
+                self._state = HALF_OPEN
+                self._probing = False
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probing = False
+
+    def _maybe_reset_locked(self) -> None:
+        if self._state == OPEN and self._opened_at is not None and \
+                self._clock() - self._opened_at >= self.reset_after:
+            self._state = HALF_OPEN
+            self._probing = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CircuitBreaker(state={self.state!r}, "
+                f"failures={self.consecutive_failures})")
+
+
+def full_jitter_delay(attempt: int, *, base: float, cap: float,
+                      rng: random.Random) -> float:
+    """Capped exponential backoff with full jitter.
+
+    ``uniform(0, min(cap, base * 2**attempt))`` — the "full jitter"
+    policy: the whole interval is randomized, which decorrelates a
+    thundering herd of retrying clients far better than jittering only a
+    fraction of the delay.
+    """
+    return rng.random() * min(cap, base * (2.0 ** attempt))
+
+
+class ResilientClient:
+    """A retrying, breaker-guarded, exactly-once front end for a service.
+
+    ``target`` is anything exposing ``submit(session_id, query, **kw)``
+    that accepts ``idempotency_key=`` and ``deadline=`` keywords — a
+    :class:`~repro.serve.service.PMWService`, a
+    :class:`~repro.serve.shard.ShardedService`, or a
+    :class:`~repro.serve.gateway.ServiceGateway` over either.
+
+    Retry policy (per logical request):
+
+    - retried on :class:`~repro.exceptions.ShardUnavailable` and
+      :class:`~repro.exceptions.Overloaded` — the two sheds whose cause
+      is transient (a dying/restoring shard, a momentary queue spike);
+    - **not** retried on :class:`~repro.exceptions.DeadlineUnmeetable`
+      or :class:`~repro.exceptions.RequestTimeout` — the caller's
+      deadline is the binding constraint there, and the deadline loop
+      below already bounds total retry time;
+    - capped exponential backoff with full jitter between attempts
+      (:func:`full_jitter_delay`), seeded via ``rng`` for deterministic
+      tests;
+    - a per-shard :class:`CircuitBreaker` (shard resolved through the
+      target's ``shard_of``, falling back to one breaker for unsharded
+      targets): consecutive ``ShardUnavailable`` failures trip it, an
+      open breaker fails fast with ``reason="breaker-open"``, and after
+      ``breaker_reset`` seconds a single half-open probe rides the next
+      submit.
+
+    Exactly-once: each logical request is minted one idempotency key
+    (``<client-id>:<n>``) reused verbatim across every retry. The
+    service journals ``(key, answer)`` through the write-ahead budget
+    ledger *before* releasing the reply, so a retry that arrives after a
+    mid-reply SIGKILL — when the spend is journaled but the reply was
+    lost — replays the recorded answer bitwise with zero additional
+    budget spend, on the restored shard, from its ledger.
+    """
+
+    def __init__(self, target, *, max_attempts: int = 6,
+                 base_delay: float = 0.05, max_delay: float = 2.0,
+                 breaker_failures: int = 3, breaker_reset: float = 1.0,
+                 rng=None, client_id: str | None = None,
+                 sleep=time.sleep, clock=time.monotonic) -> None:
+        if max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, "
+                                  f"got {max_attempts}")
+        self.target = target
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.breaker_failures = int(breaker_failures)
+        self.breaker_reset = float(breaker_reset)
+        self._rng = rng if isinstance(rng, random.Random) \
+            else random.Random(rng)
+        self.client_id = client_id if client_id is not None \
+            else f"rc-{uuid.uuid4().hex[:12]}"
+        self._sleep = sleep
+        self._clock = clock
+        self._counter = itertools.count()
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.stats = {"requests": 0, "attempts": 0, "retries": 0,
+                      "breaker_fast_fails": 0, "successes": 0}
+
+    # -- breakers ----------------------------------------------------------
+
+    def breaker(self, shard_id: str) -> CircuitBreaker:
+        """The breaker guarding ``shard_id`` (created on first use)."""
+        with self._lock:
+            entry = self._breakers.get(shard_id)
+            if entry is None:
+                entry = CircuitBreaker(
+                    failure_threshold=self.breaker_failures,
+                    reset_after=self.breaker_reset, clock=self._clock)
+                self._breakers[shard_id] = entry
+            return entry
+
+    @property
+    def breaker_states(self) -> dict[str, str]:
+        """``{shard_id: state}`` for every breaker seen so far."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {shard: breaker.state for shard, breaker in breakers.items()}
+
+    def note_restore(self, shard_id: str) -> None:
+        """Tell the shard's breaker its target was restored (half-open
+        probe on the next submit, no ``breaker_reset`` wait)."""
+        self.breaker(shard_id).note_restore()
+
+    def _shard_key(self, session_id: str) -> str:
+        for obj in (self.target, getattr(self.target, "service", None)):
+            shard_of = getattr(obj, "shard_of", None)
+            if callable(shard_of):
+                try:
+                    return str(shard_of(session_id))
+                except Exception:
+                    break
+        return "service"
+
+    # -- the retry loop ----------------------------------------------------
+
+    def mint_key(self) -> str:
+        """A fresh idempotency key (one per *logical* request)."""
+        return f"{self.client_id}:{next(self._counter)}"
+
+    def submit(self, session_id: str, query, *, deadline=None,
+               idempotency_key: str | None = None, **kwargs):
+        """Submit one logical request, retrying until it succeeds, the
+        attempts are exhausted, or ``deadline`` expires.
+
+        ``deadline`` may be a :class:`Deadline` or a float budget in
+        seconds; it bounds the *whole* retried operation and is also
+        forwarded to the target so admission control and engine batching
+        see it. Extra keyword arguments (``use_cache=``, ``lane=``,
+        ``on_halt=``, ...) are forwarded verbatim.
+        """
+        if isinstance(deadline, (int, float)):
+            deadline = Deadline.after(deadline, clock=self._clock)
+        key = idempotency_key if idempotency_key is not None \
+            else self.mint_key()
+        self.stats["requests"] += 1
+        shard = self._shard_key(session_id)
+        last_exc: Exception | None = None
+        for attempt in range(self.max_attempts):
+            if deadline is not None and deadline.expired:
+                break
+            breaker = self.breaker(shard)
+            claimed = breaker.allow()
+            if not claimed:
+                self.stats["breaker_fast_fails"] += 1
+                last_exc = ShardUnavailable(
+                    f"circuit breaker open for shard {shard!r}",
+                    shard_id=shard, session_id=session_id,
+                    reason="breaker-open")
+                if attempt == 0:
+                    # Fail fast for fresh traffic against a known-bad
+                    # shard; mid-loop we instead wait out the backoff
+                    # for the half-open probe window.
+                    raise last_exc
+            else:
+                self.stats["attempts"] += 1
+                try:
+                    result = self.target.submit(
+                        session_id, query, idempotency_key=key,
+                        deadline=deadline, **kwargs)
+                except ShardUnavailable as exc:
+                    if exc.shard_id is not None:
+                        shard = str(exc.shard_id)
+                    self.breaker(shard).record_failure()
+                    last_exc = exc
+                except Overloaded as exc:
+                    # The service is alive and refusing — back off, but
+                    # don't count it against the shard's breaker.
+                    breaker.record_success()
+                    last_exc = exc
+                else:
+                    breaker.record_success()
+                    self.stats["successes"] += 1
+                    return result
+            if attempt + 1 < self.max_attempts:
+                delay = full_jitter_delay(
+                    attempt, base=self.base_delay, cap=self.max_delay,
+                    rng=self._rng)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline.remaining()))
+                self.stats["retries"] += 1
+                if delay > 0:
+                    self._sleep(delay)
+        if last_exc is not None:
+            raise last_exc
+        raise DeadlineUnmeetable(
+            f"deadline expired before any attempt for session "
+            f"{session_id!r}", session_id=session_id,
+            deadline_remaining=deadline.remaining() if deadline else 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResilientClient(client_id={self.client_id!r}, "
+                f"max_attempts={self.max_attempts}, "
+                f"stats={self.stats})")

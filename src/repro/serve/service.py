@@ -46,7 +46,13 @@ from repro.exceptions import (
 )
 from repro.obs import trace
 from repro.serve.cache import AnswerCache, CachedAnswer
-from repro.serve.ledger import BudgetLedger, fsync_dir, replay_ledger
+from repro.serve.ledger import (
+    BudgetLedger,
+    decode_answer_value,
+    encode_answer_value,
+    fsync_dir,
+    replay_ledger,
+)
 from repro.serve.planner import concurrent_map, plan_batch
 from repro.serve.registry import MechanismRegistry, default_registry
 from repro.serve.session import ServeResult, Session, try_fingerprint
@@ -126,6 +132,10 @@ class PMWService:
         self._lock = threading.Lock()
         self._session_counter = 0
         self._closed = False
+        # Exactly-once retry support: idempotency key -> the full reply
+        # already released under that key (journaled through the ledger
+        # as an ``answer`` record before release, rebuilt on restore).
+        self._answers: dict[str, dict] = {}
 
     # -- sessions ------------------------------------------------------------
 
@@ -223,14 +233,33 @@ class PMWService:
     # -- serving ---------------------------------------------------------------
 
     def submit(self, session_id: str, query, *, use_cache: bool = True,
-               on_halt: str = "raise") -> ServeResult:
+               on_halt: str = "raise", idempotency_key: str | None = None,
+               deadline=None) -> ServeResult:
         """Serve one query: cache first, then a mechanism round.
 
         ``on_halt="hypothesis"`` downgrades a halted mechanism to the
         public-hypothesis path instead of raising
         :class:`MechanismHalted`.
+
+        ``idempotency_key`` makes the request exactly-once under
+        retries: the reply is journaled through the budget ledger under
+        the key *before* release, and a later submit carrying the same
+        key replays the recorded reply bitwise — zero additional budget
+        spend — instead of re-running a mechanism round. Keys are
+        client-minted (see
+        :class:`~repro.serve.resilience.ResilientClient`).
+
+        ``deadline`` (a :class:`~repro.serve.resilience.Deadline`) is
+        accepted for call-signature uniformity across the serving stack;
+        a request that has reached the mechanism is always served to
+        completion (its spend is already committed), so it only
+        influences optional work such as batch prewarming.
         """
         self._check_service_open()
+        if idempotency_key is not None:
+            recorded = self._recorded_answer(session_id, idempotency_key)
+            if recorded is not None:
+                return recorded
         session = self.session(session_id)
         self._check_session_open(session)
         fingerprint = try_fingerprint(query)
@@ -238,9 +267,11 @@ class PMWService:
             hit = self.cache.get(session_id, fingerprint,
                                  version=self._cache_version(session))
             if hit is not None:
-                return self._cache_result(session_id, fingerprint, hit)
-        return self._serve_uncached(session, query, fingerprint, on_halt,
-                                    recheck_cache=use_cache)
+                result = self._cache_result(session_id, fingerprint, hit)
+                return self._journal_answer(idempotency_key, result)
+        result = self._serve_uncached(session, query, fingerprint, on_halt,
+                                      recheck_cache=use_cache)
+        return self._journal_answer(idempotency_key, result)
 
     def _cache_version(self, session: Session) -> int | None:
         """The hypothesis version cache lookups key on, per policy.
@@ -279,7 +310,9 @@ class PMWService:
 
     def serve_session_batch(self, session_id: str, queries, *,
                             use_cache: bool = True,
-                            on_halt: str = "hypothesis") -> list[ServeResult]:
+                            on_halt: str = "hypothesis",
+                            idempotency_keys=None,
+                            deadline=None) -> list[ServeResult]:
         """Serve one session's batch: planned lanes, engine-prewarmed.
 
         The single-session execution path under :meth:`answer_batch`
@@ -289,8 +322,49 @@ class PMWService:
         session pre-warms the mechanism lane through the batched
         evaluation engine, and the lane streams in order under the
         session lock. Results align with ``queries``.
+
+        ``idempotency_keys`` aligns with ``queries`` (``None`` entries
+        allowed): a query whose key already has a journaled answer is
+        replayed bitwise from the record without touching the mechanism;
+        the rest are served normally and their replies journaled under
+        their keys before the batch returns (see :meth:`submit`).
+        ``deadline`` bounds optional work only — an expired deadline
+        skips the engine prewarm, never an already-admitted query.
         """
+        queries = list(queries)
+        keys = (list(idempotency_keys) if idempotency_keys is not None
+                else [None] * len(queries))
+        if len(keys) != len(queries):
+            raise ValidationError(
+                f"idempotency_keys length {len(keys)} != "
+                f"batch length {len(queries)}"
+            )
         self._check_service_open()
+        replayed: dict[int, ServeResult] = {}
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            recorded = self._recorded_answer(session_id, key)
+            if recorded is not None:
+                replayed[index] = recorded
+        if len(replayed) == len(queries):
+            return [replayed[index] for index in range(len(queries))]
+        fresh = [index for index in range(len(queries))
+                 if index not in replayed]
+        fresh_results = self._serve_batch_fresh(
+            session_id, [queries[index] for index in fresh],
+            use_cache=use_cache, on_halt=on_halt, deadline=deadline)
+        out: list[ServeResult] = [None] * len(queries)  # type: ignore
+        for position, index in enumerate(fresh):
+            out[index] = self._journal_answer(keys[index],
+                                              fresh_results[position])
+        for index, result in replayed.items():
+            out[index] = result
+        return out
+
+    def _serve_batch_fresh(self, session_id: str, queries, *,
+                           use_cache: bool, on_halt: str,
+                           deadline=None) -> list[ServeResult]:
         session = self.session(session_id)
         self._check_session_open(session)
         with trace.span("serve.plan", session=session_id,
@@ -309,8 +383,15 @@ class PMWService:
             # pre-computes its data-side minimizations in a single
             # vectorized pass before the lane streams through the
             # mechanism in order.
+            # Prewarming is an optimization, not a correctness step: a
+            # batch whose deadline has already passed skips it and
+            # streams the lane directly (claimed work always completes —
+            # the spends are committed — but there is no point paying
+            # for a vectorized warm-up the waiter will never notice).
             lane = plan.mechanism_lane(queries)
-            if len(lane) > 1:
+            expired = (deadline is not None
+                       and getattr(deadline, "expired", False))
+            if len(lane) > 1 and not expired:
                 with trace.span("serve.prewarm", session=session_id,
                                 lane=len(lane)):
                     session.prewarm(lane)
@@ -550,6 +631,21 @@ class PMWService:
             record = self.session(sid).snapshot()
             record["dataset_digest"] = digests.get(record.get("dataset"))
             sessions[sid] = record
+        with self._lock:
+            answers = {
+                key: {
+                    "session": record["session"],
+                    "fingerprint": record["fingerprint"],
+                    "value": encode_answer_value(record["value"]),
+                    "source": record["source"],
+                    "query_index": (record["query_index"]
+                                    if record["query_index"] is not None
+                                    else -1),
+                    "epsilon": record["epsilon"],
+                    "delta": record["delta"],
+                }
+                for key, record in self._answers.items()
+            }
         state = {
             "format": SNAPSHOT_FORMAT,
             "session_counter": self._session_counter,
@@ -557,6 +653,7 @@ class PMWService:
             "ledger_seq": ledger_seq,
             "sessions": sessions,
             "cache": cache_state,
+            "answers": answers,
         }
         if path is not None:
             path = os.fspath(path)
@@ -701,7 +798,16 @@ class PMWService:
                         session.last_spend_seq = spends[-1]["seq"]
                 if sid in ledger_state.closed:
                     service.session(sid).close()
+        # Idempotency answers: the ledger is the authority (it saw every
+        # keyed reply released before the crash); a stamped snapshot
+        # seeds the map and the journal suffix layers the crash window
+        # on top.
+        if snapshot is not None:
+            service._adopt_answer_records(snapshot.get("answers", {}))
+        if ledger_state is not None:
+            service._adopt_answer_records(ledger_state.answers)
         if suffix_state is not None:
+            service._adopt_answer_records(suffix_state.answers)
             service._reconcile_ledger_suffix(suffix_state, stamp,
                                              params_override)
         if service.ledger is not None and stamp is None:
@@ -858,6 +964,80 @@ class PMWService:
         session.pending_spends = session.consume_unjournaled()
         with self._lock:
             self._sessions[sid] = session
+
+    # -- exactly-once idempotency ------------------------------------------------
+
+    def _recorded_answer(self, session_id: str,
+                         key: str) -> ServeResult | None:
+        """The reply already released under ``key``, or ``None``.
+
+        A hit reconstructs the original :class:`ServeResult` bitwise —
+        including the *original* spend figures, reported for fidelity
+        (nothing is charged again) — without touching mechanism state,
+        cache, or accountant.
+        """
+        with self._lock:
+            record = self._answers.get(key)
+        if record is None:
+            return None
+        if record["session"] != session_id:
+            raise ValidationError(
+                f"idempotency key {key!r} was minted for session "
+                f"{record['session']!r}, not {session_id!r}; keys are "
+                f"per-logical-request and must not be reused"
+            )
+        return ServeResult(
+            session_id=session_id, fingerprint=record["fingerprint"],
+            value=record["value"], source=record["source"],
+            query_index=record["query_index"],
+            epsilon_spent=record["epsilon"], delta_spent=record["delta"],
+        )
+
+    def _journal_answer(self, key: str | None,
+                        result: ServeResult) -> ServeResult:
+        """Journal ``result`` under ``key`` (durably, before the reply
+        leaves the service) and remember it for replay. No-op without a
+        key; idempotent for a key already journaled."""
+        if key is None:
+            return result
+        with self._lock:
+            if key in self._answers:
+                return result
+        if self.ledger is not None:
+            self.ledger.append_answer(
+                result.session_id, key, value=result.value,
+                source=result.source,
+                query_index=(result.query_index
+                             if result.query_index is not None else -1),
+                fingerprint=result.fingerprint,
+                epsilon_spent=result.epsilon_spent,
+                delta_spent=result.delta_spent)
+        with self._lock:
+            self._answers[key] = {
+                "session": result.session_id,
+                "fingerprint": result.fingerprint,
+                "value": result.value, "source": result.source,
+                "query_index": result.query_index,
+                "epsilon": result.epsilon_spent,
+                "delta": result.delta_spent,
+            }
+        return result
+
+    def _adopt_answer_records(self, records: dict) -> None:
+        """Rebuild the replay map from ledger ``answer`` records."""
+        for key, record in records.items():
+            query_index = int(record.get("query_index", -1))
+            with self._lock:
+                self._answers[key] = {
+                    "session": record.get("session", ""),
+                    "fingerprint": record.get("fingerprint", ""),
+                    "value": decode_answer_value(record["value"]),
+                    "source": record.get("source", ""),
+                    "query_index": (query_index if query_index >= 0
+                                    else None),
+                    "epsilon": float(record.get("epsilon", 0.0)),
+                    "delta": float(record.get("delta", 0.0)),
+                }
 
     @staticmethod
     def _cache_result(session_id: str, fingerprint: str,

@@ -10,10 +10,15 @@ deterministic in-worker kill points. See ``docs/serve.md`` ("Sharding
 """
 
 from repro.serve.shard.router import DEFAULT_VNODES, ConsistentHashRouter
-from repro.serve.shard.sharded import ShardedService
+from repro.serve.shard.sharded import (
+    HEALTH_FILE,
+    ShardedService,
+    read_shard_health,
+)
 from repro.serve.shard.worker import FaultPlan, ShardSpec, build_service
 
 __all__ = [
     "ConsistentHashRouter", "DEFAULT_VNODES",
-    "FaultPlan", "ShardSpec", "ShardedService", "build_service",
+    "FaultPlan", "HEALTH_FILE", "ShardSpec", "ShardedService",
+    "build_service", "read_shard_health",
 ]

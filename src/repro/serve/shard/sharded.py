@@ -57,6 +57,7 @@ from multiprocessing import connection
 
 from repro.exceptions import ShardUnavailable, ValidationError
 from repro.obs.registry import MetricsRegistry
+from repro.serve.resilience import CLOSED, CircuitBreaker
 from repro.serve.shard.router import DEFAULT_VNODES, ConsistentHashRouter
 from repro.serve.shard.worker import (
     FaultPlan,
@@ -66,6 +67,43 @@ from repro.serve.shard.worker import (
 
 _TOPOLOGY_FORMAT = "repro.serve.shard/v1"
 _TOPOLOGY_FILE = "topology.json"
+_HEALTH_FORMAT = "repro.serve.shard-health/v1"
+HEALTH_FILE = "health.json"
+
+
+def read_shard_health(directory) -> dict[str, dict]:
+    """``{shard_id: health record}`` for a deployment directory.
+
+    Reads the per-shard ``health.json`` files the supervisor persists on
+    every breaker transition (death → ``open``, restore → ``half-open``,
+    first successful call → ``closed``), so an operator — or the
+    ``repro-experiments shards`` verb — can inspect breaker state and
+    last-death timestamps *without* a live supervisor. Shards that never
+    got a health file (pre-resilience deployments, or a supervisor killed
+    before its first write) are reported with ``{"breaker": "unknown"}``.
+    """
+    directory = os.fspath(directory)
+    topo_path = os.path.join(directory, _TOPOLOGY_FILE)
+    shard_ids: list[str] = []
+    if os.path.exists(topo_path):
+        with open(topo_path, encoding="utf-8") as handle:
+            shard_ids = list(json.load(handle).get("shards", []))
+    else:
+        shard_ids = sorted(
+            entry for entry in os.listdir(directory)
+            if os.path.isdir(os.path.join(directory, entry)))
+    health: dict[str, dict] = {}
+    for shard_id in shard_ids:
+        path = os.path.join(directory, shard_id, HEALTH_FILE)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                health[shard_id] = json.load(handle)
+        except (OSError, ValueError):
+            health[shard_id] = {"format": _HEALTH_FORMAT,
+                                "shard_id": shard_id, "breaker": "unknown",
+                                "deaths": 0, "restarts": 0,
+                                "last_death_unix": None}
+    return health
 
 
 def _mp_context():
@@ -244,9 +282,25 @@ class ShardedService:
         self._last_shard_snapshot: dict[str, dict] = {}
         self._closed = False
         self.auto_restore = bool(auto_restore)
+        # Supervisor-side breakers: a death trips a shard's breaker open
+        # immediately (threshold 1 — the supervisor *saw* the corpse, no
+        # need to burn doomed calls), restore moves it to half-open, and
+        # the first successful routed call closes it. reset_after=inf
+        # makes transitions purely event-driven: an un-restored shard
+        # stays open forever. Every transition is persisted to the
+        # shard's ``health.json`` for offline operator inspection.
+        self._breakers = {
+            shard_id: CircuitBreaker(failure_threshold=1,
+                                     reset_after=float("inf"))
+            for shard_id in self.shard_ids}
+        self._death_counts = dict.fromkeys(self.shard_ids, 0)
+        self._restart_counts = dict.fromkeys(self.shard_ids, 0)
+        self._last_death_unix: dict[str, float | None] = (
+            dict.fromkeys(self.shard_ids))
         for shard_id in self.shard_ids:
             self._handles[shard_id] = self._spawn(
                 shard_id, fault_plan=self._fault_plans.get(shard_id))
+            self._write_health(shard_id)
         self._monitor = threading.Thread(
             target=self._monitor_loop, name="shard-monitor", daemon=True)
         self._monitor.start()
@@ -305,6 +359,41 @@ class ShardedService:
 
     # -- liveness ------------------------------------------------------------
 
+    def _write_health(self, shard_id: str) -> None:
+        """Persist a shard's breaker state + death accounting to its
+        ``health.json`` (atomic replace). Called on every transition so
+        the file is always current for offline inspection."""
+        shard_dir = self.shard_dir(shard_id)
+        os.makedirs(shard_dir, exist_ok=True)
+        path = os.path.join(shard_dir, HEALTH_FILE)
+        record = {
+            "format": _HEALTH_FORMAT,
+            "shard_id": shard_id,
+            "breaker": self._breakers[shard_id].state,
+            "deaths": self._death_counts[shard_id],
+            "restarts": self._restart_counts[shard_id],
+            "last_death_unix": self._last_death_unix[shard_id],
+            "updated_unix": time.time(),
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(record, handle)
+        os.replace(tmp, path)
+
+    def breaker_states(self) -> dict[str, str]:
+        """``{shard_id: breaker state}`` for the whole deployment."""
+        return {shard_id: breaker.state
+                for shard_id, breaker in self._breakers.items()}
+
+    def _note_success(self, shard_id: str) -> None:
+        """A routed call succeeded: close a non-closed breaker (the
+        half-open probe passed — or the shard recovered out of band)."""
+        breaker = self._breakers.get(shard_id)
+        if breaker is None or breaker.state == CLOSED:
+            return
+        breaker.record_success()
+        self._write_health(shard_id)
+
     def _monitor_loop(self) -> None:
         while not self._closed:
             with self._lock:
@@ -339,6 +428,10 @@ class ShardedService:
                 "shard.deaths", {"shard": handle.shard_id}).inc()
             self.registry.gauge(
                 "shard.alive", {"shard": handle.shard_id}).set(0)
+            self._death_counts[handle.shard_id] += 1
+            self._last_death_unix[handle.shard_id] = time.time()
+            self._breakers[handle.shard_id].trip()
+        self._write_health(handle.shard_id)
 
     def kill_shard(self, shard_id: str) -> int:
         """SIGKILL a shard process (chaos primitive). Returns the pid.
@@ -370,6 +463,9 @@ class ShardedService:
             self._handles[shard_id] = self._spawn(shard_id)
             self.registry.counter(
                 "shard.restarts", {"shard": shard_id}).inc()
+            self._restart_counts[shard_id] += 1
+            self._breakers[shard_id].note_restore()
+        self._write_health(shard_id)
 
     def wait_alive(self, shard_id: str, *, timeout: float = 30.0) -> None:
         """Block until a shard answers a ping (post-restore barrier)."""
@@ -377,6 +473,7 @@ class ShardedService:
         while True:
             try:
                 self._handle(shard_id).call("ping")
+                self._note_success(shard_id)
                 return
             except ShardUnavailable:
                 if time.monotonic() >= deadline:
@@ -469,36 +566,48 @@ class ShardedService:
 
     def serve_session_batch(self, session_id: str, queries, *,
                             use_cache: bool = True,
-                            on_halt: str = "hypothesis"):
+                            on_halt: str = "hypothesis",
+                            idempotency_keys=None, deadline=None):
         """Serve one session's batch on its owning shard.
 
         The unit the gateway's coalescer submits; answers align with
         ``queries``. Raises :class:`ShardUnavailable` when the owning
         shard is down or dies mid-batch (the request may or may not
         have journaled — the restored ledger is the authority; see the
-        module docstring).
+        module docstring). ``idempotency_keys`` (one per query, or
+        ``None``) cross the RPC boundary verbatim; ``deadline`` crosses
+        as remaining seconds (monotonic clocks are per-process) and is
+        rebuilt worker-side.
         """
         self._check_open()
         stub = self.session(session_id)
         return self._route_call(stub, "serve_batch", {
             "session_id": session_id, "queries": list(queries),
-            "use_cache": use_cache, "on_halt": on_halt})
+            "use_cache": use_cache, "on_halt": on_halt,
+            "idempotency_keys": (list(idempotency_keys)
+                                 if idempotency_keys is not None else None),
+            "deadline": deadline.to_wire() if deadline is not None else None})
 
     def submit(self, session_id: str, query, *, use_cache: bool = True,
-               on_halt: str = "raise"):
+               on_halt: str = "raise", idempotency_key: str | None = None,
+               deadline=None):
         """Serve one query on the session's owning shard."""
         self._check_open()
         stub = self.session(session_id)
         return self._route_call(stub, "submit", {
             "session_id": session_id, "query": query,
-            "use_cache": use_cache, "on_halt": on_halt})
+            "use_cache": use_cache, "on_halt": on_halt,
+            "idempotency_key": idempotency_key,
+            "deadline": deadline.to_wire() if deadline is not None else None})
 
     def _route_call(self, stub: _SessionStub, verb: str, payload):
         try:
-            return self._handle(stub.shard_id).call(verb, payload)
+            result = self._handle(stub.shard_id).call(verb, payload)
         except ShardUnavailable as exc:
             exc.session_id = stub.session_id
             raise
+        self._note_success(stub.shard_id)
+        return result
 
     def gateway(self, **knobs):
         """A :class:`~repro.serve.gateway.ServiceGateway` fronting this
@@ -619,4 +728,4 @@ class ShardedService:
                 f"directory={self.directory!r})")
 
 
-__all__ = ["ShardedService"]
+__all__ = ["HEALTH_FILE", "ShardedService", "read_shard_health"]

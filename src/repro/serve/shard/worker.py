@@ -43,6 +43,7 @@ import dataclasses
 import os
 
 from repro.exceptions import ValidationError
+from repro.serve.resilience import Deadline
 
 #: Exit codes for injected faults, so a supervisor (or a confused
 #: operator reading ``dmesg``) can tell a planned chaos kill from a
@@ -59,10 +60,10 @@ CHECKPOINT_DIR = "checkpoints"
 class FaultPlan:
     """Deterministic kill points for chaos tests (see module docstring).
 
-    Batch numbers are 1-based counts of ``serve_batch`` requests
-    handled by this worker incarnation; a restarted worker gets a fresh
-    plan (normally ``None``), so faults do not re-trigger after
-    restore.
+    Batch numbers are 1-based counts of serving requests
+    (``serve_batch`` and ``submit``) handled by this worker incarnation;
+    a restarted worker gets a fresh plan (normally ``None``), so faults
+    do not re-trigger after restore.
     """
 
     exit_after_batch: int | None = None
@@ -159,7 +160,9 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                     results = service.serve_session_batch(
                         payload["session_id"], payload["queries"],
                         use_cache=payload.get("use_cache", True),
-                        on_halt=payload.get("on_halt", "hypothesis"))
+                        on_halt=payload.get("on_halt", "hypothesis"),
+                        idempotency_keys=payload.get("idempotency_keys"),
+                        deadline=Deadline.from_wire(payload.get("deadline")))
                     batches.inc()
                     requests.inc(len(payload["queries"]))
                     checkpointer.maybe_checkpoint()
@@ -167,12 +170,17 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                         os._exit(EXIT_BEFORE_REPLY)
                     reply = ("ok", results)
                 elif verb == "submit":
+                    batch_count += 1
                     result = service.submit(
                         payload["session_id"], payload["query"],
                         use_cache=payload.get("use_cache", True),
-                        on_halt=payload.get("on_halt", "raise"))
+                        on_halt=payload.get("on_halt", "raise"),
+                        idempotency_key=payload.get("idempotency_key"),
+                        deadline=Deadline.from_wire(payload.get("deadline")))
                     requests.inc()
                     checkpointer.maybe_checkpoint()
+                    if fault.exit_before_reply == batch_count:
+                        os._exit(EXIT_BEFORE_REPLY)
                     reply = ("ok", result)
                 elif verb == "open_session":
                     mechanism = payload.pop("mechanism")
@@ -226,7 +234,8 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
                 conn.send(("error", ValidationError(
                     f"shard reply for {verb!r} was not picklable: "
                     f"{reply[1]!r}")))
-            if fault.exit_after_batch == batch_count and verb == "serve_batch":
+            if fault.exit_after_batch == batch_count and \
+                    verb in ("serve_batch", "submit"):
                 os._exit(EXIT_AFTER_BATCH)
     finally:
         service.close()

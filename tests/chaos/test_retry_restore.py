@@ -1,0 +1,134 @@
+"""Exactly-once retries across a journal-then-die kill point.
+
+The nastiest failure for a PMW service: the shard journals the spend
+*and* the answer, then dies before the reply crosses the pipe. The
+client saw nothing; a naive retry would re-run the round and
+double-spend non-refundable budget. :class:`ResilientClient` retries
+with the *same* minted idempotency key, and the restored shard — whose
+ledger replay rebuilt the answer journal — replays the recorded answer
+bitwise instead of serving fresh. These tests pin that contract
+oracle-relative: a crash-free single-process run must end with the
+same answers and the same accountant records.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.losses.families import random_quadratic_family
+from repro.serve.ledger import replay_ledger
+from repro.serve.resilience import ResilientClient
+from repro.serve.service import PMWService
+from repro.serve.shard import FaultPlan, ShardedService, read_shard_health
+from repro.serve.shard.worker import LEDGER_NAME
+
+from harness import CHAOS_PARAMS, session_seed
+
+SID = "an-00"
+ROUNDS = 4
+
+
+def build_queries(universe):
+    return [random_quadratic_family(universe, 1,
+                                    rng=index * 1000 + session_seed(SID))[0]
+            for index in range(ROUNDS)]
+
+
+def oracle_submits(dataset, queries, ledger_path):
+    """Crash-free ground truth: same seeds, same single-query submits."""
+    with PMWService(dataset, ledger_path=ledger_path,
+                    ledger_fsync=False) as service:
+        service.open_session("pmw-convex", session_id=SID, analyst=SID,
+                             rng=session_seed(SID), **CHAOS_PARAMS)
+        answers = [service.submit(SID, query, on_halt="hypothesis").value
+                   for query in queries]
+        records = {SID: service.session(SID).accountant.to_records()}
+    return records, answers
+
+
+def test_retry_after_journal_then_sigkill_replays_bitwise(cube_dataset,
+                                                          tmp_path):
+    """Request 2 journals its spend and its answer, then the worker dies
+    before replying. The client's retry (same idempotency key) must get
+    the *recorded* answer from the restored shard — totals and values
+    bitwise-equal to the oracle, zero double-spend."""
+    queries = build_queries(cube_dataset.universe)
+    oracle_records, oracle_answers = oracle_submits(
+        cube_dataset, queries, tmp_path / "oracle.jsonl")
+
+    service = ShardedService(
+        cube_dataset, tmp_path / "dep", shards=1, checkpoint_every=1,
+        ledger_fsync=False, rng=0, auto_restore=True,
+        fault_plans={"shard-00": FaultPlan(exit_before_reply=2)})
+    try:
+        service.open_session("pmw-convex", session_id=SID, analyst=SID,
+                             rng=session_seed(SID), **CHAOS_PARAMS)
+        client = ResilientClient(service, rng=0, max_attempts=10,
+                                 base_delay=0.2, max_delay=1.0,
+                                 breaker_failures=8, client_id="chaos")
+        answers = [client.submit(SID, query, on_halt="hypothesis").value
+                   for query in queries]
+        records = service.budget_records()
+        ledger_path = os.path.join(service.shard_dir("shard-00"),
+                                   LEDGER_NAME)
+    finally:
+        service.close()
+
+    # The kill actually happened and the client actually retried.
+    assert client.stats["attempts"] > client.stats["requests"]
+    assert client.stats["successes"] == ROUNDS
+
+    # Every submit journaled its answer under the client's minted key,
+    # and the journal survived the SIGKILL.
+    state = replay_ledger(ledger_path)
+    assert len(state.answers) == ROUNDS
+    assert all(key.startswith("chaos:") for key in state.answers)
+
+    # Oracle-relative exactness: same values, same accountant records —
+    # the retried request replayed instead of double-spending.
+    for got, want in zip(answers, oracle_answers):
+        assert np.array_equal(np.asarray(got), np.asarray(want))
+    assert records == oracle_records
+
+    # The supervisor persisted the death + recovery into health.json.
+    health = read_shard_health(service.directory)["shard-00"]
+    assert health["deaths"] == 1
+    assert health["restarts"] == 1
+    assert health["last_death_unix"] is not None
+    assert health["breaker"] in ("half-open", "closed")
+
+
+def test_breaker_opens_and_shards_verb_reports_it(cube_dataset, tmp_path):
+    """With auto-restore off, a killed shard leaves its breaker open in
+    health.json — the state the `repro-experiments shards` verb turns
+    into a nonzero exit."""
+    from repro.experiments.sharding import shard_status
+
+    service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                             ledger_fsync=False, rng=0,
+                             auto_restore=False)
+    try:
+        service.open_session("pmw-convex", session_id=SID, analyst=SID,
+                             rng=session_seed(SID), **CHAOS_PARAMS)
+        victim = service.shard_of(SID)
+        assert service.breaker_states()[victim] == "closed"
+        service.kill_shard(victim)
+        assert service.breaker_states()[victim] == "open"
+        health = read_shard_health(service.directory)[victim]
+        assert health["breaker"] == "open"
+        assert health["deaths"] == 1
+        assert shard_status(str(service.directory)) != 0
+
+        # Restore: breaker half-opens, then the first successful call
+        # closes it and the verb goes green again.
+        service.restore_shard(victim)
+        assert service.breaker_states()[victim] == "half-open"
+        service.wait_alive(victim)
+        assert service.breaker_states()[victim] == "closed"
+        assert read_shard_health(service.directory)[victim][
+            "breaker"] == "closed"
+        assert shard_status(str(service.directory)) == 0
+    finally:
+        service.close()

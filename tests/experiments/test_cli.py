@@ -15,7 +15,8 @@ class TestCLI:
     def test_every_bench_has_a_cli_entry(self):
         """Keep the CLI in sync with the experiment index (E1-E16 plus
         the serving-layer demos that share their benchmark's number)."""
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 17)} | {"e22"}
+        assert set(EXPERIMENTS) == \
+            {f"e{i}" for i in range(1, 17)} | {"e22", "e23"}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,655 @@
+"""Tests for `repro.serve.resilience` and the resilience plumbing.
+
+Covers the deadline object and its wire crossing, the circuit-breaker
+state machine, full-jitter backoff bounds, the `Shed` exception
+hierarchy's machine-readable reasons, the `ResilientClient` retry loop
+(breaker fast-fail, idempotency-key reuse, deadline bounding), the
+service-side exactly-once answer journal (replay, restore, compaction),
+and the gateway's priority lanes + deadline-aware admission.
+"""
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DeadlineUnmeetable,
+    Overloaded,
+    RequestTimeout,
+    Shed,
+    ShardUnavailable,
+    ValidationError,
+)
+from repro.losses.families import random_quadratic_family
+from repro.serve.ledger import (
+    decode_answer_value,
+    encode_answer_value,
+    replay_ledger,
+)
+from repro.serve.metrics import GatewayMetrics
+from repro.serve.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Deadline,
+    ResilientClient,
+    full_jitter_delay,
+)
+from repro.serve.service import PMWService
+
+
+def open_convex(service, **overrides):
+    params = dict(oracle="non-private", scale=4.0, alpha=0.3, beta=0.1,
+                  epsilon=2.0, delta=1e-6, schedule="calibrated",
+                  max_updates=4, solver_steps=60, noise_multiplier=0.0)
+    params.update(overrides)
+    return service.open_session("pmw-convex", **params)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- Deadline -----------------------------------------------------------------
+
+
+class TestDeadline:
+    def test_remaining_counts_down(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(1.0)
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_wire_round_trip_preserves_remaining(self):
+        sender = FakeClock(100.0)
+        receiver = FakeClock(7.0)  # monotonic clocks never align
+        deadline = Deadline.after(3.0, clock=sender)
+        sender.advance(1.0)
+        rebuilt = Deadline.from_wire(deadline.to_wire(), clock=receiver)
+        assert rebuilt.remaining() == pytest.approx(2.0)
+
+    def test_wire_none_maps_to_none(self):
+        assert Deadline.from_wire(None) is None
+
+    def test_expired_deadline_wires_as_zero(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(5.0)
+        assert deadline.to_wire() == 0.0
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_nonfinite_budget_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            Deadline.after(bad)
+
+
+# -- CircuitBreaker -----------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trips_open_at_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_clears_the_failure_run(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_reset_after_moves_open_to_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(4.9)
+        assert breaker.state == OPEN
+        clock.advance(0.2)
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_allows_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()       # claims the probe slot
+        assert not breaker.allow()   # second caller is refused
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after=1.0,
+                                 clock=clock)
+        breaker.trip()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()  # one failure suffices in half-open
+        assert breaker.state == OPEN
+
+    def test_note_restore_skips_the_wait(self):
+        breaker = CircuitBreaker(failure_threshold=1,
+                                 reset_after=float("inf"),
+                                 clock=FakeClock())
+        breaker.trip()
+        assert breaker.state == OPEN
+        breaker.note_restore()
+        assert breaker.state == HALF_OPEN
+
+    def test_note_restore_is_a_noop_when_closed(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        breaker.note_restore()
+        assert breaker.state == CLOSED
+
+    @pytest.mark.parametrize("knobs", [
+        dict(failure_threshold=0), dict(reset_after=-1.0),
+    ])
+    def test_bad_knobs_rejected(self, knobs):
+        with pytest.raises(ValidationError):
+            CircuitBreaker(**knobs)
+
+
+# -- full-jitter backoff ------------------------------------------------------
+
+
+class TestFullJitter:
+    def test_delays_bounded_by_exponential_cap(self):
+        rng = random.Random(0)
+        for attempt in range(10):
+            for _ in range(50):
+                delay = full_jitter_delay(attempt, base=0.05, cap=2.0,
+                                          rng=rng)
+                assert 0.0 <= delay <= min(2.0, 0.05 * 2 ** attempt)
+
+    def test_seeded_rng_is_deterministic(self):
+        a = [full_jitter_delay(n, base=0.1, cap=5.0, rng=random.Random(7))
+             for n in range(5)]
+        b = [full_jitter_delay(n, base=0.1, cap=5.0, rng=random.Random(7))
+             for n in range(5)]
+        assert a == b
+
+
+# -- Shed hierarchy -----------------------------------------------------------
+
+
+class TestShedHierarchy:
+    def test_all_sheds_carry_machine_readable_reasons(self):
+        cases = [
+            (Overloaded("x", session_id="s"), "overload"),
+            (RequestTimeout("x", session_id="s", waited=1.0), "timeout"),
+            (DeadlineUnmeetable("x", session_id="s"), "deadline"),
+            (ShardUnavailable("x", shard_id="shard-00", reason="dead"),
+             "dead"),
+        ]
+        for exc, reason in cases:
+            assert isinstance(exc, Shed)
+            assert exc.reason == reason
+
+    def test_deadline_unmeetable_reports_the_gap(self):
+        exc = DeadlineUnmeetable("x", session_id="s",
+                                 deadline_remaining=0.1,
+                                 estimated_wait=2.5)
+        assert exc.deadline_remaining == 0.1
+        assert exc.estimated_wait == 2.5
+
+
+# -- ResilientClient ----------------------------------------------------------
+
+
+class FlakyTarget:
+    """Fails the first ``failures`` submits, then answers."""
+
+    def __init__(self, failures, *, exc=None):
+        self.failures = failures
+        self.exc = exc
+        self.calls = []
+
+    def shard_of(self, session_id):
+        return "shard-00"
+
+    def submit(self, session_id, query, *, idempotency_key=None,
+               deadline=None, **kwargs):
+        self.calls.append(idempotency_key)
+        if len(self.calls) <= self.failures:
+            raise self.exc or ShardUnavailable(
+                "down", shard_id="shard-00", reason="died-in-flight")
+        return f"answer:{query}"
+
+
+def make_client(target, **overrides):
+    knobs = dict(rng=0, sleep=lambda seconds: None, client_id="test")
+    knobs.update(overrides)
+    return ResilientClient(target, **knobs)
+
+
+class TestResilientClient:
+    def test_retries_until_success(self):
+        target = FlakyTarget(failures=2)
+        client = make_client(target, max_attempts=5)
+        assert client.submit("s", "q") == "answer:q"
+        assert len(target.calls) == 3
+        assert client.stats["retries"] >= 2
+        assert client.stats["successes"] == 1
+
+    def test_same_idempotency_key_on_every_attempt(self):
+        target = FlakyTarget(failures=3)
+        client = make_client(target, max_attempts=6, breaker_failures=10)
+        client.submit("s", "q")
+        assert len(set(target.calls)) == 1
+        assert target.calls[0].startswith("test:")
+
+    def test_fresh_requests_get_fresh_keys(self):
+        target = FlakyTarget(failures=0)
+        client = make_client(target)
+        client.submit("s", "a")
+        client.submit("s", "b")
+        assert len(set(target.calls)) == 2
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        target = FlakyTarget(failures=99)
+        client = make_client(target, max_attempts=3, breaker_failures=10)
+        with pytest.raises(ShardUnavailable):
+            client.submit("s", "q")
+        assert len(target.calls) == 3
+
+    def test_open_breaker_fails_fast_without_touching_target(self):
+        target = FlakyTarget(failures=99)
+        client = make_client(target, max_attempts=4, breaker_failures=2,
+                             breaker_reset=1e9)
+        with pytest.raises(ShardUnavailable):
+            client.submit("s", "q")
+        calls_before = len(target.calls)
+        assert client.breaker_states["shard-00"] == OPEN
+        with pytest.raises(ShardUnavailable) as excinfo:
+            client.submit("s", "q2")
+        assert excinfo.value.reason == "breaker-open"
+        assert len(target.calls) == calls_before  # never reached the shard
+        assert client.stats["breaker_fast_fails"] >= 1
+
+    def test_note_restore_lets_a_probe_through(self):
+        target = FlakyTarget(failures=99)
+        client = make_client(target, max_attempts=2, breaker_failures=1,
+                             breaker_reset=1e9)
+        with pytest.raises(ShardUnavailable):
+            client.submit("s", "q")
+        target.failures = 0  # the shard came back
+        client.note_restore("shard-00")
+        assert client.breaker_states["shard-00"] == HALF_OPEN
+        assert client.submit("s", "q2").startswith("answer:")
+        assert client.breaker_states["shard-00"] == CLOSED
+
+    def test_overloaded_is_retried_but_not_a_breaker_failure(self):
+        target = FlakyTarget(failures=2, exc=Overloaded("busy"))
+        client = make_client(target, max_attempts=5, breaker_failures=1)
+        assert client.submit("s", "q") == "answer:q"
+        assert client.breaker_states["shard-00"] == CLOSED
+
+    def test_deadline_bounds_the_retry_loop(self):
+        clock = FakeClock()
+
+        def sleeping(seconds):
+            clock.advance(seconds)
+
+        target = FlakyTarget(failures=99)
+        client = make_client(target, max_attempts=50, base_delay=0.5,
+                             max_delay=0.5, breaker_failures=100,
+                             sleep=sleeping, clock=clock)
+        with pytest.raises(ShardUnavailable):
+            client.submit("s", "q", deadline=2.0)
+        assert len(target.calls) < 50  # the deadline cut the loop short
+
+    def test_expired_deadline_raises_without_an_attempt(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(2.0)
+        target = FlakyTarget(failures=0)
+        client = make_client(target, clock=clock)
+        with pytest.raises(DeadlineUnmeetable):
+            client.submit("s", "q", deadline=deadline)
+        assert target.calls == []
+
+    def test_unsharded_target_uses_one_breaker(self):
+        class Bare:
+            def submit(self, session_id, query, **kwargs):
+                raise ShardUnavailable("down")
+
+        client = make_client(Bare(), max_attempts=2, breaker_failures=10)
+        with pytest.raises(ShardUnavailable):
+            client.submit("s", "q")
+        assert "service" in client.breaker_states
+
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValidationError):
+            ResilientClient(FlakyTarget(0), max_attempts=0)
+
+
+# -- answer-value encoding ----------------------------------------------------
+
+
+class TestAnswerEncoding:
+    def test_float_round_trips_bitwise(self):
+        value = 0.1 + 0.2  # a float with untidy digits
+        assert decode_answer_value(encode_answer_value(value)) == value
+
+    def test_ndarray_round_trips_bitwise(self):
+        value = np.random.default_rng(3).normal(size=(4, 2))
+        decoded = decode_answer_value(encode_answer_value(value))
+        assert decoded.dtype == value.dtype
+        assert decoded.shape == value.shape
+        assert np.array_equal(decoded, value)
+
+
+# -- service-side exactly-once ------------------------------------------------
+
+
+class TestServiceIdempotency:
+    def _query(self, universe, seed=0):
+        return random_quadratic_family(universe, 1, rng=seed)[0]
+
+    def test_replay_is_bitwise_and_free(self, cube_dataset, tmp_path):
+        with PMWService(cube_dataset,
+                        ledger_path=tmp_path / "ledger.jsonl") as service:
+            sid = open_convex(service)
+            query = self._query(cube_dataset.universe)
+            first = service.submit(sid, query, idempotency_key="c:0")
+            accountant = service.session(sid).accountant
+            spent_after_first = accountant.total_basic().epsilon
+            replay = service.submit(sid, query, idempotency_key="c:0")
+            assert np.array_equal(np.asarray(replay.value),
+                                  np.asarray(first.value))
+            assert replay.source == first.source
+            assert replay.epsilon_spent == first.epsilon_spent
+            assert accountant.total_basic().epsilon == spent_after_first
+
+    def test_replay_survives_restart_via_ledger(self, cube_dataset,
+                                                tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        with PMWService(cube_dataset, ledger_path=ledger_path) as service:
+            sid = open_convex(service, rng=5)
+            query = self._query(cube_dataset.universe)
+            first = service.submit(sid, query, idempotency_key="c:0")
+            total = service.session(sid).accountant.total_basic().epsilon
+        restored = PMWService.restore(cube_dataset,
+                                      ledger_path=ledger_path)
+        with restored:
+            replay = restored.submit(sid, query, idempotency_key="c:0")
+            assert np.array_equal(np.asarray(replay.value),
+                                  np.asarray(first.value))
+            # The replay re-charged nothing.
+            restored_total = restored.session(
+                sid).accountant.total_basic().epsilon
+            assert restored_total == total
+
+    def test_cross_session_key_reuse_rejected(self, cube_dataset, tmp_path):
+        with PMWService(cube_dataset,
+                        ledger_path=tmp_path / "ledger.jsonl") as service:
+            sid_a = open_convex(service)
+            sid_b = open_convex(service)
+            query = self._query(cube_dataset.universe)
+            service.submit(sid_a, query, idempotency_key="c:0")
+            with pytest.raises(ValidationError):
+                service.submit(sid_b, query, idempotency_key="c:0")
+
+    def test_batch_keys_partition_replayed_and_fresh(self, cube_dataset,
+                                                     tmp_path):
+        with PMWService(cube_dataset,
+                        ledger_path=tmp_path / "ledger.jsonl") as service:
+            sid = open_convex(service)
+            queries = random_quadratic_family(cube_dataset.universe, 2,
+                                              rng=1)
+            first = service.serve_session_batch(
+                sid, queries, idempotency_keys=["k:0", "k:1"])
+            # Replay one key alongside a fresh unkeyed query.
+            fresh = self._query(cube_dataset.universe, seed=9)
+            second = service.serve_session_batch(
+                sid, [queries[0], fresh], idempotency_keys=["k:0", None])
+            assert np.array_equal(np.asarray(second[0].value),
+                                  np.asarray(first[0].value))
+
+    def test_batch_key_length_mismatch_rejected(self, cube_dataset,
+                                                tmp_path):
+        with PMWService(cube_dataset,
+                        ledger_path=tmp_path / "ledger.jsonl") as service:
+            sid = open_convex(service)
+            queries = random_quadratic_family(cube_dataset.universe, 2,
+                                              rng=1)
+            with pytest.raises(ValidationError):
+                service.serve_session_batch(sid, queries,
+                                            idempotency_keys=["k:0"])
+
+    def test_answers_survive_compaction(self, cube_dataset, tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        with PMWService(cube_dataset, ledger_path=ledger_path) as service:
+            sid = open_convex(service, rng=5)
+            query = self._query(cube_dataset.universe)
+            first = service.submit(sid, query, idempotency_key="c:0")
+            service.ledger.compact()
+        state = replay_ledger(ledger_path)
+        assert "c:0" in state.answers
+        restored = PMWService.restore(cube_dataset,
+                                      ledger_path=ledger_path)
+        with restored:
+            replay = restored.submit(sid, query, idempotency_key="c:0")
+            assert np.array_equal(np.asarray(replay.value),
+                                  np.asarray(first.value))
+
+    def test_unkeyed_requests_journal_nothing(self, cube_dataset,
+                                              tmp_path):
+        ledger_path = tmp_path / "ledger.jsonl"
+        with PMWService(cube_dataset, ledger_path=ledger_path) as service:
+            sid = open_convex(service)
+            service.submit(sid, self._query(cube_dataset.universe))
+        assert replay_ledger(ledger_path).answers == {}
+
+
+# -- gateway lanes + deadline admission ---------------------------------------
+
+
+class TestGatewayLanes:
+    def test_cached_queries_autoclassify_fast(self, cube_dataset):
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            with service.gateway(workers=2) as gateway:
+                gateway.submit(sid, query)          # first: bulk, fills cache
+                gateway.submit(sid, query)          # now cached: fast lane
+                snapshot = gateway.metrics.snapshot()
+            lanes = snapshot["queue_wait_lanes"]
+            assert lanes["bulk"]["count"] >= 1
+            assert lanes["fast"]["count"] >= 1
+
+    def test_explicit_lane_pins_and_validates(self, cube_dataset):
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            with service.gateway(workers=2) as gateway:
+                gateway.submit(sid, query, lane="fast")
+                with pytest.raises(ValidationError):
+                    gateway.submit(sid, query, lane="warp")
+                assert gateway.metrics.snapshot()[
+                    "queue_wait_lanes"]["fast"]["count"] == 1
+
+    def test_fast_workers_knob_validated(self, cube_dataset):
+        with PMWService(cube_dataset) as service:
+            with pytest.raises(ValidationError):
+                service.gateway(workers=2, fast_workers=2)
+            with pytest.raises(ValidationError):
+                service.gateway(workers=2, fast_workers=-1)
+
+    def test_reserved_fast_worker_skips_bulk_under_load(self, cube_dataset):
+        """With one general worker wedged in a bulk batch, a fast-lane
+        request still completes promptly on the reserved worker."""
+        with PMWService(cube_dataset) as service:
+            sid_bulk = open_convex(service)
+            sid_fast = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            release = threading.Event()
+            original = service.serve_session_batch
+
+            def slow_batch(session_id, queries, **kwargs):
+                if session_id == sid_bulk:
+                    release.wait(10.0)
+                return original(session_id, queries, **kwargs)
+
+            service.serve_session_batch = slow_batch
+            try:
+                with service.gateway(workers=2, fast_workers=1) as gateway:
+                    blocked = gateway.submit_async(sid_bulk, query,
+                                                   lane="bulk")
+                    result = gateway.submit(sid_fast, query, lane="fast",
+                                            timeout=5.0)
+                    assert result.session_id == sid_fast
+                    release.set()
+                    blocked.result(timeout=10.0)
+            finally:
+                release.set()
+                service.serve_session_batch = original
+
+    def test_expired_deadline_sheds_at_enqueue(self, cube_dataset):
+        clock = FakeClock()
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            deadline = Deadline.after(0.5, clock=clock)
+            clock.advance(1.0)
+            with service.gateway(workers=1) as gateway:
+                with pytest.raises(DeadlineUnmeetable):
+                    gateway.submit(sid, query, deadline=deadline)
+                snapshot = gateway.metrics.snapshot()
+            assert snapshot["shed"]["deadline"] == 1
+
+    def test_doomed_deadline_sheds_under_pressure(self, cube_dataset):
+        """Queue-wait history says p-quantile wait >> deadline: shed at
+        enqueue with the estimate attached, instead of queueing."""
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            release = threading.Event()
+            original = service.serve_session_batch
+
+            def slow_batch(session_id, queries, **kwargs):
+                release.wait(10.0)
+                return original(session_id, queries, **kwargs)
+
+            service.serve_session_batch = slow_batch
+            try:
+                with service.gateway(workers=1,
+                                     admission_min_samples=4) as gateway:
+                    # Seed the bulk lane's wait history: p90 ~ 3s.
+                    for _ in range(8):
+                        gateway.metrics.record_claim(
+                            sid, [3.0], 0, lane="bulk")
+                    wedged = gateway.submit_async(sid, query)  # occupies
+                    with pytest.raises(DeadlineUnmeetable) as excinfo:
+                        gateway.submit(sid, query, deadline=0.05)
+                    assert excinfo.value.estimated_wait > 0.05
+                    release.set()
+                    wedged.result(timeout=10.0)
+            finally:
+                release.set()
+                service.serve_session_batch = original
+
+    def test_generous_deadline_admitted_under_pressure(self, cube_dataset):
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            with service.gateway(workers=1,
+                                 admission_min_samples=4) as gateway:
+                for _ in range(8):
+                    gateway.metrics.record_claim(sid, [0.001], 0,
+                                                 lane="bulk")
+                result = gateway.submit(sid, query, deadline=30.0)
+                assert result.session_id == sid
+
+    def test_estimated_queue_wait_needs_min_samples(self):
+        metrics = GatewayMetrics()
+        assert metrics.estimated_queue_wait("bulk", min_samples=4) is None
+        for _ in range(4):
+            metrics.record_claim("s", [1.0], 0, lane="bulk")
+        estimate = metrics.estimated_queue_wait("bulk", min_samples=4)
+        assert estimate == pytest.approx(1.0, rel=0.5)
+
+    def test_idempotency_key_flows_through_gateway(self, cube_dataset):
+        with PMWService(cube_dataset) as service:
+            sid = open_convex(service)
+            query = random_quadratic_family(cube_dataset.universe, 1,
+                                            rng=0)[0]
+            with service.gateway(workers=1) as gateway:
+                first = gateway.submit(sid, query, idempotency_key="g:0")
+                replay = gateway.submit(sid, query, idempotency_key="g:0")
+            assert np.array_equal(np.asarray(replay.value),
+                                  np.asarray(first.value))
+            assert replay.epsilon_spent == first.epsilon_spent
+
+
+# -- resilient client over a real gateway -------------------------------------
+
+
+class TestClientOverGateway:
+    def test_exactly_once_through_the_full_local_stack(self, cube_dataset):
+        """ResilientClient -> gateway -> service: a mid-flight failure
+        injected after the service journaled the answer must replay, not
+        re-serve — totals bitwise-equal to a crash-free oracle."""
+        query = random_quadratic_family(cube_dataset.universe, 1, rng=0)[0]
+        with PMWService(cube_dataset, rng=7) as oracle:
+            sid_o = open_convex(oracle)
+            expected = oracle.submit(sid_o, query, on_halt="hypothesis")
+            oracle_total = oracle.session(
+                sid_o).accountant.total_basic().epsilon
+        with PMWService(cube_dataset, rng=7) as service:
+            sid = open_convex(service)
+            with service.gateway(workers=1) as gateway:
+                failures = {"left": 1}
+                original = gateway.submit
+
+                def flaky_submit(session_id, q, **kwargs):
+                    result = original(session_id, q, **kwargs)
+                    if failures["left"]:
+                        failures["left"] -= 1
+                        # Reply "lost" after the service released it.
+                        raise ShardUnavailable("reply lost",
+                                               reason="died-in-flight")
+                    return result
+
+                gateway.submit = flaky_submit
+                client = make_client(gateway, max_attempts=4)
+                result = client.submit(sid, query)
+                assert client.stats["attempts"] == 2
+            total = service.session(sid).accountant.total_basic().epsilon
+            # One logical request, one spend — the retry replayed.
+            assert total == oracle_total
+            assert np.array_equal(np.asarray(result.value),
+                                  np.asarray(expected.value))

@@ -9,11 +9,16 @@ Two phases, composable:
 - compare (always): for every candidate JSON with a committed baseline
   of the same name under ``benchmarks/results/``, diff the ``speedups``
   maps. A candidate speedup more than ``--tolerance`` (default 20%)
-  below its baseline fails the run.
+  below its baseline fails the run. Benchmarks may also publish
+  ``gated_latencies_ms`` — lower-is-better latency SLOs (e.g. a
+  fast-lane p99) gated the other way around: a candidate more than
+  ``--tolerance`` *above* its baseline fails.
 
 Speedups are ratios of twin runs on the same host, so they transfer
 across machines far better than absolute seconds — that is what makes a
-committed baseline meaningful on a fresh CI runner.
+committed baseline meaningful on a fresh CI runner. Latency gates are
+absolute and noisier; keep them coarse (SLO-scale ceilings, not
+microsecond deltas).
 
 Usage::
 
@@ -100,6 +105,25 @@ def compare(candidate_dir: pathlib.Path, tolerance: float) -> int:
                   f"fresh {fresh:.2f}x vs baseline {base_speedup:.2f}x "
                   f"(floor {floor:.2f}x)")
             if fresh < floor:
+                failures += 1
+        # Lower-is-better latency gates (milliseconds): fresh must stay
+        # under (1 + tolerance) * baseline.
+        gated_lat = baseline.get("gated_latencies_ms", {})
+        fresh_lat = candidate.get("gated_latencies_ms", {})
+        for section, base_ms in sorted(gated_lat.items()):
+            fresh = fresh_lat.get(section)
+            if fresh is None:
+                print(f"FAIL {candidate_path.name}:{section}: latency gate "
+                      f"present in baseline but missing from the fresh run")
+                failures += 1
+                continue
+            compared += 1
+            ceiling = (1.0 + tolerance) * base_ms
+            verdict = "ok" if fresh <= ceiling else "REGRESSION"
+            print(f"{verdict:>10}  {candidate_path.name}:{section}: "
+                  f"fresh {fresh:.2f}ms vs baseline {base_ms:.2f}ms "
+                  f"(ceiling {ceiling:.2f}ms)")
+            if fresh > ceiling:
                 failures += 1
     if compared == 0:
         print("no comparable speedups found", file=sys.stderr)
