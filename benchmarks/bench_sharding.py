@@ -1,39 +1,52 @@
-"""E22 — multi-process session sharding: scaling, overhead, failover.
+"""E22 — multi-process session sharding: overhead, interning, scaling,
+failover.
 
-PR 7's tentpole claim: `ShardedService` partitions sessions across
-worker *processes* by consistent hashing, so sustained throughput
-scales with shard count on multi-core hosts — while a killed shard
-restores from checkpoint + journal suffix with bitwise-exact budget
-totals. Sections:
+PR 7 introduced `ShardedService`; this revision measures its zero-copy
+wire stack: binary frames over the shard pipe, fingerprint-interned
+repeat queries, and shared-memory dataset views (PR 9). Sections:
 
-1. **shard scaling** (gated on multi-core hosts only) — N concurrent
-   analysts flood pmw-convex batches at an N-shard deployment vs the
-   same workload at a 1-shard deployment. Sessions carry explicit
-   integer rng seeds, so the two topologies are deterministic twins:
-   every released answer must be bitwise identical. The >= 2.5x bar
-   (4 shards, 64 analysts, full mode) is asserted only when
-   ``os.cpu_count() >= shards`` — on a 1-core host the section is
-   informational (shards still serialize onto one core).
-2. **process-boundary overhead** (always gated) — the same single-shard
-   workload against a plain in-process `PMWService`. The ratio
-   ``sharded_1_rps / direct_rps`` is the pipe-RPC efficiency; it is a
-   twin ratio on one host, so the nightly gate can hold it steady even
-   on runners with different core counts. Answers must again be
-   bitwise identical: the process boundary changes nothing.
+1. **pipe-RPC efficiency** (always gated) — one serial driver runs the
+   workload against a 1-shard deployment while the worker keeps a
+   cumulative clock of time spent *inside* service calls (reported via
+   ``ping``). ``pipe_efficiency = worker_serve_seconds /
+   supervisor_wall_seconds`` must be ``>= 0.8``: everything wall
+   includes beyond serving — frame encode/decode on both ends,
+   fingerprinting, pipe syscalls, wakeups — may eat at most ~20%.
+   Measuring the protocol against the worker's own clock is deliberate:
+   on 1-vCPU CI hosts the *same* numpy workload times 1.3-1.7x apart
+   between two alternating processes (cache/TLB interference plus
+   host-side noise), so a cross-process wall-vs-wall ratio measures the
+   host, not the pipe — that ratio is still reported, informationally,
+   against a serial in-process ``PMWService`` twin, and the twin's
+   answers must be bitwise identical to the sharded ones. A throwaway
+   warm-up session keeps worker cold-start out of every timed region.
+   The same query stream is then replayed (``REPEAT_PASSES`` passes) so
+   every query crosses as a 16-byte interned fingerprint and replays
+   from the answer cache — reported as per-call boundary cost and an
+   interned-replay speedup.
+2. **shard scaling** (gated on hosts with >= 4 cores only) — N
+   concurrent analysts flood pmw-convex batches at an N-shard
+   deployment vs the same workload at a 1-shard deployment. Sessions
+   carry explicit integer rng seeds, so the two topologies are
+   deterministic twins: every released answer must be bitwise
+   identical. The >= 2.5x bar (4 shards, 64 analysts, full mode) is
+   asserted only when ``os.cpu_count() >= 4`` — on smaller hosts the
+   section is informational (shards serialize onto too few cores).
 3. **failover under load** (always asserted) — SIGKILL one shard while
    every analyst floods, let the supervisor auto-restore it, and
    demand (a) every request either completed or shed a typed
    ``ShardUnavailable``, and (b) every session's accountant is bitwise
-   what replaying its shard's write-ahead journal produces. Restore
-   latency is reported.
+   what replaying its shard's write-ahead journal produces. The killed
+   worker's intern table and shared-memory attachment die with it;
+   post-restore answers exercise the InternMiss resend path.
 
 Results are archived as text (``benchmarks/results/e22.txt``) and JSON
 (``benchmarks/results/BENCH_sharding.json``); smoke runs write
 ``BENCH_sharding.smoke.json`` — the nightly regression workflow diffs
 fresh smoke numbers against the committed baseline. The committed
 smoke baseline was generated on a 1-core host, so its
-``gated_speedups`` carry only the overhead ratio; re-baseline on a
-multi-core host (``--smoke --json-dir benchmarks/results``) to start
+``gated_speedups`` carry only ``pipe_efficiency``; re-baseline on a
+>= 4-core host (``--smoke --json-dir benchmarks/results``) to start
 gating ``shard_scaling`` too.
 
 Run standalone (``python benchmarks/bench_sharding.py``), in CI smoke
@@ -67,15 +80,17 @@ from repro.serve.shard.worker import LEDGER_NAME
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 JSON_NAME = "BENCH_sharding.json"
 
-#: Scaling bars, asserted only when the host has >= `shards` cores —
-#: process sharding cannot beat serialization on a single core.
+#: Scaling bars, asserted only on hosts with >= MULTICORE_MIN cores —
+#: process sharding cannot beat serialization on too few cores.
 FULL_BAR = 2.5
 SMOKE_BAR = 1.3
-#: The pipe-RPC efficiency floor (sharded-1 rps / in-process rps). On a
-#: single core the in-process twin pays zero IPC and no context
-#: switches, so ~0.55 is the honest number there; the floor guards
-#: against the boundary eating more than ~60% of throughput.
-OVERHEAD_FLOOR = 0.4
+MULTICORE_MIN = 4
+#: The pipe-RPC efficiency floor: in-worker serve seconds over
+#: supervisor-observed wall seconds for the same serial stream of fresh
+#: queries. Binary frames + interning + shared-memory dataset views
+#: leave well under a millisecond of boundary cost per batch, so the
+#: protocol may eat at most ~20% of serving wall-clock.
+OVERHEAD_FLOOR = 0.8
 
 FULL_SIZES = dict(shards=4, analysts=64, rounds=3, batch_size=2,
                   universe_size=20_000, d=8)
@@ -86,6 +101,24 @@ SMOKE_SIZES = dict(shards=2, analysts=16, rounds=3, batch_size=2,
 #: noise control the gateway benchmark uses. Each repeat pays the full
 #: process spawn, so N stays small.
 TIMING_REPEATS = 2
+
+#: Fresh 1-shard deployments for the pipe section; the run with the
+#: least measured boundary time wins (host-side scheduler noise can
+#: only *inflate* wall-minus-serve, never shrink it, so min is the
+#: cleanest sample of the protocol's fixed cost).
+PIPE_REPEATS = 3
+
+#: Interned-replay passes per deployment: the repeat pass is tiny
+#: (cache hits + 16-byte query refs), so several passes are averaged
+#: for a stable per-call number.
+REPEAT_PASSES = 3
+
+#: A throwaway session served before timing starts, so worker-process
+#: cold-start (allocator warm-up, first-touch code paths) lands outside
+#: the measurement on both sides of the comparison. Its stream never
+#: touches the measured sessions' mechanisms.
+WARMUP_SID = "warm-00"
+WARMUP_ROUNDS = 2
 
 #: Deterministic mechanism config: explicit integer per-session seeds
 #: make every topology (N-shard, 1-shard, in-process) a bitwise twin.
@@ -119,6 +152,64 @@ def build_batches(universe, sid, rounds, batch_size):
 
 
 # -- the serving modes --------------------------------------------------------
+
+
+def warm_service(service, universe, sizes):
+    """Serve a throwaway session so cold-start stays untimed."""
+    service.open_session("pmw-convex", session_id=WARMUP_SID,
+                         analyst=WARMUP_SID, rng=session_seed(WARMUP_SID),
+                         **SESSION_PARAMS)
+    for queries in build_batches(universe, WARMUP_SID, WARMUP_ROUNDS,
+                                 sizes["batch_size"]):
+        service.serve_session_batch(WARMUP_SID, queries)
+
+
+def serve_serial(service, universe, sids, sizes):
+    """One serial pass over every session's stream; ``(seconds,
+    answers)`` with answers in deterministic per-session order."""
+    answers = {sid: [] for sid in sids}
+    started = time.perf_counter()
+    for sid in sids:
+        for queries in build_batches(universe, sid, sizes["rounds"],
+                                     sizes["batch_size"]):
+            results = service.serve_session_batch(sid, queries)
+            answers[sid].extend(r.value for r in results)
+    return time.perf_counter() - started, answers
+
+
+def serial_profile(service, universe, sids, sizes, serve_clock=None):
+    """Fresh pass + ``REPEAT_PASSES`` interned/cached replays.
+
+    The repeat passes re-serve the *same* query stream, so across the
+    shard pipe every query crosses as an interned fingerprint and
+    replays from the answer cache. ``serve_clock`` (sharded runs only)
+    reads the worker's cumulative in-call seconds; the returned
+    ``*_serve`` entries are per-pass deltas of that clock — wall minus
+    serve is the protocol's boundary cost.
+    """
+    warm_service(service, universe, sizes)
+    open_sessions(service, sids)
+    clock = serve_clock if serve_clock is not None else (lambda: 0.0)
+    mark = clock()
+    fresh_wall, fresh_answers = serve_serial(service, universe, sids,
+                                             sizes)
+    fresh_serve = clock() - mark
+    repeat_wall = 0.0
+    mark = clock()
+    repeat_answers = fresh_answers
+    for _ in range(REPEAT_PASSES):
+        elapsed, repeat_answers = serve_serial(service, universe, sids,
+                                               sizes)
+        repeat_wall += elapsed
+    repeat_serve = clock() - mark
+    return {
+        "fresh_wall": fresh_wall,
+        "fresh_serve": fresh_serve,
+        "repeat_wall": repeat_wall / REPEAT_PASSES,
+        "repeat_serve": repeat_serve / REPEAT_PASSES,
+        "fresh_answers": fresh_answers,
+        "repeat_answers": repeat_answers,
+    }
 
 
 def flood_sharded(service, universe, sids, sizes):
@@ -161,24 +252,6 @@ def run_sharded(dataset, sizes, *, shards, directory):
     return elapsed, answers
 
 
-def run_direct(dataset, sizes, *, ledger_path):
-    """Status quo ante: the same workload against an in-process service."""
-    sids = session_ids(sizes["analysts"])
-    answers = {sid: [] for sid in sids}
-    with PMWService(dataset, ledger_path=ledger_path,
-                    ledger_fsync=False) as service:
-        open_sessions(service, sids)
-        started = time.perf_counter()
-        for sid in sids:
-            for queries in build_batches(dataset.universe, sid,
-                                         sizes["rounds"],
-                                         sizes["batch_size"]):
-                results = service.serve_session_batch(sid, queries)
-                answers[sid].extend(r.value for r in results)
-        elapsed = time.perf_counter() - started
-    return elapsed, answers
-
-
 def max_divergence(left, right):
     worst = 0.0
     for sid in left:
@@ -191,8 +264,62 @@ def max_divergence(left, right):
 # -- sections -----------------------------------------------------------------
 
 
+def pipe_overhead(dataset, sizes, workdir):
+    """Section 1: serial 1-shard stream priced against the worker's own
+    serve clock, with an in-process twin as bitwise oracle."""
+    sids = session_ids(sizes["analysts"])
+    total = sizes["analysts"] * sizes["rounds"] * sizes["batch_size"]
+    batches = sizes["analysts"] * sizes["rounds"]
+
+    best = None
+    for repeat in range(PIPE_REPEATS):
+        with ShardedService(dataset, workdir / f"pipe-{repeat}", shards=1,
+                            ledger_fsync=False, rng=0) as service:
+            shard_id = service.shard_ids[0]
+            profile = serial_profile(
+                service, dataset.universe, sids, sizes,
+                serve_clock=lambda: service.ping(shard_id)["serve_seconds"])
+        boundary = profile["fresh_wall"] - profile["fresh_serve"]
+        if best is None or boundary < best["fresh_wall"] - best["fresh_serve"]:
+            best = profile
+
+    with PMWService(dataset, ledger_path=workdir / "pipe-direct.jsonl",
+                    ledger_fsync=False) as service:
+        direct = serial_profile(service, dataset.universe, sids, sizes)
+
+    fresh_boundary = best["fresh_wall"] - best["fresh_serve"]
+    repeat_boundary = best["repeat_wall"] - best["repeat_serve"]
+    return {
+        "analysts": sizes["analysts"],
+        "requests": total,
+        "repeat_passes": REPEAT_PASSES,
+        "sharded_fresh_seconds": best["fresh_wall"],
+        "worker_serve_seconds": best["fresh_serve"],
+        "boundary_seconds": fresh_boundary,
+        "boundary_us_per_batch": fresh_boundary / batches * 1e6,
+        "sharded_fresh_rps": total / best["fresh_wall"],
+        "sharded_repeat_rps": total / best["repeat_wall"],
+        "direct_fresh_seconds": direct["fresh_wall"],
+        "direct_fresh_rps": total / direct["fresh_wall"],
+        "pipe_efficiency": best["fresh_serve"] / best["fresh_wall"],
+        # Wall-vs-wall against the in-process twin: informational only —
+        # on 1-vCPU hosts it is dominated by cross-process compute
+        # noise, not protocol cost (see module docstring).
+        "wall_ratio_vs_direct": (direct["fresh_wall"]
+                                 / best["fresh_wall"]),
+        "interned_boundary_us_per_batch": repeat_boundary / batches * 1e6,
+        "interned_speedup": best["fresh_wall"] / best["repeat_wall"],
+        "divergence_process_boundary": max_divergence(
+            best["fresh_answers"], direct["fresh_answers"]),
+        "divergence_interned_replay": max_divergence(
+            best["fresh_answers"], best["repeat_answers"]),
+        "divergence_direct_replay": max_divergence(
+            direct["fresh_answers"], direct["repeat_answers"]),
+    }
+
+
 def shard_scaling(dataset, sizes, workdir):
-    """Sections 1+2: N-shard vs 1-shard vs in-process, bitwise twins."""
+    """Section 2: N-shard vs 1-shard flood, bitwise twins."""
     total = sizes["analysts"] * sizes["rounds"] * sizes["batch_size"]
     runs = {}
     for label, runner in (
@@ -202,8 +329,6 @@ def shard_scaling(dataset, sizes, workdir):
         ("sharded_1", lambda rep: run_sharded(
             dataset, sizes, shards=1,
             directory=workdir / f"dep-1-{rep}")),
-        ("direct", lambda rep: run_direct(
-            dataset, sizes, ledger_path=workdir / f"direct-{rep}.jsonl")),
     ):
         best_seconds, answers = float("inf"), None
         for repeat in range(TIMING_REPEATS):
@@ -214,7 +339,6 @@ def shard_scaling(dataset, sizes, workdir):
 
     n_seconds, n_answers = runs["sharded_n"]
     one_seconds, one_answers = runs["sharded_1"]
-    direct_seconds, direct_answers = runs["direct"]
     return {
         "shards": sizes["shards"],
         "analysts": sizes["analysts"],
@@ -223,15 +347,10 @@ def shard_scaling(dataset, sizes, workdir):
         "cpu_count": os.cpu_count(),
         "sharded_n_seconds": n_seconds,
         "sharded_1_seconds": one_seconds,
-        "direct_seconds": direct_seconds,
         "sharded_n_rps": total / n_seconds,
         "sharded_1_rps": total / one_seconds,
-        "direct_rps": total / direct_seconds,
         "scaling_speedup": one_seconds / n_seconds,
-        "proxy_efficiency": direct_seconds / one_seconds,
         "divergence_topology": max_divergence(n_answers, one_answers),
-        "divergence_process_boundary": max_divergence(one_answers,
-                                                      direct_answers),
     }
 
 
@@ -321,10 +440,11 @@ def build_results(*, smoke=False):
                                        rng=1)
     with tempfile.TemporaryDirectory(prefix="bench-sharding-") as scratch:
         workdir = pathlib.Path(scratch)
+        pipe = pipe_overhead(task.dataset, sizes, workdir)
         scaling = shard_scaling(task.dataset, sizes, workdir)
         failover = failover_under_load(task.dataset, workdir)
-    multicore = (os.cpu_count() or 1) >= sizes["shards"]
-    gated = {"proxy_efficiency": scaling["proxy_efficiency"]}
+    multicore = (os.cpu_count() or 1) >= MULTICORE_MIN
+    gated = {"pipe_efficiency": pipe["pipe_efficiency"]}
     if multicore:
         gated["shard_scaling"] = scaling["scaling_speedup"]
     return {
@@ -332,14 +452,16 @@ def build_results(*, smoke=False):
         "mode": "smoke" if smoke else "full",
         "bar": SMOKE_BAR if smoke else FULL_BAR,
         "bar_gated": multicore,
+        "pipe": pipe,
         "shard_scaling": scaling,
         "failover": failover,
         "speedups": {
             "shard_scaling": scaling["scaling_speedup"],
-            "proxy_efficiency": scaling["proxy_efficiency"],
+            "pipe_efficiency": pipe["pipe_efficiency"],
+            "interned_speedup": pipe["interned_speedup"],
         },
         # The nightly gate diffs this subset. shard_scaling joins it
-        # only when measured on a host with >= `shards` cores — a
+        # only when measured on a host with >= MULTICORE_MIN cores — a
         # 1-core "scaling" number is scheduler noise, not a baseline.
         "gated_speedups": gated,
     }
@@ -347,6 +469,23 @@ def build_results(*, smoke=False):
 
 def build_report(results):
     report = ExperimentReport("E22 multi-process session sharding")
+    pipe = results["pipe"]
+    report.add_table(
+        ["1-shard req/s", "efficiency", "boundary us/batch",
+         "interned us/batch", "in-process req/s", "wall ratio",
+         "max |diff|"],
+        [[pipe["sharded_fresh_rps"], pipe["pipe_efficiency"],
+          pipe["boundary_us_per_batch"],
+          pipe["interned_boundary_us_per_batch"],
+          pipe["direct_fresh_rps"], pipe["wall_ratio_vs_direct"],
+          pipe["divergence_process_boundary"]]],
+        title="pipe-RPC efficiency: in-worker serve seconds / wall "
+              f"seconds, serial fresh stream (floor: >= {OVERHEAD_FLOOR}"
+              "); boundary = frames + fingerprints + pipe; interned "
+              "column replays the stream as 16-byte query refs; wall "
+              "ratio vs the in-process twin is informational (host "
+              "noise), its answers are the bitwise oracle",
+    )
     scaling = results["shard_scaling"]
     report.add_table(
         ["shards", "analysts", "requests", "cpus", f"{scaling['shards']}-shard"
@@ -357,17 +496,8 @@ def build_report(results):
           scaling["divergence_topology"]]],
         title=f"shard scaling, pmw-convex sessions (bar: >= "
               f"{results['bar']}x, gated only on >= "
-              f"{scaling['shards']}-core hosts; topologies are "
+              f"{MULTICORE_MIN}-core hosts; topologies are "
               "deterministic twins)",
-    )
-    report.add_table(
-        ["in-process req/s", "1-shard req/s", "efficiency",
-         "max |diff|"],
-        [[scaling["direct_rps"], scaling["sharded_1_rps"],
-          scaling["proxy_efficiency"],
-          scaling["divergence_process_boundary"]]],
-        title="process-boundary overhead: pipe-RPC efficiency vs a plain "
-              f"in-process PMWService (floor: >= {OVERHEAD_FLOOR})",
     )
     failover = results["failover"]
     report.add_table(
@@ -404,17 +534,22 @@ def write_json(results, json_dir=None):
 
 def check_bars(results):
     """The assertions both pytest and the CI smoke job enforce."""
+    pipe = results["pipe"]
+    assert pipe["divergence_process_boundary"] == 0.0, (
+        "crossing the process boundary changed released answers")
+    assert pipe["divergence_interned_replay"] == 0.0, (
+        "interned/cached replay diverged from the fresh answers")
+    assert pipe["divergence_direct_replay"] == 0.0, (
+        "in-process cached replay diverged from the fresh answers")
+    assert pipe["pipe_efficiency"] >= OVERHEAD_FLOOR, (
+        f"pipe-RPC efficiency {pipe['pipe_efficiency']:.2f} fell "
+        f"below the {OVERHEAD_FLOOR} floor — the frame protocol is "
+        f"eating {pipe['boundary_us_per_batch']:.0f} us per batch")
     scaling = results["shard_scaling"]
     assert scaling["divergence_topology"] == 0.0, (
         f"N-shard and 1-shard answers diverged by "
         f"{scaling['divergence_topology']:.2e} — topologies must be "
         "bitwise twins")
-    assert scaling["divergence_process_boundary"] == 0.0, (
-        "crossing the process boundary changed released answers")
-    assert scaling["proxy_efficiency"] >= OVERHEAD_FLOOR, (
-        f"pipe-RPC efficiency {scaling['proxy_efficiency']:.2f} fell "
-        f"below the {OVERHEAD_FLOOR} floor — the process boundary is "
-        "eating the serving budget")
     if results["bar_gated"]:
         assert scaling["scaling_speedup"] >= results["bar"], (
             f"{scaling['shards']}-shard speedup "
@@ -473,13 +608,16 @@ def main(argv):
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / "e22.txt").write_text(build_report(outcome).render())
     check_bars(outcome)
+    pipe = outcome["pipe"]
     scaling = outcome["shard_scaling"]
     gate = (f"{scaling['scaling_speedup']:.2f}x >= {outcome['bar']}x"
             if outcome["bar_gated"]
             else f"{scaling['scaling_speedup']:.2f}x (informational on a "
                  f"{scaling['cpu_count']}-core host)")
-    print(f"OK: {scaling['shards']}-shard scaling {gate}, pipe "
-          f"efficiency {scaling['proxy_efficiency']:.2f}, restore "
+    print(f"OK: pipe efficiency {pipe['pipe_efficiency']:.2f} "
+          f"(boundary {pipe['boundary_us_per_batch']:.0f} us/batch, "
+          f"interned {pipe['interned_boundary_us_per_batch']:.0f}), "
+          f"{scaling['shards']}-shard scaling {gate}, restore "
           f"{outcome['failover']['restore_ms']:.0f} ms "
           f"({outcome['mode']} mode)")
 

@@ -50,6 +50,7 @@ class Dataset:
         self._universe = universe
         self._indices = indices
         self._indices.setflags(write=False)
+        self._frozen_histogram: Histogram | None = None
 
     # -- constructors -----------------------------------------------------
 
@@ -57,6 +58,26 @@ class Dataset:
     def from_indices(cls, universe: Universe, indices) -> "Dataset":
         """Build from an iterable of universe indices."""
         return cls(universe, np.asarray(list(indices)))
+
+    @classmethod
+    def _adopt(cls, universe: Universe, indices: np.ndarray, *,
+               frozen_histogram: Histogram | None = None) -> "Dataset":
+        """Wrap already-validated int64 indices without copying.
+
+        The public constructor copies (``astype(copy=True)``) and
+        range-checks; internal producers with trusted, immutable
+        storage — the shared-memory attach path
+        (:func:`repro.data.shm.attach_datasets`) — adopt their views in
+        place, optionally with a precomputed frozen histogram so
+        :meth:`histogram` never rebuilds what the producer already
+        materialized.
+        """
+        instance = cls.__new__(cls)
+        indices.setflags(write=False)
+        instance._universe = universe
+        instance._indices = indices
+        instance._frozen_histogram = frozen_histogram
+        return instance
 
     @classmethod
     def uniform_random(cls, universe: Universe, n: int, rng=None) -> "Dataset":
@@ -99,7 +120,15 @@ class Dataset:
     # -- histogram & adjacency ----------------------------------------------
 
     def histogram(self) -> Histogram:
-        """The normalized histogram representation of this dataset."""
+        """The normalized histogram representation of this dataset.
+
+        Datasets attached from shared memory carry a frozen,
+        pre-normalized histogram view and return it directly (the
+        weights are a zero-copy view of the supervisor's segment);
+        everything else recomputes from counts.
+        """
+        if self._frozen_histogram is not None:
+            return self._frozen_histogram
         counts = np.bincount(self._indices, minlength=self._universe.size)
         return Histogram.from_counts(self._universe, counts)
 

@@ -1,0 +1,229 @@
+"""Shared-memory export of datasets and frozen histogram views.
+
+``ShardedService`` used to pickle every dataset into every worker spawn:
+universe points, labels, row indices, each copied once per shard into
+the spec blob and again into worker heap. This module replaces the copy
+with POSIX shared memory: the supervisor packs each dataset's arrays —
+universe points/labels, row indices, and the dataset's *frozen*
+histogram (the normalized weight vector every mechanism reads at
+session open) — into one :class:`multiprocessing.shared_memory.
+SharedMemory` segment, and workers attach read-only ndarray views at
+zero copy (:meth:`Histogram._adopt_normalized
+<repro.data.histogram.Histogram._adopt_normalized>` adopts the
+pre-normalized weights without re-validating). Attached arrays are
+bitwise the supervisor's, so dataset digests — the ledger/checkpoint
+compatibility check — are unchanged.
+
+Ownership discipline (pinned by the chaos suite):
+
+- Segments belong to the **supervisor**, one export per worker
+  incarnation; the supervisor unlinks them when it detects the worker's
+  death and on close. A SIGKILL'd worker therefore cannot leak a
+  segment — it only ever held an attachment, which the kernel reclaims
+  with the process.
+- Workers **unregister** each attached segment from their
+  ``multiprocessing.resource_tracker`` immediately after attach. On
+  this interpreter generation (< 3.13, no ``track=False``) an attach
+  silently registers the segment with the worker's tracker, whose exit
+  cleanup would unlink the supervisor's live segments out from under
+  every other worker.
+"""
+
+from __future__ import annotations
+
+import re
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.histogram import Histogram
+from repro.data.universe import Universe
+from repro.exceptions import ValidationError
+
+SHM_FORMAT = "repro.data.shm/v1"
+
+#: Segment names start with this prefix + the owning pid, so tests (and
+#: operators staring at ``/dev/shm``) can attribute segments to a
+#: supervisor process.
+SEGMENT_PREFIX = "repro"
+
+_ALIGN = 64
+
+
+def _sanitize(token: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_]", "_", token)
+
+
+def segment_name(owner_pid: int, tag: str) -> str:
+    """The deterministic segment name for one export incarnation."""
+    return f"{SEGMENT_PREFIX}_{owner_pid}_{_sanitize(tag)}"[:250]
+
+
+def _unregister_attachment(shm) -> None:
+    """Drop a freshly attached segment from this process's resource
+    tracker (see module docstring); harmless if it was never tracked."""
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - tracker variance across versions
+        pass
+
+
+class SharedDatasetExport:
+    """Supervisor-owned shared-memory image of a service's datasets.
+
+    Parameters
+    ----------
+    datasets:
+        A :class:`Dataset` or ``{name: Dataset}`` mapping — the same
+        shapes :class:`~repro.serve.service.PMWService` accepts, with
+        the same normalization (a bare dataset becomes ``"default"``).
+    owner_pid, tag:
+        Name the segment (:func:`segment_name`); ``tag`` should encode
+        the shard id and incarnation so concurrent exports never
+        collide and leaked segments are attributable.
+
+    The export packs all datasets into **one** segment (fewer names to
+    leak or unlink) with 64-byte-aligned array regions, and builds a
+    picklable :attr:`manifest` describing the layout; workers rebuild
+    with :func:`attach_datasets`. Call :meth:`close` (idempotent) to
+    unlink — the segment survives worker SIGKILLs but not its owner's
+    deliberate cleanup.
+    """
+
+    def __init__(self, datasets, *, owner_pid: int, tag: str) -> None:
+        if isinstance(datasets, Dataset):
+            datasets = {"default": datasets}
+        if not datasets:
+            raise ValidationError("cannot export an empty dataset map")
+        plan: list[tuple[str, str, np.ndarray]] = []
+        entries: dict[str, dict] = {}
+        offset = 0
+        for name, dataset in datasets.items():
+            universe = dataset.universe
+            arrays = {
+                "points": np.ascontiguousarray(universe.points),
+                "indices": np.ascontiguousarray(dataset.indices),
+                "weights": np.ascontiguousarray(
+                    dataset.histogram().weights),
+            }
+            if universe.labels is not None:
+                arrays["labels"] = np.ascontiguousarray(universe.labels)
+            layout = {}
+            for key, array in arrays.items():
+                offset = -(-offset // _ALIGN) * _ALIGN
+                layout[key] = {
+                    "dtype": array.dtype.str,
+                    "shape": list(array.shape),
+                    "offset": offset,
+                }
+                plan.append((name, key, array))
+                offset += array.nbytes
+            entries[name] = {
+                "universe_name": universe.name,
+                "arrays": layout,
+            }
+        name = segment_name(owner_pid, tag)
+        try:
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(offset, 1))
+        except FileExistsError:
+            # A stale segment from a killed predecessor with the same
+            # pid+tag: reclaim the name rather than failing the spawn.
+            # No tracker unregister here — the attach registered the
+            # name and ``unlink`` unregisters it, which balances.
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            stale.unlink()
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=max(offset, 1))
+        for dataset_name, key, array in plan:
+            entry = entries[dataset_name]["arrays"][key]
+            region = np.ndarray(array.shape, dtype=array.dtype,
+                                buffer=self._shm.buf,
+                                offset=entry["offset"])
+            region[...] = array
+        self.manifest = {
+            "format": SHM_FORMAT,
+            "segment": name,
+            "nbytes": offset,
+            "datasets": entries,
+        }
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.manifest["segment"]
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent, never raises)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        try:
+            # Re-register first (an idempotent set-add in the tracker):
+            # an in-process attach (tests, the chaos oracle) unregisters
+            # the shared name, and unlink() unregisters again — without
+            # the rebalance the tracker logs a spurious KeyError at exit.
+            resource_tracker.register(self._shm._name, "shared_memory")
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - raced
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SharedDatasetExport(segment={self.name!r}, "
+                f"nbytes={self.manifest['nbytes']}, "
+                f"datasets={sorted(self.manifest['datasets'])})")
+
+
+def attach_datasets(manifest: dict) -> dict[str, Dataset]:
+    """Rebuild ``{name: Dataset}`` from an export manifest, zero-copy.
+
+    Every returned dataset's arrays are read-only views into the shared
+    segment, its frozen histogram is pre-attached
+    (``dataset.histogram()`` returns the shared view without a
+    ``bincount``), and the dataset keeps the segment handle alive for
+    its own lifetime. The attachment is immediately unregistered from
+    this process's resource tracker so a worker exit — graceful or
+    SIGKILL — never unlinks the supervisor's segment.
+    """
+    if manifest.get("format") != SHM_FORMAT:
+        raise ValidationError(
+            f"unsupported shared-memory manifest format "
+            f"{manifest.get('format')!r} (expected {SHM_FORMAT!r})")
+    shm = shared_memory.SharedMemory(name=manifest["segment"])
+    _unregister_attachment(shm)
+
+    def view(entry) -> np.ndarray:
+        array = np.ndarray(tuple(entry["shape"]),
+                           dtype=np.dtype(entry["dtype"]),
+                           buffer=shm.buf, offset=entry["offset"])
+        array.setflags(write=False)
+        return array
+
+    datasets: dict[str, Dataset] = {}
+    for name, entry in manifest["datasets"].items():
+        arrays = entry["arrays"]
+        universe = Universe(
+            points=view(arrays["points"]),
+            labels=view(arrays["labels"]) if "labels" in arrays else None,
+            name=entry["universe_name"])
+        frozen = Histogram._adopt_normalized(universe,
+                                             view(arrays["weights"]))
+        dataset = Dataset._adopt(universe, view(arrays["indices"]),
+                                 frozen_histogram=frozen)
+        # The views borrow shm.buf: anchor the segment handle to the
+        # dataset so it cannot be closed while the arrays are alive.
+        dataset._shm_handle = shm
+        datasets[name] = dataset
+    return datasets
+
+
+__all__ = [
+    "SEGMENT_PREFIX", "SHM_FORMAT", "SharedDatasetExport",
+    "attach_datasets", "segment_name",
+]

@@ -146,3 +146,39 @@ class LossSpecificationError(ReproError):
     For example, a loss registered as 1-Lipschitz whose gradients exceed
     norm 1 on the supplied universe.
     """
+
+
+class FrameError(ReproError):
+    """Base class for shard wire-protocol (binary frame) failures.
+
+    Raised by :mod:`repro.serve.shard.frames` when a frame cannot be
+    decoded. A frame error on a live pipe means the two ends have lost
+    byte-level agreement, so the supervisor retires the shard handle
+    (the pipe cannot be resynchronized) rather than guessing.
+    """
+
+
+class FrameTruncated(FrameError):
+    """A frame ended before its declared payload did (torn write/read)."""
+
+
+class FrameCorrupt(FrameError):
+    """A frame's bytes are structurally invalid (bad magic, unknown type
+    tag, length fields that disagree with the buffer, or a pickled
+    section where the decoder was told to refuse pickles)."""
+
+
+class FrameVersionMismatch(FrameError):
+    """The peer speaks a different frame-protocol version.
+
+    Version negotiation is deliberately absent: supervisor and workers
+    are always the same build (workers are spawned from the supervisor's
+    interpreter), so a mismatch means mixed installs — refuse loudly
+    instead of misreading payloads.
+    """
+
+    def __init__(self, message: str, *, got: int | None = None,
+                 expected: int | None = None) -> None:
+        super().__init__(message)
+        self.got = got
+        self.expected = expected

@@ -107,6 +107,14 @@ class Deadline:
             return None
         return cls(clock() + max(0.0, float(seconds)), clock=clock)
 
+    @staticmethod
+    def wire_or_none(deadline: "Deadline | None") -> float | None:
+        """``deadline.to_wire()`` tolerating ``None`` — the shard frame
+        protocol's header encoding (a request frame carries remaining
+        seconds in its fixed header with ``FLAG_DEADLINE`` set, or no
+        deadline at all; see :mod:`repro.serve.shard.frames`)."""
+        return None if deadline is None else deadline.to_wire()
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Deadline(remaining={self.remaining():.3f}s)"
 

@@ -4,11 +4,27 @@ Sessions are partitioned across worker processes by consistent-hash
 routing (:class:`ConsistentHashRouter`); each shard process owns its
 own write-ahead ledger + checkpointer, so a killed shard restores from
 checkpoint + journal suffix with bitwise-exact budget totals
-(:class:`ShardedService`). :class:`FaultPlan` gives the chaos suite
-deterministic in-worker kill points. See ``docs/serve.md`` ("Sharding
-& failover") for topology, knobs, and failure semantics.
+(:class:`ShardedService`). Supervisor and workers speak a versioned
+binary frame protocol over the shard pipe (:mod:`~repro.serve.shard.
+frames`) with fingerprint-interned repeat queries
+(:class:`InternTable`/:class:`InternMirror`) and zero-copy
+shared-memory dataset views (:mod:`repro.data.shm`).
+:class:`FaultPlan` gives the chaos suite deterministic in-worker kill
+points. See ``docs/serve.md`` ("Sharding & failover" and "Wire
+protocol") for topology, knobs, frame layout, and failure semantics.
 """
 
+from repro.serve.shard.frames import (
+    VERSION as FRAME_VERSION,
+    Frame,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.shard.interning import (
+    InternMiss,
+    InternMirror,
+    InternTable,
+)
 from repro.serve.shard.router import DEFAULT_VNODES, ConsistentHashRouter
 from repro.serve.shard.sharded import (
     HEALTH_FILE,
@@ -18,7 +34,8 @@ from repro.serve.shard.sharded import (
 from repro.serve.shard.worker import FaultPlan, ShardSpec, build_service
 
 __all__ = [
-    "ConsistentHashRouter", "DEFAULT_VNODES",
-    "FaultPlan", "HEALTH_FILE", "ShardSpec", "ShardedService",
-    "build_service", "read_shard_health",
+    "ConsistentHashRouter", "DEFAULT_VNODES", "FRAME_VERSION",
+    "FaultPlan", "Frame", "HEALTH_FILE", "InternMiss", "InternMirror",
+    "InternTable", "ShardSpec", "ShardedService", "build_service",
+    "decode_frame", "encode_frame", "read_shard_health",
 ]

@@ -1,0 +1,190 @@
+"""Fingerprint-keyed query interning across the shard RPC boundary.
+
+Query objects are the one thing on the serving hot path the frame codec
+cannot encode structurally: a loss is an arbitrary registered class, so
+first sight of a query ships as a pickled ``_T_QDEF`` section (~1 KB for
+the E22 quadratic family). But analysts repeat queries — the whole PMW
+serving layer is built around fingerprint-keyed answer caches — so the
+supervisor should not re-pickle a query the worker has already seen.
+Interning makes repeats cheap: after first sight, the same query crosses
+the pipe as its 16-byte canonical fingerprint (``_T_QREF``).
+
+Both ends keep an LRU table keyed by the first 16 bytes of the query's
+canonical SHA-256 (:func:`repro.losses.fingerprint.fingerprint_of` —
+class + domain + numerical parameters, cosmetic state excluded, so two
+analyst-rebuilt but mathematically equal queries intern to one entry).
+The supervisor's :class:`InternMirror` holds only fingerprints; the
+worker's :class:`InternTable` holds the live objects. The mirror stays
+exact without any acknowledgement traffic because the pipe is
+one-in-flight per shard and encoding happens under the handle lock: the
+worker decodes define/reference operations in exactly the order the
+supervisor encoded them, so identical LRU discipline on both ends
+produces identical eviction sequences.
+
+That determinism is the fast path, not the correctness story. If the
+ends ever disagree — the canonical case is a worker restart, which
+starts an empty table while the old mirror is retired with its handle;
+a defensive case is any eviction drift — the worker answers a
+``_T_QREF`` it cannot resolve with a typed :class:`InternMiss`, and the
+supervisor resets its mirror and resends the request once with every
+query as a full definition. A miss therefore costs one extra round
+trip, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import ReproError
+from repro.losses.fingerprint import fingerprint_of, memoized_fingerprint
+
+#: Entries per intern table. Evictions are deterministic and mirrored,
+#: so the capacity only bounds worker memory (en-tabled query objects);
+#: a workload cycling through more than this many distinct queries
+#: degrades to definition resends, not errors.
+DEFAULT_CAPACITY = 512
+
+#: Wire fingerprints are the first 16 bytes of the canonical SHA-256.
+FINGERPRINT_BYTES = 16
+
+
+class InternMiss(ReproError):
+    """A worker was asked to resolve a fingerprint it has not interned.
+
+    Crosses the pipe as a reply-err payload, so it must stay picklable
+    with its fingerprint intact (hence ``__reduce__``). The supervisor
+    treats it as a protocol-level retry signal — reset the mirror,
+    resend with definitions — never as an application error.
+    """
+
+    def __init__(self, fingerprint_hex: str) -> None:
+        super().__init__(
+            f"no interned query for fingerprint {fingerprint_hex}; "
+            f"supervisor must resend the definition")
+        self.fingerprint_hex = fingerprint_hex
+
+    def __reduce__(self):
+        return (InternMiss, (self.fingerprint_hex,))
+
+
+def wire_fingerprint(obj) -> bytes | None:
+    """The 16-byte wire fingerprint of a query, or ``None``.
+
+    ``None`` means the object is not canonically fingerprintable (an
+    object-dtype array in its state, a ``__slots__`` class that cannot
+    memoize, ...) and must use the plain pickle escape hatch instead of
+    interning. Never raises: interning is an optimization, and an
+    un-fingerprintable object is simply not a candidate.
+    """
+    try:
+        digest = memoized_fingerprint(obj)
+    except Exception:  # noqa: BLE001 - memo attr may be unsettable
+        try:
+            digest = fingerprint_of(obj)
+        except Exception:  # noqa: BLE001 - not fingerprintable at all
+            return None
+    return bytes.fromhex(digest)[:FINGERPRINT_BYTES]
+
+
+class InternTable:
+    """Worker-side LRU of live query objects, keyed by fingerprint.
+
+    ``define`` and ``lookup`` must be called in wire order (the worker
+    loop is single-threaded, so this is free) — the eviction sequence is
+    part of the protocol, mirrored by the supervisor's
+    :class:`InternMirror`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[bytes, object] = OrderedDict()
+
+    def define(self, fingerprint: bytes, obj) -> None:
+        entries = self._entries
+        if fingerprint in entries:
+            entries.move_to_end(fingerprint)
+            entries[fingerprint] = obj
+        else:
+            entries[fingerprint] = obj
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
+
+    def lookup(self, fingerprint: bytes):
+        entries = self._entries
+        try:
+            obj = entries[fingerprint]
+        except KeyError:
+            raise InternMiss(fingerprint.hex()) from None
+        entries.move_to_end(fingerprint)
+        return obj
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: bytes) -> bool:
+        return fingerprint in self._entries
+
+
+class InternMirror:
+    """Supervisor-side deterministic mirror of a worker's intern table.
+
+    Holds fingerprints only (the supervisor never needs the objects
+    back) and replays the exact LRU discipline of :class:`InternTable`,
+    so "is this fingerprint still interned worker-side?" is answerable
+    locally. One mirror per shard-handle incarnation: a restarted worker
+    gets a fresh handle and with it a fresh, empty mirror — that is the
+    invalidation story, no epoch numbers on the wire.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._known: OrderedDict[bytes, None] = OrderedDict()
+
+    def note(self, fingerprint: bytes, *, force_define: bool = False) -> bool:
+        """Record one encode of ``fingerprint``; ``True`` = send a
+        definition, ``False`` = a bare reference suffices.
+
+        ``force_define`` (the post-:class:`InternMiss` resend) emits a
+        definition even for known fingerprints; the worker's ``define``
+        is an upsert, so the mirrored LRU sequence stays identical.
+        """
+        known = self._known
+        if fingerprint in known:
+            known.move_to_end(fingerprint)
+            return True if force_define else False
+        known[fingerprint] = None
+        while len(known) > self.capacity:
+            known.popitem(last=False)
+        return True
+
+    def encoder(self, *, force_define: bool = False):
+        """The value-codec interning hook for one request encode.
+
+        Returns a callable mapping an un-encodable object to
+        ``(define, fingerprint)`` — or ``None`` for objects that are not
+        fingerprintable (those fall through to the pickle escape hatch,
+        uninterned).
+        """
+        def hook(obj):
+            fingerprint = wire_fingerprint(obj)
+            if fingerprint is None:
+                return None
+            return (self.note(fingerprint, force_define=force_define),
+                    fingerprint)
+        return hook
+
+    def reset(self) -> None:
+        """Forget everything (the :class:`InternMiss` recovery path)."""
+        self._known.clear()
+
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def __contains__(self, fingerprint: bytes) -> bool:
+        return fingerprint in self._known
+
+
+__all__ = [
+    "DEFAULT_CAPACITY", "FINGERPRINT_BYTES", "InternMiss", "InternMirror",
+    "InternTable", "wire_fingerprint",
+]

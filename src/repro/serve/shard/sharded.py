@@ -55,9 +55,23 @@ import threading
 import time
 from multiprocessing import connection
 
-from repro.exceptions import ShardUnavailable, ValidationError
+from repro.data.shm import SharedDatasetExport
+from repro.exceptions import (
+    FrameError,
+    ShardUnavailable,
+    ValidationError,
+)
 from repro.obs.registry import MetricsRegistry
-from repro.serve.resilience import CLOSED, CircuitBreaker
+from repro.serve.resilience import CLOSED, CircuitBreaker, Deadline
+from repro.serve.shard.frames import (
+    FLAG_IDEMPOTENT,
+    KIND_REPLY_ERR,
+    KIND_REQUEST,
+    VERBS,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.shard.interning import InternMiss, InternMirror
 from repro.serve.shard.router import DEFAULT_VNODES, ConsistentHashRouter
 from repro.serve.shard.worker import (
     FaultPlan,
@@ -153,50 +167,87 @@ class _ShardHandle:
     ``call`` serializes requests on a per-handle lock (the protocol is
     one-in-flight per pipe); a broken pipe or EOF marks the handle dead
     and raises :class:`ShardUnavailable`. Handles are immutable about
-    identity: a restarted shard gets a *new* handle object, so a caller
-    blocked on a dying handle can never observe the replacement's
-    state.
+    identity: a restarted shard gets a *new* handle object — and with it
+    a fresh :class:`~repro.serve.shard.interning.InternMirror` and a
+    fresh shared-memory export — so a caller blocked on a dying handle
+    can never observe the replacement's state, and a restarted worker's
+    empty intern table is never referenced against stale mirror state.
     """
 
-    def __init__(self, shard_id: str, process, conn) -> None:
+    def __init__(self, shard_id: str, process, conn, *,
+                 shm_export: SharedDatasetExport | None = None) -> None:
         self.shard_id = shard_id
         self.process = process
         self.conn = conn
         self.lock = threading.Lock()
         self.alive = True
+        self.mirror = InternMirror()
+        self.shm_export = shm_export
         # Death accounting is separate from ``alive``: a caller thread
         # that trips over the corpse (EOF mid-call) marks the handle
         # dead immediately, but only the supervisor's _note_death may
         # count the death — exactly once per handle incarnation.
         self.death_counted = False
 
-    def call(self, verb: str, payload=None, *, timeout: float | None = None):
-        with self.lock:
-            if not self.alive:
-                raise ShardUnavailable(
-                    f"shard {self.shard_id!r} is down",
-                    shard_id=self.shard_id, reason="dead")
-            try:
-                self.conn.send((verb, payload))
-                if timeout is not None and not self.conn.poll(timeout):
-                    # The shard is alive but slow; the request stays in
-                    # flight and the pipe is now desynchronized, so the
-                    # handle must be retired rather than reused.
+    def call(self, verb: str, payload=None, *, deadline: float | None = None,
+             flags: int = 0, timeout: float | None = None):
+        """One frame RPC; ``deadline`` is remaining seconds (wire form).
+
+        Request encoding (and with it the intern mirror's bookkeeping)
+        happens under the handle lock, so mirror state advances in
+        exactly the order the worker decodes — the invariant that keeps
+        the two LRU tables identical. An :class:`InternMiss` reply is
+        retried once with every query sent as a full definition; any
+        other error reply is raised as the application error it carries.
+        """
+        verb_code = VERBS[verb]
+        for force_define in (False, True):
+            with self.lock:
+                if not self.alive:
+                    raise ShardUnavailable(
+                        f"shard {self.shard_id!r} is down",
+                        shard_id=self.shard_id, reason="dead")
+                request = encode_frame(
+                    KIND_REQUEST, verb_code,
+                    [payload] if payload is not None else [],
+                    deadline=deadline, flags=flags,
+                    intern=self.mirror.encoder(force_define=force_define))
+                try:
+                    self.conn.send_bytes(request)
+                    if timeout is not None and not self.conn.poll(timeout):
+                        # The shard is alive but slow; the request stays
+                        # in flight and the pipe is now desynchronized,
+                        # so the handle must be retired, not reused.
+                        self.mark_dead()
+                        raise ShardUnavailable(
+                            f"shard {self.shard_id!r} did not reply to "
+                            f"{verb!r} within {timeout}s",
+                            shard_id=self.shard_id, reason="timeout")
+                    data = self.conn.recv_bytes()
+                except (EOFError, OSError, BrokenPipeError):
                     self.mark_dead()
                     raise ShardUnavailable(
-                        f"shard {self.shard_id!r} did not reply to "
-                        f"{verb!r} within {timeout}s",
-                        shard_id=self.shard_id, reason="timeout")
-                status, result = self.conn.recv()
-            except (EOFError, OSError, BrokenPipeError):
+                        f"shard {self.shard_id!r} died during {verb!r}",
+                        shard_id=self.shard_id, reason="died-in-flight",
+                    ) from None
+            try:
+                reply = decode_frame(data)
+            except FrameError:
+                # The two ends no longer agree byte-for-byte; the pipe
+                # cannot be resynchronized, so retire the handle.
                 self.mark_dead()
-                raise ShardUnavailable(
-                    f"shard {self.shard_id!r} died during {verb!r}",
-                    shard_id=self.shard_id, reason="died-in-flight",
-                ) from None
-        if status == "error":
-            raise result
-        return result
+                raise
+            if reply.kind != KIND_REPLY_ERR:
+                return reply.values[0] if reply.values else None
+            error = (reply.values[0] if reply.values
+                     else ValidationError("empty shard error reply"))
+            if isinstance(error, InternMiss) and not force_define:
+                # The worker's intern table lost entries the mirror
+                # still believed in (restart race, eviction drift):
+                # forget everything and resend with full definitions.
+                self.mirror.reset()
+                continue
+            raise error
 
     def mark_dead(self) -> None:
         self.alive = False
@@ -204,6 +255,16 @@ class _ShardHandle:
             self.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
+
+    def release_shm(self) -> None:
+        """Unlink this incarnation's shared-memory segment (idempotent).
+
+        Called by the supervisor on death detection and at close — the
+        ownership discipline that makes a SIGKILL'd worker unable to
+        leak a segment (it only ever held an attachment).
+        """
+        if self.shm_export is not None:
+            self.shm_export.close()
 
 
 class ShardedService:
@@ -242,6 +303,16 @@ class ShardedService:
         sentinels and restores any shard that dies unexpectedly onto
         its directory. ``False`` leaves dead shards down until
         :meth:`restore_shard`.
+    shared_datasets:
+        When ``True`` (default) each worker incarnation receives its
+        datasets — universe arrays, row indices, and the frozen
+        histogram view — through a supervisor-owned shared-memory
+        segment (:mod:`repro.data.shm`) and attaches them zero-copy;
+        the spec pickle then carries only scalars. The supervisor
+        unlinks a shard's segment when it detects the shard's death
+        and at close. ``False`` ships pickled dataset copies (the
+        pre-frames behavior; also the automatic fallback on platforms
+        without shared memory).
     registry:
         Optional supervisor :class:`~repro.obs.MetricsRegistry` for
         topology metrics (fresh one by default).
@@ -254,6 +325,7 @@ class ShardedService:
                  checkpoint_every: int | None = None,
                  ledger_fsync: bool = True, cache_policy: str = "replay",
                  rng: int | None = 0, auto_restore: bool = True,
+                 shared_datasets: bool = True,
                  registry: MetricsRegistry | None = None,
                  fault_plans: dict[str, FaultPlan] | None = None) -> None:
         if shards < 1:
@@ -274,6 +346,12 @@ class ShardedService:
         self._ledger_fsync = bool(ledger_fsync)
         self._cache_policy = cache_policy
         self._fault_plans = dict(fault_plans or {})
+        # Per-incarnation shared-memory exports: ``True`` ships each
+        # worker its datasets + frozen histogram view as a read-only
+        # segment instead of a pickled copy; spawn falls back to the
+        # pickle path when the platform refuses shared memory.
+        self._shared_datasets = bool(shared_datasets)
+        self._spawn_serial = 0
         self._ctx = _mp_context()
         self._lock = threading.Lock()
         self._handles: dict[str, _ShardHandle] = {}
@@ -340,22 +418,39 @@ class ShardedService:
                fault_plan: FaultPlan | None = None) -> _ShardHandle:
         seed = None if self._rng is None else (
             self._rng + self.shard_ids.index(shard_id))
+        export = None
+        if self._shared_datasets:
+            self._spawn_serial += 1
+            try:
+                export = SharedDatasetExport(
+                    self._datasets, owner_pid=os.getpid(),
+                    tag=f"{shard_id}_g{self._spawn_serial}")
+            except OSError:  # platform without usable shared memory
+                export = None
         spec = ShardSpec(
             shard_id=shard_id, directory=self.shard_dir(shard_id),
-            datasets=self._datasets, rng=seed,
+            datasets=None if export is not None else self._datasets,
+            rng=seed,
             checkpoint_every=self._checkpoint_every,
             ledger_fsync=self._ledger_fsync,
-            cache_policy=self._cache_policy, fault_plan=fault_plan)
+            cache_policy=self._cache_policy, fault_plan=fault_plan,
+            shm_manifest=export.manifest if export is not None else None)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=shard_worker_main, args=(child_conn, spec),
             name=f"repro-{shard_id}", daemon=True)
-        process.start()
+        try:
+            process.start()
+        except BaseException:
+            if export is not None:
+                export.close()
+            raise
         # Drop the parent's copy of the child end: the worker's death
         # must read as EOF on parent_conn, not a half-open socket.
         child_conn.close()
         self.registry.gauge("shard.alive", {"shard": shard_id}).set(1)
-        return _ShardHandle(shard_id, process, parent_conn)
+        return _ShardHandle(shard_id, process, parent_conn,
+                            shm_export=export)
 
     # -- liveness ------------------------------------------------------------
 
@@ -431,6 +526,12 @@ class ShardedService:
             self._death_counts[handle.shard_id] += 1
             self._last_death_unix[handle.shard_id] = time.time()
             self._breakers[handle.shard_id].trip()
+        # The dead incarnation's shared-memory segment is garbage the
+        # moment the corpse is seen: the worker only ever held an
+        # attachment (reclaimed by the kernel with the process), so the
+        # supervisor unlinking here is what guarantees a SIGKILL'd
+        # worker never strands a segment.
+        handle.release_shm()
         self._write_health(handle.shard_id)
 
     def kill_shard(self, shard_id: str) -> int:
@@ -479,6 +580,16 @@ class ShardedService:
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.02)
+
+    def ping(self, shard_id: str) -> dict:
+        """One worker's liveness/identity report: pid, session count,
+        intern-table size, cumulative in-worker serve seconds, and last
+        journal seq. The serve-seconds clock is what the E22 benchmark
+        subtracts from supervisor-observed wall time to price the frame
+        protocol itself."""
+        result = self._handle(shard_id).call("ping")
+        self._note_success(shard_id)
+        return result
 
     def shard_states(self) -> dict[str, bool]:
         """``{shard_id: alive}`` right now."""
@@ -575,18 +686,23 @@ class ShardedService:
         shard is down or dies mid-batch (the request may or may not
         have journaled — the restored ledger is the authority; see the
         module docstring). ``idempotency_keys`` (one per query, or
-        ``None``) cross the RPC boundary verbatim; ``deadline`` crosses
-        as remaining seconds (monotonic clocks are per-process) and is
-        rebuilt worker-side.
+        ``None``) cross the RPC boundary verbatim, flagged in the frame
+        header; ``deadline`` rides the header as remaining seconds
+        (monotonic clocks are per-process) and is rebuilt worker-side.
+        Repeat queries cross as 16-byte interned fingerprints rather
+        than re-serialized objects (:mod:`~repro.serve.shard.
+        interning`).
         """
         self._check_open()
         stub = self.session(session_id)
+        keys = list(idempotency_keys) if idempotency_keys is not None \
+            else None
         return self._route_call(stub, "serve_batch", {
             "session_id": session_id, "queries": list(queries),
             "use_cache": use_cache, "on_halt": on_halt,
-            "idempotency_keys": (list(idempotency_keys)
-                                 if idempotency_keys is not None else None),
-            "deadline": deadline.to_wire() if deadline is not None else None})
+            "idempotency_keys": keys},
+            deadline=Deadline.wire_or_none(deadline),
+            flags=FLAG_IDEMPOTENT if keys is not None else 0)
 
     def submit(self, session_id: str, query, *, use_cache: bool = True,
                on_halt: str = "raise", idempotency_key: str | None = None,
@@ -597,12 +713,15 @@ class ShardedService:
         return self._route_call(stub, "submit", {
             "session_id": session_id, "query": query,
             "use_cache": use_cache, "on_halt": on_halt,
-            "idempotency_key": idempotency_key,
-            "deadline": deadline.to_wire() if deadline is not None else None})
+            "idempotency_key": idempotency_key},
+            deadline=Deadline.wire_or_none(deadline),
+            flags=FLAG_IDEMPOTENT if idempotency_key is not None else 0)
 
-    def _route_call(self, stub: _SessionStub, verb: str, payload):
+    def _route_call(self, stub: _SessionStub, verb: str, payload, *,
+                    deadline: float | None = None, flags: int = 0):
         try:
-            result = self._handle(stub.shard_id).call(verb, payload)
+            result = self._handle(stub.shard_id).call(
+                verb, payload, deadline=deadline, flags=flags)
         except ShardUnavailable as exc:
             exc.session_id = stub.session_id
             raise
@@ -696,17 +815,19 @@ class ShardedService:
             handles = list(self._handles.values())
         for handle in handles:
             if not handle.alive:
+                handle.release_shm()
                 continue
             try:
                 final = handle.call("shutdown")
                 self._last_shard_snapshot[handle.shard_id] = final
-            except (ShardUnavailable, ValidationError):
+            except (ShardUnavailable, ValidationError, FrameError):
                 pass
             handle.mark_dead()
             handle.process.join(timeout=10.0)
             if handle.process.is_alive():  # pragma: no cover - stuck child
                 handle.process.terminate()
                 handle.process.join()
+            handle.release_shm()
             self.registry.gauge(
                 "shard.alive", {"shard": handle.shard_id}).set(0)
         if self._monitor.is_alive():

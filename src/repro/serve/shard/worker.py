@@ -4,19 +4,34 @@ Each shard process owns one :class:`~repro.serve.service.PMWService`
 with its *own* write-ahead :class:`~repro.serve.ledger.BudgetLedger`
 and :class:`~repro.serve.checkpoint.Checkpointer` directory — the full
 PR 5 durability stack, one instance per shard. The supervisor speaks a
-synchronous request/response protocol over a duplex pipe::
+synchronous request/response protocol of binary frames
+(:mod:`~repro.serve.shard.frames`) over a duplex pipe::
 
-    parent                         worker
-    ------                         ------
-    send((verb, payload))  ---->   dispatch verb
-    recv()                 <----   ("ok", result) | ("error", exc)
+    parent                             worker
+    ------                             ------
+    send_bytes(request frame)  ---->   decode, dispatch verb
+    recv_bytes()               <----   reply-ok | reply-err frame
 
 One request is in flight per pipe at a time (the supervisor serializes
 per-shard calls under a handle lock), so the protocol needs no request
 ids or reordering logic; concurrency across shards comes from having
 many shards, and concurrency within the parent from the gateway's
-worker pool. If the worker dies mid-request the parent's ``recv`` sees
-EOF and surfaces :class:`~repro.exceptions.ShardUnavailable`.
+worker pool. If the worker dies mid-request the parent's ``recv_bytes``
+sees EOF and surfaces :class:`~repro.exceptions.ShardUnavailable`.
+
+**Queries are interned.** The request decoder resolves interned query
+references against a per-incarnation :class:`~repro.serve.shard.
+interning.InternTable`; a reference this incarnation has never seen
+(worker restarted, table evicted) answers with a typed
+:class:`~repro.serve.shard.interning.InternMiss` reply, and the
+supervisor resends the request with full definitions — one extra round
+trip, never a wrong answer.
+
+**Datasets arrive by shared memory.** When the spec carries a
+``shm_manifest``, the worker attaches the supervisor's segment
+read-only (:func:`repro.data.shm.attach_datasets`) instead of
+unpickling dataset copies: universe, indices, and the frozen histogram
+view are zero-copy, bitwise the supervisor's arrays.
 
 **Startup is restore-or-fresh, decided by the directory.** If the
 shard directory already holds checkpoints or a budget journal, the
@@ -41,9 +56,17 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 
 from repro.exceptions import ValidationError
 from repro.serve.resilience import Deadline
+from repro.serve.shard.frames import (
+    KIND_REPLY_ERR,
+    KIND_REPLY_OK,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.shard.interning import InternTable
 
 #: Exit codes for injected faults, so a supervisor (or a confused
 #: operator reading ``dmesg``) can tell a planned chaos kill from a
@@ -83,16 +106,20 @@ class ShardSpec:
     service. Pickled and shipped to the child at spawn time, so every
     field must be picklable — in particular ``rng`` is an integer seed,
     not a live generator, and mechanism construction is config-driven
-    through the default registry."""
+    through the default registry. When ``shm_manifest`` is set the
+    worker attaches datasets from the supervisor's shared-memory
+    segment and ``datasets`` may be ``None`` (nothing bulky rides the
+    spec pickle)."""
 
     shard_id: str
     directory: str
-    datasets: dict
+    datasets: dict | None
     rng: int | None = None
     checkpoint_every: int | None = None
     ledger_fsync: bool = True
     cache_policy: str = "replay"
     fault_plan: FaultPlan | None = None
+    shm_manifest: dict | None = None
 
 
 def build_service(spec: ShardSpec):
@@ -106,6 +133,15 @@ def build_service(spec: ShardSpec):
     from repro.serve.checkpoint import Checkpointer, discover_checkpoints
     from repro.serve.service import PMWService
 
+    datasets = spec.datasets
+    if spec.shm_manifest is not None:
+        from repro.data.shm import attach_datasets
+
+        datasets = attach_datasets(spec.shm_manifest)
+    if datasets is None:
+        raise ValidationError(
+            f"shard {spec.shard_id!r} spec carries neither datasets nor "
+            f"a shared-memory manifest")
     ledger_path = os.path.join(spec.directory, LEDGER_NAME)
     ckpt_dir = os.path.join(spec.directory, CHECKPOINT_DIR)
     os.makedirs(spec.directory, exist_ok=True)
@@ -113,12 +149,12 @@ def build_service(spec: ShardSpec):
                    or os.path.exists(ledger_path))
     if has_history:
         service = Checkpointer.restore(
-            spec.datasets, ckpt_dir, ledger_path=ledger_path,
+            datasets, ckpt_dir, ledger_path=ledger_path,
             ledger_fsync=spec.ledger_fsync,
             cache_policy=spec.cache_policy, rng=spec.rng)
     else:
         service = PMWService(
-            spec.datasets, ledger_path=ledger_path,
+            datasets, ledger_path=ledger_path,
             ledger_fsync=spec.ledger_fsync,
             cache_policy=spec.cache_policy, rng=spec.rng)
     checkpointer = Checkpointer(service, ckpt_dir,
@@ -130,110 +166,145 @@ def shard_worker_main(conn, spec: ShardSpec) -> None:
     """Child-process entry point: serve the RPC loop until shutdown.
 
     Every dispatch is wrapped so an application error (budget
-    exhausted, halted mechanism, unknown session) travels back as a
-    pickled exception and the loop continues — only ``shutdown``, EOF
-    on the pipe (parent died), or an injected fault ends the process.
+    exhausted, halted mechanism, unknown session, intern miss) travels
+    back inside a reply-err frame and the loop continues — only
+    ``shutdown``, EOF on the pipe (parent died), or an injected fault
+    ends the process. Request frames that cannot be decoded also answer
+    with reply-err (``send_bytes`` preserves message boundaries, so a
+    bad frame does not desynchronize the pipe).
     """
     from repro.obs.registry import MetricsRegistry
     from repro.obs.telemetry import publish_service
 
     service, checkpointer = build_service(spec)
+    intern_table = InternTable()
     registry = MetricsRegistry()
     batches = registry.counter("shard.batches")
     requests = registry.counter("shard.requests")
+    interned = registry.counter("shard.interned_queries")
     fault = spec.fault_plan or FaultPlan()
     batch_count = 0
+    # Cumulative wall time inside service calls, on the worker's own
+    # clock. The supervisor reads it via ``ping``; wall-minus-serve is
+    # the protocol's true boundary cost (E22 prices frames with it).
+    serve_seconds = 0.0
 
     def metrics_snapshot() -> dict:
         publish_service(registry, service)
         return registry.snapshot()
 
+    def send_reply(kind: int, verb_code: int, value) -> None:
+        try:
+            conn.send_bytes(encode_frame(kind, verb_code, [value]))
+        except Exception:  # noqa: BLE001 - unencodable result/exception
+            # Degrade to a typed, always-encodable error rather than
+            # killing the shard.
+            conn.send_bytes(encode_frame(
+                KIND_REPLY_ERR, verb_code,
+                [ValidationError(
+                    f"shard reply for verb {verb_code} was not "
+                    f"encodable: {value!r}")]))
+
     try:
         while True:
             try:
-                verb, payload = conn.recv()
+                data = conn.recv_bytes()
             except (EOFError, OSError):
                 break  # supervisor is gone; release the ledger handle
+            verb_code = 0
+            verb = ""
+            reply_value = None
+            failed = None
             try:
+                table_before = len(intern_table)
+                frame = decode_frame(data, table=intern_table)
+                if len(intern_table) > table_before:
+                    interned.inc(len(intern_table) - table_before)
+                verb_code = frame.verb
+                verb = frame.verb_name
+                payload = frame.values[0] if frame.values else None
+                deadline = Deadline.from_wire(frame.deadline)
                 if verb == "serve_batch":
                     batch_count += 1
+                    serve_started = time.perf_counter()
                     results = service.serve_session_batch(
                         payload["session_id"], payload["queries"],
                         use_cache=payload.get("use_cache", True),
                         on_halt=payload.get("on_halt", "hypothesis"),
                         idempotency_keys=payload.get("idempotency_keys"),
-                        deadline=Deadline.from_wire(payload.get("deadline")))
+                        deadline=deadline)
+                    serve_seconds += time.perf_counter() - serve_started
                     batches.inc()
                     requests.inc(len(payload["queries"]))
                     checkpointer.maybe_checkpoint()
                     if fault.exit_before_reply == batch_count:
                         os._exit(EXIT_BEFORE_REPLY)
-                    reply = ("ok", results)
+                    reply_value = results
                 elif verb == "submit":
                     batch_count += 1
+                    serve_started = time.perf_counter()
                     result = service.submit(
                         payload["session_id"], payload["query"],
                         use_cache=payload.get("use_cache", True),
                         on_halt=payload.get("on_halt", "raise"),
                         idempotency_key=payload.get("idempotency_key"),
-                        deadline=Deadline.from_wire(payload.get("deadline")))
+                        deadline=deadline)
+                    serve_seconds += time.perf_counter() - serve_started
                     requests.inc()
                     checkpointer.maybe_checkpoint()
                     if fault.exit_before_reply == batch_count:
                         os._exit(EXIT_BEFORE_REPLY)
-                    reply = ("ok", result)
+                    reply_value = result
                 elif verb == "open_session":
                     mechanism = payload.pop("mechanism")
                     sid = service.open_session(mechanism, **payload)
                     checkpointer.maybe_checkpoint()
-                    reply = ("ok", sid)
+                    reply_value = sid
                 elif verb == "close_session":
                     service.close_session(payload["session_id"])
-                    reply = ("ok", None)
+                    reply_value = None
                 elif verb == "session_ids":
-                    reply = ("ok", service.session_ids)
+                    reply_value = service.session_ids
                 elif verb == "session_info":
                     session = service.session(payload["session_id"])
-                    reply = ("ok", {
+                    reply_value = {
                         "closed": session.closed,
                         "mechanism": session.mechanism_name,
                         "analyst": session.analyst,
-                    })
+                    }
                 elif verb == "budget_records":
-                    reply = ("ok", {
+                    reply_value = {
                         sid: service.session(sid).accountant.to_records()
                         for sid in service.session_ids
-                    })
+                    }
                 elif verb == "checkpoint":
-                    reply = ("ok", checkpointer.checkpoint())
+                    reply_value = checkpointer.checkpoint()
                 elif verb == "metrics":
-                    reply = ("ok", metrics_snapshot())
+                    reply_value = metrics_snapshot()
                 elif verb == "ping":
-                    reply = ("ok", {
+                    reply_value = {
                         "shard_id": spec.shard_id,
                         "pid": os.getpid(),
                         "sessions": len(service.session_ids),
+                        "interned": len(intern_table),
+                        "serve_seconds": serve_seconds,
                         "ledger_seq": (service.ledger.last_seq
                                        if service.ledger else -1),
-                    })
+                    }
                 elif verb == "shutdown":
                     final = metrics_snapshot()
                     service.close()
-                    conn.send(("ok", final))
+                    send_reply(KIND_REPLY_OK, verb_code, final)
                     return
                 else:
-                    reply = ("error", ValidationError(
-                        f"unknown shard verb {verb!r}"))
+                    failed = ValidationError(
+                        f"unknown shard verb {verb!r}")
             except BaseException as exc:  # noqa: BLE001 - RPC boundary
-                reply = ("error", exc)
-            try:
-                conn.send(reply)
-            except (TypeError, AttributeError, ValueError):
-                # Unpicklable result or exception: degrade to a typed,
-                # always-picklable error rather than killing the shard.
-                conn.send(("error", ValidationError(
-                    f"shard reply for {verb!r} was not picklable: "
-                    f"{reply[1]!r}")))
+                failed = exc
+            if failed is not None:
+                send_reply(KIND_REPLY_ERR, verb_code, failed)
+            else:
+                send_reply(KIND_REPLY_OK, verb_code, reply_value)
             if fault.exit_after_batch == batch_count and \
                     verb in ("serve_batch", "submit"):
                 os._exit(EXIT_AFTER_BATCH)

@@ -1,0 +1,99 @@
+"""Shared-memory ownership under SIGKILL: segments never leak.
+
+The zero-copy dataset path (:mod:`repro.data.shm`) moves bulk arrays
+into POSIX shared memory, which — unlike heap — survives process death.
+The ownership discipline that makes this safe is the supervisor's:
+workers only ever hold attachments (reclaimed by the kernel with the
+process), and the supervisor unlinks each incarnation's segment on
+death detection and at close. These tests SIGKILL workers mid-request
+under threaded load and then stare at ``/dev/shm``: the one acceptable
+steady state is *exactly one segment per live shard, zero after close*.
+"""
+
+import os
+import pathlib
+import time
+
+from harness import (
+    Flood,
+    build_plan,
+    chaos_session_ids,
+    open_chaos_sessions,
+)
+from repro.data.shm import SEGMENT_PREFIX
+from repro.serve.shard import ShardedService
+from repro.serve.shard.router import ConsistentHashRouter
+
+SIDS = chaos_session_ids(4)
+VICTIM = ConsistentHashRouter(["shard-00", "shard-01"]).route(SIDS[0])
+
+
+def owned_segments() -> set[str]:
+    """Names under ``/dev/shm`` owned by this (supervisor) process."""
+    prefix = f"{SEGMENT_PREFIX}_{os.getpid()}_"
+    return {path.name
+            for path in pathlib.Path("/dev/shm").glob(f"{prefix}*")}
+
+
+def test_sigkill_mid_request_strands_no_segment(cube_dataset, tmp_path):
+    before_any = owned_segments()
+    service = ShardedService(cube_dataset, tmp_path / "dep", shards=2,
+                             checkpoint_every=1, ledger_fsync=False,
+                             rng=0, auto_restore=True)
+    try:
+        live = owned_segments() - before_any
+        assert len(live) == 2, "one segment per live shard"
+
+        open_chaos_sessions(service, SIDS)
+        storm = Flood(service, SIDS, cube_dataset.universe).start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while (min(r.completed for r in storm.results) < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            # SIGKILL with requests in flight: the worker dies holding
+            # an attachment to the supervisor's segment.
+            service.kill_shard(VICTIM)
+            service.wait_alive(VICTIM, timeout=60)
+        finally:
+            results = storm.finish()
+        for outcome in results:
+            assert outcome.unexpected == []
+
+        after_restore = owned_segments() - before_any
+        # Death detection unlinked the dead incarnation's segment and
+        # the restore exported a fresh one: still exactly one per shard,
+        # and the victim's is a *new* name (incarnation serial).
+        assert len(after_restore) == 2
+        assert after_restore != live
+
+        # The deployment still serves on the fresh segment.
+        for sid, queries in build_plan(cube_dataset.universe, SIDS,
+                                       rounds=1):
+            assert len(service.serve_session_batch(sid, queries)) == 2
+    finally:
+        service.close()
+    assert owned_segments() - before_any == set(), \
+        "close() must unlink every segment this deployment created"
+
+
+def test_repeated_kill_restore_cycles_never_accumulate(cube_dataset,
+                                                       tmp_path):
+    before_any = owned_segments()
+    service = ShardedService(cube_dataset, tmp_path / "dep", shards=1,
+                             checkpoint_every=1, ledger_fsync=False,
+                             rng=0, auto_restore=False)
+    try:
+        open_chaos_sessions(service, SIDS[:2])
+        for cycle in range(3):
+            service.kill_shard("shard-00")
+            # The corpse is noted synchronously by kill_shard: its
+            # segment must already be gone, before any restore.
+            assert owned_segments() - before_any == set(), \
+                f"cycle {cycle}: dead incarnation's segment survived"
+            service.restore_shard("shard-00")
+            service.wait_alive("shard-00")
+            assert len(owned_segments() - before_any) == 1
+    finally:
+        service.close()
+    assert owned_segments() - before_any == set()

@@ -1,0 +1,136 @@
+"""Unit tests for the shared-memory dataset export/attach pair.
+
+Ownership-under-crash behavior lives in ``tests/chaos/test_shm_leaks``;
+here we pin the value contract: an attached dataset is *bitwise* the
+exported one (same digest, same frozen histogram, zero-copy read-only
+views), close is idempotent, stale segment names are reclaimed, and the
+manifest format is versioned.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.builders import signed_cube
+from repro.data.dataset import Dataset
+from repro.data.shm import (
+    SHM_FORMAT,
+    SharedDatasetExport,
+    attach_datasets,
+    segment_name,
+)
+from repro.exceptions import ValidationError
+from repro.serve.service import dataset_digest
+
+
+@pytest.fixture
+def dataset():
+    universe = signed_cube(3)
+    rng = np.random.default_rng(7)
+    indices = rng.integers(0, universe.size, size=120)
+    return Dataset(universe, indices)
+
+
+@pytest.fixture
+def export(dataset):
+    handle = SharedDatasetExport(dataset, owner_pid=os.getpid(),
+                                 tag="test_shm")
+    yield handle
+    handle.close()
+
+
+class TestRoundTrip:
+    def test_attached_dataset_is_bitwise_the_original(self, dataset,
+                                                      export):
+        attached = attach_datasets(export.manifest)["default"]
+        assert np.array_equal(attached.indices, dataset.indices)
+        assert np.array_equal(attached.universe.points,
+                              dataset.universe.points)
+        # The ledger/checkpoint compatibility check sees no difference.
+        assert dataset_digest(attached) == dataset_digest(dataset)
+
+    def test_frozen_histogram_is_preattached_and_equal(self, dataset,
+                                                       export):
+        attached = attach_datasets(export.manifest)["default"]
+        assert np.array_equal(attached.histogram().weights,
+                              dataset.histogram().weights)
+        # Same object on repeated calls: no bincount on the worker.
+        assert attached.histogram() is attached.histogram()
+
+    def test_views_are_read_only(self, export):
+        attached = attach_datasets(export.manifest)["default"]
+        with pytest.raises((ValueError, RuntimeError)):
+            attached.indices[0] = 0
+        with pytest.raises((ValueError, RuntimeError)):
+            attached.histogram().weights[0] = 1.0
+
+    def test_labeled_universe_round_trips(self):
+        universe = signed_cube(2)
+        labeled = type(universe)(points=universe.points,
+                                 labels=np.arange(universe.size) % 2,
+                                 name=universe.name)
+        dataset = Dataset(labeled, np.array([0, 1, 2, 3]))
+        handle = SharedDatasetExport(dataset, owner_pid=os.getpid(),
+                                     tag="test_shm_labels")
+        try:
+            attached = attach_datasets(handle.manifest)["default"]
+            assert np.array_equal(attached.universe.labels,
+                                  labeled.labels)
+        finally:
+            handle.close()
+
+    def test_multiple_datasets_share_one_segment(self, dataset):
+        other = Dataset(dataset.universe, dataset.indices[:50])
+        handle = SharedDatasetExport({"a": dataset, "b": other},
+                                     owner_pid=os.getpid(),
+                                     tag="test_shm_multi")
+        try:
+            attached = attach_datasets(handle.manifest)
+            assert set(attached) == {"a", "b"}
+            assert dataset_digest(attached["a"]) == dataset_digest(dataset)
+            assert dataset_digest(attached["b"]) == dataset_digest(other)
+        finally:
+            handle.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_unlinks(self, dataset):
+        handle = SharedDatasetExport(dataset, owner_pid=os.getpid(),
+                                     tag="test_shm_close")
+        assert os.path.exists(f"/dev/shm/{handle.name}")
+        handle.close()
+        assert not os.path.exists(f"/dev/shm/{handle.name}")
+        handle.close()  # second close must be a silent no-op
+
+    def test_stale_segment_name_is_reclaimed(self, dataset):
+        # A predecessor that died without close leaves its name behind;
+        # a new export under the same pid+tag must reclaim, not fail.
+        first = SharedDatasetExport(dataset, owner_pid=os.getpid(),
+                                    tag="test_shm_stale")
+        try:
+            second = SharedDatasetExport(dataset, owner_pid=os.getpid(),
+                                         tag="test_shm_stale")
+            try:
+                attached = attach_datasets(second.manifest)["default"]
+                assert dataset_digest(attached) == dataset_digest(dataset)
+            finally:
+                second.close()
+        finally:
+            first.close()
+
+    def test_segment_names_are_attributable(self, dataset, export):
+        assert export.name == segment_name(os.getpid(), "test_shm")
+        assert str(os.getpid()) in export.name
+
+
+class TestValidation:
+    def test_empty_dataset_map_is_refused(self):
+        with pytest.raises(ValidationError):
+            SharedDatasetExport({}, owner_pid=os.getpid(), tag="empty")
+
+    def test_foreign_manifest_format_is_refused(self, export):
+        manifest = dict(export.manifest)
+        manifest["format"] = SHM_FORMAT + "-from-the-future"
+        with pytest.raises(ValidationError):
+            attach_datasets(manifest)

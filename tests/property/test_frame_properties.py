@@ -1,0 +1,213 @@
+"""Property tests for the shard wire-frame codec.
+
+The supervisor trusts :mod:`repro.serve.shard.frames` with the serving
+hot path, so the codec's contract is checked as properties rather than
+examples:
+
+1. **Round trip** — any value built from the codec's structural
+   vocabulary decodes back equal (dtype- and shape-exact for ndarrays,
+   sign-exact for floats, NaN-faithful).
+2. **Torn frames** — every proper prefix of a valid frame raises
+   :class:`~repro.exceptions.FrameTruncated`; a short read can never
+   yield a value or an untyped exception.
+3. **Corruption is typed** — arbitrary byte mutations decode or raise a
+   :class:`~repro.exceptions.FrameError` subclass, nothing else.
+4. **Version discipline** — any frame stamped with a foreign version
+   byte is refused with :class:`~repro.exceptions.FrameVersionMismatch`
+   before any payload is interpreted.
+
+``tools/check_wire_protocol.py`` covers the same ground with a fixed
+deterministic corpus plus committed golden frames; this suite lets
+hypothesis hunt for value shapes the corpus never thought of.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.exceptions import (
+    FrameError,
+    FrameTruncated,
+    FrameVersionMismatch,
+)
+from repro.serve.shard import frames
+from repro.serve.shard.frames import (
+    KIND_REPLY_OK,
+    KIND_REQUEST,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.session import ServeResult
+
+ndarrays = hnp.arrays(
+    dtype=st.sampled_from(
+        [np.float64, np.float32, np.int64, np.int32, np.uint8,
+         np.bool_, np.complex128]),
+    shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=4),
+)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),  # unbounded: exercises the i64/bigint split
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    ndarrays,
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=8), st.integers(),
+                      st.binary(max_size=8)),
+            children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+results = st.builds(
+    ServeResult,
+    session_id=st.text(max_size=12),
+    fingerprint=st.text(alphabet="0123456789abcdef", min_size=64,
+                        max_size=64),
+    value=ndarrays,
+    source=st.sampled_from(["fresh", "cache", "replay"]),
+    query_index=st.integers(min_value=0, max_value=2 ** 31),
+    epsilon_spent=st.floats(min_value=0, max_value=100),
+    delta_spent=st.floats(min_value=0, max_value=1),
+)
+
+
+def equal(left, right) -> bool:
+    """Deep equality: dtype/shape-exact arrays, sign- and NaN-exact
+    floats."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return (isinstance(left, np.ndarray)
+                and isinstance(right, np.ndarray)
+                and left.dtype == right.dtype
+                and left.shape == right.shape
+                and np.array_equal(left, right, equal_nan=True))
+    if isinstance(left, ServeResult):
+        return (isinstance(right, ServeResult)
+                and all(equal(getattr(left, f), getattr(right, f))
+                        for f in left.__dataclass_fields__))
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, (list, tuple)):
+        return (len(left) == len(right)
+                and all(equal(a, b) for a, b in zip(left, right)))
+    if isinstance(left, dict):
+        return (left.keys() == right.keys()
+                and all(equal(v, right[k]) for k, v in left.items()))
+    if isinstance(left, float):
+        if math.isnan(left) or math.isnan(right):
+            return math.isnan(left) and math.isnan(right)
+        return (left == right
+                and np.signbit(left) == np.signbit(right))
+    return left == right
+
+
+class TestRoundTrip:
+    @given(payload=st.lists(values, max_size=3))
+    @settings(max_examples=150, deadline=None)
+    def test_values_survive_the_pipe(self, payload):
+        data = encode_frame(KIND_REPLY_OK, frames.VERBS["metrics"],
+                            payload)
+        frame = decode_frame(data, allow_pickle=False)
+        assert frame.kind == KIND_REPLY_OK
+        assert equal(list(frame.values), payload)
+
+    @given(result=results)
+    @settings(max_examples=50, deadline=None)
+    def test_serve_results_survive_structurally(self, result):
+        # The hot reply path: ServeResult must never hit the pickle
+        # escape hatch, so allow_pickle=False has to round-trip it.
+        data = encode_frame(KIND_REPLY_OK, frames.VERBS["serve_batch"],
+                            [[result]])
+        decoded = decode_frame(data, allow_pickle=False).values[0][0]
+        assert equal(decoded, result)
+
+    @given(deadline=st.floats(min_value=1e-3, max_value=1e6),
+           verb=st.sampled_from(sorted(frames.VERBS.values())))
+    @settings(max_examples=50, deadline=None)
+    def test_header_fields_survive(self, deadline, verb):
+        data = encode_frame(KIND_REQUEST, verb, [],
+                            deadline=deadline,
+                            flags=frames.FLAG_IDEMPOTENT)
+        frame = decode_frame(data)
+        assert frame.verb == verb
+        assert frame.deadline == deadline
+        assert frame.flags & frames.FLAG_IDEMPOTENT
+
+
+class TestTornFrames:
+    @given(payload=st.lists(values, max_size=2), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_any_prefix_raises_truncated(self, payload, data):
+        encoded = encode_frame(KIND_REPLY_OK, frames.VERBS["metrics"],
+                               payload)
+        cut = data.draw(st.integers(min_value=0,
+                                    max_value=len(encoded) - 1))
+        try:
+            decode_frame(encoded[:cut], allow_pickle=False)
+        except FrameTruncated:
+            return
+        raise AssertionError(
+            f"prefix of {cut}/{len(encoded)} bytes did not raise "
+            f"FrameTruncated")
+
+
+class TestCorruption:
+    @given(payload=st.lists(values, max_size=2), data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_mutations_decode_or_raise_typed(self, payload, data):
+        encoded = bytearray(encode_frame(
+            KIND_REPLY_OK, frames.VERBS["metrics"], payload))
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=len(encoded) - 1))
+        encoded[position] = data.draw(
+            st.integers(min_value=0, max_value=255))
+        try:
+            decode_frame(bytes(encoded), allow_pickle=False)
+        except FrameError:
+            pass  # typed refusal is the contract
+        except RecursionError:
+            pass  # nesting bomb from a corrupt count is bounded
+
+    @given(junk=st.binary(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_escape_untyped(self, junk):
+        try:
+            decode_frame(junk, allow_pickle=False)
+        except FrameError:
+            pass
+        else:
+            # Only a byte string that happens to be a valid frame may
+            # decode; anything shorter than a header cannot be one.
+            assert len(junk) >= 16
+
+
+class TestVersionDiscipline:
+    @given(version=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_foreign_version_refused_loudly(self, version):
+        data = bytearray(encode_frame(
+            KIND_REQUEST, frames.VERBS["ping"], []))
+        data[2] = version
+        if version == frames.VERSION:
+            decode_frame(bytes(data))
+            return
+        try:
+            decode_frame(bytes(data))
+        except FrameVersionMismatch as exc:
+            assert exc.got == version
+            assert exc.expected == frames.VERSION
+        else:
+            raise AssertionError("foreign version byte was accepted")

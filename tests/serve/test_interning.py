@@ -1,0 +1,225 @@
+"""Query interning across the shard RPC boundary.
+
+Three layers, matching how the protocol is built:
+
+1. **Tables** — :class:`InternTable` / :class:`InternMirror` implement
+   the *same* LRU discipline; a hypothesis-driven lockstep test proves
+   the mirror's define/reference decisions never send a reference the
+   worker cannot resolve, across arbitrary access patterns and
+   evictions.
+2. **Codec** — first sight of a query ships as a definition
+   (``_T_QDEF``), repeats as a 16-byte reference (``_T_QREF``); a
+   reference decoded against a fresh table raises the typed
+   :class:`InternMiss` that drives the resend protocol.
+3. **Deployment** — a worker restart invalidates its table; the
+   supervisor's fresh-mirror-per-handle rule and the InternMiss resend
+   path must both converge to correct (bitwise-replayed) answers.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FrameError
+from repro.losses.families import random_quadratic_family
+from repro.losses.fingerprint import fingerprint_of
+from repro.serve.shard import ShardedService, frames
+from repro.serve.shard.interning import (
+    InternMirror,
+    InternMiss,
+    InternTable,
+    wire_fingerprint,
+)
+
+SHARD_PARAMS = dict(
+    oracle="non-private", scale=4.0, alpha=0.3, beta=0.1, epsilon=2.0,
+    delta=1e-6, schedule="calibrated", max_updates=4, solver_steps=30,
+)
+
+
+def fp(n: int) -> bytes:
+    return n.to_bytes(16, "big")
+
+
+class TestInternTable:
+    def test_lru_evicts_least_recently_used(self):
+        table = InternTable(capacity=2)
+        table.define(fp(1), "one")
+        table.define(fp(2), "two")
+        table.lookup(fp(1))          # refresh 1; 2 is now oldest
+        table.define(fp(3), "three")
+        assert fp(2) not in table
+        assert table.lookup(fp(1)) == "one"
+        assert table.lookup(fp(3)) == "three"
+
+    def test_define_is_an_upsert_refreshing_recency(self):
+        table = InternTable(capacity=2)
+        table.define(fp(1), "one")
+        table.define(fp(2), "two")
+        table.define(fp(1), "one-again")  # refresh, not a new slot
+        table.define(fp(3), "three")
+        assert fp(2) not in table
+        assert table.lookup(fp(1)) == "one-again"
+
+    def test_unknown_fingerprint_raises_typed_miss(self):
+        table = InternTable()
+        with pytest.raises(InternMiss) as info:
+            table.lookup(fp(7))
+        assert info.value.fingerprint_hex == fp(7).hex()
+
+    def test_intern_miss_survives_pickling(self):
+        import pickle
+
+        miss = pickle.loads(pickle.dumps(InternMiss(fp(9).hex())))
+        assert miss.fingerprint_hex == fp(9).hex()
+
+
+class TestInternMirror:
+    def test_note_defines_once_then_references(self):
+        mirror = InternMirror()
+        assert mirror.note(fp(1)) is True
+        assert mirror.note(fp(1)) is False
+        assert mirror.note(fp(1), force_define=True) is True
+
+    def test_reset_forgets_everything(self):
+        mirror = InternMirror()
+        mirror.note(fp(1))
+        mirror.reset()
+        assert len(mirror) == 0
+        assert mirror.note(fp(1)) is True
+
+    @given(accesses=st.lists(st.integers(min_value=0, max_value=12),
+                             max_size=80),
+           capacity=st.integers(min_value=1, max_value=6))
+    @settings(max_examples=100, deadline=None)
+    def test_mirror_and_table_stay_in_lockstep(self, accesses, capacity):
+        # The protocol invariant: whenever the mirror says "reference
+        # suffices", the worker's table must resolve it — across any
+        # access pattern and any eviction pressure.
+        mirror = InternMirror(capacity=capacity)
+        table = InternTable(capacity=capacity)
+        for n in accesses:
+            if mirror.note(fp(n)):
+                table.define(fp(n), n)
+            else:
+                assert table.lookup(fp(n)) == n
+        assert len(mirror) == len(table)
+
+
+class TestWireInterning:
+    def queries(self, cube_dataset):
+        return random_quadratic_family(cube_dataset.universe, 2, rng=11)
+
+    def test_first_sight_defines_then_references(self, cube_dataset):
+        queries = self.queries(cube_dataset)
+        mirror = InternMirror()
+        first = frames.encode_frame(
+            frames.KIND_REQUEST, frames.VERBS["serve_batch"],
+            [{"queries": queries}], intern=mirror.encoder())
+        second = frames.encode_frame(
+            frames.KIND_REQUEST, frames.VERBS["serve_batch"],
+            [{"queries": queries}], intern=mirror.encoder())
+        # Repeats travel as 16-byte fingerprints, not pickles.
+        assert len(second) < len(first) / 2
+
+        table = InternTable()
+        decoded = frames.decode_frame(first, table=table).values[0]
+        assert [fingerprint_of(q) for q in decoded["queries"]] \
+            == [fingerprint_of(q) for q in queries]
+        assert len(table) == 2
+        replayed = frames.decode_frame(second, table=table).values[0]
+        # References resolve to the very objects interned at first sight.
+        assert all(a is b for a, b in zip(replayed["queries"],
+                                          decoded["queries"]))
+
+    def test_reference_against_fresh_table_misses_typed(self,
+                                                        cube_dataset):
+        queries = self.queries(cube_dataset)
+        mirror = InternMirror()
+        frames.encode_frame(
+            frames.KIND_REQUEST, frames.VERBS["serve_batch"],
+            [{"queries": queries}], intern=mirror.encoder())
+        reference_only = frames.encode_frame(
+            frames.KIND_REQUEST, frames.VERBS["serve_batch"],
+            [{"queries": queries}], intern=mirror.encoder())
+        with pytest.raises(InternMiss):  # the restarted-worker scenario
+            frames.decode_frame(reference_only, table=InternTable())
+
+    def test_definitions_are_refused_without_pickle(self, cube_dataset):
+        queries = self.queries(cube_dataset)
+        data = frames.encode_frame(
+            frames.KIND_REQUEST, frames.VERBS["serve_batch"],
+            [{"queries": queries}], intern=InternMirror().encoder())
+        with pytest.raises(FrameError):
+            frames.decode_frame(data, table=InternTable(),
+                                allow_pickle=False)
+
+
+class TestDeploymentInvalidation:
+    def test_restart_invalidates_and_answers_stay_bitwise(
+            self, cube_dataset, tmp_path):
+        queries = random_quadratic_family(cube_dataset.universe, 3, rng=5)
+        service = ShardedService(cube_dataset, tmp_path / "dep", shards=1,
+                                 checkpoint_every=1, ledger_fsync=False,
+                                 auto_restore=False, rng=0)
+        try:
+            sid = service.open_session("pmw-convex", session_id="an-00",
+                                       rng=100, **SHARD_PARAMS)
+            shard_id = service.shard_of(sid)
+            before = service.serve_session_batch(sid, queries)
+            assert service.ping(shard_id)["interned"] == len(queries)
+
+            service.kill_shard(shard_id)
+            service.restore_shard(shard_id)
+            service.wait_alive(shard_id)
+            # Fresh incarnation: empty worker table, empty mirror.
+            assert service.ping(shard_id)["interned"] == 0
+
+            after = service.serve_session_batch(sid, queries)
+            assert [r.fingerprint for r in after] \
+                == [r.fingerprint for r in before]
+            for old, new in zip(before, after):
+                assert np.array_equal(np.asarray(old.value),
+                                      np.asarray(new.value))
+            # The replay re-interned the queries on the new incarnation.
+            assert service.ping(shard_id)["interned"] == len(queries)
+        finally:
+            service.close()
+
+    def test_intern_miss_resend_recovers_transparently(
+            self, cube_dataset, tmp_path):
+        # Poison the mirror: make the supervisor believe the worker has
+        # interned queries it has never seen, so the first serve goes
+        # out as bare references, the worker answers InternMiss, and the
+        # single force-define resend must still produce correct results.
+        queries = random_quadratic_family(cube_dataset.universe, 3, rng=5)
+
+        def serve_once(root, poison):
+            service = ShardedService(cube_dataset, root, shards=1,
+                                     ledger_fsync=False, rng=0)
+            try:
+                sid = service.open_session("pmw-convex",
+                                           session_id="an-00", rng=100,
+                                           **SHARD_PARAMS)
+                if poison:
+                    handle = service._handles[service.shard_of(sid)]
+                    for query in queries:
+                        handle.mirror.note(wire_fingerprint(query))
+                results = service.serve_session_batch(sid, queries)
+                # Recovery resent definitions: table is repopulated, and
+                # an immediate replay hits the answer cache.
+                assert service.ping(service.shard_of(sid))["interned"] \
+                    == len(queries)
+                replay = service.serve_session_batch(sid, queries)
+                assert all(r.source == "cache" for r in replay)
+                return results
+            finally:
+                service.close()
+
+        poisoned = serve_once(tmp_path / "poisoned", poison=True)
+        clean = serve_once(tmp_path / "clean", poison=False)
+        assert [r.fingerprint for r in poisoned] \
+            == [r.fingerprint for r in clean]
+        for a, b in zip(poisoned, clean):
+            assert np.array_equal(np.asarray(a.value), np.asarray(b.value))

@@ -1,0 +1,361 @@
+"""Wire-protocol compatibility gate for the shard frame codec.
+
+The supervisor <-> worker pipe speaks the versioned binary frame format
+of :mod:`repro.serve.shard.frames`. This tool is the CI tripwire that
+keeps that format honest, in four passes:
+
+1. **Round-trip fuzz** — a deterministic corpus (a hand-built value zoo
+   plus seeded random nested structures) must survive
+   ``encode_frame``/``decode_frame`` bit-exactly, including ndarray
+   dtypes and shapes.
+2. **Torn frames** — every proper prefix of every corpus frame must
+   raise :class:`~repro.exceptions.FrameTruncated`. A shorter read can
+   never produce a wrong value or an untyped exception.
+3. **Bit flips** — flipping any single bit of a corpus frame must
+   either still decode (flips in value payload bytes can be benign) or
+   raise a typed :class:`~repro.exceptions.FrameError`; ``struct.error``
+   / ``KeyError`` / ``MemoryError`` escaping the decoder is a bug.
+   Decoding runs with ``allow_pickle=False`` so a flip can never reach
+   ``pickle.loads``.
+4. **Golden fixtures** — committed binary frames under
+   ``tests/fixtures/wire/`` must byte-match what today's encoder
+   produces for the same values AND decode (with ``allow_pickle=False``,
+   proving them pickle-free) to the expected objects hardcoded below.
+   A frame from a version-bumped encoder must be refused with
+   :class:`~repro.exceptions.FrameVersionMismatch`.
+
+If an intentional format change breaks the goldens: bump
+``frames.VERSION``, regenerate with ``--regen``, and commit the new
+fixtures in the same change — the fixtures are the protocol's paper
+trail.
+
+Usage::
+
+    python tools/check_wire_protocol.py           # gate (CI)
+    python tools/check_wire_protocol.py --regen   # rewrite fixtures
+"""
+
+import argparse
+import pathlib
+import sys
+
+import numpy as np
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.exceptions import (  # noqa: E402
+    FrameError,
+    FrameTruncated,
+    FrameVersionMismatch,
+)
+from repro.serve.shard import frames  # noqa: E402
+from repro.serve.shard.frames import (  # noqa: E402
+    KIND_REPLY_OK,
+    KIND_REQUEST,
+    VERBS,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.session import ServeResult  # noqa: E402
+
+FIXTURE_DIR = REPO / "tests" / "fixtures" / "wire"
+
+#: Random fuzz shape: number of generated frames and the per-frame cap
+#: on flipped-bit trials (small frames are flipped exhaustively).
+FUZZ_FRAMES = 24
+MAX_FLIPS_PER_FRAME = 4096
+SEED = 20_150_531  # PODS'15, why not
+
+
+# -- corpus -------------------------------------------------------------------
+
+
+def value_zoo():
+    """One of everything the structural codec speaks."""
+    return [
+        None, True, False,
+        0, -1, 2 ** 63 - 1, -(2 ** 63), 2 ** 200, -(2 ** 200),
+        0.0, -0.0, 1.5e308, float("inf"), float("-inf"),
+        "", "plain", "uniçødé ☃",
+        b"", b"\x00\xff" * 8,
+        [], [1, [2, [3, None]]],
+        (), ("a", 1, (2.0,)),
+        {}, {"k": "v", 1: [2], ("t", 3): {"nested": b"bytes"}},
+        np.arange(12, dtype=np.float64).reshape(3, 4),
+        np.array([], dtype=np.int32),
+        np.array(7.25, dtype=np.float32),           # 0-d
+        np.array([True, False, True]),
+        np.array([1 + 2j, 3 - 4j], dtype=np.complex128),
+        np.array([[1, 2], [3, 4]], dtype=np.int16).T,  # non-contiguous
+        ServeResult(session_id="s", fingerprint="fp" * 8,
+                    value=np.array([0.5, 0.25]), source="fresh",
+                    query_index=3, epsilon_spent=0.125,
+                    delta_spent=1e-9),
+    ]
+
+
+def random_value(rng, depth=0):
+    roll = rng.integers(0, 9 if depth < 3 else 6)
+    if roll == 0:
+        return int(rng.integers(-(2 ** 40), 2 ** 40))
+    if roll == 1:
+        return float(rng.standard_normal())
+    if roll == 2:
+        return "".join(chr(c) for c in rng.integers(32, 1000, size=6))
+    if roll == 3:
+        return bytes(rng.integers(0, 256, size=8, dtype=np.uint8))
+    if roll == 4:
+        return None if rng.integers(0, 2) else bool(rng.integers(0, 2))
+    if roll == 5:
+        dtype = [np.float64, np.int64, np.uint8][rng.integers(0, 3)]
+        return rng.integers(0, 100, size=(2, 3)).astype(dtype)
+    size = int(rng.integers(0, 4))
+    if roll == 6:
+        return [random_value(rng, depth + 1) for _ in range(size)]
+    if roll == 7:
+        return tuple(random_value(rng, depth + 1) for _ in range(size))
+    return {f"k{i}": random_value(rng, depth + 1) for i in range(size)}
+
+
+def corpus_frames():
+    """Deterministic encoded frames: the zoo + seeded random payloads."""
+    rng = np.random.default_rng(SEED)
+    out = [encode_frame(KIND_REPLY_OK, VERBS["metrics"], value_zoo())]
+    for index in range(FUZZ_FRAMES):
+        values = [random_value(rng)
+                  for _ in range(int(rng.integers(0, 4)))]
+        deadline = float(rng.uniform(0.1, 30)) \
+            if rng.integers(0, 2) else None
+        out.append(encode_frame(
+            KIND_REQUEST, int(rng.integers(1, 12)), values,
+            deadline=deadline,
+            flags=frames.FLAG_IDEMPOTENT if index % 3 == 0 else 0))
+    return out
+
+
+# -- equality -----------------------------------------------------------------
+
+
+def equal(left, right) -> bool:
+    """Deep equality with dtype-exact ndarray comparison."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return (isinstance(left, np.ndarray)
+                and isinstance(right, np.ndarray)
+                and left.dtype == right.dtype
+                and left.shape == right.shape
+                and np.array_equal(left, right, equal_nan=False))
+    if isinstance(left, ServeResult) or isinstance(right, ServeResult):
+        return (type(left) is type(right)
+                and all(equal(getattr(left, f), getattr(right, f))
+                        for f in left.__dataclass_fields__))
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, (list, tuple)):
+        return (len(left) == len(right)
+                and all(equal(a, b) for a, b in zip(left, right)))
+    if isinstance(left, dict):
+        return (left.keys() == right.keys()
+                and all(equal(v, right[k]) for k, v in left.items()))
+    if isinstance(left, float):
+        return (left == right and
+                np.signbit(left) == np.signbit(right))
+    return left == right
+
+
+# -- passes -------------------------------------------------------------------
+
+
+def check_round_trips() -> int:
+    failures = 0
+    rng = np.random.default_rng(SEED)
+    cases = [value_zoo()]
+    for _ in range(FUZZ_FRAMES):
+        cases.append([random_value(rng)
+                      for _ in range(int(rng.integers(1, 4)))])
+    for index, values in enumerate(cases):
+        data = encode_frame(KIND_REPLY_OK, VERBS["metrics"], values,
+                            deadline=1.25)
+        frame = decode_frame(data)
+        if frame.deadline != 1.25 or not equal(list(frame.values),
+                                               values):
+            print(f"FAIL round-trip case {index}: decoded values differ")
+            failures += 1
+    print(f"round-trip: {len(cases)} frames bit-exact"
+          if not failures else f"round-trip: {failures} failures")
+    return failures
+
+
+def check_torn_frames() -> int:
+    failures = 0
+    checked = 0
+    for data in corpus_frames():
+        for cut in range(len(data)):
+            checked += 1
+            try:
+                decode_frame(data[:cut], allow_pickle=False)
+            except FrameTruncated:
+                continue
+            except FrameError as exc:
+                print(f"FAIL torn frame at byte {cut}/{len(data)}: "
+                      f"{type(exc).__name__} instead of FrameTruncated")
+            else:
+                print(f"FAIL torn frame at byte {cut}/{len(data)}: "
+                      f"decoded successfully")
+            failures += 1
+    print(f"torn frames: {checked} prefixes all FrameTruncated"
+          if not failures else f"torn frames: {failures} failures")
+    return failures
+
+
+def check_bit_flips() -> int:
+    failures = 0
+    checked = 0
+    rng = np.random.default_rng(SEED + 1)
+    for data in corpus_frames():
+        bits = len(data) * 8
+        if bits <= MAX_FLIPS_PER_FRAME:
+            positions = range(bits)
+        else:
+            positions = sorted(rng.choice(
+                bits, size=MAX_FLIPS_PER_FRAME, replace=False))
+        for bit in positions:
+            flipped = bytearray(data)
+            flipped[bit // 8] ^= 1 << (bit % 8)
+            checked += 1
+            try:
+                decode_frame(bytes(flipped), allow_pickle=False)
+            except FrameError:
+                pass  # typed refusal: exactly what the supervisor needs
+            except RecursionError:
+                pass  # deep nesting from a flipped count is bounded
+            except BaseException as exc:  # noqa: BLE001 - the assertion
+                print(f"FAIL bit flip {bit}: untyped "
+                      f"{type(exc).__name__}: {exc}")
+                failures += 1
+    print(f"bit flips: {checked} single-bit corruptions, all decoded "
+          f"or refused with typed FrameError"
+          if not failures else f"bit flips: {failures} failures")
+    return failures
+
+
+def check_version_mismatch() -> int:
+    data = bytearray(encode_frame(KIND_REQUEST, VERBS["ping"], []))
+    data[2] = frames.VERSION + 1
+    try:
+        decode_frame(bytes(data))
+    except FrameVersionMismatch as exc:
+        if exc.got == frames.VERSION + 1 and exc.expected == frames.VERSION:
+            print("version mismatch: refused loudly with got/expected")
+            return 0
+        print(f"FAIL version mismatch: wrong attrs got={exc.got} "
+              f"expected={exc.expected}")
+        return 1
+    except FrameError as exc:
+        print(f"FAIL version mismatch: {type(exc).__name__} instead of "
+              f"FrameVersionMismatch")
+        return 1
+    print("FAIL version mismatch: foreign version decoded successfully")
+    return 1
+
+
+# -- golden fixtures ----------------------------------------------------------
+
+
+def golden_specs():
+    """The committed fixtures: (name, kind, verb, values, deadline,
+    flags). Pure structural values only — goldens must decode with
+    ``allow_pickle=False``."""
+    results = [
+        ServeResult(session_id="an-00", fingerprint="ab" * 32,
+                    value=np.array([0.125, -0.5, 0.75]), source="fresh",
+                    query_index=0, epsilon_spent=0.25, delta_spent=0.0),
+        ServeResult(session_id="an-00", fingerprint="cd" * 32,
+                    value=np.array([1.0, 0.0, -1.0]), source="cache",
+                    query_index=1, epsilon_spent=0.0, delta_spent=0.0),
+    ]
+    zoo = {
+        "ints": [0, -(2 ** 63), 2 ** 63 - 1, 2 ** 100],
+        "floats": (0.0, -0.0, float("inf"), 2.2250738585072014e-308),
+        "text": "wire proto☃col",
+        "blob": b"\x00\x01\xfe\xff",
+        "matrix": np.arange(6, dtype=np.int32).reshape(2, 3),
+        "empty": {"list": [], "tuple": (), "dict": {},
+                  "array": np.array([], dtype=np.float64)},
+    }
+    return [
+        ("request_serve_batch", KIND_REQUEST, VERBS["serve_batch"],
+         [{"session_id": "an-00", "use_cache": True,
+           "idempotency_keys": ["k-0", "k-1"]}],
+         2.5, frames.FLAG_IDEMPOTENT),
+        ("reply_serve_results", KIND_REPLY_OK, VERBS["serve_batch"],
+         [results], None, 0),
+        ("value_zoo", KIND_REPLY_OK, VERBS["metrics"], [zoo], None, 0),
+    ]
+
+
+def golden_bytes(spec) -> bytes:
+    _, kind, verb, values, deadline, flags = spec
+    return encode_frame(kind, verb, values, deadline=deadline,
+                        flags=flags)
+
+
+def regen_goldens() -> int:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    for spec in golden_specs():
+        path = FIXTURE_DIR / f"{spec[0]}.bin"
+        path.write_bytes(golden_bytes(spec))
+        print(f"wrote {path.relative_to(REPO)} ({path.stat().st_size} "
+              f"bytes)")
+    return 0
+
+
+def check_goldens() -> int:
+    failures = 0
+    for spec in golden_specs():
+        name, kind, verb, values, deadline, _ = spec
+        path = FIXTURE_DIR / f"{name}.bin"
+        if not path.exists():
+            print(f"FAIL golden {name}: {path.relative_to(REPO)} "
+                  f"missing — run with --regen and commit it")
+            failures += 1
+            continue
+        committed = path.read_bytes()
+        if committed != golden_bytes(spec):
+            print(f"FAIL golden {name}: encoder output changed — wire "
+                  f"format drifted without a VERSION bump")
+            failures += 1
+            continue
+        frame = decode_frame(committed, allow_pickle=False)
+        ok = (frame.kind == kind and frame.verb == verb
+              and frame.deadline == deadline
+              and equal(list(frame.values), values))
+        if not ok:
+            print(f"FAIL golden {name}: decoded frame differs from "
+                  f"expected objects")
+            failures += 1
+    print(f"goldens: {len(golden_specs())} fixtures byte-stable and "
+          f"pickle-free" if not failures
+          else f"goldens: {failures} failures")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite the golden fixtures and exit")
+    options = parser.parse_args(argv)
+    if options.regen:
+        return regen_goldens()
+    failures = (check_round_trips() + check_torn_frames()
+                + check_bit_flips() + check_version_mismatch()
+                + check_goldens())
+    if failures:
+        print(f"{failures} wire-protocol failure(s)", file=sys.stderr)
+        return 1
+    print("wire protocol OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
