@@ -1,0 +1,106 @@
+"""Optional JAX backend: fused, jitted whole-vector MW kernels.
+
+Auto-skipped when ``jax`` is not installed — constructing
+:class:`JaxBackend` raises a typed ``ValidationError`` and the registry
+simply reports it unavailable; nothing else in the package imports
+``jax``. The exemplar repos (``giusevtr__private_genetic_algorithm``)
+run their MWEM cores exactly this way: the whole
+``log w += eta·u → max-shift → exp → normalize`` round is one jitted
+kernel instead of four universe-sized passes.
+
+Host-visible arrays are ``float32`` (JAX's default real dtype), so the
+class inherits :class:`~repro.backend.numpy_backend.Float32Backend`'s
+shard-pass arithmetic for the code paths that stay on the host (the
+sharded histogram's per-shard kernels); the fused whole-vector paths —
+``fused_update``/``fused_normalize``, the margin ``matmul`` and the
+hypothesis ``matvec`` — run on the JAX device. Durable state still
+crosses the snapshot boundary as exact NumPy ``float64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.numpy_backend import Float32Backend
+from repro.exceptions import ValidationError
+
+try:  # pragma: no cover - exercised only where jax is installed
+    import jax
+    import jax.numpy as jnp
+except ImportError:  # pragma: no cover - the common (CPU-only CI) case
+    jax = None
+    jnp = None
+
+
+def jax_available() -> bool:
+    """Whether the optional ``jax`` dependency imported successfully."""
+    return jax is not None
+
+
+class JaxBackend(Float32Backend):
+    """Fused jitted MW kernels on the JAX device (requires ``jax``)."""
+
+    name = "jax"
+    fused = True
+
+    def __init__(self) -> None:  # pragma: no cover - requires jax
+        if jax is None:
+            raise ValidationError(
+                "the 'jax' backend requires the optional jax dependency "
+                "(pip install 'jax[cpu]'); registered alternatives: "
+                "numpy, float32"
+            )
+
+        def update(log_weights, direction, eta):
+            return log_weights + eta * direction
+
+        def normalize(log_weights):
+            finite = jnp.isfinite(log_weights)
+            shift = jnp.max(jnp.where(finite, log_weights, -jnp.inf))
+            weights = jnp.exp(log_weights - shift)
+            weights = jnp.where(jnp.isfinite(weights), weights, 0.0)
+            total = jnp.sum(weights)
+            return weights / total, shift, total
+
+        self._jit_update = jax.jit(update)
+        self._jit_normalize = jax.jit(normalize)
+        self._jit_matmul = jax.jit(jnp.matmul)
+
+    # -- fused whole-vector MW loop ----------------------------------------
+
+    def fused_update(self, log_weights, direction,
+                     eta: float):  # pragma: no cover - requires jax
+        return self._jit_update(jnp.asarray(log_weights, dtype=jnp.float32),
+                                jnp.asarray(direction, dtype=jnp.float32),
+                                float(eta))
+
+    def fused_normalize(self, log_weights):  # pragma: no cover - requires jax
+        weights, shift, total = self._jit_normalize(
+            jnp.asarray(log_weights, dtype=jnp.float32))
+        return np.asarray(weights), float(shift), float(total)
+
+    # -- device matmuls ------------------------------------------------------
+
+    def matvec(self, tables, weights):  # pragma: no cover - requires jax
+        return np.asarray(self._jit_matmul(
+            jnp.asarray(tables, dtype=jnp.float32),
+            jnp.asarray(weights, dtype=jnp.float32)))
+
+    def matmul(self, points, parameters):  # pragma: no cover - requires jax
+        return np.asarray(self._jit_matmul(
+            jnp.asarray(points, dtype=jnp.float32),
+            jnp.asarray(parameters, dtype=jnp.float32)))
+
+    # -- conversion ----------------------------------------------------------
+
+    def from_float64(self, values):  # pragma: no cover - requires jax
+        # Land durable float64 state on the device once; subsequent fused
+        # updates keep it there.
+        return jnp.asarray(values, dtype=jnp.float32)
+
+    def to_float64(self, values) -> np.ndarray:
+        # np.asarray pulls device arrays back to the host when needed.
+        return np.asarray(values, dtype=np.float64)
+
+
+__all__ = ["JaxBackend", "jax_available"]

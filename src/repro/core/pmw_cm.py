@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.accuracy import DatabaseErrorBreakdown, database_error
 from repro.core.config import PMWConfig
 from repro.core.update import dual_certificate, mw_step, mw_step_inplace
@@ -126,6 +127,13 @@ class PrivateMWConvex:
         same query's previous minimizer at a reduced step budget
         (``solver_steps // 4``, at least 25). Purely an inner-solver
         change: answers remain valid minimizers, just reached cheaper.
+    backend:
+        Numeric :class:`~repro.backend.base.ArrayBackend` (instance or
+        registered name) running the MW hot path. ``None`` resolves via
+        ``REPRO_BACKEND`` to the bitwise-default NumPy backend.
+        Accelerated backends keep released answers within the documented
+        ``1e-6`` agreement band; snapshots remain backend-independent
+        ``float64``.
     rng:
         Seed or generator; split into independent streams for the sparse
         vector and the oracle.
@@ -148,6 +156,7 @@ class PrivateMWConvex:
                  shards: int | None = None,
                  histogram_workers: int | None = None,
                  versioned_core: bool = True, warm_start: bool = True,
+                 backend: str | ArrayBackend | None = None,
                  rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()  # private: never released
@@ -181,14 +190,18 @@ class PrivateMWConvex:
         self.warm_start = bool(warm_start) and self.versioned_core
         self.warm_solver_steps = max(1, min(self.solver_steps,
                                             max(25, self.solver_steps // 4)))
+        self._backend = resolve_backend(backend)
+        self.backend_name = self._backend.name
         if self.versioned_core:
             self._core: LogHistogram | None = hypothesis_core(
-                dataset.universe, shards=shards, workers=histogram_workers)
+                dataset.universe, shards=shards, workers=histogram_workers,
+                backend=self._backend)
             self._hypothesis = None
         else:
             self._core = None
             self._hypothesis = hypothesis_histogram(
-                dataset.universe, shards=shards, workers=histogram_workers)
+                dataset.universe, shards=shards, workers=histogram_workers,
+                backend=self._backend)
         # Whole-round evaluations keyed by (loss fingerprint, hypothesis
         # version): a no-update round re-asking a known query skips the
         # hypothesis solve, the loss-on-data pass, and the error query
@@ -598,6 +611,10 @@ class PrivateMWConvex:
             "histogram_workers": self.histogram_workers,
             "versioned_core": self.versioned_core,
             "warm_start": self.warm_start,
+            # The backend is arithmetic, not state: hypothesis payloads
+            # below are backend-independent float64, so a restore may
+            # override it freely (or inherit it from here).
+            "backend": self.backend_name,
             # Exactly one hypothesis representation is stored: the raw
             # log-domain core state (versioned path — normalized weights
             # would both double the payload and lose the deferred
@@ -655,12 +672,18 @@ class PrivateMWConvex:
 
     @classmethod
     def restore(cls, snapshot: dict, dataset: Dataset,
-                oracle: SingleQueryOracle, *, rng=None) -> "PrivateMWConvex":
+                oracle: SingleQueryOracle, *, rng=None,
+                backend: str | ArrayBackend | None = None,
+                ) -> "PrivateMWConvex":
         """Rebuild a mechanism from :meth:`snapshot` output.
 
         The private dataset and the oracle are supplied by the caller (they
         are never serialized); the snapshot must have been taken against a
-        dataset over the same universe.
+        dataset over the same universe. ``backend`` overrides the
+        snapshotted backend (hypothesis payloads are backend-independent
+        ``float64``, so cross-backend restores are exact); ``None``
+        inherits the snapshot's backend, defaulting to NumPy for
+        pre-backend snapshots.
         """
         if snapshot.get("format") not in cls.ACCEPTED_SNAPSHOT_FORMATS:
             raise ValidationError(
@@ -689,6 +712,8 @@ class PrivateMWConvex:
             # resumed run faithful to the snapshotted one.
             versioned_core=snapshot.get("versioned_core", False),
             warm_start=snapshot.get("warm_start", True),
+            backend=(backend if backend is not None
+                     else snapshot.get("backend")),
             rng=rng,
         )
         if mechanism._core is not None:
@@ -696,13 +721,15 @@ class PrivateMWConvex:
             # version counter) restores bitwise, so a resumed run applies
             # updates to exactly the floats the original would have.
             mechanism._core = LogHistogram.from_state(
-                dataset.universe, snapshot["hypothesis_core"])
+                dataset.universe, snapshot["hypothesis_core"],
+                backend=mechanism._backend)
         else:
             mechanism._hypothesis = hypothesis_histogram(
                 dataset.universe,
                 np.asarray(snapshot["hypothesis_weights"], dtype=float),
                 shards=snapshot.get("shards"),
                 workers=snapshot.get("histogram_workers"),
+                backend=mechanism._backend,
             )
         mechanism._warm_starts = OrderedDict(
             (key, (int(record["version"]),

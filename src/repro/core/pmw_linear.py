@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.core.config import PMWConfig
 from repro.data.dataset import Dataset
 from repro.data.histogram import Histogram
@@ -70,7 +71,9 @@ class PrivateMWLinear:
                  schedule: str = "calibrated", max_updates: int | None = None,
                  noise_multiplier: float = 1.0, shards: int | None = None,
                  histogram_workers: int | None = None,
-                 versioned_core: bool = True, rng=None) -> None:
+                 versioned_core: bool = True,
+                 backend: str | ArrayBackend | None = None,
+                 rng=None) -> None:
         self._dataset = dataset
         self._data_histogram = dataset.histogram()
         self.config = PMWConfig.from_targets(
@@ -100,14 +103,18 @@ class PrivateMWLinear:
         self.shards = shards
         self.histogram_workers = histogram_workers
         self.versioned_core = bool(versioned_core)
+        self._backend = resolve_backend(backend)
+        self.backend_name = self._backend.name
         if self.versioned_core:
             self._core: LogHistogram | None = hypothesis_core(
-                dataset.universe, shards=shards, workers=histogram_workers)
+                dataset.universe, shards=shards, workers=histogram_workers,
+                backend=self._backend)
             self._hypothesis = None
         else:
             self._core = None
             self._hypothesis = hypothesis_histogram(
-                dataset.universe, shards=shards, workers=histogram_workers)
+                dataset.universe, shards=shards, workers=histogram_workers,
+                backend=self._backend)
         self._updates = 0
         self._queries = 0
         # Fingerprint-keyed <q, D> cache, fed by prewarm(): the data
@@ -340,6 +347,7 @@ class PrivateMWLinear:
             "shards": self.shards,
             "histogram_workers": self.histogram_workers,
             "versioned_core": self.versioned_core,
+            "backend": self.backend_name,
             # One hypothesis representation: the raw log-domain core
             # state (versioned) or the normalized weights (legacy).
             "hypothesis_weights": (self._hypothesis.weights.tolist()
@@ -358,9 +366,15 @@ class PrivateMWLinear:
         }
 
     @classmethod
-    def restore(cls, snapshot: dict, dataset: Dataset, *,
-                rng=None) -> "PrivateMWLinear":
-        """Rebuild a mechanism from :meth:`snapshot` output."""
+    def restore(cls, snapshot: dict, dataset: Dataset, *, rng=None,
+                backend: str | ArrayBackend | None = None,
+                ) -> "PrivateMWLinear":
+        """Rebuild a mechanism from :meth:`snapshot` output.
+
+        ``backend`` overrides the snapshotted backend; hypothesis
+        payloads are backend-independent ``float64``, so cross-backend
+        restores are exact (see PrivateMWConvex.restore).
+        """
         if snapshot.get("format") not in cls.ACCEPTED_SNAPSHOT_FORMATS:
             raise ValidationError(
                 f"unrecognized snapshot format {snapshot.get('format')!r}; "
@@ -382,17 +396,22 @@ class PrivateMWLinear:
             histogram_workers=snapshot.get("histogram_workers"),
             # Pre-versioned-core snapshots restore onto the legacy path
             # (they carry only normalized weights).
-            versioned_core=snapshot.get("versioned_core", False), rng=rng,
+            versioned_core=snapshot.get("versioned_core", False),
+            backend=(backend if backend is not None
+                     else snapshot.get("backend")),
+            rng=rng,
         )
         if mechanism._core is not None:
             mechanism._core = LogHistogram.from_state(
-                dataset.universe, snapshot["hypothesis_core"])
+                dataset.universe, snapshot["hypothesis_core"],
+                backend=mechanism._backend)
         else:
             mechanism._hypothesis = hypothesis_histogram(
                 dataset.universe,
                 np.asarray(snapshot["hypothesis_weights"], dtype=float),
                 shards=snapshot.get("shards"),
                 workers=snapshot.get("histogram_workers"),
+                backend=mechanism._backend,
             )
         mechanism._updates = int(snapshot["updates"])
         mechanism._queries = int(snapshot["queries"])
@@ -465,8 +484,12 @@ class PrivateMWLinear:
             # growing blocks — an update invalidates at most one block
             # of lookahead, update-free tails collapse into a few large
             # matmuls, and no bookkeeping here needs to know when an
-            # update landed.
-            evaluator = VersionedBatchEvaluator(tables)
+            # update landed. The evaluator casts the tables to the
+            # mechanism backend's dtype once, so refresh matmuls run at
+            # backend precision against the backend-native hypothesis
+            # weights (a no-op cast on the NumPy default).
+            evaluator = VersionedBatchEvaluator(tables,
+                                                backend=self._backend)
 
         answers = []
         for j, query in enumerate(queries):

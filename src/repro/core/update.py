@@ -137,6 +137,12 @@ def mw_step_inplace(hypothesis_core: LogHistogram,
     constructing a fresh histogram. Bumps — and returns — the core's
     version, which is what every ``(fingerprint, version)``-keyed cache
     downstream invalidates on.
+
+    Both steps execute on the hypothesis's
+    :class:`~repro.backend.base.ArrayBackend` (the accumulation and the
+    deferred normalization delegate to ``accumulate``/``fused_update``
+    and the shifted-exp materialization); this function stays
+    backend-agnostic — it only validates and fixes the sign.
     """
     eta, scale = _checked_step(certificate, eta, scale)
     signed_eta = (eta if paper_sign else -eta) / scale

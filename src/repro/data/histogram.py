@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.data.universe import Universe
 from repro.exceptions import UniverseError, ValidationError
 from repro.utils.rng import as_generator
@@ -41,9 +42,16 @@ class Histogram:
 
     Weights are kept normalized (sum to 1, all non-negative). The class is
     immutable in style: updates return new histograms.
+
+    ``backend`` selects the :class:`~repro.backend.base.ArrayBackend`
+    running the heavy operations (updates, dots, sampling tables); the
+    validated weight vector itself is always stored as ``float64`` —
+    backend-native arrays only enter through the internal adoption
+    constructors (the log-domain accumulator's ``freeze``).
     """
 
-    def __init__(self, universe: Universe, weights: np.ndarray) -> None:
+    def __init__(self, universe: Universe, weights: np.ndarray, *,
+                 backend: str | ArrayBackend | None = None) -> None:
         weights = check_finite_array(weights, "weights", ndim=1)
         if weights.shape[0] != universe.size:
             raise UniverseError(
@@ -56,6 +64,7 @@ class Histogram:
         if total <= 0.0:
             raise ValidationError("histogram weights must have positive total mass")
         self._universe = universe
+        self._backend = resolve_backend(backend)
         self._weights = np.clip(weights, 0.0, None) / total
         self._weights.setflags(write=False)
         self._cdf: np.ndarray | None = None  # built lazily by sample_indices
@@ -63,8 +72,9 @@ class Histogram:
     # -- constructors -----------------------------------------------------
 
     @classmethod
-    def _adopt_normalized(cls, universe: Universe,
-                          normalized: np.ndarray) -> "Histogram":
+    def _adopt_normalized(cls, universe: Universe, normalized: np.ndarray,
+                          *, backend: ArrayBackend | None = None,
+                          ) -> "Histogram":
         """Wrap internally produced, already-normalized weights.
 
         The public constructor re-validates and copies (finiteness and
@@ -78,6 +88,7 @@ class Histogram:
         instance = cls.__new__(cls)
         normalized.setflags(write=False)
         instance._universe = universe
+        instance._backend = resolve_backend(backend)
         instance._weights = normalized
         instance._cdf = None
         return instance
@@ -111,6 +122,11 @@ class Histogram:
         """The probability vector (read-only view)."""
         return self._weights
 
+    @property
+    def backend(self) -> ArrayBackend:
+        """The numeric backend running this histogram's heavy operations."""
+        return self._backend
+
     def __len__(self) -> int:
         return self._universe.size
 
@@ -129,7 +145,7 @@ class Histogram:
             raise ValidationError(
                 f"values has shape {values.shape}, expected {self._weights.shape}"
             )
-        return float(values @ self._weights)
+        return self._backend.dot(values, self._weights)
 
     def multiplicative_update(self, direction: np.ndarray, eta: float) -> "Histogram":
         """Apply the MW update ``w(x) ∝ w(x) * exp(eta * direction(x))``.
@@ -144,16 +160,12 @@ class Histogram:
                 f"direction has shape {direction.shape}, expected "
                 f"{self._weights.shape}"
             )
-        with np.errstate(divide="ignore"):
-            log_weights = np.log(self._weights)
-        log_weights = log_weights + float(eta) * direction
-        finite = log_weights[np.isfinite(log_weights)]
-        if finite.size == 0:
+        new_weights = self._backend.multiplicative_update(
+            self._weights, direction, float(eta))
+        if new_weights is None:
             raise mass_annihilation_error("multiplicative update")
-        log_weights -= np.max(finite)
-        new_weights = np.exp(log_weights)
-        new_weights[~np.isfinite(new_weights)] = 0.0
-        return Histogram(self._universe, new_weights)
+        return Histogram(self._universe, new_weights,
+                         backend=self._backend)
 
     # -- distances / divergences --------------------------------------------
 
@@ -210,13 +222,7 @@ class Histogram:
             raise ValidationError(f"n must be non-negative, got {n}")
         generator = as_generator(rng)
         if self._cdf is None:
-            cdf = np.cumsum(self._weights)
-            # Close the floating-point cumsum gap at the last *nonzero*
-            # weight, so trailing zero-weight elements stay impossible.
-            last_support = int(np.nonzero(self._weights)[0][-1])
-            cdf[last_support:] = 1.0
-            cdf.setflags(write=False)
-            self._cdf = cdf
+            self._cdf = self._backend.build_cdf(self._weights)
         draws = generator.random(n)
         # side="right" skips zero-weight elements (flat CDF segments) and
         # maps u in [cdf[i-1], cdf[i]) to index i — exactly choice(p=...).

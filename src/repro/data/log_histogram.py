@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.data.histogram import Histogram, mass_annihilation_error
 from repro.data.sharded import (
     ShardedHistogram,
@@ -66,25 +67,37 @@ class LogHistogram:
     workers:
         Optional thread count for shard passes; requires ``num_shards``
         (mirroring :func:`repro.data.sharded.hypothesis_histogram`).
+    backend:
+        The :class:`~repro.backend.base.ArrayBackend` (or its registry
+        name) running the hot passes. The default NumPy backend is
+        bitwise the historical code path; fused backends (``fused =
+        True``) replace the shard-pass decomposition with whole-vector
+        jitted kernels. :meth:`state_dict` output is ``float64``
+        regardless of backend.
     """
 
     def __init__(self, universe: Universe, weights: np.ndarray | None = None,
                  *, num_shards: int | None = None,
-                 workers: int | None = None) -> None:
-        self._setup(universe, num_shards=num_shards, workers=workers)
+                 workers: int | None = None,
+                 backend: str | ArrayBackend | None = None) -> None:
+        self._setup(universe, num_shards=num_shards, workers=workers,
+                    backend=backend)
         if weights is None:
-            self._log_weights = np.full(universe.size,
-                                        -np.log(universe.size))
+            self._log_weights = self._backend.log_uniform(universe.size)
         else:
             # Route validation + normalization through the canonical
             # constructor so the accepted inputs are exactly the
-            # Histogram contract.
+            # Histogram contract. The log runs at float64 and converts
+            # once at the end, so every backend starts from the same
+            # distribution.
             base = Histogram(universe, np.asarray(weights, dtype=float))
             with np.errstate(divide="ignore"):
-                self._log_weights = np.log(base.weights)
+                log_weights = np.log(base.weights)
+            self._log_weights = self._backend.from_float64(log_weights)
 
     def _setup(self, universe: Universe, *, num_shards: int | None,
-               workers: int | None) -> None:
+               workers: int | None,
+               backend: str | ArrayBackend | None = None) -> None:
         if num_shards is None and workers is not None:
             raise ValidationError(
                 "histogram workers require sharding: pass num_shards=... "
@@ -92,6 +105,7 @@ class LogHistogram:
             )
         num_shards, workers = check_shard_params(universe.size, num_shards,
                                                  workers)
+        self._backend = resolve_backend(backend)
         self._universe = universe
         self._num_shards = num_shards
         self._workers = workers
@@ -146,6 +160,11 @@ class LogHistogram:
         """Thread count for shard passes (``None`` = sequential)."""
         return self._workers
 
+    @property
+    def backend(self) -> ArrayBackend:
+        """The numeric backend running the hot passes."""
+        return self._backend
+
     def __len__(self) -> int:
         return self._universe.size
 
@@ -172,15 +191,19 @@ class LogHistogram:
         eta = float(eta)
         if not np.isfinite(eta):
             raise ValidationError(f"eta must be finite, got {eta}")
+        backend = self._backend
+        if backend.fused:
+            self._log_weights = backend.fused_update(self._log_weights,
+                                                     direction, eta)
+            self._version += 1
+            return self._version
+        direction = backend.asarray(direction)
         if self._scratch is None:
-            self._scratch = np.empty_like(self._log_weights)
+            self._scratch = backend.empty_like(self._log_weights)
         log_weights, scratch = self._log_weights, self._scratch
-
-        def accumulate(shard: slice) -> None:
-            np.multiply(direction[shard], eta, out=scratch[shard])
-            log_weights[shard] += scratch[shard]
-
-        self._map_shards(accumulate)
+        self._map_shards(
+            lambda s: backend.accumulate(log_weights, direction, eta,
+                                         scratch, s))
         self._version += 1
         return self._version
 
@@ -201,36 +224,44 @@ class LogHistogram:
         return self._weights
 
     def _materialize(self) -> None:
+        backend = self._backend
+        if backend.fused:
+            # One jitted kernel: max-shift, exp, and the normalizer sum.
+            weights, shift, total = backend.fused_normalize(
+                self._log_weights)
+            if not np.isfinite(shift):
+                raise mass_annihilation_error("log-domain hypothesis")
+            self._check_normalizer(total)
+            self._weights = weights
+            self._weights_escaped = False
+            self._weights_version = self._version
+            return
         if self._weights is None or self._weights_escaped:
-            self._weights = np.empty_like(self._log_weights)
+            self._weights = backend.empty_like(self._log_weights)
             self._weights_escaped = False
         log_weights, out = self._log_weights, self._weights
 
-        def max_pass(shard: slice) -> float:
-            chunk = log_weights[shard]
-            finite = chunk[np.isfinite(chunk)]
-            return float(np.max(finite)) if finite.size else float("-inf")
-
-        shift = max(self._map_shards(max_pass))
+        shift = max(self._map_shards(
+            lambda s: backend.max_finite(log_weights, s)))
         if not np.isfinite(shift):
             raise mass_annihilation_error("log-domain hypothesis")
 
-        def exp_pass(shard: slice) -> None:
-            chunk = out[shard]
-            np.subtract(log_weights[shard], shift, out=chunk)
-            np.exp(chunk, out=chunk)
-
-        self._map_shards(exp_pass)
+        self._map_shards(
+            lambda s: backend.exp_shifted(log_weights, shift, out, s))
         # Full-vector pairwise sum — the same normalizer the immutable
         # constructors compute, keeping dense/sharded/log paths aligned.
-        total = float(out.sum())
+        total = backend.total_mass(out)
+        self._check_normalizer(total)
+        backend.normalize(out, total)
+        self._weights_version = self._version
+
+    @staticmethod
+    def _check_normalizer(total: float) -> None:
         if not (np.isfinite(total) and total > 0.0):
             raise ValidationError(
                 "log-domain hypothesis produced a non-finite normalizer; "
                 "an accumulated update overflowed"
             )
-        out /= total
-        self._weights_version = self._version
 
     def freeze(self) -> Histogram:
         """An immutable histogram view of the current version.
@@ -246,11 +277,13 @@ class LogHistogram:
         weights = self.weights
         self._weights_escaped = True
         if self._num_shards is None:
-            frozen = Histogram._adopt_normalized(self._universe, weights)
+            frozen = Histogram._adopt_normalized(self._universe, weights,
+                                                 backend=self._backend)
         else:
             frozen = ShardedHistogram._adopt(self._universe, weights,
                                              num_shards=self._num_shards,
-                                             workers=self._workers)
+                                             workers=self._workers,
+                                             backend=self._backend)
         self._frozen = frozen
         self._frozen_version = self._version
         return frozen
@@ -265,10 +298,11 @@ class LogHistogram:
             raise ValidationError(
                 f"values has shape {values.shape}, expected {weights.shape}"
             )
+        backend = self._backend
         if self._num_shards is None:
-            return float(values @ weights)
+            return backend.dot(values, weights)
         partials = self._map_shards(
-            lambda s: float(values[s] @ weights[s])
+            lambda s: backend.dot(values[s], weights[s])
         )
         return float(sum(partials))
 
@@ -302,20 +336,33 @@ class LogHistogram:
         snapshotted (normalized weights alone would lose the deferred
         state). ``-inf`` entries (zero-weight elements) survive the JSON
         round trip as ``-Infinity`` literals.
+
+        The durable format is backend-independent: log-weights cross
+        this boundary as exact ``float64`` (widening an accelerated
+        dtype is lossless), so a hypothesis trained on any backend
+        restores bitwise into any other.
         """
         return {
             "version": self._version,
-            "log_weights": self._log_weights.tolist(),
+            "log_weights": self._backend.to_float64(
+                self._log_weights).tolist(),
             "num_shards": self._num_shards,
             "workers": self._workers,
         }
 
     @classmethod
-    def from_state(cls, universe: Universe, state: dict) -> "LogHistogram":
-        """Rebuild an accumulator from :meth:`state_dict` output."""
+    def from_state(cls, universe: Universe, state: dict, *,
+                   backend: str | ArrayBackend | None = None,
+                   ) -> "LogHistogram":
+        """Rebuild an accumulator from :meth:`state_dict` output.
+
+        ``backend`` selects the backend the restored accumulator runs
+        on — independent of the one that produced the state, because the
+        stored log-weights are plain ``float64``.
+        """
         core = cls.__new__(cls)
         core._setup(universe, num_shards=state.get("num_shards"),
-                    workers=state.get("workers"))
+                    workers=state.get("workers"), backend=backend)
         log_weights = np.asarray(state["log_weights"], dtype=float)
         if log_weights.ndim != 1 or log_weights.shape[0] != universe.size:
             raise ValidationError(
@@ -326,7 +373,7 @@ class LogHistogram:
             raise ValidationError(
                 "log_weights must be finite or -inf (zero weight)"
             )
-        core._log_weights = log_weights
+        core._log_weights = core._backend.from_float64(log_weights)
         core._version = int(state["version"])
         if core._version < 0:
             raise ValidationError(
@@ -349,16 +396,19 @@ class LogHistogram:
 
 def hypothesis_core(universe: Universe, weights: np.ndarray | None = None, *,
                     shards: int | None = None,
-                    workers: int | None = None) -> LogHistogram:
+                    workers: int | None = None,
+                    backend: str | ArrayBackend | None = None,
+                    ) -> LogHistogram:
     """Build a mechanism's versioned hypothesis core.
 
     The log-domain counterpart of
     :func:`repro.data.sharded.hypothesis_histogram`, sharing its knob
     semantics (``workers`` without ``shards`` is rejected by the
-    constructor).
+    constructor). ``backend`` selects the numeric backend for the hot
+    passes (``None`` → ``REPRO_BACKEND`` → NumPy).
     """
     return LogHistogram(universe, weights, num_shards=shards,
-                        workers=workers)
+                        workers=workers, backend=backend)
 
 
 __all__ = ["LogHistogram", "hypothesis_core"]

@@ -39,6 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.data.histogram import Histogram, mass_annihilation_error
 from repro.data.universe import Universe
 from repro.exceptions import ValidationError
@@ -126,8 +127,9 @@ class ShardedHistogram(Histogram):
 
     def __init__(self, universe: Universe, weights: np.ndarray, *,
                  num_shards: int | None = None,
-                 workers: int | None = None) -> None:
-        super().__init__(universe, weights)
+                 workers: int | None = None,
+                 backend: str | ArrayBackend | None = None) -> None:
+        super().__init__(universe, weights, backend=backend)
         size = universe.size
         if num_shards is None:
             num_shards = max(1, -(-size // DEFAULT_SHARD_SIZE))
@@ -143,7 +145,8 @@ class ShardedHistogram(Histogram):
 
     @classmethod
     def _adopt(cls, universe: Universe, normalized: np.ndarray, *,
-               num_shards: int, workers: int | None) -> "ShardedHistogram":
+               num_shards: int, workers: int | None,
+               backend: ArrayBackend | None = None) -> "ShardedHistogram":
         """Wrap internally produced, already-normalized weights.
 
         The public constructor re-validates and copies (``isfinite`` and
@@ -154,7 +157,8 @@ class ShardedHistogram(Histogram):
         adopted in place; callers with untrusted weights must use the
         constructor.
         """
-        instance = super()._adopt_normalized(universe, normalized)
+        instance = super()._adopt_normalized(universe, normalized,
+                                             backend=backend)
         instance._num_shards = num_shards
         instance._workers = workers
         instance._slices = _make_slices(universe.size, num_shards)
@@ -210,7 +214,9 @@ class ShardedHistogram(Histogram):
                 f"{self._weights.shape}"
             )
         weights = self._weights
-        partials = self._map_shards(lambda s: float(values[s] @ weights[s]))
+        backend = self._backend
+        partials = self._map_shards(
+            lambda s: backend.dot(values[s], weights[s]))
         return float(sum(partials))
 
     def multiplicative_update(self, direction: np.ndarray,
@@ -233,40 +239,32 @@ class ShardedHistogram(Histogram):
                 f"{self._weights.shape}"
             )
         eta = float(eta)
-        weights = self._weights
-        out = np.empty_like(weights)
+        backend = self._backend
+        weights = backend.asarray(self._weights)
+        direction = backend.asarray(direction)
+        out = backend.empty_like(weights)
 
-        def log_pass(shard: slice) -> float:
-            chunk = out[shard]  # a view: shards are disjoint, writes race-free
-            with np.errstate(divide="ignore"):
-                np.log(weights[shard], out=chunk)
-            chunk += eta * direction[shard]
-            finite = chunk[np.isfinite(chunk)]
-            return float(np.max(finite)) if finite.size else float("-inf")
-
-        maxima = self._map_shards(log_pass)
+        maxima = self._map_shards(
+            lambda s: backend.log_axpy_max(weights, direction, eta, out, s))
         shift = max(maxima)
         if not np.isfinite(shift):
             raise mass_annihilation_error("sharded multiplicative update")
 
-        def exp_pass(shard: slice) -> None:
-            chunk = out[shard]
-            chunk -= shift
-            np.exp(chunk, out=chunk)
-            # exp(-inf) -> 0.0 exactly; only a fully-masked chunk could
-            # produce non-finite values, and positive mass rules that out.
-
-        self._map_shards(exp_pass)
+        # exp(-inf) -> 0.0 exactly; only a fully-masked chunk could
+        # produce non-finite values, and positive mass rules that out.
+        self._map_shards(
+            lambda s: backend.exp_shifted(out, shift, out, s))
         # exp output is finite, non-negative, and has positive mass (the
         # max-shifted entry is exp(0) = 1), so the constructor's
         # validation masks and clip/divide copies are provably no-ops —
-        # normalize in place and adopt. float(out.sum()) is the same
-        # full-vector pairwise sum the dense constructor computes, which
-        # keeps dense/sharded results bitwise equal.
-        out /= float(out.sum())
+        # normalize in place and adopt. The backend's total_mass is the
+        # same full-vector pairwise sum the dense constructor computes,
+        # which keeps dense/sharded results bitwise equal.
+        backend.normalize(out, backend.total_mass(out))
         return ShardedHistogram._adopt(self._universe, out,
                                        num_shards=self._num_shards,
-                                       workers=self._workers)
+                                       workers=self._workers,
+                                       backend=backend)
 
     # -- shard-local distances / divergences --------------------------------
 
@@ -341,7 +339,9 @@ class ShardedHistogram(Histogram):
 
     def _build_shard_tables(self):
         weights = self._weights
-        masses = np.array([float(weights[s].sum()) for s in self._slices])
+        backend = self._backend
+        masses = np.array([backend.total_mass(weights[s])
+                           for s in self._slices])
         shard_cdf = np.cumsum(masses)
         nonzero_shards = np.nonzero(masses > 0.0)[0]
         shard_cdf[nonzero_shards[-1]:] = 1.0  # close the fp cumsum gap
@@ -349,7 +349,7 @@ class ShardedHistogram(Histogram):
         local_cdfs, last_nonzero = [], []
         for shard_index, shard in enumerate(self._slices):
             chunk = weights[shard]
-            local = np.cumsum(chunk)
+            local = backend.cumsum(chunk)
             support = np.nonzero(chunk)[0]
             last = int(support[-1]) if support.size else 0
             local[last:] = masses[shard_index]
@@ -368,7 +368,9 @@ class ShardedHistogram(Histogram):
 
 def hypothesis_histogram(universe: Universe, weights: np.ndarray | None = None,
                          *, shards: int | None = None,
-                         workers: int | None = None) -> Histogram:
+                         workers: int | None = None,
+                         backend: str | ArrayBackend | None = None,
+                         ) -> Histogram:
     """Build a mechanism hypothesis: dense, or sharded when asked.
 
     ``weights=None`` gives the uniform ``Dhat_1``. This is the single
@@ -386,9 +388,9 @@ def hypothesis_histogram(universe: Universe, weights: np.ndarray | None = None,
                 "histogram workers require sharding: pass shards=... "
                 "alongside workers"
             )
-        return Histogram(universe, weights)
+        return Histogram(universe, weights, backend=backend)
     return ShardedHistogram(universe, weights, num_shards=shards,
-                            workers=workers)
+                            workers=workers, backend=backend)
 
 
 __all__ = ["ShardedHistogram", "hypothesis_histogram", "DEFAULT_SHARD_SIZE",

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backend import backend_of
 from repro.data.histogram import Histogram
 from repro.engine import kernels
 from repro.exceptions import ValidationError
@@ -288,10 +289,12 @@ def _glm_values(losses, thetas, histogram: Histogram) -> np.ndarray:
     # not change which exception a caller handles.
     labels = prototype._labels(universe)
     weights = histogram.weights
+    backend = backend_of(histogram)
     out = np.zeros(len(losses))
     for start in range(0, universe.size, GLM_BLOCK_ROWS):
         stop = min(start + GLM_BLOCK_ROWS, universe.size)
-        margins = points[start:stop] @ parameters
+        margins = kernels.glm_margin_matrix(points[start:stop], parameters,
+                                            backend=backend)
         block_labels = (labels[start:stop, None]
                         if labels is not None else None)
         values = prototype.link(margins, block_labels)

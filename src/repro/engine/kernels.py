@@ -29,12 +29,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, backend_of
 from repro.data.histogram import Histogram
 from repro.exceptions import ValidationError
-from repro.losses.squared import (
-    weighted_cross_moment,
-    weighted_second_moment,
-)
 from repro.utils.validation import root_base
 
 __all__ = [
@@ -121,14 +118,17 @@ def _shared_row_matrix(tables) -> np.ndarray | None:
 
 
 def linear_answers(tables: np.ndarray, histogram: Histogram) -> np.ndarray:
-    """All linear-query answers ``Q w`` in one matvec."""
+    """All linear-query answers ``Q w`` in one matvec.
+
+    Runs on the histogram's :class:`~repro.backend.base.ArrayBackend`
+    (the NumPy default is the historical ``tables @ weights``)."""
     weights = histogram.weights
     if tables.size and tables.shape[1] != weights.shape[0]:
         raise ValidationError(
             f"loss matrix has {tables.shape[1]} columns but the histogram "
             f"universe has {weights.shape[0]} elements"
         )
-    return tables @ weights
+    return backend_of(histogram).matvec(tables, weights)
 
 
 def glm_parameter_matrix(losses, thetas) -> np.ndarray:
@@ -147,29 +147,38 @@ def glm_parameter_matrix(losses, thetas) -> np.ndarray:
     return np.column_stack(columns)
 
 
-def glm_margin_matrix(points: np.ndarray,
-                      parameters: np.ndarray) -> np.ndarray:
-    """The batch margin matrix ``M = X P ∈ R^{|X|×B}`` — one matmul."""
+def glm_margin_matrix(points: np.ndarray, parameters: np.ndarray,
+                      backend: ArrayBackend | None = None) -> np.ndarray:
+    """The batch margin matrix ``M = X P ∈ R^{|X|×B}`` — one matmul.
+
+    ``backend=None`` keeps the historical dense NumPy matmul; callers
+    evaluating against a backend-carrying hypothesis pass its backend so
+    the margin kernel follows the same arithmetic.
+    """
     if points.shape[1] != parameters.shape[0]:
         raise ValidationError(
             f"universe dim {points.shape[1]} does not match projected "
             f"parameter dim {parameters.shape[0]}"
         )
-    return points @ parameters
+    if backend is None:
+        return points @ parameters
+    return backend.matmul(points, parameters)
 
 
 def second_moment(features: np.ndarray, histogram: Histogram) -> np.ndarray:
     """``E[x xᵀ]`` — shared across a squared-loss batch.
 
-    Delegates to the squared family's own moment implementation
-    (:func:`repro.losses.squared.weighted_second_moment`), so the batched
-    closed form and the scalar one are the same math by construction.
+    Delegates to the histogram backend's moment kernel (the NumPy
+    default is :func:`repro.losses.squared.weighted_second_moment`), so
+    the batched closed form and the scalar one are the same math by
+    construction.
     """
-    return weighted_second_moment(features, histogram.weights)
+    return backend_of(histogram).second_moment(features, histogram.weights)
 
 
 def cross_moment(features: np.ndarray, labels: np.ndarray,
                  histogram: Histogram) -> np.ndarray:
     """``E[y x]`` — shared across a squared-loss batch (same delegation
     as :func:`second_moment`)."""
-    return weighted_cross_moment(features, histogram.weights, labels)
+    return backend_of(histogram).cross_moment(features, histogram.weights,
+                                              labels)

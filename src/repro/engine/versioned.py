@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.exceptions import ValidationError
 
 __all__ = ["VersionedBatchEvaluator"]
@@ -50,13 +51,22 @@ class VersionedBatchEvaluator:
     initial_block:
         First prefetch block size for :meth:`answer`; doubles while the
         hypothesis version holds still.
+    backend:
+        Optional :class:`~repro.backend.base.ArrayBackend` (or name);
+        the tables are cast to its native dtype **once** at
+        construction, so every refresh matmul runs at backend precision
+        against the backend-native hypothesis weights. ``None`` keeps
+        the historical ``float64`` layout. Answer slots are always
+        ``float64`` — accelerated products widen on assignment, so
+        callers see one answer dtype regardless of backend.
 
     The evaluator tracks one hypothesis stream: feed it monotonically
     observed versions of a single evolving hypothesis (version numbers
     from different hypotheses would alias).
     """
 
-    def __init__(self, tables: np.ndarray, *, initial_block: int = 8) -> None:
+    def __init__(self, tables: np.ndarray, *, initial_block: int = 8,
+                 backend: str | ArrayBackend | None = None) -> None:
         tables = np.asarray(tables, dtype=float)
         if tables.ndim != 2:
             raise ValidationError(
@@ -67,6 +77,8 @@ class VersionedBatchEvaluator:
             raise ValidationError(
                 f"initial_block must be >= 1, got {initial_block}"
             )
+        if backend is not None:
+            tables = resolve_backend(backend).asarray(tables)
         self._tables = tables
         batch = tables.shape[0]
         self._answers = np.empty(batch)
@@ -78,8 +90,9 @@ class VersionedBatchEvaluator:
         self._cached_hits = 0
 
     @classmethod
-    def from_queries(cls, queries, *,
-                     initial_block: int = 8) -> "VersionedBatchEvaluator":
+    def from_queries(cls, queries, *, initial_block: int = 8,
+                     backend: str | ArrayBackend | None = None,
+                     ) -> "VersionedBatchEvaluator":
         """Stack a :class:`LinearQuery` batch (zero-copy when shared)."""
         from repro.engine import kernels
 
@@ -87,7 +100,7 @@ class VersionedBatchEvaluator:
         tables = kernels.shared_table_matrix(queries)
         if tables is None:
             tables = kernels.stack_tables(queries)
-        return cls(tables, initial_block=initial_block)
+        return cls(tables, initial_block=initial_block, backend=backend)
 
     def __len__(self) -> int:
         return self._tables.shape[0]
@@ -114,7 +127,12 @@ class VersionedBatchEvaluator:
         count = int(np.count_nonzero(stale))
         if count == self._entry_versions.shape[0]:
             # Everything is stale: one dense matmul, no fancy-index copy.
-            np.matmul(self._tables, weights, out=self._answers)
+            # An accelerated-dtype product cannot target the float64
+            # answer buffer directly; it widens on assignment instead.
+            if self._tables.dtype == self._answers.dtype:
+                np.matmul(self._tables, weights, out=self._answers)
+            else:
+                self._answers[:] = self._tables @ weights
             self._entry_versions[:] = version
         elif count:
             self._answers[stale] = self._tables[stale] @ weights

@@ -33,10 +33,12 @@ observability artifacts (see :mod:`repro.serve.checkpoint` and
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 import time
 
+from repro.experiments.backend_demo import run_backend_demo
 from repro.experiments.crossover import run_crossover
 from repro.experiments.diagnostics import (
     run_dual_certificate_check,
@@ -89,6 +91,8 @@ EXPERIMENTS = {
     "e23": ("resilience demo: priority lanes, deadline shedding, "
             "exactly-once retries across a mid-reply kill",
             run_resilience_demo),
+    "e24": ("numeric-backend demo: MW hot-path agreement + speed per "
+            "registered ArrayBackend", run_backend_demo),
 }
 
 
@@ -183,7 +187,17 @@ def main(argv=None) -> int:
                         help="directory to save report text files into")
     parser.add_argument("--seed", type=int, default=0,
                         help="master seed (default 0)")
+    parser.add_argument("--backend", default=None,
+                        help="numeric backend for every mechanism built in "
+                             "this run (sets REPRO_BACKEND; e.g. 'numpy', "
+                             "'float32', 'jax')")
     args = parser.parse_args(argv)
+
+    if args.backend is not None:
+        # Exported rather than threaded through each runner: backend
+        # resolution happens wherever a mechanism or histogram is built,
+        # and the env var is the one knob they all consult.
+        os.environ["REPRO_BACKEND"] = args.backend
 
     if args.list:
         for key, (description, _) in EXPERIMENTS.items():

@@ -12,7 +12,10 @@ of a DP serving system owes their analysts and their auditors:
 - per-session mechanism gauges: ``mechanism.svt_hard_queries`` (sparse
   vector above-threshold count), ``mechanism.svt_queries_asked``,
   ``mechanism.update_rounds``, ``mechanism.hypothesis_version``,
-  ``mechanism.halted``, ``session.queries_served``;
+  ``mechanism.halted``, ``session.queries_served``, plus the info-style
+  ``mechanism.backend_info`` (constant 1, labelled
+  ``{session=..., backend=...}`` with the numeric backend name — the
+  Prometheus info-metric idiom for attaching a string dimension);
 - answer-cache gauges keyed by ``cache_policy``: ``cache.hits`` /
   ``cache.misses`` / ``cache.stale_misses`` / ``cache.entries``
   (labelled ``{policy=...}``).
@@ -90,6 +93,10 @@ def publish_session(registry, session) -> None:
                 version)
         registry.gauge("mechanism.halted", labels).set(
             1 if session.halted else 0)
+        backend = getattr(mechanism, "backend_name", None)
+        if backend is not None:
+            registry.gauge("mechanism.backend_info",
+                           {"session": sid, "backend": backend}).set(1)
         registry.gauge("session.queries_served", labels).set(
             session.queries_served)
 

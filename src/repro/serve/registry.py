@@ -160,7 +160,11 @@ def _restore_pmw_convex(snapshot, dataset, *, rng=None, oracle="noisy-sgd",
                         **params):
     config = snapshot["config"]
     resolved = build_oracle(oracle, config["epsilon"], config["delta"])
-    return PrivateMWConvex.restore(snapshot, dataset, resolved, rng=rng)
+    # The numeric backend is the one restore-time parameter that may
+    # legitimately differ from the snapshot (arithmetic, not state);
+    # everything else is rebuilt from the snapshot itself.
+    return PrivateMWConvex.restore(snapshot, dataset, resolved, rng=rng,
+                                   backend=params.get("backend"))
 
 
 def _build_pmw_linear(dataset, *, rng=None, **params):
@@ -169,7 +173,8 @@ def _build_pmw_linear(dataset, *, rng=None, **params):
 
 
 def _restore_pmw_linear(snapshot, dataset, *, rng=None, **params):
-    return PrivateMWLinear.restore(snapshot, dataset, rng=rng)
+    return PrivateMWLinear.restore(snapshot, dataset, rng=rng,
+                                   backend=params.get("backend"))
 
 
 def default_registry() -> MechanismRegistry:

@@ -37,6 +37,7 @@ import threading
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.data.dataset import Dataset
 from repro.dp.accountant import PrivacySpend
 from repro.exceptions import (
@@ -98,6 +99,13 @@ class PMWService:
         moves, so repeat queries after an MW update get a fresh (more
         accurate) round; same-version repeats and oracle releases
         (``"update"``) still replay at zero cost.
+    backend:
+        Service-level default numeric backend (a registered name or an
+        :class:`~repro.backend.base.ArrayBackend`, normalized to its
+        name so session params stay journalable). Injected into every
+        :meth:`open_session` that does not pass its own ``backend``
+        param; ``None`` leaves resolution to the mechanism (which reads
+        ``REPRO_BACKEND``, defaulting to NumPy).
     rng:
         Seed/generator from which per-session generators are spawned.
     """
@@ -109,7 +117,9 @@ class PMWService:
                  ledger_validate: bool = True,
                  cache: AnswerCache | None = None,
                  cache_entries: int | None = None,
-                 cache_policy: str = "replay", rng=None) -> None:
+                 cache_policy: str = "replay",
+                 backend: str | ArrayBackend | None = None,
+                 rng=None) -> None:
         if isinstance(datasets, Dataset):
             datasets = {"default": datasets}
         if not datasets:
@@ -127,6 +137,11 @@ class PMWService:
                 f"{cache_policy!r}"
             )
         self.cache_policy = cache_policy
+        # Normalized to a registered *name* (and validated eagerly): the
+        # name is what flows into session params, which the ledger
+        # journals as JSON.
+        self.backend = (None if backend is None
+                        else resolve_backend(backend).name)
         self._rng = as_generator(rng)
         self._sessions: dict[str, Session] = {}
         self._lock = threading.Lock()
@@ -157,6 +172,11 @@ class PMWService:
         data = self.datasets[dataset_name]
         if rng is None:
             rng = spawn_generators(self._rng, 1)[0]
+        if self.backend is not None:
+            # Injected into the params dict itself, so the journaled
+            # session configuration (and any cold resume from it) carries
+            # the backend the session actually ran on.
+            params.setdefault("backend", self.backend)
         mech = self.registry.create(mechanism, data, rng=rng, **params)
         self._arm_budget(mech, epsilon_budget, delta_budget)
         with self._lock:
@@ -676,7 +696,9 @@ class PMWService:
                 ledger_fsync: bool = True,
                 registry: MechanismRegistry | None = None,
                 params_override: dict | None = None,
-                cache_policy: str | None = None, rng=None) -> "PMWService":
+                cache_policy: str | None = None,
+                backend: str | ArrayBackend | None = None,
+                rng=None) -> "PMWService":
         """Rebuild a service after a restart (or crash).
 
         Two recovery tiers, composable:
@@ -709,6 +731,11 @@ class PMWService:
         journaled configuration contained unjournalable values (e.g. a live
         oracle instance). ``cache_policy`` overrides the snapshotted
         answer-cache policy (defaults to the snapshot's, else ``"replay"``).
+        ``backend`` sets the rebuilt service's default numeric backend for
+        *new* sessions; restored sessions keep the backend their journaled
+        params carry (override per session via ``params_override`` —
+        hypothesis payloads are backend-independent float64, so a
+        cross-backend restore is exact).
         """
         if snapshot is None and ledger_path is None:
             raise ValidationError(
@@ -767,7 +794,8 @@ class PMWService:
         # trusts, so the ledger skips its own open-time integrity scan.
         service = cls(datasets, registry=registry, ledger_path=ledger_path,
                       ledger_fsync=ledger_fsync, ledger_validate=False,
-                      cache=cache, cache_policy=cache_policy, rng=rng)
+                      cache=cache, cache_policy=cache_policy,
+                      backend=backend, rng=rng)
         params_override = params_override or {}
 
         if snapshot is not None:

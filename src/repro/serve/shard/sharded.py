@@ -298,6 +298,10 @@ class ShardedService:
         Forwarded to each shard's service; ``rng`` must be an integer
         seed (it crosses a process boundary), shard ``i`` derives
         ``rng + i``.
+    backend:
+        Default numeric backend *name* for every shard's service
+        (crosses the spawn pickle, so instances are not accepted);
+        ``None`` lets each worker resolve ``REPRO_BACKEND`` itself.
     auto_restore:
         When ``True`` (default) a monitor thread watches process
         sentinels and restores any shard that dies unexpectedly onto
@@ -324,6 +328,7 @@ class ShardedService:
                  vnodes: int = DEFAULT_VNODES,
                  checkpoint_every: int | None = None,
                  ledger_fsync: bool = True, cache_policy: str = "replay",
+                 backend: str | None = None,
                  rng: int | None = 0, auto_restore: bool = True,
                  shared_datasets: bool = True,
                  registry: MetricsRegistry | None = None,
@@ -345,6 +350,12 @@ class ShardedService:
         self._checkpoint_every = checkpoint_every
         self._ledger_fsync = bool(ledger_fsync)
         self._cache_policy = cache_policy
+        if backend is not None and not isinstance(backend, str):
+            raise ValidationError(
+                f"sharded backend must be a registered name (the spec "
+                f"crosses a process boundary), got "
+                f"{type(backend).__name__}")
+        self._backend = backend
         self._fault_plans = dict(fault_plans or {})
         # Per-incarnation shared-memory exports: ``True`` ships each
         # worker its datasets + frozen histogram view as a read-only
@@ -433,7 +444,8 @@ class ShardedService:
             rng=seed,
             checkpoint_every=self._checkpoint_every,
             ledger_fsync=self._ledger_fsync,
-            cache_policy=self._cache_policy, fault_plan=fault_plan,
+            cache_policy=self._cache_policy, backend=self._backend,
+            fault_plan=fault_plan,
             shm_manifest=export.manifest if export is not None else None)
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(

@@ -118,6 +118,10 @@ class ShardSpec:
     checkpoint_every: int | None = None
     ledger_fsync: bool = True
     cache_policy: str = "replay"
+    #: Service-level default numeric backend *name* (never an instance —
+    #: the spec is pickled, and the journaled session params must stay
+    #: JSON). ``None`` lets the worker's environment decide.
+    backend: str | None = None
     fault_plan: FaultPlan | None = None
     shm_manifest: dict | None = None
 
@@ -151,12 +155,14 @@ def build_service(spec: ShardSpec):
         service = Checkpointer.restore(
             datasets, ckpt_dir, ledger_path=ledger_path,
             ledger_fsync=spec.ledger_fsync,
-            cache_policy=spec.cache_policy, rng=spec.rng)
+            cache_policy=spec.cache_policy, backend=spec.backend,
+            rng=spec.rng)
     else:
         service = PMWService(
             datasets, ledger_path=ledger_path,
             ledger_fsync=spec.ledger_fsync,
-            cache_policy=spec.cache_policy, rng=spec.rng)
+            cache_policy=spec.cache_policy, backend=spec.backend,
+            rng=spec.rng)
     checkpointer = Checkpointer(service, ckpt_dir,
                                 every_records=spec.checkpoint_every)
     return service, checkpointer

@@ -1,0 +1,70 @@
+"""Backend plumbing through serving layers: shard specs and telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.backend import get_backend
+from repro.data import make_classification_dataset
+from repro.exceptions import ValidationError
+from repro.losses.families import random_linear_queries
+from repro.obs import MetricsRegistry
+from repro.obs.telemetry import publish_service
+from repro.serve.service import PMWService
+from repro.serve.shard.sharded import ShardedService
+from repro.serve.shard.worker import ShardSpec
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=1_000, d=2, universe_size=64,
+                                       rng=0)
+
+
+class TestShardSpecBackend:
+    def test_spec_carries_a_name(self, task, tmp_path):
+        spec = ShardSpec(shard_id="shard-00",
+                         directory=str(tmp_path / "shard-00"),
+                         datasets={"default": task.dataset},
+                         backend="float32")
+        assert spec.backend == "float32"
+
+    def test_sharded_service_rejects_instances(self, task, tmp_path):
+        # The spec crosses a process boundary (pickled into the worker
+        # spawn) and its params land in the budget journal as JSON, so
+        # only registered *names* are accepted at the fleet level.
+        with pytest.raises(ValidationError, match="registered name"):
+            ShardedService(task.dataset, tmp_path / "dep", shards=1,
+                           backend=get_backend("float32"))
+
+    def test_sharded_service_accepts_a_name(self, task, tmp_path):
+        with ShardedService(task.dataset, tmp_path / "dep", shards=1,
+                            backend="float32") as service:
+            sid = service.open_session("pmw-linear", alpha=0.3,
+                                       epsilon=2.0, delta=1e-6,
+                                       max_updates=3)
+            queries = random_linear_queries(task.universe, 4, rng=1)
+            results = service.serve_session_batch(sid, queries)
+            assert len(results) == 4
+            assert all(np.isfinite(result.value).all()
+                       for result in results)
+
+
+class TestBackendTelemetry:
+    def test_backend_info_gauge(self, task):
+        registry = MetricsRegistry()
+        with PMWService(task.dataset, backend="float32",
+                        rng=0) as service:
+            sid = service.open_session("pmw-linear", alpha=0.3,
+                                       epsilon=2.0, delta=1e-6,
+                                       max_updates=3)
+            publish_service(registry, service)
+        rendered = registry.render_prometheus()
+        assert "mechanism.backend_info" in rendered.replace(":", ".") \
+            or "mechanism_backend_info" in rendered
+        snapshot = registry.snapshot()
+        gauges = [entry for entry in snapshot["gauges"]
+                  if entry["name"] == "mechanism.backend_info"]
+        assert gauges, "backend info gauge was not published"
+        assert gauges[0]["labels"] == {"session": sid,
+                                       "backend": "float32"}
+        assert gauges[0]["value"] == 1

@@ -1,0 +1,168 @@
+"""Durable formats are backend-independent: train accelerated, restore
+anywhere, bitwise.
+
+The contract under test (see ``docs/architecture.md``): snapshots,
+checkpoints, and ledger params always carry NumPy ``float64`` payloads
+regardless of the arithmetic backend that produced them, and the
+snapshotted ``"backend"`` key records arithmetic — not state — so a
+restore may override it freely. float32 -> float64 widening is exact,
+which makes every cross-backend restore *bitwise*, not merely close.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pmw_cm import PrivateMWConvex
+from repro.core.pmw_linear import PrivateMWLinear
+from repro.data import make_classification_dataset
+from repro.erm.oracle import NonPrivateOracle
+from repro.losses.families import random_linear_queries, random_logistic_family
+from repro.serve.service import PMWService
+
+LINEAR_PARAMS = dict(alpha=0.15, epsilon=2.0, delta=1e-6, max_updates=8)
+CM_PARAMS = dict(scale=2.0, alpha=0.3, beta=0.1, epsilon=2.0, delta=1e-6,
+                 max_updates=3, solver_steps=40)
+
+
+@pytest.fixture(scope="module")
+def task():
+    return make_classification_dataset(n=2_000, d=3, universe_size=96,
+                                       rng=0)
+
+
+def trained_linear(task, backend):
+    mechanism = PrivateMWLinear(task.dataset, rng=7, backend=backend,
+                                **LINEAR_PARAMS)
+    queries = random_linear_queries(task.universe, 25, rng=1)
+    mechanism.answer_all(queries, on_halt="hypothesis")
+    return mechanism
+
+
+class TestLinearRoundTrip:
+    def test_snapshot_payloads_are_float64(self, task):
+        snapshot = trained_linear(task, "float32").snapshot()
+        assert snapshot["backend"] == "float32"
+        log_weights = np.asarray(
+            snapshot["hypothesis_core"]["log_weights"])
+        assert log_weights.dtype == np.float64
+
+    def test_accelerated_restores_bitwise_into_numpy(self, task):
+        mechanism = trained_linear(task, "float32")
+        assert mechanism.updates_performed > 0  # not a vacuous snapshot
+        snapshot = mechanism.snapshot()
+        restored = PrivateMWLinear.restore(snapshot, task.dataset,
+                                           backend="numpy")
+        assert restored.backend_name == "numpy"
+        # The durable state lands bitwise: re-snapshotting on the other
+        # backend reproduces the identical float64 log-weight payload.
+        np.testing.assert_array_equal(
+            np.asarray(restored.snapshot()["hypothesis_core"]
+                       ["log_weights"]),
+            np.asarray(snapshot["hypothesis_core"]["log_weights"]))
+        # Materialization (exp + normalize) runs on the *restoring*
+        # backend, so across backends it agrees to the contract band...
+        np.testing.assert_allclose(
+            np.asarray(restored.hypothesis.weights, dtype=float),
+            np.asarray(mechanism.hypothesis.weights, dtype=float),
+            atol=1e-6, rtol=0)
+        # ...and a same-backend restore reproduces the weights bitwise.
+        round_trip = PrivateMWLinear.restore(snapshot, task.dataset,
+                                             backend="float32")
+        np.testing.assert_array_equal(
+            np.asarray(round_trip.hypothesis.weights, dtype=float),
+            np.asarray(mechanism.hypothesis.weights, dtype=float))
+
+    def test_restore_defaults_to_snapshotted_backend(self, task):
+        snapshot = trained_linear(task, "float32").snapshot()
+        restored = PrivateMWLinear.restore(snapshot, task.dataset)
+        assert restored.backend_name == "float32"
+
+    def test_pre_backend_snapshot_restores_on_default(self, task,
+                                                      monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        snapshot = trained_linear(task, "float32").snapshot()
+        del snapshot["backend"]  # a snapshot written before the refactor
+        restored = PrivateMWLinear.restore(snapshot, task.dataset)
+        assert restored.backend_name == "numpy"
+
+    def test_restored_mechanism_keeps_serving(self, task):
+        mechanism = trained_linear(task, "float32")
+        snapshot = mechanism.snapshot()
+        restored = PrivateMWLinear.restore(snapshot, task.dataset,
+                                           backend="numpy")
+        tail = random_linear_queries(task.universe, 5, rng=2)
+        answers = restored.answer_all(tail, on_halt="hypothesis")
+        assert len(answers) == 5
+
+
+class TestConvexRoundTrip:
+    def test_accelerated_restores_bitwise_into_numpy(self, task):
+        oracle = NonPrivateOracle(120)
+        mechanism = PrivateMWConvex(task.dataset, oracle, rng=5,
+                                    backend="float32", **CM_PARAMS)
+        losses = random_logistic_family(task.universe, 6, rng=3)
+        mechanism.answer_all(losses, on_halt="hypothesis")
+        snapshot = mechanism.snapshot()
+        assert snapshot["backend"] == "float32"
+        restored = PrivateMWConvex.restore(snapshot, task.dataset,
+                                           oracle, backend="numpy")
+        assert restored.backend_name == "numpy"
+        np.testing.assert_array_equal(
+            np.asarray(restored.snapshot()["hypothesis_core"]
+                       ["log_weights"]),
+            np.asarray(snapshot["hypothesis_core"]["log_weights"]))
+        np.testing.assert_allclose(
+            np.asarray(restored.hypothesis.weights, dtype=float),
+            np.asarray(mechanism.hypothesis.weights, dtype=float),
+            atol=1e-6, rtol=0)
+
+
+class TestServiceRoundTrip:
+    def test_session_params_journal_the_backend(self, task):
+        with PMWService(task.dataset, backend="float32",
+                        rng=0) as service:
+            assert service.backend == "float32"
+            sid = service.open_session("pmw-linear", **LINEAR_PARAMS)
+            session = service.session(sid)
+            assert session.params["backend"] == "float32"
+            assert session.mechanism.backend_name == "float32"
+
+    def test_explicit_session_backend_beats_service_default(self, task):
+        with PMWService(task.dataset, backend="float32",
+                        rng=0) as service:
+            sid = service.open_session("pmw-linear", backend="numpy",
+                                       **LINEAR_PARAMS)
+            assert service.session(sid).mechanism.backend_name == "numpy"
+
+    def test_service_snapshot_restores_journaled_backend(self, task,
+                                                         tmp_path):
+        queries = random_linear_queries(task.universe, 10, rng=4)
+        with PMWService(task.dataset, backend="float32",
+                        rng=0) as service:
+            sid = service.open_session("pmw-linear", **LINEAR_PARAMS)
+            service.serve_session_batch(sid, queries)
+            weights = np.asarray(
+                service.session(sid).mechanism.hypothesis.weights,
+                dtype=float)
+            snapshot = service.snapshot()
+
+        with PMWService.restore(task.dataset,
+                                snapshot=snapshot) as restored:
+            mechanism = restored.session(sid).mechanism
+            assert mechanism.backend_name == "float32"
+            np.testing.assert_array_equal(
+                np.asarray(mechanism.hypothesis.weights, dtype=float),
+                weights)
+
+        # params_override (full replacement, keyed by session) retargets
+        # the arithmetic on restore; the durable payload is float64
+        # either way, so the hypothesis lands within the contract band.
+        with PMWService.restore(
+                task.dataset, snapshot=snapshot,
+                params_override={sid: {**LINEAR_PARAMS,
+                                       "backend": "numpy"}}) as onto_numpy:
+            mechanism = onto_numpy.session(sid).mechanism
+            assert mechanism.backend_name == "numpy"
+            np.testing.assert_allclose(
+                np.asarray(mechanism.hypothesis.weights, dtype=float),
+                weights, atol=1e-6, rtol=0)

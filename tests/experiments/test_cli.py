@@ -16,7 +16,7 @@ class TestCLI:
         """Keep the CLI in sync with the experiment index (E1-E16 plus
         the serving-layer demos that share their benchmark's number)."""
         assert set(EXPERIMENTS) == \
-            {f"e{i}" for i in range(1, 17)} | {"e22", "e23"}
+            {f"e{i}" for i in range(1, 17)} | {"e22", "e23", "e24"}
 
     def test_unknown_id_rejected(self):
         with pytest.raises(SystemExit):

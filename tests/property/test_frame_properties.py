@@ -211,3 +211,29 @@ class TestVersionDiscipline:
             assert exc.expected == frames.VERSION
         else:
             raise AssertionError("foreign version byte was accepted")
+
+    def test_committed_foreign_version_golden(self):
+        """The committed VERSION+1 fixture is refused pre-payload.
+
+        The fixture's body is all-0xff garbage, so any attempt to
+        interpret the payload before checking the version byte would
+        surface as ``FrameCorrupt`` — seeing ``FrameVersionMismatch``
+        proves the refusal happens first. The fixture's byte stability
+        is enforced by ``tools/check_wire_protocol.py``; this test only
+        needs it to exist and be refused.
+        """
+        import pathlib
+
+        path = (pathlib.Path(__file__).parent.parent / "fixtures"
+                / "wire" / "request_ping_foreign_version.bin")
+        data = path.read_bytes()
+        assert data[2] == frames.VERSION + 1
+        assert data[16:] == b"\xff" * len(data[16:])  # garbage body
+        try:
+            decode_frame(data, allow_pickle=False)
+        except FrameVersionMismatch as exc:
+            assert exc.got == frames.VERSION + 1
+            assert exc.expected == frames.VERSION
+        else:
+            raise AssertionError(
+                "committed foreign-version frame was accepted")

@@ -300,6 +300,22 @@ def golden_bytes(spec) -> bytes:
                         flags=flags)
 
 
+#: Committed negative golden: a frame stamped ``VERSION + 1`` whose
+#: entire body is 0xff garbage. The decoder must refuse it with
+#: :class:`FrameVersionMismatch` — any payload-shaped error
+#: (``FrameCorrupt``) would prove it touched the body before checking
+#: the version byte.
+FOREIGN_GOLDEN = "request_ping_foreign_version"
+
+
+def foreign_version_bytes() -> bytes:
+    data = bytearray(encode_frame(KIND_REQUEST, VERBS["ping"], []))
+    data[2] = frames.VERSION + 1
+    body = frames._HEADER.size
+    data[body:] = b"\xff" * max(32, len(data) - body)
+    return bytes(data)
+
+
 def regen_goldens() -> int:
     FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
     for spec in golden_specs():
@@ -307,7 +323,41 @@ def regen_goldens() -> int:
         path.write_bytes(golden_bytes(spec))
         print(f"wrote {path.relative_to(REPO)} ({path.stat().st_size} "
               f"bytes)")
+    path = FIXTURE_DIR / f"{FOREIGN_GOLDEN}.bin"
+    path.write_bytes(foreign_version_bytes())
+    print(f"wrote {path.relative_to(REPO)} ({path.stat().st_size} "
+          f"bytes, version {frames.VERSION + 1})")
     return 0
+
+
+def check_foreign_golden() -> int:
+    path = FIXTURE_DIR / f"{FOREIGN_GOLDEN}.bin"
+    if not path.exists():
+        print(f"FAIL foreign golden: {path.relative_to(REPO)} missing "
+              f"— run with --regen and commit it")
+        return 1
+    committed = path.read_bytes()
+    if committed != foreign_version_bytes():
+        print("FAIL foreign golden: fixture out of date — regenerate "
+              "after a VERSION bump")
+        return 1
+    try:
+        decode_frame(committed, allow_pickle=False)
+    except FrameVersionMismatch as exc:
+        if (exc.got == frames.VERSION + 1
+                and exc.expected == frames.VERSION):
+            print("foreign golden: VERSION+1 frame refused before the "
+                  "garbage body was interpreted")
+            return 0
+        print(f"FAIL foreign golden: wrong attrs got={exc.got} "
+              f"expected={exc.expected}")
+        return 1
+    except FrameError as exc:
+        print(f"FAIL foreign golden: {type(exc).__name__} — the decoder "
+              f"read the body before checking the version byte")
+        return 1
+    print("FAIL foreign golden: foreign-version frame decoded")
+    return 1
 
 
 def check_goldens() -> int:
@@ -349,7 +399,7 @@ def main(argv=None) -> int:
         return regen_goldens()
     failures = (check_round_trips() + check_torn_frames()
                 + check_bit_flips() + check_version_mismatch()
-                + check_goldens())
+                + check_goldens() + check_foreign_golden())
     if failures:
         print(f"{failures} wire-protocol failure(s)", file=sys.stderr)
         return 1
